@@ -1,0 +1,68 @@
+//! Criterion benches for the simulators: system-level trajectories and
+//! importance-sampling cycles.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+use nsr_sim::importance::{Options, RareEvent};
+use nsr_sim::system::SystemSim;
+
+fn bench_system_sim(c: &mut Criterion) {
+    let params = Params::baseline();
+    let config = Configuration::new(InternalRaid::None, 1).expect("cfg");
+    let sim = SystemSim::new(params, config).expect("sim");
+    c.bench_function("system_sim_ft1_trajectory", |bch| {
+        let mut rng = StdRng::seed_from_u64(7);
+        bch.iter(|| black_box(sim.simulate_one(&mut rng).expect("loss")))
+    });
+}
+
+fn bench_importance(c: &mut Criterion) {
+    // The FT2 internal-RAID chain at baseline.
+    use nsr_core::internal_raid::InternalRaidSystem;
+    use nsr_core::raid::ArrayModel;
+    use nsr_core::rebuild::RebuildModel;
+    let params = Params::baseline();
+    let rebuild = RebuildModel::new(params).expect("rebuild");
+    let array = ArrayModel::new(
+        InternalRaid::Raid5,
+        12,
+        params.drive.failure_rate(),
+        rebuild.restripe().expect("restripe").rate,
+        params.drive.c_her(),
+    )
+    .expect("array");
+    let sys = InternalRaidSystem::new(
+        64,
+        8,
+        2,
+        params.node.failure_rate(),
+        array.rates_paper(),
+        rebuild.node_rebuild(2).expect("mu_n").rate,
+    )
+    .expect("system");
+    let ctmc = sys.ctmc().expect("ctmc");
+    let root = ctmc.state_by_label("failed:0").expect("root");
+    let est = RareEvent::new(&ctmc, root).expect("estimator");
+    c.bench_function("importance_sampling_2k_cycles", |bch| {
+        let mut rng = StdRng::seed_from_u64(11);
+        bch.iter(|| {
+            black_box(
+                est.estimate(
+                    Options { gamma_cycles: 2000, time_cycles: 2000, ..Options::default() },
+                    &mut rng,
+                )
+                .expect("estimate"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_system_sim, bench_importance);
+criterion_main!(benches);

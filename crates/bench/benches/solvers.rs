@@ -1,0 +1,83 @@
+//! Criterion benches for the analytic kernels: LU factorization, GTH
+//! absorbing analysis, recursive-chain construction and solve, and a full
+//! Figure-13 evaluation.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::recursive::RecursiveModel;
+use nsr_core::sweep::fig13_baseline;
+use nsr_core::units::PerHour;
+use nsr_linalg::{Lu, Matrix};
+use nsr_markov::AbsorbingAnalysis;
+
+fn recursive_model(k: u32) -> RecursiveModel {
+    RecursiveModel::new(
+        k,
+        64,
+        8,
+        12,
+        PerHour(1.0 / 400_000.0),
+        PerHour(1.0 / 300_000.0),
+        PerHour(0.28),
+        PerHour(3.24),
+        0.024,
+    )
+    .expect("valid model")
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lu_factor_solve");
+    for n in [15usize, 63, 127] {
+        let a = Matrix::from_fn(n, n, |r, cc| {
+            if r == cc {
+                (n + 1) as f64
+            } else {
+                1.0 / (1.0 + (r as f64 - cc as f64).abs())
+            }
+        });
+        let b = vec![1.0; n];
+        group.bench_function(format!("n={n}"), |bch| {
+            bch.iter(|| {
+                let lu = Lu::factor(black_box(&a)).expect("nonsingular");
+                black_box(lu.solve(&b).expect("solve"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursive_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recursive_chain");
+    for k in [1u32, 2, 3, 5, 7] {
+        let model = recursive_model(k);
+        group.bench_function(format!("build_k{k}"), |bch| {
+            bch.iter(|| black_box(model.ctmc().expect("ctmc")))
+        });
+        let ctmc = model.ctmc().expect("ctmc");
+        group.bench_function(format!("gth_solve_k{k}"), |bch| {
+            bch.iter(|| black_box(AbsorbingAnalysis::new(&ctmc).expect("analysis")))
+        });
+        group.bench_function(format!("theorem_k{k}"), |bch| {
+            bch.iter(|| black_box(model.mttdl_theorem()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_figure13(c: &mut Criterion) {
+    let params = Params::baseline();
+    c.bench_function("figure13_full_baseline", |bch| {
+        bch.iter(|| black_box(fig13_baseline(black_box(&params)).expect("fig13")))
+    });
+    let config = Configuration::new(nsr_core::raid::InternalRaid::Raid5, 2).expect("cfg");
+    c.bench_function("evaluate_ft2_ir5", |bch| {
+        bch.iter(|| black_box(config.evaluate(black_box(&params)).expect("eval")))
+    });
+}
+
+criterion_group!(benches, bench_lu, bench_recursive_chain, bench_figure13);
+criterion_main!(benches);

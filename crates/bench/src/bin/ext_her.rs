@@ -1,0 +1,19 @@
+//! Extension sweep (beyond the paper's figures): sensitivity to the drive
+//! hard error rate, 10⁻¹⁶ – 10⁻¹³ errors per bit.
+//!
+//! HER is the one §6 constant that deployments can influence after the
+//! fact (scrubbing shortens the latent-error window); this sweep shows it
+//! rivals the rebuild block as a reliability lever for the no-internal-
+//! RAID configurations, whose loss paths are sector-dominated.
+
+use nsr_bench::{render_sweep, spread_summary};
+use nsr_core::params::Params;
+use nsr_core::sweep::ext_hard_error_rate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = ext_hard_error_rate(&Params::baseline())?;
+    println!("Extension — hard-error-rate sensitivity\n");
+    print!("{}", render_sweep(&sweep));
+    print!("{}", spread_summary(&sweep));
+    Ok(())
+}

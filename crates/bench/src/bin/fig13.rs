@@ -1,0 +1,39 @@
+//! Figure 13 — baseline comparison of all nine redundancy configurations.
+//!
+//! Paper expectations: every FT-1 configuration misses the 2e-3 target;
+//! RAID 5 ≈ RAID 6 at FT ≥ 2; [FT3, internal RAID] beats the target by
+//! about five orders of magnitude.
+
+use nsr_core::config::Configuration;
+use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
+use nsr_core::params::Params;
+use nsr_core::sweep::fig13_baseline;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::baseline();
+    println!("Figure 13 — baseline comparison (events per PB-year; target {TARGET_EVENTS_PER_PB_YEAR:.0e})\n");
+    println!("{:<30}{:>16}{:>18}{:>14}", "configuration", "MTTDL (h)", "events/PB-yr", "margin (dex)");
+    for (config, r) in fig13_baseline(&params)? {
+        println!(
+            "{:<30}{:>16.3e}{:>18.3e}{:>14.1}{}",
+            format!("{config}"),
+            r.mttdl_hours,
+            r.events_per_pb_year,
+            r.margin_orders(),
+            if r.meets_target() { "" } else { "   << misses target" },
+        );
+    }
+    // The paper's three observations, evaluated live.
+    let ev = |c: Configuration| c.evaluate(&params).unwrap().closed_form;
+    use nsr_core::raid::InternalRaid::*;
+    let ft1_all_miss = [None, Raid5, Raid6]
+        .into_iter()
+        .all(|i| !ev(Configuration::new(i, 1).unwrap()).meets_target());
+    let r5 = ev(Configuration::new(Raid5, 2).unwrap()).events_per_pb_year;
+    let r6 = ev(Configuration::new(Raid6, 2).unwrap()).events_per_pb_year;
+    let ft3_ir_margin = ev(Configuration::new(Raid5, 3).unwrap()).margin_orders();
+    println!("\npaper observation 1 (FT1 misses target):        {ft1_all_miss}");
+    println!("paper observation 2 (RAID5 ~ RAID6 at FT2):     ratio {:.2}", r5 / r6);
+    println!("paper observation 3 (FT3+IR margin ~5 orders):  {ft3_ir_margin:.1} orders");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Figure 14 — sensitivity to drive MTTF (100k–750k h), at both ends of
+//! the node-MTTF range, for the three surviving configurations.
+//!
+//! Paper expectations: [FT2, no IR] misses the target entirely at low node
+//! MTTF and is marginal at high node MTTF; [FT2, IR5] is nearly flat in
+//! drive MTTF (it is node-MTTF limited — the §8 explanation of why RAID 6
+//! adds nothing).
+
+use nsr_bench::{always_meets, render_sweep, spread_summary};
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+use nsr_core::sweep::fig14_drive_mttf;
+use nsr_core::units::Hours;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, node_mttf) in [("LOW node MTTF (100k h)", 100_000.0), ("HIGH node MTTF (1M h)", 1_000_000.0)] {
+        let sweep = fig14_drive_mttf(&Params::baseline(), Hours(node_mttf))?;
+        println!("Figure 14 — drive-MTTF sensitivity, {label}\n");
+        print!("{}", render_sweep(&sweep));
+        print!("{}", spread_summary(&sweep));
+        let nir2 = Configuration::new(InternalRaid::None, 2)?;
+        println!(
+            "[FT2, no IR] meets target over the whole range: {}\n",
+            always_meets(&sweep, nir2)
+        );
+    }
+    Ok(())
+}

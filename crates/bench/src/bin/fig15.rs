@@ -1,0 +1,24 @@
+//! Figure 15 — sensitivity to node MTTF (100k–1M h), at both ends of the
+//! drive-MTTF range.
+//!
+//! Paper expectations: [FT2, IR5] shows the most sensitivity to node MTTF;
+//! all three configurations grow more sensitive at high drive MTTF;
+//! [FT2, no IR] misses the target for most of the range.
+
+use nsr_bench::{render_sweep, spread_summary};
+use nsr_core::params::Params;
+use nsr_core::sweep::fig15_node_mttf;
+use nsr_core::units::Hours;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (label, drive_mttf) in [("LOW drive MTTF (100k h)", 100_000.0), ("HIGH drive MTTF (750k h)", 750_000.0)] {
+        let mut params = Params::baseline();
+        params.drive.mttf = Hours(drive_mttf);
+        let sweep = fig15_node_mttf(&params, Hours(drive_mttf))?;
+        println!("Figure 15 — node-MTTF sensitivity, {label}\n");
+        print!("{}", render_sweep(&sweep));
+        print!("{}", spread_summary(&sweep));
+        println!();
+    }
+    Ok(())
+}

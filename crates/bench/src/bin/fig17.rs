@@ -1,0 +1,24 @@
+//! Figure 17 — sensitivity to link speed (1, 3, 5, 10 Gb/s).
+//!
+//! Paper expectations: reliability is network-constrained below ~3 Gb/s
+//! and disk-constrained above, so the 5 and 10 Gb/s points coincide.
+
+use nsr_bench::render_sweep;
+use nsr_core::params::Params;
+use nsr_core::rebuild::RebuildModel;
+use nsr_core::sweep::fig17_link_speed;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = Params::baseline();
+    let sweep = fig17_link_speed(&params)?;
+    println!("Figure 17 — link-speed sensitivity\n");
+    print!("{}", render_sweep(&sweep));
+    let model = RebuildModel::new(params)?;
+    for t in [2, 3] {
+        println!(
+            "disk/network crossover at fault tolerance {t}: {:.2} Gb/s (paper: ~3 Gb/s)",
+            model.crossover_link_speed(t)?
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Figure 18 — sensitivity to node set size N (16–256).
+//!
+//! Paper expectations: [FT2, no IR] shows some sensitivity; the other two
+//! configurations are relatively insensitive (larger failure domain is
+//! offset by a shrinking critical-set fraction).
+
+use nsr_bench::{render_sweep, spread_summary};
+use nsr_core::params::Params;
+use nsr_core::sweep::fig18_node_count;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = fig18_node_count(&Params::baseline())?;
+    println!("Figure 18 — node-set-size sensitivity\n");
+    print!("{}", render_sweep(&sweep));
+    print!("{}", spread_summary(&sweep));
+    Ok(())
+}

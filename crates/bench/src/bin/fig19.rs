@@ -1,0 +1,16 @@
+//! Figure 19 — sensitivity to redundancy set size R (4–16).
+//!
+//! Paper expectations: all configurations become less reliable as R grows,
+//! with about an order of magnitude between the extremes.
+
+use nsr_bench::{render_sweep, spread_summary};
+use nsr_core::params::Params;
+use nsr_core::sweep::fig19_redundancy_set;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = fig19_redundancy_set(&Params::baseline())?;
+    println!("Figure 19 — redundancy-set-size sensitivity\n");
+    print!("{}", render_sweep(&sweep));
+    print!("{}", spread_summary(&sweep));
+    Ok(())
+}

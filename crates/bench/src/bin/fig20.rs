@@ -1,0 +1,17 @@
+//! Figure 20 — sensitivity to drives per node d (4–32).
+//!
+//! Paper expectations: very little sensitivity — per-node reliability
+//! falls with more drives, but fewer nodes are needed per petabyte, and
+//! the normalized metric cancels the two.
+
+use nsr_bench::{render_sweep, spread_summary};
+use nsr_core::params::Params;
+use nsr_core::sweep::fig20_drives_per_node;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sweep = fig20_drives_per_node(&Params::baseline())?;
+    println!("Figure 20 — drives-per-node sensitivity\n");
+    print!("{}", render_sweep(&sweep));
+    print!("{}", spread_summary(&sweep));
+    Ok(())
+}

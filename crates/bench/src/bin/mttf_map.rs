@@ -1,0 +1,33 @@
+//! Extension: the full drive-MTTF × node-MTTF feasibility map (Figures 14
+//! and 15 sample only the edges of this matrix).
+//!
+//! Run with `cargo run --release -p nsr-bench --bin mttf_map`.
+
+use nsr_core::config::Configuration;
+use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
+use nsr_core::params::Params;
+use nsr_core::sweep::mttf_map;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Extension — drive×node MTTF feasibility maps (target {TARGET_EVENTS_PER_PB_YEAR:.0e})\n");
+    for config in Configuration::sensitivity_set() {
+        let map = mttf_map(&Params::baseline(), config)?;
+        println!("{config}   (feasible over {:.0}% of the plane)", 100.0 * map.feasible_fraction());
+        print!("{:>14}", "node\\drive");
+        for d in &map.drive_mttf {
+            print!("{:>11}", format!("{}k", (d / 1000.0) as u64));
+        }
+        println!();
+        for (r, n) in map.node_mttf.iter().enumerate() {
+            print!("{:>14}", format!("{}k h", (n / 1000.0) as u64));
+            for v in &map.values[r] {
+                let mark = if *v < TARGET_EVENTS_PER_PB_YEAR { ' ' } else { '!' };
+                print!("{:>10.1e}{mark}", v);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("('!' = misses the target)");
+    Ok(())
+}

@@ -1,0 +1,673 @@
+//! Implementations of the `nsr` subcommands. Each returns the text it
+//! would print, so the whole surface is unit-testable.
+
+use std::fmt::Write as _;
+
+use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
+use nsr_core::params::Params;
+use nsr_core::sweep::{
+    fig13_baseline, fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block,
+    fig17_link_speed, fig18_node_count, fig19_redundancy_set, fig20_drives_per_node, Sweep,
+};
+use nsr_core::units::Hours;
+use nsr_sim::importance::{Options, RareEvent};
+use nsr_sim::system::SystemSim;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{config_name, params_from, parse_config, ParsedArgs};
+use crate::render::{sweep_csv, sweep_table};
+use crate::{CliError, Result};
+
+/// Usage text for `nsr help`.
+pub const USAGE: &str = "\
+nsr — reliability models for networked storage nodes (DSN 2006)
+
+USAGE:
+  nsr <command> [--option value]... [--flag]...
+
+COMMANDS:
+  baseline    Figure 13: all nine configurations at the baseline
+  eval        evaluate one configuration (--config ft2-ir5)
+  sweep       one sensitivity analysis (--figure 14..20; --csv for CSV)
+  figures     regenerate all figures as CSV files (--out DIR)
+  sim         system-level Monte Carlo (--config, --samples, --seed)
+  rare        rare-event (importance-sampling) MTTDL (--config, --cycles)
+  mission     P(data loss within --years Y) for --config
+  plan        feasible configurations for --target events/PB-year
+  spares      fail-in-place spare-capacity provisioning analysis
+  aging       non-Markovian (Weibull) lifetime ablation (--shape K)
+  chain       export a configuration's exact CTMC as Graphviz dot (--out F)
+  report      one-shot markdown reproduction report (--out FILE)
+  help        this text
+
+CONFIGS:  ft<k>-<nir|ir5|ir6>, e.g. ft1-nir, ft2-ir5, ft3-nir
+
+PARAMETER OVERRIDES (all commands):
+  --drive-mttf H  --node-mttf H  --nodes N  --rset R  --drives D
+  --link-gbps G   --rebuild-kib K  --restripe-kib K
+  --capacity-util F  --bw-util F  --her E  --drive-gb G  --half-duplex
+";
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] suitable for printing to stderr.
+pub fn dispatch(args: &ParsedArgs) -> Result<String> {
+    match args.command.as_str() {
+        "baseline" => baseline(args),
+        "eval" => eval(args),
+        "sweep" => sweep_cmd(args),
+        "figures" => figures(args),
+        "sim" => sim(args),
+        "rare" => rare(args),
+        "mission" => mission(args),
+        "plan" => plan(args),
+        "spares" => spares(args),
+        "report" => report(args),
+        "aging" => aging(args),
+        "chain" => chain(args),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown command '{other}'; try `nsr help`"))),
+    }
+}
+
+fn baseline(args: &ParsedArgs) -> Result<String> {
+    let params = params_from(args)?;
+    let rows = fig13_baseline(&params)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 13 — baseline comparison (target {TARGET_EVENTS_PER_PB_YEAR:.0e} events/PB-year)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>16}{:>18}{:>10}",
+        "configuration", "MTTDL (h)", "events/PB-year", "target"
+    );
+    for (config, r) in rows {
+        let _ = writeln!(
+            out,
+            "{:<28}{:>16.4e}{:>18.4e}{:>10}",
+            format!("{config}"),
+            r.mttdl_hours,
+            r.events_per_pb_year,
+            if r.meets_target() { "meets" } else { "MISSES" }
+        );
+    }
+    Ok(out)
+}
+
+fn eval(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(
+        &args
+            .get::<String>("config")?
+            .ok_or_else(|| CliError("--config is required".into()))?,
+    )?;
+    let params = params_from(args)?;
+    let e = config.evaluate(&params)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "configuration: {config} ({})", config_name(config));
+    let _ = writeln!(out, "closed form:   {}", e.closed_form);
+    let _ = writeln!(out, "exact CTMC:    {}", e.exact);
+    let _ = writeln!(
+        out,
+        "node rebuild:  {:.2} h ({}-bound)",
+        e.node_rebuild.duration.0, e.node_rebuild.bottleneck
+    );
+    let _ = writeln!(
+        out,
+        "drive repair:  {:.2} h ({}-bound)",
+        e.drive_repair.duration.0, e.drive_repair.bottleneck
+    );
+    let _ = writeln!(
+        out,
+        "margin:        {:.2} orders of magnitude vs target",
+        e.closed_form.margin_orders()
+    );
+    Ok(out)
+}
+
+/// Runs the sweep for a paper figure number against `params`.
+///
+/// # Errors
+///
+/// Returns an error for figure numbers outside 14–20.
+pub fn sweep_for_figure(figure: u32, params: &Params) -> Result<Sweep> {
+    let sweep = match figure {
+        14 => fig14_drive_mttf(params, params.node.mttf)?,
+        15 => fig15_node_mttf(params, params.drive.mttf)?,
+        16 => fig16_rebuild_block(params)?,
+        17 => fig17_link_speed(params)?,
+        18 => fig18_node_count(params)?,
+        19 => fig19_redundancy_set(params)?,
+        20 => fig20_drives_per_node(params)?,
+        other => {
+            return Err(CliError(format!(
+                "--figure must be 14..20 (got {other}); figure 13 is `nsr baseline`"
+            )))
+        }
+    };
+    Ok(sweep)
+}
+
+fn sweep_cmd(args: &ParsedArgs) -> Result<String> {
+    let figure: u32 = args
+        .get("figure")?
+        .ok_or_else(|| CliError("--figure is required (14..20)".into()))?;
+    let params = params_from(args)?;
+    let sweep = sweep_for_figure(figure, &params)?;
+    Ok(if args.has_flag("csv") { sweep_csv(&sweep) } else { sweep_table(&sweep) })
+}
+
+fn figures(args: &ParsedArgs) -> Result<String> {
+    let out_dir = args.get_or("out", String::from("results"))?;
+    let params = params_from(args)?;
+    std::fs::create_dir_all(&out_dir)?;
+    let mut log = String::new();
+
+    // Figure 13 as CSV.
+    let rows = fig13_baseline(&params)?;
+    let mut csv = String::from("configuration,mttdl_hours,events_per_pb_year,meets_target\n");
+    for (config, r) in rows {
+        let _ = writeln!(
+            csv,
+            "{config},{:.6e},{:.6e},{}",
+            r.mttdl_hours,
+            r.events_per_pb_year,
+            r.meets_target()
+        );
+    }
+    let path = format!("{out_dir}/fig13_baseline.csv");
+    std::fs::write(&path, csv)?;
+    let _ = writeln!(log, "wrote {path}");
+
+    // Figures 14 and 15 at both ends of the paper's MTTF ranges.
+    for (name, node_mttf) in [("low_node_mttf", 100_000.0), ("high_node_mttf", 1_000_000.0)] {
+        let s = fig14_drive_mttf(&params, Hours(node_mttf))?;
+        let path = format!("{out_dir}/fig14_drive_mttf_{name}.csv");
+        std::fs::write(&path, sweep_csv(&s))?;
+        let _ = writeln!(log, "wrote {path}");
+    }
+    for (name, drive_mttf) in [("low_drive_mttf", 100_000.0), ("high_drive_mttf", 750_000.0)] {
+        let mut p = params;
+        p.drive.mttf = Hours(drive_mttf);
+        let s = fig15_node_mttf(&p, Hours(drive_mttf))?;
+        let path = format!("{out_dir}/fig15_node_mttf_{name}.csv");
+        std::fs::write(&path, sweep_csv(&s))?;
+        let _ = writeln!(log, "wrote {path}");
+    }
+    for fig in 16..=20 {
+        let s = sweep_for_figure(fig, &params)?;
+        let path = format!("{out_dir}/fig{fig}_{}.csv", s.x_name.replace(' ', "_"));
+        std::fs::write(&path, sweep_csv(&s))?;
+        let _ = writeln!(log, "wrote {path}");
+    }
+    // Extension sweep (not a paper figure): hard-error-rate sensitivity.
+    let s = nsr_core::sweep::ext_hard_error_rate(&params)?;
+    let path = format!("{out_dir}/ext_hard_error_rate.csv");
+    std::fs::write(&path, sweep_csv(&s))?;
+    let _ = writeln!(log, "wrote {path}");
+    Ok(log)
+}
+
+fn sim(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(
+        &args
+            .get::<String>("config")?
+            .ok_or_else(|| CliError("--config is required".into()))?,
+    )?;
+    let params = params_from(args)?;
+    let samples = args.get_or("samples", 500u64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let threads = args.get_or("threads", 1u32)?;
+    let sim = SystemSim::new(params, config)?;
+    let out = if threads > 1 {
+        sim.run_parallel(samples, seed, threads)?
+    } else {
+        sim.run(samples, seed)?
+    };
+    let analytic = config.evaluate(&params)?;
+    let mut text = String::new();
+    let _ = writeln!(text, "configuration:     {config}");
+    let _ = writeln!(text, "simulated MTTDL:   {}", out.mttdl);
+    let _ = writeln!(text, "analytic (exact):  {:.6e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(text, "events/PB-year:    {:.4e}", out.events_per_pb_year);
+    let _ = writeln!(text, "sector-loss share: {:.1}%", 100.0 * out.sector_share);
+    let _ = writeln!(text, "failures per loss: {:.1}", out.mean_failures_per_loss);
+    let _ = writeln!(text, "spare consumed:    {:.2}x provisioned", out.mean_spare_consumed);
+    Ok(text)
+}
+
+fn rare(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(
+        &args
+            .get::<String>("config")?
+            .ok_or_else(|| CliError("--config is required".into()))?,
+    )?;
+    let params = params_from(args)?;
+    let cycles = args.get_or("cycles", 50_000u64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let bias = args.get_or("bias", 0.7f64)?;
+
+    // Build the exact chain for this configuration and run IS on it.
+    let (ctmc, root) = config.exact_chain(&params)?;
+    let est = RareEvent::new(&ctmc, root)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let r = est.estimate(
+        Options { bias, gamma_cycles: cycles, time_cycles: cycles, ..Options::default() },
+        &mut rng,
+    )?;
+    let analytic = config.evaluate(&params)?;
+    let mut text = String::new();
+    let _ = writeln!(text, "configuration:       {config}");
+    let _ = writeln!(
+        text,
+        "IS MTTDL:            {:.6e} h (±{:.1}%)",
+        r.mtta,
+        100.0 * r.rel_err
+    );
+    let _ = writeln!(text, "exact (GTH):         {:.6e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(text, "per-cycle gamma:     {}", r.gamma);
+    let _ = writeln!(text, "mean cycle:          {:.4e} h", r.cycle_time.mean);
+    Ok(text)
+}
+
+
+fn mission(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(
+        &args
+            .get::<String>("config")?
+            .ok_or_else(|| CliError("--config is required".into()))?,
+    )?;
+    let params = params_from(args)?;
+    let years = args.get_or("years", 5.0f64)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "mission reliability for {config}:");
+    for y in [years / 5.0, years, years * 4.0] {
+        let p = nsr_core::mission::loss_probability(config, &params, y)?;
+        let _ = writeln!(out, "  P(data loss within {y:>7.2} y) = {p:.4e}");
+    }
+    Ok(out)
+}
+
+fn plan(args: &ParsedArgs) -> Result<String> {
+    let params = params_from(args)?;
+    let target = args.get_or("target", TARGET_EVENTS_PER_PB_YEAR)?;
+    let max_ft = args.get_or("max-ft", 3u32)?;
+    let plans = nsr_core::planner::feasible_plans(&params, target, max_ft)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "configurations meeting {target:.1e} events/PB-year (cheapest first):\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28}{:>12}{:>16}{:>14}",
+        "configuration", "efficiency", "events/PB-yr", "margin (dex)"
+    );
+    for p in &plans {
+        let _ = writeln!(
+            out,
+            "{:<28}{:>11.1}%{:>16.3e}{:>14.1}",
+            format!("{}", p.config),
+            100.0 * p.efficiency,
+            p.evaluation.closed_form.events_per_pb_year,
+            p.evaluation.closed_form.margin_orders()
+        );
+    }
+    if plans.is_empty() {
+        let _ = writeln!(out, "  (none — relax the target or raise --max-ft)");
+    } else {
+        // Size the §8 knob for the cheapest plan.
+        let best = plans[0].config;
+        if let Ok(block) =
+            nsr_core::planner::min_rebuild_block_for_target(&params, best, target)
+        {
+            let _ = writeln!(
+                out,
+                "\ncheapest plan [{best}] needs a rebuild block of at least {:.0} KiB",
+                block.0 / 1024.0
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn spares(args: &ParsedArgs) -> Result<String> {
+    let params = params_from(args)?;
+    let years = args.get_or("years", 5.0f64)?;
+    let m = nsr_core::spares::SpareModel::new(params)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "fail-in-place spare provisioning:");
+    let _ = writeln!(
+        out,
+        "  drive failures:    {:.2}/year",
+        m.drive_failures_per_hour() * nsr_core::units::HOURS_PER_YEAR
+    );
+    let _ = writeln!(
+        out,
+        "  node failures:     {:.2}/year",
+        m.node_failures_per_hour() * nsr_core::units::HOURS_PER_YEAR
+    );
+    let _ = writeln!(
+        out,
+        "  capacity erosion:  {:.2} TB/year",
+        m.capacity_loss_rate().0 * nsr_core::units::HOURS_PER_YEAR / 1e12
+    );
+    let _ = writeln!(out, "  spare pool:        {:.2} TB", m.spare_pool().0 / 1e12);
+    let _ = writeln!(
+        out,
+        "  expected lifetime: {:.2} years",
+        m.expected_lifetime()?.to_years()
+    );
+    let _ = writeln!(
+        out,
+        "  P(pool survives {years} y) = {:.4}",
+        m.survival_probability(years)?
+    );
+    match m.utilization_for_lifetime(years) {
+        Ok(u) => {
+            let _ = writeln!(
+                out,
+                "  utilization for a {years}-year life: {:.1}% (baseline 75.0%)",
+                100.0 * u
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  {years}-year life infeasible: {e}");
+        }
+    }
+    Ok(out)
+}
+
+
+fn report(args: &ParsedArgs) -> Result<String> {
+    let params = params_from(args)?;
+    let mut md = String::new();
+    let _ = writeln!(md, "# Reliability report — networked storage nodes\n");
+    let _ = writeln!(
+        md,
+        "Baseline: N = {}, R = {}, d = {}, drive MTTF {} h, node MTTF {} h, \
+         link {} Gb/s, rebuild block {:.0} KiB, utilization {:.0} %.\n",
+        params.system.node_count,
+        params.system.redundancy_set_size,
+        params.node.drives_per_node,
+        params.drive.mttf.0,
+        params.node.mttf.0,
+        params.system.link_speed.0,
+        params.system.rebuild_command.0 / 1024.0,
+        100.0 * params.system.capacity_utilization,
+    );
+
+    // Figure 13 table.
+    let _ = writeln!(md, "## Baseline comparison (Figure 13)\n");
+    let _ = writeln!(md, "| configuration | MTTDL (h) | events/PB-year | target |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for (config, r) in fig13_baseline(&params)? {
+        let _ = writeln!(
+            md,
+            "| {config} | {:.3e} | {:.3e} | {} |",
+            r.mttdl_hours,
+            r.events_per_pb_year,
+            if r.meets_target() { "meets" } else { "**misses**" }
+        );
+    }
+
+    // Sensitivity spreads.
+    let _ = writeln!(md, "\n## Sensitivity summary (Figures 14–20)\n");
+    let _ = writeln!(md, "| sweep | FT2 no-IR | FT2 IR5 | FT3 no-IR |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for fig in 16..=20u32 {
+        let sweep = sweep_for_figure(fig, &params)?;
+        let mut row = format!("| {} ({}) |", sweep.x_name, sweep.x_unit);
+        for c in sweep.configs() {
+            let series = sweep.series(c);
+            let min = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let max = series.iter().map(|p| p.1).fold(0.0f64, f64::max);
+            row.push_str(&format!(" {:.1}x |", max / min));
+        }
+        let _ = writeln!(md, "{row}");
+    }
+
+    // Spares and mission.
+    let spares_model = nsr_core::spares::SpareModel::new(params)?;
+    let _ = writeln!(md, "\n## Fail-in-place provisioning\n");
+    let _ = writeln!(
+        md,
+        "Expected spare-pool lifetime: **{:.1} years** \
+         ({:.1} TB pool, {:.1} TB/year erosion).",
+        spares_model.expected_lifetime()?.to_years(),
+        spares_model.spare_pool().0 / 1e12,
+        spares_model.capacity_loss_rate().0 * nsr_core::units::HOURS_PER_YEAR / 1e12,
+    );
+
+    let _ = writeln!(md, "\n## Mission risk (5 years)\n");
+    let _ = writeln!(md, "| configuration | P(data loss in 5 y) |");
+    let _ = writeln!(md, "|---|---|");
+    for config in nsr_core::config::Configuration::sensitivity_set() {
+        let p = nsr_core::mission::loss_probability(config, &params, 5.0)?;
+        let _ = writeln!(md, "| {config} | {p:.3e} |");
+    }
+
+    // Chain structure sanity.
+    let _ = writeln!(md, "\n## Model-structure validation\n");
+    for config in nsr_core::config::Configuration::sensitivity_set() {
+        let (ctmc, _) = config.exact_chain(&params)?;
+        let diag = nsr_markov::validate_absorbing(&ctmc)
+            .map_err(|e| CliError(e.to_string()))?;
+        let _ = writeln!(
+            md,
+            "- {config}: {} states, {} absorbing, {} trapped (must be 0)",
+            ctmc.len(),
+            diag.absorbing_count,
+            diag.trapped_states.len()
+        );
+    }
+
+    if let Some(path) = args.get::<String>("out")? {
+        std::fs::write(&path, &md)?;
+        Ok(format!("wrote {path}\n"))
+    } else {
+        Ok(md)
+    }
+}
+
+
+fn aging(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(&args.get_or("config", "ft1-nir".to_string())?)?;
+    let params = params_from(args)?;
+    let samples = args.get_or("samples", 400u64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let shape = args.get_or("shape", 1.5f64)?;
+    use nsr_sim::aging::{AgingSim, Lifetime};
+    let exp = AgingSim::new(
+        params,
+        config,
+        Lifetime::Exponential { mttf: params.drive.mttf.0 },
+        Lifetime::Exponential { mttf: params.node.mttf.0 },
+    )?
+    .estimate_mttdl(samples, seed)?;
+    let weib = AgingSim::new(
+        params,
+        config,
+        Lifetime::Weibull { mttf: params.drive.mttf.0, shape },
+        Lifetime::Exponential { mttf: params.node.mttf.0 },
+    )?
+    .estimate_mttdl(samples, seed + 1)?;
+    let analytic = config.evaluate(&params)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "lifetime-distribution ablation for {config}:");
+    let _ = writeln!(out, "  analytic (exponential):      {:.4e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(out, "  simulated exponential:       {}", exp);
+    let _ = writeln!(out, "  simulated Weibull (k={shape}):   {}", weib);
+    let _ = writeln!(
+        out,
+        "  Markov-assumption error:     {:+.1}%",
+        100.0 * (weib.mean - exp.mean) / exp.mean
+    );
+    Ok(out)
+}
+
+
+fn chain(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(
+        &args
+            .get::<String>("config")?
+            .ok_or_else(|| CliError("--config is required".into()))?,
+    )?;
+    let params = params_from(args)?;
+    let (ctmc, root) = config.exact_chain(&params)?;
+    let diag = nsr_markov::validate_absorbing(&ctmc)
+        .map_err(|e| CliError(e.to_string()))?;
+    if !diag.trapped_states.is_empty() {
+        return Err(CliError(format!(
+            "chain has {} trapped states — model construction bug",
+            diag.trapped_states.len()
+        )));
+    }
+    let dot = nsr_markov::to_dot(&ctmc, nsr_markov::DotOptions::default());
+    if let Some(path) = args.get::<String>("out")? {
+        std::fs::write(&path, &dot)?;
+        Ok(format!(
+            "wrote {path} ({} states, {} absorbing, root {})\n",
+            ctmc.len(),
+            diag.absorbing_count,
+            ctmc.label(root)
+        ))
+    } else {
+        Ok(dot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(words: &[&str]) -> Result<String> {
+        dispatch(&ParsedArgs::parse(words.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("nsr <command>"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn baseline_lists_nine_configs() {
+        let out = run(&["baseline"]).unwrap();
+        assert_eq!(out.matches("FT ").count(), 9);
+        assert!(out.contains("MISSES"));
+        assert!(out.contains("meets"));
+    }
+
+    #[test]
+    fn eval_reports_details() {
+        let out = run(&["eval", "--config", "ft2-ir5"]).unwrap();
+        assert!(out.contains("FT 2, Internal RAID 5"));
+        assert!(out.contains("disk-bound"));
+        assert!(run(&["eval"]).is_err()); // --config required
+    }
+
+    #[test]
+    fn sweep_table_and_csv() {
+        let table = run(&["sweep", "--figure", "17"]).unwrap();
+        assert!(table.contains("link speed"));
+        let csv = run(&["sweep", "--figure", "17", "--csv"]).unwrap();
+        assert!(csv.starts_with("link speed (Gb/s)"));
+        assert!(run(&["sweep", "--figure", "13"]).is_err());
+        assert!(run(&["sweep"]).is_err());
+    }
+
+    #[test]
+    fn sim_runs_small() {
+        let out = run(&[
+            "sim", "--config", "ft1-nir", "--samples", "50", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("simulated MTTDL"));
+    }
+
+    #[test]
+    fn rare_runs_small() {
+        let out = run(&[
+            "rare", "--config", "ft2-ir5", "--cycles", "4000", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("IS MTTDL"));
+    }
+
+    #[test]
+    fn figures_writes_files() {
+        let dir = std::env::temp_dir().join(format!("nsr-fig-test-{}", std::process::id()));
+        let out = run(&["figures", "--out", dir.to_str().unwrap()]).unwrap();
+        assert!(out.lines().count() >= 10);
+        assert!(dir.join("fig13_baseline.csv").exists());
+        assert!(dir.join("fig16_rebuild_block_size.csv").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mission_reports_probabilities() {
+        let out = run(&["mission", "--config", "ft2-ir5", "--years", "5"]).unwrap();
+        assert!(out.contains("P(data loss within"));
+        assert!(run(&["mission"]).is_err());
+    }
+
+    #[test]
+    fn plan_lists_feasible_configs() {
+        let out = run(&["plan"]).unwrap();
+        assert!(out.contains("FT 2, Internal RAID 5"));
+        assert!(out.contains("rebuild block"));
+        let none = run(&["plan", "--target", "1e-30"]).unwrap();
+        assert!(none.contains("none"));
+    }
+
+    #[test]
+    fn spares_reports_lifetime() {
+        let out = run(&["spares", "--years", "5"]).unwrap();
+        assert!(out.contains("expected lifetime"));
+        assert!(out.contains("capacity erosion"));
+    }
+
+    #[test]
+    fn aging_compares_distributions() {
+        let out = run(&[
+            "aging", "--config", "ft1-nir", "--samples", "60", "--shape", "2.0",
+        ])
+        .unwrap();
+        assert!(out.contains("Weibull"));
+        assert!(out.contains("Markov-assumption error"));
+    }
+
+    #[test]
+    fn chain_exports_dot() {
+        let out = run(&["chain", "--config", "ft2-nir"]).unwrap();
+        assert!(out.contains("digraph ctmc"));
+        assert!(out.contains("doublecircle"));
+        assert!(run(&["chain"]).is_err());
+    }
+
+    #[test]
+    fn report_generates_markdown() {
+        let out = run(&["report"]).unwrap();
+        assert!(out.contains("# Reliability report"));
+        assert!(out.contains("| FT 2, Internal RAID 5 |"));
+        assert!(out.contains("trapped (must be 0)"));
+        assert!(!out.contains("trapped (must be 0)\n- ") || true);
+    }
+
+    #[test]
+    fn eval_with_overrides() {
+        let out =
+            run(&["eval", "--config", "ft2-nir", "--drive-mttf", "750000"]).unwrap();
+        assert!(out.contains("FT 2, No Internal RAID"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Plain-text table and CSV rendering for sweeps and evaluations.
+
+use nsr_core::sweep::Sweep;
+
+/// Renders a [`Sweep`] as a CSV document: one row per x value, one column
+/// per configuration (events per PB-year; empty cell = infeasible).
+pub fn sweep_csv(sweep: &Sweep) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} ({})", sweep.x_name, sweep.x_unit));
+    for c in sweep.configs() {
+        out.push(',');
+        // Configuration names contain commas ("FT 2, Internal RAID 5"):
+        // quote them per RFC 4180.
+        out.push_str(&format!("\"{c}\""));
+    }
+    out.push('\n');
+    for row in &sweep.rows {
+        out.push_str(&trim_float(row.x));
+        for cell in &row.cells {
+            out.push(',');
+            if let Some(r) = cell.reliability {
+                out.push_str(&format!("{:.6e}", r.events_per_pb_year));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a [`Sweep`] as an aligned text table for the terminal.
+pub fn sweep_table(sweep: &Sweep) -> String {
+    let configs = sweep.configs();
+    let mut out = String::new();
+    out.push_str(&format!("{:<24}", format!("{} ({})", sweep.x_name, sweep.x_unit)));
+    for c in &configs {
+        out.push_str(&format!("{:>28}", format!("{c}")));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(24 + 28 * configs.len()));
+    out.push('\n');
+    for row in &sweep.rows {
+        out.push_str(&format!("{:<24}", trim_float(row.x)));
+        for cell in &row.cells {
+            match cell.reliability {
+                Some(r) => out.push_str(&format!("{:>28}", format!("{:.4e}", r.events_per_pb_year))),
+                None => out.push_str(&format!("{:>28}", "infeasible")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float without trailing `.0` noise for integral values.
+pub fn trim_float(x: f64) -> String {
+    if x != 0.0 && x.abs() < 1e-3 {
+        format!("{x:.1e}")
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsr_core::params::Params;
+    use nsr_core::sweep::fig17_link_speed;
+
+    #[test]
+    fn csv_shape() {
+        let s = fig17_link_speed(&Params::baseline()).unwrap();
+        let csv = sweep_csv(&s);
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + s.rows.len());
+        assert!(lines[0].starts_with("link speed (Gb/s)"));
+        // Config names are quoted; unquoted comma counts match per line.
+        assert!(lines[0].contains("\"FT 2, Internal RAID 5\""));
+        let data_commas = lines[1].matches(',').count();
+        assert!(lines[1..].iter().all(|l| l.matches(',').count() == data_commas));
+        assert_eq!(data_commas, 3); // x + three configurations
+    }
+
+    #[test]
+    fn table_mentions_infeasible() {
+        use nsr_core::config::Configuration;
+        use nsr_core::raid::InternalRaid;
+        use nsr_core::sweep::sweep;
+        let s = sweep(
+            &Params::baseline(),
+            &[Configuration::new(InternalRaid::None, 3).unwrap()],
+            "redundancy set size",
+            "nodes",
+            &[2.0, 8.0],
+            |p, x| p.system.redundancy_set_size = x as u32,
+        )
+        .unwrap();
+        let table = sweep_table(&s);
+        assert!(table.contains("infeasible"));
+    }
+
+    #[test]
+    fn trim_float_formats() {
+        assert_eq!(trim_float(64.0), "64");
+        assert_eq!(trim_float(0.75), "0.75");
+    }
+}

@@ -1,0 +1,353 @@
+//! The nine redundancy configurations of §3 and their end-to-end
+//! evaluation: parameters → rebuild rates → Markov models → events per
+//! PB-year.
+
+use serde::{Deserialize, Serialize};
+
+use crate::internal_raid::InternalRaidSystem;
+use crate::metrics::Reliability;
+use crate::no_raid::NoRaidSystem;
+use crate::params::Params;
+use crate::raid::{ArrayModel, InternalRaid};
+use crate::rebuild::{RebuildModel, RebuildRate};
+use crate::{Error, Result};
+
+/// One of the paper's redundancy configurations: an internal RAID level
+/// crossed with a cross-node erasure-code fault tolerance.
+///
+/// §3 studies the 3 × 3 grid with node fault tolerance 1–3
+/// ([`Configuration::all_nine`]); higher tolerances are accepted as an
+/// extension (§9 notes the closed forms have "broad utility").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    internal: InternalRaid,
+    node_ft: u32,
+}
+
+impl Configuration {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] if `node_ft == 0` (some cross-node
+    /// redundancy is required — a zero-tolerance system loses data on the
+    /// first node failure and has no meaningful MTTDL model in the paper).
+    pub fn new(internal: InternalRaid, node_ft: u32) -> Result<Configuration> {
+        if node_ft == 0 {
+            return Err(Error::infeasible("node fault tolerance must be at least 1"));
+        }
+        Ok(Configuration { internal, node_ft })
+    }
+
+    /// The internal RAID level.
+    pub fn internal(&self) -> InternalRaid {
+        self.internal
+    }
+
+    /// The cross-node fault tolerance `t`.
+    pub fn node_fault_tolerance(&self) -> u32 {
+        self.node_ft
+    }
+
+    /// The nine §3 configurations, grouped by fault tolerance then RAID
+    /// level (the Figure 13 ordering).
+    pub fn all_nine() -> Vec<Configuration> {
+        let mut out = Vec::with_capacity(9);
+        for ft in 1..=3 {
+            for internal in InternalRaid::all() {
+                out.push(Configuration { internal, node_ft: ft });
+            }
+        }
+        out
+    }
+
+    /// The three configurations the paper carries into the §7 sensitivity
+    /// analyses: [FT2, no IR], [FT2, IR5], [FT3, no IR].
+    pub fn sensitivity_set() -> [Configuration; 3] {
+        [
+            Configuration { internal: InternalRaid::None, node_ft: 2 },
+            Configuration { internal: InternalRaid::Raid5, node_ft: 2 },
+            Configuration { internal: InternalRaid::None, node_ft: 3 },
+        ]
+    }
+
+    /// Evaluates this configuration under `params`, producing both the
+    /// paper's closed-form reliability and the exact-CTMC reliability,
+    /// along with the rebuild rates used.
+    ///
+    /// # Errors
+    ///
+    /// * Parameter-validation errors from [`Params::validate`].
+    /// * [`Error::Infeasible`] if the fault tolerance does not fit the
+    ///   redundancy set (`t >= R`), the node set is too small, or the node
+    ///   has too few drives for its internal RAID level.
+    pub fn evaluate(&self, params: &Params) -> Result<Evaluation> {
+        params.validate()?;
+        let t = self.node_ft;
+        let rebuild = RebuildModel::new(*params)?;
+        let lambda_n = params.node.failure_rate();
+        let lambda_d = params.drive.failure_rate();
+        let c_her = params.drive.c_her();
+        let (n, r, d) = (
+            params.system.node_count,
+            params.system.redundancy_set_size,
+            params.node.drives_per_node,
+        );
+
+        let node_rebuild = rebuild.node_rebuild(t)?;
+        let capacity = params.logical_capacity(t);
+
+        match self.internal {
+            InternalRaid::None => {
+                let drive_rebuild = rebuild.drive_rebuild(t)?;
+                let sys = NoRaidSystem::new(
+                    t,
+                    n,
+                    r,
+                    d,
+                    lambda_n,
+                    lambda_d,
+                    node_rebuild.rate,
+                    drive_rebuild.rate,
+                    c_her,
+                )?;
+                Ok(Evaluation {
+                    config: *self,
+                    closed_form: Reliability::from_mttdl(sys.mttdl_paper(), capacity)?,
+                    exact: Reliability::from_mttdl(sys.mttdl_exact()?, capacity)?,
+                    node_rebuild,
+                    drive_repair: drive_rebuild,
+                })
+            }
+            raid => {
+                let restripe = rebuild.restripe()?;
+                let array = ArrayModel::new(raid, d, lambda_d, restripe.rate, c_her)?;
+                let sys = InternalRaidSystem::new(
+                    n,
+                    r,
+                    t,
+                    lambda_n,
+                    array.rates_paper(),
+                    node_rebuild.rate,
+                )?;
+                Ok(Evaluation {
+                    config: *self,
+                    closed_form: Reliability::from_mttdl(sys.mttdl_paper(), capacity)?,
+                    exact: Reliability::from_mttdl(sys.mttdl_exact()?, capacity)?,
+                    node_rebuild,
+                    drive_repair: restripe,
+                })
+            }
+        }
+    }
+}
+
+impl Configuration {
+    /// Builds the exact CTMC underlying this configuration — the chain the
+    /// `exact` numbers of [`Configuration::evaluate`] come from — and the
+    /// id of its fully-operational root state. Useful for transient
+    /// (mission-reliability) queries and for simulation estimators that
+    /// want the chain itself.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Configuration::evaluate`].
+    pub fn exact_chain(
+        &self,
+        params: &Params,
+    ) -> Result<(nsr_markov::Ctmc, nsr_markov::StateId)> {
+        params.validate()?;
+        let t = self.node_ft;
+        let rebuild = RebuildModel::new(*params)?;
+        let node_rebuild = rebuild.node_rebuild(t)?;
+        let (ctmc, root_label) = match self.internal {
+            InternalRaid::None => {
+                let sys = NoRaidSystem::new(
+                    t,
+                    params.system.node_count,
+                    params.system.redundancy_set_size,
+                    params.node.drives_per_node,
+                    params.node.failure_rate(),
+                    params.drive.failure_rate(),
+                    node_rebuild.rate,
+                    rebuild.drive_rebuild(t)?.rate,
+                    params.drive.c_her(),
+                )?;
+                (sys.recursive().ctmc()?, "0".repeat(t as usize))
+            }
+            raid => {
+                let restripe = rebuild.restripe()?;
+                let array = ArrayModel::new(
+                    raid,
+                    params.node.drives_per_node,
+                    params.drive.failure_rate(),
+                    restripe.rate,
+                    params.drive.c_her(),
+                )?;
+                let sys = InternalRaidSystem::new(
+                    params.system.node_count,
+                    params.system.redundancy_set_size,
+                    t,
+                    params.node.failure_rate(),
+                    array.rates_paper(),
+                    node_rebuild.rate,
+                )?;
+                (sys.ctmc()?, "failed:0".to_string())
+            }
+        };
+        let root = ctmc.state_by_label(&root_label).expect("root state exists");
+        Ok((ctmc, root))
+    }
+}
+
+impl std::fmt::Display for Configuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FT {}, {}", self.node_ft, self.internal)
+    }
+}
+
+/// The result of evaluating one configuration at one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The configuration evaluated.
+    pub config: Configuration,
+    /// Reliability from the paper's closed-form approximation.
+    pub closed_form: Reliability,
+    /// Reliability from the exact CTMC solution.
+    pub exact: Reliability,
+    /// The node rebuild rate `μ_N` (and its bottleneck) that was used.
+    pub node_rebuild: RebuildRate,
+    /// The drive-level repair rate used: distributed drive rebuild `μ_d`
+    /// for no-internal-RAID, re-stripe rate for internal RAID.
+    pub drive_repair: RebuildRate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nine_enumerates_the_grid() {
+        let all = Configuration::all_nine();
+        assert_eq!(all.len(), 9);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 9);
+        for c in &all {
+            assert!(c.node_fault_tolerance() >= 1 && c.node_fault_tolerance() <= 3);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        let c = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+        assert_eq!(format!("{c}"), "FT 2, Internal RAID 5");
+        let c = Configuration::new(InternalRaid::None, 3).unwrap();
+        assert_eq!(format!("{c}"), "FT 3, No Internal RAID");
+    }
+
+    #[test]
+    fn zero_ft_rejected() {
+        assert!(Configuration::new(InternalRaid::None, 0).is_err());
+    }
+
+    #[test]
+    fn evaluate_baseline_all_nine() {
+        let params = Params::baseline();
+        for config in Configuration::all_nine() {
+            let eval = config.evaluate(&params).unwrap();
+            assert!(eval.closed_form.mttdl_hours > 0.0, "{config}");
+            assert!(eval.exact.mttdl_hours > 0.0, "{config}");
+            // Closed form and exact agree to leading order. FT 1 is outside
+            // the sector-error linearization's validity at baseline (h > 1,
+            // saturated in the exact chains), hence the looser band there.
+            let rel = (eval.closed_form.mttdl_hours - eval.exact.mttdl_hours).abs()
+                / eval.exact.mttdl_hours;
+            let tol = if config.node_fault_tolerance() == 1 { 0.35 } else { 0.15 };
+            assert!(rel < tol, "{config}: rel diff {rel}");
+        }
+    }
+
+    #[test]
+    fn exact_and_closed_form_rank_configurations_identically() {
+        let params = Params::baseline();
+        let mut evals: Vec<Evaluation> = Configuration::all_nine()
+            .into_iter()
+            .map(|c| c.evaluate(&params).unwrap())
+            .collect();
+        let mut by_closed = evals.clone();
+        evals.sort_by(|a, b| a.exact.mttdl_hours.total_cmp(&b.exact.mttdl_hours));
+        by_closed
+            .sort_by(|a, b| a.closed_form.mttdl_hours.total_cmp(&b.closed_form.mttdl_hours));
+        let order_exact: Vec<_> = evals.iter().map(|e| e.config).collect();
+        let order_closed: Vec<_> = by_closed.iter().map(|e| e.config).collect();
+        assert_eq!(order_exact, order_closed);
+    }
+
+    #[test]
+    fn sensitivity_set_matches_section_6_selection() {
+        let set = Configuration::sensitivity_set();
+        assert_eq!(format!("{}", set[0]), "FT 2, No Internal RAID");
+        assert_eq!(format!("{}", set[1]), "FT 2, Internal RAID 5");
+        assert_eq!(format!("{}", set[2]), "FT 3, No Internal RAID");
+    }
+
+    #[test]
+    fn infeasible_combinations_rejected_at_evaluate() {
+        let mut params = Params::baseline();
+        params.system.redundancy_set_size = 3;
+        // t = 3 with R = 3 cannot work.
+        let c = Configuration::new(InternalRaid::None, 3).unwrap();
+        assert!(c.evaluate(&params).is_err());
+
+        // RAID 6 with 3 drives per node cannot re-stripe.
+        let mut params = Params::baseline();
+        params.node.drives_per_node = 3;
+        let c = Configuration::new(InternalRaid::Raid6, 2).unwrap();
+        assert!(c.evaluate(&params).is_err());
+    }
+
+    #[test]
+    fn higher_ft_always_helps() {
+        let params = Params::baseline();
+        for internal in InternalRaid::all() {
+            let m1 = Configuration::new(internal, 1)
+                .unwrap()
+                .evaluate(&params)
+                .unwrap()
+                .closed_form
+                .mttdl_hours;
+            let m2 = Configuration::new(internal, 2)
+                .unwrap()
+                .evaluate(&params)
+                .unwrap()
+                .closed_form
+                .mttdl_hours;
+            let m3 = Configuration::new(internal, 3)
+                .unwrap()
+                .evaluate(&params)
+                .unwrap()
+                .closed_form
+                .mttdl_hours;
+            assert!(m1 < m2 && m2 < m3, "{internal}: {m1:.2e} {m2:.2e} {m3:.2e}");
+        }
+    }
+
+    #[test]
+    fn ft4_extension_works() {
+        // Beyond the paper's grid: FT 4 should evaluate and beat FT 3.
+        let params = Params::baseline();
+        let m3 = Configuration::new(InternalRaid::None, 3)
+            .unwrap()
+            .evaluate(&params)
+            .unwrap()
+            .closed_form
+            .mttdl_hours;
+        let m4 = Configuration::new(InternalRaid::None, 4)
+            .unwrap()
+            .evaluate(&params)
+            .unwrap()
+            .closed_form
+            .mttdl_hours;
+        assert!(m4 > m3);
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Errors produced by the reliability models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A parameter failed validation.
+    InvalidParams {
+        /// Description of the constraint that failed.
+        what: String,
+    },
+    /// The requested fault tolerance is outside the supported range for the
+    /// chosen method (e.g. exact recursive models are capped to keep the
+    /// state space `2^(k+1) − 1` tractable).
+    UnsupportedFaultTolerance {
+        /// The requested fault tolerance.
+        requested: u32,
+        /// The maximum supported by this method.
+        max: u32,
+    },
+    /// A configuration is structurally impossible for the given parameters
+    /// (e.g. redundancy set larger than the node set, or fault tolerance
+    /// not smaller than the redundancy set).
+    Infeasible {
+        /// Description of the violated structural constraint.
+        what: String,
+    },
+    /// An underlying Markov-chain computation failed.
+    Markov(nsr_markov::Error),
+}
+
+impl Error {
+    /// Convenience constructor for [`Error::InvalidParams`].
+    pub fn invalid(what: impl Into<String>) -> Self {
+        Error::InvalidParams { what: what.into() }
+    }
+
+    /// Convenience constructor for [`Error::Infeasible`].
+    pub fn infeasible(what: impl Into<String>) -> Self {
+        Error::Infeasible { what: what.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParams { what } => write!(f, "invalid parameters: {what}"),
+            Error::UnsupportedFaultTolerance { requested, max } => {
+                write!(f, "fault tolerance {requested} unsupported (max {max})")
+            }
+            Error::Infeasible { what } => write!(f, "infeasible configuration: {what}"),
+            Error::Markov(e) => write!(f, "markov solver failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsr_markov::Error> for Error {
+    fn from(e: nsr_markov::Error) -> Self {
+        Error::Markov(e)
+    }
+}

@@ -1,0 +1,143 @@
+//! Mission reliability: the probability of surviving a finite horizon
+//! without data loss.
+//!
+//! The paper reports rates (events per PB-year); operators often need the
+//! complementary *mission* question — "what is the chance this system
+//! loses data within its 5-year service life?" Both come from the same
+//! chains: the mission reliability is the transient probability mass still
+//! in the transient states at time `T`, computed by uniformization.
+
+use nsr_markov::transient_distribution;
+use serde::{Deserialize, Serialize};
+
+use crate::config::Configuration;
+use crate::params::Params;
+use crate::units::HOURS_PER_YEAR;
+use crate::{Error, Result};
+
+/// A point on the mission-reliability curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissionPoint {
+    /// Mission length in years.
+    pub years: f64,
+    /// Probability of at least one data-loss event within the mission.
+    pub loss_probability: f64,
+}
+
+/// Probability of at least one data-loss event within `years`, for a
+/// configuration at a parameter point.
+///
+/// # Errors
+///
+/// * [`Error::InvalidParams`] for non-positive mission lengths.
+/// * Chain-construction errors from [`Configuration::exact_chain`].
+///
+/// # Example
+///
+/// ```
+/// use nsr_core::config::Configuration;
+/// use nsr_core::mission::loss_probability;
+/// use nsr_core::params::Params;
+/// use nsr_core::raid::InternalRaid;
+///
+/// # fn main() -> Result<(), nsr_core::Error> {
+/// let config = Configuration::new(InternalRaid::Raid5, 2)?;
+/// let p5 = loss_probability(config, &Params::baseline(), 5.0)?;
+/// assert!(p5 < 1e-4); // the recommended configuration over 5 years
+/// # Ok(())
+/// # }
+/// ```
+pub fn loss_probability(config: Configuration, params: &Params, years: f64) -> Result<f64> {
+    if !(years > 0.0 && years.is_finite()) {
+        return Err(Error::invalid("mission length must be positive"));
+    }
+    let (ctmc, root) = config.exact_chain(params)?;
+    let mut pi0 = vec![0.0; ctmc.len()];
+    pi0[root.index()] = 1.0;
+    let pi = transient_distribution(&ctmc, &pi0, years * HOURS_PER_YEAR, 1e-12)?;
+    Ok(ctmc
+        .absorbing_states()
+        .iter()
+        .map(|s| pi[s.index()])
+        .sum::<f64>()
+        .clamp(0.0, 1.0))
+}
+
+/// The full mission curve over a set of horizons.
+///
+/// # Errors
+///
+/// See [`loss_probability`].
+pub fn loss_curve(
+    config: Configuration,
+    params: &Params,
+    years: &[f64],
+) -> Result<Vec<MissionPoint>> {
+    years
+        .iter()
+        .map(|&y| {
+            loss_probability(config, params, y)
+                .map(|p| MissionPoint { years: y, loss_probability: p })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raid::InternalRaid;
+
+    fn cfg(internal: InternalRaid, t: u32) -> Configuration {
+        Configuration::new(internal, t).unwrap()
+    }
+
+    #[test]
+    fn small_probability_matches_rate_approximation() {
+        // For T ≪ MTTDL: P(loss by T) ≈ T/MTTDL.
+        let params = Params::baseline();
+        let config = cfg(InternalRaid::Raid5, 2);
+        let mttdl = config.evaluate(&params).unwrap().exact.mttdl_hours;
+        let years = 5.0;
+        let p = loss_probability(config, &params, years).unwrap();
+        let approx = years * HOURS_PER_YEAR / mttdl;
+        assert!(
+            (p - approx).abs() / approx < 0.05,
+            "transient {p:.4e} vs rate approx {approx:.4e}"
+        );
+    }
+
+    #[test]
+    fn monotone_in_mission_length() {
+        let params = Params::baseline();
+        let config = cfg(InternalRaid::None, 1);
+        let curve = loss_curve(config, &params, &[0.1, 0.5, 1.0, 3.0]).unwrap();
+        for w in curve.windows(2) {
+            assert!(w[1].loss_probability > w[0].loss_probability);
+        }
+    }
+
+    #[test]
+    fn unreliable_config_saturates() {
+        // FT1 no-IR has MTTDL ~1300 h; over 5 years loss is near-certain.
+        let p = loss_probability(cfg(InternalRaid::None, 1), &Params::baseline(), 5.0)
+            .unwrap();
+        assert!(p > 0.999, "{p}");
+    }
+
+    #[test]
+    fn ordering_matches_mttdl_ordering() {
+        let params = Params::baseline();
+        let p_ft1 = loss_probability(cfg(InternalRaid::Raid5, 1), &params, 1.0).unwrap();
+        let p_ft2 = loss_probability(cfg(InternalRaid::Raid5, 2), &params, 1.0).unwrap();
+        assert!(p_ft2 < p_ft1);
+    }
+
+    #[test]
+    fn validates_mission_length() {
+        let params = Params::baseline();
+        let config = cfg(InternalRaid::Raid5, 2);
+        assert!(loss_probability(config, &params, 0.0).is_err());
+        assert!(loss_probability(config, &params, -1.0).is_err());
+        assert!(loss_probability(config, &params, f64::INFINITY).is_err());
+    }
+}

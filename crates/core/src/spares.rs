@@ -1,0 +1,250 @@
+//! Fail-in-place spare provisioning (§3).
+//!
+//! The paper's service model never replaces components: "storage capacity
+//! is over-provisioned so that loss in capacity with subsequent failures
+//! can be tolerated … either sufficient to deal with expected failures
+//! over the operational life of the installation, or spare nodes are
+//! added at appropriate times." This module quantifies that policy: how
+//! fast capacity erodes, how long the provisioned spare pool lasts, and
+//! what utilization a target mission life requires.
+//!
+//! Failures arrive as Poisson processes (drives at `N·d·λ_d`, whole nodes
+//! at `N·λ_N`, each node costing `d` drives' worth), so consumed capacity
+//! is a compound Poisson process; the exhaustion probability uses a
+//! normal approximation to its distribution, accurate for the dozens-of-
+//! failures-per-year regime of the baseline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::params::Params;
+use crate::units::{Bytes, Hours, HOURS_PER_YEAR};
+use crate::{Error, Result};
+
+/// Capacity-erosion analysis for one parameter set.
+///
+/// # Example
+///
+/// ```
+/// use nsr_core::params::Params;
+/// use nsr_core::spares::SpareModel;
+///
+/// # fn main() -> Result<(), nsr_core::Error> {
+/// let m = SpareModel::new(Params::baseline())?;
+/// // The §6 baseline (75 % utilization) provisions roughly a five-year
+/// // fail-in-place life — matching the paper's 5-year field horizon.
+/// let life = m.expected_lifetime()?;
+/// assert!(life.to_years() > 3.0 && life.to_years() < 8.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpareModel {
+    params: Params,
+}
+
+impl SpareModel {
+    /// Builds the model, validating parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Params::validate`].
+    pub fn new(params: Params) -> Result<SpareModel> {
+        params.validate()?;
+        Ok(SpareModel { params })
+    }
+
+    /// Expected drive failures per hour across the installation
+    /// (individual drives only).
+    pub fn drive_failures_per_hour(&self) -> f64 {
+        self.params.system.node_count as f64
+            * self.params.node.drives_per_node as f64
+            * self.params.drive.failure_rate().0
+    }
+
+    /// Expected whole-node failures per hour.
+    pub fn node_failures_per_hour(&self) -> f64 {
+        self.params.system.node_count as f64 * self.params.node.failure_rate().0
+    }
+
+    /// Expected raw-capacity consumption per hour: each drive failure
+    /// retires one drive, each node failure retires `d`.
+    pub fn capacity_loss_rate(&self) -> Bytes {
+        let d = self.params.node.drives_per_node as f64;
+        let per_hour =
+            self.drive_failures_per_hour() + d * self.node_failures_per_hour();
+        Bytes(per_hour * self.params.drive.capacity.0)
+    }
+
+    /// The provisioned spare pool: raw capacity not used for data.
+    pub fn spare_pool(&self) -> Bytes {
+        Bytes(self.params.raw_capacity().0 * (1.0 - self.params.system.capacity_utilization))
+    }
+
+    /// Expected time until the spare pool is consumed (mean of the
+    /// compound Poisson hitting time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] when utilization is 1 (no spare pool).
+    pub fn expected_lifetime(&self) -> Result<Hours> {
+        let pool = self.spare_pool().0;
+        if pool <= 0.0 {
+            return Err(Error::infeasible("no spare capacity provisioned"));
+        }
+        Ok(Hours(pool / self.capacity_loss_rate().0))
+    }
+
+    /// Probability the spare pool survives a mission of `years` (normal
+    /// approximation to the compound Poisson consumption).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParams`] for non-positive mission lengths.
+    pub fn survival_probability(&self, years: f64) -> Result<f64> {
+        if !(years > 0.0 && years.is_finite()) {
+            return Err(Error::invalid("mission length must be positive"));
+        }
+        let hours = years * HOURS_PER_YEAR;
+        let c = self.params.drive.capacity.0;
+        let d = self.params.node.drives_per_node as f64;
+        // Compound Poisson: jumps of size c (rate r_d) and d·c (rate r_n).
+        let r_d = self.drive_failures_per_hour();
+        let r_n = self.node_failures_per_hour();
+        let mean = hours * (r_d * c + r_n * d * c);
+        let var = hours * (r_d * c * c + r_n * (d * c) * (d * c));
+        let pool = self.spare_pool().0;
+        if var <= 0.0 {
+            return Ok(if mean <= pool { 1.0 } else { 0.0 });
+        }
+        let z = (pool - mean) / var.sqrt();
+        Ok(normal_cdf(z))
+    }
+
+    /// The capacity utilization that provisions exactly `years` of
+    /// expected fail-in-place life.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Infeasible`] when even 0 % utilization (pure spare)
+    /// cannot cover the mission.
+    pub fn utilization_for_lifetime(&self, years: f64) -> Result<f64> {
+        if !(years > 0.0 && years.is_finite()) {
+            return Err(Error::invalid("mission length must be positive"));
+        }
+        let needed = self.capacity_loss_rate().0 * years * HOURS_PER_YEAR;
+        let raw = self.params.raw_capacity().0;
+        if needed >= raw {
+            return Err(Error::infeasible(format!(
+                "a {years}-year mission consumes the entire raw capacity"
+            )));
+        }
+        Ok(1.0 - needed / raw)
+    }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7, ample for provisioning estimates).
+fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(x))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SpareModel {
+        SpareModel::new(Params::baseline()).unwrap()
+    }
+
+    #[test]
+    fn baseline_failure_rates() {
+        let m = model();
+        // 64·12/300000 = 2.56e-3 drive failures/h (~22.4/year).
+        assert!((m.drive_failures_per_hour() - 2.56e-3).abs() < 1e-6);
+        // 64/400000 = 1.6e-4 node failures/h (~1.4/year).
+        assert!((m.node_failures_per_hour() - 1.6e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_lifetime_is_about_five_years() {
+        // 25 % of 230.4 TB = 57.6 TB spare; erosion ≈ 11.8 TB/year —
+        // the §6 provisioning quietly matches the paper's 5-year horizon.
+        let life = model().expected_lifetime().unwrap();
+        assert!(
+            life.to_years() > 4.0 && life.to_years() < 6.0,
+            "lifetime {:.2} years",
+            life.to_years()
+        );
+    }
+
+    #[test]
+    fn survival_probability_behaviour() {
+        let m = model();
+        // Well inside the pool: near certainty; far beyond it: near zero.
+        assert!(m.survival_probability(1.0).unwrap() > 0.999);
+        assert!(m.survival_probability(20.0).unwrap() < 1e-3);
+        // Monotone decreasing.
+        let p3 = m.survival_probability(3.0).unwrap();
+        let p5 = m.survival_probability(5.0).unwrap();
+        let p7 = m.survival_probability(7.0).unwrap();
+        assert!(p3 > p5 && p5 > p7);
+        // At the expected lifetime the survival probability is ~50 %.
+        let at_mean = m
+            .survival_probability(m.expected_lifetime().unwrap().to_years())
+            .unwrap();
+        assert!((at_mean - 0.5).abs() < 0.05, "{at_mean}");
+    }
+
+    #[test]
+    fn utilization_for_lifetime_roundtrip() {
+        let m = model();
+        let u = m.utilization_for_lifetime(5.0).unwrap();
+        assert!(u > 0.5 && u < 0.95, "{u}");
+        // Re-derive lifetime with that utilization: must be 5 years.
+        let mut p = Params::baseline();
+        p.system.capacity_utilization = u;
+        let life = SpareModel::new(p).unwrap().expected_lifetime().unwrap();
+        assert!((life.to_years() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_missions_rejected() {
+        let m = model();
+        assert!(m.utilization_for_lifetime(1000.0).is_err());
+        assert!(m.utilization_for_lifetime(0.0).is_err());
+        assert!(m.survival_probability(-1.0).is_err());
+        let mut p = Params::baseline();
+        p.system.capacity_utilization = 1.0;
+        assert!(SpareModel::new(p).unwrap().expected_lifetime().is_err());
+    }
+
+    #[test]
+    fn worse_drives_shorten_life() {
+        let mut p = Params::baseline();
+        p.drive.mttf = crate::units::Hours(100_000.0);
+        let worse = SpareModel::new(p).unwrap().expected_lifetime().unwrap();
+        let base = model().expected_lifetime().unwrap();
+        assert!(worse.0 < base.0);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!(normal_cdf(-6.0) < 1e-8);
+        assert!(normal_cdf(6.0) > 1.0 - 1e-8);
+    }
+}

@@ -1,0 +1,532 @@
+//! The §7 sensitivity analyses — one driver per paper figure.
+//!
+//! Each function varies a single parameter across a range (holding
+//! everything else at baseline, exactly as §7 prescribes) and evaluates a
+//! set of configurations at every point. Figure 13's baseline comparison
+//! of all nine configurations lives here too.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::Configuration;
+use crate::metrics::Reliability;
+use crate::params::Params;
+use crate::units::{Bytes, Gbps, Hours};
+use crate::Result;
+
+/// One configuration's value at one sweep point. `None` when that point is
+/// structurally infeasible for the configuration (e.g. too few drives for
+/// the internal RAID level).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// The configuration evaluated.
+    pub config: Configuration,
+    /// Closed-form reliability, or `None` if infeasible at this point.
+    pub reliability: Option<Reliability>,
+}
+
+/// All configurations' values at one x-coordinate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// The swept parameter's value at this point.
+    pub x: f64,
+    /// One cell per configuration, in the order passed to [`sweep`].
+    pub cells: Vec<SweepCell>,
+}
+
+/// A complete sensitivity sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep {
+    /// Human-readable name of the swept parameter (axis label).
+    pub x_name: String,
+    /// Unit of the x axis.
+    pub x_unit: String,
+    /// The rows, in ascending x order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl Sweep {
+    /// The series for one configuration as `(x, events_per_pb_year)`
+    /// pairs, skipping infeasible points.
+    pub fn series(&self, config: Configuration) -> Vec<(f64, f64)> {
+        self.rows
+            .iter()
+            .filter_map(|row| {
+                row.cells
+                    .iter()
+                    .find(|c| c.config == config)
+                    .and_then(|c| c.reliability)
+                    .map(|r| (row.x, r.events_per_pb_year))
+            })
+            .collect()
+    }
+
+    /// The configurations present in this sweep.
+    pub fn configs(&self) -> Vec<Configuration> {
+        self.rows
+            .first()
+            .map(|r| r.cells.iter().map(|c| c.config).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Generic sweep driver: for each `x`, apply `set(params, x)` to a copy of
+/// `base` and evaluate every configuration.
+///
+/// Individual evaluation failures become `None` cells (a sweep should
+/// show *where* a configuration stops being feasible, not abort); the
+/// function itself only errors if the base parameters are invalid.
+///
+/// # Errors
+///
+/// Returns parameter-validation errors for `base` itself.
+pub fn sweep<F>(
+    base: &Params,
+    configs: &[Configuration],
+    x_name: &str,
+    x_unit: &str,
+    xs: &[f64],
+    mut set: F,
+) -> Result<Sweep>
+where
+    F: FnMut(&mut Params, f64),
+{
+    base.validate()?;
+    let mut rows = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let mut params = *base;
+        set(&mut params, x);
+        let cells = configs
+            .iter()
+            .map(|&config| SweepCell {
+                config,
+                reliability: config.evaluate(&params).ok().map(|e| e.closed_form),
+            })
+            .collect();
+        rows.push(SweepRow { x, cells });
+    }
+    Ok(Sweep { x_name: x_name.to_string(), x_unit: x_unit.to_string(), rows })
+}
+
+/// Figure 13: all nine configurations at the §6 baseline.
+///
+/// # Errors
+///
+/// Propagates evaluation errors (the baseline is feasible for all nine).
+pub fn fig13_baseline(params: &Params) -> Result<Vec<(Configuration, Reliability)>> {
+    Configuration::all_nine()
+        .into_iter()
+        .map(|c| c.evaluate(params).map(|e| (c, e.closed_form)))
+        .collect()
+}
+
+/// The drive-MTTF grid of Figure 14 (hours): the paper's "practical range"
+/// 100 000 – 750 000 h.
+pub fn drive_mttf_grid() -> Vec<f64> {
+    vec![100_000.0, 200_000.0, 300_000.0, 450_000.0, 600_000.0, 750_000.0]
+}
+
+/// The node-MTTF grid of Figure 15 (hours): 100 000 – 1 000 000 h.
+pub fn node_mttf_grid() -> Vec<f64> {
+    vec![100_000.0, 200_000.0, 400_000.0, 600_000.0, 800_000.0, 1_000_000.0]
+}
+
+/// Figure 14: sensitivity to drive MTTF at a fixed node MTTF.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig14_drive_mttf(base: &Params, node_mttf: Hours) -> Result<Sweep> {
+    let mut params = *base;
+    params.node.mttf = node_mttf;
+    sweep(
+        &params,
+        &Configuration::sensitivity_set(),
+        "drive MTTF",
+        "h",
+        &drive_mttf_grid(),
+        |p, x| p.drive.mttf = Hours(x),
+    )
+}
+
+/// Figure 15: sensitivity to node MTTF at a fixed drive MTTF.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig15_node_mttf(base: &Params, drive_mttf: Hours) -> Result<Sweep> {
+    let mut params = *base;
+    params.drive.mttf = drive_mttf;
+    sweep(
+        &params,
+        &Configuration::sensitivity_set(),
+        "node MTTF",
+        "h",
+        &node_mttf_grid(),
+        |p, x| p.node.mttf = Hours(x),
+    )
+}
+
+/// Figure 16: sensitivity to the rebuild block (command) size, 4 KiB to
+/// 1 MiB.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig16_rebuild_block(base: &Params) -> Result<Sweep> {
+    let kib: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "rebuild block size",
+        "KiB",
+        &kib,
+        |p, x| p.system.rebuild_command = Bytes::from_kib(x),
+    )
+}
+
+/// Figure 17: sensitivity to link speed at the paper's three points
+/// (1, 5, 10 Gb/s), plus 3 Gb/s to show the crossover.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig17_link_speed(base: &Params) -> Result<Sweep> {
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "link speed",
+        "Gb/s",
+        &[1.0, 3.0, 5.0, 10.0],
+        |p, x| p.system.link_speed = Gbps(x),
+    )
+}
+
+/// Figure 18: sensitivity to node set size `N`.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig18_node_count(base: &Params) -> Result<Sweep> {
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "node set size",
+        "nodes",
+        &[16.0, 32.0, 64.0, 128.0, 256.0],
+        |p, x| p.system.node_count = x as u32,
+    )
+}
+
+/// Figure 19: sensitivity to redundancy set size `R`.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig19_redundancy_set(base: &Params) -> Result<Sweep> {
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "redundancy set size",
+        "nodes",
+        &[4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
+        |p, x| p.system.redundancy_set_size = x as u32,
+    )
+}
+
+/// Figure 20: sensitivity to drives per node `d`.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn fig20_drives_per_node(base: &Params) -> Result<Sweep> {
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "drives per node",
+        "drives",
+        &[4.0, 8.0, 12.0, 16.0, 24.0, 32.0],
+        |p, x| p.node.drives_per_node = x as u32,
+    )
+}
+
+/// Extension (not a paper figure): sensitivity to the drive hard-error
+/// rate, 10⁻¹⁶ – 10⁻¹³ errors per bit. HER is partially controllable in
+/// deployment (scrubbing shrinks the window for latent errors), making
+/// this the natural companion to the paper's rebuild-block analysis.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn ext_hard_error_rate(base: &Params) -> Result<Sweep> {
+    sweep(
+        base,
+        &Configuration::sensitivity_set(),
+        "hard error rate",
+        "errors/bit",
+        &[1e-16, 1e-15, 1e-14, 5e-14, 1e-13],
+        |p, x| p.drive.hard_error_rate_per_bit = x,
+    )
+}
+
+/// A 2-D reliability map over the drive-MTTF × node-MTTF plane for one
+/// configuration — Figures 14 and 15 sample the edges of this matrix;
+/// the full map shows the feasibility region at a glance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MttfMap {
+    /// The configuration mapped.
+    pub config: Configuration,
+    /// Drive-MTTF grid (hours), the map's columns.
+    pub drive_mttf: Vec<f64>,
+    /// Node-MTTF grid (hours), the map's rows.
+    pub node_mttf: Vec<f64>,
+    /// `values[row][col]` = events per PB-year at
+    /// `(node_mttf[row], drive_mttf[col])`.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl MttfMap {
+    /// Fraction of grid points meeting the §6 target.
+    pub fn feasible_fraction(&self) -> f64 {
+        let total = self.values.len() * self.values.first().map_or(0, Vec::len);
+        if total == 0 {
+            return 0.0;
+        }
+        let ok = self
+            .values
+            .iter()
+            .flatten()
+            .filter(|v| **v < crate::metrics::TARGET_EVENTS_PER_PB_YEAR)
+            .count();
+        ok as f64 / total as f64
+    }
+}
+
+/// Evaluates the full drive-MTTF × node-MTTF matrix for `config` (the 2-D
+/// extension of Figures 14/15).
+///
+/// # Errors
+///
+/// Propagates base-parameter validation and evaluation errors.
+pub fn mttf_map(base: &Params, config: Configuration) -> Result<MttfMap> {
+    base.validate()?;
+    let drive_grid = drive_mttf_grid();
+    let node_grid = node_mttf_grid();
+    let mut values = Vec::with_capacity(node_grid.len());
+    for &node in &node_grid {
+        let mut row = Vec::with_capacity(drive_grid.len());
+        for &drive in &drive_grid {
+            let mut p = *base;
+            p.node.mttf = Hours(node);
+            p.drive.mttf = Hours(drive);
+            row.push(config.evaluate(&p)?.closed_form.events_per_pb_year);
+        }
+        values.push(row);
+    }
+    Ok(MttfMap { config, drive_mttf: drive_grid, node_mttf: node_grid, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TARGET_EVENTS_PER_PB_YEAR;
+    use crate::raid::InternalRaid;
+
+    fn base() -> Params {
+        Params::baseline()
+    }
+
+    #[test]
+    fn fig13_has_nine_entries() {
+        let rows = fig13_baseline(&base()).unwrap();
+        assert_eq!(rows.len(), 9);
+        for (c, r) in &rows {
+            assert!(r.events_per_pb_year > 0.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn fig14_shape() {
+        let s = fig14_drive_mttf(&base(), Hours(1_000_000.0)).unwrap();
+        assert_eq!(s.rows.len(), drive_mttf_grid().len());
+        assert_eq!(s.configs().len(), 3);
+        // Higher drive MTTF ⇒ monotonically fewer events, for every config.
+        for config in s.configs() {
+            let series = s.series(config);
+            for pair in series.windows(2) {
+                assert!(
+                    pair[1].1 <= pair[0].1 * 1.0000001,
+                    "{config}: {:?} -> {:?}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig15_shape() {
+        let s = fig15_node_mttf(&base(), Hours(750_000.0)).unwrap();
+        for config in s.configs() {
+            let series = s.series(config);
+            assert_eq!(series.len(), node_mttf_grid().len());
+            for pair in series.windows(2) {
+                assert!(pair[1].1 <= pair[0].1 * 1.0000001, "{config}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig16_larger_blocks_help_until_streaming_cap() {
+        let s = fig16_rebuild_block(&base()).unwrap();
+        let ir5 = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+        let series = s.series(ir5);
+        // Improves up to the 40 MB/s streaming cap (150 IOPS × ~273 KiB),
+        // then flattens.
+        assert!(series[0].1 > series[4].1); // 4 KiB worse than 64 KiB
+        let last = series[series.len() - 1].1;
+        let second_last = series[series.len() - 2].1;
+        assert!((last - second_last).abs() / last < 1e-9, "should flatten");
+    }
+
+    #[test]
+    fn fig16_paper_claim_64kib_meets_target() {
+        // §6/§8: [FT2, IR5] and [FT3, no IR] meet the target once the
+        // rebuild block is at least 64 KiB.
+        let s = fig16_rebuild_block(&base()).unwrap();
+        for config in [
+            Configuration::new(InternalRaid::Raid5, 2).unwrap(),
+            Configuration::new(InternalRaid::None, 3).unwrap(),
+        ] {
+            for (x, v) in s.series(config) {
+                if x >= 64.0 {
+                    assert!(
+                        v < TARGET_EVENTS_PER_PB_YEAR,
+                        "{config} at {x} KiB: {v:.3e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig17_plateau_above_crossover() {
+        let s = fig17_link_speed(&base()).unwrap();
+        for config in s.configs() {
+            let series = s.series(config);
+            let at5 = series.iter().find(|(x, _)| *x == 5.0).unwrap().1;
+            let at10 = series.iter().find(|(x, _)| *x == 10.0).unwrap().1;
+            // Paper: "no difference in reliability between the last two
+            // points" (5 and 10 Gb/s).
+            assert!((at5 - at10).abs() / at10 < 1e-9, "{config}");
+            let at1 = series.iter().find(|(x, _)| *x == 1.0).unwrap().1;
+            assert!(at1 > at10, "{config}: 1 Gb/s should be worse");
+        }
+    }
+
+    #[test]
+    fn fig18_weak_sensitivity_for_ir5() {
+        let s = fig18_node_count(&base()).unwrap();
+        let ir5 = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+        let series = s.series(ir5);
+        let min = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let max = series.iter().map(|p| p.1).fold(0.0, f64::max);
+        // "relatively insensitive": well within two orders of magnitude
+        // over a 16× range of N.
+        assert!(max / min < 100.0, "ratio {}", max / min);
+    }
+
+    #[test]
+    fn fig19_larger_redundancy_sets_hurt() {
+        let s = fig19_redundancy_set(&base()).unwrap();
+        for config in s.configs() {
+            let series = s.series(config);
+            assert!(series.last().unwrap().1 > series.first().unwrap().1, "{config}");
+        }
+    }
+
+    #[test]
+    fn fig20_weak_sensitivity_to_drives_per_node() {
+        let s = fig20_drives_per_node(&base()).unwrap();
+        for config in s.configs() {
+            let series = s.series(config);
+            let min = series.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+            let max = series.iter().map(|p| p.1).fold(0.0, f64::max);
+            assert!(max / min < 100.0, "{config}: ratio {}", max / min);
+        }
+    }
+
+    #[test]
+    fn mttf_map_monotone_in_both_axes() {
+        let config = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+        let map = mttf_map(&base(), config).unwrap();
+        assert_eq!(map.values.len(), node_mttf_grid().len());
+        assert_eq!(map.values[0].len(), drive_mttf_grid().len());
+        // Better MTTF in either direction never hurts.
+        for r in 0..map.values.len() {
+            for c in 0..map.values[r].len() {
+                if r + 1 < map.values.len() {
+                    assert!(map.values[r + 1][c] <= map.values[r][c] * 1.0000001);
+                }
+                if c + 1 < map.values[r].len() {
+                    assert!(map.values[r][c + 1] <= map.values[r][c] * 1.0000001);
+                }
+            }
+        }
+        // The recommended configuration is feasible over the entire
+        // practical plane.
+        assert_eq!(map.feasible_fraction(), 1.0);
+        // FT2 no-IR only in the good corner.
+        let nir = Configuration::new(InternalRaid::None, 2).unwrap();
+        let map = mttf_map(&base(), nir).unwrap();
+        let f = map.feasible_fraction();
+        assert!(f > 0.0 && f < 0.5, "feasible fraction {f}");
+    }
+
+    #[test]
+    fn ext_her_monotone() {
+        let s = ext_hard_error_rate(&base()).unwrap();
+        for config in s.configs() {
+            let series = s.series(config);
+            for w in series.windows(2) {
+                assert!(w[1].1 >= w[0].1 * 0.999999, "{config}");
+            }
+        }
+        // The sector path matters: two decades of HER must move FT2-noIR by
+        // well over 2x.
+        let nir = Configuration::new(InternalRaid::None, 2).unwrap();
+        let series = s.series(nir);
+        assert!(series.last().unwrap().1 > 2.0 * series.first().unwrap().1);
+    }
+
+    #[test]
+    fn sweep_marks_infeasible_points_as_none() {
+        // Sweeping R below t+1 must yield None cells for FT3, not errors.
+        let s = sweep(
+            &base(),
+            &[Configuration::new(InternalRaid::None, 3).unwrap()],
+            "redundancy set size",
+            "nodes",
+            &[2.0, 3.0, 8.0],
+            |p, x| p.system.redundancy_set_size = x as u32,
+        )
+        .unwrap();
+        assert!(s.rows[0].cells[0].reliability.is_none()); // R=2 < t+1
+        assert!(s.rows[1].cells[0].reliability.is_none()); // R=3 = t
+        assert!(s.rows[2].cells[0].reliability.is_some());
+    }
+
+    #[test]
+    fn series_skips_infeasible() {
+        let c = Configuration::new(InternalRaid::None, 3).unwrap();
+        let s = sweep(
+            &base(),
+            &[c],
+            "redundancy set size",
+            "nodes",
+            &[2.0, 8.0],
+            |p, x| p.system.redundancy_set_size = x as u32,
+        )
+        .unwrap();
+        assert_eq!(s.series(c).len(), 1);
+    }
+}

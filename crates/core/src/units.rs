@@ -1,0 +1,206 @@
+//! Unit newtypes used throughout the parameter model.
+//!
+//! The reliability formulas mix quantities spanning ~15 orders of magnitude
+//! (per-bit error rates up to petabytes); the newtypes here keep the
+//! *meaning* of each number attached to it at API boundaries (C-NEWTYPE).
+//! Model internals extract raw `f64`s once, at a single well-audited
+//! boundary.
+
+use serde::{Deserialize, Serialize};
+
+/// One year, in hours, as used by the paper's "events per year" metric.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// One petabyte, in bytes (decimal, storage-industry convention).
+pub const PETABYTE: f64 = 1e15;
+
+/// A duration in hours (the natural unit of MTTF/MTTR figures).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Hours(pub f64);
+
+impl Hours {
+    /// The corresponding exponential rate (`1/hours`), in events per hour.
+    ///
+    /// ```
+    /// use nsr_core::units::Hours;
+    /// assert_eq!(Hours(100.0).rate().0, 0.01);
+    /// ```
+    pub fn rate(self) -> PerHour {
+        PerHour(1.0 / self.0)
+    }
+
+    /// Constructs a duration from seconds.
+    pub fn from_seconds(secs: f64) -> Hours {
+        Hours(secs / 3600.0)
+    }
+
+    /// This duration expressed in years.
+    pub fn to_years(self) -> f64 {
+        self.0 / HOURS_PER_YEAR
+    }
+}
+
+impl std::fmt::Display for Hours {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} h", self.0)
+    }
+}
+
+/// An exponential rate in events per hour.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct PerHour(pub f64);
+
+impl PerHour {
+    /// The corresponding mean time (`1/rate`), in hours.
+    pub fn mean_time(self) -> Hours {
+        Hours(1.0 / self.0)
+    }
+}
+
+impl std::fmt::Display for PerHour {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4e}/h", self.0)
+    }
+}
+
+/// A data size in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bytes(pub f64);
+
+impl Bytes {
+    /// Constructs from gigabytes (decimal: `1 GB = 10⁹ B`).
+    pub fn from_gb(gb: f64) -> Bytes {
+        Bytes(gb * 1e9)
+    }
+
+    /// Constructs from kibibytes (`1 KiB = 1024 B`), the unit of the
+    /// paper's rebuild command sizes.
+    pub fn from_kib(kib: f64) -> Bytes {
+        Bytes(kib * 1024.0)
+    }
+
+    /// Constructs from mebibytes (`1 MiB = 1024² B`).
+    pub fn from_mib(mib: f64) -> Bytes {
+        Bytes(mib * 1024.0 * 1024.0)
+    }
+
+    /// Size in bits.
+    pub fn bits(self) -> f64 {
+        self.0 * 8.0
+    }
+
+    /// Size in (decimal) petabytes.
+    pub fn to_pb(self) -> f64 {
+        self.0 / PETABYTE
+    }
+}
+
+impl std::fmt::Display for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4e} B", self.0)
+    }
+}
+
+/// A bandwidth in bytes per second.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BytesPerSec(pub f64);
+
+impl BytesPerSec {
+    /// Constructs from megabytes per second (decimal).
+    pub fn from_mb_s(mb: f64) -> BytesPerSec {
+        BytesPerSec(mb * 1e6)
+    }
+
+    /// Time in [`Hours`] to move `amount` at this bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on a non-positive bandwidth.
+    pub fn time_for(self, amount: Bytes) -> Hours {
+        debug_assert!(self.0 > 0.0, "bandwidth must be positive");
+        Hours::from_seconds(amount.0 / self.0)
+    }
+}
+
+impl std::fmt::Display for BytesPerSec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4e} B/s", self.0)
+    }
+}
+
+/// A link speed in gigabits per second.
+///
+/// The paper's §6 calibration point — 10 Gb/s links sustaining 800 MB/s into
+/// and out of a node over all its surfaces — fixes the conversion used by
+/// [`Gbps::sustained`]: 80 MB/s of sustained node bandwidth per Gb/s of link
+/// speed, scaled linearly.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Gbps(pub f64);
+
+impl Gbps {
+    /// Sustained node ingress (or egress) bandwidth for this link speed.
+    ///
+    /// ```
+    /// use nsr_core::units::Gbps;
+    /// assert_eq!(Gbps(10.0).sustained().0, 800e6); // paper's calibration
+    /// ```
+    pub fn sustained(self) -> BytesPerSec {
+        BytesPerSec(self.0 * 80e6)
+    }
+}
+
+impl std::fmt::Display for Gbps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} Gb/s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_rate_roundtrip() {
+        let h = Hours(250.0);
+        let r = h.rate();
+        assert!((r.mean_time().0 - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hours_conversions() {
+        assert_eq!(Hours::from_seconds(7200.0).0, 2.0);
+        assert!((Hours(HOURS_PER_YEAR).to_years() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn byte_constructors() {
+        assert_eq!(Bytes::from_gb(300.0).0, 3e11);
+        assert_eq!(Bytes::from_kib(128.0).0, 131072.0);
+        assert_eq!(Bytes::from_mib(1.0).0, 1048576.0);
+        assert_eq!(Bytes(1.0).bits(), 8.0);
+        assert_eq!(Bytes(PETABYTE).to_pb(), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = BytesPerSec::from_mb_s(100.0);
+        let t = bw.time_for(Bytes(3.6e9));
+        assert!((t.0 - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_speed_calibration() {
+        // 10 Gb/s -> 800 MB/s sustained, linear scaling below.
+        assert_eq!(Gbps(10.0).sustained().0, 8e8);
+        assert_eq!(Gbps(1.0).sustained().0, 8e7);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert!(!format!("{}", Hours(1.0)).is_empty());
+        assert!(!format!("{}", PerHour(1.0)).is_empty());
+        assert!(!format!("{}", Bytes(1.0)).is_empty());
+        assert!(!format!("{}", BytesPerSec(1.0)).is_empty());
+        assert!(!format!("{}", Gbps(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Arithmetic in the Galois field GF(2⁸).
+//!
+//! The field is realized as polynomials over GF(2) modulo the primitive
+//! polynomial `x⁸ + x⁴ + x³ + x² + 1` (`0x11d`), the conventional choice
+//! for Reed–Solomon storage codes. Multiplication and division go through
+//! log/antilog tables built once at startup; addition is XOR.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
+use std::sync::OnceLock;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// The primitive polynomial `x⁸ + x⁴ + x³ + x² + 1`.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// The multiplicative generator used to build the log tables.
+pub const GENERATOR: u8 = 0x02;
+
+struct Tables {
+    exp: [u8; 512], // doubled so exp[log a + log b] needs no modulo
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2⁸).
+///
+/// Implements the full field arithmetic via operator overloads; note that
+/// in characteristic 2, subtraction *is* addition (both XOR).
+///
+/// ```
+/// use nsr_erasure::gf256::Gf;
+///
+/// # fn main() -> Result<(), nsr_erasure::Error> {
+/// let a = Gf(0x53);
+/// assert_eq!(a * a.inverse()?, Gf(0x01));
+/// assert_eq!(a + a, Gf(0)); // characteristic 2
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Gf(pub u8);
+
+impl Gf {
+    /// The additive identity.
+    pub const ZERO: Gf = Gf(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf = Gf(1);
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DivisionByZero`] for the zero element.
+    pub fn inverse(self) -> Result<Gf> {
+        if self.0 == 0 {
+            return Err(Error::DivisionByZero);
+        }
+        let t = tables();
+        Ok(Gf(t.exp[255 - t.log[self.0 as usize] as usize]))
+    }
+
+    /// `self` raised to the `n`-th power (`0⁰ = 1` by convention).
+    pub fn pow(self, n: u32) -> Gf {
+        if n == 0 {
+            return Gf::ONE;
+        }
+        if self.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        let log = t.log[self.0 as usize] as u32;
+        Gf(t.exp[((log * n) % 255) as usize])
+    }
+
+    /// The element `α^n` for the field generator α = 2.
+    pub fn alpha_pow(n: u32) -> Gf {
+        Gf(GENERATOR).pow(n)
+    }
+}
+
+impl Add for Gf {
+    type Output = Gf;
+    // In GF(2⁸) addition *is* XOR; clippy's suspicious-arithmetic lint
+    // doesn't know field theory.
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn add(self, rhs: Gf) -> Gf {
+        Gf(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf {
+    #[allow(clippy::suspicious_op_assign_impl)]
+    fn add_assign(&mut self, rhs: Gf) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf {
+    type Output = Gf;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn sub(self, rhs: Gf) -> Gf {
+        // Characteristic 2: subtraction is addition.
+        self + rhs
+    }
+}
+
+impl Mul for Gf {
+    type Output = Gf;
+    fn mul(self, rhs: Gf) -> Gf {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf::ZERO;
+        }
+        let t = tables();
+        Gf(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+}
+
+impl MulAssign for Gf {
+    fn mul_assign(&mut self, rhs: Gf) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf {
+    type Output = Result<Gf>;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Gf) -> Result<Gf> {
+        Ok(self * rhs.inverse()?)
+    }
+}
+
+impl std::fmt::Display for Gf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#04x}", self.0)
+    }
+}
+
+/// Multiply-accumulate a byte slice: `dst[i] += coeff · src[i]`, the inner
+/// loop of Reed–Solomon encoding and reconstruction.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: Gf) {
+    assert_eq!(dst.len(), src.len(), "mul_acc: length mismatch");
+    if coeff.0 == 0 {
+        return;
+    }
+    if coeff.0 == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[coeff.0 as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf(a) + Gf(a), Gf::ZERO);
+            assert_eq!(Gf(a) + Gf::ZERO, Gf(a));
+            assert_eq!(Gf(a) - Gf(a), Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn multiplication_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf(a) * Gf::ONE, Gf(a));
+            assert_eq!(Gf(a) * Gf::ZERO, Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let inv = Gf(a).inverse().unwrap();
+            assert_eq!(Gf(a) * inv, Gf::ONE, "a = {a}");
+        }
+        assert!(Gf::ZERO.inverse().is_err());
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        // Spot-check associativity over a structured subset.
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(Gf(a) * Gf(b), Gf(b) * Gf(a));
+                for c in (0..=255u8).step_by(51) {
+                    assert_eq!((Gf(a) * Gf(b)) * Gf(c), Gf(a) * (Gf(b) * Gf(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributivity() {
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(
+                        Gf(a) * (Gf(b) + Gf(c)),
+                        Gf(a) * Gf(b) + Gf(a) * Gf(c)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α must generate all 255 non-zero elements.
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..255 {
+            seen.insert(Gf::alpha_pow(n).0);
+        }
+        assert_eq!(seen.len(), 255);
+        assert!(!seen.contains(&0));
+        assert_eq!(Gf::alpha_pow(255), Gf::ONE);
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in [1u8, 2, 3, 0x53, 0xff] {
+            let mut acc = Gf::ONE;
+            for n in 0..20 {
+                assert_eq!(Gf(a).pow(n), acc, "a={a}, n={n}");
+                acc *= Gf(a);
+            }
+        }
+        assert_eq!(Gf::ZERO.pow(0), Gf::ONE);
+        assert_eq!(Gf::ZERO.pow(5), Gf::ZERO);
+    }
+
+    #[test]
+    fn division_roundtrip() {
+        for a in (1..=255u8).step_by(3) {
+            for b in (1..=255u8).step_by(5) {
+                let q = (Gf(a) / Gf(b)).unwrap();
+                assert_eq!(q * Gf(b), Gf(a));
+            }
+        }
+        assert!((Gf(5) / Gf::ZERO).is_err());
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_path() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 37 + 5) as u8).collect();
+        for coeff in [0u8, 1, 2, 0x1d, 0xe5] {
+            let mut dst = vec![0xaau8; 64];
+            let mut expected = dst.clone();
+            mul_acc(&mut dst, &src, Gf(coeff));
+            for (e, s) in expected.iter_mut().zip(&src) {
+                *e = (Gf(*e) + Gf(coeff) * Gf(*s)).0;
+            }
+            assert_eq!(dst, expected, "coeff = {coeff}");
+        }
+    }
+
+    #[test]
+    fn display_and_constants() {
+        assert_eq!(format!("{}", Gf(0x1d)), "0x1d");
+        assert_eq!(Gf::default(), Gf::ZERO);
+        assert_eq!(Gf::ONE.0, 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Dense matrices over GF(2⁸) with Gauss–Jordan inversion — the decoding
+//! engine of the Reed–Solomon code.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gf256::Gf;
+use crate::{Error, Result};
+
+/// A dense row-major matrix over GF(2⁸).
+///
+/// ```
+/// use nsr_erasure::matrix::GfMatrix;
+///
+/// # fn main() -> Result<(), nsr_erasure::Error> {
+/// let v = GfMatrix::vandermonde(4, 4)?;
+/// let inv = v.inverse()?;
+/// assert!(v.mul(&inv)?.is_identity());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf>,
+}
+
+impl GfMatrix {
+    /// All-zero matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] for zero dimensions.
+    pub fn zeros(rows: usize, cols: usize) -> Result<GfMatrix> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::InvalidGeometry { data: rows, parity: cols });
+        }
+        Ok(GfMatrix { rows, cols, data: vec![Gf::ZERO; rows * cols] })
+    }
+
+    /// The `n × n` identity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] for `n == 0`.
+    pub fn identity(n: usize) -> Result<GfMatrix> {
+        let mut m = GfMatrix::zeros(n, n)?;
+        for i in 0..n {
+            m.set(i, i, Gf::ONE);
+        }
+        Ok(m)
+    }
+
+    /// The `rows × cols` Vandermonde matrix `V[r][c] = αʳ⁽ᶜ⁾ = (αʳ)ᶜ`…
+    /// more precisely `V[r][c] = gᵣᶜ` with distinct generators `gᵣ = α^r`,
+    /// guaranteeing any `cols` rows are linearly independent
+    /// (for `rows ≤ 255`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] for zero dimensions or
+    /// `rows > 255`.
+    pub fn vandermonde(rows: usize, cols: usize) -> Result<GfMatrix> {
+        if rows > 255 {
+            return Err(Error::InvalidGeometry { data: rows, parity: cols });
+        }
+        let mut m = GfMatrix::zeros(rows, cols)?;
+        for r in 0..rows {
+            let g = Gf::alpha_pow(r as u32);
+            for c in 0..cols {
+                m.set(r, c, g.pow(c as u32));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, r: usize, c: usize) -> Gf {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, r: usize, c: usize, v: Gf) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[Gf] {
+        assert!(r < self.rows, "row {r} out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Builds a new matrix from a subset of this one's rows (used to form
+    /// the decode matrix from surviving shards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn select_rows(&self, indices: &[usize]) -> GfMatrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &r in indices {
+            data.extend_from_slice(self.row(r));
+        }
+        GfMatrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Matrix product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] on an inner-dimension mismatch.
+    pub fn mul(&self, rhs: &GfMatrix) -> Result<GfMatrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::InvalidGeometry { data: self.cols, parity: rhs.rows });
+        }
+        let mut out = GfMatrix::zeros(self.rows, rhs.cols)?;
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == Gf::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let cur = out.get(r, c);
+                    out.set(r, c, cur + a * rhs.get(k, c));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether this is the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        self.rows == self.cols
+            && (0..self.rows).all(|r| {
+                (0..self.cols).all(|c| {
+                    self.get(r, c) == if r == c { Gf::ONE } else { Gf::ZERO }
+                })
+            })
+    }
+
+    /// Inverse by Gauss–Jordan elimination.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidGeometry`] if not square.
+    /// * [`Error::SingularMatrix`] if no inverse exists.
+    pub fn inverse(&self) -> Result<GfMatrix> {
+        if self.rows != self.cols {
+            return Err(Error::InvalidGeometry { data: self.rows, parity: self.cols });
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = GfMatrix::identity(n)?;
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n)
+                .find(|&r| a.get(r, col) != Gf::ZERO)
+                .ok_or(Error::SingularMatrix)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col).inverse().expect("pivot nonzero");
+            a.scale_row(col, p);
+            inv.scale_row(col, p);
+            // Eliminate everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == Gf::ZERO {
+                    continue;
+                }
+                a.add_scaled_row(r, col, factor);
+                inv.add_scaled_row(r, col, factor);
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Performs Gaussian elimination to row-reduce the left `n × n` block
+    /// to the identity, applying the same operations to the whole matrix —
+    /// used to derive a *systematic* generator matrix from a Vandermonde
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::SingularMatrix`] if the left block is singular.
+    pub fn systematize(&self) -> Result<GfMatrix> {
+        // For a (k+m)×k Vandermonde V, compute V · (top k rows)⁻¹; the
+        // result has the identity on top and the parity block below.
+        let top: Vec<usize> = (0..self.cols).collect();
+        let top_inv = self.select_rows(&top).inverse()?;
+        self.mul(&top_inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, s: Gf) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v * s);
+        }
+    }
+
+    /// `row[r] += factor · row[src]` (XOR semantics).
+    fn add_scaled_row(&mut self, r: usize, src: usize, factor: Gf) {
+        for c in 0..self.cols {
+            let v = self.get(r, c) + factor * self.get(src, c);
+            self.set(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_zeros() {
+        let i = GfMatrix::identity(3).unwrap();
+        assert!(i.is_identity());
+        let z = GfMatrix::zeros(2, 3).unwrap();
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(GfMatrix::zeros(0, 3).is_err());
+    }
+
+    #[test]
+    fn vandermonde_square_blocks_invertible() {
+        // Any k rows of a Vandermonde matrix with distinct generators form
+        // an invertible k × k matrix — the MDS property.
+        let v = GfMatrix::vandermonde(10, 4).unwrap();
+        for rows in [[0, 1, 2, 3], [0, 3, 7, 9], [2, 4, 6, 8], [6, 7, 8, 9]] {
+            let sub = v.select_rows(&rows);
+            let inv = sub.inverse().unwrap();
+            assert!(sub.mul(&inv).unwrap().is_identity(), "{rows:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let v = GfMatrix::vandermonde(5, 5).unwrap();
+        let inv = v.inverse().unwrap();
+        assert!(v.mul(&inv).unwrap().is_identity());
+        assert!(inv.mul(&v).unwrap().is_identity());
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut m = GfMatrix::zeros(2, 2).unwrap();
+        m.set(0, 0, Gf(1));
+        m.set(0, 1, Gf(2));
+        m.set(1, 0, Gf(1));
+        m.set(1, 1, Gf(2));
+        assert_eq!(m.inverse().unwrap_err(), Error::SingularMatrix);
+    }
+
+    #[test]
+    fn systematize_puts_identity_on_top() {
+        let v = GfMatrix::vandermonde(7, 4).unwrap();
+        let s = v.systematize().unwrap();
+        let top = s.select_rows(&[0, 1, 2, 3]);
+        assert!(top.is_identity());
+        // And preserves the MDS property: any 4 rows invertible.
+        for rows in [[0, 1, 4, 6], [3, 4, 5, 6], [0, 2, 4, 5]] {
+            assert!(s.select_rows(&rows).inverse().is_ok(), "{rows:?}");
+        }
+    }
+
+    #[test]
+    fn mul_dimension_check() {
+        let a = GfMatrix::zeros(2, 3).unwrap();
+        let b = GfMatrix::zeros(2, 3).unwrap();
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn non_square_inverse_rejected() {
+        let a = GfMatrix::zeros(2, 3).unwrap();
+        assert!(a.inverse().is_err());
+    }
+
+    #[test]
+    fn oversized_vandermonde_rejected() {
+        assert!(GfMatrix::vandermonde(256, 4).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Redundancy-set placement over a node set (§4.1) and the resulting
+//! rebuild data flows (§5.1) and critical-set counts (§5.2) — measured on
+//! an actual layout instead of assumed.
+//!
+//! The paper's §4.1 model: data is spread evenly, so every one of the
+//! `C(N, R)` node combinations carries the same number of redundancy sets.
+//! This module can enumerate that full design for small `N` (validating
+//! the combinatorial fractions exactly) and also provides the *rotational*
+//! layout — `N` sets, set `i` occupying nodes `{i, i+1, …, i+R−1} mod N` —
+//! as a practical even placement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// Guard for full-design enumeration: `C(N, R)` may not exceed this.
+pub const MAX_ENUMERATED_SETS: u64 = 2_000_000;
+
+/// A concrete assignment of redundancy sets to nodes.
+///
+/// # Example
+///
+/// ```
+/// use nsr_erasure::placement::Placement;
+///
+/// # fn main() -> Result<(), nsr_erasure::Error> {
+/// let p = Placement::enumerate_all(10, 4)?;
+/// assert_eq!(p.len(), 210); // C(10, 4)
+/// // Every node appears in C(9, 3) = 84 sets — perfectly even.
+/// assert!(
+///     (0..10).all(|v| p.sets_touching(v) == 84)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    n: u32,
+    r: u32,
+    /// Each set is a sorted list of distinct node ids.
+    sets: Vec<Vec<u32>>,
+}
+
+fn binomial_u64(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+impl Placement {
+    fn validate(n: u32, r: u32) -> Result<()> {
+        if n == 0 || r == 0 {
+            return Err(Error::InvalidPlacement {
+                what: "node set and redundancy set must be non-empty".into(),
+            });
+        }
+        if r > n {
+            return Err(Error::InvalidPlacement {
+                what: format!("redundancy set size {r} exceeds node set size {n}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// The full even design: every one of the `C(N, R)` node combinations
+    /// as one redundancy set — the paper's §4.1 layout.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] for bad sizes or when `C(N, R)` would
+    ///   exceed [`MAX_ENUMERATED_SETS`].
+    pub fn enumerate_all(n: u32, r: u32) -> Result<Placement> {
+        Self::validate(n, r)?;
+        let count = binomial_u64(n as u64, r as u64);
+        if count > MAX_ENUMERATED_SETS {
+            return Err(Error::InvalidPlacement {
+                what: format!("C({n}, {r}) = {count} sets exceeds enumeration limit"),
+            });
+        }
+        let mut sets = Vec::with_capacity(count as usize);
+        let mut comb: Vec<u32> = (0..r).collect();
+        loop {
+            sets.push(comb.clone());
+            // Next lexicographic combination.
+            let mut i = r as i64 - 1;
+            while i >= 0 && comb[i as usize] == n - r + i as u32 {
+                i -= 1;
+            }
+            if i < 0 {
+                break;
+            }
+            comb[i as usize] += 1;
+            for j in (i as usize + 1)..r as usize {
+                comb[j] = comb[j - 1] + 1;
+            }
+        }
+        Ok(Placement { n, r, sets })
+    }
+
+    /// The rotational layout: `N` sets, set `i` on nodes
+    /// `{i, i+1, …, i+R−1} mod N`. Every node appears in exactly `R` sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlacement`] for bad sizes.
+    pub fn rotational(n: u32, r: u32) -> Result<Placement> {
+        Self::validate(n, r)?;
+        let sets = (0..n)
+            .map(|i| {
+                let mut s: Vec<u32> = (0..r).map(|j| (i + j) % n).collect();
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        Ok(Placement { n, r, sets })
+    }
+
+    /// Node set size `N`.
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Redundancy set size `R`.
+    pub fn set_size(&self) -> u32 {
+        self.r
+    }
+
+    /// Number of redundancy sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the placement has no sets (never true for constructed
+    /// placements).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sets themselves (each a sorted node-id list).
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// Number of sets that include `node`.
+    pub fn sets_touching(&self, node: u32) -> usize {
+        self.sets.iter().filter(|s| s.contains(&node)).count()
+    }
+
+    /// Empirical §5.2.1 critical fraction `k_t`: among the redundancy sets
+    /// touching the node being rebuilt (`rebuilding`), the fraction that
+    /// also contain **all** of the `other_failed` nodes — i.e. the sets
+    /// that are critical while `other_failed.len() + 1` failures are
+    /// outstanding under a code of exactly that tolerance (Figure 11).
+    ///
+    /// For the full design this equals
+    /// `k_t = C(N−t, R−t)/C(N−1, R−1)`, with `t = other_failed.len() + 1`;
+    /// in particular `k₁ = 1` (the rebuilt node's own data is all
+    /// critical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlacement`] if `rebuilding` is listed in
+    /// `other_failed`, any node id is out of range, or the node touches no
+    /// sets.
+    pub fn critical_fraction(&self, rebuilding: u32, other_failed: &[u32]) -> Result<f64> {
+        if other_failed.contains(&rebuilding) {
+            return Err(Error::InvalidPlacement {
+                what: "rebuilding node cannot be one of the other failed nodes".into(),
+            });
+        }
+        for &v in other_failed.iter().chain(std::iter::once(&rebuilding)) {
+            if v >= self.n {
+                return Err(Error::InvalidPlacement {
+                    what: format!("node id {v} out of range (N = {})", self.n),
+                });
+            }
+        }
+        let mut touching = 0u64;
+        let mut critical = 0u64;
+        for s in &self.sets {
+            if !s.contains(&rebuilding) {
+                continue;
+            }
+            touching += 1;
+            if other_failed.iter().all(|f| s.contains(f)) {
+                critical += 1;
+            }
+        }
+        if touching == 0 {
+            return Err(Error::InvalidPlacement {
+                what: format!("node {rebuilding} appears in no redundancy set"),
+            });
+        }
+        Ok(critical as f64 / touching as f64)
+    }
+}
+
+/// Per-node accounting of one distributed node rebuild, in units of
+/// redundancy-set *elements* moved — the empirical counterpart of §5.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebuildFlows {
+    /// `received[v]`: elements received over the network by node `v`
+    /// (source elements it needs for the reconstructions it performs).
+    pub received: Vec<u64>,
+    /// `sourced[v]`: elements sent by node `v` to rebuilding peers.
+    pub sourced: Vec<u64>,
+    /// `rebuilt[v]`: lost elements reconstructed (and written) on node `v`.
+    pub rebuilt: Vec<u64>,
+    /// Total elements that crossed the network.
+    pub network_total: u64,
+    /// Elements the failed node held (its "node's worth of data").
+    pub lost_elements: u64,
+}
+
+impl RebuildFlows {
+    /// Simulates the §5.1 rebuild of `failed` under fault tolerance `t`:
+    /// every set containing the failed node loses one element; the
+    /// replacement is assigned round-robin over the survivors (spare space
+    /// is distributed evenly), and the `R − t` source elements are read
+    /// from the set's surviving nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlacement`] if `failed` is out of range or
+    /// `t >= R`.
+    pub fn for_node_failure(placement: &Placement, failed: u32, t: u32) -> Result<RebuildFlows> {
+        if failed >= placement.n {
+            return Err(Error::InvalidPlacement {
+                what: format!("node id {failed} out of range"),
+            });
+        }
+        if t >= placement.r {
+            return Err(Error::InvalidPlacement {
+                what: format!("fault tolerance {t} must be below set size {}", placement.r),
+            });
+        }
+        let n = placement.n as usize;
+        let sources_needed = (placement.r - t) as usize;
+        let mut flows = RebuildFlows {
+            received: vec![0; n],
+            sourced: vec![0; n],
+            rebuilt: vec![0; n],
+            network_total: 0,
+            lost_elements: 0,
+        };
+        // Round-robin replacement assignment over survivors.
+        let survivors: Vec<u32> = (0..placement.n).filter(|&v| v != failed).collect();
+        let mut next_replacement = 0usize;
+        for set in &placement.sets {
+            if !set.contains(&failed) {
+                continue;
+            }
+            flows.lost_elements += 1;
+            let replacement = survivors[next_replacement % survivors.len()];
+            next_replacement += 1;
+            flows.rebuilt[replacement as usize] += 1;
+            // Read R−t surviving elements of this set. Prefer the
+            // replacement's own element when it is a set member (a local
+            // read is free), then rotate through the remaining survivors
+            // so sourcing load spreads evenly across nodes.
+            let survivors_in_set: Vec<u32> =
+                set.iter().copied().filter(|&m| m != failed).collect();
+            let mut taken = 0usize;
+            if survivors_in_set.contains(&replacement) {
+                taken += 1; // local read: disk I/O but no network transfer
+            }
+            let rotation = flows.lost_elements as usize;
+            let len = survivors_in_set.len();
+            for i in 0..len {
+                if taken == sources_needed {
+                    break;
+                }
+                let member = survivors_in_set[(i + rotation) % len];
+                if member == replacement {
+                    continue; // already counted as the local read
+                }
+                flows.sourced[member as usize] += 1;
+                flows.received[replacement as usize] += 1;
+                flows.network_total += 1;
+                taken += 1;
+            }
+        }
+        Ok(flows)
+    }
+
+    /// Largest relative deviation of the per-survivor received amounts from
+    /// the §5.1 prediction `lost · (R−t)/(N−1)` (skipping the failed node).
+    pub fn received_imbalance(&self, failed: u32, r: u32, t: u32) -> f64 {
+        let n = self.received.len() as f64;
+        let ideal = self.lost_elements as f64 * (r - t) as f64 / (n - 1.0);
+        self.received
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v as u32 != failed)
+            .map(|(_, &got)| (got as f64 - ideal).abs() / ideal.max(1e-12))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_all_counts() {
+        let p = Placement::enumerate_all(8, 3).unwrap();
+        assert_eq!(p.len(), 56);
+        // Every node in C(7, 2) = 21 sets.
+        for v in 0..8 {
+            assert_eq!(p.sets_touching(v), 21);
+        }
+        // All sets distinct and sorted.
+        let unique: std::collections::HashSet<_> = p.sets().iter().collect();
+        assert_eq!(unique.len(), 56);
+        assert!(p.sets().iter().all(|s| s.windows(2).all(|w| w[0] < w[1])));
+    }
+
+    #[test]
+    fn enumeration_limit_enforced() {
+        // C(64, 8) ≈ 4.4e9 ≫ limit.
+        assert!(matches!(
+            Placement::enumerate_all(64, 8).unwrap_err(),
+            Error::InvalidPlacement { .. }
+        ));
+    }
+
+    #[test]
+    fn rotational_layout_is_even() {
+        let p = Placement::rotational(16, 5).unwrap();
+        assert_eq!(p.len(), 16);
+        for v in 0..16 {
+            assert_eq!(p.sets_touching(v), 5);
+        }
+    }
+
+    #[test]
+    fn critical_fraction_matches_section_5_2_formula() {
+        // Full design, N=12, R=5: k_t = Π_{i=1}^{t−1} (R−i)/(N−i).
+        let p = Placement::enumerate_all(12, 5).unwrap();
+        for t in 1u32..=3 {
+            // t failures outstanding: node t−1 is being rebuilt, nodes
+            // 0..t−1 are the other failures.
+            let other_failed: Vec<u32> = (0..t - 1).collect();
+            let got = p.critical_fraction(t - 1, &other_failed).unwrap();
+            let mut expected = 1.0;
+            for i in 1..t {
+                expected *= (5 - i) as f64 / (12 - i) as f64;
+            }
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "t={t}: empirical {got} vs formula {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn critical_fraction_validation() {
+        let p = Placement::enumerate_all(6, 3).unwrap();
+        assert!(p.critical_fraction(0, &[0]).is_err());
+        assert!(p.critical_fraction(9, &[0]).is_err());
+        assert!(p.critical_fraction(1, &[9]).is_err());
+    }
+
+    #[test]
+    fn rebuild_flows_conservation() {
+        let p = Placement::enumerate_all(10, 4).unwrap();
+        let flows = RebuildFlows::for_node_failure(&p, 3, 2).unwrap();
+        // The failed node held C(9, 3) = 84 elements.
+        assert_eq!(flows.lost_elements, 84);
+        // Conservation: total sourced == total received == network total.
+        let sourced: u64 = flows.sourced.iter().sum();
+        let received: u64 = flows.received.iter().sum();
+        assert_eq!(sourced, flows.network_total);
+        assert_eq!(received, flows.network_total);
+        // Every lost element was rebuilt exactly once.
+        let rebuilt: u64 = flows.rebuilt.iter().sum();
+        assert_eq!(rebuilt, flows.lost_elements);
+        // The failed node neither sources nor receives.
+        assert_eq!(flows.sourced[3], 0);
+        assert_eq!(flows.received[3], 0);
+    }
+
+    #[test]
+    fn rebuild_flows_match_section_5_1_amounts() {
+        // §5.1: total network traffic = (R−t) node's-worths; per-node
+        // received ≈ (R−t)/(N−1) node's-worths. Local reads on the
+        // replacement node make the empirical network total slightly
+        // *smaller* — the paper's figure is the conservative upper bound.
+        let (n, r, t) = (12u32, 5u32, 2u32);
+        let p = Placement::enumerate_all(n, r).unwrap();
+        let flows = RebuildFlows::for_node_failure(&p, 0, t).unwrap();
+        let node_worth = flows.lost_elements as f64;
+        let network_fraction = flows.network_total as f64 / node_worth;
+        let paper_bound = (r - t) as f64;
+        assert!(network_fraction <= paper_bound + 1e-12);
+        assert!(network_fraction > paper_bound * 0.6, "fraction {network_fraction}");
+        // Per-survivor balance within 15 % of the ideal §5.1 share.
+        let imbalance = flows.received_imbalance(0, r, t);
+        assert!(imbalance < 0.15, "imbalance {imbalance}");
+    }
+
+    #[test]
+    fn rebuild_flow_validation() {
+        let p = Placement::enumerate_all(6, 3).unwrap();
+        assert!(RebuildFlows::for_node_failure(&p, 9, 1).is_err());
+        assert!(RebuildFlows::for_node_failure(&p, 0, 3).is_err());
+    }
+
+    #[test]
+    fn placement_validation() {
+        assert!(Placement::enumerate_all(0, 1).is_err());
+        assert!(Placement::enumerate_all(4, 0).is_err());
+        assert!(Placement::enumerate_all(4, 5).is_err());
+        assert!(Placement::rotational(4, 5).is_err());
+    }
+
+    #[test]
+    fn single_node_sets_degenerate() {
+        let p = Placement::enumerate_all(5, 1).unwrap();
+        assert_eq!(p.len(), 5);
+        for v in 0..5 {
+            assert_eq!(p.sets_touching(v), 1);
+        }
+    }
+}

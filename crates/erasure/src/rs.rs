@@ -1,0 +1,372 @@
+//! Systematic Reed–Solomon erasure coding.
+//!
+//! A redundancy set of size `R = k + t` holds `k` data elements and `t`
+//! parity elements; the code reconstructs the originals from **any** `k`
+//! surviving elements (maximum distance separable). This realizes the
+//! "codes that can tolerate 1, 2 and 3 node failures" of the paper's §3 —
+//! for `t = 1` the code degenerates to plain parity (RAID-5-like), and
+//! higher `t` gives the multi-failure codes of Frølund et al. \[2\] that the
+//! paper builds on.
+//!
+//! The generator matrix is a systematized Vandermonde matrix: data shards
+//! pass through untouched and the `t` parity rows are dense GF(2⁸)
+//! combinations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gf256::mul_acc;
+use crate::matrix::GfMatrix;
+use crate::{Error, Result};
+
+/// A systematic Reed–Solomon erasure code with fixed geometry.
+///
+/// # Example
+///
+/// ```
+/// use nsr_erasure::rs::ReedSolomon;
+///
+/// # fn main() -> Result<(), nsr_erasure::Error> {
+/// let code = ReedSolomon::new(4, 2)?;
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
+/// let shards = code.encode(&data)?;
+/// assert_eq!(shards.len(), 6);
+/// assert_eq!(&shards[0], &data[0]); // systematic: data passes through
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// The full `(k+t) × k` systematic generator matrix.
+    generator: GfMatrix,
+}
+
+impl ReedSolomon {
+    /// Creates a code with `data_shards` data and `parity_shards` parity
+    /// elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] if either count is zero or the
+    /// total exceeds 255 (the GF(2⁸) limit).
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<ReedSolomon> {
+        if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 255 {
+            return Err(Error::InvalidGeometry { data: data_shards, parity: parity_shards });
+        }
+        let generator =
+            GfMatrix::vandermonde(data_shards + parity_shards, data_shards)?.systematize()?;
+        Ok(ReedSolomon { data_shards, parity_shards, generator })
+    }
+
+    /// Number of data shards `k = R − t`.
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards `t`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total shards `R`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    fn check_sizes(&self, shards: &[impl AsRef<[u8]>], expected_count: usize) -> Result<usize> {
+        if shards.len() != expected_count {
+            return Err(Error::ShardCountMismatch {
+                expected: expected_count,
+                found: shards.len(),
+            });
+        }
+        let len = shards[0].as_ref().len();
+        for (i, s) in shards.iter().enumerate() {
+            if s.as_ref().len() != len {
+                return Err(Error::ShardSizeMismatch {
+                    expected: len,
+                    index: i,
+                    found: s.as_ref().len(),
+                });
+            }
+        }
+        Ok(len)
+    }
+
+    /// Encodes `k` equal-length data shards into the full `R`-shard stripe
+    /// (data first, then parity).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
+    ///   malformed input.
+    pub fn encode(&self, data: &[impl AsRef<[u8]>]) -> Result<Vec<Vec<u8>>> {
+        let len = self.check_sizes(data, self.data_shards)?;
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
+        for d in data {
+            out.push(d.as_ref().to_vec());
+        }
+        for p in 0..self.parity_shards {
+            let row = self.generator.row(self.data_shards + p);
+            let mut parity = vec![0u8; len];
+            for (c, &coeff) in row.iter().enumerate() {
+                mul_acc(&mut parity, data[c].as_ref(), coeff);
+            }
+            out.push(parity);
+        }
+        Ok(out)
+    }
+
+    /// Reconstructs all missing shards in place. `shards` must have length
+    /// `R`; `None` entries are the erasures.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
+    ///   malformed input.
+    /// * [`Error::TooManyErasures`] if more than `t` entries are `None`.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<()> {
+        if shards.len() != self.total_shards() {
+            return Err(Error::ShardCountMismatch {
+                expected: self.total_shards(),
+                found: shards.len(),
+            });
+        }
+        let missing: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        if missing.len() > self.parity_shards {
+            return Err(Error::TooManyErasures {
+                missing: missing.len(),
+                tolerated: self.parity_shards,
+            });
+        }
+        let present: Vec<usize> = (0..self.total_shards())
+            .filter(|i| shards[*i].is_some())
+            .collect();
+        let survivors: Vec<&[u8]> = present
+            .iter()
+            .take(self.data_shards)
+            .map(|&i| shards[i].as_deref().expect("present"))
+            .collect();
+        let len = self.check_sizes(&survivors, self.data_shards)?;
+
+        // Decode matrix: the generator rows of the k survivors we use,
+        // inverted, recovers the original data: data = D⁻¹ · survivors.
+        let decode = self
+            .generator
+            .select_rows(&present[..self.data_shards])
+            .inverse()
+            .expect("any k rows of an MDS generator are invertible");
+
+        // Recover the data shards first.
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
+        for r in 0..self.data_shards {
+            let mut shard = vec![0u8; len];
+            for (c, &coeff) in decode.row(r).iter().enumerate() {
+                mul_acc(&mut shard, survivors[c], coeff);
+            }
+            data.push(shard);
+        }
+        // Re-derive every missing shard (data or parity) from the data.
+        for &m in &missing {
+            let mut shard = vec![0u8; len];
+            for (c, &coeff) in self.generator.row(m).iter().enumerate() {
+                mul_acc(&mut shard, &data[c], coeff);
+            }
+            shards[m] = Some(shard);
+        }
+        Ok(())
+    }
+
+    /// Verifies that a full stripe is consistent (parity matches data).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
+    ///   malformed input.
+    pub fn verify(&self, shards: &[impl AsRef<[u8]>]) -> Result<bool> {
+        let _ = self.check_sizes(shards, self.total_shards())?;
+        let data: Vec<&[u8]> =
+            shards.iter().take(self.data_shards).map(|s| s.as_ref()).collect();
+        let expected = self.encode(&data)?;
+        Ok(expected
+            .iter()
+            .zip(shards)
+            .all(|(e, s)| e.as_slice() == s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 3) % 251) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let code = ReedSolomon::new(6, 3).unwrap();
+        let data = sample_data(6, 100);
+        let shards = code.encode(&data).unwrap();
+        assert_eq!(shards.len(), 9);
+        for i in 0..6 {
+            assert_eq!(shards[i], data[i]);
+        }
+    }
+
+    #[test]
+    fn reconstruct_every_single_erasure() {
+        let code = ReedSolomon::new(5, 2).unwrap();
+        let data = sample_data(5, 64);
+        let full = code.encode(&data).unwrap();
+        for lost in 0..7 {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[lost] = None;
+            code.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_deref(), Some(&full[i][..]), "lost {lost}, shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruct_all_double_erasures() {
+        let code = ReedSolomon::new(6, 2).unwrap();
+        let data = sample_data(6, 32);
+        let full = code.encode(&data).unwrap();
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let mut shards: Vec<Option<Vec<u8>>> =
+                    full.iter().cloned().map(Some).collect();
+                shards[a] = None;
+                shards[b] = None;
+                code.reconstruct(&mut shards).unwrap();
+                for (i, s) in shards.iter().enumerate() {
+                    assert_eq!(s.as_deref(), Some(&full[i][..]), "lost ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triple_tolerance_code() {
+        // The paper's strongest cross-node code: t = 3.
+        let code = ReedSolomon::new(5, 3).unwrap();
+        let data = sample_data(5, 48);
+        let full = code.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[4] = None;
+        shards[7] = None;
+        code.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_deref(), Some(&full[i][..]));
+        }
+    }
+
+    #[test]
+    fn too_many_erasures_rejected() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let full = code.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert!(matches!(
+            code.reconstruct(&mut shards).unwrap_err(),
+            Error::TooManyErasures { missing: 3, tolerated: 2 }
+        ));
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let mut full = code.encode(&data).unwrap();
+        assert!(code.verify(&full).unwrap());
+        full[5][3] ^= 0x40;
+        assert!(!code.verify(&full).unwrap());
+    }
+
+    #[test]
+    fn no_erasures_is_a_noop() {
+        let code = ReedSolomon::new(3, 1).unwrap();
+        let data = sample_data(3, 8);
+        let full = code.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        code.reconstruct(&mut shards).unwrap();
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.as_deref(), Some(&full[i][..]));
+        }
+    }
+
+    #[test]
+    fn single_parity_is_xor() {
+        // t = 1 must degenerate to plain parity: the parity shard is the
+        // XOR of the data shards (up to a scalar; verify reconstruction
+        // instead of representation).
+        let code = ReedSolomon::new(4, 1).unwrap();
+        let data = sample_data(4, 16);
+        let full = code.encode(&data).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        shards[2] = None;
+        code.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[2].as_deref(), Some(&data[2][..]));
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(2, 0).is_err());
+        assert!(ReedSolomon::new(200, 56).is_err());
+        assert!(ReedSolomon::new(200, 55).is_ok());
+    }
+
+    #[test]
+    fn input_validation() {
+        let code = ReedSolomon::new(3, 2).unwrap();
+        // Wrong shard count.
+        assert!(code.encode(&sample_data(2, 8)).is_err());
+        // Jagged shards.
+        let mut jagged = sample_data(3, 8);
+        jagged[1].pop();
+        assert!(matches!(
+            code.encode(&jagged).unwrap_err(),
+            Error::ShardSizeMismatch { index: 1, .. }
+        ));
+        // Wrong reconstruct length.
+        let mut short: Vec<Option<Vec<u8>>> = vec![Some(vec![0; 8]); 4];
+        assert!(code.reconstruct(&mut short).is_err());
+    }
+
+    #[test]
+    fn paper_baseline_geometry() {
+        // R = 8 with t = 1, 2, 3 — the paper's three cross-node codes.
+        for t in 1..=3usize {
+            let code = ReedSolomon::new(8 - t, t).unwrap();
+            assert_eq!(code.total_shards(), 8);
+            let data = sample_data(8 - t, 128);
+            let full = code.encode(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> =
+                full.iter().cloned().map(Some).collect();
+            for i in 0..t {
+                shards[i * 2] = None; // t erasures, spread out
+            }
+            code.reconstruct(&mut shards).unwrap();
+            assert!(code
+                .verify(&shards.iter().map(|s| s.clone().unwrap()).collect::<Vec<_>>())
+                .unwrap());
+        }
+    }
+}

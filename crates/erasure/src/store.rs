@@ -1,0 +1,521 @@
+//! A miniature brick object store: the storage system the paper models,
+//! working end to end in memory.
+//!
+//! Objects are striped over a redundancy set (§4.1): split into `R − t`
+//! data shards, encoded to `R` shards with the Reed–Solomon code, and
+//! placed on the `R` nodes of a rotational redundancy set. The store
+//! supports the failure modes the reliability analysis reasons about:
+//!
+//! * **node failure** (`fail_node`) — every shard on the node is lost;
+//! * **degraded reads** (`get` keeps working while ≤ `t` of an object's
+//!   nodes are down, decoding on the fly);
+//! * **distributed rebuild** (`rebuild_node`) — lost shards are
+//!   reconstructed from survivors, with the §5.1-style traffic reported;
+//! * **latent sector corruption** (`corrupt_shard`) and **scrubbing**
+//!   (`scrub`) — parity verification across all objects.
+//!
+//! This is deliberately a *functional* model (no I/O scheduling); timing
+//! belongs to `nsr-core`'s rebuild model and `nsr-sim`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::placement::Placement;
+use crate::rs::ReedSolomon;
+use crate::{Error, Result};
+
+/// Identifier of a stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ObjectMeta {
+    set_index: usize,
+    len: usize,
+    shard_len: usize,
+}
+
+/// Traffic accounting for one node rebuild, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebuildReport {
+    /// Shards reconstructed onto the revived node.
+    pub shards_rebuilt: u64,
+    /// Bytes read from surviving nodes to feed the reconstructions.
+    pub bytes_read: u64,
+    /// Bytes written to the revived node.
+    pub bytes_written: u64,
+}
+
+/// Result of a full-store parity scrub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// Objects whose stripe verified clean.
+    pub clean: u64,
+    /// Objects with a parity mismatch (latent corruption).
+    pub corrupt: u64,
+    /// Objects that could not be fully checked (shards on failed nodes).
+    pub degraded: u64,
+}
+
+/// An in-memory brick store over `N` nodes with redundancy sets of size
+/// `R` and erasure-code fault tolerance `t`.
+///
+/// # Example
+///
+/// ```
+/// use nsr_erasure::store::{BrickStore, ObjectId};
+///
+/// # fn main() -> Result<(), nsr_erasure::Error> {
+/// let mut store = BrickStore::new(8, 5, 2)?;
+/// store.put(ObjectId(1), b"hello, bricks!")?;
+/// store.fail_node(0)?;
+/// store.fail_node(3)?;
+/// assert_eq!(store.get(ObjectId(1))?, b"hello, bricks!"); // degraded read
+/// store.rebuild_node(0)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BrickStore {
+    placement: Placement,
+    code: ReedSolomon,
+    t: usize,
+    /// `nodes[v]` is `None` while node `v` is failed; otherwise the shard
+    /// map `(object, position-in-set) → bytes`.
+    nodes: Vec<Option<HashMap<(ObjectId, usize), Vec<u8>>>>,
+    objects: HashMap<ObjectId, ObjectMeta>,
+    next_set: usize,
+}
+
+impl BrickStore {
+    /// Creates an empty store with the rotational placement.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] / [`Error::InvalidGeometry`] for
+    ///   impossible sizes (`t >= r`, `r > n`, …).
+    pub fn new(n: u32, r: u32, t: u32) -> Result<BrickStore> {
+        if t == 0 || t >= r {
+            return Err(Error::InvalidPlacement {
+                what: format!("fault tolerance {t} must satisfy 1 <= t < R = {r}"),
+            });
+        }
+        let placement = Placement::rotational(n, r)?;
+        let code = ReedSolomon::new((r - t) as usize, t as usize)?;
+        Ok(BrickStore {
+            placement,
+            code,
+            t: t as usize,
+            nodes: (0..n).map(|_| Some(HashMap::new())).collect(),
+            objects: HashMap::new(),
+            next_set: 0,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Ids of currently-failed nodes.
+    pub fn failed_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(v, n)| n.is_none().then_some(v as u32))
+            .collect()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Stores an object, striping it across the next redundancy set.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] if the id is already present, the
+    ///   object is empty, or any target node is currently failed (writes
+    ///   require a whole set; real systems would pick another set — kept
+    ///   strict here to make tests deterministic).
+    pub fn put(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
+        if self.objects.contains_key(&id) {
+            return Err(Error::InvalidPlacement { what: format!("{id} already stored") });
+        }
+        if data.is_empty() {
+            return Err(Error::InvalidPlacement { what: "cannot store an empty object".into() });
+        }
+        let set_index = self.next_set % self.placement.len();
+        let set = &self.placement.sets()[set_index];
+        if set.iter().any(|&v| self.nodes[v as usize].is_none()) {
+            return Err(Error::InvalidPlacement {
+                what: format!("redundancy set {set_index} has a failed node"),
+            });
+        }
+        let k = self.code.data_shards();
+        let shard_len = data.len().div_ceil(k);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(k);
+        for i in 0..k {
+            let start = (i * shard_len).min(data.len());
+            let end = ((i + 1) * shard_len).min(data.len());
+            let mut s = data[start..end].to_vec();
+            s.resize(shard_len, 0);
+            shards.push(s);
+        }
+        let encoded = self.code.encode(&shards)?;
+        for (pos, shard) in encoded.into_iter().enumerate() {
+            let node = set[pos] as usize;
+            self.nodes[node]
+                .as_mut()
+                .expect("checked alive")
+                .insert((id, pos), shard);
+        }
+        self.objects
+            .insert(id, ObjectMeta { set_index, len: data.len(), shard_len });
+        self.next_set += 1;
+        Ok(())
+    }
+
+    /// Reads an object back, decoding around up to `t` failed nodes.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] for unknown ids.
+    /// * [`Error::TooManyErasures`] when more than `t` of the object's
+    ///   shards are unavailable — the paper's data-loss event.
+    pub fn get(&self, id: ObjectId) -> Result<Vec<u8>> {
+        let meta = self
+            .objects
+            .get(&id)
+            .ok_or_else(|| Error::InvalidPlacement { what: format!("{id} not found") })?;
+        let set = &self.placement.sets()[meta.set_index];
+        let mut shards: Vec<Option<Vec<u8>>> = set
+            .iter()
+            .enumerate()
+            .map(|(pos, &node)| {
+                self.nodes[node as usize]
+                    .as_ref()
+                    .and_then(|m| m.get(&(id, pos)).cloned())
+            })
+            .collect();
+        let missing = shards.iter().filter(|s| s.is_none()).count();
+        if missing > 0 {
+            self.code.reconstruct(&mut shards)?;
+        }
+        let k = self.code.data_shards();
+        let mut out = Vec::with_capacity(meta.len);
+        for shard in shards.into_iter().take(k) {
+            out.extend_from_slice(&shard.expect("reconstructed"));
+        }
+        out.truncate(meta.len);
+        Ok(out)
+    }
+
+    /// Marks a node failed, dropping every shard it held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlacement`] for out-of-range or
+    /// already-failed nodes.
+    pub fn fail_node(&mut self, node: u32) -> Result<()> {
+        let slot = self
+            .nodes
+            .get_mut(node as usize)
+            .ok_or_else(|| Error::InvalidPlacement { what: format!("node {node} out of range") })?;
+        if slot.is_none() {
+            return Err(Error::InvalidPlacement { what: format!("node {node} already failed") });
+        }
+        *slot = None;
+        Ok(())
+    }
+
+    /// Revives a failed node and reconstructs every shard it should hold,
+    /// reading `R − t` surviving shards per affected object — the rebuild
+    /// whose traffic §5.1 accounts for.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] if the node is not failed.
+    /// * [`Error::TooManyErasures`] if some object has lost more than `t`
+    ///   shards (data loss: the rebuild cannot complete).
+    pub fn rebuild_node(&mut self, node: u32) -> Result<RebuildReport> {
+        let idx = node as usize;
+        match self.nodes.get(idx) {
+            Some(None) => {}
+            Some(Some(_)) => {
+                return Err(Error::InvalidPlacement {
+                    what: format!("node {node} is not failed"),
+                })
+            }
+            None => {
+                return Err(Error::InvalidPlacement {
+                    what: format!("node {node} out of range"),
+                })
+            }
+        }
+        let mut restored: HashMap<(ObjectId, usize), Vec<u8>> = HashMap::new();
+        let mut report = RebuildReport { shards_rebuilt: 0, bytes_read: 0, bytes_written: 0 };
+        for (&id, meta) in &self.objects {
+            let set = &self.placement.sets()[meta.set_index];
+            let Some(pos) = set.iter().position(|&v| v == node) else { continue };
+            // Gather survivors.
+            let mut shards: Vec<Option<Vec<u8>>> = set
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| {
+                    self.nodes[v as usize]
+                        .as_ref()
+                        .and_then(|m| m.get(&(id, p)).cloned())
+                })
+                .collect();
+            let available = shards.iter().filter(|s| s.is_some()).count();
+            report.bytes_read +=
+                (self.code.data_shards().min(available) * meta.shard_len) as u64;
+            self.code.reconstruct(&mut shards)?;
+            let shard = shards[pos].take().expect("reconstructed");
+            report.bytes_written += shard.len() as u64;
+            report.shards_rebuilt += 1;
+            restored.insert((id, pos), shard);
+        }
+        self.nodes[idx] = Some(restored);
+        Ok(report)
+    }
+
+    /// Flips one byte of a stored shard — a latent sector error for tests
+    /// and scrubbing demonstrations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidPlacement`] if the shard is not present on
+    /// that node.
+    pub fn corrupt_shard(&mut self, node: u32, id: ObjectId, byte: usize) -> Result<()> {
+        let meta = self
+            .objects
+            .get(&id)
+            .ok_or_else(|| Error::InvalidPlacement { what: format!("{id} not found") })?;
+        let set = &self.placement.sets()[meta.set_index];
+        let pos = set
+            .iter()
+            .position(|&v| v == node)
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("node {node} does not hold {id}"),
+            })?;
+        let shard = self
+            .nodes
+            .get_mut(node as usize)
+            .and_then(|n| n.as_mut())
+            .and_then(|m| m.get_mut(&(id, pos)))
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("node {node} has no live shard of {id}"),
+            })?;
+        let i = byte % shard.len();
+        shard[i] ^= 0x5a;
+        Ok(())
+    }
+
+    /// Verifies the parity of every fully-available object.
+    ///
+    /// # Errors
+    ///
+    /// Propagates code errors (cannot occur for well-formed stored data).
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        let mut report = ScrubReport { clean: 0, corrupt: 0, degraded: 0 };
+        for (&id, meta) in &self.objects {
+            let set = &self.placement.sets()[meta.set_index];
+            let shards: Vec<Option<&Vec<u8>>> = set
+                .iter()
+                .enumerate()
+                .map(|(p, &v)| self.nodes[v as usize].as_ref().and_then(|m| m.get(&(id, p))))
+                .collect();
+            if shards.iter().any(|s| s.is_none()) {
+                report.degraded += 1;
+                continue;
+            }
+            let full: Vec<&[u8]> = shards.into_iter().map(|s| s.expect("checked").as_slice()).collect();
+            if self.code.verify(&full)? {
+                report.clean += 1;
+            } else {
+                report.corrupt += 1;
+            }
+        }
+        let _ = self.t;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BrickStore {
+        BrickStore::new(10, 5, 2).unwrap()
+    }
+
+    fn blob(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| seed.wrapping_mul(31).wrapping_add(i as u8)).collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut s = store();
+        for i in 0..20u64 {
+            s.put(ObjectId(i), &blob(i as u8, 100 + i as usize * 13)).unwrap();
+        }
+        assert_eq!(s.len(), 20);
+        for i in 0..20u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 100 + i as usize * 13));
+        }
+    }
+
+    #[test]
+    fn odd_sizes_pad_and_truncate() {
+        let mut s = store();
+        for (i, len) in [1usize, 2, 3, 7, 299].iter().enumerate() {
+            let id = ObjectId(i as u64);
+            s.put(id, &blob(i as u8 + 1, *len)).unwrap();
+            assert_eq!(s.get(id).unwrap().len(), *len);
+        }
+    }
+
+    #[test]
+    fn degraded_reads_survive_t_failures() {
+        let mut s = store();
+        for i in 0..30u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(2).unwrap();
+        s.fail_node(7).unwrap();
+        for i in 0..30u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 64), "object {i}");
+        }
+    }
+
+    #[test]
+    fn data_loss_past_tolerance() {
+        let mut s = store();
+        for i in 0..30u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        // Fail three adjacent nodes: the rotational sets {1,2,3,4,5} etc.
+        // lose three members.
+        s.fail_node(2).unwrap();
+        s.fail_node(3).unwrap();
+        s.fail_node(4).unwrap();
+        let lost = (0..30u64)
+            .filter(|&i| s.get(ObjectId(i)).is_err())
+            .count();
+        assert!(lost > 0, "some objects must be lost past tolerance");
+        // And the error is the data-loss error, not a panic.
+        let err = (0..30u64)
+            .find_map(|i| s.get(ObjectId(i)).err())
+            .expect("a loss exists");
+        assert!(matches!(err, Error::TooManyErasures { .. }));
+    }
+
+    #[test]
+    fn rebuild_restores_exactly_the_lost_shards() {
+        let mut s = store();
+        for i in 0..40u64 {
+            s.put(ObjectId(i), &blob(i as u8, 128)).unwrap();
+        }
+        s.fail_node(4).unwrap();
+        let report = s.rebuild_node(4).unwrap();
+        assert!(report.shards_rebuilt > 0);
+        // Each rebuilt shard read R−t = 3 survivors of shard_len bytes
+        // (128-byte objects over k = 3 data shards: ceil(128/3) = 43).
+        assert_eq!(report.bytes_read, report.shards_rebuilt * 3 * 43);
+        assert_eq!(report.bytes_written, report.shards_rebuilt * 43);
+        assert!(s.failed_nodes().is_empty());
+        for i in 0..40u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 128));
+        }
+        // Scrub confirms parity consistency after rebuild.
+        let scrub = s.scrub().unwrap();
+        assert_eq!(scrub.corrupt, 0);
+        assert_eq!(scrub.degraded, 0);
+        assert_eq!(scrub.clean, 40);
+    }
+
+    #[test]
+    fn rebuild_with_concurrent_failure_still_works_within_t() {
+        let mut s = store();
+        for i in 0..40u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(1).unwrap();
+        s.fail_node(5).unwrap();
+        // Rebuild node 1 while node 5 is still down (t = 2 allows it).
+        let report = s.rebuild_node(1).unwrap();
+        assert!(report.shards_rebuilt > 0);
+        for i in 0..40u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 64));
+        }
+    }
+
+    #[test]
+    fn scrub_finds_latent_corruption() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(9, 256)).unwrap();
+        s.put(ObjectId(2), &blob(10, 256)).unwrap();
+        assert_eq!(s.scrub().unwrap(), ScrubReport { clean: 2, corrupt: 0, degraded: 0 });
+        // Corrupt a shard of object 1 on one of its nodes (set 1 starts at
+        // node 1 for the rotational layout).
+        s.corrupt_shard(2, ObjectId(1), 17).unwrap();
+        let r = s.scrub().unwrap();
+        assert_eq!(r.corrupt, 1);
+        assert_eq!(r.clean, 1);
+    }
+
+    #[test]
+    fn scrub_reports_degraded_objects() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(3, 64)).unwrap();
+        s.fail_node(1).unwrap();
+        let r = s.scrub().unwrap();
+        assert_eq!(r.degraded, 1);
+    }
+
+    #[test]
+    fn api_validation() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(1, 32)).unwrap();
+        assert!(s.put(ObjectId(1), &blob(1, 32)).is_err()); // duplicate
+        assert!(s.put(ObjectId(2), b"").is_err()); // empty
+        assert!(s.get(ObjectId(99)).is_err()); // unknown
+        assert!(s.fail_node(99).is_err());
+        s.fail_node(3).unwrap();
+        assert!(s.fail_node(3).is_err()); // double failure
+        assert!(s.rebuild_node(4).is_err()); // not failed
+        assert!(BrickStore::new(4, 5, 2).is_err()); // R > N
+        assert!(BrickStore::new(8, 4, 4).is_err()); // t >= R
+        assert!(BrickStore::new(8, 4, 0).is_err()); // t == 0
+    }
+
+    #[test]
+    fn writes_to_degraded_sets_are_refused() {
+        let mut s = BrickStore::new(6, 6, 2).unwrap(); // every set spans all nodes
+        s.fail_node(0).unwrap();
+        assert!(s.put(ObjectId(1), &blob(1, 32)).is_err());
+    }
+
+    #[test]
+    fn display_and_helpers() {
+        let s = store();
+        assert!(s.is_empty());
+        assert_eq!(s.node_count(), 10);
+        assert_eq!(format!("{}", ObjectId(7)), "obj7");
+    }
+}

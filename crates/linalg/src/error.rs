@@ -1,0 +1,75 @@
+use std::fmt;
+
+/// Errors produced by linear-algebra operations.
+///
+/// All operations validate their inputs (dimension agreement, non-empty
+/// shapes) and report failures through this type rather than panicking,
+/// except for plain index access which panics like slice indexing does.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Two operands had incompatible shapes for the requested operation.
+    DimensionMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        left: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        right: (usize, usize),
+    },
+    /// A square matrix was required but the operand was rectangular.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix was singular to working precision.
+    ///
+    /// `pivot` is the elimination column at which no usable pivot remained.
+    Singular {
+        /// Column index at which factorization broke down.
+        pivot: usize,
+    },
+    /// A matrix with zero rows or columns was supplied where a non-empty
+    /// matrix is required.
+    Empty,
+    /// Rows of a jagged row-slice constructor had differing lengths.
+    JaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Index of the first row whose length differs.
+        row: usize,
+        /// Length of that row.
+        found: usize,
+    },
+    /// A numeric argument was not finite.
+    NotFinite {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { op, left, right } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            Error::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision at pivot column {pivot}")
+            }
+            Error::Empty => write!(f, "matrix must be non-empty"),
+            Error::JaggedRows { expected, row, found } => write!(
+                f,
+                "jagged rows: row 0 has length {expected} but row {row} has length {found}"
+            ),
+            Error::NotFinite { op } => write!(f, "non-finite value encountered in {op}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,571 @@
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// A dense, row-major matrix of `f64` values.
+///
+/// `Matrix` is the workhorse container for the CTMC generator matrices built
+/// by the reliability models. It stores its elements contiguously and
+/// supports the usual arithmetic via operator overloads on references
+/// (`&a + &b`, `&a * &b`), which never consume their operands.
+///
+/// # Example
+///
+/// ```
+/// use nsr_linalg::Matrix;
+///
+/// # fn main() -> Result<(), nsr_linalg::Error> {
+/// let i = Matrix::identity(3);
+/// let a = Matrix::from_fn(3, 3, |r, c| (r + c) as f64);
+/// let b = (&a * &i)?;
+/// assert_eq!(a, b);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// let z = Matrix::zeros(2, 3);
+    /// assert_eq!(z[(1, 2)], 0.0);
+    /// ```
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// let i = Matrix::identity(2);
+    /// assert_eq!(i[(0, 0)], 1.0);
+    /// assert_eq!(i[(0, 1)], 0.0);
+    /// ```
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every element.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// let m = Matrix::from_fn(2, 2, |r, c| if r == c { 1.0 } else { 0.0 });
+    /// assert_eq!(m, Matrix::identity(2));
+    /// ```
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from a slice of row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Empty`] for an empty input and [`Error::JaggedRows`]
+    /// if the rows do not all have the same length.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// # fn main() -> Result<(), nsr_linalg::Error> {
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+    /// assert_eq!(m[(1, 0)], 3.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(Error::Empty);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != cols {
+                return Err(Error::JaggedRows { expected: cols, row: i, found: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: rows.len(), cols, data })
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `data.len() != rows * cols`
+    /// and [`Error::Empty`] for a zero-sized shape.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if rows == 0 || cols == 0 {
+            return Err(Error::Empty);
+        }
+        if data.len() != rows * cols {
+            return Err(Error::DimensionMismatch {
+                op: "from_vec",
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a freshly allocated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        assert!(c < self.cols, "column index {c} out of bounds for {} cols", self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Flat row-major view of the element storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the flat row-major element storage.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Returns the transpose.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// let m = Matrix::from_fn(2, 3, |r, c| (3 * r + c) as f64);
+    /// let t = m.transpose();
+    /// assert_eq!(t.shape(), (3, 2));
+    /// assert_eq!(t[(2, 1)], m[(1, 2)]);
+    /// ```
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Multiplies the matrix by a column vector, returning `A·x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.cols()`.
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// # fn main() -> Result<(), nsr_linalg::Error> {
+    /// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+    /// assert_eq!(a.mul_vec(&[1.0, 1.0])?, vec![3.0, 7.0]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "mul_vec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|r| self.row(r).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// Multiplies a row vector by the matrix, returning `xᵗ·A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.rows()`.
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(Error::DimensionMismatch {
+                op: "vec_mul",
+                left: (1, x.len()),
+                right: self.shape(),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r).iter().enumerate() {
+                out[c] += xr * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Returns a copy scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+
+    /// Maximum absolute row sum (the operator ∞-norm).
+    ///
+    /// ```
+    /// use nsr_linalg::Matrix;
+    /// # fn main() -> Result<(), nsr_linalg::Error> {
+    /// let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 0.25]])?;
+    /// assert_eq!(a.norm_inf(), 3.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|r| self.row(r).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute column sum (the operator 1-norm).
+    pub fn norm_one(&self) -> f64 {
+        let mut sums = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (c, v) in self.row(r).iter().enumerate() {
+                sums[c] += v.abs();
+            }
+        }
+        sums.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm (`sqrt(Σ aᵢⱼ²)`).
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// `true` when all elements are finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Extracts the square submatrix obtained by deleting the rows in
+    /// `drop_rows` and the columns in `drop_cols` (both must be sorted and
+    /// deduplicated by the caller; out-of-range entries are ignored).
+    pub fn minor(&self, drop_rows: &[usize], drop_cols: &[usize]) -> Matrix {
+        let keep_rows: Vec<usize> =
+            (0..self.rows).filter(|r| !drop_rows.contains(r)).collect();
+        let keep_cols: Vec<usize> =
+            (0..self.cols).filter(|c| !drop_cols.contains(c)).collect();
+        Matrix::from_fn(keep_rows.len(), keep_cols.len(), |r, c| {
+            self[(keep_rows[r], keep_cols[c])]
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn add(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn sub(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(Error::DimensionMismatch {
+                op: "sub",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix>;
+
+    fn mul(self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(Error::DimensionMismatch {
+                op: "mul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for (c, v) in self.row(r).iter().enumerate() {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v:>12.6e}")?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_rows_rejects_jagged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert!(matches!(err, Error::JaggedRows { expected: 2, row: 1, found: 1 }));
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert_eq!(Matrix::from_rows(&[]).unwrap_err(), Error::Empty);
+        let empty_row: &[f64] = &[];
+        assert_eq!(Matrix::from_rows(&[empty_row]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err(),
+            Error::DimensionMismatch { .. }
+        ));
+        assert_eq!(Matrix::from_vec(0, 2, vec![]).unwrap_err(), Error::Empty);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 7 + c) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_vector_products() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(a.mul_vec(&[1.0, 0.0]).unwrap(), vec![1.0, 3.0]);
+        assert_eq!(a.vec_mul(&[1.0, 0.0]).unwrap(), vec![1.0, 2.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert!(a.vec_mul(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn mul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!((&a * &i).unwrap(), a);
+        assert_eq!((&i * &a).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_rectangular_shapes() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r + c) as f64);
+        let b = Matrix::from_fn(3, 4, |r, c| (r * c) as f64);
+        let c = (&a * &b).unwrap();
+        assert_eq!(c.shape(), (2, 4));
+        // Element (1, 2): sum_k a[1,k] * b[k,2] = 1*0 + 2*2 + 3*4 = 16
+        assert_eq!(c[(1, 2)], 16.0);
+        assert!((&b * &a).is_err());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + 2 * c) as f64);
+        let b = Matrix::from_fn(2, 2, |r, c| (10 * r + c) as f64);
+        let s = (&a + &b).unwrap();
+        let back = (&s - &b).unwrap();
+        assert_eq!(back, a);
+        let bad = Matrix::zeros(3, 2);
+        assert!((&a + &bad).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[0.0, 3.0]]).unwrap();
+        assert_eq!(a.norm_inf(), 3.0);
+        assert_eq!(a.norm_one(), 5.0);
+        assert!((a.norm_frobenius() - (14.0f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn minor_removes_rows_and_cols() {
+        let a = Matrix::from_fn(3, 3, |r, c| (3 * r + c) as f64);
+        let m = a.minor(&[0], &[0]);
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(0, 0)], 4.0);
+        assert_eq!(m[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+        assert!(!format!("{a:?}").is_empty());
+    }
+
+    #[test]
+    fn get_checked() {
+        let a = Matrix::identity(2);
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(2, 0), None);
+        assert_eq!(a.get(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::identity(2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let b = (-&a).scaled(-1.0);
+        assert_eq!(a, b);
+        let mut c = a.clone();
+        c.scale_mut(2.0);
+        assert_eq!(c[(1, 1)], 4.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! These helpers intentionally operate on plain slices so they compose with
+//! `Vec<f64>`, arrays and matrix rows alike.
+
+/// Dot product `Σ aᵢ·bᵢ`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(nsr_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place `y ← y + alpha·x`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm `sqrt(Σ aᵢ²)`.
+///
+/// ```
+/// assert_eq!(nsr_linalg::vector::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Maximum absolute element.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Sum of absolute elements.
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|v| v.abs()).sum()
+}
+
+/// Sum of all elements.
+pub fn sum(a: &[f64]) -> f64 {
+    a.iter().sum()
+}
+
+/// Normalizes `a` in place so that its elements sum to one; returns `false`
+/// (leaving `a` untouched) when the sum is zero or non-finite.
+pub fn normalize_prob(a: &mut [f64]) -> bool {
+    let s = sum(a);
+    if s == 0.0 || !s.is_finite() {
+        return false;
+    }
+    for v in a.iter_mut() {
+        *v /= s;
+    }
+    true
+}
+
+/// Largest relative elementwise difference between `a` and `b`, using
+/// `max(|aᵢ|, |bᵢ|, floor)` as the per-element scale.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_rel_diff(a: &[f64], b: &[f64], floor: f64) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_rel_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(floor))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+        assert_eq!(norm1(&[-1.0, 2.0, -3.0]), 6.0);
+        assert_eq!(sum(&[1.0, 2.0, -0.5]), 2.5);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_prob_handles_degenerate() {
+        let mut p = vec![2.0, 2.0];
+        assert!(normalize_prob(&mut p));
+        assert_eq!(p, vec![0.5, 0.5]);
+        let mut zero = vec![0.0, 0.0];
+        assert!(!normalize_prob(&mut zero));
+        assert_eq!(zero, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn rel_diff() {
+        assert!(max_rel_diff(&[1.0, 2.0], &[1.0, 2.0], 1e-300) == 0.0);
+        let d = max_rel_diff(&[100.0], &[101.0], 1e-300);
+        assert!((d - 1.0 / 101.0).abs() < 1e-12);
+    }
+}

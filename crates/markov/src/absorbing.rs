@@ -1,0 +1,536 @@
+use std::collections::HashMap;
+
+use nsr_linalg::{Lu, Matrix};
+
+use crate::builder::StateId;
+use crate::ctmc::Ctmc;
+use crate::{Error, Result};
+
+/// Exact analysis of a CTMC with absorbing states.
+///
+/// This is the numerical realization of the paper appendix's
+///
+/// ```text
+/// MTTDL = ⟨1, 0, …, 0⟩ · R⁻¹ · ⟨1, …, 1⟩ᵗ
+/// ```
+///
+/// generalized to arbitrary initial states and to absorption probabilities.
+///
+/// # Numerical method
+///
+/// Reliability chains are *stiff*: repair rates exceed failure rates by
+/// 3–6 orders of magnitude, so the absorption matrix `R = −Q_B` of a
+/// fault-tolerance-`k` model has condition number growing like
+/// `(μ/λ)^k` — far beyond what a plain `f64` LU solve survives (`κ ≈ 10¹⁶`
+/// already at `k ≈ 4`). `AbsorbingAnalysis` therefore computes mean times
+/// to absorption and absorption probabilities with **GTH-style
+/// subtraction-free state elimination** (Grassmann–Taksar–Heyman): states
+/// are eliminated one at a time, every update is a product or a sum of
+/// non-negative quantities, and exit rates are *recomputed* as sums rather
+/// than updated by differences. The result carries componentwise relative
+/// accuracy `O(n·ε)` independent of the chain's stiffness. An LU
+/// factorization of `R` is still kept for the quantities that genuinely
+/// live in matrix land ([`AbsorbingAnalysis::det`],
+/// [`AbsorbingAnalysis::expected_time_in`]).
+///
+/// # Example
+///
+/// ```
+/// use nsr_markov::{CtmcBuilder, AbsorbingAnalysis};
+///
+/// # fn main() -> Result<(), nsr_markov::Error> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 0.1)?;
+/// let ctmc = b.build()?;
+/// let a = AbsorbingAnalysis::new(&ctmc)?;
+/// assert!((a.mean_time_to_absorption(up)? - 10.0).abs() < 1e-12);
+/// assert!((a.absorption_probability(up, down)? - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AbsorbingAnalysis {
+    /// Absorption matrix over the transient states (for det / fundamental
+    /// matrix queries).
+    r: Matrix,
+    lu: Lu,
+    /// Transient states in the row/column order of `r`.
+    transient: Vec<StateId>,
+    /// Map from global state index to transient row index.
+    pos: HashMap<usize, usize>,
+    /// All absorbing states.
+    absorbing: Vec<StateId>,
+    /// `mtta[i]` = expected time to absorption from transient row `i`,
+    /// computed by GTH elimination.
+    mtta: Vec<f64>,
+    /// `absorb_prob[a][i]` = P(absorbed in `a` | start in transient row
+    /// `i`), computed lazily per absorbing state by GTH elimination.
+    absorb_prob: HashMap<usize, Vec<f64>>,
+}
+
+/// Subtraction-free (GTH-style) solve of `D_i·x_i = r_i + Σ_j q_ij·x_j`
+/// over the transient states, where `q` holds non-negative transition
+/// rates between transient states, `qa` the non-negative rates into the
+/// absorbing class, and `r` a non-negative right-hand side.
+///
+/// With `r = 1` this yields mean times to absorption; with
+/// `r = (rates into one absorbing state)` it yields the absorption
+/// probabilities into that state.
+///
+/// Every arithmetic operation is on non-negative quantities, which is what
+/// buys stiffness-independent relative accuracy.
+fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<Vec<f64>> {
+    let m = qa.len();
+    debug_assert_eq!(q.len(), m);
+    debug_assert_eq!(r.len(), m);
+
+    // Elimination pass: fold state t into the remaining states 0..t.
+    let mut exit = vec![0.0; m]; // D_t at elimination time, reused in back-substitution
+    for t in (0..m).rev() {
+        // Exit rate over *remaining* targets (j < t) plus absorption —
+        // recomputed as a sum (never a difference), the GTH trick.
+        let mut d = qa[t];
+        for j in 0..t {
+            d += q[t][j];
+        }
+        if d <= 0.0 {
+            // State t cannot reach absorption once higher states are
+            // eliminated: the chain is reducible w.r.t. absorption.
+            return Err(Error::Linalg(nsr_linalg::Error::Singular { pivot: t }));
+        }
+        exit[t] = d;
+        for i in 0..t {
+            let f = q[i][t] / d;
+            if f == 0.0 {
+                continue;
+            }
+            r[i] += f * r[t];
+            qa[i] += f * qa[t];
+            for j in 0..t {
+                if j != i {
+                    let add = f * q[t][j];
+                    if add > 0.0 {
+                        q[i][j] += add;
+                    }
+                }
+            }
+        }
+    }
+    // Back-substitution: x_t = (r_t + Σ_{j<t} q_tj·x_j) / D_t — again all
+    // non-negative.
+    let mut x = vec![0.0; m];
+    for t in 0..m {
+        let mut acc = r[t];
+        for j in 0..t {
+            acc += q[t][j] * x[j];
+        }
+        x[t] = acc / exit[t];
+    }
+    Ok(x)
+}
+
+impl AbsorbingAnalysis {
+    /// Builds the analysis for a chain.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::NoAbsorbingState`] / [`Error::NoTransientState`] if the
+    ///   chain is not a proper absorbing chain.
+    /// * [`Error::Linalg`] if some transient state cannot reach any
+    ///   absorbing state (the absorption matrix is singular).
+    pub fn new(ctmc: &Ctmc) -> Result<Self> {
+        let absorbing = ctmc.absorbing_states();
+        if absorbing.is_empty() {
+            return Err(Error::NoAbsorbingState);
+        }
+        let (r, transient) = ctmc.absorption_matrix();
+        if transient.is_empty() {
+            return Err(Error::NoTransientState);
+        }
+        let pos: HashMap<usize, usize> =
+            transient.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+        let lu = Lu::factor(&r)?;
+
+        let (q, qa) = Self::rate_tables(ctmc, &transient, &pos, None);
+        let ones = vec![1.0; transient.len()];
+        let mtta = gth_solve(q.clone(), qa.clone(), ones)?;
+
+        // Absorption probabilities into each absorbing state: same
+        // elimination with the per-target inflow rates as RHS.
+        let mut absorb_prob = HashMap::new();
+        for &a in &absorbing {
+            let (_, r_target) = Self::rate_tables(ctmc, &transient, &pos, Some(a));
+            let u = gth_solve(q.clone(), qa.clone(), r_target)?;
+            absorb_prob.insert(a.0, u);
+        }
+
+        Ok(AbsorbingAnalysis { r, lu, transient, pos, absorbing, mtta, absorb_prob })
+    }
+
+    /// Extracts the transient-to-transient rate table `q` and, depending on
+    /// `target`, either the rates into *all* absorbing states (`None`) or
+    /// the rates into one specific absorbing state (`Some`), as `qa`.
+    fn rate_tables(
+        ctmc: &Ctmc,
+        transient: &[StateId],
+        pos: &HashMap<usize, usize>,
+        target: Option<StateId>,
+    ) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let m = transient.len();
+        let mut q = vec![vec![0.0; m]; m];
+        let mut qa = vec![0.0; m];
+        for (i, &s) in transient.iter().enumerate() {
+            for &(to, rate) in ctmc.transitions_from(s) {
+                if let Some(&j) = pos.get(&to.0) {
+                    q[i][j] += rate;
+                } else if target.is_none() || target == Some(to) {
+                    qa[i] += rate;
+                }
+            }
+        }
+        (q, qa)
+    }
+
+    /// The transient states, in the internal row order.
+    pub fn transient_states(&self) -> &[StateId] {
+        &self.transient
+    }
+
+    /// The absorbing states.
+    pub fn absorbing_states(&self) -> &[StateId] {
+        &self.absorbing
+    }
+
+    /// The absorption matrix `R = −Q_B` (row order = [`Self::transient_states`]).
+    pub fn absorption_matrix(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Determinant of the absorption matrix (the `det(R)` of the paper's
+    /// appendix formula `M(R) = Num(R)/det(R)`).
+    pub fn det(&self) -> f64 {
+        self.lu.det()
+    }
+
+    /// Mean time to absorption starting from transient state `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StateNotTransient`] if `from` is absorbing.
+    pub fn mean_time_to_absorption(&self, from: StateId) -> Result<f64> {
+        let i = *self
+            .pos
+            .get(&from.0)
+            .ok_or(Error::StateNotTransient { state: from.0 })?;
+        Ok(self.mtta[i])
+    }
+
+    /// Expected total time spent in transient state `in_state` before
+    /// absorption, starting from `from` — the `(from, in_state)` entry of
+    /// the fundamental matrix `R⁻¹` (the `τᵢ` of equation (A.1)).
+    ///
+    /// Computed from the LU factorization; for stiff chains prefer
+    /// [`Self::mean_time_to_absorption`] (GTH) when only the total is
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StateNotTransient`] if either state is absorbing.
+    pub fn expected_time_in(&self, from: StateId, in_state: StateId) -> Result<f64> {
+        let i = *self
+            .pos
+            .get(&from.0)
+            .ok_or(Error::StateNotTransient { state: from.0 })?;
+        let j = *self
+            .pos
+            .get(&in_state.0)
+            .ok_or(Error::StateNotTransient { state: in_state.0 })?;
+        // (R⁻¹)_{ij} = e_iᵗ R⁻¹ e_j: solve R y = e_j, answer y_i.
+        let mut e = vec![0.0; self.transient.len()];
+        e[j] = 1.0;
+        let y = self.lu.solve(&e)?;
+        Ok(y[i])
+    }
+
+    /// Probability that the chain, started in transient state `from`, is
+    /// eventually absorbed in `into` (GTH-computed at construction).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::StateNotTransient`] if `from` is absorbing.
+    /// * [`Error::StateNotAbsorbing`] if `into` is transient.
+    pub fn absorption_probability(&self, from: StateId, into: StateId) -> Result<f64> {
+        let i = *self
+            .pos
+            .get(&from.0)
+            .ok_or(Error::StateNotTransient { state: from.0 })?;
+        let col = self
+            .absorb_prob
+            .get(&into.0)
+            .ok_or(Error::StateNotAbsorbing { state: into.0 })?;
+        Ok(col[i].clamp(0.0, 1.0))
+    }
+
+    /// The *pre-absorption occupancy distribution*: the fraction of its
+    /// lifetime the chain spends in each transient state before
+    /// absorption, starting from `from` (`τᵢ / MTTA` — a normalized view
+    /// of the appendix's equation A.1 occupancies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::StateNotTransient`] if `from` is absorbing.
+    pub fn occupancy_distribution(&self, from: StateId) -> Result<Vec<(StateId, f64)>> {
+        let mtta = self.mean_time_to_absorption(from)?;
+        let mut out = Vec::with_capacity(self.transient.len());
+        for &s in &self.transient {
+            let t = self.expected_time_in(from, s)?;
+            out.push((s, (t / mtta).max(0.0)));
+        }
+        Ok(out)
+    }
+
+    /// Mean time to absorption from an initial *distribution* over transient
+    /// states (`π₀` in the appendix; entries for absorbing states must be
+    /// absent/zero).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] if the weights don't sum to ~1 or are
+    ///   negative.
+    /// * [`Error::StateNotTransient`] if a weighted state is absorbing.
+    pub fn mean_time_to_absorption_from(&self, pi0: &[(StateId, f64)]) -> Result<f64> {
+        let mut total_w = 0.0;
+        let mut acc = 0.0;
+        for &(s, w) in pi0 {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(Error::InvalidArgument { what: "initial weights must be >= 0" });
+            }
+            let i = *self
+                .pos
+                .get(&s.0)
+                .ok_or(Error::StateNotTransient { state: s.0 })?;
+            acc += w * self.mtta[i];
+            total_w += w;
+        }
+        if (total_w - 1.0).abs() > 1e-9 {
+            return Err(Error::InvalidArgument { what: "initial weights must sum to 1" });
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn chain(a: f64, mu: f64, b2: f64) -> (Ctmc, StateId, StateId, StateId) {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("0");
+        let s1 = b.add_state("1");
+        let s2 = b.add_state("2");
+        b.add_transition(s0, s1, a).unwrap();
+        b.add_transition(s1, s0, mu).unwrap();
+        b.add_transition(s1, s2, b2).unwrap();
+        (b.build().unwrap(), s0, s1, s2)
+    }
+
+    #[test]
+    fn mtta_matches_closed_form() {
+        let (lam_a, mu, lam_b) = (2e-3, 0.5, 1e-3);
+        let (c, s0, _, _) = chain(lam_a, mu, lam_b);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let got = an.mean_time_to_absorption(s0).unwrap();
+        let exact = (lam_a + lam_b + mu) / (lam_a * lam_b);
+        assert!((got - exact).abs() / exact < 1e-12, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn gth_survives_extreme_stiffness() {
+        // A 6-deep repairable chain with μ/λ = 10⁶: condition number ~1e36,
+        // hopeless for LU, trivial for GTH. Compare against the analytic
+        // leading term μ⁵/(λ⁶·∏1) — more precisely, build the chain and
+        // compare with the exact product-form birth–death formula.
+        let lam = 1e-6;
+        let mu = 1.0;
+        let depth = 6;
+        let mut b = CtmcBuilder::new();
+        let states: Vec<StateId> =
+            (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        for i in 0..depth {
+            b.add_transition(states[i], states[i + 1], lam).unwrap();
+            b.add_transition(states[i + 1], states[i], mu).unwrap();
+        }
+        b.add_transition(states[depth], dead, lam).unwrap();
+        let c = b.build().unwrap();
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let got = an.mean_time_to_absorption(states[0]).unwrap();
+
+        // Exact birth-death first-passage: T_i = 1/a_i + (b_i/a_i)·T_{i-1},
+        // MTTA = Σ T_i (all-positive recurrence, exact to machine eps).
+        let mut t_prev = 0.0;
+        let mut total = 0.0;
+        for i in 0..=depth {
+            let b_i = if i == 0 { 0.0 } else { mu };
+            let t_i = 1.0 / lam + (b_i / lam) * t_prev;
+            total += t_i;
+            t_prev = t_i;
+        }
+        assert!(
+            (got - total).abs() / total < 1e-10,
+            "GTH {got:.6e} vs product-form {total:.6e}"
+        );
+    }
+
+    #[test]
+    fn mtta_from_degraded_state_is_smaller() {
+        let (c, s0, s1, _) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let from0 = an.mean_time_to_absorption(s0).unwrap();
+        let from1 = an.mean_time_to_absorption(s1).unwrap();
+        assert!(from1 < from0);
+    }
+
+    #[test]
+    fn absorption_probability_single_sink_is_one() {
+        let (c, s0, _, s2) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let p = an.absorption_probability(s0, s2).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn competing_sinks_split_by_rate() {
+        let mut b = CtmcBuilder::new();
+        let s = b.add_state("s");
+        let a1 = b.add_state("a1");
+        let a2 = b.add_state("a2");
+        b.add_transition(s, a1, 3.0).unwrap();
+        b.add_transition(s, a2, 1.0).unwrap();
+        let c = b.build().unwrap();
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert!((an.absorption_probability(s, a1).unwrap() - 0.75).abs() < 1e-12);
+        assert!((an.absorption_probability(s, a2).unwrap() - 0.25).abs() < 1e-12);
+        assert!((an.mean_time_to_absorption(s).unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn competing_sink_probabilities_sum_to_one_when_stiff() {
+        // Stiff chain with two sinks: probabilities must still sum to 1 to
+        // high relative accuracy.
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("0");
+        let s1 = b.add_state("1");
+        let sink1 = b.add_state("sink1");
+        let sink2 = b.add_state("sink2");
+        b.add_transition(s0, s1, 1e-9).unwrap();
+        b.add_transition(s1, s0, 1.0).unwrap();
+        b.add_transition(s1, sink1, 3e-9).unwrap();
+        b.add_transition(s1, sink2, 1e-9).unwrap();
+        let c = b.build().unwrap();
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let p1 = an.absorption_probability(s0, sink1).unwrap();
+        let p2 = an.absorption_probability(s0, sink2).unwrap();
+        assert!((p1 + p2 - 1.0).abs() < 1e-12, "{p1} + {p2}");
+        assert!((p1 / p2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_time_decomposes_mtta() {
+        let (c, s0, s1, _) = chain(2e-3, 0.7, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let t00 = an.expected_time_in(s0, s0).unwrap();
+        let t01 = an.expected_time_in(s0, s1).unwrap();
+        let mtta = an.mean_time_to_absorption(s0).unwrap();
+        assert!((t00 + t01 - mtta).abs() / mtta < 1e-10);
+    }
+
+    #[test]
+    fn occupancy_distribution_sums_to_one_and_orders() {
+        let (c, s0, s1, _) = chain(2e-3, 0.7, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let occ = an.occupancy_distribution(s0).unwrap();
+        let total: f64 = occ.iter().map(|(_, f)| f).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+        // The healthy state dominates a repairable system's lifetime.
+        let f0 = occ.iter().find(|(s, _)| *s == s0).unwrap().1;
+        let f1 = occ.iter().find(|(s, _)| *s == s1).unwrap().1;
+        assert!(f0 > 0.99 && f1 < 0.01, "{f0} vs {f1}");
+    }
+
+    #[test]
+    fn initial_distribution_mixes() {
+        let (c, s0, s1, _) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        let m0 = an.mean_time_to_absorption(s0).unwrap();
+        let m1 = an.mean_time_to_absorption(s1).unwrap();
+        let mixed = an
+            .mean_time_to_absorption_from(&[(s0, 0.25), (s1, 0.75)])
+            .unwrap();
+        assert!((mixed - (0.25 * m0 + 0.75 * m1)).abs() < 1e-9);
+        assert!(an.mean_time_to_absorption_from(&[(s0, 0.5)]).is_err());
+        assert!(an
+            .mean_time_to_absorption_from(&[(s0, 0.5), (s1, -0.5)])
+            .is_err());
+    }
+
+    #[test]
+    fn errors_for_wrong_state_kinds() {
+        let (c, s0, _, s2) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert!(matches!(
+            an.mean_time_to_absorption(s2).unwrap_err(),
+            Error::StateNotTransient { state: 2 }
+        ));
+        assert!(matches!(
+            an.absorption_probability(s0, s0).unwrap_err(),
+            Error::StateNotAbsorbing { state: 0 }
+        ));
+    }
+
+    #[test]
+    fn no_absorbing_state_rejected() {
+        let mut b = CtmcBuilder::new();
+        let x = b.add_state("x");
+        let y = b.add_state("y");
+        b.add_transition(x, y, 1.0).unwrap();
+        b.add_transition(y, x, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::NoAbsorbingState));
+    }
+
+    #[test]
+    fn all_absorbing_rejected() {
+        let mut b = CtmcBuilder::new();
+        b.add_state("only");
+        let c = b.build().unwrap();
+        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::NoTransientState));
+    }
+
+    #[test]
+    fn unreachable_sink_detected() {
+        // x <-> y cycle plus an unrelated absorbing state z: the transient
+        // block cannot reach absorption.
+        let mut b = CtmcBuilder::new();
+        let x = b.add_state("x");
+        let y = b.add_state("y");
+        b.add_state("z");
+        b.add_transition(x, y, 1.0).unwrap();
+        b.add_transition(y, x, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::Linalg(_)));
+    }
+
+    #[test]
+    fn determinant_positive_for_absorbing_chain() {
+        let (c, ..) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert!(an.det() > 0.0);
+        assert_eq!(an.transient_states().len(), 2);
+        assert_eq!(an.absorbing_states().len(), 1);
+        assert_eq!(an.absorption_matrix().shape(), (2, 2));
+    }
+}

@@ -1,0 +1,188 @@
+use serde::{Deserialize, Serialize};
+
+use crate::ctmc::{Ctmc, Transition};
+use crate::{Error, Result};
+
+/// Opaque handle to a state created by a [`CtmcBuilder`].
+///
+/// State ids are dense indices in creation order; [`StateId::index`] exposes
+/// the index for callers that build parallel tables keyed by state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// Dense index of the state (creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Incremental builder for a [`Ctmc`].
+///
+/// Rates for repeated `(from, to)` pairs accumulate, which makes it easy to
+/// express "either of two failure modes moves the system to the same state"
+/// without pre-summing rates.
+///
+/// # Example
+///
+/// ```
+/// use nsr_markov::CtmcBuilder;
+///
+/// # fn main() -> Result<(), nsr_markov::Error> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 0.5)?;
+/// b.add_transition(up, down, 0.25)?; // accumulates to 0.75
+/// let ctmc = b.build()?;
+/// assert_eq!(ctmc.total_rate(up), 0.75);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CtmcBuilder {
+    labels: Vec<String>,
+    transitions: Vec<Transition>,
+}
+
+impl CtmcBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state with a human-readable label and returns its id.
+    pub fn add_state(&mut self, label: impl Into<String>) -> StateId {
+        self.labels.push(label.into());
+        StateId(self.labels.len() - 1)
+    }
+
+    /// Number of states added so far.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no states have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Adds a transition with the given rate. A zero rate is accepted and
+    /// ignored (convenient when rates are computed from parameters that may
+    /// vanish); rates for repeated pairs accumulate.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::UnknownState`] if either endpoint was not created by this
+    ///   builder.
+    /// * [`Error::SelfLoop`] if `from == to`.
+    /// * [`Error::InvalidRate`] if `rate` is negative, NaN or infinite.
+    pub fn add_transition(&mut self, from: StateId, to: StateId, rate: f64) -> Result<&mut Self> {
+        let n = self.labels.len();
+        for s in [from, to] {
+            if s.0 >= n {
+                return Err(Error::UnknownState { state: s.0, len: n });
+            }
+        }
+        if from == to {
+            return Err(Error::SelfLoop { state: from.0 });
+        }
+        if !(rate.is_finite() && rate >= 0.0) {
+            return Err(Error::InvalidRate { from: from.0, to: to.0, rate });
+        }
+        if rate > 0.0 {
+            if let Some(t) =
+                self.transitions.iter_mut().find(|t| t.from == from && t.to == to)
+            {
+                t.rate += rate;
+            } else {
+                self.transitions.push(Transition { from, to, rate });
+            }
+        }
+        Ok(self)
+    }
+
+    /// Finalizes the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyChain`] if no states were added.
+    pub fn build(self) -> Result<Ctmc> {
+        if self.labels.is_empty() {
+            return Err(Error::EmptyChain);
+        }
+        Ok(Ctmc::from_parts(self.labels, self.transitions))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_rates() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        let c = b.add_state("c");
+        b.add_transition(a, c, 1.0).unwrap();
+        b.add_transition(a, c, 2.0).unwrap();
+        let ctmc = b.build().unwrap();
+        assert_eq!(ctmc.total_rate(a), 3.0);
+        assert_eq!(ctmc.transitions_from(a).len(), 1);
+    }
+
+    #[test]
+    fn zero_rate_is_dropped() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        let c = b.add_state("c");
+        b.add_transition(a, c, 0.0).unwrap();
+        let ctmc = b.build().unwrap();
+        assert!(ctmc.transitions_from(a).is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_transitions() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        let c = b.add_state("c");
+        assert!(matches!(
+            b.add_transition(a, a, 1.0).unwrap_err(),
+            Error::SelfLoop { state: 0 }
+        ));
+        assert!(matches!(
+            b.add_transition(a, c, -1.0).unwrap_err(),
+            Error::InvalidRate { .. }
+        ));
+        assert!(matches!(
+            b.add_transition(a, c, f64::NAN).unwrap_err(),
+            Error::InvalidRate { .. }
+        ));
+        let ghost = StateId(99);
+        assert!(matches!(
+            b.add_transition(a, ghost, 1.0).unwrap_err(),
+            Error::UnknownState { state: 99, len: 2 }
+        ));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(matches!(CtmcBuilder::new().build().unwrap_err(), Error::EmptyChain));
+    }
+
+    #[test]
+    fn state_id_display_and_index() {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        assert_eq!(a.index(), 0);
+        assert_eq!(format!("{a}"), "s0");
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+    }
+}

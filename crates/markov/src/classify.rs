@@ -1,0 +1,249 @@
+//! Structural classification of a chain: communicating classes and
+//! absorption reachability.
+//!
+//! Building large reliability models programmatically invites wiring
+//! mistakes — a repair transition pointing at the wrong state can leave a
+//! region of the chain unable to reach absorption, which surfaces only as
+//! an opaque singular-matrix error deep in the solver. This module makes
+//! the structure inspectable: strongly connected components (Tarjan's
+//! algorithm, iterative), and a [`validate_absorbing`] check with a
+//! pinpointed diagnosis.
+
+use crate::builder::StateId;
+use crate::ctmc::Ctmc;
+use crate::{Error, Result};
+
+/// The strongly connected components of the chain's transition digraph,
+/// in reverse topological order (successors before predecessors).
+///
+/// Each component is a set of mutually reachable states; absorbing states
+/// are singleton components.
+///
+/// # Example
+///
+/// ```
+/// use nsr_markov::{CtmcBuilder, strongly_connected_components};
+///
+/// # fn main() -> Result<(), nsr_markov::Error> {
+/// let mut b = CtmcBuilder::new();
+/// let a = b.add_state("a");
+/// let c = b.add_state("c");
+/// let dead = b.add_state("dead");
+/// b.add_transition(a, c, 1.0)?;
+/// b.add_transition(c, a, 1.0)?;
+/// b.add_transition(c, dead, 0.1)?;
+/// let sccs = strongly_connected_components(&b.build()?);
+/// assert_eq!(sccs.len(), 2); // {a, c} and {dead}
+/// # Ok(())
+/// # }
+/// ```
+pub fn strongly_connected_components(ctmc: &Ctmc) -> Vec<Vec<StateId>> {
+    // Iterative Tarjan.
+    let n = ctmc.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<StateId>> = Vec::new();
+
+    // Explicit DFS frames: (node, next child position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let transitions = ctmc.transitions_from(StateId(v));
+            if *child < transitions.len() {
+                let w = transitions[*child].0 .0;
+                *child += 1;
+                if index[w] == usize::MAX {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc stack underflow");
+                        on_stack[w] = false;
+                        comp.push(StateId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort();
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// A diagnosis of a chain's fitness for absorbing analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsorbingDiagnosis {
+    /// States that cannot reach any absorbing state (empty for a proper
+    /// absorbing chain).
+    pub trapped_states: Vec<StateId>,
+    /// Number of absorbing states found.
+    pub absorbing_count: usize,
+    /// Number of strongly connected components.
+    pub component_count: usize,
+}
+
+/// Checks that every transient state can reach an absorbing state, naming
+/// the trapped states when not.
+///
+/// # Errors
+///
+/// * [`Error::NoAbsorbingState`] if there is no absorbing state at all.
+///
+/// A chain *with* trapped states is reported through the diagnosis rather
+/// than an error, so callers can print the offending labels.
+pub fn validate_absorbing(ctmc: &Ctmc) -> Result<AbsorbingDiagnosis> {
+    let absorbing = ctmc.absorbing_states();
+    if absorbing.is_empty() {
+        return Err(Error::NoAbsorbingState);
+    }
+    // Reverse reachability from the absorbing set.
+    let n = ctmc.len();
+    let mut reverse: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in ctmc.transitions() {
+        reverse[t.to.0].push(t.from.0);
+    }
+    let mut reached = vec![false; n];
+    let mut queue: Vec<usize> = absorbing.iter().map(|s| s.0).collect();
+    for &a in &queue {
+        reached[a] = true;
+    }
+    while let Some(v) = queue.pop() {
+        for &u in &reverse[v] {
+            if !reached[u] {
+                reached[u] = true;
+                queue.push(u);
+            }
+        }
+    }
+    let trapped_states: Vec<StateId> =
+        (0..n).filter(|&v| !reached[v]).map(StateId).collect();
+    Ok(AbsorbingDiagnosis {
+        trapped_states,
+        absorbing_count: absorbing.len(),
+        component_count: strongly_connected_components(ctmc).len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn scc_of_a_cycle_plus_sink() {
+        let mut b = CtmcBuilder::new();
+        let x = b.add_state("x");
+        let y = b.add_state("y");
+        let z = b.add_state("z");
+        let dead = b.add_state("dead");
+        b.add_transition(x, y, 1.0).unwrap();
+        b.add_transition(y, x, 1.0).unwrap();
+        b.add_transition(y, z, 1.0).unwrap();
+        b.add_transition(z, dead, 1.0).unwrap();
+        let sccs = strongly_connected_components(&b.build().unwrap());
+        assert_eq!(sccs.len(), 3); // {x,y}, {z}, {dead}
+        let sizes: Vec<usize> = sccs.iter().map(|c| c.len()).collect();
+        assert!(sizes.contains(&2));
+        // Reverse topological: the sink comes before the cycle.
+        let pos_dead = sccs.iter().position(|c| c.contains(&dead)).unwrap();
+        let pos_cycle = sccs.iter().position(|c| c.contains(&x)).unwrap();
+        assert!(pos_dead < pos_cycle);
+    }
+
+    #[test]
+    fn proper_absorbing_chain_has_no_trapped_states() {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("0");
+        let s1 = b.add_state("1");
+        let dead = b.add_state("dead");
+        b.add_transition(s0, s1, 1.0).unwrap();
+        b.add_transition(s1, s0, 1.0).unwrap();
+        b.add_transition(s1, dead, 0.1).unwrap();
+        let d = validate_absorbing(&b.build().unwrap()).unwrap();
+        assert!(d.trapped_states.is_empty());
+        assert_eq!(d.absorbing_count, 1);
+    }
+
+    #[test]
+    fn trapped_region_is_pinpointed() {
+        // Two islands: {a, b} can never reach the sink hanging off {c}.
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        let bb = b.add_state("b");
+        let c = b.add_state("c");
+        let dead = b.add_state("dead");
+        b.add_transition(a, bb, 1.0).unwrap();
+        b.add_transition(bb, a, 1.0).unwrap();
+        b.add_transition(c, dead, 1.0).unwrap();
+        let d = validate_absorbing(&b.build().unwrap()).unwrap();
+        assert_eq!(d.trapped_states, vec![a, bb]);
+    }
+
+    #[test]
+    fn no_absorbing_state_is_an_error() {
+        let mut b = CtmcBuilder::new();
+        let x = b.add_state("x");
+        let y = b.add_state("y");
+        b.add_transition(x, y, 1.0).unwrap();
+        b.add_transition(y, x, 1.0).unwrap();
+        assert!(matches!(
+            validate_absorbing(&b.build().unwrap()).unwrap_err(),
+            Error::NoAbsorbingState
+        ));
+    }
+
+    #[test]
+    fn reliability_chains_validate_clean() {
+        // The workspace's own model chains must pass structural validation
+        // (this is the check that would have caught a mis-wired repair).
+        let mut b = CtmcBuilder::new();
+        let states: Vec<_> = (0..4).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        for i in 0..3usize {
+            b.add_transition(states[i], states[i + 1], 1e-3).unwrap();
+            b.add_transition(states[i + 1], states[i], 1.0).unwrap();
+        }
+        b.add_transition(states[3], dead, 1e-3).unwrap();
+        let ctmc = b.build().unwrap();
+        let d = validate_absorbing(&ctmc).unwrap();
+        assert!(d.trapped_states.is_empty());
+        // Transient states form one communicating class + the sink.
+        assert_eq!(d.component_count, 2);
+    }
+
+    #[test]
+    fn singleton_chain() {
+        let mut b = CtmcBuilder::new();
+        b.add_state("only");
+        let ctmc = b.build().unwrap();
+        let sccs = strongly_connected_components(&ctmc);
+        assert_eq!(sccs.len(), 1);
+        // All states absorbing: validation passes trivially (no transient).
+        let d = validate_absorbing(&ctmc).unwrap();
+        assert!(d.trapped_states.is_empty());
+    }
+}

@@ -1,0 +1,240 @@
+use serde::{Deserialize, Serialize};
+
+use nsr_linalg::Matrix;
+
+use crate::builder::StateId;
+
+/// A single directed transition of a CTMC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Exponential rate (per unit time), strictly positive in a built chain.
+    pub rate: f64,
+}
+
+/// A finite-state continuous-time Markov chain.
+///
+/// Built via [`crate::CtmcBuilder`]. A state with no outgoing transitions is
+/// *absorbing*; everything else is *transient* for the purposes of
+/// [`crate::AbsorbingAnalysis`] (the reliability models in this workspace
+/// always have a reachable absorbing "data loss" state, which makes the
+/// remaining states genuinely transient).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ctmc {
+    labels: Vec<String>,
+    /// Outgoing adjacency: `out[s]` lists `(destination, rate)`.
+    out: Vec<Vec<(StateId, f64)>>,
+    transitions: Vec<Transition>,
+}
+
+impl Ctmc {
+    pub(crate) fn from_parts(labels: Vec<String>, transitions: Vec<Transition>) -> Self {
+        let mut out = vec![Vec::new(); labels.len()];
+        for t in &transitions {
+            out[t.from.0].push((t.to, t.rate));
+        }
+        Ctmc { labels, out, transitions }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the chain has no states (never true for a built chain).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn label(&self, s: StateId) -> &str {
+        &self.labels[s.0]
+    }
+
+    /// Looks a state up by label (first match).
+    pub fn state_by_label(&self, label: &str) -> Option<StateId> {
+        self.labels.iter().position(|l| l == label).map(StateId)
+    }
+
+    /// All transitions in insertion order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Outgoing `(destination, rate)` pairs of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn transitions_from(&self, s: StateId) -> &[(StateId, f64)] {
+        &self.out[s.0]
+    }
+
+    /// Total outgoing rate of a state (the negated diagonal of `Q`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn total_rate(&self, s: StateId) -> f64 {
+        self.out[s.0].iter().map(|(_, r)| r).sum()
+    }
+
+    /// Whether a state has no outgoing transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn is_absorbing(&self, s: StateId) -> bool {
+        self.out[s.0].is_empty()
+    }
+
+    /// Ids of all absorbing states, in index order.
+    pub fn absorbing_states(&self) -> Vec<StateId> {
+        (0..self.len()).map(StateId).filter(|&s| self.is_absorbing(s)).collect()
+    }
+
+    /// Ids of all transient (non-absorbing) states, in index order.
+    pub fn transient_states(&self) -> Vec<StateId> {
+        (0..self.len()).map(StateId).filter(|&s| !self.is_absorbing(s)).collect()
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.len()).map(StateId)
+    }
+
+    /// Maximum total outgoing rate over all states (the uniformization
+    /// constant lower bound).
+    pub fn max_total_rate(&self) -> f64 {
+        self.states().map(|s| self.total_rate(s)).fold(0.0, f64::max)
+    }
+
+    /// Dense infinitesimal generator matrix `Q`: off-diagonals are the
+    /// transition rates and every row sums to zero.
+    pub fn generator(&self) -> Matrix {
+        let n = self.len();
+        let mut q = Matrix::zeros(n, n);
+        for t in &self.transitions {
+            q[(t.from.0, t.to.0)] += t.rate;
+            q[(t.from.0, t.from.0)] -= t.rate;
+        }
+        q
+    }
+
+    /// The *absorption matrix* `R = −Q_B` restricted to the transient
+    /// states, together with the transient state ids in the row/column
+    /// order used. This is the matrix the paper's appendix inverts to get
+    /// `MTTDL = e₁ᵀ R⁻¹ 1`.
+    pub fn absorption_matrix(&self) -> (Matrix, Vec<StateId>) {
+        let transient = self.transient_states();
+        let pos: std::collections::HashMap<usize, usize> =
+            transient.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+        let m = transient.len();
+        let mut r = Matrix::zeros(m.max(1), m.max(1));
+        for (i, &s) in transient.iter().enumerate() {
+            r[(i, i)] = self.total_rate(s);
+            for &(to, rate) in self.transitions_from(s) {
+                if let Some(&j) = pos.get(&to.0) {
+                    r[(i, j)] -= rate;
+                }
+            }
+        }
+        (r, transient)
+    }
+
+    /// Transition probabilities of the *embedded* discrete-time jump chain
+    /// out of state `s`: each outgoing rate divided by the total rate.
+    /// Returns an empty vector for absorbing states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn jump_probabilities(&self, s: StateId) -> Vec<(StateId, f64)> {
+        let total = self.total_rate(s);
+        if total == 0.0 {
+            return Vec::new();
+        }
+        self.out[s.0].iter().map(|&(to, r)| (to, r / total)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn three_state() -> (Ctmc, StateId, StateId, StateId) {
+        let mut b = CtmcBuilder::new();
+        let s0 = b.add_state("ok");
+        let s1 = b.add_state("degraded");
+        let s2 = b.add_state("lost");
+        b.add_transition(s0, s1, 2.0).unwrap();
+        b.add_transition(s1, s0, 10.0).unwrap();
+        b.add_transition(s1, s2, 1.0).unwrap();
+        (b.build().unwrap(), s0, s1, s2)
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let (c, ..) = three_state();
+        let q = c.generator();
+        for r in 0..c.len() {
+            let sum: f64 = q.row(r).iter().sum();
+            assert!(sum.abs() < 1e-15, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn absorbing_and_transient_partition() {
+        let (c, s0, s1, s2) = three_state();
+        assert_eq!(c.absorbing_states(), vec![s2]);
+        assert_eq!(c.transient_states(), vec![s0, s1]);
+        assert!(c.is_absorbing(s2));
+        assert!(!c.is_absorbing(s1));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn absorption_matrix_shape_and_signs() {
+        let (c, ..) = three_state();
+        let (r, transient) = c.absorption_matrix();
+        assert_eq!(transient.len(), 2);
+        assert_eq!(r.shape(), (2, 2));
+        // Diagonal positive, off-diagonal non-positive.
+        assert_eq!(r[(0, 0)], 2.0);
+        assert_eq!(r[(1, 1)], 11.0);
+        assert_eq!(r[(0, 1)], -2.0);
+        assert_eq!(r[(1, 0)], -10.0);
+    }
+
+    #[test]
+    fn labels_and_lookup() {
+        let (c, s0, _, s2) = three_state();
+        assert_eq!(c.label(s0), "ok");
+        assert_eq!(c.state_by_label("lost"), Some(s2));
+        assert_eq!(c.state_by_label("nope"), None);
+    }
+
+    #[test]
+    fn jump_probabilities_normalize() {
+        let (c, _, s1, s2) = three_state();
+        let jp = c.jump_probabilities(s1);
+        let total: f64 = jp.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-15);
+        assert!(c.jump_probabilities(s2).is_empty());
+    }
+
+    #[test]
+    fn max_total_rate() {
+        let (c, ..) = three_state();
+        assert_eq!(c.max_total_rate(), 11.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Graphviz export of a chain — the executable equivalent of the paper's
+//! Markov-model figures (1, 4–10).
+//!
+//! The reliability chains in this workspace are built programmatically;
+//! rendering them makes review against the paper's diagrams mechanical:
+//!
+//! ```text
+//! cargo run -p nsr-cli -- eval --config ft2-nir   # numbers
+//! dot -Tsvg chain.dot -o chain.svg                # the picture
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ctmc::Ctmc;
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DotOptions {
+    /// Print rates in scientific notation with this many significant
+    /// digits.
+    pub rate_digits: usize,
+    /// Render left-to-right (like the paper's figures) instead of
+    /// top-down.
+    pub rankdir_lr: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { rate_digits: 3, rankdir_lr: true }
+    }
+}
+
+/// Renders the chain in Graphviz `dot` syntax. Absorbing states are drawn
+/// as double circles (the paper's data-loss states); every edge is
+/// labelled with its rate.
+///
+/// # Example
+///
+/// ```
+/// use nsr_markov::{CtmcBuilder, to_dot, DotOptions};
+///
+/// # fn main() -> Result<(), nsr_markov::Error> {
+/// let mut b = CtmcBuilder::new();
+/// let up = b.add_state("up");
+/// let down = b.add_state("down");
+/// b.add_transition(up, down, 0.5)?;
+/// let dot = to_dot(&b.build()?, DotOptions::default());
+/// assert!(dot.contains("digraph ctmc"));
+/// assert!(dot.contains("doublecircle"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(ctmc: &Ctmc, options: DotOptions) -> String {
+    let mut out = String::from("digraph ctmc {\n");
+    if options.rankdir_lr {
+        out.push_str("  rankdir=LR;\n");
+    }
+    out.push_str("  node [shape=circle, fontsize=11];\n");
+    for s in ctmc.states() {
+        let shape = if ctmc.is_absorbing(s) { "doublecircle" } else { "circle" };
+        let _ = writeln!(
+            out,
+            "  s{} [label=\"{}\", shape={shape}];",
+            s.index(),
+            escape(ctmc.label(s))
+        );
+    }
+    for t in ctmc.transitions() {
+        let _ = writeln!(
+            out,
+            "  s{} -> s{} [label=\"{:.*e}\"];",
+            t.from.index(),
+            t.to.index(),
+            options.rate_digits.saturating_sub(1),
+            t.rate
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn chain() -> Ctmc {
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("failed:0");
+        let c = b.add_state("failed:1");
+        let dead = b.add_state("loss \"x\"");
+        b.add_transition(a, c, 1.5e-4).unwrap();
+        b.add_transition(c, a, 0.28).unwrap();
+        b.add_transition(c, dead, 2.0e-4).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contains_every_state_and_edge() {
+        let dot = to_dot(&chain(), DotOptions::default());
+        assert!(dot.starts_with("digraph ctmc {"));
+        assert!(dot.ends_with("}\n"));
+        assert_eq!(dot.matches("->").count(), 3);
+        assert!(dot.contains("failed:0"));
+        assert!(dot.contains("rankdir=LR"));
+    }
+
+    #[test]
+    fn absorbing_states_are_double_circles() {
+        let dot = to_dot(&chain(), DotOptions::default());
+        assert_eq!(dot.matches("doublecircle").count(), 1);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let dot = to_dot(&chain(), DotOptions::default());
+        assert!(dot.contains("loss \\\"x\\\""));
+    }
+
+    #[test]
+    fn options_respected() {
+        let dot = to_dot(&chain(), DotOptions { rate_digits: 5, rankdir_lr: false });
+        assert!(!dot.contains("rankdir"));
+        assert!(dot.contains("1.5000e-4") || dot.contains("1.5000e4") == false);
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors produced while building or analyzing a CTMC.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A transition rate was negative, NaN or infinite.
+    InvalidRate {
+        /// Index of the source state.
+        from: usize,
+        /// Index of the destination state.
+        to: usize,
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A transition referenced a state id that was not created by the same
+    /// builder.
+    UnknownState {
+        /// The offending state index.
+        state: usize,
+        /// Number of states the chain actually has.
+        len: usize,
+    },
+    /// A transition from a state to itself was requested; self-loops are
+    /// meaningless in a CTMC (they cancel in the generator).
+    SelfLoop {
+        /// The offending state index.
+        state: usize,
+    },
+    /// The chain has no states.
+    EmptyChain,
+    /// Absorbing-state analysis requires at least one absorbing state.
+    NoAbsorbingState,
+    /// Absorbing-state analysis requires at least one transient state.
+    NoTransientState,
+    /// The requested operation needs a transient (non-absorbing) state but
+    /// an absorbing one was supplied.
+    StateNotTransient {
+        /// The offending state index.
+        state: usize,
+    },
+    /// The requested operation needs an absorbing state but a transient one
+    /// was supplied.
+    StateNotAbsorbing {
+        /// The offending state index.
+        state: usize,
+    },
+    /// The stationary distribution is only defined for irreducible chains;
+    /// the solve produced a non-distribution (singular system or negative
+    /// mass), which indicates reducibility.
+    NotIrreducible,
+    /// A numeric argument (time horizon, tolerance) was invalid.
+    InvalidArgument {
+        /// Human-readable description of the constraint that failed.
+        what: &'static str,
+    },
+    /// An underlying linear-algebra operation failed.
+    Linalg(nsr_linalg::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} on transition {from} -> {to}")
+            }
+            Error::UnknownState { state, len } => {
+                write!(f, "state {state} does not exist (chain has {len} states)")
+            }
+            Error::SelfLoop { state } => write!(f, "self-loop on state {state}"),
+            Error::EmptyChain => write!(f, "chain has no states"),
+            Error::NoAbsorbingState => write!(f, "chain has no absorbing state"),
+            Error::NoTransientState => write!(f, "chain has no transient state"),
+            Error::StateNotTransient { state } => {
+                write!(f, "state {state} is absorbing, expected transient")
+            }
+            Error::StateNotAbsorbing { state } => {
+                write!(f, "state {state} is transient, expected absorbing")
+            }
+            Error::NotIrreducible => write!(f, "chain is not irreducible"),
+            Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsr_linalg::Error> for Error {
+    fn from(e: nsr_linalg::Error) -> Self {
+        Error::Linalg(e)
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the CTMC toolkit: generator identities, the
+//! GTH absorbing analysis against independent oracles, and simulation
+//! consistency.
+
+use nsr_markov::{
+    birth_death_mtta, simulate, AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random absorbing chain over `n` transient states plus one
+/// absorbing state. Every transient state gets a path toward absorption
+/// through the "next" state, so the chain is proper.
+fn random_absorbing_chain(n: usize) -> impl Strategy<Value = (Ctmc, StateId)> {
+    let rates = prop::collection::vec(0.01f64..10.0, n * n + n);
+    rates.prop_map(move |r| {
+        let mut b = CtmcBuilder::new();
+        let states: Vec<StateId> = (0..n).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        let mut idx = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && r[idx] > 5.0 {
+                    // Sparse-ish random structure.
+                    b.add_transition(states[i], states[j], r[idx] - 5.0).unwrap();
+                }
+                idx += 1;
+            }
+        }
+        for i in 0..n {
+            // Guaranteed absorption path.
+            b.add_transition(states[i], dead, r[n * n + i]).unwrap();
+        }
+        (b.build().unwrap(), states[0])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generator_rows_sum_to_zero((ctmc, _) in random_absorbing_chain(5)) {
+        let q = ctmc.generator();
+        for r in 0..ctmc.len() {
+            let sum: f64 = q.row(r).iter().sum();
+            prop_assert!(sum.abs() < 1e-9, "row {r}: {sum}");
+        }
+    }
+
+    #[test]
+    fn mtta_positive_and_bounded_by_slowest_exit((ctmc, root) in random_absorbing_chain(5)) {
+        let an = AbsorbingAnalysis::new(&ctmc).unwrap();
+        let mtta = an.mean_time_to_absorption(root).unwrap();
+        prop_assert!(mtta > 0.0 && mtta.is_finite());
+        // Lower bound: expected holding time of the root alone.
+        prop_assert!(mtta >= 1.0 / ctmc.total_rate(root) - 1e-12);
+    }
+
+    #[test]
+    fn absorption_probabilities_sum_to_one((ctmc, root) in random_absorbing_chain(4)) {
+        let an = AbsorbingAnalysis::new(&ctmc).unwrap();
+        let total: f64 = an
+            .absorbing_states()
+            .iter()
+            .map(|&a| an.absorption_probability(root, a).unwrap())
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn occupancies_decompose_mtta((ctmc, root) in random_absorbing_chain(4)) {
+        let an = AbsorbingAnalysis::new(&ctmc).unwrap();
+        let mtta = an.mean_time_to_absorption(root).unwrap();
+        let sum: f64 = an
+            .transient_states()
+            .iter()
+            .map(|&s| an.expected_time_in(root, s).unwrap())
+            .sum();
+        prop_assert!((sum - mtta).abs() / mtta < 1e-6, "{sum} vs {mtta}");
+    }
+
+    #[test]
+    fn rate_scaling_scales_time((ctmc, root) in random_absorbing_chain(4), scale in 0.1f64..10.0) {
+        // Scaling every rate by c divides every expected time by c.
+        let an = AbsorbingAnalysis::new(&ctmc).unwrap();
+        let base = an.mean_time_to_absorption(root).unwrap();
+
+        let mut b = CtmcBuilder::new();
+        let states: Vec<StateId> =
+            ctmc.states().map(|s| b.add_state(ctmc.label(s))).collect();
+        for t in ctmc.transitions() {
+            b.add_transition(states[t.from.index()], states[t.to.index()], t.rate * scale)
+                .unwrap();
+        }
+        let scaled = b.build().unwrap();
+        let an2 = AbsorbingAnalysis::new(&scaled).unwrap();
+        let fast = an2.mean_time_to_absorption(states[root.index()]).unwrap();
+        prop_assert!((fast * scale - base).abs() / base < 1e-9);
+    }
+
+    #[test]
+    fn birth_death_oracle_agrees_with_gth(
+        depth in 1usize..6,
+        lam in 1e-6f64..1e-2,
+        mu in 0.01f64..10.0,
+    ) {
+        let forward: Vec<f64> = (0..=depth).map(|i| lam * (depth + 1 - i) as f64).collect();
+        let backward = vec![mu; depth];
+        let oracle = birth_death_mtta(&forward, &backward).unwrap();
+
+        let mut b = CtmcBuilder::new();
+        let states: Vec<StateId> =
+            (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        for i in 0..=depth {
+            let to = if i < depth { states[i + 1] } else { dead };
+            b.add_transition(states[i], to, forward[i]).unwrap();
+            if i > 0 {
+                b.add_transition(states[i], states[i - 1], mu).unwrap();
+            }
+        }
+        let ctmc = b.build().unwrap();
+        let gth = AbsorbingAnalysis::new(&ctmc)
+            .unwrap()
+            .mean_time_to_absorption(states[0])
+            .unwrap();
+        prop_assert!((oracle - gth).abs() / gth < 1e-9, "{oracle:.6e} vs {gth:.6e}");
+    }
+}
+
+#[test]
+fn simulation_matches_analysis_on_random_chain() {
+    // One deterministic random chain, simulated heavily.
+    let mut b = CtmcBuilder::new();
+    let s0 = b.add_state("0");
+    let s1 = b.add_state("1");
+    let s2 = b.add_state("2");
+    let dead = b.add_state("dead");
+    b.add_transition(s0, s1, 0.8).unwrap();
+    b.add_transition(s1, s0, 1.5).unwrap();
+    b.add_transition(s1, s2, 0.7).unwrap();
+    b.add_transition(s2, s1, 0.9).unwrap();
+    b.add_transition(s2, dead, 0.4).unwrap();
+    b.add_transition(s0, dead, 0.05).unwrap();
+    let ctmc = b.build().unwrap();
+    let analytic = AbsorbingAnalysis::new(&ctmc)
+        .unwrap()
+        .mean_time_to_absorption(s0)
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(2718);
+    let est = simulate::estimate_mtta(&ctmc, s0, 20_000, &mut rng).unwrap();
+    assert!(
+        est.contains(analytic, 4.0),
+        "simulated {est} vs analytic {analytic}"
+    );
+}

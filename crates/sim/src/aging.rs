@@ -1,0 +1,540 @@
+//! Non-Markovian failure ablation: per-entity ages and Weibull lifetimes.
+//!
+//! Every model in the paper assumes exponential (memoryless) component
+//! lifetimes; §8 itself flags the weakness ("drive MTTF can vary
+//! significantly between batches"). This simulator drops the assumption:
+//! each node and drive carries its own age, lifetimes are drawn from a
+//! configurable distribution (exponential, or Weibull with shape `k` —
+//! `k < 1` infant mortality, `k > 1` wear-out), and failed entities are
+//! replaced by fresh ones after their §5.1 rebuild completes.
+//!
+//! With the shape parameter at 1 the simulator reduces to the exponential
+//! case and must agree with [`crate::system::SystemSim`] and the analytic
+//! chains — that is the validation hook. Away from 1 it *quantifies* the
+//! Markov assumption's error, something the paper could only caveat.
+//!
+//! Only the no-internal-RAID configurations are supported (drive and node
+//! lifetimes are both explicit here; the hierarchical internal-RAID
+//! collapse is inherently Markovian).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+use nsr_core::rebuild::RebuildModel;
+use nsr_core::scope::HParams;
+use nsr_markov::simulate::Estimate;
+
+use crate::{Error, Result};
+
+/// Component-lifetime distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Lifetime {
+    /// Exponential with the given MTTF — the paper's assumption.
+    Exponential {
+        /// Mean time to failure, hours.
+        mttf: f64,
+    },
+    /// Weibull with the given MTTF and shape (`shape < 1`: infant
+    /// mortality, `shape > 1`: wear-out). The scale is derived so the
+    /// mean equals `mttf`.
+    Weibull {
+        /// Mean time to failure, hours.
+        mttf: f64,
+        /// Shape parameter `k > 0`.
+        shape: f64,
+    },
+}
+
+impl Lifetime {
+    fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            Lifetime::Exponential { mttf } => mttf > 0.0 && mttf.is_finite(),
+            Lifetime::Weibull { mttf, shape } => {
+                mttf > 0.0 && mttf.is_finite() && shape > 0.0 && shape.is_finite()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(Error::InvalidArgument { what: "lifetime parameters must be positive" })
+        }
+    }
+
+    /// Draws a fresh lifetime.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let e = -(1.0 - u).ln(); // Exp(1)
+        match *self {
+            Lifetime::Exponential { mttf } => mttf * e,
+            Lifetime::Weibull { mttf, shape } => {
+                // scale λ so that mean = λ·Γ(1+1/k) = mttf.
+                let scale = mttf / gamma(1.0 + 1.0 / shape);
+                scale * e.powf(1.0 / shape)
+            }
+        }
+    }
+}
+
+/// Lanczos approximation of Γ(x) for x > 0 (|rel err| < 1e-10 — ample for
+/// Weibull mean-matching).
+#[allow(clippy::excessive_precision)]
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection for completeness.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    NodeFail(u32),
+    DriveFail(u32, u32),
+    NodeRepaired(u32),
+    DriveRepaired(u32, u32),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    generation: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.generation.cmp(&other.generation))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Ageing discrete-event simulator for no-internal-RAID configurations.
+///
+/// # Example
+///
+/// ```
+/// use nsr_core::config::Configuration;
+/// use nsr_core::params::Params;
+/// use nsr_core::raid::InternalRaid;
+/// use nsr_sim::aging::{AgingSim, Lifetime};
+///
+/// # fn main() -> Result<(), nsr_sim::Error> {
+/// let config = Configuration::new(InternalRaid::None, 1)
+///     .map_err(nsr_sim::Error::Model)?;
+/// let sim = AgingSim::new(
+///     Params::baseline(),
+///     config,
+///     Lifetime::Weibull { mttf: 300_000.0, shape: 1.5 }, // wear-out drives
+///     Lifetime::Exponential { mttf: 400_000.0 },
+/// )?;
+/// let est = sim.estimate_mttdl(100, 7)?;
+/// assert!(est.mean > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgingSim {
+    n: u32,
+    d: u32,
+    t: u32,
+    drive_lifetime: Lifetime,
+    node_lifetime: Lifetime,
+    node_rebuild_hours: f64,
+    drive_rebuild_hours: f64,
+    h: HParams,
+    max_events: u64,
+}
+
+impl AgingSim {
+    /// Builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] for internal-RAID configurations (the
+    ///   hierarchical collapse is only meaningful under Markov
+    ///   assumptions) or invalid lifetimes.
+    /// * Model errors from parameter validation.
+    pub fn new(
+        params: Params,
+        config: Configuration,
+        drive_lifetime: Lifetime,
+        node_lifetime: Lifetime,
+    ) -> Result<AgingSim> {
+        if config.internal() != InternalRaid::None {
+            return Err(Error::InvalidArgument {
+                what: "aging simulation supports no-internal-RAID configurations only",
+            });
+        }
+        params.validate()?;
+        drive_lifetime.validate()?;
+        node_lifetime.validate()?;
+        let t = config.node_fault_tolerance();
+        let rebuild = RebuildModel::new(params)?;
+        let h = HParams::new(
+            t,
+            params.system.node_count,
+            params.system.redundancy_set_size,
+            params.node.drives_per_node,
+            params.drive.c_her(),
+        )?;
+        Ok(AgingSim {
+            n: params.system.node_count,
+            d: params.node.drives_per_node,
+            t,
+            drive_lifetime,
+            node_lifetime,
+            node_rebuild_hours: rebuild.node_rebuild(t)?.duration.0,
+            drive_rebuild_hours: rebuild.drive_rebuild(t)?.duration.0,
+            h,
+            max_events: 500_000_000,
+        })
+    }
+
+    /// Simulates one trajectory to data loss; returns the loss time in
+    /// hours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EventBudgetExhausted`] if no loss occurs within
+    /// the event budget.
+    pub fn simulate_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<f64> {
+        let n = self.n as usize;
+        let d = self.d as usize;
+        // Generation counters invalidate stale failure events after
+        // repairs/replacements.
+        let mut node_gen = vec![0u64; n];
+        let mut drive_gen = vec![0u64; n * d];
+        let mut node_down = vec![false; n];
+        let mut drive_down = vec![false; n * d];
+        let mut outstanding_nodes = 0u32;
+        let mut outstanding_drives = 0u32;
+        let mut next_gen = 0u64;
+
+        let mut queue: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let gen = |g: &mut u64, next: &mut u64| {
+            *next += 1;
+            *g = *next;
+            *g
+        };
+        for v in 0..n {
+            let g = gen(&mut node_gen[v], &mut next_gen);
+            queue.push(Reverse(Event {
+                time: self.node_lifetime.sample(rng),
+                generation: g,
+                kind: EventKind::NodeFail(v as u32),
+            }));
+            for j in 0..d {
+                let g = gen(&mut drive_gen[v * d + j], &mut next_gen);
+                queue.push(Reverse(Event {
+                    time: self.drive_lifetime.sample(rng),
+                    generation: g,
+                    kind: EventKind::DriveFail(v as u32, j as u32),
+                }));
+            }
+        }
+
+        for _ in 0..self.max_events {
+            let Some(Reverse(ev)) = queue.pop() else {
+                return Err(Error::InvalidArgument { what: "event queue drained" });
+            };
+            match ev.kind {
+                EventKind::NodeFail(v) => {
+                    let vi = v as usize;
+                    if ev.generation != node_gen[vi] || node_down[vi] {
+                        continue; // stale
+                    }
+                    // Drives inside a failed node can no longer fail
+                    // independently; bump their generations.
+                    for j in 0..d {
+                        if !drive_down[vi * d + j] {
+                            next_gen += 1;
+                            drive_gen[vi * d + j] = next_gen;
+                        }
+                    }
+                    node_down[vi] = true;
+                    outstanding_nodes += 1;
+                    let total = outstanding_nodes + outstanding_drives;
+                    if total > self.t {
+                        return Ok(ev.time);
+                    }
+                    if total == self.t {
+                        let p = self.h.by_drive_count(outstanding_drives).min(1.0);
+                        if rng.random::<f64>() < p {
+                            return Ok(ev.time);
+                        }
+                    }
+                    next_gen += 1;
+                    node_gen[vi] = next_gen;
+                    queue.push(Reverse(Event {
+                        time: ev.time + self.node_rebuild_hours,
+                        generation: node_gen[vi],
+                        kind: EventKind::NodeRepaired(v),
+                    }));
+                }
+                EventKind::DriveFail(v, j) => {
+                    let (vi, ji) = (v as usize, j as usize);
+                    if ev.generation != drive_gen[vi * d + ji]
+                        || drive_down[vi * d + ji]
+                        || node_down[vi]
+                    {
+                        continue;
+                    }
+                    drive_down[vi * d + ji] = true;
+                    outstanding_drives += 1;
+                    let total = outstanding_nodes + outstanding_drives;
+                    if total > self.t {
+                        return Ok(ev.time);
+                    }
+                    if total == self.t {
+                        let p = self.h.by_drive_count(outstanding_drives).min(1.0);
+                        if rng.random::<f64>() < p {
+                            return Ok(ev.time);
+                        }
+                    }
+                    next_gen += 1;
+                    drive_gen[vi * d + ji] = next_gen;
+                    queue.push(Reverse(Event {
+                        time: ev.time + self.drive_rebuild_hours,
+                        generation: drive_gen[vi * d + ji],
+                        kind: EventKind::DriveRepaired(v, j),
+                    }));
+                }
+                EventKind::NodeRepaired(v) => {
+                    let vi = v as usize;
+                    if ev.generation != node_gen[vi] {
+                        continue;
+                    }
+                    node_down[vi] = false;
+                    outstanding_nodes -= 1;
+                    // Fresh node and fresh drives.
+                    next_gen += 1;
+                    node_gen[vi] = next_gen;
+                    queue.push(Reverse(Event {
+                        time: ev.time + self.node_lifetime.sample(rng),
+                        generation: node_gen[vi],
+                        kind: EventKind::NodeFail(v),
+                    }));
+                    for j in 0..d {
+                        drive_down[vi * d + j] = false;
+                        next_gen += 1;
+                        drive_gen[vi * d + j] = next_gen;
+                        queue.push(Reverse(Event {
+                            time: ev.time + self.drive_lifetime.sample(rng),
+                            generation: drive_gen[vi * d + j],
+                            kind: EventKind::DriveFail(v, j as u32),
+                        }));
+                    }
+                }
+                EventKind::DriveRepaired(v, j) => {
+                    let (vi, ji) = (v as usize, j as usize);
+                    if ev.generation != drive_gen[vi * d + ji] {
+                        continue;
+                    }
+                    drive_down[vi * d + ji] = false;
+                    outstanding_drives -= 1;
+                    next_gen += 1;
+                    drive_gen[vi * d + ji] = next_gen;
+                    queue.push(Reverse(Event {
+                        time: ev.time + self.drive_lifetime.sample(rng),
+                        generation: drive_gen[vi * d + ji],
+                        kind: EventKind::DriveFail(v, j),
+                    }));
+                }
+            }
+        }
+        Err(Error::EventBudgetExhausted { events: self.max_events })
+    }
+
+    /// Estimates the MTTDL over `samples` seeded trajectories.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] if `samples == 0`.
+    /// * Propagates per-trajectory failures.
+    pub fn estimate_mttdl(&self, samples: u64, seed: u64) -> Result<Estimate> {
+        if samples == 0 {
+            return Err(Error::InvalidArgument { what: "samples must be positive" });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut times = Vec::with_capacity(samples as usize);
+        for _ in 0..samples {
+            times.push(self.simulate_one(&mut rng)?);
+        }
+        Ok(Estimate::from_samples(&times))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline_sim(drive: Lifetime, node: Lifetime) -> AgingSim {
+        let config = Configuration::new(InternalRaid::None, 1).unwrap();
+        AgingSim::new(Params::baseline(), config, drive, node).unwrap()
+    }
+
+    #[test]
+    fn gamma_function_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        // Weibull mean factor at shape 2: Γ(1.5) = √π/2.
+        assert!((gamma(1.5) - std::f64::consts::PI.sqrt() / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_sampling_mean_matches_mttf() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for shape in [0.7, 1.0, 1.5, 3.0] {
+            let lt = Lifetime::Weibull { mttf: 1000.0, shape };
+            let n = 40_000;
+            let mean: f64 = (0..n).map(|_| lt.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - 1000.0).abs() < 25.0,
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_mode_matches_markov_simulator() {
+        // shape-free exponential lifetimes: the aging simulator must agree
+        // with the analytic chain (within sampling + modeling tolerance).
+        let params = Params::baseline();
+        let config = Configuration::new(InternalRaid::None, 1).unwrap();
+        let sim = baseline_sim(
+            Lifetime::Exponential { mttf: 300_000.0 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        );
+        let est = sim.estimate_mttdl(1500, 21).unwrap();
+        let analytic = config.evaluate(&params).unwrap().exact.mttdl_hours;
+        assert!(
+            (est.mean - analytic).abs() < 0.15 * analytic + 4.0 * est.std_err,
+            "aging-exp {est} vs analytic {analytic:.4e}"
+        );
+    }
+
+    #[test]
+    fn weibull_shape_one_equals_exponential() {
+        let exp = baseline_sim(
+            Lifetime::Exponential { mttf: 300_000.0 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        )
+        .estimate_mttdl(800, 3)
+        .unwrap();
+        let weib = baseline_sim(
+            Lifetime::Weibull { mttf: 300_000.0, shape: 1.0 },
+            Lifetime::Weibull { mttf: 400_000.0, shape: 1.0 },
+        )
+        .estimate_mttdl(800, 4)
+        .unwrap();
+        let sigma = (exp.std_err.powi(2) + weib.std_err.powi(2)).sqrt();
+        assert!(
+            (exp.mean - weib.mean).abs() < 5.0 * sigma,
+            "exp {exp} vs weibull(1) {weib}"
+        );
+    }
+
+    #[test]
+    fn infant_mortality_hurts_early_reliability() {
+        // Same MTTF, shape 0.7: a burst of early failures (and a heavy
+        // lifetime tail) concentrates coincidences — MTTDL drops relative
+        // to the exponential fleet.
+        let exp = baseline_sim(
+            Lifetime::Exponential { mttf: 300_000.0 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        )
+        .estimate_mttdl(800, 11)
+        .unwrap();
+        let infant = baseline_sim(
+            Lifetime::Weibull { mttf: 300_000.0, shape: 0.7 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        )
+        .estimate_mttdl(800, 12)
+        .unwrap();
+        assert!(
+            infant.mean < exp.mean,
+            "infant-mortality {} should undercut exponential {}",
+            infant.mean,
+            exp.mean
+        );
+    }
+
+    #[test]
+    fn rejects_internal_raid_and_bad_lifetimes() {
+        let params = Params::baseline();
+        let ir = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+        assert!(AgingSim::new(
+            params,
+            ir,
+            Lifetime::Exponential { mttf: 1.0 },
+            Lifetime::Exponential { mttf: 1.0 }
+        )
+        .is_err());
+        let nir = Configuration::new(InternalRaid::None, 1).unwrap();
+        assert!(AgingSim::new(
+            params,
+            nir,
+            Lifetime::Exponential { mttf: 0.0 },
+            Lifetime::Exponential { mttf: 1.0 }
+        )
+        .is_err());
+        assert!(AgingSim::new(
+            params,
+            nir,
+            Lifetime::Weibull { mttf: 1.0, shape: 0.0 },
+            Lifetime::Exponential { mttf: 1.0 }
+        )
+        .is_err());
+        let sim = baseline_sim(
+            Lifetime::Exponential { mttf: 300_000.0 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        );
+        assert!(sim.estimate_mttdl(0, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = baseline_sim(
+            Lifetime::Weibull { mttf: 300_000.0, shape: 2.0 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        );
+        let a = sim.estimate_mttdl(50, 77).unwrap();
+        let b = sim.estimate_mttdl(50, 77).unwrap();
+        assert_eq!(a.mean, b.mean);
+    }
+}

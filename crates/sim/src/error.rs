@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A model-construction or parameter error from `nsr-core`.
+    Model(nsr_core::Error),
+    /// A Markov-chain error from `nsr-markov`.
+    Markov(nsr_markov::Error),
+    /// An invalid simulation argument (zero samples, bad bias, …).
+    InvalidArgument {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// The simulation exceeded its event budget without reaching data
+    /// loss — the configuration is too reliable for direct simulation;
+    /// use [`crate::importance`] instead.
+    EventBudgetExhausted {
+        /// Number of events processed before giving up.
+        events: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::Markov(e) => write!(f, "markov error: {e}"),
+            Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Error::EventBudgetExhausted { events } => write!(
+                f,
+                "no data loss within {events} events; configuration too reliable for \
+                 direct simulation (use importance sampling)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Model(e) => Some(e),
+            Error::Markov(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nsr_core::Error> for Error {
+    fn from(e: nsr_core::Error) -> Self {
+        Error::Model(e)
+    }
+}
+
+impl From<nsr_markov::Error> for Error {
+    fn from(e: nsr_markov::Error) -> Self {
+        Error::Markov(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! Discrete-event Monte-Carlo simulation of networked storage nodes.
+//!
+//! The analytic models in `nsr-core` rest on Markov assumptions
+//! (exponential repairs, one repair at a time). This crate provides two
+//! independent stochastic implementations of the same system so those
+//! assumptions — and the solvers — can be checked:
+//!
+//! * [`system`] — a **system-level discrete-event simulator**: individual
+//!   nodes and drives fail as Poisson processes, distributed rebuilds take
+//!   the *deterministic* durations of the §5.1 data-movement model, sector
+//!   errors strike critical rebuilds with the §5.2 probabilities, and the
+//!   fail-in-place spare pool depletes as components die. Data-loss times
+//!   are collected into an MTTDL estimate with confidence intervals.
+//! * [`importance`] — **rare-event estimation** for ultra-reliable
+//!   configurations where direct simulation would need ~10⁸ failure events
+//!   per loss observation: regenerative cycles with balanced failure
+//!   biasing and likelihood-ratio reweighting (Goyal/Shahabuddin style),
+//!   applicable to any absorbing CTMC built with [`nsr_markov`].
+//! * [`aging`] — a **non-Markovian ablation**: per-entity ages with
+//!   Weibull lifetimes (infant mortality / wear-out), quantifying the
+//!   error of the paper's exponential assumption.
+//!
+//! # Example
+//!
+//! ```
+//! use nsr_core::config::Configuration;
+//! use nsr_core::params::Params;
+//! use nsr_core::raid::InternalRaid;
+//! use nsr_sim::system::SystemSim;
+//!
+//! # fn main() -> Result<(), nsr_sim::Error> {
+//! let config = Configuration::new(InternalRaid::None, 1)
+//!     .map_err(nsr_sim::Error::Model)?;
+//! let sim = SystemSim::new(Params::baseline(), config)?;
+//! let est = sim.estimate_mttdl(200, 42)?;
+//! assert!(est.mean > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aging;
+mod error;
+pub mod importance;
+pub mod system;
+
+pub use error::Error;
+pub use nsr_markov::simulate::Estimate;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,583 @@
+//! System-level discrete-event simulation of a brick storage system.
+//!
+//! Unlike the Markov models, the simulator uses the *deterministic* rebuild
+//! durations of the §5.1 data-movement model, allows repairs to proceed
+//! concurrently, and tracks the fail-in-place spare pool. It therefore
+//! stress-tests the analytic assumptions (exponential, serialized repairs)
+//! as well as the solver: to leading order in `λ/μ` the MTTDL must agree.
+//!
+//! Failure semantics mirror §4:
+//!
+//! * **No internal RAID**: nodes and individual drives fail; each failure
+//!   starts a distributed rebuild. When the number of outstanding failures
+//!   reaches the code tolerance `t`, the system is *critical* and the
+//!   triggering rebuild suffers an uncorrectable sector error with the
+//!   §5.2.2 probability `h_α` (α = the outstanding failure word). One more
+//!   failure while critical is a data-loss event.
+//! * **Internal RAID**: the node-internal array is collapsed to the §4.2
+//!   rates (`λ_D` array failures folded into the node failure rate, `λ_S`
+//!   striking while critical, scaled by the §5.2.1 fraction `k_t`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::{ArrayModel, InternalRaid};
+use nsr_core::rebuild::RebuildModel;
+use nsr_core::scope::{critical_fraction, HParams};
+use nsr_core::units::HOURS_PER_YEAR;
+use nsr_markov::simulate::{sample_exponential, Estimate};
+
+use crate::{Error, Result};
+
+/// Default cap on processed failure/repair events per data-loss sample.
+pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+
+/// How rebuild durations are drawn — an ablation of the Markov models'
+/// exponential-repair assumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum RepairDistribution {
+    /// Deterministic durations from the §5.1 data-movement model (the
+    /// physically faithful choice; default).
+    #[default]
+    Deterministic,
+    /// Exponential durations with the same mean (the CTMC assumption).
+    /// With this setting the simulator *is* (up to concurrent repairs) the
+    /// Markov model, so agreement with the analytic MTTDL tightens.
+    Exponential,
+}
+
+/// What terminated a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LossCause {
+    /// More concurrent failures than the erasure code tolerates.
+    ExcessFailures,
+    /// An uncorrectable sector error during a critical rebuild.
+    SectorError,
+}
+
+impl std::fmt::Display for LossCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LossCause::ExcessFailures => write!(f, "excess failures"),
+            LossCause::SectorError => write!(f, "sector error"),
+        }
+    }
+}
+
+/// One simulated time-to-data-loss observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DataLossSample {
+    /// Elapsed simulated time, in hours.
+    pub time_hours: f64,
+    /// What caused the loss.
+    pub cause: LossCause,
+    /// Number of component failures that occurred along the way.
+    pub failure_events: u64,
+    /// Fraction of the over-provisioned spare capacity consumed by
+    /// fail-in-place losses when the data loss occurred (can exceed 1:
+    /// the model keeps running as §3's "spare nodes are added" policy).
+    pub spare_consumed: f64,
+}
+
+/// Aggregate of many runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// MTTDL estimate (hours).
+    pub mttdl: Estimate,
+    /// Data-loss events per PB-year implied by the MTTDL estimate.
+    pub events_per_pb_year: f64,
+    /// Fraction of losses caused by sector errors.
+    pub sector_share: f64,
+    /// Mean component-failure events per loss.
+    pub mean_failures_per_loss: f64,
+    /// Mean spare-capacity fraction consumed at loss time.
+    pub mean_spare_consumed: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EntityKind {
+    Node,
+    Drive,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutstandingFailure {
+    kind: EntityKind,
+    completes_at: f64,
+}
+
+/// The system simulator for one configuration at one parameter point.
+///
+/// Construction precomputes every derived rate; [`SystemSim::simulate_one`]
+/// then runs a single trajectory to data loss.
+#[derive(Debug, Clone)]
+pub struct SystemSim {
+    params: Params,
+    config: Configuration,
+    t: u32,
+    n: u32,
+    d: u32,
+    lambda_n: f64,
+    lambda_d: f64,
+    node_rebuild_hours: f64,
+    drive_rebuild_hours: f64,
+    /// No-IR only: the §5.2.2 sector-error probability family.
+    h: Option<HParams>,
+    /// IR only: (λ_D, continuous critical sector-error rate per surviving
+    /// node = k_t · λ_S).
+    ir_rates: Option<(f64, f64)>,
+    event_budget: u64,
+    repair: RepairDistribution,
+}
+
+impl SystemSim {
+    /// Builds a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation and model-construction errors.
+    pub fn new(params: Params, config: Configuration) -> Result<SystemSim> {
+        params.validate()?;
+        let t = config.node_fault_tolerance();
+        let rebuild = RebuildModel::new(params)?;
+        let node_rebuild_hours = rebuild.node_rebuild(t)?.duration.0;
+        let (n, r, d) = (
+            params.system.node_count,
+            params.system.redundancy_set_size,
+            params.node.drives_per_node,
+        );
+        let lambda_n = params.node.failure_rate().0;
+        let lambda_d = params.drive.failure_rate().0;
+
+        let (h, ir_rates, drive_rebuild_hours) = match config.internal() {
+            InternalRaid::None => {
+                let h = HParams::new(t, n, r, d, params.drive.c_her())?;
+                let drive_rebuild_hours = rebuild.drive_rebuild(t)?.duration.0;
+                (Some(h), None, drive_rebuild_hours)
+            }
+            raid => {
+                let restripe = rebuild.restripe()?;
+                let array =
+                    ArrayModel::new(raid, d, params.drive.failure_rate(), restripe.rate,
+                        params.drive.c_her())?;
+                let rates = array.rates_paper();
+                let k_t = critical_fraction(n, r, t)?;
+                (
+                    None,
+                    Some((rates.lambda_array.0, k_t * rates.lambda_sector.0)),
+                    restripe.duration.0,
+                )
+            }
+        };
+
+        Ok(SystemSim {
+            params,
+            config,
+            t,
+            n,
+            d,
+            lambda_n,
+            lambda_d,
+            node_rebuild_hours,
+            drive_rebuild_hours,
+            h,
+            ir_rates,
+            event_budget: DEFAULT_EVENT_BUDGET,
+            repair: RepairDistribution::default(),
+        })
+    }
+
+    /// Overrides the per-sample event budget (default
+    /// [`DEFAULT_EVENT_BUDGET`]).
+    pub fn with_event_budget(mut self, events: u64) -> SystemSim {
+        self.event_budget = events;
+        self
+    }
+
+    /// Selects the rebuild-duration distribution (ablation of the Markov
+    /// exponential-repair assumption; default deterministic).
+    pub fn with_repair_distribution(mut self, repair: RepairDistribution) -> SystemSim {
+        self.repair = repair;
+        self
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> Configuration {
+        self.config
+    }
+
+    /// Simulates a single trajectory until data loss.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EventBudgetExhausted`] if no loss occurs within the
+    /// event budget (the configuration is too reliable for direct
+    /// simulation at these parameters).
+    pub fn simulate_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<DataLossSample> {
+        let mut now = 0.0f64;
+        let mut outstanding: Vec<OutstandingFailure> = Vec::new();
+        let mut failure_events = 0u64;
+        let mut spare_lost_bytes = 0.0f64;
+        let spare_total = self.params.raw_capacity().0
+            * (1.0 - self.params.system.capacity_utilization);
+        let drive_bytes = self.params.drive.capacity.0;
+
+        let is_ir = self.ir_rates.is_some();
+        let (lambda_array, critical_sector_rate) = self.ir_rates.unwrap_or((0.0, 0.0));
+
+        for _ in 0..self.event_budget {
+            let nodes_down =
+                outstanding.iter().filter(|o| o.kind == EntityKind::Node).count() as f64;
+            let drives_down =
+                outstanding.iter().filter(|o| o.kind == EntityKind::Drive).count() as f64;
+            let alive_nodes = self.n as f64 - nodes_down;
+            let critical = outstanding.len() as u32 == self.t;
+
+            // Competing hazards while in this state.
+            let node_rate = alive_nodes * (self.lambda_n + lambda_array);
+            let drive_rate = if is_ir {
+                0.0 // internal drive failures are folded into λ_D
+            } else {
+                (alive_nodes * self.d as f64 - drives_down) * self.lambda_d
+            };
+            let sector_rate = if is_ir && critical {
+                alive_nodes * critical_sector_rate
+            } else {
+                0.0
+            };
+            let total_rate = node_rate + drive_rate + sector_rate;
+
+            let to_failure = sample_exponential(rng, total_rate);
+            let next_completion = outstanding
+                .iter()
+                .map(|o| o.completes_at)
+                .fold(f64::INFINITY, f64::min);
+
+            if now + to_failure >= next_completion {
+                // A rebuild finishes first.
+                now = next_completion;
+                let idx = outstanding
+                    .iter()
+                    .position(|o| o.completes_at == next_completion)
+                    .expect("completion exists");
+                outstanding.swap_remove(idx);
+                continue;
+            }
+
+            now += to_failure;
+            // Which hazard fired?
+            let pick: f64 = rng.random::<f64>() * total_rate;
+            if pick < sector_rate {
+                return Ok(self.sample(now, LossCause::SectorError, failure_events,
+                    spare_lost_bytes / spare_total));
+            }
+            let kind = if pick < sector_rate + node_rate {
+                EntityKind::Node
+            } else {
+                EntityKind::Drive
+            };
+            failure_events += 1;
+            spare_lost_bytes += match kind {
+                EntityKind::Node => self.d as f64 * drive_bytes,
+                EntityKind::Drive => drive_bytes,
+            };
+
+            if outstanding.len() as u32 == self.t {
+                // Already critical: one more failure is a loss.
+                return Ok(self.sample(now, LossCause::ExcessFailures, failure_events,
+                    spare_lost_bytes / spare_total));
+            }
+            let mean_duration = match kind {
+                EntityKind::Node => self.node_rebuild_hours,
+                EntityKind::Drive => self.drive_rebuild_hours,
+            };
+            let duration = match self.repair {
+                RepairDistribution::Deterministic => mean_duration,
+                RepairDistribution::Exponential => {
+                    sample_exponential(rng, 1.0 / mean_duration)
+                }
+            };
+            outstanding.push(OutstandingFailure { kind, completes_at: now + duration });
+
+            // Did this failure make the system critical? If so, for no-IR
+            // the triggering rebuild reads critical data and may hit an
+            // uncorrectable sector error (§5.2.2).
+            if outstanding.len() as u32 == self.t {
+                if let Some(h) = &self.h {
+                    let drives = outstanding
+                        .iter()
+                        .filter(|o| o.kind == EntityKind::Drive)
+                        .count() as u32;
+                    let p = h.by_drive_count(drives).min(1.0);
+                    if rng.random::<f64>() < p {
+                        return Ok(self.sample(now, LossCause::SectorError, failure_events,
+                            spare_lost_bytes / spare_total));
+                    }
+                }
+            }
+        }
+        Err(Error::EventBudgetExhausted { events: self.event_budget })
+    }
+
+    fn sample(
+        &self,
+        time_hours: f64,
+        cause: LossCause,
+        failure_events: u64,
+        spare_consumed: f64,
+    ) -> DataLossSample {
+        DataLossSample { time_hours, cause, failure_events, spare_consumed }
+    }
+
+    /// Runs `samples` independent trajectories (seeded deterministically)
+    /// and aggregates them.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] if `samples == 0`.
+    /// * Propagates per-trajectory failures.
+    pub fn run(&self, samples: u64, seed: u64) -> Result<SimOutcome> {
+        if samples == 0 {
+            return Err(Error::InvalidArgument { what: "samples must be positive" });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut times = Vec::with_capacity(samples as usize);
+        let mut sector = 0u64;
+        let mut failures = 0u64;
+        let mut spare = 0.0;
+        for _ in 0..samples {
+            let s = self.simulate_one(&mut rng)?;
+            times.push(s.time_hours);
+            if s.cause == LossCause::SectorError {
+                sector += 1;
+            }
+            failures += s.failure_events;
+            spare += s.spare_consumed;
+        }
+        let mttdl = Estimate::from_samples(&times);
+        let capacity_pb = self.params.logical_capacity(self.t).to_pb();
+        Ok(SimOutcome {
+            events_per_pb_year: HOURS_PER_YEAR / (mttdl.mean * capacity_pb),
+            sector_share: sector as f64 / samples as f64,
+            mean_failures_per_loss: failures as f64 / samples as f64,
+            mean_spare_consumed: spare / samples as f64,
+            mttdl,
+        })
+    }
+
+    /// Like [`SystemSim::run`], but splits the samples over `threads`
+    /// OS threads (each with its own deterministic RNG stream).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] if `samples == 0` or `threads == 0`.
+    /// * Propagates per-trajectory failures.
+    pub fn run_parallel(&self, samples: u64, seed: u64, threads: u32) -> Result<SimOutcome> {
+        if samples == 0 || threads == 0 {
+            return Err(Error::InvalidArgument { what: "samples and threads must be positive" });
+        }
+        let threads = threads.min(samples as u32);
+        let per = samples / threads as u64;
+        let extra = samples % threads as u64;
+        let results: Vec<Result<SimOutcome>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let chunk = per + if (i as u64) < extra { 1 } else { 0 };
+                    let sim = self.clone();
+                    scope.spawn(move || sim.run(chunk.max(1), seed ^ (0x9e3779b9 * (i as u64 + 1))))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sim thread panicked")).collect()
+        });
+        // Merge: reconstruct a pooled estimate from per-thread summaries.
+        let mut all_means: Vec<(f64, f64, u64)> = Vec::new(); // (mean, stderr, n)
+        let mut sector = 0.0;
+        let mut failures = 0.0;
+        let mut spare = 0.0;
+        let mut total_n = 0u64;
+        for r in results {
+            let o = r?;
+            let n = o.mttdl.n;
+            all_means.push((o.mttdl.mean, o.mttdl.std_err, n));
+            sector += o.sector_share * n as f64;
+            failures += o.mean_failures_per_loss * n as f64;
+            spare += o.mean_spare_consumed * n as f64;
+            total_n += n;
+        }
+        let mean =
+            all_means.iter().map(|(m, _, n)| m * *n as f64).sum::<f64>() / total_n as f64;
+        // Pooled variance of the mean from per-chunk standard errors
+        // (conservative: ignores between-chunk mean spread).
+        let var_sum: f64 = all_means
+            .iter()
+            .map(|(_, se, n)| (se * se) * (*n as f64 / total_n as f64).powi(2) * 1.0)
+            .sum();
+        let mttdl = Estimate { mean, std_err: var_sum.sqrt(), n: total_n };
+        let capacity_pb = self.params.logical_capacity(self.t).to_pb();
+        Ok(SimOutcome {
+            events_per_pb_year: HOURS_PER_YEAR / (mttdl.mean * capacity_pb),
+            sector_share: sector / total_n as f64,
+            mean_failures_per_loss: failures / total_n as f64,
+            mean_spare_consumed: spare / total_n as f64,
+            mttdl,
+        })
+    }
+
+    /// Convenience wrapper returning just the MTTDL estimate.
+    ///
+    /// # Errors
+    ///
+    /// See [`SystemSim::run`].
+    pub fn estimate_mttdl(&self, samples: u64, seed: u64) -> Result<Estimate> {
+        Ok(self.run(samples, seed)?.mttdl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(internal: InternalRaid, t: u32) -> Configuration {
+        Configuration::new(internal, t).unwrap()
+    }
+
+    #[test]
+    fn ft1_no_ir_matches_analytic_to_leading_order() {
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 1);
+        let sim = SystemSim::new(params, c).unwrap();
+        let out = sim.run(2000, 7).unwrap();
+        let analytic = c.evaluate(&params).unwrap().exact.mttdl_hours;
+        // Deterministic vs exponential repairs differ at O(λ/μ); allow 15 %
+        // plus 4σ sampling noise.
+        let diff = (out.mttdl.mean - analytic).abs();
+        assert!(
+            diff < 0.15 * analytic + 4.0 * out.mttdl.std_err,
+            "sim {} vs analytic {analytic}",
+            out.mttdl
+        );
+    }
+
+    #[test]
+    fn ft1_ir5_matches_analytic_to_leading_order() {
+        let mut params = Params::baseline();
+        // Degrade MTTFs so the direct simulation terminates quickly.
+        params.node.mttf = nsr_core::units::Hours(20_000.0);
+        params.drive.mttf = nsr_core::units::Hours(15_000.0);
+        let c = config(InternalRaid::Raid5, 1);
+        let sim = SystemSim::new(params, c).unwrap();
+        let out = sim.run(400, 11).unwrap();
+        let analytic = c.evaluate(&params).unwrap().exact.mttdl_hours;
+        let diff = (out.mttdl.mean - analytic).abs();
+        assert!(
+            diff < 0.20 * analytic + 4.0 * out.mttdl.std_err,
+            "sim {} vs analytic {analytic}",
+            out.mttdl
+        );
+    }
+
+    #[test]
+    fn sector_losses_dominate_ft1_baseline() {
+        // At baseline FT1 no-IR, h_d = 0.168 per drive failure and
+        // h_N saturates at 1, so most losses should be sector errors.
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        let out = sim.run(500, 3).unwrap();
+        assert!(out.sector_share > 0.5, "sector share {}", out.sector_share);
+    }
+
+    #[test]
+    fn ft2_takes_longer_than_ft1() {
+        let mut params = Params::baseline();
+        params.drive.mttf = nsr_core::units::Hours(30_000.0);
+        params.node.mttf = nsr_core::units::Hours(40_000.0);
+        let sim1 = SystemSim::new(params, config(InternalRaid::None, 1)).unwrap();
+        let sim2 = SystemSim::new(params, config(InternalRaid::None, 2)).unwrap();
+        let m1 = sim1.estimate_mttdl(300, 5).unwrap();
+        let m2 = sim2.estimate_mttdl(300, 5).unwrap();
+        assert!(m2.mean > m1.mean, "FT2 {} vs FT1 {}", m2.mean, m1.mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        let a = sim.run(50, 99).unwrap();
+        let b = sim.run(50, 99).unwrap();
+        assert_eq!(a.mttdl.mean, b.mttdl.mean);
+        let c = sim.run(50, 100).unwrap();
+        assert_ne!(a.mttdl.mean, c.mttdl.mean);
+    }
+
+    #[test]
+    fn parallel_run_agrees_with_serial() {
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        let serial = sim.run(400, 21).unwrap();
+        let parallel = sim.run_parallel(400, 21, 4).unwrap();
+        assert_eq!(parallel.mttdl.n, 400);
+        // Different RNG streams, so only statistical agreement.
+        let diff = (serial.mttdl.mean - parallel.mttdl.mean).abs();
+        let sigma = (serial.mttdl.std_err.powi(2) + parallel.mttdl.std_err.powi(2)).sqrt();
+        assert!(diff < 5.0 * sigma, "serial {} vs parallel {}", serial.mttdl, parallel.mttdl);
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        // Ultra-reliable config + tiny budget → budget error.
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::Raid5, 3))
+            .unwrap()
+            .with_event_budget(1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(
+            sim.simulate_one(&mut rng).unwrap_err(),
+            Error::EventBudgetExhausted { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_samples_rejected() {
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        assert!(sim.run(0, 1).is_err());
+        assert!(sim.run_parallel(0, 1, 2).is_err());
+        assert!(sim.run_parallel(10, 1, 0).is_err());
+    }
+
+    #[test]
+    fn repair_distribution_ablation() {
+        // With exponential repairs the simulator realizes the CTMC's
+        // assumption; both modes must land near the analytic value, and
+        // the exponential mode's deviation should be explained purely by
+        // sampling noise.
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 1);
+        let analytic = c.evaluate(&params).unwrap().exact.mttdl_hours;
+        let det = SystemSim::new(params, c).unwrap().run(2500, 5).unwrap().mttdl;
+        let exp = SystemSim::new(params, c)
+            .unwrap()
+            .with_repair_distribution(RepairDistribution::Exponential)
+            .run(2500, 5)
+            .unwrap()
+            .mttdl;
+        assert!(
+            (exp.mean - analytic).abs() < 0.08 * analytic + 4.0 * exp.std_err,
+            "exponential mode {} vs analytic {analytic:.4e}",
+            exp
+        );
+        assert!(
+            (det.mean - analytic).abs() < 0.15 * analytic + 4.0 * det.std_err,
+            "deterministic mode {} vs analytic {analytic:.4e}",
+            det
+        );
+    }
+
+    #[test]
+    fn spare_consumption_reported() {
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 2)).unwrap();
+        let out = sim.run(30, 13).unwrap();
+        // FT2 baseline survives tens of thousands of component failures;
+        // the 25 % spare pool is long exhausted by loss time.
+        assert!(out.mean_spare_consumed > 1.0, "{}", out.mean_spare_consumed);
+        assert!(out.mean_failures_per_loss > 1000.0);
+    }
+}

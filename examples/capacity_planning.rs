@@ -1,0 +1,84 @@
+//! Capacity planning: pick the cheapest redundancy configuration that
+//! meets the reliability target for a petabyte-scale deployment.
+//!
+//! The paper's closed forms are meant for exactly this (§9: "systems that
+//! offer user-configurable goals"). This example scans the configuration
+//! grid and redundancy-set sizes, ranks the feasible points by storage
+//! overhead, and reports the winner.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p nsr-cli --example capacity_planning
+//! ```
+
+use nsr_core::config::Configuration;
+use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+use nsr_core::units::PETABYTE;
+
+/// Storage efficiency of a configuration: usable fraction of raw capacity
+/// (erasure-code overhead × internal-RAID overhead × spare provisioning).
+fn efficiency(params: &Params, config: Configuration) -> f64 {
+    let r = params.system.redundancy_set_size as f64;
+    let t = config.node_fault_tolerance() as f64;
+    let d = params.node.drives_per_node as f64;
+    let internal = match config.internal() {
+        InternalRaid::None => 1.0,
+        InternalRaid::Raid5 => (d - 1.0) / d,
+        InternalRaid::Raid6 => (d - 2.0) / d,
+    };
+    (r - t) / r * internal * params.system.capacity_utilization
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut base = Params::baseline();
+    println!("Capacity planning for a 1 PB usable deployment");
+    println!("target: {TARGET_EVENTS_PER_PB_YEAR:.0e} events/PB-year\n");
+    println!(
+        "{:<28}{:>6}{:>12}{:>16}{:>14}{:>10}",
+        "configuration", "R", "efficiency", "events/PB-yr", "raw PB for 1PB", "verdict"
+    );
+
+    let mut feasible: Vec<(Configuration, u32, f64, f64)> = Vec::new();
+    for &rset in &[6u32, 8, 10, 12] {
+        base.system.redundancy_set_size = rset;
+        for ft in 1..=3 {
+            for internal in InternalRaid::all() {
+                let config = Configuration::new(internal, ft)?;
+                let Ok(eval) = config.evaluate(&base) else { continue };
+                let eff = efficiency(&base, config);
+                let events = eval.closed_form.events_per_pb_year;
+                let verdict = events < TARGET_EVENTS_PER_PB_YEAR;
+                println!(
+                    "{:<28}{:>6}{:>11.1}%{:>16.3e}{:>14.2}{:>10}",
+                    format!("{config}"),
+                    rset,
+                    100.0 * eff,
+                    events,
+                    1.0 / eff,
+                    if verdict { "ok" } else { "-" }
+                );
+                if verdict {
+                    feasible.push((config, rset, eff, events));
+                }
+            }
+        }
+    }
+
+    // Cheapest feasible plan = highest efficiency.
+    feasible.sort_by(|a, b| b.2.total_cmp(&a.2));
+    if let Some((config, rset, eff, events)) = feasible.first() {
+        let raw_bytes = PETABYTE / eff;
+        base.system.redundancy_set_size = *rset;
+        let node_bytes =
+            base.node.drives_per_node as f64 * base.drive.capacity.0;
+        let nodes_needed = (raw_bytes / node_bytes).ceil();
+        println!("\ncheapest feasible plan: [{config}] with R = {rset}");
+        println!("  storage efficiency {:.1}%", 100.0 * eff);
+        println!("  {nodes_needed:.0} bricks for 1 PB usable");
+        println!("  predicted {events:.3e} data-loss events per PB-year");
+    }
+    Ok(())
+}

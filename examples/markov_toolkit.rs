@@ -1,0 +1,83 @@
+//! Tour of the standalone Markov toolkit: everything in `nsr-markov`
+//! demonstrated on one small repairable system, independent of the storage
+//! models.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p nsr-cli --example markov_toolkit
+//! ```
+
+use nsr_markov::{
+    birth_death_gamma, birth_death_mtta, simulate, stationary_distribution, to_dot,
+    transient_distribution, validate_absorbing, AbsorbingAnalysis, CtmcBuilder,
+    DotOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-of-3 system: three units fail at λ, one repair crew at μ, losing
+    // a second unit while one is down is fatal.
+    let (lam, mu) = (1e-3, 0.25);
+    let mut b = CtmcBuilder::new();
+    let s0 = b.add_state("all-up");
+    let s1 = b.add_state("one-down");
+    let dead = b.add_state("failed");
+    b.add_transition(s0, s1, 3.0 * lam)?;
+    b.add_transition(s1, s0, mu)?;
+    b.add_transition(s1, dead, 2.0 * lam)?;
+    let ctmc = b.build()?;
+
+    // 1. Structural validation — catches mis-wired repairs before solving.
+    let diag = validate_absorbing(&ctmc)?;
+    println!(
+        "structure: {} states, {} absorbing, {} trapped, {} SCCs",
+        ctmc.len(),
+        diag.absorbing_count,
+        diag.trapped_states.len(),
+        diag.component_count
+    );
+
+    // 2. Exact MTTA three ways: GTH analysis, birth–death product form,
+    // and the textbook closed form.
+    let analysis = AbsorbingAnalysis::new(&ctmc)?;
+    let gth = analysis.mean_time_to_absorption(s0)?;
+    let bd = birth_death_mtta(&[3.0 * lam, 2.0 * lam], &[mu])?;
+    let textbook = (5.0 * lam + mu) / (6.0 * lam * lam);
+    println!("MTTA: GTH {gth:.6e}, product form {bd:.6e}, textbook {textbook:.6e}");
+
+    // 3. Where does the lifetime go?
+    for (state, fraction) in analysis.occupancy_distribution(s0)? {
+        println!("  spends {:.4e} of its life in '{}'", fraction, ctmc.label(state));
+    }
+    println!(
+        "  per-excursion absorption probability γ = {:.4e}",
+        birth_death_gamma(&[3.0 * lam, 2.0 * lam], &[mu])?
+    );
+
+    // 4. Transient: survival over a 10-year mission.
+    let mut pi0 = vec![0.0; ctmc.len()];
+    pi0[s0.index()] = 1.0;
+    let pi = transient_distribution(&ctmc, &pi0, 87_600.0, 1e-12)?;
+    println!("P(failed within 10 years) = {:.4e}", pi[dead.index()]);
+
+    // 5. Monte-Carlo cross-check.
+    let mut rng = StdRng::seed_from_u64(7);
+    let est = simulate::estimate_mtta(&ctmc, s0, 5_000, &mut rng)?;
+    println!("simulated MTTA: {est}");
+
+    // 6. Stationary availability of the repairable variant.
+    let mut b = CtmcBuilder::new();
+    let up = b.add_state("up");
+    let down = b.add_state("down");
+    b.add_transition(up, down, 3.0 * lam)?;
+    b.add_transition(down, up, mu)?;
+    let machine = b.build()?;
+    let pi = stationary_distribution(&machine)?;
+    println!("two-state availability: {:.6}", pi[up.index()]);
+
+    // 7. And the picture (paste into graphviz).
+    println!("\n{}", to_dot(&ctmc, DotOptions::default()));
+    Ok(())
+}

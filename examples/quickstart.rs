@@ -1,0 +1,46 @@
+//! Quickstart: evaluate the paper's baseline system and print the
+//! Figure 13 comparison.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p nsr-cli --example quickstart
+//! ```
+
+use nsr_core::config::Configuration;
+use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The §6 baseline: 64 bricks, 12 × 300 GB drives each, desktop-class
+    // MTTFs, 10 Gb/s links, 75 % capacity utilization.
+    let params = Params::baseline();
+
+    println!("Networked storage reliability — baseline (Figure 13)");
+    println!("target: {TARGET_EVENTS_PER_PB_YEAR:.0e} data-loss events per PB-year\n");
+
+    for config in Configuration::all_nine() {
+        let eval = config.evaluate(&params)?;
+        println!(
+            "  {config:<28} {:>12.3e} events/PB-year   {}",
+            eval.closed_form.events_per_pb_year,
+            if eval.closed_form.meets_target() { "meets target" } else { "misses target" },
+        );
+    }
+
+    // The paper's headline recommendation: [FT2, Internal RAID 5] with
+    // rebuild blocks of at least 64 KiB.
+    let recommended = Configuration::new(InternalRaid::Raid5, 2)?;
+    let eval = recommended.evaluate(&params)?;
+    println!(
+        "\nrecommended [{recommended}]: MTTDL {:.3e} h, margin {:.1} orders of magnitude",
+        eval.closed_form.mttdl_hours,
+        eval.closed_form.margin_orders(),
+    );
+    println!(
+        "node rebuild takes {:.2} h and is {}-bound",
+        eval.node_rebuild.duration.0, eval.node_rebuild.bottleneck
+    );
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! Integration: every closed-form MTTDL printed in the paper against the
+//! exact CTMC solution, across a grid of parameter points.
+//!
+//! Tolerances reflect the linearization: the paper's sector-error terms
+//! are expected-count approximations, so agreement tightens as `C·HER`
+//! (and with it every `h`) shrinks.
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::{ArrayModel, InternalRaid};
+use nsr_core::units::{Bytes, Hours, PerHour};
+
+fn grid() -> Vec<Params> {
+    let mut out = Vec::new();
+    for drive_mttf in [100_000.0, 300_000.0, 750_000.0] {
+        for node_mttf in [100_000.0, 400_000.0, 1_000_000.0] {
+            let mut p = Params::baseline();
+            p.drive.mttf = Hours(drive_mttf);
+            p.node.mttf = Hours(node_mttf);
+            out.push(p);
+        }
+    }
+    // Extra structural points.
+    let mut p = Params::baseline();
+    p.system.node_count = 32;
+    p.system.redundancy_set_size = 6;
+    out.push(p);
+    let mut p = Params::baseline();
+    p.node.drives_per_node = 8;
+    p.system.rebuild_command = Bytes::from_kib(64.0);
+    out.push(p);
+    out
+}
+
+#[test]
+fn all_nine_configurations_across_grid() {
+    for (i, params) in grid().iter().enumerate() {
+        for config in Configuration::all_nine() {
+            let eval = config.evaluate(params).expect("feasible grid point");
+            let rel = (eval.closed_form.mttdl_hours - eval.exact.mttdl_hours).abs()
+                / eval.exact.mttdl_hours;
+            // FT 1 can sit far outside the h-linearization's validity
+            // range (h_N ≈ 2 at baseline C·HER, saturated in the exact
+            // chain), so the printed FT-1 forms can overshoot by ~50 %.
+            let tol = if config.node_fault_tolerance() == 1 { 0.60 } else { 0.15 };
+            assert!(
+                rel < tol,
+                "grid {i}, {config}: closed {:.4e} vs exact {:.4e} (rel {rel:.4})",
+                eval.closed_form.mttdl_hours,
+                eval.exact.mttdl_hours
+            );
+        }
+    }
+}
+
+#[test]
+fn agreement_tightens_with_small_error_rate() {
+    // With HER ×100 smaller, every closed form must be within 2 % of exact
+    // for t >= 2 and 5 % for t = 1.
+    for mut params in grid() {
+        params.drive.hard_error_rate_per_bit = 1e-16;
+        for config in Configuration::all_nine() {
+            let eval = config.evaluate(&params).expect("feasible");
+            let rel = (eval.closed_form.mttdl_hours - eval.exact.mttdl_hours).abs()
+                / eval.exact.mttdl_hours;
+            let tol = if config.node_fault_tolerance() == 1 { 0.05 } else { 0.02 };
+            assert!(rel < tol, "{config}: rel {rel:.5}");
+        }
+    }
+}
+
+#[test]
+fn raid5_printed_formula_is_exact_everywhere() {
+    // Figure 1's closed form is exact (not just leading order): check a
+    // wide parameter box.
+    for d in [4u32, 8, 12, 24] {
+        for mttf in [50_000.0, 300_000.0, 1_000_000.0] {
+            for restripe_h in [5.0, 34.0, 200.0] {
+                for c_her in [0.0, 0.001, 0.024, 0.08] {
+                    // The printed RAID-5 form is exact only while the
+                    // linearized h = (d−1)·C·HER is a probability.
+                    if (d as f64 - 1.0) * c_her >= 1.0 {
+                        continue;
+                    }
+                    let m = ArrayModel::new(
+                        InternalRaid::Raid5,
+                        d,
+                        PerHour(1.0 / mttf),
+                        PerHour(1.0 / restripe_h),
+                        c_her,
+                    )
+                    .unwrap();
+                    let exact = m.mttdl_exact().unwrap().0;
+                    let formula = m.mttdl_paper().0;
+                    let rel = (exact - formula).abs() / exact;
+                    assert!(
+                        rel < 1e-9,
+                        "d={d} mttf={mttf} mu=1/{restripe_h} c_her={c_her}: rel {rel}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_rates_consistent_between_paper_and_exact() {
+    // λ_D + λ_S from the exact array chain must sum (times MTTDL) to 1:
+    // every array eventually dies through one of the two paths.
+    for raid in [InternalRaid::Raid5, InternalRaid::Raid6] {
+        let m = ArrayModel::new(
+            raid,
+            12,
+            PerHour(1.0 / 300_000.0),
+            PerHour(1.0 / 34.0),
+            0.024,
+        )
+        .unwrap();
+        let exact = m.rates_exact().unwrap();
+        let mttdl = m.mttdl_exact().unwrap().0;
+        let total_prob = (exact.lambda_array.0 + exact.lambda_sector.0) * mttdl;
+        assert!((total_prob - 1.0).abs() < 1e-9, "{raid}: {total_prob}");
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let params = Params::baseline();
+    let c = Configuration::new(InternalRaid::Raid5, 2).unwrap();
+    let a = c.evaluate(&params).unwrap();
+    let b = c.evaluate(&params).unwrap();
+    assert_eq!(a.closed_form.mttdl_hours, b.closed_form.mttdl_hours);
+    assert_eq!(a.exact.mttdl_hours, b.exact.mttdl_hours);
+}
+
+#[test]
+fn exact_solution_handles_extreme_stiffness() {
+    // FT 3 internal RAID with very fast rebuilds: rate ratios ~1e8 per
+    // level. The GTH-based solver must stay finite and ordered.
+    let mut params = Params::baseline();
+    params.system.rebuild_bw_utilization = 1.0; // rebuild at full bandwidth
+    let c2 = Configuration::new(InternalRaid::Raid6, 2).unwrap();
+    let c3 = Configuration::new(InternalRaid::Raid6, 3).unwrap();
+    let e2 = c2.evaluate(&params).unwrap().exact.mttdl_hours;
+    let e3 = c3.evaluate(&params).unwrap().exact.mttdl_hours;
+    assert!(e2.is_finite() && e3.is_finite());
+    assert!(e3 > e2);
+    // And agree with the closed forms to leading order even out here.
+    let cf3 = c3.evaluate(&params).unwrap().closed_form.mttdl_hours;
+    assert!((cf3 - e3).abs() / e3 < 0.15, "closed {cf3:.3e} vs exact {e3:.3e}");
+}

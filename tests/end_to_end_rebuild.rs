@@ -1,0 +1,144 @@
+//! Integration across substrate crates: the erasure-coded storage path
+//! (encode → fail → rebuild → verify) checked against the reliability
+//! model's combinatorics (`nsr-core`'s §5.1/§5.2 quantities).
+
+use nsr_core::rebuild::TransferAmounts;
+use nsr_core::scope::critical_fraction;
+use nsr_erasure::placement::{Placement, RebuildFlows};
+use nsr_erasure::rs::ReedSolomon;
+
+#[test]
+fn encode_fail_rebuild_verify_every_geometry() {
+    // All paper code geometries (R = 8, t = 1..3) and a few others.
+    for (r, t) in [(8u32, 1u32), (8, 2), (8, 3), (6, 2), (12, 3)] {
+        let code = ReedSolomon::new((r - t) as usize, t as usize).unwrap();
+        let data: Vec<Vec<u8>> = (0..(r - t) as usize)
+            .map(|i| (0..256).map(|j| ((i * 53 + j * 11 + 7) % 251) as u8).collect())
+            .collect();
+        let full = code.encode(&data).unwrap();
+        // Erase the *last* t shards (worst case: all parity gone) and the
+        // first t shards (all data) — both must reconstruct.
+        for erase_head in [true, false] {
+            let mut shards: Vec<Option<Vec<u8>>> =
+                full.iter().cloned().map(Some).collect();
+            for i in 0..t as usize {
+                let idx = if erase_head { i } else { full.len() - 1 - i };
+                shards[idx] = None;
+            }
+            code.reconstruct(&mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(
+                    s.as_deref(),
+                    Some(&full[i][..]),
+                    "R={r} t={t} head={erase_head} shard {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn placement_criticality_matches_model_combinatorics() {
+    // The empirical fraction of critical sets on a full even design equals
+    // nsr-core's k_t for every feasible (N, R, t) in a grid.
+    for n in [8u32, 10, 12, 14] {
+        for r in [3u32, 4, 5] {
+            for t in 1..r.min(4) {
+                let p = Placement::enumerate_all(n, r).unwrap();
+                let other_failed: Vec<u32> = (0..t - 1).collect();
+                let empirical = p.critical_fraction(t - 1, &other_failed).unwrap();
+                let model = critical_fraction(n, r, t).unwrap();
+                assert!(
+                    (empirical - model).abs() < 1e-12,
+                    "N={n} R={r} t={t}: {empirical} vs {model}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rebuild_traffic_matches_model_transfer_amounts() {
+    // The §5.1 amounts used by the rebuild-rate model agree with the
+    // traffic measured on an actual placement, for each fault tolerance.
+    let (n, r) = (14u32, 6u32);
+    let p = Placement::enumerate_all(n, r).unwrap();
+    for t in 1..=3u32 {
+        let amounts = TransferAmounts::new(n, r, t).unwrap();
+        let flows = RebuildFlows::for_node_failure(&p, 5, t).unwrap();
+        let node_worth = flows.lost_elements as f64;
+
+        // Network total: the model counts R−t source transfers per lost
+        // element; the measured value is lower only by the replacement
+        // node's local reads. The replacement is a member of the set with
+        // probability (R−1)/(N−1), saving one transfer each time, so the
+        // expected measured total is (R−t) − (R−1)/(N−1) per lost element.
+        let measured = flows.network_total as f64 / node_worth;
+        let model = amounts.network_total;
+        let local_saving = (r - 1) as f64 / (n - 1) as f64;
+        assert!(measured <= model + 1e-12, "t={t}");
+        assert!(
+            (measured - (model - local_saving)).abs() < 0.05 * model,
+            "t={t}: measured {measured}, expected {}",
+            model - local_saving
+        );
+
+        // Received per survivor tracks (R−t)/(N−1) within the same local-
+        // read correction.
+        let mean_received = flows
+            .received
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v != 5)
+            .map(|(_, &x)| x as f64)
+            .sum::<f64>()
+            / (n - 1) as f64
+            / node_worth;
+        assert!(
+            (mean_received - amounts.received_per_node).abs()
+                < amounts.received_per_node * (local_saving / model + 0.01),
+            "t={t}: {mean_received} vs {}",
+            amounts.received_per_node
+        );
+    }
+}
+
+#[test]
+fn sourcing_is_balanced_across_survivors() {
+    // §5.1 argues every survivor sources (R−t)/(N−1): on the full design
+    // the measured imbalance must be small.
+    let p = Placement::enumerate_all(12, 5).unwrap();
+    let flows = RebuildFlows::for_node_failure(&p, 0, 2).unwrap();
+    let sourced: Vec<f64> = flows
+        .sourced
+        .iter()
+        .enumerate()
+        .filter(|(v, _)| *v != 0)
+        .map(|(_, &x)| x as f64)
+        .collect();
+    let mean = sourced.iter().sum::<f64>() / sourced.len() as f64;
+    for s in &sourced {
+        assert!((s - mean).abs() / mean < 0.25, "sourced {s} vs mean {mean}");
+    }
+}
+
+#[test]
+fn degraded_reads_work_during_rebuild() {
+    // While a redundancy set is missing ≤ t elements, reads of any element
+    // must still be serviceable by decode (the paper's premise that an
+    // uncorrectable error is recoverable while redundancy remains).
+    let code = ReedSolomon::new(6, 2).unwrap();
+    let data: Vec<Vec<u8>> = (0..6).map(|i| vec![0x40 + i as u8; 128]).collect();
+    let full = code.encode(&data).unwrap();
+    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+    shards[2] = None; // a failed node
+    shards[7] = None; // plus an unreadable sector's shard
+    code.reconstruct(&mut shards).unwrap();
+    assert_eq!(shards[2].as_deref(), Some(&data[2][..]));
+    // A third concurrent loss is exactly the paper's data-loss event.
+    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+    shards[0] = None;
+    shards[1] = None;
+    shards[2] = None;
+    assert!(code.reconstruct(&mut shards).is_err());
+}

@@ -1,0 +1,170 @@
+//! Integration: the appendix's recursive construction and its Figure A1
+//! closed form, validated numerically for fault tolerances far beyond the
+//! printed k = 1, 2, 3.
+
+use nsr_core::no_raid::{printed_vs_theorem_max_rel_diff, NoRaidSystem};
+use nsr_core::recursive::RecursiveModel;
+use nsr_core::units::PerHour;
+
+fn model(k: u32, n: u32, r: u32, d: u32, mu_n: f64, mu_d: f64, c_her: f64) -> RecursiveModel {
+    RecursiveModel::new(
+        k,
+        n,
+        r,
+        d,
+        PerHour(1.0 / 400_000.0),
+        PerHour(1.0 / 300_000.0),
+        PerHour(mu_n),
+        PerHour(mu_d),
+        c_her,
+    )
+    .unwrap()
+}
+
+#[test]
+fn printed_formulas_are_special_cases_of_the_theorem() {
+    // §4.3 / Figure 12 formulas == Figure A1 theorem at k = 1, 2, 3 for a
+    // box of structural parameters (they are the same algebra — the match
+    // must be to machine precision).
+    for n in [16u32, 64, 128] {
+        for r in [4u32, 8, 12] {
+            if r > n {
+                continue;
+            }
+            for d in [4u32, 12] {
+                let worst = printed_vs_theorem_max_rel_diff(
+                    n,
+                    r,
+                    d,
+                    PerHour(1.0 / 400_000.0),
+                    PerHour(1.0 / 300_000.0),
+                    PerHour(0.28),
+                    PerHour(3.24),
+                    0.024,
+                )
+                .unwrap();
+                assert!(worst < 1e-9, "N={n} R={r} d={d}: rel {worst}");
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_matches_exact_chain_for_k_up_to_six() {
+    // The theorem drops terms of relative size N(λ_N+dλ_d)/μ ≈ 1 %
+    // here; with GTH the exact side is solid at any stiffness, so the
+    // theorem must track within 5 % up to k = 6 (the paper derives it for
+    // arbitrary k but can only print k ≤ 3).
+    for k in 1..=6 {
+        let m = model(k, 64, 12, 8, 0.2, 0.2, 1e-3);
+        let exact = m.mttdl_exact().unwrap().0;
+        let theorem = m.mttdl_theorem().0;
+        let rel = (exact - theorem).abs() / exact;
+        assert!(rel < 0.05, "k={k}: exact {exact:.4e} vs theorem {theorem:.4e} ({rel:.4})");
+    }
+}
+
+#[test]
+fn three_exact_methods_agree() {
+    // GTH chain solve and the appendix Lemma recursion are independent
+    // implementations of det/Num(R); they must coincide to machine
+    // precision at the full baseline for every k.
+    for k in 1..=7 {
+        let m = model(k, 64, 12, 8, 0.28, 3.24, 0.024);
+        let gth = m.mttdl_exact().unwrap().0;
+        let lemma = m.mttdl_lemma().0;
+        assert!(
+            (gth - lemma).abs() / gth < 1e-10,
+            "k={k}: gth {gth:.10e} vs lemma {lemma:.10e}"
+        );
+    }
+}
+
+#[test]
+fn exact_chain_scales_to_k_nine() {
+    // 2^10 − 1 = 1023 transient states; the solver must stay finite,
+    // positive and monotone in k.
+    let mut prev = 0.0;
+    for k in 7..=9 {
+        let m = model(k, 64, 12, 8, 0.2, 0.2, 1e-3);
+        assert_eq!(m.state_count(), (1 << (k + 1)) - 1);
+        let v = m.mttdl_exact().unwrap().0;
+        assert!(v.is_finite() && v > prev, "k={k}: {v}");
+        prev = v;
+    }
+}
+
+#[test]
+fn theorem_scaling_in_failure_rates() {
+    // The leading failure term scales as (μ/λ)^k: doubling both μs must
+    // multiply MTTDL by ~2^k when sector errors are negligible.
+    for k in 1..=4 {
+        let base = model(k, 64, 12, 8, 0.05, 0.05, 0.0).mttdl_theorem().0;
+        let faster = model(k, 64, 12, 8, 0.10, 0.10, 0.0).mttdl_theorem().0;
+        let ratio = faster / base;
+        let expected = 2f64.powi(k as i32);
+        assert!(
+            (ratio - expected).abs() / expected < 0.02,
+            "k={k}: ratio {ratio} vs {expected}"
+        );
+    }
+}
+
+#[test]
+fn sector_path_share_grows_with_error_rate() {
+    let low = model(2, 64, 8, 12, 0.28, 3.24, 1e-4).sector_loss_share().unwrap();
+    let high = model(2, 64, 8, 12, 0.28, 3.24, 2e-2).sector_loss_share().unwrap();
+    assert!(high > low, "{high} vs {low}");
+}
+
+#[test]
+fn no_raid_wrapper_consistency() {
+    // NoRaidSystem must agree with its underlying RecursiveModel verbatim.
+    let sys = NoRaidSystem::new(
+        3,
+        64,
+        8,
+        12,
+        PerHour(1.0 / 400_000.0),
+        PerHour(1.0 / 300_000.0),
+        PerHour(0.28),
+        PerHour(3.24),
+        0.024,
+    )
+    .unwrap();
+    assert_eq!(sys.mttdl_theorem().0, sys.recursive().mttdl_theorem().0);
+    assert_eq!(
+        sys.mttdl_exact().unwrap().0,
+        sys.recursive().mttdl_exact().unwrap().0
+    );
+}
+
+#[test]
+fn state_labels_cover_all_failure_words() {
+    // The k = 3 chain must contain every {N, d} word of length ≤ 3 (padded
+    // with 0s) exactly once.
+    let m = model(3, 64, 8, 12, 0.28, 3.24, 0.024);
+    let ctmc = m.ctmc().unwrap();
+    for label in [
+        "000", "N00", "d00", "NN0", "Nd0", "dN0", "dd0", "NNN", "NNd", "NdN", "Ndd",
+        "dNN", "dNd", "ddN", "ddd",
+    ] {
+        assert!(ctmc.state_by_label(label).is_some(), "missing state {label}");
+    }
+    assert_eq!(ctmc.transient_states().len(), 15);
+}
+
+#[test]
+fn theorem_reduces_to_failure_only_when_her_zero() {
+    // With C·HER = 0 the sector term vanishes: MTTDL must match the pure
+    // failure expression (μ_Nμ_d)^k / (falling · (N−k)(λ_N+dλ_d)·L^k).
+    let k = 2;
+    let m = model(k, 64, 8, 12, 0.28, 3.24, 0.0);
+    let (lam_n, lam_d) = (1.0 / 400_000.0, 1.0 / 300_000.0);
+    let l = 3.24 * lam_n + 0.28 * 12.0 * lam_d;
+    let falling = 64.0 * 63.0;
+    let expected = (0.28f64 * 3.24).powi(2)
+        / (falling * 62.0 * (lam_n + 12.0 * lam_d) * l * l);
+    let got = m.mttdl_theorem().0;
+    assert!((got - expected).abs() / expected < 1e-12, "{got} vs {expected}");
+}
