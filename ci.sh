@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Offline CI gate for the nsr workspace. Runs the full tier-1 suite plus
+# lint and formatting checks. Requires only the pinned Rust toolchain —
+# no network access, no external crates (see Cargo.toml's offline-build
+# policy).
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> ci.sh: all checks passed"

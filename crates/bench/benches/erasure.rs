@@ -1,65 +1,62 @@
-//! Criterion benches for the erasure-coding substrate: GF(2⁸)
-//! multiply-accumulate, Reed–Solomon encode/reconstruct throughput, and
-//! placement enumeration.
+//! Benches for the erasure-coding substrate: GF(2⁸) multiply-accumulate,
+//! Reed–Solomon encode/reconstruct throughput, and placement enumeration.
+//! Self-contained harness (`nsr_bench::timing`); run with
+//! `cargo bench -p nsr-bench --bench erasure`.
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use nsr_bench::timing::{bench, bench_throughput};
 use nsr_erasure::gf256::{mul_acc, Gf};
 use nsr_erasure::placement::{Placement, RebuildFlows};
 use nsr_erasure::rs::ReedSolomon;
 
-fn bench_gf(c: &mut Criterion) {
+fn bench_gf() {
     let src: Vec<u8> = (0..65536).map(|i| (i * 31 + 7) as u8).collect();
     let mut dst = vec![0u8; 65536];
-    let mut group = c.benchmark_group("gf256");
-    group.throughput(Throughput::Bytes(65536));
-    group.bench_function("mul_acc_64k", |bch| {
-        bch.iter(|| {
-            mul_acc(black_box(&mut dst), black_box(&src), Gf(0x57));
-        })
+    bench_throughput("gf256/mul_acc_64k", 65536, &mut || {
+        mul_acc(black_box(&mut dst), black_box(&src), Gf(0x57));
     });
-    group.finish();
 }
 
-fn bench_rs(c: &mut Criterion) {
+fn bench_rs() {
     // The paper's baseline geometry: R = 8, t = 2.
     let code = ReedSolomon::new(6, 2).expect("geometry");
     let shard = 64 * 1024;
-    let data: Vec<Vec<u8>> =
-        (0..6).map(|i| (0..shard).map(|j| ((i * 131 + j) % 251) as u8).collect()).collect();
+    let data: Vec<Vec<u8>> = (0..6)
+        .map(|i| (0..shard).map(|j| ((i * 131 + j) % 251) as u8).collect())
+        .collect();
     let full = code.encode(&data).expect("encode");
 
-    let mut group = c.benchmark_group("reed_solomon_r8_t2");
-    group.throughput(Throughput::Bytes((shard * 6) as u64));
-    group.bench_function("encode_6x64k", |bch| {
-        bch.iter(|| black_box(code.encode(black_box(&data)).expect("encode")))
-    });
-    group.bench_function("reconstruct_two_erasures", |bch| {
-        bch.iter(|| {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                full.iter().cloned().map(Some).collect();
+    bench_throughput(
+        "reed_solomon_r8_t2/encode_6x64k",
+        (shard * 6) as u64,
+        &mut || code.encode(black_box(&data)).expect("encode"),
+    );
+    bench_throughput(
+        "reed_solomon_r8_t2/reconstruct_two_erasures",
+        (shard * 6) as u64,
+        &mut || {
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
             shards[1] = None;
             shards[6] = None;
             code.reconstruct(&mut shards).expect("reconstruct");
-            black_box(shards)
-        })
-    });
-    group.finish();
+            shards
+        },
+    );
 }
 
-fn bench_placement(c: &mut Criterion) {
-    let mut group = c.benchmark_group("placement");
-    group.bench_function("enumerate_c14_6", |bch| {
-        bch.iter(|| black_box(Placement::enumerate_all(14, 6).expect("placement")))
+fn bench_placement() {
+    bench("placement/enumerate_c14_6", || {
+        Placement::enumerate_all(14, 6).expect("placement")
     });
     let p = Placement::enumerate_all(14, 6).expect("placement");
-    group.bench_function("rebuild_flows_c14_6", |bch| {
-        bch.iter(|| black_box(RebuildFlows::for_node_failure(&p, 3, 2).expect("flows")))
+    bench("placement/rebuild_flows_c14_6", || {
+        RebuildFlows::for_node_failure(&p, 3, 2).expect("flows")
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_gf, bench_rs, bench_placement);
-criterion_main!(benches);
+fn main() {
+    bench_gf();
+    bench_rs();
+    bench_placement();
+}

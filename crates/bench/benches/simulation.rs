@@ -1,11 +1,13 @@
-//! Criterion benches for the simulators: system-level trajectories and
-//! importance-sampling cycles.
+//! Benches for the simulators: system-level trajectories and
+//! importance-sampling cycles. Self-contained harness
+//! (`nsr_bench::timing`); run with `cargo bench -p nsr-bench --bench
+//! simulation`.
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nsr_bench::timing::bench;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
 
 use nsr_core::config::Configuration;
 use nsr_core::params::Params;
@@ -13,17 +15,17 @@ use nsr_core::raid::InternalRaid;
 use nsr_sim::importance::{Options, RareEvent};
 use nsr_sim::system::SystemSim;
 
-fn bench_system_sim(c: &mut Criterion) {
+fn bench_system_sim() {
     let params = Params::baseline();
     let config = Configuration::new(InternalRaid::None, 1).expect("cfg");
     let sim = SystemSim::new(params, config).expect("sim");
-    c.bench_function("system_sim_ft1_trajectory", |bch| {
-        let mut rng = StdRng::seed_from_u64(7);
-        bch.iter(|| black_box(sim.simulate_one(&mut rng).expect("loss")))
+    let mut rng = StdRng::seed_from_u64(7);
+    bench("system_sim_ft1_trajectory", || {
+        sim.simulate_one(&mut rng).expect("loss")
     });
 }
 
-fn bench_importance(c: &mut Criterion) {
+fn bench_importance() {
     // The FT2 internal-RAID chain at baseline.
     use nsr_core::internal_raid::InternalRaidSystem;
     use nsr_core::raid::ArrayModel;
@@ -50,19 +52,23 @@ fn bench_importance(c: &mut Criterion) {
     let ctmc = sys.ctmc().expect("ctmc");
     let root = ctmc.state_by_label("failed:0").expect("root");
     let est = RareEvent::new(&ctmc, root).expect("estimator");
-    c.bench_function("importance_sampling_2k_cycles", |bch| {
-        let mut rng = StdRng::seed_from_u64(11);
-        bch.iter(|| {
-            black_box(
-                est.estimate(
-                    Options { gamma_cycles: 2000, time_cycles: 2000, ..Options::default() },
-                    &mut rng,
-                )
-                .expect("estimate"),
+    let mut rng = StdRng::seed_from_u64(11);
+    bench("importance_sampling_2k_cycles", || {
+        black_box(
+            est.estimate(
+                Options {
+                    gamma_cycles: 2000,
+                    time_cycles: 2000,
+                    ..Options::default()
+                },
+                &mut rng,
             )
-        })
+            .expect("estimate"),
+        )
     });
 }
 
-criterion_group!(benches, bench_system_sim, bench_importance);
-criterion_main!(benches);
+fn main() {
+    bench_system_sim();
+    bench_importance();
+}

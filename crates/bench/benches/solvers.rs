@@ -1,11 +1,11 @@
-//! Criterion benches for the analytic kernels: LU factorization, GTH
-//! absorbing analysis, recursive-chain construction and solve, and a full
-//! Figure-13 evaluation.
+//! Benches for the analytic kernels: LU factorization, GTH absorbing
+//! analysis, recursive-chain construction and solve, and a full Figure-13
+//! evaluation. Self-contained harness (`nsr_bench::timing`); run with
+//! `cargo bench -p nsr-bench --bench solvers`.
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use nsr_bench::timing::bench;
 use nsr_core::config::Configuration;
 use nsr_core::params::Params;
 use nsr_core::recursive::RecursiveModel;
@@ -29,8 +29,7 @@ fn recursive_model(k: u32) -> RecursiveModel {
     .expect("valid model")
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lu_factor_solve");
+fn bench_lu() {
     for n in [15usize, 63, 127] {
         let a = Matrix::from_fn(n, n, |r, cc| {
             if r == cc {
@@ -40,44 +39,42 @@ fn bench_lu(c: &mut Criterion) {
             }
         });
         let b = vec![1.0; n];
-        group.bench_function(format!("n={n}"), |bch| {
-            bch.iter(|| {
-                let lu = Lu::factor(black_box(&a)).expect("nonsingular");
-                black_box(lu.solve(&b).expect("solve"))
-            })
+        bench(&format!("lu_factor_solve/n={n}"), || {
+            let lu = Lu::factor(black_box(&a)).expect("nonsingular");
+            lu.solve(&b).expect("solve")
         });
     }
-    group.finish();
 }
 
-fn bench_recursive_chain(c: &mut Criterion) {
-    let mut group = c.benchmark_group("recursive_chain");
+fn bench_recursive_chain() {
     for k in [1u32, 2, 3, 5, 7] {
         let model = recursive_model(k);
-        group.bench_function(format!("build_k{k}"), |bch| {
-            bch.iter(|| black_box(model.ctmc().expect("ctmc")))
+        bench(&format!("recursive_chain/build_k{k}"), || {
+            model.ctmc().expect("ctmc")
         });
         let ctmc = model.ctmc().expect("ctmc");
-        group.bench_function(format!("gth_solve_k{k}"), |bch| {
-            bch.iter(|| black_box(AbsorbingAnalysis::new(&ctmc).expect("analysis")))
+        bench(&format!("recursive_chain/gth_solve_k{k}"), || {
+            AbsorbingAnalysis::new(&ctmc).expect("analysis")
         });
-        group.bench_function(format!("theorem_k{k}"), |bch| {
-            bch.iter(|| black_box(model.mttdl_theorem()))
+        bench(&format!("recursive_chain/theorem_k{k}"), || {
+            model.mttdl_theorem()
         });
     }
-    group.finish();
 }
 
-fn bench_figure13(c: &mut Criterion) {
+fn bench_figure13() {
     let params = Params::baseline();
-    c.bench_function("figure13_full_baseline", |bch| {
-        bch.iter(|| black_box(fig13_baseline(black_box(&params)).expect("fig13")))
+    bench("figure13_full_baseline", || {
+        fig13_baseline(black_box(&params)).expect("fig13")
     });
     let config = Configuration::new(nsr_core::raid::InternalRaid::Raid5, 2).expect("cfg");
-    c.bench_function("evaluate_ft2_ir5", |bch| {
-        bch.iter(|| black_box(config.evaluate(black_box(&params)).expect("eval")))
+    bench("evaluate_ft2_ir5", || {
+        config.evaluate(black_box(&params)).expect("eval")
     });
 }
 
-criterion_group!(benches, bench_lu, bench_recursive_chain, bench_figure13);
-criterion_main!(benches);
+fn main() {
+    bench_lu();
+    bench_recursive_chain();
+    bench_figure13();
+}

@@ -22,12 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 1. Duplexing.
     println!("ablation 1 — link duplexing (events/PB-year, closed form):\n");
-    println!("{:<28}{:>14}{:>14}{:>10}", "configuration", "full duplex", "half duplex", "ratio");
+    println!(
+        "{:<28}{:>14}{:>14}{:>10}",
+        "configuration", "full duplex", "half duplex", "ratio"
+    );
     for config in Configuration::sensitivity_set() {
         let full = config.evaluate(&params)?.closed_form.events_per_pb_year;
         let mut half_params = params;
         half_params.system.duplex = Duplex::Half;
-        let half = config.evaluate(&half_params)?.closed_form.events_per_pb_year;
+        let half = config
+            .evaluate(&half_params)?
+            .closed_form
+            .events_per_pb_year;
         println!(
             "{:<28}{:>14.3e}{:>14.3e}{:>10.2}",
             format!("{config}"),
@@ -41,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 2. h-saturation (linearization validity).
     println!("ablation 2 — linearized vs saturated sector-error terms (MTTDL, h):\n");
-    println!("{:<28}{:>16}{:>16}{:>10}", "configuration", "closed (linear)", "exact (clamped)", "ratio");
+    println!(
+        "{:<28}{:>16}{:>16}{:>10}",
+        "configuration", "closed (linear)", "exact (clamped)", "ratio"
+    );
     for ft in 1..=3 {
         let config = Configuration::new(InternalRaid::None, ft)?;
         let e = config.evaluate(&params)?;
@@ -77,8 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = AgingSim::new(
         params,
         config,
-        Lifetime::Exponential { mttf: params.drive.mttf.0 },
-        Lifetime::Exponential { mttf: params.node.mttf.0 },
+        Lifetime::Exponential {
+            mttf: params.drive.mttf.0,
+        },
+        Lifetime::Exponential {
+            mttf: params.node.mttf.0,
+        },
     )?
     .estimate_mttdl(800, 5)?;
     println!("  exponential lifetimes:        {base}");
@@ -86,8 +99,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let est = AgingSim::new(
             params,
             config,
-            Lifetime::Weibull { mttf: params.drive.mttf.0, shape },
-            Lifetime::Exponential { mttf: params.node.mttf.0 },
+            Lifetime::Weibull {
+                mttf: params.drive.mttf.0,
+                shape,
+            },
+            Lifetime::Exponential {
+                mttf: params.node.mttf.0,
+            },
         )?
         .estimate_mttdl(800, 6)?;
         println!(

@@ -7,8 +7,18 @@ fn main() {
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
     for fig in [
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-        "fig_a1", "ext_her", "mttf_map", "ablations",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig_a1",
+        "ext_her",
+        "mttf_map",
+        "ablations",
     ] {
         println!("\n================ {fig} ================\n");
         let status = Command::new(dir.join(fig)).status();

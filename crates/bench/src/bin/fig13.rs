@@ -12,7 +12,10 @@ use nsr_core::sweep::fig13_baseline;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::baseline();
     println!("Figure 13 — baseline comparison (events per PB-year; target {TARGET_EVENTS_PER_PB_YEAR:.0e})\n");
-    println!("{:<30}{:>16}{:>18}{:>14}", "configuration", "MTTDL (h)", "events/PB-yr", "margin (dex)");
+    println!(
+        "{:<30}{:>16}{:>18}{:>14}",
+        "configuration", "MTTDL (h)", "events/PB-yr", "margin (dex)"
+    );
     for (config, r) in fig13_baseline(&params)? {
         println!(
             "{:<30}{:>16.3e}{:>18.3e}{:>14.1}{}",
@@ -20,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.mttdl_hours,
             r.events_per_pb_year,
             r.margin_orders(),
-            if r.meets_target() { "" } else { "   << misses target" },
+            if r.meets_target() {
+                ""
+            } else {
+                "   << misses target"
+            },
         );
     }
     // The paper's three observations, evaluated live.
@@ -33,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r6 = ev(Configuration::new(Raid6, 2).unwrap()).events_per_pb_year;
     let ft3_ir_margin = ev(Configuration::new(Raid5, 3).unwrap()).margin_orders();
     println!("\npaper observation 1 (FT1 misses target):        {ft1_all_miss}");
-    println!("paper observation 2 (RAID5 ~ RAID6 at FT2):     ratio {:.2}", r5 / r6);
+    println!(
+        "paper observation 2 (RAID5 ~ RAID6 at FT2):     ratio {:.2}",
+        r5 / r6
+    );
     println!("paper observation 3 (FT3+IR margin ~5 orders):  {ft3_ir_margin:.1} orders");
     Ok(())
 }

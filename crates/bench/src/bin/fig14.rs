@@ -14,7 +14,10 @@ use nsr_core::sweep::fig14_drive_mttf;
 use nsr_core::units::Hours;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (label, node_mttf) in [("LOW node MTTF (100k h)", 100_000.0), ("HIGH node MTTF (1M h)", 1_000_000.0)] {
+    for (label, node_mttf) in [
+        ("LOW node MTTF (100k h)", 100_000.0),
+        ("HIGH node MTTF (1M h)", 1_000_000.0),
+    ] {
         let sweep = fig14_drive_mttf(&Params::baseline(), Hours(node_mttf))?;
         println!("Figure 14 — drive-MTTF sensitivity, {label}\n");
         print!("{}", render_sweep(&sweep));

@@ -11,7 +11,10 @@ use nsr_core::sweep::fig15_node_mttf;
 use nsr_core::units::Hours;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    for (label, drive_mttf) in [("LOW drive MTTF (100k h)", 100_000.0), ("HIGH drive MTTF (750k h)", 750_000.0)] {
+    for (label, drive_mttf) in [
+        ("LOW drive MTTF (100k h)", 100_000.0),
+        ("HIGH drive MTTF (750k h)", 750_000.0),
+    ] {
         let mut params = Params::baseline();
         params.drive.mttf = Hours(drive_mttf);
         let sweep = fig15_node_mttf(&params, Hours(drive_mttf))?;

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut p = params;
         p.system.rebuild_command = Bytes::from_kib(kib);
         let r = RebuildModel::new(p)?.node_rebuild(2)?;
-        println!("  {kib:>6} KiB: node rebuild {:>8.2} h ({}-bound)", r.duration.0, r.bottleneck);
+        println!(
+            "  {kib:>6} KiB: node rebuild {:>8.2} h ({}-bound)",
+            r.duration.0, r.bottleneck
+        );
     }
     Ok(())
 }

@@ -11,9 +11,15 @@ use nsr_core::units::PerHour;
 
 fn row(k: u32, mu_n: f64, mu_d: f64, c_her: f64) -> Result<(), Box<dyn std::error::Error>> {
     let m = RecursiveModel::new(
-        k, 64, 8, 12,
-        PerHour(1.0 / 400_000.0), PerHour(1.0 / 300_000.0),
-        PerHour(mu_n), PerHour(mu_d), c_her,
+        k,
+        64,
+        8,
+        12,
+        PerHour(1.0 / 400_000.0),
+        PerHour(1.0 / 300_000.0),
+        PerHour(mu_n),
+        PerHour(mu_d),
+        c_her,
     )?;
     let exact = m.mttdl_exact()?.0;
     let lemma = m.mttdl_lemma().0;
@@ -30,7 +36,9 @@ fn row(k: u32, mu_n: f64, mu_d: f64, c_her: f64) -> Result<(), Box<dyn std::erro
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Figure A1 — general-k MTTDL: exact chain (GTH) vs appendix Lemma recursion vs theorem\n");
+    println!(
+        "Figure A1 — general-k MTTDL: exact chain (GTH) vs appendix Lemma recursion vs theorem\n"
+    );
     println!("baseline rates (μ_N = 0.28/h, μ_d = 3.24/h, C·HER = 0.024):");
     for k in 1..=5 {
         row(k, 0.28, 3.24, 0.024)?;

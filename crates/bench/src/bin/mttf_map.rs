@@ -9,10 +9,15 @@ use nsr_core::params::Params;
 use nsr_core::sweep::mttf_map;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("Extension — drive×node MTTF feasibility maps (target {TARGET_EVENTS_PER_PB_YEAR:.0e})\n");
+    println!(
+        "Extension — drive×node MTTF feasibility maps (target {TARGET_EVENTS_PER_PB_YEAR:.0e})\n"
+    );
     for config in Configuration::sensitivity_set() {
         let map = mttf_map(&Params::baseline(), config)?;
-        println!("{config}   (feasible over {:.0}% of the plane)", 100.0 * map.feasible_fraction());
+        println!(
+            "{config}   (feasible over {:.0}% of the plane)",
+            100.0 * map.feasible_fraction()
+        );
         print!("{:>14}", "node\\drive");
         for d in &map.drive_mttf {
             print!("{:>11}", format!("{}k", (d / 1000.0) as u64));
@@ -21,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (r, n) in map.node_mttf.iter().enumerate() {
             print!("{:>14}", format!("{}k h", (n / 1000.0) as u64));
             for v in &map.values[r] {
-                let mark = if *v < TARGET_EVENTS_PER_PB_YEAR { ' ' } else { '!' };
+                let mark = if *v < TARGET_EVENTS_PER_PB_YEAR {
+                    ' '
+                } else {
+                    '!'
+                };
                 print!("{:>10.1e}{mark}", v);
             }
             println!();

@@ -10,6 +10,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod timing;
+
 use nsr_core::config::Configuration;
 use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
 use nsr_core::sweep::Sweep;
@@ -20,7 +22,10 @@ use nsr_core::sweep::Sweep;
 pub fn render_sweep(sweep: &Sweep) -> String {
     let configs = sweep.configs();
     let mut out = String::new();
-    out.push_str(&format!("{:<22}", format!("{} ({})", sweep.x_name, sweep.x_unit)));
+    out.push_str(&format!(
+        "{:<22}",
+        format!("{} ({})", sweep.x_name, sweep.x_unit)
+    ));
     for c in &configs {
         out.push_str(&format!("{:>26}", format!("{c}")));
     }
@@ -33,7 +38,10 @@ pub fn render_sweep(sweep: &Sweep) -> String {
             match cell.reliability {
                 Some(r) => {
                     let marker = if r.meets_target() { ' ' } else { '!' };
-                    out.push_str(&format!("{:>25}{marker}", format!("{:.3e}", r.events_per_pb_year)));
+                    out.push_str(&format!(
+                        "{:>25}{marker}",
+                        format!("{:.3e}", r.events_per_pb_year)
+                    ));
                 }
                 None => out.push_str(&format!("{:>26}", "infeasible")),
             }

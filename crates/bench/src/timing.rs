@@ -1,0 +1,86 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! Replaces the external benchmarking dependency so the workspace builds
+//! fully offline. Each measurement auto-calibrates an iteration count to a
+//! target wall-clock budget, takes several samples, and reports the median
+//! nanoseconds per iteration (plus throughput when a byte count is given).
+//! The numbers are indicative, not statistically rigorous — good enough to
+//! catch order-of-magnitude regressions in the numerical kernels.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-sample time budget; total time per benchmark ≈ `SAMPLES`× this.
+const SAMPLE_BUDGET: Duration = Duration::from_millis(120);
+/// Number of timed samples; the median is reported.
+const SAMPLES: usize = 7;
+
+/// Runs `f` repeatedly and prints the median time per iteration.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot elide the work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    bench_throughput(name, 0, &mut f);
+}
+
+/// Like [`bench`], but also reports MiB/s for `bytes` processed per call
+/// when `bytes > 0`.
+pub fn bench_throughput<T>(name: &str, bytes: u64, f: &mut impl FnMut() -> T) {
+    // Calibrate: find an iteration count that fills the sample budget.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_BUDGET / 4 || iters >= 1 << 30 {
+            let scale = SAMPLE_BUDGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            iters = ((iters as f64 * scale).ceil() as u64).max(1);
+            break;
+        }
+        iters *= 8;
+    }
+
+    let mut samples_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples_ns.sort_by(f64::total_cmp);
+    let median = samples_ns[SAMPLES / 2];
+
+    if bytes > 0 {
+        let mib_s = bytes as f64 / (median * 1e-9) / (1024.0 * 1024.0);
+        println!("{name:<44} {:>14}/iter {mib_s:>10.1} MiB/s", fmt_ns(median));
+    } else {
+        println!("{name:<44} {:>14}/iter", fmt_ns(median));
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(super::fmt_ns(12.34), "12.3 ns");
+        assert_eq!(super::fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(super::fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(super::fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

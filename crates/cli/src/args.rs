@@ -45,7 +45,11 @@ impl ParsedArgs {
                 _ => flags.push(key.to_string()),
             }
         }
-        Ok(ParsedArgs { command, options, flags })
+        Ok(ParsedArgs {
+            command,
+            options,
+            flags,
+        })
     }
 
     /// Looks up an option, parsed as `T`.

@@ -6,14 +6,15 @@ use std::fmt::Write as _;
 use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
 use nsr_core::params::Params;
 use nsr_core::sweep::{
-    fig13_baseline, fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block,
-    fig17_link_speed, fig18_node_count, fig19_redundancy_set, fig20_drives_per_node, Sweep,
+    fig13_baseline, fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block, fig17_link_speed,
+    fig18_node_count, fig19_redundancy_set, fig20_drives_per_node, Sweep,
 };
 use nsr_core::units::Hours;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
+use nsr_sim::faultinject::{Campaign, FaultPlan};
 use nsr_sim::importance::{Options, RareEvent};
 use nsr_sim::system::SystemSim;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use crate::args::{config_name, params_from, parse_config, ParsedArgs};
 use crate::render::{sweep_csv, sweep_table};
@@ -32,6 +33,8 @@ COMMANDS:
   sweep       one sensitivity analysis (--figure 14..20; --csv for CSV)
   figures     regenerate all figures as CSV files (--out DIR)
   sim         system-level Monte Carlo (--config, --samples, --seed)
+  inject      fault-injection campaign (--plan NAME|list, --runs, --seed;
+              --replay SEED prints one run's exact event trace)
   rare        rare-event (importance-sampling) MTTDL (--config, --cycles)
   mission     P(data loss within --years Y) for --config
   plan        feasible configurations for --target events/PB-year
@@ -61,6 +64,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
         "sweep" => sweep_cmd(args),
         "figures" => figures(args),
         "sim" => sim(args),
+        "inject" => inject(args),
         "rare" => rare(args),
         "mission" => mission(args),
         "plan" => plan(args),
@@ -69,7 +73,9 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
         "aging" => aging(args),
         "chain" => chain(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(CliError(format!("unknown command '{other}'; try `nsr help`"))),
+        other => Err(CliError(format!(
+            "unknown command '{other}'; try `nsr help`"
+        ))),
     }
 }
 
@@ -158,7 +164,11 @@ fn sweep_cmd(args: &ParsedArgs) -> Result<String> {
         .ok_or_else(|| CliError("--figure is required (14..20)".into()))?;
     let params = params_from(args)?;
     let sweep = sweep_for_figure(figure, &params)?;
-    Ok(if args.has_flag("csv") { sweep_csv(&sweep) } else { sweep_table(&sweep) })
+    Ok(if args.has_flag("csv") {
+        sweep_csv(&sweep)
+    } else {
+        sweep_table(&sweep)
+    })
 }
 
 fn figures(args: &ParsedArgs) -> Result<String> {
@@ -184,13 +194,19 @@ fn figures(args: &ParsedArgs) -> Result<String> {
     let _ = writeln!(log, "wrote {path}");
 
     // Figures 14 and 15 at both ends of the paper's MTTF ranges.
-    for (name, node_mttf) in [("low_node_mttf", 100_000.0), ("high_node_mttf", 1_000_000.0)] {
+    for (name, node_mttf) in [
+        ("low_node_mttf", 100_000.0),
+        ("high_node_mttf", 1_000_000.0),
+    ] {
         let s = fig14_drive_mttf(&params, Hours(node_mttf))?;
         let path = format!("{out_dir}/fig14_drive_mttf_{name}.csv");
         std::fs::write(&path, sweep_csv(&s))?;
         let _ = writeln!(log, "wrote {path}");
     }
-    for (name, drive_mttf) in [("low_drive_mttf", 100_000.0), ("high_drive_mttf", 750_000.0)] {
+    for (name, drive_mttf) in [
+        ("low_drive_mttf", 100_000.0),
+        ("high_drive_mttf", 750_000.0),
+    ] {
         let mut p = params;
         p.drive.mttf = Hours(drive_mttf);
         let s = fig15_node_mttf(&p, Hours(drive_mttf))?;
@@ -232,12 +248,113 @@ fn sim(args: &ParsedArgs) -> Result<String> {
     let mut text = String::new();
     let _ = writeln!(text, "configuration:     {config}");
     let _ = writeln!(text, "simulated MTTDL:   {}", out.mttdl);
-    let _ = writeln!(text, "analytic (exact):  {:.6e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(
+        text,
+        "analytic (exact):  {:.6e} h",
+        analytic.exact.mttdl_hours
+    );
     let _ = writeln!(text, "events/PB-year:    {:.4e}", out.events_per_pb_year);
     let _ = writeln!(text, "sector-loss share: {:.1}%", 100.0 * out.sector_share);
     let _ = writeln!(text, "failures per loss: {:.1}", out.mean_failures_per_loss);
-    let _ = writeln!(text, "spare consumed:    {:.2}x provisioned", out.mean_spare_consumed);
+    let _ = writeln!(
+        text,
+        "spare consumed:    {:.2}x provisioned",
+        out.mean_spare_consumed
+    );
     Ok(text)
+}
+
+fn inject(args: &ParsedArgs) -> Result<String> {
+    let plan_name = args.get_or("plan", "burst".to_string())?;
+    if plan_name == "list" {
+        let mut out = String::from("named fault plans:\n");
+        for name in FaultPlan::names() {
+            let plan = FaultPlan::named(name)?;
+            let _ = writeln!(
+                out,
+                "  {name:<12} {} clause(s), horizon {:.0} h",
+                plan.clauses().len(),
+                plan.horizon_hours()
+            );
+        }
+        return Ok(out);
+    }
+
+    let config = parse_config(&args.get_or("config", "ft2-nir".to_string())?)?;
+    let params = params_from(args)?;
+    let plan = FaultPlan::named(&plan_name)?;
+    let sim = SystemSim::new(params, config)?;
+    let campaign = Campaign::new(&sim, &plan);
+
+    // Replay mode: one seed, full byte-exact event trace.
+    if let Some(replay_seed) = args.get::<u64>("replay")? {
+        let r = campaign.run(replay_seed)?;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "replay of plan '{plan_name}' on {config}, seed {replay_seed}:"
+        );
+        out.push_str(&r.trace.render());
+        let _ = writeln!(
+            out,
+            "outcome: {} after {:.2} h ({:.2}% degraded)",
+            if r.survived { "survived" } else { "data loss" },
+            r.elapsed_hours,
+            100.0 * r.degraded_fraction()
+        );
+        return Ok(out);
+    }
+
+    let runs = args.get_or("runs", 100u64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let s = campaign.run_many(runs, seed)?;
+    let (excess, sector, latent) = s.losses;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fault-injection campaign: plan '{plan_name}' on {config}"
+    );
+    let _ = writeln!(
+        out,
+        "  horizon:         {:.0} h per run",
+        plan.horizon_hours()
+    );
+    let _ = writeln!(
+        out,
+        "  runs:            {} (base seed {})",
+        s.runs, s.base_seed
+    );
+    let _ = writeln!(
+        out,
+        "  survived:        {}/{} ({:.1}%)",
+        s.survived,
+        s.runs,
+        100.0 * s.survival_rate()
+    );
+    let _ = writeln!(
+        out,
+        "  degraded time:   {:.2}% mean fraction of each run",
+        100.0 * s.mean_degraded_fraction
+    );
+    let _ = writeln!(
+        out,
+        "  injected events: {:.1} mean per run",
+        s.mean_injected
+    );
+    let _ = writeln!(
+        out,
+        "  data-loss events: {} (excess-failures {excess}, sector-error {sector}, \
+         latent-error {latent})",
+        s.runs - s.survived
+    );
+    if !s.loss_seeds.is_empty() {
+        let _ = writeln!(out, "  loss seeds (replay with --replay SEED):");
+        for chunk in s.loss_seeds.chunks(4) {
+            let line: Vec<String> = chunk.iter().map(|s| s.to_string()).collect();
+            let _ = writeln!(out, "    {}", line.join(", "));
+        }
+    }
+    Ok(out)
 }
 
 fn rare(args: &ParsedArgs) -> Result<String> {
@@ -256,7 +373,12 @@ fn rare(args: &ParsedArgs) -> Result<String> {
     let est = RareEvent::new(&ctmc, root)?;
     let mut rng = StdRng::seed_from_u64(seed);
     let r = est.estimate(
-        Options { bias, gamma_cycles: cycles, time_cycles: cycles, ..Options::default() },
+        Options {
+            bias,
+            gamma_cycles: cycles,
+            time_cycles: cycles,
+            ..Options::default()
+        },
         &mut rng,
     )?;
     let analytic = config.evaluate(&params)?;
@@ -268,12 +390,15 @@ fn rare(args: &ParsedArgs) -> Result<String> {
         r.mtta,
         100.0 * r.rel_err
     );
-    let _ = writeln!(text, "exact (GTH):         {:.6e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(
+        text,
+        "exact (GTH):         {:.6e} h",
+        analytic.exact.mttdl_hours
+    );
     let _ = writeln!(text, "per-cycle gamma:     {}", r.gamma);
     let _ = writeln!(text, "mean cycle:          {:.4e} h", r.cycle_time.mean);
     Ok(text)
 }
-
 
 fn mission(args: &ParsedArgs) -> Result<String> {
     let config = parse_config(
@@ -322,9 +447,7 @@ fn plan(args: &ParsedArgs) -> Result<String> {
     } else {
         // Size the §8 knob for the cheapest plan.
         let best = plans[0].config;
-        if let Ok(block) =
-            nsr_core::planner::min_rebuild_block_for_target(&params, best, target)
-        {
+        if let Ok(block) = nsr_core::planner::min_rebuild_block_for_target(&params, best, target) {
             let _ = writeln!(
                 out,
                 "\ncheapest plan [{best}] needs a rebuild block of at least {:.0} KiB",
@@ -356,7 +479,11 @@ fn spares(args: &ParsedArgs) -> Result<String> {
         "  capacity erosion:  {:.2} TB/year",
         m.capacity_loss_rate().0 * nsr_core::units::HOURS_PER_YEAR / 1e12
     );
-    let _ = writeln!(out, "  spare pool:        {:.2} TB", m.spare_pool().0 / 1e12);
+    let _ = writeln!(
+        out,
+        "  spare pool:        {:.2} TB",
+        m.spare_pool().0 / 1e12
+    );
     let _ = writeln!(
         out,
         "  expected lifetime: {:.2} years",
@@ -382,7 +509,6 @@ fn spares(args: &ParsedArgs) -> Result<String> {
     Ok(out)
 }
 
-
 fn report(args: &ParsedArgs) -> Result<String> {
     let params = params_from(args)?;
     let mut md = String::new();
@@ -403,7 +529,10 @@ fn report(args: &ParsedArgs) -> Result<String> {
 
     // Figure 13 table.
     let _ = writeln!(md, "## Baseline comparison (Figure 13)\n");
-    let _ = writeln!(md, "| configuration | MTTDL (h) | events/PB-year | target |");
+    let _ = writeln!(
+        md,
+        "| configuration | MTTDL (h) | events/PB-year | target |"
+    );
     let _ = writeln!(md, "|---|---|---|---|");
     for (config, r) in fig13_baseline(&params)? {
         let _ = writeln!(
@@ -411,7 +540,11 @@ fn report(args: &ParsedArgs) -> Result<String> {
             "| {config} | {:.3e} | {:.3e} | {} |",
             r.mttdl_hours,
             r.events_per_pb_year,
-            if r.meets_target() { "meets" } else { "**misses**" }
+            if r.meets_target() {
+                "meets"
+            } else {
+                "**misses**"
+            }
         );
     }
 
@@ -455,8 +588,7 @@ fn report(args: &ParsedArgs) -> Result<String> {
     let _ = writeln!(md, "\n## Model-structure validation\n");
     for config in nsr_core::config::Configuration::sensitivity_set() {
         let (ctmc, _) = config.exact_chain(&params)?;
-        let diag = nsr_markov::validate_absorbing(&ctmc)
-            .map_err(|e| CliError(e.to_string()))?;
+        let diag = nsr_markov::validate_absorbing(&ctmc).map_err(|e| CliError(e.to_string()))?;
         let _ = writeln!(
             md,
             "- {config}: {} states, {} absorbing, {} trapped (must be 0)",
@@ -474,7 +606,6 @@ fn report(args: &ParsedArgs) -> Result<String> {
     }
 }
 
-
 fn aging(args: &ParsedArgs) -> Result<String> {
     let config = parse_config(&args.get_or("config", "ft1-nir".to_string())?)?;
     let params = params_from(args)?;
@@ -485,21 +616,34 @@ fn aging(args: &ParsedArgs) -> Result<String> {
     let exp = AgingSim::new(
         params,
         config,
-        Lifetime::Exponential { mttf: params.drive.mttf.0 },
-        Lifetime::Exponential { mttf: params.node.mttf.0 },
+        Lifetime::Exponential {
+            mttf: params.drive.mttf.0,
+        },
+        Lifetime::Exponential {
+            mttf: params.node.mttf.0,
+        },
     )?
     .estimate_mttdl(samples, seed)?;
     let weib = AgingSim::new(
         params,
         config,
-        Lifetime::Weibull { mttf: params.drive.mttf.0, shape },
-        Lifetime::Exponential { mttf: params.node.mttf.0 },
+        Lifetime::Weibull {
+            mttf: params.drive.mttf.0,
+            shape,
+        },
+        Lifetime::Exponential {
+            mttf: params.node.mttf.0,
+        },
     )?
     .estimate_mttdl(samples, seed + 1)?;
     let analytic = config.evaluate(&params)?;
     let mut out = String::new();
     let _ = writeln!(out, "lifetime-distribution ablation for {config}:");
-    let _ = writeln!(out, "  analytic (exponential):      {:.4e} h", analytic.exact.mttdl_hours);
+    let _ = writeln!(
+        out,
+        "  analytic (exponential):      {:.4e} h",
+        analytic.exact.mttdl_hours
+    );
     let _ = writeln!(out, "  simulated exponential:       {}", exp);
     let _ = writeln!(out, "  simulated Weibull (k={shape}):   {}", weib);
     let _ = writeln!(
@@ -510,7 +654,6 @@ fn aging(args: &ParsedArgs) -> Result<String> {
     Ok(out)
 }
 
-
 fn chain(args: &ParsedArgs) -> Result<String> {
     let config = parse_config(
         &args
@@ -519,8 +662,7 @@ fn chain(args: &ParsedArgs) -> Result<String> {
     )?;
     let params = params_from(args)?;
     let (ctmc, root) = config.exact_chain(&params)?;
-    let diag = nsr_markov::validate_absorbing(&ctmc)
-        .map_err(|e| CliError(e.to_string()))?;
+    let diag = nsr_markov::validate_absorbing(&ctmc).map_err(|e| CliError(e.to_string()))?;
     if !diag.trapped_states.is_empty() {
         return Err(CliError(format!(
             "chain has {} trapped states — model construction bug",
@@ -589,10 +731,51 @@ mod tests {
     #[test]
     fn sim_runs_small() {
         let out = run(&[
-            "sim", "--config", "ft1-nir", "--samples", "50", "--seed", "7",
+            "sim",
+            "--config",
+            "ft1-nir",
+            "--samples",
+            "50",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert!(out.contains("simulated MTTDL"));
+    }
+
+    #[test]
+    fn inject_lists_plans() {
+        let out = run(&["inject", "--plan", "list"]).unwrap();
+        for name in FaultPlan::names() {
+            assert!(out.contains(name), "missing plan {name}");
+        }
+    }
+
+    #[test]
+    fn inject_reports_campaign_summary() {
+        let out = run(&[
+            "inject", "--plan", "burst", "--config", "ft1-nir", "--runs", "20", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("survived:"));
+        assert!(out.contains("degraded time:"));
+        assert!(out.contains("data-loss events:"));
+        // The burst plan overwhelms FT1, so losses (and their replay
+        // seeds) must be reported.
+        assert!(out.contains("loss seeds"));
+        assert!(run(&["inject", "--plan", "no-such-plan"]).is_err());
+    }
+
+    #[test]
+    fn inject_replay_is_deterministic() {
+        let argv = [
+            "inject", "--plan", "brownout", "--config", "ft2-nir", "--replay", "11",
+        ];
+        let a = run(&argv).unwrap();
+        let b = run(&argv).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("outcome:"));
+        assert!(a.contains("h  "), "expected a rendered event trace");
     }
 
     #[test]
@@ -640,7 +823,13 @@ mod tests {
     #[test]
     fn aging_compares_distributions() {
         let out = run(&[
-            "aging", "--config", "ft1-nir", "--samples", "60", "--shape", "2.0",
+            "aging",
+            "--config",
+            "ft1-nir",
+            "--samples",
+            "60",
+            "--shape",
+            "2.0",
         ])
         .unwrap();
         assert!(out.contains("Weibull"));
@@ -661,13 +850,11 @@ mod tests {
         assert!(out.contains("# Reliability report"));
         assert!(out.contains("| FT 2, Internal RAID 5 |"));
         assert!(out.contains("trapped (must be 0)"));
-        assert!(!out.contains("trapped (must be 0)\n- ") || true);
     }
 
     #[test]
     fn eval_with_overrides() {
-        let out =
-            run(&["eval", "--config", "ft2-nir", "--drive-mttf", "750000"]).unwrap();
+        let out = run(&["eval", "--config", "ft2-nir", "--drive-mttf", "750000"]).unwrap();
         assert!(out.contains("FT 2, No Internal RAID"));
     }
 }

@@ -31,7 +31,10 @@ pub fn sweep_csv(sweep: &Sweep) -> String {
 pub fn sweep_table(sweep: &Sweep) -> String {
     let configs = sweep.configs();
     let mut out = String::new();
-    out.push_str(&format!("{:<24}", format!("{} ({})", sweep.x_name, sweep.x_unit)));
+    out.push_str(&format!(
+        "{:<24}",
+        format!("{} ({})", sweep.x_name, sweep.x_unit)
+    ));
     for c in &configs {
         out.push_str(&format!("{:>28}", format!("{c}")));
     }
@@ -42,7 +45,9 @@ pub fn sweep_table(sweep: &Sweep) -> String {
         out.push_str(&format!("{:<24}", trim_float(row.x)));
         for cell in &row.cells {
             match cell.reliability {
-                Some(r) => out.push_str(&format!("{:>28}", format!("{:.4e}", r.events_per_pb_year))),
+                Some(r) => {
+                    out.push_str(&format!("{:>28}", format!("{:.4e}", r.events_per_pb_year)))
+                }
                 None => out.push_str(&format!("{:>28}", "infeasible")),
             }
         }
@@ -78,7 +83,9 @@ mod tests {
         // Config names are quoted; unquoted comma counts match per line.
         assert!(lines[0].contains("\"FT 2, Internal RAID 5\""));
         let data_commas = lines[1].matches(',').count();
-        assert!(lines[1..].iter().all(|l| l.matches(',').count() == data_commas));
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.matches(',').count() == data_commas));
         assert_eq!(data_commas, 3); // x + three configurations
     }
 

@@ -9,7 +9,6 @@
 //! availability rather than durability.
 
 use nsr_markov::{stationary_distribution, CtmcBuilder};
-use serde::{Deserialize, Serialize};
 
 use crate::config::Configuration;
 use crate::params::Params;
@@ -17,7 +16,7 @@ use crate::units::{Hours, HOURS_PER_YEAR};
 use crate::{Error, Result};
 
 /// Steady-state availability figures for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Availability {
     /// Long-run fraction of time spent in a data-loss state (restoring).
     pub unavailability: f64,
@@ -78,8 +77,7 @@ pub fn steady_state(
     let repairable = b.build()?;
     let pi = stationary_distribution(&repairable)?;
 
-    let unavailability: f64 =
-        ctmc.absorbing_states().iter().map(|s| pi[s.index()]).sum();
+    let unavailability: f64 = ctmc.absorbing_states().iter().map(|s| pi[s.index()]).sum();
     let healthy = pi[root.index()];
     let degraded_fraction = (1.0 - healthy - unavailability).max(0.0);
     Ok(Availability {

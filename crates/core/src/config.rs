@@ -2,8 +2,6 @@
 //! evaluation: parameters → rebuild rates → Markov models → events per
 //! PB-year.
 
-use serde::{Deserialize, Serialize};
-
 use crate::internal_raid::InternalRaidSystem;
 use crate::metrics::Reliability;
 use crate::no_raid::NoRaidSystem;
@@ -18,7 +16,7 @@ use crate::{Error, Result};
 /// §3 studies the 3 × 3 grid with node fault tolerance 1–3
 /// ([`Configuration::all_nine`]); higher tolerances are accepted as an
 /// extension (§9 notes the closed forms have "broad utility").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Configuration {
     internal: InternalRaid,
     node_ft: u32,
@@ -55,7 +53,10 @@ impl Configuration {
         let mut out = Vec::with_capacity(9);
         for ft in 1..=3 {
             for internal in InternalRaid::all() {
-                out.push(Configuration { internal, node_ft: ft });
+                out.push(Configuration {
+                    internal,
+                    node_ft: ft,
+                });
             }
         }
         out
@@ -65,9 +66,18 @@ impl Configuration {
     /// analyses: [FT2, no IR], [FT2, IR5], [FT3, no IR].
     pub fn sensitivity_set() -> [Configuration; 3] {
         [
-            Configuration { internal: InternalRaid::None, node_ft: 2 },
-            Configuration { internal: InternalRaid::Raid5, node_ft: 2 },
-            Configuration { internal: InternalRaid::None, node_ft: 3 },
+            Configuration {
+                internal: InternalRaid::None,
+                node_ft: 2,
+            },
+            Configuration {
+                internal: InternalRaid::Raid5,
+                node_ft: 2,
+            },
+            Configuration {
+                internal: InternalRaid::None,
+                node_ft: 3,
+            },
         ]
     }
 
@@ -152,10 +162,7 @@ impl Configuration {
     /// # Errors
     ///
     /// Same conditions as [`Configuration::evaluate`].
-    pub fn exact_chain(
-        &self,
-        params: &Params,
-    ) -> Result<(nsr_markov::Ctmc, nsr_markov::StateId)> {
+    pub fn exact_chain(&self, params: &Params) -> Result<(nsr_markov::Ctmc, nsr_markov::StateId)> {
         params.validate()?;
         let t = self.node_ft;
         let rebuild = RebuildModel::new(*params)?;
@@ -207,7 +214,7 @@ impl std::fmt::Display for Configuration {
 }
 
 /// The result of evaluating one configuration at one parameter point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
     /// The configuration evaluated.
     pub config: Configuration,
@@ -262,7 +269,11 @@ mod tests {
             // saturated in the exact chains), hence the looser band there.
             let rel = (eval.closed_form.mttdl_hours - eval.exact.mttdl_hours).abs()
                 / eval.exact.mttdl_hours;
-            let tol = if config.node_fault_tolerance() == 1 { 0.35 } else { 0.15 };
+            let tol = if config.node_fault_tolerance() == 1 {
+                0.35
+            } else {
+                0.15
+            };
             assert!(rel < tol, "{config}: rel diff {rel}");
         }
     }
@@ -276,8 +287,11 @@ mod tests {
             .collect();
         let mut by_closed = evals.clone();
         evals.sort_by(|a, b| a.exact.mttdl_hours.total_cmp(&b.exact.mttdl_hours));
-        by_closed
-            .sort_by(|a, b| a.closed_form.mttdl_hours.total_cmp(&b.closed_form.mttdl_hours));
+        by_closed.sort_by(|a, b| {
+            a.closed_form
+                .mttdl_hours
+                .total_cmp(&b.closed_form.mttdl_hours)
+        });
         let order_exact: Vec<_> = evals.iter().map(|e| e.config).collect();
         let order_closed: Vec<_> = by_closed.iter().map(|e| e.config).collect();
         assert_eq!(order_exact, order_closed);

@@ -20,8 +20,6 @@
 //! (with the `k_t` generalization of [`crate::scope::critical_fraction`]),
 //! of which the printed formulas are special cases.
 
-use serde::{Deserialize, Serialize};
-
 use nsr_markov::{AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId};
 
 use crate::raid::ArrayRates;
@@ -57,7 +55,7 @@ pub const LOSS_BY_SECTOR: &str = "loss:sector";
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InternalRaidSystem {
     n: u32,
     r: u32,
@@ -87,7 +85,9 @@ impl InternalRaidSystem {
         mu_n: PerHour,
     ) -> Result<InternalRaidSystem> {
         if n <= t {
-            return Err(Error::infeasible("node set must be larger than fault tolerance"));
+            return Err(Error::infeasible(
+                "node set must be larger than fault tolerance",
+            ));
         }
         if !(lambda_n.0 > 0.0 && lambda_n.0.is_finite()) {
             return Err(Error::invalid("node failure rate must be positive"));
@@ -130,21 +130,34 @@ impl InternalRaidSystem {
     /// with distinct absorbing states for failure-driven and sector-driven
     /// loss.
     pub fn ctmc(&self) -> Result<Ctmc> {
-        let (nf, lam, mu) = (self.n as f64, self.lambda_n + self.lambda_d_array, self.mu_n);
+        let (nf, lam, mu) = (
+            self.n as f64,
+            self.lambda_n + self.lambda_d_array,
+            self.mu_n,
+        );
         let mut b = CtmcBuilder::new();
-        let states: Vec<StateId> =
-            (0..=self.t).map(|i| b.add_state(format!("failed:{i}"))).collect();
+        let states: Vec<StateId> = (0..=self.t)
+            .map(|i| b.add_state(format!("failed:{i}")))
+            .collect();
         let loss_failure = b.add_state(LOSS_BY_FAILURE);
         let loss_sector = b.add_state(LOSS_BY_SECTOR);
 
         for i in 0..self.t {
             let remaining = nf - i as f64;
-            b.add_transition(states[i as usize], states[(i + 1) as usize], remaining * lam)?;
+            b.add_transition(
+                states[i as usize],
+                states[(i + 1) as usize],
+                remaining * lam,
+            )?;
             b.add_transition(states[(i + 1) as usize], states[i as usize], mu)?;
         }
         let last = nf - self.t as f64;
         b.add_transition(states[self.t as usize], loss_failure, last * lam)?;
-        b.add_transition(states[self.t as usize], loss_sector, last * self.k_t * self.lambda_s)?;
+        b.add_transition(
+            states[self.t as usize],
+            loss_sector,
+            last * self.k_t * self.lambda_s,
+        )?;
         Ok(b.build()?)
     }
 
@@ -190,7 +203,10 @@ impl InternalRaidSystem {
     /// Returns [`Error::UnsupportedFaultTolerance`] unless `t == 1`.
     pub fn mttdl_nft1_exact_formula(&self) -> Result<Hours> {
         if self.t != 1 {
-            return Err(Error::UnsupportedFaultTolerance { requested: self.t, max: 1 });
+            return Err(Error::UnsupportedFaultTolerance {
+                requested: self.t,
+                max: 1,
+            });
         }
         let nf = self.n as f64;
         let lam = self.lambda_n + self.lambda_d_array;
@@ -230,8 +246,12 @@ impl InternalRaidSystem {
         let ctmc = self.ctmc()?;
         let analysis = AbsorbingAnalysis::new(&ctmc)?;
         let root = ctmc.state_by_label("failed:0").expect("root state exists");
-        let sector = ctmc.state_by_label(LOSS_BY_SECTOR).expect("loss state exists");
-        analysis.absorption_probability(root, sector).map_err(Into::into)
+        let sector = ctmc
+            .state_by_label(LOSS_BY_SECTOR)
+            .expect("loss state exists");
+        analysis
+            .absorption_probability(root, sector)
+            .map_err(Into::into)
     }
 }
 
@@ -240,7 +260,10 @@ mod tests {
     use super::*;
 
     fn rates() -> ArrayRates {
-        ArrayRates { lambda_array: PerHour(5e-8), lambda_sector: PerHour(1.06e-5) }
+        ArrayRates {
+            lambda_array: PerHour(5e-8),
+            lambda_sector: PerHour(1.06e-5),
+        }
     }
 
     fn system(t: u32) -> InternalRaidSystem {
@@ -252,7 +275,10 @@ mod tests {
         let s = system(1);
         let formula = s.mttdl_nft1_exact_formula().unwrap().0;
         let exact = s.mttdl_exact().unwrap().0;
-        assert!((formula - exact).abs() / exact < 1e-10, "{formula} vs {exact}");
+        assert!(
+            (formula - exact).abs() / exact < 1e-10,
+            "{formula} vs {exact}"
+        );
     }
 
     #[test]
@@ -262,7 +288,10 @@ mod tests {
             let approx = s.mttdl_paper().0;
             let exact = s.mttdl_exact().unwrap().0;
             let rel = (approx - exact).abs() / exact;
-            assert!(rel < 0.05, "t={t}: approx {approx} vs exact {exact} (rel {rel})");
+            assert!(
+                rel < 0.05,
+                "t={t}: approx {approx} vs exact {exact} (rel {rel})"
+            );
         }
     }
 
@@ -295,9 +324,7 @@ mod tests {
     fn k_t_matches_scope_module() {
         assert_eq!(system(1).critical_fraction(), 1.0);
         assert!((system(2).critical_fraction() - 7.0 / 63.0).abs() < 1e-15);
-        assert!(
-            (system(3).critical_fraction() - 42.0 / (63.0 * 62.0)).abs() < 1e-15
-        );
+        assert!((system(3).critical_fraction() - 42.0 / (63.0 * 62.0)).abs() < 1e-15);
     }
 
     #[test]
@@ -312,7 +339,10 @@ mod tests {
     fn nft1_formula_requires_t1() {
         assert!(matches!(
             system(2).mttdl_nft1_exact_formula().unwrap_err(),
-            Error::UnsupportedFaultTolerance { requested: 2, max: 1 }
+            Error::UnsupportedFaultTolerance {
+                requested: 2,
+                max: 1
+            }
         ));
     }
 
@@ -324,7 +354,10 @@ mod tests {
         assert!(InternalRaidSystem::new(4, 8, 2, PerHour(1e-6), r, PerHour(0.3)).is_err());
         assert!(InternalRaidSystem::new(64, 8, 2, PerHour(0.0), r, PerHour(0.3)).is_err());
         assert!(InternalRaidSystem::new(64, 8, 2, PerHour(1e-6), r, PerHour(0.0)).is_err());
-        let bad = ArrayRates { lambda_array: PerHour(-1.0), lambda_sector: PerHour(0.0) };
+        let bad = ArrayRates {
+            lambda_array: PerHour(-1.0),
+            lambda_sector: PerHour(0.0),
+        };
         assert!(InternalRaidSystem::new(64, 8, 2, PerHour(1e-6), bad, PerHour(0.3)).is_err());
         // t = 3 with N = 3 is degenerate.
         assert!(InternalRaidSystem::new(3, 8, 3, PerHour(1e-6), r, PerHour(0.3)).is_err());
@@ -346,18 +379,16 @@ mod tests {
 
     #[test]
     fn faster_rebuild_helps() {
-        let slow =
-            InternalRaidSystem::new(64, 8, 2, PerHour(2.5e-6), rates(), PerHour(0.05))
-                .unwrap()
-                .mttdl_exact()
-                .unwrap()
-                .0;
-        let fast =
-            InternalRaidSystem::new(64, 8, 2, PerHour(2.5e-6), rates(), PerHour(1.0))
-                .unwrap()
-                .mttdl_exact()
-                .unwrap()
-                .0;
+        let slow = InternalRaidSystem::new(64, 8, 2, PerHour(2.5e-6), rates(), PerHour(0.05))
+            .unwrap()
+            .mttdl_exact()
+            .unwrap()
+            .0;
+        let fast = InternalRaidSystem::new(64, 8, 2, PerHour(2.5e-6), rates(), PerHour(1.0))
+            .unwrap()
+            .mttdl_exact()
+            .unwrap()
+            .0;
         assert!(fast > slow);
     }
 

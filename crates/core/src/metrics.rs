@@ -7,8 +7,6 @@
 //! systems suffering less than one loss event in 5 years — works out to
 //! `2·10⁻³` events per PB-year.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Bytes, Hours, HOURS_PER_YEAR};
 use crate::{Error, Result};
 
@@ -16,7 +14,7 @@ use crate::{Error, Result};
 pub const TARGET_EVENTS_PER_PB_YEAR: f64 = 2e-3;
 
 /// A reliability figure for one configuration at one parameter point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Reliability {
     /// Mean time to data loss, in hours.
     pub mttdl_hours: f64,
@@ -34,10 +32,10 @@ impl Reliability {
     ///
     /// Returns [`Error::InvalidParams`] for non-positive MTTDL or capacity.
     pub fn from_mttdl(mttdl: Hours, logical_capacity: Bytes) -> Result<Reliability> {
-        if !(mttdl.0 > 0.0) {
+        if mttdl.0.is_nan() || mttdl.0 <= 0.0 {
             return Err(Error::invalid("MTTDL must be positive"));
         }
-        if !(logical_capacity.0 > 0.0) {
+        if logical_capacity.0.is_nan() || logical_capacity.0 <= 0.0 {
             return Err(Error::invalid("logical capacity must be positive"));
         }
         let events_per_year = HOURS_PER_YEAR / mttdl.0;
@@ -74,7 +72,11 @@ impl std::fmt::Display for Reliability {
             "MTTDL {:.3e} h, {:.3e} events/PB-year ({})",
             self.mttdl_hours,
             self.events_per_pb_year,
-            if self.meets_target() { "meets target" } else { "MISSES target" }
+            if self.meets_target() {
+                "meets target"
+            } else {
+                "MISSES target"
+            }
         )
     }
 }
@@ -102,8 +104,7 @@ mod tests {
     #[test]
     fn small_system_normalization_amplifies() {
         // A 0.1-PB system with the same MTTDL is 10× worse per PB-year.
-        let r =
-            Reliability::from_mttdl(Hours(HOURS_PER_YEAR), Bytes(PETABYTE / 10.0)).unwrap();
+        let r = Reliability::from_mttdl(Hours(HOURS_PER_YEAR), Bytes(PETABYTE / 10.0)).unwrap();
         assert!((r.events_per_pb_year - 10.0).abs() < 1e-9);
     }
 

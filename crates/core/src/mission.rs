@@ -8,7 +8,6 @@
 //! in the transient states at time `T`, computed by uniformization.
 
 use nsr_markov::transient_distribution;
-use serde::{Deserialize, Serialize};
 
 use crate::config::Configuration;
 use crate::params::Params;
@@ -16,7 +15,7 @@ use crate::units::HOURS_PER_YEAR;
 use crate::{Error, Result};
 
 /// A point on the mission-reliability curve.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MissionPoint {
     /// Mission length in years.
     pub years: f64,
@@ -76,8 +75,10 @@ pub fn loss_curve(
     years
         .iter()
         .map(|&y| {
-            loss_probability(config, params, y)
-                .map(|p| MissionPoint { years: y, loss_probability: p })
+            loss_probability(config, params, y).map(|p| MissionPoint {
+                years: y,
+                loss_probability: p,
+            })
         })
         .collect()
 }
@@ -119,8 +120,7 @@ mod tests {
     #[test]
     fn unreliable_config_saturates() {
         // FT1 no-IR has MTTDL ~1300 h; over 5 years loss is near-certain.
-        let p = loss_probability(cfg(InternalRaid::None, 1), &Params::baseline(), 5.0)
-            .unwrap();
+        let p = loss_probability(cfg(InternalRaid::None, 1), &Params::baseline(), 5.0).unwrap();
         assert!(p > 0.999, "{p}");
     }
 

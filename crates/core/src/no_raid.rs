@@ -8,8 +8,6 @@
 //! [`NoRaidSystem::mttdl_paper`] formulas are verified (in tests and in
 //! `tests/recursive_model.rs`) to be special cases of it.
 
-use serde::{Deserialize, Serialize};
-
 use crate::recursive::RecursiveModel;
 use crate::units::{Hours, PerHour};
 use crate::Result;
@@ -35,7 +33,7 @@ use crate::Result;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NoRaidSystem {
     t: u32,
     n: u32,
@@ -69,8 +67,7 @@ impl NoRaidSystem {
         mu_d: PerHour,
         c_her: f64,
     ) -> Result<NoRaidSystem> {
-        let recursive =
-            RecursiveModel::new(t, n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her)?;
+        let recursive = RecursiveModel::new(t, n, r, d, lambda_n, lambda_d, mu_n, mu_d, c_her)?;
         Ok(NoRaidSystem {
             t,
             n,
@@ -124,7 +121,13 @@ impl NoRaidSystem {
                     * (nf - 2.0)
                     * (ln + df * ld)
                     * (md * ln + df * mn * ld).powi(2)
-                    + nf * (rf - 1.0) * (rf - 2.0) * c * df * md * mn * (ld + ln)
+                    + nf * (rf - 1.0)
+                        * (rf - 2.0)
+                        * c
+                        * df
+                        * md
+                        * mn
+                        * (ld + ln)
                         * (md * ln + mn * ld);
                 Hours((md * mn).powi(2) / den)
             }
@@ -136,7 +139,13 @@ impl NoRaidSystem {
                     * (nf - 3.0)
                     * (ln + df * ld)
                     * (md * ln + df * mn * ld).powi(3)
-                    + nf * (rf - 1.0) * (rf - 2.0) * (rf - 3.0) * c * df * md * mn
+                    + nf * (rf - 1.0)
+                        * (rf - 2.0)
+                        * (rf - 3.0)
+                        * c
+                        * df
+                        * md
+                        * mn
                         * (ld + ln)
                         * (md * ln + mn * ld).powi(2);
                 Hours((md * mn).powi(3) / den)
@@ -282,17 +291,29 @@ mod tests {
         // even though dλ_d ≫ λ_N — visible in Figs 14/15.)
         let base = system(2).mttdl_paper().0;
         let worse_drives = NoRaidSystem::new(
-            2, 64, 8, 12,
-            PerHour(1.0 / 400_000.0), PerHour(2.0 / 300_000.0),
-            PerHour(0.28), PerHour(3.24), 0.024,
+            2,
+            64,
+            8,
+            12,
+            PerHour(1.0 / 400_000.0),
+            PerHour(2.0 / 300_000.0),
+            PerHour(0.28),
+            PerHour(3.24),
+            0.024,
         )
         .unwrap()
         .mttdl_paper()
         .0;
         let worse_nodes = NoRaidSystem::new(
-            2, 64, 8, 12,
-            PerHour(2.0 / 400_000.0), PerHour(1.0 / 300_000.0),
-            PerHour(0.28), PerHour(3.24), 0.024,
+            2,
+            64,
+            8,
+            12,
+            PerHour(2.0 / 400_000.0),
+            PerHour(1.0 / 300_000.0),
+            PerHour(0.28),
+            PerHour(3.24),
+            0.024,
         )
         .unwrap()
         .mttdl_paper()

@@ -1,13 +1,11 @@
 //! The parameter model: every constant from the paper's §6 baseline, with
 //! validation and builder-style modification for the §7 sensitivity sweeps.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Bytes, BytesPerSec, Gbps, Hours, PerHour};
 use crate::{Error, Result};
 
 /// Disk-drive characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DriveParams {
     /// Mean time to failure of one drive. Baseline: 300 000 h (desktop/ATA).
     pub mttf: Hours,
@@ -84,14 +82,16 @@ impl DriveParams {
             ));
         }
         if !(self.max_iops > 0.0 && self.sustained.0 > 0.0) {
-            return Err(Error::invalid("drive throughput parameters must be positive"));
+            return Err(Error::invalid(
+                "drive throughput parameters must be positive",
+            ));
         }
         Ok(())
     }
 }
 
 /// Storage-node ("brick") characteristics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeParams {
     /// Mean time to failure of the node's non-redundant components
     /// (controller, power supply, …). Baseline: 400 000 h.
@@ -103,7 +103,10 @@ pub struct NodeParams {
 impl NodeParams {
     /// The §6 baseline brick.
     pub fn baseline() -> Self {
-        NodeParams { mttf: Hours(400_000.0), drives_per_node: 12 }
+        NodeParams {
+            mttf: Hours(400_000.0),
+            drives_per_node: 12,
+        }
     }
 
     /// Node failure rate `λ_N = 1/MTTF_N`.
@@ -130,7 +133,7 @@ impl NodeParams {
 /// full-duplex in aggregate, which also reproduces the paper's ≈3 Gb/s
 /// disk/network crossover (Fig 17); half-duplex is provided for
 /// sensitivity studies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Duplex {
     /// Ingress and egress proceed concurrently (default).
     #[default]
@@ -140,7 +143,7 @@ pub enum Duplex {
 }
 
 /// System-level configuration and workload constants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemParams {
     /// Node set size `N`. Baseline: 64.
     pub node_count: u32,
@@ -184,7 +187,9 @@ impl SystemParams {
             return Err(Error::invalid("node set must contain at least 2 nodes"));
         }
         if self.redundancy_set_size < 2 {
-            return Err(Error::invalid("redundancy set must contain at least 2 nodes"));
+            return Err(Error::invalid(
+                "redundancy set must contain at least 2 nodes",
+            ));
         }
         if self.redundancy_set_size > self.node_count {
             return Err(Error::infeasible(format!(
@@ -202,7 +207,9 @@ impl SystemParams {
             return Err(Error::invalid("capacity utilization must be in (0, 1]"));
         }
         if !(self.rebuild_bw_utilization > 0.0 && self.rebuild_bw_utilization <= 1.0) {
-            return Err(Error::invalid("rebuild bandwidth utilization must be in (0, 1]"));
+            return Err(Error::invalid(
+                "rebuild bandwidth utilization must be in (0, 1]",
+            ));
         }
         Ok(())
     }
@@ -224,7 +231,7 @@ impl SystemParams {
 /// p.drive.mttf = Hours(750_000.0); // high end of the paper's Fig 14 range
 /// assert!(p.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Params {
     /// Disk-drive characteristics.
     pub drive: DriveParams,
@@ -364,7 +371,10 @@ mod tests {
 
         let mut p = Params::baseline();
         p.system.redundancy_set_size = 200; // > node_count
-        assert!(matches!(p.validate().unwrap_err(), Error::Infeasible { .. }));
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            Error::Infeasible { .. }
+        ));
 
         let mut p = Params::baseline();
         p.system.capacity_utilization = 0.0;

@@ -7,8 +7,6 @@
 //! storage efficiency, and size the controllable knobs (rebuild block,
 //! redundancy set) to the goal.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::{Configuration, Evaluation};
 use crate::params::Params;
 use crate::raid::InternalRaid;
@@ -17,7 +15,7 @@ use crate::{Error, Result};
 
 /// A feasible plan: a configuration, its evaluation, and its storage
 /// efficiency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Plan {
     /// The configuration.
     pub config: Configuration,
@@ -60,8 +58,12 @@ pub fn feasible_plans(params: &Params, target: f64, max_ft: u32) -> Result<Vec<P
     let mut plans = Vec::new();
     for ft in 1..=max_ft {
         for internal in InternalRaid::all() {
-            let Ok(config) = Configuration::new(internal, ft) else { continue };
-            let Ok(evaluation) = config.evaluate(params) else { continue };
+            let Ok(config) = Configuration::new(internal, ft) else {
+                continue;
+            };
+            let Ok(evaluation) = config.evaluate(params) else {
+                continue;
+            };
             if evaluation.closed_form.events_per_pb_year < target {
                 plans.push(Plan {
                     config,
@@ -172,9 +174,7 @@ mod tests {
         assert!((storage_efficiency(&params, nir2) - 0.5625).abs() < 1e-12);
         let ir5 = Configuration::new(InternalRaid::Raid5, 2).unwrap();
         // 0.75 × 11/12 × 0.75.
-        assert!(
-            (storage_efficiency(&params, ir5) - 0.75 * 11.0 / 12.0 * 0.75).abs() < 1e-12
-        );
+        assert!((storage_efficiency(&params, ir5) - 0.75 * 11.0 / 12.0 * 0.75).abs() < 1e-12);
     }
 
     #[test]
@@ -195,11 +195,10 @@ mod tests {
                     .unwrap()
                     .0
                     / 1024.0;
-            let at_low =
-                min_rebuild_block_for_target(&low, config, TARGET_EVENTS_PER_PB_YEAR)
-                    .unwrap()
-                    .0
-                    / 1024.0;
+            let at_low = min_rebuild_block_for_target(&low, config, TARGET_EVENTS_PER_PB_YEAR)
+                .unwrap()
+                .0
+                / 1024.0;
             assert!(at_base <= 16.0, "{config}: baseline knee {at_base} KiB");
             assert!(
                 (16.0..=128.0).contains(&at_low),

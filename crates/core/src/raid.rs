@@ -12,15 +12,13 @@
 //!
 //! which feed the node-level models of [`crate::internal_raid`].
 
-use serde::{Deserialize, Serialize};
-
 use nsr_markov::{AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId};
 
 use crate::units::{Hours, PerHour};
 use crate::{Error, Result};
 
 /// The internal redundancy scheme of a node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InternalRaid {
     /// No internal redundancy; drives participate directly in the
     /// cross-node erasure code (§4.3).
@@ -63,7 +61,7 @@ impl std::fmt::Display for InternalRaid {
 }
 
 /// The output rates of an array model, consumed by the node-level models.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayRates {
     /// `λ_D`: rate of array failure (data loss through drive failures).
     pub lambda_array: PerHour,
@@ -94,7 +92,7 @@ pub struct ArrayRates {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArrayModel {
     raid: InternalRaid,
     d: u32,
@@ -127,7 +125,9 @@ impl ArrayModel {
         c_her: f64,
     ) -> Result<ArrayModel> {
         if raid == InternalRaid::None {
-            return Err(Error::infeasible("no array model exists without internal RAID"));
+            return Err(Error::infeasible(
+                "no array model exists without internal RAID",
+            ));
         }
         if d < raid.min_drives() + 1 {
             return Err(Error::infeasible(format!(
@@ -144,7 +144,13 @@ impl ArrayModel {
         if !(0.0..1.0).contains(&c_her) {
             return Err(Error::invalid("C·HER must be in [0, 1)"));
         }
-        Ok(ArrayModel { raid, d, lambda_d: lambda_d.0, mu: mu.0, c_her })
+        Ok(ArrayModel {
+            raid,
+            d,
+            lambda_d: lambda_d.0,
+            mu: mu.0,
+            c_her,
+        })
     }
 
     /// The RAID level of this array.
@@ -166,12 +172,13 @@ impl ArrayModel {
     pub fn ctmc(&self) -> Result<Ctmc> {
         let (d, lam, mu) = (self.d as f64, self.lambda_d, self.mu);
         let f = self.raid.tolerance(); // 1 for RAID 5, 2 for RAID 6
-        // The linearized uncorrectable probability can exceed 1 for very
-        // wide arrays; the exact chain saturates it.
+                                       // The linearized uncorrectable probability can exceed 1 for very
+                                       // wide arrays; the exact chain saturates it.
         let h = self.uncorrectable_probability().min(1.0);
         let mut b = CtmcBuilder::new();
-        let degraded: Vec<StateId> =
-            (0..=f).map(|i| b.add_state(format!("failed:{i}"))).collect();
+        let degraded: Vec<StateId> = (0..=f)
+            .map(|i| b.add_state(format!("failed:{i}")))
+            .collect();
         let loss_drives = b.add_state(LOSS_BY_DRIVES);
         let loss_sector = b.add_state(LOSS_BY_SECTOR);
 
@@ -180,12 +187,18 @@ impl ArrayModel {
             if i + 1 == f {
                 // Entering the critical state: the subsequent re-stripe may
                 // hit an uncorrectable sector error.
-                b.add_transition(degraded[i as usize], degraded[(i + 1) as usize],
-                    remaining * lam * (1.0 - h))?;
+                b.add_transition(
+                    degraded[i as usize],
+                    degraded[(i + 1) as usize],
+                    remaining * lam * (1.0 - h),
+                )?;
                 b.add_transition(degraded[i as usize], loss_sector, remaining * lam * h)?;
             } else {
-                b.add_transition(degraded[i as usize], degraded[(i + 1) as usize],
-                    remaining * lam)?;
+                b.add_transition(
+                    degraded[i as usize],
+                    degraded[(i + 1) as usize],
+                    remaining * lam,
+                )?;
             }
             // Re-stripe completes, restoring one level of redundancy.
             b.add_transition(degraded[(i + 1) as usize], degraded[i as usize], mu)?;
@@ -245,10 +258,7 @@ impl ArrayModel {
             }
             InternalRaid::Raid6 => {
                 let base = d * (d - 1.0) * (d - 2.0);
-                Hours(
-                    mu * mu
-                        / (base * lam.powi(3) + base * lam * lam * mu * self.c_her),
-                )
+                Hours(mu * mu / (base * lam.powi(3) + base * lam * lam * mu * self.c_her))
             }
             InternalRaid::None => unreachable!("rejected in constructor"),
         }
@@ -290,8 +300,12 @@ impl ArrayModel {
         let ctmc = self.ctmc()?;
         let analysis = AbsorbingAnalysis::new(&ctmc)?;
         let root = ctmc.state_by_label("failed:0").expect("root state exists");
-        let drives = ctmc.state_by_label(LOSS_BY_DRIVES).expect("loss state exists");
-        let sector = ctmc.state_by_label(LOSS_BY_SECTOR).expect("loss state exists");
+        let drives = ctmc
+            .state_by_label(LOSS_BY_DRIVES)
+            .expect("loss state exists");
+        let sector = ctmc
+            .state_by_label(LOSS_BY_SECTOR)
+            .expect("loss state exists");
         let mttdl = analysis.mean_time_to_absorption(root)?;
         let p_drives = analysis.absorption_probability(root, drives)?;
         let p_sector = analysis.absorption_probability(root, sector)?;
@@ -365,10 +379,9 @@ mod tests {
         for m in [raid5(), raid6()] {
             let paper = m.rates_paper();
             let exact = m.rates_exact().unwrap();
-            let rel_d =
-                (paper.lambda_array.0 - exact.lambda_array.0).abs() / exact.lambda_array.0;
-            let rel_s = (paper.lambda_sector.0 - exact.lambda_sector.0).abs()
-                / exact.lambda_sector.0;
+            let rel_d = (paper.lambda_array.0 - exact.lambda_array.0).abs() / exact.lambda_array.0;
+            let rel_s =
+                (paper.lambda_sector.0 - exact.lambda_sector.0).abs() / exact.lambda_sector.0;
             // Baseline h = (d−1)·C·HER ≈ 0.26 is not ≪ 1, so the printed
             // linearized rates drift by O(h) from the exact split.
             assert!(rel_d < 0.45, "{:?}: λ_D rel err {rel_d}", m.raid());
@@ -382,10 +395,9 @@ mod tests {
             let m = ArrayModel::new(raid, 12, LAM, MU, 1e-3).unwrap();
             let paper = m.rates_paper();
             let exact = m.rates_exact().unwrap();
-            let rel_d =
-                (paper.lambda_array.0 - exact.lambda_array.0).abs() / exact.lambda_array.0;
-            let rel_s = (paper.lambda_sector.0 - exact.lambda_sector.0).abs()
-                / exact.lambda_sector.0;
+            let rel_d = (paper.lambda_array.0 - exact.lambda_array.0).abs() / exact.lambda_array.0;
+            let rel_s =
+                (paper.lambda_sector.0 - exact.lambda_sector.0).abs() / exact.lambda_sector.0;
             assert!(rel_d < 0.02, "{raid}: λ_D rel err {rel_d}");
             assert!(rel_s < 0.02, "{raid}: λ_S rel err {rel_s}");
         }

@@ -23,15 +23,13 @@
 //! in place after a drive failure (fail-in-place, §3), which is a purely
 //! node-local operation.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::{Duplex, Params};
 use crate::units::{Bytes, BytesPerSec, Hours, PerHour};
 use crate::{Error, Result};
 
 /// The §5.1 per-rebuild transfer amounts, in units of the lost entity's
 /// (node's or drive's) worth of data.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TransferAmounts {
     /// Data rebuilt (written as new redundancy) by each surviving node:
     /// `1/(N−1)`.
@@ -85,7 +83,7 @@ impl TransferAmounts {
 
 /// Which resource limits a rebuild — reported alongside the rate so the
 /// Fig 17 "network-bound below ≈3 Gb/s" analysis can be reproduced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bottleneck {
     /// Limited by drive throughput within the surviving nodes.
     Disk,
@@ -103,7 +101,7 @@ impl std::fmt::Display for Bottleneck {
 }
 
 /// A computed rebuild (or re-stripe) rate with its provenance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RebuildRate {
     /// The repair rate `μ` (per hour).
     pub rate: PerHour,
@@ -154,7 +152,10 @@ impl RebuildModel {
     /// Aggregate drive bandwidth available for rebuild I/O inside one node:
     /// `d · min(max_iops · rebuild_command, sustained) · bw_utilization`.
     pub fn disk_rebuild_bandwidth(&self) -> BytesPerSec {
-        let per_drive = self.params.drive.command_bandwidth(self.params.system.rebuild_command);
+        let per_drive = self
+            .params
+            .drive
+            .command_bandwidth(self.params.system.rebuild_command);
         BytesPerSec(
             per_drive.0
                 * self.params.node.drives_per_node as f64
@@ -166,8 +167,7 @@ impl RebuildModel {
     /// `sustained(link_speed) · bw_utilization`.
     pub fn network_rebuild_bandwidth(&self) -> BytesPerSec {
         BytesPerSec(
-            self.params.system.link_speed.sustained().0
-                * self.params.system.rebuild_bw_utilization,
+            self.params.system.link_speed.sustained().0 * self.params.system.rebuild_bw_utilization,
         )
     }
 
@@ -187,14 +187,20 @@ impl RebuildModel {
             // Half duplex: both directions share the channel.
             Duplex::Half => amounts.inout_per_node(),
         };
-        let net_time = self.network_rebuild_bandwidth().time_for(Bytes(net_fraction * data.0));
+        let net_time = self
+            .network_rebuild_bandwidth()
+            .time_for(Bytes(net_fraction * data.0));
 
         let (duration, bottleneck) = if disk_time.0 >= net_time.0 {
             (disk_time, Bottleneck::Disk)
         } else {
             (net_time, Bottleneck::Network)
         };
-        Ok(RebuildRate { rate: duration.rate(), duration, bottleneck })
+        Ok(RebuildRate {
+            rate: duration.rate(),
+            duration,
+            bottleneck,
+        })
     }
 
     /// Node rebuild rate `μ_N`: time to reconstruct a failed node's worth of
@@ -230,16 +236,23 @@ impl RebuildModel {
     pub fn restripe(&self) -> Result<RebuildRate> {
         let d = self.params.node.drives_per_node;
         if d < 2 {
-            return Err(Error::infeasible("re-striping requires at least 2 drives per node"));
+            return Err(Error::infeasible(
+                "re-striping requires at least 2 drives per node",
+            ));
         }
-        let per_drive =
-            self.params.drive.command_bandwidth(self.params.system.restripe_command);
-        let bw = BytesPerSec(
-            per_drive.0 * (d - 1) as f64 * self.params.system.rebuild_bw_utilization,
-        );
+        let per_drive = self
+            .params
+            .drive
+            .command_bandwidth(self.params.system.restripe_command);
+        let bw =
+            BytesPerSec(per_drive.0 * (d - 1) as f64 * self.params.system.rebuild_bw_utilization);
         // Read everything once and write it back once.
         let duration = bw.time_for(Bytes(2.0 * self.params.node_data().0));
-        Ok(RebuildRate { rate: duration.rate(), duration, bottleneck: Bottleneck::Disk })
+        Ok(RebuildRate {
+            rate: duration.rate(),
+            duration,
+            bottleneck: Bottleneck::Disk,
+        })
     }
 
     /// The link speed (in Gb/s) at which the rebuild bottleneck flips from
@@ -259,8 +272,8 @@ impl RebuildModel {
         // disk_time == net_time at the crossover:
         //   disk_per_node / disk_bw == net_fraction / (gbps·80e6·util)
         let disk_bw = self.disk_rebuild_bandwidth().0;
-        let gbps = net_fraction * disk_bw
-            / (amounts.disk_per_node * 80e6 * sys.rebuild_bw_utilization);
+        let gbps =
+            net_fraction * disk_bw / (amounts.disk_per_node * 80e6 * sys.rebuild_bw_utilization);
         Ok(gbps)
     }
 }
@@ -320,7 +333,11 @@ mod tests {
         let r = m.node_rebuild(2).unwrap();
         assert_eq!(r.bottleneck, Bottleneck::Disk);
         // (7/63) * 2.7 TB / 23.59 MB/s ≈ 12716 s ≈ 3.53 h.
-        assert!(r.duration.0 > 3.0 && r.duration.0 < 4.5, "duration {}", r.duration.0);
+        assert!(
+            r.duration.0 > 3.0 && r.duration.0 < 4.5,
+            "duration {}",
+            r.duration.0
+        );
         assert!((r.rate.0 * r.duration.0 - 1.0).abs() < 1e-12);
     }
 
@@ -342,9 +359,7 @@ mod tests {
         assert!(x > 1.5 && x < 4.5, "crossover at {x} Gb/s");
         // Consistency: just below the crossover the rebuild is
         // network-bound, just above it is disk-bound.
-        for (gbps, expected) in
-            [(x * 0.9, Bottleneck::Network), (x * 1.1, Bottleneck::Disk)]
-        {
+        for (gbps, expected) in [(x * 0.9, Bottleneck::Network), (x * 1.1, Bottleneck::Disk)] {
             let mut p = Params::baseline();
             p.system.link_speed = Gbps(gbps);
             let r = RebuildModel::new(p).unwrap().node_rebuild(2).unwrap();
@@ -368,7 +383,11 @@ mod tests {
         let m = model();
         let r = m.restripe().unwrap();
         // 2*2.7TB / (11 drives * 40 MB/s * 0.1) ≈ 122727 s ≈ 34 h.
-        assert!(r.duration.0 > 25.0 && r.duration.0 < 45.0, "duration {}", r.duration.0);
+        assert!(
+            r.duration.0 > 25.0 && r.duration.0 < 45.0,
+            "duration {}",
+            r.duration.0
+        );
         assert_eq!(r.bottleneck, Bottleneck::Disk);
     }
 

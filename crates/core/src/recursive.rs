@@ -25,8 +25,6 @@
 //! the two can be checked against each other for any `k` — which is exactly
 //! the validation the paper could only assert symbolically.
 
-use serde::{Deserialize, Serialize};
-
 use nsr_markov::{AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId};
 
 use crate::scope::HParams;
@@ -65,7 +63,7 @@ pub const LOSS_BY_SECTOR: &str = "loss:sector";
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecursiveModel {
     k: u32,
     n: u32,
@@ -114,7 +112,9 @@ impl RecursiveModel {
             ("μ_d", mu_d.0),
         ] {
             if !(rate > 0.0 && rate.is_finite()) {
-                return Err(Error::invalid(format!("{name} must be positive and finite")));
+                return Err(Error::invalid(format!(
+                    "{name} must be positive and finite"
+                )));
             }
         }
         let h = HParams::new(k, n, r, d, c_her)?;
@@ -171,8 +171,7 @@ impl RecursiveModel {
         let k = self.k;
         let nf = self.n as f64;
         let df = self.d as f64;
-        let (lam_n, lam_d, mu_n, mu_d) =
-            (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
+        let (lam_n, lam_d, mu_n, mu_d) = (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
 
         let mut b = CtmcBuilder::new();
         // states[depth][idx]
@@ -220,12 +219,8 @@ impl RecursiveModel {
         }
         // Full-depth states: any further failure is data loss.
         let last = nf - k as f64;
-        for idx in 0..(1usize << k) {
-            b.add_transition(
-                states[k as usize][idx],
-                loss_failure,
-                last * (lam_n + df * lam_d),
-            )?;
+        for &s in &states[k as usize] {
+            b.add_transition(s, loss_failure, last * (lam_n + df * lam_d))?;
         }
         Ok(b.build()?)
     }
@@ -256,8 +251,12 @@ impl RecursiveModel {
         let root = ctmc
             .state_by_label(&self.label(0, 0))
             .expect("root state exists");
-        let sector = ctmc.state_by_label(LOSS_BY_SECTOR).expect("loss state exists");
-        analysis.absorption_probability(root, sector).map_err(Into::into)
+        let sector = ctmc
+            .state_by_label(LOSS_BY_SECTOR)
+            .expect("loss state exists");
+        analysis
+            .absorption_probability(root, sector)
+            .map_err(Into::into)
     }
 
     /// Exact MTTDL via the appendix Lemma's determinant recursion:
@@ -284,8 +283,7 @@ impl RecursiveModel {
     /// (length `2^level`).
     fn lemma_parts(&self, level: u32, n_eff: f64, h_slice: &[f64]) -> LemmaParts {
         let df = self.d as f64;
-        let (lam_n, lam_d, mu_n, mu_d) =
-            (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
+        let (lam_n, lam_d, mu_n, mu_d) = (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
         if level == 1 {
             // Base case: the Figure-8 3-state matrix with parameters
             // (n_eff, h_N = h_slice[0], h_d = h_slice[1]).
@@ -344,7 +342,10 @@ impl RecursiveModel {
             self.l(h[0], h[1])
         } else {
             let mid = h.len() / 2;
-            self.l(self.mu_d * self.l_rec(&h[..mid]), self.mu_n * self.l_rec(&h[mid..]))
+            self.l(
+                self.mu_d * self.l_rec(&h[..mid]),
+                self.mu_n * self.l_rec(&h[mid..]),
+            )
         }
     }
 
@@ -439,9 +440,14 @@ mod tests {
         // should agree with the exact GTH solution to well under 1 %.
         for k in 1..=5 {
             let m = RecursiveModel::new(
-                k, 64, 8, 12,
-                PerHour(1.0 / 400_000.0), PerHour(1.0 / 300_000.0),
-                PerHour(0.28), PerHour(3.24),
+                k,
+                64,
+                8,
+                12,
+                PerHour(1.0 / 400_000.0),
+                PerHour(1.0 / 300_000.0),
+                PerHour(0.28),
+                PerHour(3.24),
                 0.00024,
             )
             .unwrap();
@@ -462,7 +468,10 @@ mod tests {
             let gth = m.mttdl_exact().unwrap().0;
             let lemma = m.mttdl_lemma().0;
             let rel = (gth - lemma).abs() / gth;
-            assert!(rel < 1e-10, "k={k}: gth {gth:.8e} vs lemma {lemma:.8e} ({rel:.2e})");
+            assert!(
+                rel < 1e-10,
+                "k={k}: gth {gth:.8e} vs lemma {lemma:.8e} ({rel:.2e})"
+            );
         }
     }
 
@@ -471,9 +480,14 @@ mod tests {
         // μ/λ ratios of 1e6 per level, k = 8: condition numbers beyond
         // 1e40 — both subtraction-free methods must still agree.
         let m = RecursiveModel::new(
-            8, 64, 12, 8,
-            PerHour(1e-7), PerHour(1e-7),
-            PerHour(0.5), PerHour(0.5),
+            8,
+            64,
+            12,
+            8,
+            PerHour(1e-7),
+            PerHour(1e-7),
+            PerHour(0.5),
+            PerHour(0.5),
             1e-6,
         )
         .unwrap();
@@ -519,15 +533,16 @@ mod tests {
             PerHour(1.0),
             0.024,
         );
-        assert!(matches!(r.unwrap_err(), Error::UnsupportedFaultTolerance { .. }));
+        assert!(matches!(
+            r.unwrap_err(),
+            Error::UnsupportedFaultTolerance { .. }
+        ));
     }
 
     #[test]
     fn rate_validation() {
         for bad in 0..4 {
-            let rates: Vec<f64> = (0..4)
-                .map(|i| if i == bad { 0.0 } else { 1e-3 })
-                .collect();
+            let rates: Vec<f64> = (0..4).map(|i| if i == bad { 0.0 } else { 1e-3 }).collect();
             let r = RecursiveModel::new(
                 2,
                 64,
@@ -552,9 +567,14 @@ mod tests {
     #[test]
     fn higher_error_rate_lowers_mttdl() {
         let low = RecursiveModel::new(
-            2, 64, 8, 12,
-            PerHour(1.0 / 400_000.0), PerHour(1.0 / 300_000.0),
-            PerHour(0.28), PerHour(3.24),
+            2,
+            64,
+            8,
+            12,
+            PerHour(1.0 / 400_000.0),
+            PerHour(1.0 / 300_000.0),
+            PerHour(0.28),
+            PerHour(3.24),
             0.0024,
         )
         .unwrap()
@@ -568,9 +588,14 @@ mod tests {
     #[test]
     fn zero_error_rate_leaves_failure_only_model() {
         let m = RecursiveModel::new(
-            2, 64, 8, 12,
-            PerHour(1.0 / 400_000.0), PerHour(1.0 / 300_000.0),
-            PerHour(0.28), PerHour(3.24),
+            2,
+            64,
+            8,
+            12,
+            PerHour(1.0 / 400_000.0),
+            PerHour(1.0 / 300_000.0),
+            PerHour(0.28),
+            PerHour(3.24),
             0.0,
         )
         .unwrap();

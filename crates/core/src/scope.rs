@@ -11,8 +11,6 @@
 //! * Nodes without internal RAID: the `h`-parameter family `h_α` indexed by
 //!   failure words `α ∈ {N, d}^k` ([`HParams`]).
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// Binomial coefficient `C(n, k)` as `f64` (exact for the modest arguments
@@ -90,7 +88,7 @@ pub fn critical_fraction(n: u32, r: u32, t: u32) -> Result<f64> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HParams {
     k: u32,
     d: u32,
@@ -118,7 +116,9 @@ impl HParams {
             return Err(Error::infeasible("need at least one drive per node"));
         }
         if n <= k {
-            return Err(Error::infeasible("node set must be larger than fault tolerance"));
+            return Err(Error::infeasible(
+                "node set must be larger than fault tolerance",
+            ));
         }
         if !(0.0..1.0).contains(&c_her) {
             return Err(Error::invalid("C·HER must be in [0, 1)"));
@@ -226,8 +226,8 @@ mod tests {
     fn critical_fraction_matches_binomial_ratio() {
         // §5.2.1: k_t = C(N−t, R−t)/C(N−1, R−1).
         for (n, r, t) in [(64u32, 8u32, 2u32), (64, 8, 3), (32, 10, 2), (16, 4, 3)] {
-            let direct = binomial((n - t) as u64, (r - t) as u64)
-                / binomial((n - 1) as u64, (r - 1) as u64);
+            let direct =
+                binomial((n - t) as u64, (r - t) as u64) / binomial((n - 1) as u64, (r - 1) as u64);
             let formula = critical_fraction(n, r, t).unwrap();
             assert!(
                 (direct - formula).abs() < 1e-12 * direct,
@@ -240,9 +240,7 @@ mod tests {
     fn baseline_k2_k3() {
         // N=64, R=8: k2 = 7/63, k3 = 42/(63*62).
         assert!((critical_fraction(64, 8, 2).unwrap() - 7.0 / 63.0).abs() < 1e-15);
-        assert!(
-            (critical_fraction(64, 8, 3).unwrap() - 42.0 / (63.0 * 62.0)).abs() < 1e-15
-        );
+        assert!((critical_fraction(64, 8, 3).unwrap() - 42.0 / (63.0 * 62.0)).abs() < 1e-15);
         // k1 = 1 always.
         assert_eq!(critical_fraction(64, 8, 1).unwrap(), 1.0);
     }

@@ -14,8 +14,6 @@
 //! normal approximation to its distribution, accurate for the dozens-of-
 //! failures-per-year regime of the baseline.
 
-use serde::{Deserialize, Serialize};
-
 use crate::params::Params;
 use crate::units::{Bytes, Hours, HOURS_PER_YEAR};
 use crate::{Error, Result};
@@ -37,7 +35,7 @@ use crate::{Error, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpareModel {
     params: Params,
 }
@@ -70,8 +68,7 @@ impl SpareModel {
     /// retires one drive, each node failure retires `d`.
     pub fn capacity_loss_rate(&self) -> Bytes {
         let d = self.params.node.drives_per_node as f64;
-        let per_hour =
-            self.drive_failures_per_hour() + d * self.node_failures_per_hour();
+        let per_hour = self.drive_failures_per_hour() + d * self.node_failures_per_hour();
         Bytes(per_hour * self.params.drive.capacity.0)
     }
 

@@ -5,8 +5,6 @@
 //! set of configurations at every point. Figure 13's baseline comparison
 //! of all nine configurations lives here too.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::Configuration;
 use crate::metrics::Reliability;
 use crate::params::Params;
@@ -16,7 +14,7 @@ use crate::Result;
 /// One configuration's value at one sweep point. `None` when that point is
 /// structurally infeasible for the configuration (e.g. too few drives for
 /// the internal RAID level).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepCell {
     /// The configuration evaluated.
     pub config: Configuration,
@@ -25,7 +23,7 @@ pub struct SweepCell {
 }
 
 /// All configurations' values at one x-coordinate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// The swept parameter's value at this point.
     pub x: f64,
@@ -34,7 +32,7 @@ pub struct SweepRow {
 }
 
 /// A complete sensitivity sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sweep {
     /// Human-readable name of the swept parameter (axis label).
     pub x_name: String,
@@ -104,7 +102,11 @@ where
             .collect();
         rows.push(SweepRow { x, cells });
     }
-    Ok(Sweep { x_name: x_name.to_string(), x_unit: x_unit.to_string(), rows })
+    Ok(Sweep {
+        x_name: x_name.to_string(),
+        x_unit: x_unit.to_string(),
+        rows,
+    })
 }
 
 /// Figure 13: all nine configurations at the §6 baseline.
@@ -122,12 +124,21 @@ pub fn fig13_baseline(params: &Params) -> Result<Vec<(Configuration, Reliability
 /// The drive-MTTF grid of Figure 14 (hours): the paper's "practical range"
 /// 100 000 – 750 000 h.
 pub fn drive_mttf_grid() -> Vec<f64> {
-    vec![100_000.0, 200_000.0, 300_000.0, 450_000.0, 600_000.0, 750_000.0]
+    vec![
+        100_000.0, 200_000.0, 300_000.0, 450_000.0, 600_000.0, 750_000.0,
+    ]
 }
 
 /// The node-MTTF grid of Figure 15 (hours): 100 000 – 1 000 000 h.
 pub fn node_mttf_grid() -> Vec<f64> {
-    vec![100_000.0, 200_000.0, 400_000.0, 600_000.0, 800_000.0, 1_000_000.0]
+    vec![
+        100_000.0,
+        200_000.0,
+        400_000.0,
+        600_000.0,
+        800_000.0,
+        1_000_000.0,
+    ]
 }
 
 /// Figure 14: sensitivity to drive MTTF at a fixed node MTTF.
@@ -271,7 +282,7 @@ pub fn ext_hard_error_rate(base: &Params) -> Result<Sweep> {
 /// A 2-D reliability map over the drive-MTTF × node-MTTF plane for one
 /// configuration — Figures 14 and 15 sample the edges of this matrix;
 /// the full map shows the feasibility region at a glance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MttfMap {
     /// The configuration mapped.
     pub config: Configuration,
@@ -322,7 +333,12 @@ pub fn mttf_map(base: &Params, config: Configuration) -> Result<MttfMap> {
         }
         values.push(row);
     }
-    Ok(MttfMap { config, drive_mttf: drive_grid, node_mttf: node_grid, values })
+    Ok(MttfMap {
+        config,
+        drive_mttf: drive_grid,
+        node_mttf: node_grid,
+        values,
+    })
 }
 
 #[cfg(test)]
@@ -440,7 +456,10 @@ mod tests {
         let s = fig19_redundancy_set(&base()).unwrap();
         for config in s.configs() {
             let series = s.series(config);
-            assert!(series.last().unwrap().1 > series.first().unwrap().1, "{config}");
+            assert!(
+                series.last().unwrap().1 > series.first().unwrap().1,
+                "{config}"
+            );
         }
     }
 

@@ -6,8 +6,6 @@
 //! Model internals extract raw `f64`s once, at a single well-audited
 //! boundary.
 
-use serde::{Deserialize, Serialize};
-
 /// One year, in hours, as used by the paper's "events per year" metric.
 pub const HOURS_PER_YEAR: f64 = 8760.0;
 
@@ -15,7 +13,7 @@ pub const HOURS_PER_YEAR: f64 = 8760.0;
 pub const PETABYTE: f64 = 1e15;
 
 /// A duration in hours (the natural unit of MTTF/MTTR figures).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Hours(pub f64);
 
 impl Hours {
@@ -47,7 +45,7 @@ impl std::fmt::Display for Hours {
 }
 
 /// An exponential rate in events per hour.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct PerHour(pub f64);
 
 impl PerHour {
@@ -64,7 +62,7 @@ impl std::fmt::Display for PerHour {
 }
 
 /// A data size in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Bytes(pub f64);
 
 impl Bytes {
@@ -102,7 +100,7 @@ impl std::fmt::Display for Bytes {
 }
 
 /// A bandwidth in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct BytesPerSec(pub f64);
 
 impl BytesPerSec {
@@ -134,7 +132,7 @@ impl std::fmt::Display for BytesPerSec {
 /// and out of a node over all its surfaces — fixes the conversion used by
 /// [`Gbps::sustained`]: 80 MB/s of sustained node bandwidth per Gb/s of link
 /// speed, scaled linearly.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Gbps(pub f64);
 
 impl Gbps {

@@ -46,27 +46,63 @@ pub enum Error {
     },
     /// Division by zero in GF(2⁸).
     DivisionByZero,
+    /// A node has failed repeatedly and is quarantined: the store refuses
+    /// to rebuild onto it until an operator clears it
+    /// (`BrickStore::unquarantine`).
+    Quarantined {
+        /// The quarantined node.
+        node: u32,
+        /// How many times it has failed.
+        failures: u32,
+    },
+    /// Post-rebuild verification found stripes whose parity does not
+    /// check: a surviving shard was corrupted, so the reconstruction
+    /// cannot be trusted. The affected shards were *not* installed.
+    RebuildVerification {
+        /// Number of objects whose stripes failed verification.
+        objects: usize,
+    },
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidGeometry { data, parity } => {
-                write!(f, "invalid code geometry: {data} data + {parity} parity shards")
+                write!(
+                    f,
+                    "invalid code geometry: {data} data + {parity} parity shards"
+                )
             }
             Error::ShardCountMismatch { expected, found } => {
                 write!(f, "expected {expected} shards, found {found}")
             }
-            Error::ShardSizeMismatch { expected, index, found } => write!(
+            Error::ShardSizeMismatch {
+                expected,
+                index,
+                found,
+            } => write!(
                 f,
                 "shard {index} has length {found}, expected {expected} like shard 0"
             ),
             Error::TooManyErasures { missing, tolerated } => {
-                write!(f, "{missing} shards missing, code tolerates only {tolerated}")
+                write!(
+                    f,
+                    "{missing} shards missing, code tolerates only {tolerated}"
+                )
             }
             Error::SingularMatrix => write!(f, "matrix is singular over GF(256)"),
             Error::InvalidPlacement { what } => write!(f, "invalid placement: {what}"),
             Error::DivisionByZero => write!(f, "division by zero in GF(256)"),
+            Error::Quarantined { node, failures } => write!(
+                f,
+                "node {node} is quarantined after {failures} failures; \
+                 clear it with unquarantine() before rebuilding"
+            ),
+            Error::RebuildVerification { objects } => write!(
+                f,
+                "post-rebuild verification failed for {objects} object(s): \
+                 a surviving shard is corrupt"
+            ),
         }
     }
 }

@@ -8,8 +8,6 @@
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Sub};
 use std::sync::OnceLock;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// The primitive polynomial `x⁸ + x⁴ + x³ + x² + 1`.
@@ -29,8 +27,8 @@ fn tables() -> &'static Tables {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -59,7 +57,7 @@ fn tables() -> &'static Tables {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Gf(pub u8);
 
 impl Gf {
@@ -231,10 +229,7 @@ mod tests {
         for a in (0..=255u8).step_by(7) {
             for b in (0..=255u8).step_by(11) {
                 for c in (0..=255u8).step_by(29) {
-                    assert_eq!(
-                        Gf(a) * (Gf(b) + Gf(c)),
-                        Gf(a) * Gf(b) + Gf(a) * Gf(c)
-                    );
+                    assert_eq!(Gf(a) * (Gf(b) + Gf(c)), Gf(a) * Gf(b) + Gf(a) * Gf(c));
                 }
             }
         }

@@ -1,8 +1,6 @@
 //! Dense matrices over GF(2⁸) with Gauss–Jordan inversion — the decoding
 //! engine of the Reed–Solomon code.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gf256::Gf;
 use crate::{Error, Result};
 
@@ -18,7 +16,7 @@ use crate::{Error, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GfMatrix {
     rows: usize,
     cols: usize,
@@ -33,9 +31,16 @@ impl GfMatrix {
     /// Returns [`Error::InvalidGeometry`] for zero dimensions.
     pub fn zeros(rows: usize, cols: usize) -> Result<GfMatrix> {
         if rows == 0 || cols == 0 {
-            return Err(Error::InvalidGeometry { data: rows, parity: cols });
+            return Err(Error::InvalidGeometry {
+                data: rows,
+                parity: cols,
+            });
         }
-        Ok(GfMatrix { rows, cols, data: vec![Gf::ZERO; rows * cols] })
+        Ok(GfMatrix {
+            rows,
+            cols,
+            data: vec![Gf::ZERO; rows * cols],
+        })
     }
 
     /// The `n × n` identity.
@@ -62,7 +67,10 @@ impl GfMatrix {
     /// `rows > 255`.
     pub fn vandermonde(rows: usize, cols: usize) -> Result<GfMatrix> {
         if rows > 255 {
-            return Err(Error::InvalidGeometry { data: rows, parity: cols });
+            return Err(Error::InvalidGeometry {
+                data: rows,
+                parity: cols,
+            });
         }
         let mut m = GfMatrix::zeros(rows, cols)?;
         for r in 0..rows {
@@ -90,7 +98,10 @@ impl GfMatrix {
     ///
     /// Panics on out-of-range indices.
     pub fn get(&self, r: usize, c: usize) -> Gf {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -100,7 +111,10 @@ impl GfMatrix {
     ///
     /// Panics on out-of-range indices.
     pub fn set(&mut self, r: usize, c: usize, v: Gf) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -125,7 +139,11 @@ impl GfMatrix {
         for &r in indices {
             data.extend_from_slice(self.row(r));
         }
-        GfMatrix { rows: indices.len(), cols: self.cols, data }
+        GfMatrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Matrix product.
@@ -135,7 +153,10 @@ impl GfMatrix {
     /// Returns [`Error::InvalidGeometry`] on an inner-dimension mismatch.
     pub fn mul(&self, rhs: &GfMatrix) -> Result<GfMatrix> {
         if self.cols != rhs.rows {
-            return Err(Error::InvalidGeometry { data: self.cols, parity: rhs.rows });
+            return Err(Error::InvalidGeometry {
+                data: self.cols,
+                parity: rhs.rows,
+            });
         }
         let mut out = GfMatrix::zeros(self.rows, rhs.cols)?;
         for r in 0..self.rows {
@@ -157,9 +178,7 @@ impl GfMatrix {
     pub fn is_identity(&self) -> bool {
         self.rows == self.cols
             && (0..self.rows).all(|r| {
-                (0..self.cols).all(|c| {
-                    self.get(r, c) == if r == c { Gf::ONE } else { Gf::ZERO }
-                })
+                (0..self.cols).all(|c| self.get(r, c) == if r == c { Gf::ONE } else { Gf::ZERO })
             })
     }
 
@@ -171,7 +190,10 @@ impl GfMatrix {
     /// * [`Error::SingularMatrix`] if no inverse exists.
     pub fn inverse(&self) -> Result<GfMatrix> {
         if self.rows != self.cols {
-            return Err(Error::InvalidGeometry { data: self.rows, parity: self.cols });
+            return Err(Error::InvalidGeometry {
+                data: self.rows,
+                parity: self.cols,
+            });
         }
         let n = self.rows;
         let mut a = self.clone();

@@ -9,8 +9,6 @@
 //! layout — `N` sets, set `i` occupying nodes `{i, i+1, …, i+R−1} mod N` —
 //! as a practical even placement.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// Guard for full-design enumeration: `C(N, R)` may not exceed this.
@@ -33,7 +31,7 @@ pub const MAX_ENUMERATED_SETS: u64 = 2_000_000;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Placement {
     n: u32,
     r: u32,
@@ -203,7 +201,7 @@ impl Placement {
 
 /// Per-node accounting of one distributed node rebuild, in units of
 /// redundancy-set *elements* moved — the empirical counterpart of §5.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RebuildFlows {
     /// `received[v]`: elements received over the network by node `v`
     /// (source elements it needs for the reconstructions it performs).
@@ -264,8 +262,7 @@ impl RebuildFlows {
             // replacement's own element when it is a set member (a local
             // read is free), then rotate through the remaining survivors
             // so sourcing load spreads evenly across nodes.
-            let survivors_in_set: Vec<u32> =
-                set.iter().copied().filter(|&m| m != failed).collect();
+            let survivors_in_set: Vec<u32> = set.iter().copied().filter(|&m| m != failed).collect();
             let mut taken = 0usize;
             if survivors_in_set.contains(&replacement) {
                 taken += 1; // local read: disk I/O but no network transfer
@@ -399,7 +396,10 @@ mod tests {
         let network_fraction = flows.network_total as f64 / node_worth;
         let paper_bound = (r - t) as f64;
         assert!(network_fraction <= paper_bound + 1e-12);
-        assert!(network_fraction > paper_bound * 0.6, "fraction {network_fraction}");
+        assert!(
+            network_fraction > paper_bound * 0.6,
+            "fraction {network_fraction}"
+        );
         // Per-survivor balance within 15 % of the ideal §5.1 share.
         let imbalance = flows.received_imbalance(0, r, t);
         assert!(imbalance < 0.15, "imbalance {imbalance}");

@@ -12,8 +12,6 @@
 //! pass through untouched and the `t` parity rows are dense GF(2⁸)
 //! combinations.
 
-use serde::{Deserialize, Serialize};
-
 use crate::gf256::mul_acc;
 use crate::matrix::GfMatrix;
 use crate::{Error, Result};
@@ -34,7 +32,7 @@ use crate::{Error, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReedSolomon {
     data_shards: usize,
     parity_shards: usize,
@@ -52,11 +50,18 @@ impl ReedSolomon {
     /// total exceeds 255 (the GF(2⁸) limit).
     pub fn new(data_shards: usize, parity_shards: usize) -> Result<ReedSolomon> {
         if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 255 {
-            return Err(Error::InvalidGeometry { data: data_shards, parity: parity_shards });
+            return Err(Error::InvalidGeometry {
+                data: data_shards,
+                parity: parity_shards,
+            });
         }
         let generator =
             GfMatrix::vandermonde(data_shards + parity_shards, data_shards)?.systematize()?;
-        Ok(ReedSolomon { data_shards, parity_shards, generator })
+        Ok(ReedSolomon {
+            data_shards,
+            parity_shards,
+            generator,
+        })
     }
 
     /// Number of data shards `k = R − t`.
@@ -193,8 +198,11 @@ impl ReedSolomon {
     ///   malformed input.
     pub fn verify(&self, shards: &[impl AsRef<[u8]>]) -> Result<bool> {
         let _ = self.check_sizes(shards, self.total_shards())?;
-        let data: Vec<&[u8]> =
-            shards.iter().take(self.data_shards).map(|s| s.as_ref()).collect();
+        let data: Vec<&[u8]> = shards
+            .iter()
+            .take(self.data_shards)
+            .map(|s| s.as_ref())
+            .collect();
         let expected = self.encode(&data)?;
         Ok(expected
             .iter()
@@ -209,7 +217,11 @@ mod tests {
 
     fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
         (0..k)
-            .map(|i| (0..len).map(|j| ((i * 131 + j * 17 + 3) % 251) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 131 + j * 17 + 3) % 251) as u8)
+                    .collect()
+            })
             .collect()
     }
 
@@ -246,8 +258,7 @@ mod tests {
         let full = code.encode(&data).unwrap();
         for a in 0..8 {
             for b in (a + 1)..8 {
-                let mut shards: Vec<Option<Vec<u8>>> =
-                    full.iter().cloned().map(Some).collect();
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
                 shards[a] = None;
                 shards[b] = None;
                 code.reconstruct(&mut shards).unwrap();
@@ -285,7 +296,10 @@ mod tests {
         shards[2] = None;
         assert!(matches!(
             code.reconstruct(&mut shards).unwrap_err(),
-            Error::TooManyErasures { missing: 3, tolerated: 2 }
+            Error::TooManyErasures {
+                missing: 3,
+                tolerated: 2
+            }
         ));
     }
 
@@ -358,14 +372,18 @@ mod tests {
             assert_eq!(code.total_shards(), 8);
             let data = sample_data(8 - t, 128);
             let full = code.encode(&data).unwrap();
-            let mut shards: Vec<Option<Vec<u8>>> =
-                full.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
             for i in 0..t {
                 shards[i * 2] = None; // t erasures, spread out
             }
             code.reconstruct(&mut shards).unwrap();
             assert!(code
-                .verify(&shards.iter().map(|s| s.clone().unwrap()).collect::<Vec<_>>())
+                .verify(
+                    &shards
+                        .iter()
+                        .map(|s| s.clone().unwrap())
+                        .collect::<Vec<_>>()
+                )
                 .unwrap());
         }
     }

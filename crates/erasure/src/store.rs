@@ -14,19 +14,41 @@
 //! * **latent sector corruption** (`corrupt_shard`) and **scrubbing**
 //!   (`scrub`) — parity verification across all objects.
 //!
+//! # Degraded-operation hardening
+//!
+//! Rebuilds are built for hostile conditions, the regime the
+//! fault-injection campaigns (`nsr-sim`) exercise:
+//!
+//! * **Checkpointing** — [`BrickStore::begin_rebuild`] /
+//!   [`BrickStore::rebuild_step`] process a bounded number of objects per
+//!   step; an interrupted rebuild resumes from its checkpoint instead of
+//!   restarting, and concurrent failures of *other* nodes (within `t`)
+//!   do not invalidate completed work.
+//! * **Post-rebuild verification** — every reconstructed stripe is
+//!   parity-verified before the node is revived. If a surviving shard
+//!   was silently corrupted, the rebuild reports
+//!   [`Error::RebuildVerification`] and re-queues the affected objects
+//!   rather than installing garbage: injected corruption is never
+//!   silently absorbed.
+//! * **Bounded-backoff retry** — [`rebuild_with_retry`] retries
+//!   retryable rebuild failures with an exponential, capped backoff
+//!   schedule (recorded, not slept — this is a functional model).
+//! * **Quarantine** — nodes that fail repeatedly
+//!   ([`BrickStore::set_quarantine_threshold`]) are refused rebuilds
+//!   until an operator clears them with [`BrickStore::unquarantine`],
+//!   so a flapping node cannot consume rebuild bandwidth forever.
+//!
 //! This is deliberately a *functional* model (no I/O scheduling); timing
 //! belongs to `nsr-core`'s rebuild model and `nsr-sim`.
 
 use std::collections::HashMap;
-
-use serde::{Deserialize, Serialize};
 
 use crate::placement::Placement;
 use crate::rs::ReedSolomon;
 use crate::{Error, Result};
 
 /// Identifier of a stored object.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ObjectId(pub u64);
 
 impl std::fmt::Display for ObjectId {
@@ -43,7 +65,7 @@ struct ObjectMeta {
 }
 
 /// Traffic accounting for one node rebuild, in bytes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RebuildReport {
     /// Shards reconstructed onto the revived node.
     pub shards_rebuilt: u64,
@@ -51,10 +73,13 @@ pub struct RebuildReport {
     pub bytes_read: u64,
     /// Bytes written to the revived node.
     pub bytes_written: u64,
+    /// Stripes parity-verified after reconstruction (stripes with other
+    /// nodes still down cannot be fully verified and are not counted).
+    pub stripes_verified: u64,
 }
 
 /// Result of a full-store parity scrub.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScrubReport {
     /// Objects whose stripe verified clean.
     pub clean: u64,
@@ -63,6 +88,101 @@ pub struct ScrubReport {
     /// Objects that could not be fully checked (shards on failed nodes).
     pub degraded: u64,
 }
+
+/// Progress returned by [`BrickStore::rebuild_step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildProgress {
+    /// The step's object budget was exhausted; call `rebuild_step` again
+    /// to continue from the checkpoint.
+    InProgress {
+        /// Objects still awaiting reconstruction.
+        objects_remaining: u64,
+    },
+    /// The rebuild finished and the node is live again.
+    Complete(RebuildReport),
+}
+
+/// Introspection snapshot of an in-progress, checkpointed rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildCheckpoint {
+    /// The node being rebuilt.
+    pub node: u32,
+    /// Shards reconstructed so far (kept across interruptions).
+    pub shards_done: u64,
+    /// Objects still awaiting reconstruction.
+    pub objects_remaining: u64,
+}
+
+/// Bounded-backoff retry policy for [`rebuild_with_retry`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum rebuild attempts (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt, in hours.
+    pub base_backoff_hours: f64,
+    /// Cap on any single backoff, in hours (the schedule is
+    /// `min(base · 2^i, cap)`).
+    pub max_backoff_hours: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff_hours: 0.25,
+            max_backoff_hours: 4.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn validate(&self) -> Result<()> {
+        if self.max_attempts == 0 {
+            return Err(Error::InvalidPlacement {
+                what: "retry policy needs at least one attempt".into(),
+            });
+        }
+        if !self.base_backoff_hours.is_finite()
+            || self.base_backoff_hours < 0.0
+            || !self.max_backoff_hours.is_finite()
+            || self.max_backoff_hours < self.base_backoff_hours
+        {
+            return Err(Error::InvalidPlacement {
+                what: "retry backoff must satisfy 0 <= base <= cap, finite".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The backoff after failed attempt `i` (0-based): `min(base·2^i, cap)`.
+    pub fn backoff_for(&self, attempt: u32) -> f64 {
+        (self.base_backoff_hours * 2f64.powi(attempt.min(60) as i32)).min(self.max_backoff_hours)
+    }
+}
+
+/// Outcome of a [`rebuild_with_retry`] call that eventually succeeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetriedRebuild {
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: u32,
+    /// Backoff recorded before each retry, in hours.
+    pub backoff_hours: Vec<f64>,
+    /// The completed rebuild's traffic report.
+    pub report: RebuildReport,
+}
+
+#[derive(Debug, Clone)]
+struct RebuildState {
+    /// Object ids still to process, sorted descending so `pop()` walks
+    /// them in ascending order (deterministic across runs).
+    remaining: Vec<ObjectId>,
+    /// Reconstructed shards awaiting installation.
+    restored: HashMap<(ObjectId, usize), Vec<u8>>,
+    report: RebuildReport,
+}
+
+/// Per-node shard map: `(object, position-in-set) → bytes`.
+type ShardMap = HashMap<(ObjectId, usize), Vec<u8>>;
 
 /// An in-memory brick store over `N` nodes with redundancy sets of size
 /// `R` and erasure-code fault tolerance `t`.
@@ -87,15 +207,24 @@ pub struct BrickStore {
     placement: Placement,
     code: ReedSolomon,
     t: usize,
-    /// `nodes[v]` is `None` while node `v` is failed; otherwise the shard
-    /// map `(object, position-in-set) → bytes`.
-    nodes: Vec<Option<HashMap<(ObjectId, usize), Vec<u8>>>>,
+    /// `nodes[v]` is `None` while node `v` is failed; otherwise its shard
+    /// map.
+    nodes: Vec<Option<ShardMap>>,
     objects: HashMap<ObjectId, ObjectMeta>,
     next_set: usize,
+    /// Lifetime failure count per node (drives quarantine).
+    failure_counts: Vec<u32>,
+    quarantined: Vec<bool>,
+    /// Failures after which a node is quarantined; 0 disables.
+    quarantine_threshold: u32,
+    /// Checkpointed rebuilds in progress, one per failed node.
+    rebuilds: HashMap<u32, RebuildState>,
 }
 
 impl BrickStore {
-    /// Creates an empty store with the rotational placement.
+    /// Creates an empty store with the rotational placement. Quarantine
+    /// is disabled by default; enable it with
+    /// [`set_quarantine_threshold`](BrickStore::set_quarantine_threshold).
     ///
     /// # Errors
     ///
@@ -116,6 +245,10 @@ impl BrickStore {
             nodes: (0..n).map(|_| Some(HashMap::new())).collect(),
             objects: HashMap::new(),
             next_set: 0,
+            failure_counts: vec![0; n as usize],
+            quarantined: vec![false; n as usize],
+            quarantine_threshold: 0,
+            rebuilds: HashMap::new(),
         })
     }
 
@@ -143,6 +276,51 @@ impl BrickStore {
         self.objects.is_empty()
     }
 
+    /// Enables (or, with 0, disables) quarantine: a node whose lifetime
+    /// failure count reaches the threshold is refused rebuilds until
+    /// [`unquarantine`](BrickStore::unquarantine) clears it.
+    pub fn set_quarantine_threshold(&mut self, threshold: u32) {
+        self.quarantine_threshold = threshold;
+    }
+
+    /// Nodes currently quarantined.
+    pub fn quarantined_nodes(&self) -> Vec<u32> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &q)| q.then_some(v as u32))
+            .collect()
+    }
+
+    /// Lifetime failure count of a node, if it exists.
+    pub fn failure_count(&self, node: u32) -> Option<u32> {
+        self.failure_counts.get(node as usize).copied()
+    }
+
+    /// Operator override: clears a node's quarantine and resets its
+    /// failure count. The node stays failed until rebuilt.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidPlacement`] if the node is out of range or not
+    /// quarantined.
+    pub fn unquarantine(&mut self, node: u32) -> Result<()> {
+        let idx = node as usize;
+        match self.quarantined.get(idx) {
+            Some(true) => {
+                self.quarantined[idx] = false;
+                self.failure_counts[idx] = 0;
+                Ok(())
+            }
+            Some(false) => Err(Error::InvalidPlacement {
+                what: format!("node {node} is not quarantined"),
+            }),
+            None => Err(Error::InvalidPlacement {
+                what: format!("node {node} out of range"),
+            }),
+        }
+    }
+
     /// Stores an object, striping it across the next redundancy set.
     ///
     /// # Errors
@@ -153,10 +331,14 @@ impl BrickStore {
     ///   strict here to make tests deterministic).
     pub fn put(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
         if self.objects.contains_key(&id) {
-            return Err(Error::InvalidPlacement { what: format!("{id} already stored") });
+            return Err(Error::InvalidPlacement {
+                what: format!("{id} already stored"),
+            });
         }
         if data.is_empty() {
-            return Err(Error::InvalidPlacement { what: "cannot store an empty object".into() });
+            return Err(Error::InvalidPlacement {
+                what: "cannot store an empty object".into(),
+            });
         }
         let set_index = self.next_set % self.placement.len();
         let set = &self.placement.sets()[set_index];
@@ -183,8 +365,14 @@ impl BrickStore {
                 .expect("checked alive")
                 .insert((id, pos), shard);
         }
-        self.objects
-            .insert(id, ObjectMeta { set_index, len: data.len(), shard_len });
+        self.objects.insert(
+            id,
+            ObjectMeta {
+                set_index,
+                len: data.len(),
+                shard_len,
+            },
+        );
         self.next_set += 1;
         Ok(())
     }
@@ -200,7 +388,9 @@ impl BrickStore {
         let meta = self
             .objects
             .get(&id)
-            .ok_or_else(|| Error::InvalidPlacement { what: format!("{id} not found") })?;
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("{id} not found"),
+            })?;
         let set = &self.placement.sets()[meta.set_index];
         let mut shards: Vec<Option<Vec<u8>>> = set
             .iter()
@@ -224,34 +414,45 @@ impl BrickStore {
         Ok(out)
     }
 
-    /// Marks a node failed, dropping every shard it held.
+    /// Marks a node failed, dropping every shard it held and bumping its
+    /// lifetime failure count (which may quarantine it). A checkpointed
+    /// rebuild of a *different* node survives; its completed work is
+    /// kept.
     ///
     /// # Errors
     ///
     /// Returns [`Error::InvalidPlacement`] for out-of-range or
     /// already-failed nodes.
     pub fn fail_node(&mut self, node: u32) -> Result<()> {
+        let idx = node as usize;
         let slot = self
             .nodes
-            .get_mut(node as usize)
-            .ok_or_else(|| Error::InvalidPlacement { what: format!("node {node} out of range") })?;
+            .get_mut(idx)
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("node {node} out of range"),
+            })?;
         if slot.is_none() {
-            return Err(Error::InvalidPlacement { what: format!("node {node} already failed") });
+            return Err(Error::InvalidPlacement {
+                what: format!("node {node} already failed"),
+            });
         }
         *slot = None;
+        self.failure_counts[idx] += 1;
+        if self.quarantine_threshold > 0 && self.failure_counts[idx] >= self.quarantine_threshold {
+            self.quarantined[idx] = true;
+        }
         Ok(())
     }
 
-    /// Revives a failed node and reconstructs every shard it should hold,
-    /// reading `R − t` surviving shards per affected object — the rebuild
-    /// whose traffic §5.1 accounts for.
+    /// Starts (or resumes) a checkpointed rebuild of a failed node. A
+    /// no-op if a checkpoint for this node already exists.
     ///
     /// # Errors
     ///
-    /// * [`Error::InvalidPlacement`] if the node is not failed.
-    /// * [`Error::TooManyErasures`] if some object has lost more than `t`
-    ///   shards (data loss: the rebuild cannot complete).
-    pub fn rebuild_node(&mut self, node: u32) -> Result<RebuildReport> {
+    /// * [`Error::InvalidPlacement`] if the node is out of range or not
+    ///   failed.
+    /// * [`Error::Quarantined`] if the node is quarantined.
+    pub fn begin_rebuild(&mut self, node: u32) -> Result<()> {
         let idx = node as usize;
         match self.nodes.get(idx) {
             Some(None) => {}
@@ -266,12 +467,82 @@ impl BrickStore {
                 })
             }
         }
-        let mut restored: HashMap<(ObjectId, usize), Vec<u8>> = HashMap::new();
-        let mut report = RebuildReport { shards_rebuilt: 0, bytes_read: 0, bytes_written: 0 };
-        for (&id, meta) in &self.objects {
+        if self.quarantined[idx] {
+            return Err(Error::Quarantined {
+                node,
+                failures: self.failure_counts[idx],
+            });
+        }
+        if self.rebuilds.contains_key(&node) {
+            return Ok(()); // resume the existing checkpoint
+        }
+        let mut remaining: Vec<ObjectId> = self
+            .objects
+            .iter()
+            .filter(|(_, meta)| self.placement.sets()[meta.set_index].contains(&node))
+            .map(|(&id, _)| id)
+            .collect();
+        remaining.sort_unstable_by(|a, b| b.cmp(a));
+        self.rebuilds.insert(
+            node,
+            RebuildState {
+                remaining,
+                restored: HashMap::new(),
+                report: RebuildReport::default(),
+            },
+        );
+        Ok(())
+    }
+
+    /// The checkpoint of an in-progress rebuild, if any.
+    pub fn rebuild_checkpoint(&self, node: u32) -> Option<RebuildCheckpoint> {
+        self.rebuilds.get(&node).map(|st| RebuildCheckpoint {
+            node,
+            shards_done: st.report.shards_rebuilt,
+            objects_remaining: st.remaining.len() as u64,
+        })
+    }
+
+    /// Abandons a checkpointed rebuild, discarding its reconstructed
+    /// shards. Returns whether a checkpoint existed.
+    pub fn abort_rebuild(&mut self, node: u32) -> bool {
+        self.rebuilds.remove(&node).is_some()
+    }
+
+    /// Advances a checkpointed rebuild by up to `budget` objects. When
+    /// the last object is done, every reconstructed stripe that is fully
+    /// available is parity-verified, and only then is the node revived.
+    ///
+    /// On error the checkpoint is **kept** (with the offending objects
+    /// re-queued), so the rebuild resumes — rather than restarts — once
+    /// the obstacle is cleared.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidPlacement`] if no rebuild of `node` is in
+    ///   progress.
+    /// * [`Error::TooManyErasures`] if an object has lost more than `t`
+    ///   shards (data loss: the rebuild cannot complete).
+    /// * [`Error::RebuildVerification`] if reconstructed stripes fail
+    ///   parity (a surviving shard is corrupt). The affected shards are
+    ///   *not* installed and the node stays failed.
+    pub fn rebuild_step(&mut self, node: u32, budget: usize) -> Result<RebuildProgress> {
+        let mut st = self
+            .rebuilds
+            .remove(&node)
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("no rebuild of node {node} in progress"),
+            })?;
+        let mut done = 0usize;
+        while done < budget {
+            let Some(id) = st.remaining.pop() else { break };
+            let Some(meta) = self.objects.get(&id) else {
+                continue;
+            };
             let set = &self.placement.sets()[meta.set_index];
-            let Some(pos) = set.iter().position(|&v| v == node) else { continue };
-            // Gather survivors.
+            let Some(pos) = set.iter().position(|&v| v == node) else {
+                continue;
+            };
             let mut shards: Vec<Option<Vec<u8>>> = set
                 .iter()
                 .enumerate()
@@ -282,20 +553,100 @@ impl BrickStore {
                 })
                 .collect();
             let available = shards.iter().filter(|s| s.is_some()).count();
-            report.bytes_read +=
+            if let Err(e) = self.code.reconstruct(&mut shards) {
+                st.remaining.push(id); // keep the checkpoint resumable
+                self.rebuilds.insert(node, st);
+                return Err(e);
+            }
+            st.report.bytes_read +=
                 (self.code.data_shards().min(available) * meta.shard_len) as u64;
-            self.code.reconstruct(&mut shards)?;
-            let shard = shards[pos].take().expect("reconstructed");
-            report.bytes_written += shard.len() as u64;
-            report.shards_rebuilt += 1;
-            restored.insert((id, pos), shard);
+            let shard = shards[pos].take().ok_or(Error::TooManyErasures {
+                missing: set.len() - available,
+                tolerated: self.t,
+            })?;
+            st.report.bytes_written += shard.len() as u64;
+            st.report.shards_rebuilt += 1;
+            st.restored.insert((id, pos), shard);
+            done += 1;
         }
-        self.nodes[idx] = Some(restored);
-        Ok(report)
+        if !st.remaining.is_empty() {
+            let objects_remaining = st.remaining.len() as u64;
+            self.rebuilds.insert(node, st);
+            return Ok(RebuildProgress::InProgress { objects_remaining });
+        }
+
+        // Post-rebuild verification: parity-check each reconstructed
+        // stripe that is fully available. Corrupt stripes are re-queued
+        // and their shards discarded — never silently installed.
+        let mut corrupt: Vec<ObjectId> = Vec::new();
+        for (&(id, pos), shard) in &st.restored {
+            let Some(meta) = self.objects.get(&id) else {
+                continue;
+            };
+            let set = &self.placement.sets()[meta.set_index];
+            let mut full: Vec<&[u8]> = Vec::with_capacity(set.len());
+            let mut complete = true;
+            for (p, &v) in set.iter().enumerate() {
+                if p == pos {
+                    full.push(shard.as_slice());
+                } else if let Some(s) = self.nodes[v as usize]
+                    .as_ref()
+                    .and_then(|m| m.get(&(id, p)))
+                {
+                    full.push(s.as_slice());
+                } else {
+                    complete = false;
+                    break;
+                }
+            }
+            if !complete {
+                continue; // another node is down; cannot verify this stripe yet
+            }
+            if self.code.verify(&full)? {
+                st.report.stripes_verified += 1;
+            } else {
+                corrupt.push(id);
+            }
+        }
+        if !corrupt.is_empty() {
+            corrupt.sort_unstable_by(|a, b| b.cmp(a));
+            let objects = corrupt.len();
+            for &id in &corrupt {
+                st.restored.retain(|&(oid, _), _| oid != id);
+            }
+            st.remaining = corrupt;
+            self.rebuilds.insert(node, st);
+            return Err(Error::RebuildVerification { objects });
+        }
+
+        self.nodes[node as usize] = Some(st.restored);
+        Ok(RebuildProgress::Complete(st.report))
+    }
+
+    /// Revives a failed node and reconstructs every shard it should hold,
+    /// reading `R − t` surviving shards per affected object — the rebuild
+    /// whose traffic §5.1 accounts for. One-shot wrapper around
+    /// [`begin_rebuild`](BrickStore::begin_rebuild) +
+    /// [`rebuild_step`](BrickStore::rebuild_step); on failure the
+    /// checkpoint survives for later resumption.
+    ///
+    /// # Errors
+    ///
+    /// As for [`rebuild_step`](BrickStore::rebuild_step), plus
+    /// [`Error::Quarantined`] for quarantined nodes.
+    pub fn rebuild_node(&mut self, node: u32) -> Result<RebuildReport> {
+        self.begin_rebuild(node)?;
+        loop {
+            match self.rebuild_step(node, usize::MAX)? {
+                RebuildProgress::Complete(report) => return Ok(report),
+                RebuildProgress::InProgress { .. } => continue,
+            }
+        }
     }
 
     /// Flips one byte of a stored shard — a latent sector error for tests
-    /// and scrubbing demonstrations.
+    /// and scrubbing demonstrations. (Applying it twice to the same byte
+    /// restores the original contents.)
     ///
     /// # Errors
     ///
@@ -305,7 +656,9 @@ impl BrickStore {
         let meta = self
             .objects
             .get(&id)
-            .ok_or_else(|| Error::InvalidPlacement { what: format!("{id} not found") })?;
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("{id} not found"),
+            })?;
         let set = &self.placement.sets()[meta.set_index];
         let pos = set
             .iter()
@@ -332,19 +685,30 @@ impl BrickStore {
     ///
     /// Propagates code errors (cannot occur for well-formed stored data).
     pub fn scrub(&self) -> Result<ScrubReport> {
-        let mut report = ScrubReport { clean: 0, corrupt: 0, degraded: 0 };
+        let mut report = ScrubReport {
+            clean: 0,
+            corrupt: 0,
+            degraded: 0,
+        };
         for (&id, meta) in &self.objects {
             let set = &self.placement.sets()[meta.set_index];
             let shards: Vec<Option<&Vec<u8>>> = set
                 .iter()
                 .enumerate()
-                .map(|(p, &v)| self.nodes[v as usize].as_ref().and_then(|m| m.get(&(id, p))))
+                .map(|(p, &v)| {
+                    self.nodes[v as usize]
+                        .as_ref()
+                        .and_then(|m| m.get(&(id, p)))
+                })
                 .collect();
             if shards.iter().any(|s| s.is_none()) {
                 report.degraded += 1;
                 continue;
             }
-            let full: Vec<&[u8]> = shards.into_iter().map(|s| s.expect("checked").as_slice()).collect();
+            let full: Vec<&[u8]> = shards
+                .into_iter()
+                .map(|s| s.expect("checked").as_slice())
+                .collect();
             if self.code.verify(&full)? {
                 report.clean += 1;
             } else {
@@ -356,6 +720,54 @@ impl BrickStore {
     }
 }
 
+/// Rebuilds a node with bounded-backoff retries: retryable failures
+/// ([`Error::TooManyErasures`], [`Error::RebuildVerification`]) trigger
+/// the `recover` callback (the model's stand-in for "wait for the
+/// transient condition to clear"), and progress made before a failure is
+/// never lost — each attempt resumes the checkpoint.
+///
+/// # Errors
+///
+/// The last retryable error once attempts are exhausted; non-retryable
+/// errors ([`Error::Quarantined`], invalid arguments) immediately.
+pub fn rebuild_with_retry<F>(
+    store: &mut BrickStore,
+    node: u32,
+    policy: &RetryPolicy,
+    mut recover: F,
+) -> Result<RetriedRebuild>
+where
+    F: FnMut(&mut BrickStore, u32),
+{
+    policy.validate()?;
+    let mut backoff_hours = Vec::new();
+    let mut last_err = None;
+    for attempt in 0..policy.max_attempts {
+        store.begin_rebuild(node)?;
+        match store.rebuild_step(node, usize::MAX) {
+            Ok(RebuildProgress::Complete(report)) => {
+                return Ok(RetriedRebuild {
+                    attempts: attempt + 1,
+                    backoff_hours,
+                    report,
+                })
+            }
+            Ok(RebuildProgress::InProgress { .. }) => continue, // budget not exhausted in practice
+            Err(e @ (Error::TooManyErasures { .. } | Error::RebuildVerification { .. })) => {
+                last_err = Some(e);
+                if attempt + 1 < policy.max_attempts {
+                    backoff_hours.push(policy.backoff_for(attempt));
+                    recover(store, attempt);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.unwrap_or(Error::InvalidPlacement {
+        what: "retry loop ended without an attempt".into(),
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,18 +777,24 @@ mod tests {
     }
 
     fn blob(seed: u8, len: usize) -> Vec<u8> {
-        (0..len).map(|i| seed.wrapping_mul(31).wrapping_add(i as u8)).collect()
+        (0..len)
+            .map(|i| seed.wrapping_mul(31).wrapping_add(i as u8))
+            .collect()
     }
 
     #[test]
     fn put_get_roundtrip() {
         let mut s = store();
         for i in 0..20u64 {
-            s.put(ObjectId(i), &blob(i as u8, 100 + i as usize * 13)).unwrap();
+            s.put(ObjectId(i), &blob(i as u8, 100 + i as usize * 13))
+                .unwrap();
         }
         assert_eq!(s.len(), 20);
         for i in 0..20u64 {
-            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 100 + i as usize * 13));
+            assert_eq!(
+                s.get(ObjectId(i)).unwrap(),
+                blob(i as u8, 100 + i as usize * 13)
+            );
         }
     }
 
@@ -414,9 +832,7 @@ mod tests {
         s.fail_node(2).unwrap();
         s.fail_node(3).unwrap();
         s.fail_node(4).unwrap();
-        let lost = (0..30u64)
-            .filter(|&i| s.get(ObjectId(i)).is_err())
-            .count();
+        let lost = (0..30u64).filter(|&i| s.get(ObjectId(i)).is_err()).count();
         assert!(lost > 0, "some objects must be lost past tolerance");
         // And the error is the data-loss error, not a panic.
         let err = (0..30u64)
@@ -438,6 +854,8 @@ mod tests {
         // (128-byte objects over k = 3 data shards: ceil(128/3) = 43).
         assert_eq!(report.bytes_read, report.shards_rebuilt * 3 * 43);
         assert_eq!(report.bytes_written, report.shards_rebuilt * 43);
+        // With no other nodes down, every stripe is verified.
+        assert_eq!(report.stripes_verified, report.shards_rebuilt);
         assert!(s.failed_nodes().is_empty());
         for i in 0..40u64 {
             assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 128));
@@ -466,11 +884,187 @@ mod tests {
     }
 
     #[test]
+    fn checkpointed_rebuild_in_bounded_steps() {
+        let mut s = store();
+        for i in 0..40u64 {
+            s.put(ObjectId(i), &blob(i as u8, 96)).unwrap();
+        }
+        s.fail_node(4).unwrap();
+        s.begin_rebuild(4).unwrap();
+        let total = s.rebuild_checkpoint(4).unwrap().objects_remaining;
+        assert!(total > 0);
+        let mut steps = 0;
+        let report = loop {
+            match s.rebuild_step(4, 5).unwrap() {
+                RebuildProgress::InProgress { objects_remaining } => {
+                    steps += 1;
+                    assert_eq!(
+                        s.rebuild_checkpoint(4).unwrap().objects_remaining,
+                        objects_remaining
+                    );
+                }
+                RebuildProgress::Complete(r) => break r,
+            }
+        };
+        assert!(steps >= 2, "a 5-object budget must take several steps");
+        assert!(s.rebuild_checkpoint(4).is_none());
+        assert_eq!(report.stripes_verified, report.shards_rebuilt);
+        for i in 0..40u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 96));
+        }
+    }
+
+    #[test]
+    fn interrupted_rebuild_resumes_across_concurrent_failure() {
+        let mut s = store();
+        for i in 0..40u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(2).unwrap();
+        s.begin_rebuild(2).unwrap();
+        // Partial progress…
+        assert!(matches!(
+            s.rebuild_step(2, 3).unwrap(),
+            RebuildProgress::InProgress { .. }
+        ));
+        let done_before = s.rebuild_checkpoint(2).unwrap().shards_done;
+        assert_eq!(done_before, 3);
+        // …then another node fails mid-rebuild (still within t = 2).
+        s.fail_node(8).unwrap();
+        // begin_rebuild resumes the same checkpoint rather than restarting.
+        s.begin_rebuild(2).unwrap();
+        assert_eq!(s.rebuild_checkpoint(2).unwrap().shards_done, done_before);
+        let report = loop {
+            match s.rebuild_step(2, 7).unwrap() {
+                RebuildProgress::InProgress { .. } => continue,
+                RebuildProgress::Complete(r) => break r,
+            }
+        };
+        assert!(report.shards_rebuilt >= done_before);
+        // Degraded reads work throughout; node 8 can still be rebuilt.
+        for i in 0..40u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 64));
+        }
+        s.rebuild_node(8).unwrap();
+        assert!(s.failed_nodes().is_empty());
+        let scrub = s.scrub().unwrap();
+        assert_eq!((scrub.corrupt, scrub.degraded), (0, 0));
+    }
+
+    #[test]
+    fn rebuild_verification_rejects_corrupt_survivor() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(9, 256)).unwrap();
+        // Corrupt a survivor shard (object 1 lives on set 1 = nodes 1–5),
+        // then fail a *different* node of the same set.
+        s.corrupt_shard(2, ObjectId(1), 17).unwrap();
+        s.fail_node(1).unwrap();
+        let err = s.rebuild_node(1).unwrap_err();
+        assert_eq!(err, Error::RebuildVerification { objects: 1 });
+        // Never silently absorbed: the node stays failed, the checkpoint
+        // re-queued the object, and scrub still reports the corruption.
+        assert_eq!(s.failed_nodes(), vec![1]);
+        assert_eq!(s.rebuild_checkpoint(1).unwrap().objects_remaining, 1);
+        // Clearing the corruption lets the resumed rebuild verify.
+        s.corrupt_shard(2, ObjectId(1), 17).unwrap(); // XOR restores
+        let report = s.rebuild_node(1).unwrap();
+        assert_eq!(report.stripes_verified, 1);
+        assert_eq!(s.get(ObjectId(1)).unwrap(), blob(9, 256));
+        assert_eq!(s.scrub().unwrap().corrupt, 0);
+    }
+
+    #[test]
+    fn retry_with_backoff_recovers_from_transient_corruption() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(5, 128)).unwrap();
+        s.corrupt_shard(2, ObjectId(1), 4).unwrap();
+        s.fail_node(1).unwrap();
+        let policy = RetryPolicy::default();
+        let outcome = rebuild_with_retry(&mut s, 1, &policy, |st, _attempt| {
+            // The "transient condition clears": a scrub repair restores
+            // the survivor (XOR of the same byte undoes the corruption).
+            st.corrupt_shard(2, ObjectId(1), 4).unwrap();
+        })
+        .unwrap();
+        assert_eq!(outcome.attempts, 2);
+        assert_eq!(outcome.backoff_hours, vec![policy.base_backoff_hours]);
+        assert_eq!(s.get(ObjectId(1)).unwrap(), blob(5, 128));
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_last_error_and_keeps_checkpoint() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(5, 128)).unwrap();
+        s.corrupt_shard(2, ObjectId(1), 4).unwrap();
+        s.fail_node(1).unwrap();
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_hours: 0.5,
+            max_backoff_hours: 0.75,
+        };
+        let err = rebuild_with_retry(&mut s, 1, &policy, |_, _| {}).unwrap_err();
+        assert_eq!(err, Error::RebuildVerification { objects: 1 });
+        // Backoff schedule is bounded: 0.5, then capped at 0.75.
+        assert_eq!(policy.backoff_for(0), 0.5);
+        assert_eq!(policy.backoff_for(1), 0.75);
+        assert_eq!(policy.backoff_for(10), 0.75);
+        assert!(s.rebuild_checkpoint(1).is_some());
+        assert!(RetryPolicy {
+            max_attempts: 0,
+            ..policy
+        }
+        .validate()
+        .is_err());
+        assert!(RetryPolicy {
+            base_backoff_hours: -1.0,
+            ..policy
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn quarantine_after_repeated_failures() {
+        let mut s = store();
+        s.put(ObjectId(1), &blob(1, 64)).unwrap();
+        s.set_quarantine_threshold(2);
+        s.fail_node(2).unwrap();
+        s.rebuild_node(2).unwrap(); // first failure: rebuild allowed
+        assert_eq!(s.failure_count(2), Some(1));
+        s.fail_node(2).unwrap(); // second failure: quarantined
+        assert_eq!(s.quarantined_nodes(), vec![2]);
+        let err = s.rebuild_node(2).unwrap_err();
+        assert_eq!(
+            err,
+            Error::Quarantined {
+                node: 2,
+                failures: 2
+            }
+        );
+        // Degraded reads keep working while it sits quarantined.
+        assert_eq!(s.get(ObjectId(1)).unwrap(), blob(1, 64));
+        // Operator override clears it.
+        s.unquarantine(2).unwrap();
+        assert_eq!(s.failure_count(2), Some(0));
+        s.rebuild_node(2).unwrap();
+        assert!(s.failed_nodes().is_empty());
+        assert!(s.unquarantine(2).is_err()); // not quarantined
+        assert!(s.unquarantine(99).is_err()); // out of range
+    }
+
+    #[test]
     fn scrub_finds_latent_corruption() {
         let mut s = store();
         s.put(ObjectId(1), &blob(9, 256)).unwrap();
         s.put(ObjectId(2), &blob(10, 256)).unwrap();
-        assert_eq!(s.scrub().unwrap(), ScrubReport { clean: 2, corrupt: 0, degraded: 0 });
+        assert_eq!(
+            s.scrub().unwrap(),
+            ScrubReport {
+                clean: 2,
+                corrupt: 0,
+                degraded: 0
+            }
+        );
         // Corrupt a shard of object 1 on one of its nodes (set 1 starts at
         // node 1 for the rotational layout).
         s.corrupt_shard(2, ObjectId(1), 17).unwrap();
@@ -499,9 +1093,28 @@ mod tests {
         s.fail_node(3).unwrap();
         assert!(s.fail_node(3).is_err()); // double failure
         assert!(s.rebuild_node(4).is_err()); // not failed
+        assert!(s.begin_rebuild(99).is_err()); // out of range
+        assert!(s.rebuild_step(4, 1).is_err()); // no checkpoint
+        assert!(!s.abort_rebuild(4)); // nothing to abort
         assert!(BrickStore::new(4, 5, 2).is_err()); // R > N
         assert!(BrickStore::new(8, 4, 4).is_err()); // t >= R
         assert!(BrickStore::new(8, 4, 0).is_err()); // t == 0
+    }
+
+    #[test]
+    fn abort_discards_checkpoint() {
+        let mut s = store();
+        for i in 0..10u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(2).unwrap();
+        s.begin_rebuild(2).unwrap();
+        let _ = s.rebuild_step(2, 2).unwrap();
+        assert!(s.abort_rebuild(2));
+        assert!(s.rebuild_checkpoint(2).is_none());
+        // A fresh rebuild still works from scratch.
+        s.rebuild_node(2).unwrap();
+        assert!(s.failed_nodes().is_empty());
     }
 
     #[test]

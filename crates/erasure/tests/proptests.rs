@@ -1,36 +1,45 @@
 //! Property-based tests for GF(2⁸) arithmetic, the Reed–Solomon code, and
-//! placement accounting.
+//! placement accounting, driven by the in-repo seeded PRNG.
 
 use nsr_erasure::gf256::Gf;
 use nsr_erasure::placement::{Placement, RebuildFlows};
 use nsr_erasure::rs::ReedSolomon;
-use proptest::prelude::*;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
 
-proptest! {
-    #[test]
-    fn gf_field_axioms(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
-        let (a, b, c) = (Gf(a), Gf(b), Gf(c));
+#[test]
+fn gf_field_axioms() {
+    let mut rng = StdRng::seed_from_u64(0x6f_0001);
+    for _ in 0..512 {
+        let (a, b, c) = (
+            Gf(rng.random::<u8>()),
+            Gf(rng.random::<u8>()),
+            Gf(rng.random::<u8>()),
+        );
         // Commutativity.
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a * b, b * a);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
         // Associativity.
-        prop_assert_eq!((a + b) + c, a + (b + c));
-        prop_assert_eq!((a * b) * c, a * (b * c));
+        assert_eq!((a + b) + c, a + (b + c));
+        assert_eq!((a * b) * c, a * (b * c));
         // Distributivity.
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+        assert_eq!(a * (b + c), a * b + a * c);
         // Inverses.
         if a != Gf::ZERO {
-            prop_assert_eq!(a * a.inverse().unwrap(), Gf::ONE);
+            assert_eq!(a * a.inverse().unwrap(), Gf::ONE);
         }
     }
+}
 
-    #[test]
-    fn rs_roundtrip_arbitrary_erasures(
-        data_shards in 2usize..8,
-        parity_shards in 1usize..4,
-        len in 1usize..64,
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn rs_roundtrip_arbitrary_erasures() {
+    let mut rng = StdRng::seed_from_u64(0x6f_0002);
+    for _ in 0..192 {
+        let data_shards = rng.random_range_usize(2, 8);
+        let parity_shards = rng.random_range_usize(1, 4);
+        let len = rng.random_range_usize(1, 64);
+        let seed = rng.random::<u64>() % 10_000;
+
         let code = ReedSolomon::new(data_shards, parity_shards).unwrap();
         let total = data_shards + parity_shards;
         // Deterministic pseudo-random data from the seed.
@@ -47,7 +56,7 @@ proptest! {
             })
             .collect();
         let full = code.encode(&data).unwrap();
-        prop_assert!(code.verify(&full).unwrap());
+        assert!(code.verify(&full).unwrap());
 
         // Erase up to `parity_shards` positions chosen by the seed.
         let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
@@ -59,15 +68,17 @@ proptest! {
         }
         code.reconstruct(&mut shards).unwrap();
         for (i, s) in shards.iter().enumerate() {
-            prop_assert_eq!(s.as_deref(), Some(&full[i][..]));
+            assert_eq!(s.as_deref(), Some(&full[i][..]));
         }
     }
+}
 
-    #[test]
-    fn parity_changes_when_data_changes(
-        byte in 0u8..=255,
-        pos in 0usize..16,
-    ) {
+#[test]
+fn parity_changes_when_data_changes() {
+    let mut rng = StdRng::seed_from_u64(0x6f_0003);
+    for _ in 0..256 {
+        let byte = rng.random::<u8>();
+        let pos = rng.random_range_usize(0, 16);
         let code = ReedSolomon::new(4, 2).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 16]).collect();
         let base = code.encode(&data).unwrap();
@@ -77,22 +88,24 @@ proptest! {
             let enc = code.encode(&tweaked).unwrap();
             // Both parity shards must differ (MDS: every parity depends on
             // every data byte position-wise).
-            prop_assert_ne!(&enc[4], &base[4]);
-            prop_assert_ne!(&enc[5], &base[5]);
+            assert_ne!(&enc[4], &base[4]);
+            assert_ne!(&enc[5], &base[5]);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn placement_critical_fraction_matches_formula(
-        n in 6u32..14,
-        r in 3u32..6,
-        t in 1u32..3,
-    ) {
-        prop_assume!(r <= n && t < r);
+#[test]
+fn placement_critical_fraction_matches_formula() {
+    let mut rng = StdRng::seed_from_u64(0x6f_0004);
+    let mut checked = 0;
+    while checked < 32 {
+        let n = rng.random_range_usize(6, 14) as u32;
+        let r = rng.random_range_usize(3, 6) as u32;
+        let t = rng.random_range_usize(1, 3) as u32;
+        if r > n || t >= r {
+            continue;
+        }
+        checked += 1;
         let p = Placement::enumerate_all(n, r).unwrap();
         let other_failed: Vec<u32> = (0..t - 1).collect();
         let got = p.critical_fraction(t - 1, &other_failed).unwrap();
@@ -100,25 +113,31 @@ proptest! {
         for i in 1..t {
             expected *= (r - i) as f64 / (n - i) as f64;
         }
-        prop_assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
     }
+}
 
-    #[test]
-    fn rebuild_flows_conserve(
-        n in 6u32..12,
-        r in 3u32..6,
-        t in 1u32..3,
-        failed in 0u32..6,
-    ) {
-        prop_assume!(r <= n && t < r && failed < n);
+#[test]
+fn rebuild_flows_conserve() {
+    let mut rng = StdRng::seed_from_u64(0x6f_0005);
+    let mut checked = 0;
+    while checked < 32 {
+        let n = rng.random_range_usize(6, 12) as u32;
+        let r = rng.random_range_usize(3, 6) as u32;
+        let t = rng.random_range_usize(1, 3) as u32;
+        let failed = rng.random_range_usize(0, 6) as u32;
+        if r > n || t >= r || failed >= n {
+            continue;
+        }
+        checked += 1;
         let p = Placement::enumerate_all(n, r).unwrap();
         let flows = RebuildFlows::for_node_failure(&p, failed, t).unwrap();
         let sourced: u64 = flows.sourced.iter().sum();
         let received: u64 = flows.received.iter().sum();
-        prop_assert_eq!(sourced, flows.network_total);
-        prop_assert_eq!(received, flows.network_total);
+        assert_eq!(sourced, flows.network_total);
+        assert_eq!(received, flows.network_total);
         let rebuilt: u64 = flows.rebuilt.iter().sum();
-        prop_assert_eq!(rebuilt, flows.lost_elements);
-        prop_assert_eq!(flows.sourced[failed as usize], 0);
+        assert_eq!(rebuilt, flows.lost_elements);
+        assert_eq!(flows.sourced[failed as usize], 0);
     }
 }

@@ -1,8 +1,10 @@
 //! Property tests for the brick object store: random operation sequences
 //! must never corrupt data that the code geometry promises to protect.
+//! Workloads are drawn from the in-repo seeded PRNG for reproducibility.
 
 use nsr_erasure::store::{BrickStore, ObjectId};
-use proptest::prelude::*;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
 
 /// An operation in a random store workload.
 #[derive(Debug, Clone)]
@@ -13,36 +15,39 @@ enum Op {
     Get(u64),
 }
 
-fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..40, 1usize..256).prop_map(|(id, len)| Op::Put(id, len)),
-        (0u32..n).prop_map(Op::FailNode),
-        (0u32..n).prop_map(Op::RebuildNode),
-        (0u64..40).prop_map(Op::Get),
-    ]
+fn random_op<R: Rng + ?Sized>(rng: &mut R, n: u32) -> Op {
+    match rng.random_range_usize(0, 4) {
+        0 => Op::Put(
+            rng.random_range_usize(0, 40) as u64,
+            rng.random_range_usize(1, 256),
+        ),
+        1 => Op::FailNode(rng.random_range_usize(0, n as usize) as u32),
+        2 => Op::RebuildNode(rng.random_range_usize(0, n as usize) as u32),
+        _ => Op::Get(rng.random_range_usize(0, 40) as u64),
+    }
 }
 
 fn payload(id: u64, len: usize) -> Vec<u8> {
-    (0..len).map(|i| (id as u8).wrapping_mul(37).wrapping_add(i as u8)).collect()
+    (0..len)
+        .map(|i| (id as u8).wrapping_mul(37).wrapping_add(i as u8))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Invariant: while at most `t` nodes are failed, every stored object
-    /// reads back byte-identical. The workload interleaves puts, failures,
-    /// rebuilds and reads arbitrarily; operations that the store rejects
-    /// (duplicate ids, failing a failed node, too many failures for a
-    /// write) are simply skipped — the invariant must hold regardless.
-    #[test]
-    fn reads_always_correct_within_tolerance(
-        ops in prop::collection::vec(op_strategy(10), 1..60)
-    ) {
+/// Invariant: while at most `t` nodes are failed, every stored object
+/// reads back byte-identical. The workload interleaves puts, failures,
+/// rebuilds and reads arbitrarily; operations that the store rejects
+/// (duplicate ids, failing a failed node, too many failures for a
+/// write) are simply skipped — the invariant must hold regardless.
+#[test]
+fn reads_always_correct_within_tolerance() {
+    let mut rng = StdRng::seed_from_u64(0x5704_0001);
+    for _ in 0..64 {
         let (n, r, t) = (10u32, 5u32, 2u32);
+        let op_count = rng.random_range_usize(1, 60);
         let mut store = BrickStore::new(n, r, t).unwrap();
         let mut stored: std::collections::HashMap<u64, usize> = Default::default();
-        for op in ops {
-            match op {
+        for _ in 0..op_count {
+            match random_op(&mut rng, n) {
                 Op::Put(id, len) => {
                     if store.put(ObjectId(id), &payload(id, len)).is_ok() {
                         stored.insert(id, len);
@@ -62,43 +67,45 @@ proptest! {
                 Op::Get(id) => {
                     if let Some(&len) = stored.get(&id) {
                         let got = store.get(ObjectId(id)).unwrap();
-                        prop_assert_eq!(got, payload(id, len));
+                        assert_eq!(got, payload(id, len));
                     }
                 }
             }
         }
         // Final sweep: everything still reads back.
         for (&id, &len) in &stored {
-            prop_assert_eq!(store.get(ObjectId(id)).unwrap(), payload(id, len));
+            assert_eq!(store.get(ObjectId(id)).unwrap(), payload(id, len));
         }
         // And after reviving everything, the store scrubs clean.
         for v in store.failed_nodes() {
             store.rebuild_node(v).unwrap();
         }
         let scrub = store.scrub().unwrap();
-        prop_assert_eq!(scrub.corrupt, 0);
-        prop_assert_eq!(scrub.degraded, 0);
-        prop_assert_eq!(scrub.clean as usize, stored.len());
+        assert_eq!(scrub.corrupt, 0);
+        assert_eq!(scrub.degraded, 0);
+        assert_eq!(scrub.clean as usize, stored.len());
     }
+}
 
-    /// Corruption of up to `t` shards of one object is always recoverable:
-    /// scrub detects it, and a targeted rebuild-from-parity (fail + rebuild
-    /// of the corrupted nodes) restores the bytes.
-    #[test]
-    fn corruption_detected_and_repairable(
-        len in 8usize..128,
-        byte in 0usize..1000,
-        victim in 0u32..5,
-    ) {
+/// Corruption of up to `t` shards of one object is always recoverable:
+/// scrub detects it, and a targeted rebuild-from-parity (fail + rebuild
+/// of the corrupted nodes) restores the bytes.
+#[test]
+fn corruption_detected_and_repairable() {
+    let mut rng = StdRng::seed_from_u64(0x5704_0002);
+    for _ in 0..128 {
+        let len = rng.random_range_usize(8, 128);
+        let byte = rng.random_range_usize(0, 1000);
+        let victim = rng.random_range_usize(0, 5) as u32;
         let mut store = BrickStore::new(10, 5, 2).unwrap();
         store.put(ObjectId(1), &payload(1, len)).unwrap();
         // The rotational set 0 lives on nodes {0..4}; corrupt one of them.
         store.corrupt_shard(victim, ObjectId(1), byte).unwrap();
-        prop_assert_eq!(store.scrub().unwrap().corrupt, 1);
+        assert_eq!(store.scrub().unwrap().corrupt, 1);
         // Repair path: declare the node failed, rebuild from survivors.
         store.fail_node(victim).unwrap();
         store.rebuild_node(victim).unwrap();
-        prop_assert_eq!(store.scrub().unwrap().corrupt, 0);
-        prop_assert_eq!(store.get(ObjectId(1)).unwrap(), payload(1, len));
+        assert_eq!(store.scrub().unwrap().corrupt, 0);
+        assert_eq!(store.get(ObjectId(1)).unwrap(), payload(1, len));
     }
 }

@@ -60,10 +60,17 @@ impl fmt::Display for Error {
                 write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
             }
             Error::Singular { pivot } => {
-                write!(f, "matrix is singular to working precision at pivot column {pivot}")
+                write!(
+                    f,
+                    "matrix is singular to working precision at pivot column {pivot}"
+                )
             }
             Error::Empty => write!(f, "matrix must be non-empty"),
-            Error::JaggedRows { expected, row, found } => write!(
+            Error::JaggedRows {
+                expected,
+                row,
+                found,
+            } => write!(
                 f,
                 "jagged rows: row 0 has length {expected} but row {row} has length {found}"
             ),

@@ -131,15 +131,15 @@ impl Lu {
         let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().take(r) {
+                acc -= self.lu[(r, c)] * xc;
             }
             x[r] = acc;
         }
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(r, c)] * x[c];
+            for (c, &xc) in x.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[(r, c)] * xc;
             }
             x[r] = acc / self.lu[(r, r)];
         }
@@ -166,15 +166,15 @@ impl Lu {
         let mut y = b.to_vec();
         for r in 0..n {
             let mut acc = y[r];
-            for c in 0..r {
-                acc -= self.lu[(c, r)] * y[c];
+            for (c, &yc) in y.iter().enumerate().take(r) {
+                acc -= self.lu[(c, r)] * yc;
             }
             y[r] = acc / self.lu[(r, r)];
         }
         for r in (0..n).rev() {
             let mut acc = y[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[(c, r)] * y[c];
+            for (c, &yc) in y.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[(c, r)] * yc;
             }
             y[r] = acc;
         }
@@ -298,28 +298,36 @@ mod tests {
     #[test]
     fn singular_matrix_detected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
-        assert!(matches!(Lu::factor(&a).unwrap_err(), Error::Singular { .. }));
+        assert!(matches!(
+            Lu::factor(&a).unwrap_err(),
+            Error::Singular { .. }
+        ));
         let z = Matrix::zeros(3, 3);
-        assert!(matches!(Lu::factor(&z).unwrap_err(), Error::Singular { pivot: 0 }));
+        assert!(matches!(
+            Lu::factor(&z).unwrap_err(),
+            Error::Singular { pivot: 0 }
+        ));
     }
 
     #[test]
     fn rejects_bad_inputs() {
         let rect = Matrix::zeros(2, 3);
-        assert!(matches!(Lu::factor(&rect).unwrap_err(), Error::NotSquare { .. }));
+        assert!(matches!(
+            Lu::factor(&rect).unwrap_err(),
+            Error::NotSquare { .. }
+        ));
         let mut nan = Matrix::identity(2);
         nan[(0, 1)] = f64::NAN;
-        assert!(matches!(Lu::factor(&nan).unwrap_err(), Error::NotFinite { .. }));
+        assert!(matches!(
+            Lu::factor(&nan).unwrap_err(),
+            Error::NotFinite { .. }
+        ));
     }
 
     #[test]
     fn inverse_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap();
         let lu = Lu::factor(&a).unwrap();
         let inv = lu.inverse().unwrap();
         let prod = (&a * &inv).unwrap();
@@ -329,12 +337,8 @@ mod tests {
 
     #[test]
     fn transposed_solve_matches_explicit_transpose() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 1.0, 0.5],
-            &[-1.0, 4.0, 2.0],
-            &[0.25, -2.0, 5.0],
-        ])
-        .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 1.0, 0.5], &[-1.0, 4.0, 2.0], &[0.25, -2.0, 5.0]]).unwrap();
         let b = [1.0, -2.0, 3.0];
         let lu = Lu::factor(&a).unwrap();
         let x1 = lu.solve_transposed(&b).unwrap();
@@ -378,8 +382,11 @@ mod tests {
         let lu = Lu::factor(&h).unwrap();
         let x = lu.solve_refined(&h, &b).unwrap();
         let hx = h.mul_vec(&x).unwrap();
-        let resid: f64 =
-            b.iter().zip(&hx).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let resid: f64 = b
+            .iter()
+            .zip(&hx)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(resid < 1e-10, "residual {resid}");
     }
 
@@ -397,6 +404,8 @@ mod tests {
         assert!(lu.solve(&[1.0, 2.0]).is_err());
         assert!(lu.solve_transposed(&[1.0]).is_err());
         assert!(lu.solve_matrix(&Matrix::zeros(2, 2)).is_err());
-        assert!(lu.solve_refined(&Matrix::zeros(2, 2), &[1.0, 2.0, 3.0]).is_err());
+        assert!(lu
+            .solve_refined(&Matrix::zeros(2, 2), &[1.0, 2.0, 3.0])
+            .is_err());
     }
 }

@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// A dense, row-major matrix of `f64` values.
@@ -25,7 +23,7 @@ use crate::{Error, Result};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -41,7 +39,11 @@ impl Matrix {
     /// assert_eq!(z[(1, 2)], 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -100,11 +102,19 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, row) in rows.iter().enumerate() {
             if row.len() != cols {
-                return Err(Error::JaggedRows { expected: cols, row: i, found: row.len() });
+                return Err(Error::JaggedRows {
+                    expected: cols,
+                    row: i,
+                    found: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -153,7 +163,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -163,7 +177,11 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds for {} rows", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -173,7 +191,11 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of bounds for {} cols", self.cols);
+        assert!(
+            c < self.cols,
+            "column index {c} out of bounds for {} cols",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -316,10 +338,8 @@ impl Matrix {
     /// `drop_rows` and the columns in `drop_cols` (both must be sorted and
     /// deduplicated by the caller; out-of-range entries are ignored).
     pub fn minor(&self, drop_rows: &[usize], drop_cols: &[usize]) -> Matrix {
-        let keep_rows: Vec<usize> =
-            (0..self.rows).filter(|r| !drop_rows.contains(r)).collect();
-        let keep_cols: Vec<usize> =
-            (0..self.cols).filter(|c| !drop_cols.contains(c)).collect();
+        let keep_rows: Vec<usize> = (0..self.rows).filter(|r| !drop_rows.contains(r)).collect();
+        let keep_cols: Vec<usize> = (0..self.cols).filter(|c| !drop_cols.contains(c)).collect();
         Matrix::from_fn(keep_rows.len(), keep_cols.len(), |r, c| {
             self[(keep_rows[r], keep_cols[c])]
         })
@@ -363,8 +383,17 @@ impl Add for &Matrix {
                 right: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -379,8 +408,17 @@ impl Sub for &Matrix {
                 right: rhs.shape(),
             });
         }
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 }
 
@@ -455,7 +493,14 @@ mod tests {
     #[test]
     fn from_rows_rejects_jagged() {
         let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
-        assert!(matches!(err, Error::JaggedRows { expected: 2, row: 1, found: 1 }));
+        assert!(matches!(
+            err,
+            Error::JaggedRows {
+                expected: 2,
+                row: 1,
+                found: 1
+            }
+        ));
     }
 
     #[test]

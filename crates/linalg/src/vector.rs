@@ -13,7 +13,13 @@
 /// assert_eq!(nsr_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -23,7 +29,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     for (yi, xi) in y.iter_mut().zip(x) {
         *yi += alpha * xi;
     }

@@ -33,6 +33,19 @@ use crate::{Error, Result};
 /// live in matrix land ([`AbsorbingAnalysis::det`],
 /// [`AbsorbingAnalysis::expected_time_in`]).
 ///
+/// # LU → GTH fallback
+///
+/// For chains so stiff that the floating-point absorption matrix is
+/// singular to working precision (rates differing by more than ~16 orders
+/// of magnitude can cancel exactly), the LU factorization fails. The
+/// analysis still **succeeds**: every quantity falls back to a
+/// subtraction-free GTH computation, [`AbsorbingAnalysis::det`] uses the
+/// product of the GTH elimination pivots, and
+/// [`AbsorbingAnalysis::condition_estimate`] reports `f64::INFINITY` so
+/// callers can see that the matrix route was abandoned
+/// ([`AbsorbingAnalysis::uses_gth_fallback`]). No input reachable through
+/// [`crate::CtmcBuilder`] panics this type.
+///
 /// # Example
 ///
 /// ```
@@ -55,13 +68,25 @@ pub struct AbsorbingAnalysis {
     /// Absorption matrix over the transient states (for det / fundamental
     /// matrix queries).
     r: Matrix,
-    lu: Lu,
+    /// LU factorization of `r`, when `r` is non-singular in floating
+    /// point. `None` for chains stiff enough that elimination with
+    /// differences cancels exactly; all queries then take the GTH route.
+    lu: Option<Lu>,
     /// Transient states in the row/column order of `r`.
     transient: Vec<StateId>,
     /// Map from global state index to transient row index.
     pos: HashMap<usize, usize>,
     /// All absorbing states.
     absorbing: Vec<StateId>,
+    /// Transient-to-transient rates (kept for GTH-route fundamental-matrix
+    /// queries).
+    q: Vec<Vec<f64>>,
+    /// Per-state total rates into the absorbing class.
+    qa: Vec<f64>,
+    /// GTH elimination pivots from the mean-time pass. Mathematically the
+    /// diagonal of `U` in an unpivoted `R = LU`, so their product is
+    /// `det(R)` — but each pivot is computed as a sum, never a difference.
+    gth_pivots: Vec<f64>,
     /// `mtta[i]` = expected time to absorption from transient row `i`,
     /// computed by GTH elimination.
     mtta: Vec<f64>,
@@ -79,9 +104,16 @@ pub struct AbsorbingAnalysis {
 /// `r = (rates into one absorbing state)` it yields the absorption
 /// probabilities into that state.
 ///
+/// Returns `(x, exit)` where `exit` holds the elimination pivots `D_t`
+/// (whose product equals `det(R)`).
+///
 /// Every arithmetic operation is on non-negative quantities, which is what
 /// buys stiffness-independent relative accuracy.
-fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<Vec<f64>> {
+fn gth_solve(
+    mut q: Vec<Vec<f64>>,
+    mut qa: Vec<f64>,
+    mut r: Vec<f64>,
+) -> Result<(Vec<f64>, Vec<f64>)> {
     let m = qa.len();
     debug_assert_eq!(q.len(), m);
     debug_assert_eq!(r.len(), m);
@@ -92,8 +124,8 @@ fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<
         // Exit rate over *remaining* targets (j < t) plus absorption —
         // recomputed as a sum (never a difference), the GTH trick.
         let mut d = qa[t];
-        for j in 0..t {
-            d += q[t][j];
+        for &qtj in &q[t][..t] {
+            d += qtj;
         }
         if d <= 0.0 {
             // State t cannot reach absorption once higher states are
@@ -101,6 +133,9 @@ fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<
             return Err(Error::Linalg(nsr_linalg::Error::Singular { pivot: t }));
         }
         exit[t] = d;
+        // Snapshot row t's live prefix so folding it into rows i < t does
+        // not alias the table being updated.
+        let row_t: Vec<f64> = q[t][..t].to_vec();
         for i in 0..t {
             let f = q[i][t] / d;
             if f == 0.0 {
@@ -108,9 +143,9 @@ fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<
             }
             r[i] += f * r[t];
             qa[i] += f * qa[t];
-            for j in 0..t {
+            for (j, &qtj) in row_t.iter().enumerate() {
                 if j != i {
-                    let add = f * q[t][j];
+                    let add = f * qtj;
                     if add > 0.0 {
                         q[i][j] += add;
                     }
@@ -123,12 +158,12 @@ fn gth_solve(mut q: Vec<Vec<f64>>, mut qa: Vec<f64>, mut r: Vec<f64>) -> Result<
     let mut x = vec![0.0; m];
     for t in 0..m {
         let mut acc = r[t];
-        for j in 0..t {
-            acc += q[t][j] * x[j];
+        for (&qtj, &xj) in q[t].iter().zip(x.iter()).take(t) {
+            acc += qtj * xj;
         }
         x[t] = acc / exit[t];
     }
-    Ok(x)
+    Ok((x, exit))
 }
 
 impl AbsorbingAnalysis {
@@ -149,24 +184,42 @@ impl AbsorbingAnalysis {
         if transient.is_empty() {
             return Err(Error::NoTransientState);
         }
-        let pos: HashMap<usize, usize> =
-            transient.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
-        let lu = Lu::factor(&r)?;
+        let pos: HashMap<usize, usize> = transient
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.0, i))
+            .collect();
+        // Stiff chains can make `r` singular *in floating point* even
+        // though the exact absorption matrix never is; GTH below still
+        // succeeds there, so an LU failure downgrades to a fallback
+        // rather than an error.
+        let lu = Lu::factor(&r).ok();
 
         let (q, qa) = Self::rate_tables(ctmc, &transient, &pos, None);
         let ones = vec![1.0; transient.len()];
-        let mtta = gth_solve(q.clone(), qa.clone(), ones)?;
+        let (mtta, gth_pivots) = gth_solve(q.clone(), qa.clone(), ones)?;
 
         // Absorption probabilities into each absorbing state: same
         // elimination with the per-target inflow rates as RHS.
         let mut absorb_prob = HashMap::new();
         for &a in &absorbing {
             let (_, r_target) = Self::rate_tables(ctmc, &transient, &pos, Some(a));
-            let u = gth_solve(q.clone(), qa.clone(), r_target)?;
+            let (u, _) = gth_solve(q.clone(), qa.clone(), r_target)?;
             absorb_prob.insert(a.0, u);
         }
 
-        Ok(AbsorbingAnalysis { r, lu, transient, pos, absorbing, mtta, absorb_prob })
+        Ok(AbsorbingAnalysis {
+            r,
+            lu,
+            transient,
+            pos,
+            absorbing,
+            q,
+            qa,
+            gth_pivots,
+            mtta,
+            absorb_prob,
+        })
     }
 
     /// Extracts the transient-to-transient rate table `q` and, depending on
@@ -210,8 +263,39 @@ impl AbsorbingAnalysis {
 
     /// Determinant of the absorption matrix (the `det(R)` of the paper's
     /// appendix formula `M(R) = Num(R)/det(R)`).
+    ///
+    /// Computed from the LU factorization when available, otherwise as
+    /// the product of the GTH elimination pivots (which is the same
+    /// quantity, evaluated subtraction-free — for stiff chains it is the
+    /// *more* accurate of the two).
     pub fn det(&self) -> f64 {
-        self.lu.det()
+        match &self.lu {
+            Some(lu) => lu.det(),
+            None => self.gth_pivots.iter().product(),
+        }
+    }
+
+    /// `true` when the LU factorization of the absorption matrix failed
+    /// (singular to working precision) and every matrix-land query is
+    /// answered by GTH elimination instead.
+    pub fn uses_gth_fallback(&self) -> bool {
+        self.lu.is_none()
+    }
+
+    /// Estimate of the ∞-norm condition number `κ∞(R)` of the absorption
+    /// matrix — how much of the 16 decimal digits a naive linear solve
+    /// against `R` would lose. Returns `f64::INFINITY` when `R` is
+    /// singular to working precision (the GTH fallback is in effect).
+    ///
+    /// This diagnoses the *matrix* route only: the GTH-computed
+    /// quantities ([`Self::mean_time_to_absorption`],
+    /// [`Self::absorption_probability`]) keep componentwise relative
+    /// accuracy regardless of this value.
+    pub fn condition_estimate(&self) -> f64 {
+        match &self.lu {
+            Some(lu) => lu.cond_inf(&self.r).unwrap_or(f64::INFINITY),
+            None => f64::INFINITY,
+        }
     }
 
     /// Mean time to absorption starting from transient state `from`.
@@ -231,9 +315,10 @@ impl AbsorbingAnalysis {
     /// absorption, starting from `from` — the `(from, in_state)` entry of
     /// the fundamental matrix `R⁻¹` (the `τᵢ` of equation (A.1)).
     ///
-    /// Computed from the LU factorization; for stiff chains prefer
-    /// [`Self::mean_time_to_absorption`] (GTH) when only the total is
-    /// needed.
+    /// Computed from the LU factorization when available; when the
+    /// absorption matrix is singular to working precision the entry is
+    /// recovered by a GTH elimination with `e_j` as the right-hand side,
+    /// so stiff chains still get an answer instead of an error.
     ///
     /// # Errors
     ///
@@ -250,7 +335,13 @@ impl AbsorbingAnalysis {
         // (R⁻¹)_{ij} = e_iᵗ R⁻¹ e_j: solve R y = e_j, answer y_i.
         let mut e = vec![0.0; self.transient.len()];
         e[j] = 1.0;
-        let y = self.lu.solve(&e)?;
+        let y = match &self.lu {
+            Some(lu) => lu.solve(&e)?,
+            // gth_solve computes x with D_i x_i = r_i + Σ_j q_ij x_j,
+            // which is exactly R x = r, so e_j as RHS yields column j of
+            // the fundamental matrix R⁻¹.
+            None => gth_solve(self.q.clone(), self.qa.clone(), e)?.0,
+        };
         Ok(y[i])
     }
 
@@ -305,7 +396,9 @@ impl AbsorbingAnalysis {
         let mut acc = 0.0;
         for &(s, w) in pi0 {
             if !(w.is_finite() && w >= 0.0) {
-                return Err(Error::InvalidArgument { what: "initial weights must be >= 0" });
+                return Err(Error::InvalidArgument {
+                    what: "initial weights must be >= 0",
+                });
             }
             let i = *self
                 .pos
@@ -315,7 +408,9 @@ impl AbsorbingAnalysis {
             total_w += w;
         }
         if (total_w - 1.0).abs() > 1e-9 {
-            return Err(Error::InvalidArgument { what: "initial weights must sum to 1" });
+            return Err(Error::InvalidArgument {
+                what: "initial weights must sum to 1",
+            });
         }
         Ok(acc)
     }
@@ -357,8 +452,7 @@ mod tests {
         let mu = 1.0;
         let depth = 6;
         let mut b = CtmcBuilder::new();
-        let states: Vec<StateId> =
-            (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
+        let states: Vec<StateId> = (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
         let dead = b.add_state("dead");
         for i in 0..depth {
             b.add_transition(states[i], states[i + 1], lam).unwrap();
@@ -499,7 +593,10 @@ mod tests {
         b.add_transition(x, y, 1.0).unwrap();
         b.add_transition(y, x, 1.0).unwrap();
         let c = b.build().unwrap();
-        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::NoAbsorbingState));
+        assert!(matches!(
+            AbsorbingAnalysis::new(&c).unwrap_err(),
+            Error::NoAbsorbingState
+        ));
     }
 
     #[test]
@@ -507,7 +604,10 @@ mod tests {
         let mut b = CtmcBuilder::new();
         b.add_state("only");
         let c = b.build().unwrap();
-        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::NoTransientState));
+        assert!(matches!(
+            AbsorbingAnalysis::new(&c).unwrap_err(),
+            Error::NoTransientState
+        ));
     }
 
     #[test]
@@ -521,7 +621,10 @@ mod tests {
         b.add_transition(x, y, 1.0).unwrap();
         b.add_transition(y, x, 1.0).unwrap();
         let c = b.build().unwrap();
-        assert!(matches!(AbsorbingAnalysis::new(&c).unwrap_err(), Error::Linalg(_)));
+        assert!(matches!(
+            AbsorbingAnalysis::new(&c).unwrap_err(),
+            Error::Linalg(_)
+        ));
     }
 
     #[test]
@@ -532,5 +635,50 @@ mod tests {
         assert_eq!(an.transient_states().len(), 2);
         assert_eq!(an.absorbing_states().len(), 1);
         assert_eq!(an.absorption_matrix().shape(), (2, 2));
+    }
+
+    #[test]
+    fn benign_chain_keeps_the_lu_route() {
+        let (c, ..) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert!(!an.uses_gth_fallback());
+        let kappa = an.condition_estimate();
+        assert!(kappa.is_finite() && kappa >= 1.0, "{kappa}");
+        // The LU determinant and the GTH pivot product are the same
+        // quantity computed two ways; for a well-conditioned chain they
+        // must agree to near machine precision.
+        let pivot_det: f64 = an.gth_pivots.iter().product();
+        assert!((an.det() - pivot_det).abs() / pivot_det < 1e-12);
+    }
+
+    #[test]
+    fn singular_to_working_precision_falls_back_to_gth() {
+        // s0 <-> s1 at rate 1, s1 -> dead at 1e-20. The exact absorption
+        // matrix [[1, -1], [-1, 1 + 1e-20]] rounds to the singular
+        // [[1, -1], [-1, 1]] in f64, so LU fails — but GTH recomputes
+        // every pivot as a sum (1e-20 survives as qa) and the analysis
+        // must still deliver the whole API.
+        let lam_abs = 1e-20;
+        let (c, s0, s1, s2) = chain(1.0, 1.0, lam_abs);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert!(an.uses_gth_fallback());
+        assert_eq!(an.condition_estimate(), f64::INFINITY);
+
+        // Closed form: MTTA = (λa + λb + μ)/(λa·λb) = (2 + 1e-20)/1e-20.
+        let exact = (1.0 + lam_abs + 1.0) / lam_abs;
+        let got = an.mean_time_to_absorption(s0).unwrap();
+        assert!((got - exact).abs() / exact < 1e-12, "{got} vs {exact}");
+
+        // det(R) = 1·(1 + 1e-20) − 1 = 1e-20 exactly in the reals; the
+        // pivot product recovers it even though LU saw a zero pivot.
+        let det = an.det();
+        assert!((det - lam_abs).abs() / lam_abs < 1e-12, "{det}");
+
+        // Fundamental-matrix entries via the GTH route still decompose
+        // the mean time to absorption.
+        let t00 = an.expected_time_in(s0, s0).unwrap();
+        let t01 = an.expected_time_in(s0, s1).unwrap();
+        assert!((t00 + t01 - got).abs() / got < 1e-10);
+        assert!((an.absorption_probability(s0, s2).unwrap() - 1.0).abs() < 1e-12);
     }
 }

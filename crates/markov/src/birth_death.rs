@@ -98,14 +98,14 @@ pub fn birth_death_gamma(forward: &[f64], backward: &[f64]) -> Result<f64> {
         }
     }
     let m = backward.len(); // states 1..=m have repairs
-    // u[i] = P(absorbed before reaching i-1 | currently at i), i = 1..=m.
-    // At the top state m: competes absorption a_m against repair b_m... but
-    // intermediate states first must *reach* m. Recurrence (standard gambler's
-    // ruin with absorption only past m):
-    //   u_m = a_m / (a_m + b_m)
-    //   u_i = a_i·u_{i+1} / (b_i + a_i·u_{i+1})   for i < m
-    // (derivation: from i, next move up w.p. a/(a+b); from i+1 it either
-    // absorbs (prob u_{i+1}) or falls back to i and retries.)
+                            // u[i] = P(absorbed before reaching i-1 | currently at i), i = 1..=m.
+                            // At the top state m: competes absorption a_m against repair b_m... but
+                            // intermediate states first must *reach* m. Recurrence (standard gambler's
+                            // ruin with absorption only past m):
+                            //   u_m = a_m / (a_m + b_m)
+                            //   u_i = a_i·u_{i+1} / (b_i + a_i·u_{i+1})   for i < m
+                            // (derivation: from i, next move up w.p. a/(a+b); from i+1 it either
+                            // absorbs (prob u_{i+1}) or falls back to i and retries.)
     let mut u = forward[m] / (forward[m] + backward[m - 1]);
     for i in (1..m).rev() {
         let a = forward[i];
@@ -122,14 +122,20 @@ mod tests {
 
     fn chain_of(forward: &[f64], backward: &[f64]) -> (crate::Ctmc, crate::StateId) {
         let mut b = CtmcBuilder::new();
-        let states: Vec<_> =
-            (0..forward.len()).map(|i| b.add_state(format!("{i}"))).collect();
+        let states: Vec<_> = (0..forward.len())
+            .map(|i| b.add_state(format!("{i}")))
+            .collect();
         let dead = b.add_state("dead");
         for i in 0..forward.len() {
-            let to = if i + 1 < forward.len() { states[i + 1] } else { dead };
+            let to = if i + 1 < forward.len() {
+                states[i + 1]
+            } else {
+                dead
+            };
             b.add_transition(states[i], to, forward[i]).unwrap();
             if i > 0 {
-                b.add_transition(states[i], states[i - 1], backward[i - 1]).unwrap();
+                b.add_transition(states[i], states[i - 1], backward[i - 1])
+                    .unwrap();
             }
         }
         (b.build().unwrap(), states[0])
@@ -173,8 +179,14 @@ mod tests {
             .unwrap()
             .mean_time_to_absorption(root)
             .unwrap();
-        assert!((product - gth).abs() / gth < 1e-10, "{product:.6e} vs {gth:.6e}");
-        assert!(product > 1e39, "MTTA should be astronomically large: {product:.3e}");
+        assert!(
+            (product - gth).abs() / gth < 1e-10,
+            "{product:.6e} vs {gth:.6e}"
+        );
+        assert!(
+            product > 1e39,
+            "MTTA should be astronomically large: {product:.3e}"
+        );
     }
 
     #[test]

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::ctmc::{Ctmc, Transition};
 use crate::{Error, Result};
 
@@ -7,7 +5,7 @@ use crate::{Error, Result};
 ///
 /// State ids are dense indices in creation order; [`StateId::index`] exposes
 /// the index for callers that build parallel tables keyed by state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId(pub(crate) usize);
 
 impl StateId {
@@ -94,11 +92,17 @@ impl CtmcBuilder {
             return Err(Error::SelfLoop { state: from.0 });
         }
         if !(rate.is_finite() && rate >= 0.0) {
-            return Err(Error::InvalidRate { from: from.0, to: to.0, rate });
+            return Err(Error::InvalidRate {
+                from: from.0,
+                to: to.0,
+                rate,
+            });
         }
         if rate > 0.0 {
-            if let Some(t) =
-                self.transitions.iter_mut().find(|t| t.from == from && t.to == to)
+            if let Some(t) = self
+                .transitions
+                .iter_mut()
+                .find(|t| t.from == from && t.to == to)
             {
                 t.rate += rate;
             } else {
@@ -173,7 +177,10 @@ mod tests {
 
     #[test]
     fn empty_chain_rejected() {
-        assert!(matches!(CtmcBuilder::new().build().unwrap_err(), Error::EmptyChain));
+        assert!(matches!(
+            CtmcBuilder::new().build().unwrap_err(),
+            Error::EmptyChain
+        ));
     }
 
     #[test]

@@ -139,8 +139,7 @@ pub fn validate_absorbing(ctmc: &Ctmc) -> Result<AbsorbingDiagnosis> {
             }
         }
     }
-    let trapped_states: Vec<StateId> =
-        (0..n).filter(|&v| !reached[v]).map(StateId).collect();
+    let trapped_states: Vec<StateId> = (0..n).filter(|&v| !reached[v]).map(StateId).collect();
     Ok(AbsorbingDiagnosis {
         trapped_states,
         absorbing_count: absorbing.len(),

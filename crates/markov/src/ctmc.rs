@@ -1,11 +1,74 @@
-use serde::{Deserialize, Serialize};
-
 use nsr_linalg::Matrix;
 
 use crate::builder::StateId;
+use crate::{Error, Result};
+
+/// Validates a dense matrix as an infinitesimal generator `Q`.
+///
+/// A generator must be square with finite entries, non-negative
+/// off-diagonal rates, non-positive diagonal entries, and rows summing to
+/// zero (within a tolerance scaled to the row's magnitude). Matrices
+/// produced by [`Ctmc::generator`] always pass; use this guardrail before
+/// feeding an externally assembled `Q` into uniformization or stationary
+/// solvers, where a single NaN or sign slip would otherwise surface as a
+/// nonsense probability rather than an error.
+///
+/// # Errors
+///
+/// * [`Error::Linalg`] ([`nsr_linalg::Error::NotSquare`] /
+///   [`nsr_linalg::Error::Empty`]) for shape violations.
+/// * [`Error::InvalidRate`] for NaN/Inf entries or negative off-diagonal
+///   rates.
+/// * [`Error::InvalidArgument`] for positive diagonals or rows that do not
+///   sum to zero.
+pub fn validate_generator(q: &Matrix) -> Result<()> {
+    let (rows, cols) = q.shape();
+    if rows == 0 || cols == 0 {
+        return Err(Error::Linalg(nsr_linalg::Error::Empty));
+    }
+    if rows != cols {
+        return Err(Error::Linalg(nsr_linalg::Error::NotSquare {
+            shape: (rows, cols),
+        }));
+    }
+    for i in 0..rows {
+        let mut sum = 0.0;
+        let mut scale = 0.0;
+        for j in 0..cols {
+            let v = q[(i, j)];
+            if !v.is_finite() {
+                return Err(Error::InvalidRate {
+                    from: i,
+                    to: j,
+                    rate: v,
+                });
+            }
+            if i != j && v < 0.0 {
+                return Err(Error::InvalidRate {
+                    from: i,
+                    to: j,
+                    rate: v,
+                });
+            }
+            sum += v;
+            scale += v.abs();
+        }
+        if q[(i, i)] > 0.0 {
+            return Err(Error::InvalidArgument {
+                what: "generator diagonal entries must be non-positive",
+            });
+        }
+        if sum.abs() > 1e-9 * scale.max(1.0) {
+            return Err(Error::InvalidArgument {
+                what: "generator rows must sum to zero",
+            });
+        }
+    }
+    Ok(())
+}
 
 /// A single directed transition of a CTMC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transition {
     /// Source state.
     pub from: StateId,
@@ -22,7 +85,7 @@ pub struct Transition {
 /// [`crate::AbsorbingAnalysis`] (the reliability models in this workspace
 /// always have a reachable absorbing "data loss" state, which makes the
 /// remaining states genuinely transient).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Ctmc {
     labels: Vec<String>,
     /// Outgoing adjacency: `out[s]` lists `(destination, rate)`.
@@ -36,7 +99,11 @@ impl Ctmc {
         for t in &transitions {
             out[t.from.0].push((t.to, t.rate));
         }
-        Ctmc { labels, out, transitions }
+        Ctmc {
+            labels,
+            out,
+            transitions,
+        }
     }
 
     /// Number of states.
@@ -97,12 +164,18 @@ impl Ctmc {
 
     /// Ids of all absorbing states, in index order.
     pub fn absorbing_states(&self) -> Vec<StateId> {
-        (0..self.len()).map(StateId).filter(|&s| self.is_absorbing(s)).collect()
+        (0..self.len())
+            .map(StateId)
+            .filter(|&s| self.is_absorbing(s))
+            .collect()
     }
 
     /// Ids of all transient (non-absorbing) states, in index order.
     pub fn transient_states(&self) -> Vec<StateId> {
-        (0..self.len()).map(StateId).filter(|&s| !self.is_absorbing(s)).collect()
+        (0..self.len())
+            .map(StateId)
+            .filter(|&s| !self.is_absorbing(s))
+            .collect()
     }
 
     /// Iterates over all state ids.
@@ -113,7 +186,9 @@ impl Ctmc {
     /// Maximum total outgoing rate over all states (the uniformization
     /// constant lower bound).
     pub fn max_total_rate(&self) -> f64 {
-        self.states().map(|s| self.total_rate(s)).fold(0.0, f64::max)
+        self.states()
+            .map(|s| self.total_rate(s))
+            .fold(0.0, f64::max)
     }
 
     /// Dense infinitesimal generator matrix `Q`: off-diagonals are the
@@ -134,8 +209,11 @@ impl Ctmc {
     /// `MTTDL = e₁ᵀ R⁻¹ 1`.
     pub fn absorption_matrix(&self) -> (Matrix, Vec<StateId>) {
         let transient = self.transient_states();
-        let pos: std::collections::HashMap<usize, usize> =
-            transient.iter().enumerate().map(|(i, s)| (s.0, i)).collect();
+        let pos: std::collections::HashMap<usize, usize> = transient
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.0, i))
+            .collect();
         let m = transient.len();
         let mut r = Matrix::zeros(m.max(1), m.max(1));
         for (i, &s) in transient.iter().enumerate() {
@@ -161,7 +239,10 @@ impl Ctmc {
         if total == 0.0 {
             return Vec::new();
         }
-        self.out[s.0].iter().map(|&(to, r)| (to, r / total)).collect()
+        self.out[s.0]
+            .iter()
+            .map(|&(to, r)| (to, r / total))
+            .collect()
     }
 }
 
@@ -236,5 +317,57 @@ mod tests {
     fn max_total_rate() {
         let (c, ..) = three_state();
         assert_eq!(c.max_total_rate(), 11.0);
+    }
+
+    #[test]
+    fn built_generators_always_validate() {
+        let (c, ..) = three_state();
+        validate_generator(&c.generator()).unwrap();
+    }
+
+    #[test]
+    fn validate_generator_rejects_malformed_input() {
+        // Not square.
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            validate_generator(&rect).unwrap_err(),
+            Error::Linalg(nsr_linalg::Error::NotSquare { .. })
+        ));
+
+        // NaN entry.
+        let mut q = Matrix::zeros(2, 2);
+        q[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            validate_generator(&q).unwrap_err(),
+            Error::InvalidRate { from: 0, to: 1, .. }
+        ));
+
+        // Negative off-diagonal rate.
+        let mut q = Matrix::zeros(2, 2);
+        q[(0, 0)] = -1.0;
+        q[(0, 1)] = 1.0;
+        q[(1, 0)] = -0.5;
+        q[(1, 1)] = 0.5;
+        assert!(matches!(
+            validate_generator(&q).unwrap_err(),
+            Error::InvalidRate { from: 1, to: 0, .. }
+        ));
+
+        // Positive diagonal.
+        let mut q = Matrix::zeros(1, 1);
+        q[(0, 0)] = 2.0;
+        assert!(matches!(
+            validate_generator(&q).unwrap_err(),
+            Error::InvalidArgument { .. }
+        ));
+
+        // Row sum far from zero.
+        let mut q = Matrix::zeros(2, 2);
+        q[(0, 0)] = -1.0;
+        q[(0, 1)] = 2.0;
+        assert!(matches!(
+            validate_generator(&q).unwrap_err(),
+            Error::InvalidArgument { .. }
+        ));
     }
 }

@@ -26,7 +26,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { rate_digits: 3, rankdir_lr: true }
+        DotOptions {
+            rate_digits: 3,
+            rankdir_lr: true,
+        }
     }
 }
 
@@ -57,7 +60,11 @@ pub fn to_dot(ctmc: &Ctmc, options: DotOptions) -> String {
     }
     out.push_str("  node [shape=circle, fontsize=11];\n");
     for s in ctmc.states() {
-        let shape = if ctmc.is_absorbing(s) { "doublecircle" } else { "circle" };
+        let shape = if ctmc.is_absorbing(s) {
+            "doublecircle"
+        } else {
+            "circle"
+        };
         let _ = writeln!(
             out,
             "  s{} [label=\"{}\", shape={shape}];",
@@ -123,8 +130,14 @@ mod tests {
 
     #[test]
     fn options_respected() {
-        let dot = to_dot(&chain(), DotOptions { rate_digits: 5, rankdir_lr: false });
+        let dot = to_dot(
+            &chain(),
+            DotOptions {
+                rate_digits: 5,
+                rankdir_lr: false,
+            },
+        );
         assert!(!dot.contains("rankdir"));
-        assert!(dot.contains("1.5000e-4") || dot.contains("1.5000e4") == false);
+        assert!(dot.contains("1.5000e-4") || !dot.contains("1.5000e4"));
     }
 }

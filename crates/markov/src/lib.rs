@@ -10,7 +10,12 @@
 //!   and transition rates, and inspect its infinitesimal generator `Q`.
 //! * [`AbsorbingAnalysis`] — mean time to absorption (the paper's MTTDL),
 //!   absorption probabilities, and expected state occupancies, computed
-//!   from the absorption matrix `R = −Q_B` by LU factorization.
+//!   from the absorption matrix `R = −Q_B` by subtraction-free GTH
+//!   elimination with an LU factorization for matrix-land queries (and a
+//!   GTH fallback when stiffness makes `R` singular in floating point).
+//! * [`validate_generator`] — numerical guardrail rejecting NaN/Inf
+//!   entries, negative rates, and non-zero row sums in externally
+//!   assembled generator matrices.
 //! * [`stationary_distribution`] — limiting distribution of an irreducible
 //!   chain (`π·Q = 0`, `Σπ = 1`).
 //! * [`transient_distribution`] — `π(t)` by uniformization.
@@ -60,12 +65,10 @@ mod solutions;
 
 pub use absorbing::AbsorbingAnalysis;
 pub use birth_death::{birth_death_gamma, birth_death_mtta};
-pub use classify::{
-    strongly_connected_components, validate_absorbing, AbsorbingDiagnosis,
-};
-pub use dot::{to_dot, DotOptions};
 pub use builder::{CtmcBuilder, StateId};
-pub use ctmc::{Ctmc, Transition};
+pub use classify::{strongly_connected_components, validate_absorbing, AbsorbingDiagnosis};
+pub use ctmc::{validate_generator, Ctmc, Transition};
+pub use dot::{to_dot, DotOptions};
 pub use error::Error;
 pub use solutions::{stationary_distribution, transient_distribution, uniformized};
 

@@ -4,15 +4,14 @@
 //! an independent stochastic implementation of the same chain should land
 //! within its confidence interval of the LU-based answers.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use nsr_rng::Rng;
 
 use crate::builder::StateId;
 use crate::ctmc::Ctmc;
 use crate::{Error, Result};
 
 /// Outcome of a single simulated run to absorption.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AbsorptionSample {
     /// Total elapsed time until the absorbing state was entered.
     pub time: f64,
@@ -23,7 +22,7 @@ pub struct AbsorptionSample {
 }
 
 /// A sample-mean estimate with its standard error.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Estimate {
     /// Sample mean.
     pub mean: f64,
@@ -48,7 +47,11 @@ impl Estimate {
         } else {
             0.0
         };
-        Estimate { mean, std_err: (var / n).sqrt(), n: samples.len() as u64 }
+        Estimate {
+            mean,
+            std_err: (var / n).sqrt(),
+            n: samples.len() as u64,
+        }
     }
 
     /// Symmetric 95 % confidence half-width (`1.96 · std_err`).
@@ -74,7 +77,13 @@ impl Estimate {
 
 impl std::fmt::Display for Estimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.6e} ± {:.2e} (n={})", self.mean, self.ci95_half_width(), self.n)
+        write!(
+            f,
+            "{:.6e} ± {:.2e} (n={})",
+            self.mean,
+            self.ci95_half_width(),
+            self.n
+        )
     }
 }
 
@@ -105,17 +114,24 @@ pub fn simulate_to_absorption<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<AbsorptionSample> {
     if from.index() >= ctmc.len() {
-        return Err(Error::UnknownState { state: from.index(), len: ctmc.len() });
+        return Err(Error::UnknownState {
+            state: from.index(),
+            len: ctmc.len(),
+        });
     }
     if ctmc.is_absorbing(from) {
-        return Err(Error::StateNotTransient { state: from.index() });
+        return Err(Error::StateNotTransient {
+            state: from.index(),
+        });
     }
     let mut state = from;
     let mut time = 0.0;
     let mut jumps = 0u64;
     while !ctmc.is_absorbing(state) {
         if jumps >= max_jumps {
-            return Err(Error::InvalidArgument { what: "max_jumps exceeded before absorption" });
+            return Err(Error::InvalidArgument {
+                what: "max_jumps exceeded before absorption",
+            });
         }
         let total = ctmc.total_rate(state);
         time += sample_exponential(rng, total);
@@ -133,7 +149,11 @@ pub fn simulate_to_absorption<R: Rng + ?Sized>(
         state = next;
         jumps += 1;
     }
-    Ok(AbsorptionSample { time, absorbed_in: state, jumps })
+    Ok(AbsorptionSample {
+        time,
+        absorbed_in: state,
+        jumps,
+    })
 }
 
 /// Estimates the mean time to absorption from `from` with `n` independent
@@ -150,7 +170,9 @@ pub fn estimate_mtta<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Estimate> {
     if n == 0 {
-        return Err(Error::InvalidArgument { what: "sample count must be positive" });
+        return Err(Error::InvalidArgument {
+            what: "sample count must be positive",
+        });
     }
     let mut samples = Vec::with_capacity(n as usize);
     for _ in 0..n {
@@ -163,8 +185,8 @@ pub fn estimate_mtta<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::{AbsorbingAnalysis, CtmcBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nsr_rng::rngs::StdRng;
+    use nsr_rng::SeedableRng;
 
     fn absorbing_chain() -> (Ctmc, StateId) {
         let mut b = CtmcBuilder::new();
@@ -182,8 +204,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let rate = 4.0;
         let n = 20_000;
-        let mean: f64 =
-            (0..n).map(|_| sample_exponential(&mut rng, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut rng, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
     }
 

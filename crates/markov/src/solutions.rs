@@ -92,17 +92,25 @@ pub fn stationary_distribution(ctmc: &Ctmc) -> Result<Vec<f64>> {
 pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Result<Vec<f64>> {
     let n = ctmc.len();
     if pi0.len() != n {
-        return Err(Error::InvalidArgument { what: "pi0 length must equal state count" });
+        return Err(Error::InvalidArgument {
+            what: "pi0 length must equal state count",
+        });
     }
     if !(t >= 0.0 && t.is_finite()) {
-        return Err(Error::InvalidArgument { what: "t must be finite and >= 0" });
+        return Err(Error::InvalidArgument {
+            what: "t must be finite and >= 0",
+        });
     }
     if !(tol > 0.0 && tol < 1.0) {
-        return Err(Error::InvalidArgument { what: "tol must be in (0, 1)" });
+        return Err(Error::InvalidArgument {
+            what: "tol must be in (0, 1)",
+        });
     }
     let mass: f64 = pi0.iter().sum();
     if pi0.iter().any(|&p| p < 0.0) || (mass - 1.0).abs() > 1e-9 {
-        return Err(Error::InvalidArgument { what: "pi0 must be a probability distribution" });
+        return Err(Error::InvalidArgument {
+            what: "pi0 must be a probability distribution",
+        });
     }
     if t == 0.0 {
         return Ok(pi0.to_vec());
@@ -206,7 +214,10 @@ mod tests {
         let y = b.add_state("y");
         b.add_transition(x, y, 1.0).unwrap();
         let c = b.build().unwrap();
-        assert!(matches!(stationary_distribution(&c).unwrap_err(), Error::NotIrreducible));
+        assert!(matches!(
+            stationary_distribution(&c).unwrap_err(),
+            Error::NotIrreducible
+        ));
     }
 
     #[test]

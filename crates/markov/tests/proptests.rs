@@ -1,75 +1,81 @@
 //! Property-based tests for the CTMC toolkit: generator identities, the
 //! GTH absorbing analysis against independent oracles, and simulation
-//! consistency.
+//! consistency. Random chains come from the in-repo seeded PRNG.
 
-use nsr_markov::{
-    birth_death_mtta, simulate, AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId,
-};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nsr_markov::{birth_death_mtta, simulate, AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId};
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
 
-/// Strategy: a random absorbing chain over `n` transient states plus one
-/// absorbing state. Every transient state gets a path toward absorption
-/// through the "next" state, so the chain is proper.
-fn random_absorbing_chain(n: usize) -> impl Strategy<Value = (Ctmc, StateId)> {
-    let rates = prop::collection::vec(0.01f64..10.0, n * n + n);
-    rates.prop_map(move |r| {
-        let mut b = CtmcBuilder::new();
-        let states: Vec<StateId> = (0..n).map(|i| b.add_state(format!("{i}"))).collect();
-        let dead = b.add_state("dead");
-        let mut idx = 0;
-        for i in 0..n {
-            for j in 0..n {
-                if i != j && r[idx] > 5.0 {
-                    // Sparse-ish random structure.
-                    b.add_transition(states[i], states[j], r[idx] - 5.0).unwrap();
-                }
-                idx += 1;
+/// A random absorbing chain over `n` transient states plus one absorbing
+/// state. Every transient state gets a path toward absorption through the
+/// "dead" state, so the chain is proper.
+fn random_absorbing_chain<R: Rng + ?Sized>(rng: &mut R, n: usize) -> (Ctmc, StateId) {
+    let mut b = CtmcBuilder::new();
+    let states: Vec<StateId> = (0..n).map(|i| b.add_state(format!("{i}"))).collect();
+    let dead = b.add_state("dead");
+    for i in 0..n {
+        for j in 0..n {
+            let r = rng.random_range_f64(0.01, 10.0);
+            if i != j && r > 5.0 {
+                // Sparse-ish random structure.
+                b.add_transition(states[i], states[j], r - 5.0).unwrap();
             }
         }
-        for i in 0..n {
-            // Guaranteed absorption path.
-            b.add_transition(states[i], dead, r[n * n + i]).unwrap();
-        }
-        (b.build().unwrap(), states[0])
-    })
+    }
+    for &s in &states {
+        // Guaranteed absorption path.
+        b.add_transition(s, dead, rng.random_range_f64(0.01, 10.0))
+            .unwrap();
+    }
+    (b.build().unwrap(), states[0])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generator_rows_sum_to_zero((ctmc, _) in random_absorbing_chain(5)) {
+#[test]
+fn generator_rows_sum_to_zero() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0001);
+    for _ in 0..48 {
+        let (ctmc, _) = random_absorbing_chain(&mut rng, 5);
         let q = ctmc.generator();
         for r in 0..ctmc.len() {
             let sum: f64 = q.row(r).iter().sum();
-            prop_assert!(sum.abs() < 1e-9, "row {r}: {sum}");
+            assert!(sum.abs() < 1e-9, "row {r}: {sum}");
         }
     }
+}
 
-    #[test]
-    fn mtta_positive_and_bounded_by_slowest_exit((ctmc, root) in random_absorbing_chain(5)) {
+#[test]
+fn mtta_positive_and_bounded_by_slowest_exit() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0002);
+    for _ in 0..48 {
+        let (ctmc, root) = random_absorbing_chain(&mut rng, 5);
         let an = AbsorbingAnalysis::new(&ctmc).unwrap();
         let mtta = an.mean_time_to_absorption(root).unwrap();
-        prop_assert!(mtta > 0.0 && mtta.is_finite());
+        assert!(mtta > 0.0 && mtta.is_finite());
         // Lower bound: expected holding time of the root alone.
-        prop_assert!(mtta >= 1.0 / ctmc.total_rate(root) - 1e-12);
+        assert!(mtta >= 1.0 / ctmc.total_rate(root) - 1e-12);
     }
+}
 
-    #[test]
-    fn absorption_probabilities_sum_to_one((ctmc, root) in random_absorbing_chain(4)) {
+#[test]
+fn absorption_probabilities_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0003);
+    for _ in 0..48 {
+        let (ctmc, root) = random_absorbing_chain(&mut rng, 4);
         let an = AbsorbingAnalysis::new(&ctmc).unwrap();
         let total: f64 = an
             .absorbing_states()
             .iter()
             .map(|&a| an.absorption_probability(root, a).unwrap())
             .sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "total {total}");
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
     }
+}
 
-    #[test]
-    fn occupancies_decompose_mtta((ctmc, root) in random_absorbing_chain(4)) {
+#[test]
+fn occupancies_decompose_mtta() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0004);
+    for _ in 0..48 {
+        let (ctmc, root) = random_absorbing_chain(&mut rng, 4);
         let an = AbsorbingAnalysis::new(&ctmc).unwrap();
         let mtta = an.mean_time_to_absorption(root).unwrap();
         let sum: f64 = an
@@ -77,18 +83,22 @@ proptest! {
             .iter()
             .map(|&s| an.expected_time_in(root, s).unwrap())
             .sum();
-        prop_assert!((sum - mtta).abs() / mtta < 1e-6, "{sum} vs {mtta}");
+        assert!((sum - mtta).abs() / mtta < 1e-6, "{sum} vs {mtta}");
     }
+}
 
-    #[test]
-    fn rate_scaling_scales_time((ctmc, root) in random_absorbing_chain(4), scale in 0.1f64..10.0) {
-        // Scaling every rate by c divides every expected time by c.
+#[test]
+fn rate_scaling_scales_time() {
+    // Scaling every rate by c divides every expected time by c.
+    let mut rng = StdRng::seed_from_u64(0xabc_0005);
+    for _ in 0..48 {
+        let (ctmc, root) = random_absorbing_chain(&mut rng, 4);
+        let scale = rng.random_range_f64(0.1, 10.0);
         let an = AbsorbingAnalysis::new(&ctmc).unwrap();
         let base = an.mean_time_to_absorption(root).unwrap();
 
         let mut b = CtmcBuilder::new();
-        let states: Vec<StateId> =
-            ctmc.states().map(|s| b.add_state(ctmc.label(s))).collect();
+        let states: Vec<StateId> = ctmc.states().map(|s| b.add_state(ctmc.label(s))).collect();
         for t in ctmc.transitions() {
             b.add_transition(states[t.from.index()], states[t.to.index()], t.rate * scale)
                 .unwrap();
@@ -96,22 +106,24 @@ proptest! {
         let scaled = b.build().unwrap();
         let an2 = AbsorbingAnalysis::new(&scaled).unwrap();
         let fast = an2.mean_time_to_absorption(states[root.index()]).unwrap();
-        prop_assert!((fast * scale - base).abs() / base < 1e-9);
+        assert!((fast * scale - base).abs() / base < 1e-9);
     }
+}
 
-    #[test]
-    fn birth_death_oracle_agrees_with_gth(
-        depth in 1usize..6,
-        lam in 1e-6f64..1e-2,
-        mu in 0.01f64..10.0,
-    ) {
+#[test]
+fn birth_death_oracle_agrees_with_gth() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0006);
+    for _ in 0..48 {
+        let depth = rng.random_range_usize(1, 6);
+        // Log-uniform λ over [1e-6, 1e-2); uniform μ over [0.01, 10).
+        let lam = 10f64.powf(rng.random_range_f64(-6.0, -2.0));
+        let mu = rng.random_range_f64(0.01, 10.0);
         let forward: Vec<f64> = (0..=depth).map(|i| lam * (depth + 1 - i) as f64).collect();
         let backward = vec![mu; depth];
         let oracle = birth_death_mtta(&forward, &backward).unwrap();
 
         let mut b = CtmcBuilder::new();
-        let states: Vec<StateId> =
-            (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
+        let states: Vec<StateId> = (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
         let dead = b.add_state("dead");
         for i in 0..=depth {
             let to = if i < depth { states[i + 1] } else { dead };
@@ -125,7 +137,10 @@ proptest! {
             .unwrap()
             .mean_time_to_absorption(states[0])
             .unwrap();
-        prop_assert!((oracle - gth).abs() / gth < 1e-9, "{oracle:.6e} vs {gth:.6e}");
+        assert!(
+            (oracle - gth).abs() / gth < 1e-9,
+            "{oracle:.6e} vs {gth:.6e}"
+        );
     }
 }
 

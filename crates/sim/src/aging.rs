@@ -20,9 +20,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
 
 use nsr_core::config::Configuration;
 use nsr_core::params::Params;
@@ -34,7 +33,7 @@ use nsr_markov::simulate::Estimate;
 use crate::{Error, Result};
 
 /// Component-lifetime distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Lifetime {
     /// Exponential with the given MTTF — the paper's assumption.
     Exponential {
@@ -63,7 +62,9 @@ impl Lifetime {
         if ok {
             Ok(())
         } else {
-            Err(Error::InvalidArgument { what: "lifetime parameters must be positive" })
+            Err(Error::InvalidArgument {
+                what: "lifetime parameters must be positive",
+            })
         }
     }
 
@@ -268,7 +269,9 @@ impl AgingSim {
 
         for _ in 0..self.max_events {
             let Some(Reverse(ev)) = queue.pop() else {
-                return Err(Error::InvalidArgument { what: "event queue drained" });
+                return Err(Error::InvalidArgument {
+                    what: "event queue drained",
+                });
             };
             match ev.kind {
                 EventKind::NodeFail(v) => {
@@ -375,7 +378,9 @@ impl AgingSim {
                 }
             }
         }
-        Err(Error::EventBudgetExhausted { events: self.max_events })
+        Err(Error::EventBudgetExhausted {
+            events: self.max_events,
+        })
     }
 
     /// Estimates the MTTDL over `samples` seeded trajectories.
@@ -386,7 +391,9 @@ impl AgingSim {
     /// * Propagates per-trajectory failures.
     pub fn estimate_mttdl(&self, samples: u64, seed: u64) -> Result<Estimate> {
         if samples == 0 {
-            return Err(Error::InvalidArgument { what: "samples must be positive" });
+            return Err(Error::InvalidArgument {
+                what: "samples must be positive",
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut times = Vec::with_capacity(samples as usize);
@@ -420,13 +427,13 @@ mod tests {
     fn weibull_sampling_mean_matches_mttf() {
         let mut rng = StdRng::seed_from_u64(9);
         for shape in [0.7, 1.0, 1.5, 3.0] {
-            let lt = Lifetime::Weibull { mttf: 1000.0, shape };
+            let lt = Lifetime::Weibull {
+                mttf: 1000.0,
+                shape,
+            };
             let n = 40_000;
             let mean: f64 = (0..n).map(|_| lt.sample(&mut rng)).sum::<f64>() / n as f64;
-            assert!(
-                (mean - 1000.0).abs() < 25.0,
-                "shape {shape}: mean {mean}"
-            );
+            assert!((mean - 1000.0).abs() < 25.0, "shape {shape}: mean {mean}");
         }
     }
 
@@ -457,8 +464,14 @@ mod tests {
         .estimate_mttdl(800, 3)
         .unwrap();
         let weib = baseline_sim(
-            Lifetime::Weibull { mttf: 300_000.0, shape: 1.0 },
-            Lifetime::Weibull { mttf: 400_000.0, shape: 1.0 },
+            Lifetime::Weibull {
+                mttf: 300_000.0,
+                shape: 1.0,
+            },
+            Lifetime::Weibull {
+                mttf: 400_000.0,
+                shape: 1.0,
+            },
         )
         .estimate_mttdl(800, 4)
         .unwrap();
@@ -481,7 +494,10 @@ mod tests {
         .estimate_mttdl(800, 11)
         .unwrap();
         let infant = baseline_sim(
-            Lifetime::Weibull { mttf: 300_000.0, shape: 0.7 },
+            Lifetime::Weibull {
+                mttf: 300_000.0,
+                shape: 0.7,
+            },
             Lifetime::Exponential { mttf: 400_000.0 },
         )
         .estimate_mttdl(800, 12)
@@ -516,7 +532,10 @@ mod tests {
         assert!(AgingSim::new(
             params,
             nir,
-            Lifetime::Weibull { mttf: 1.0, shape: 0.0 },
+            Lifetime::Weibull {
+                mttf: 1.0,
+                shape: 0.0
+            },
             Lifetime::Exponential { mttf: 1.0 }
         )
         .is_err());
@@ -530,7 +549,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let sim = baseline_sim(
-            Lifetime::Weibull { mttf: 300_000.0, shape: 2.0 },
+            Lifetime::Weibull {
+                mttf: 300_000.0,
+                shape: 2.0,
+            },
             Lifetime::Exponential { mttf: 400_000.0 },
         );
         let a = sim.estimate_mttdl(50, 77).unwrap();

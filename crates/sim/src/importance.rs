@@ -24,8 +24,7 @@
 //! `E[time to absorb] = E[cycles]·E[τ|return]·(1−γ)/γ·γ/… `, which
 //! collapses to `E[τ]/γ`.
 
-use rand::{Rng, RngExt};
-use serde::{Deserialize, Serialize};
+use nsr_rng::Rng;
 
 use nsr_markov::simulate::{sample_exponential, Estimate};
 use nsr_markov::{Ctmc, StateId};
@@ -33,7 +32,7 @@ use nsr_markov::{Ctmc, StateId};
 use crate::{Error, Result};
 
 /// Result of a rare-event MTTA estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RareEventEstimate {
     /// The MTTA point estimate `E[τ]/γ`, in the chain's time unit.
     pub mtta: f64,
@@ -59,7 +58,7 @@ impl RareEventEstimate {
 }
 
 /// Configuration for the estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Options {
     /// Probability mass given to the failure transitions under the biased
     /// measure (`0 < bias < 1`). 0.5–0.8 is the classical sweet spot.
@@ -74,7 +73,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { bias: 0.7, gamma_cycles: 20_000, time_cycles: 20_000, max_jumps_per_cycle: 100_000 }
+        Options {
+            bias: 0.7,
+            gamma_cycles: 20_000,
+            time_cycles: 20_000,
+            max_jumps_per_cycle: 100_000,
+        }
     }
 }
 
@@ -86,8 +90,8 @@ impl Default for Options {
 /// ```
 /// use nsr_markov::CtmcBuilder;
 /// use nsr_sim::importance::{RareEvent, Options};
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use nsr_rng::rngs::StdRng;
+/// use nsr_rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), nsr_sim::Error> {
 /// // Stiff repairable chain: direct simulation would need ~10⁶ failure
@@ -135,7 +139,9 @@ impl<'a> RareEvent<'a> {
     /// * [`Error::InvalidArgument`] if `root` is absorbing or out of range.
     pub fn new(ctmc: &'a Ctmc, root: StateId) -> Result<RareEvent<'a>> {
         if root.index() >= ctmc.len() || ctmc.is_absorbing(root) {
-            return Err(Error::InvalidArgument { what: "root must be a transient state" });
+            return Err(Error::InvalidArgument {
+                what: "root must be a transient state",
+            });
         }
         let mut min_rate = f64::INFINITY;
         let mut max_rate = 0.0f64;
@@ -155,7 +161,11 @@ impl<'a> RareEvent<'a> {
                     .collect()
             })
             .collect();
-        Ok(RareEvent { ctmc, root, failure_flags })
+        Ok(RareEvent {
+            ctmc,
+            root,
+            failure_flags,
+        })
     }
 
     /// Runs the estimator.
@@ -170,10 +180,14 @@ impl<'a> RareEvent<'a> {
         rng: &mut R,
     ) -> Result<RareEventEstimate> {
         if !(options.bias > 0.0 && options.bias < 1.0) {
-            return Err(Error::InvalidArgument { what: "bias must be in (0, 1)" });
+            return Err(Error::InvalidArgument {
+                what: "bias must be in (0, 1)",
+            });
         }
         if options.gamma_cycles == 0 || options.time_cycles == 0 {
-            return Err(Error::InvalidArgument { what: "cycle counts must be positive" });
+            return Err(Error::InvalidArgument {
+                what: "cycle counts must be positive",
+            });
         }
 
         // --- E[τ]: plain regenerative cycles under the original measure.
@@ -197,7 +211,12 @@ impl<'a> RareEvent<'a> {
 
         let mtta = cycle_time.mean / gamma.mean;
         let rel_err = (cycle_time.rel_err().powi(2) + gamma.rel_err().powi(2)).sqrt();
-        Ok(RareEventEstimate { mtta, rel_err, gamma, cycle_time })
+        Ok(RareEventEstimate {
+            mtta,
+            rel_err,
+            gamma,
+            cycle_time,
+        })
     }
 
     /// One cycle under the original measure; returns its duration.
@@ -223,7 +242,9 @@ impl<'a> RareEvent<'a> {
             state = next;
             let _ = step;
         }
-        Err(Error::InvalidArgument { what: "cycle exceeded max_jumps_per_cycle" })
+        Err(Error::InvalidArgument {
+            what: "cycle exceeded max_jumps_per_cycle",
+        })
     }
 
     /// One cycle under the biased measure; returns the likelihood-ratio
@@ -291,8 +312,7 @@ impl<'a> RareEvent<'a> {
                     let (i, (_, rate)) = transitions
                         .iter()
                         .enumerate()
-                        .filter(|(i, _)| !flags[*i])
-                        .next_back()
+                        .rfind(|(i, _)| !flags[*i])
                         .expect("repair transition exists");
                     (i, repair_mass * rate / repair_total)
                 })
@@ -310,7 +330,9 @@ impl<'a> RareEvent<'a> {
             }
             state = to;
         }
-        Err(Error::InvalidArgument { what: "cycle exceeded max_jumps_per_cycle" })
+        Err(Error::InvalidArgument {
+            what: "cycle exceeded max_jumps_per_cycle",
+        })
     }
 }
 
@@ -318,8 +340,8 @@ impl<'a> RareEvent<'a> {
 mod tests {
     use super::*;
     use nsr_markov::{AbsorbingAnalysis, CtmcBuilder};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use nsr_rng::rngs::StdRng;
+    use nsr_rng::SeedableRng;
 
     /// A stiff 3-deep repairable chain.
     fn stiff_chain(lam: f64, mu: f64) -> (Ctmc, StateId) {
@@ -327,7 +349,8 @@ mod tests {
         let s: Vec<StateId> = (0..4).map(|i| b.add_state(format!("{i}"))).collect();
         let dead = b.add_state("dead");
         for i in 0..3usize {
-            b.add_transition(s[i], s[i + 1], (3 - i) as f64 * lam).unwrap();
+            b.add_transition(s[i], s[i + 1], (3 - i) as f64 * lam)
+                .unwrap();
             b.add_transition(s[i + 1], s[i], mu).unwrap();
         }
         b.add_transition(s[3], dead, lam).unwrap();
@@ -365,7 +388,11 @@ mod tests {
         let est = RareEvent::new(&ctmc, root).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let r = est.estimate(Options::default(), &mut rng).unwrap();
-        assert!(r.contains(exact, 5.0), "IS {:.4e} vs exact {exact:.4e}", r.mtta);
+        assert!(
+            r.contains(exact, 5.0),
+            "IS {:.4e} vs exact {exact:.4e}",
+            r.mtta
+        );
     }
 
     #[test]
@@ -376,7 +403,13 @@ mod tests {
         for (i, bias) in [0.5, 0.7, 0.9].iter().enumerate() {
             let mut rng = StdRng::seed_from_u64(100 + i as u64);
             let r = est
-                .estimate(Options { bias: *bias, ..Options::default() }, &mut rng)
+                .estimate(
+                    Options {
+                        bias: *bias,
+                        ..Options::default()
+                    },
+                    &mut rng,
+                )
                 .unwrap();
             results.push(r);
         }
@@ -412,13 +445,31 @@ mod tests {
         let est = RareEvent::new(&ctmc, root).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         assert!(est
-            .estimate(Options { bias: 0.0, ..Options::default() }, &mut rng)
+            .estimate(
+                Options {
+                    bias: 0.0,
+                    ..Options::default()
+                },
+                &mut rng
+            )
             .is_err());
         assert!(est
-            .estimate(Options { bias: 1.0, ..Options::default() }, &mut rng)
+            .estimate(
+                Options {
+                    bias: 1.0,
+                    ..Options::default()
+                },
+                &mut rng
+            )
             .is_err());
         assert!(est
-            .estimate(Options { gamma_cycles: 0, ..Options::default() }, &mut rng)
+            .estimate(
+                Options {
+                    gamma_cycles: 0,
+                    ..Options::default()
+                },
+                &mut rng
+            )
             .is_err());
     }
 
@@ -434,7 +485,10 @@ mod tests {
             8,
             2,
             PerHour(2.5e-6),
-            ArrayRates { lambda_array: PerHour(5e-8), lambda_sector: PerHour(1.06e-5) },
+            ArrayRates {
+                lambda_array: PerHour(5e-8),
+                lambda_sector: PerHour(1.06e-5),
+            },
             PerHour(0.28),
         )
         .unwrap();
@@ -444,7 +498,13 @@ mod tests {
         let est = RareEvent::new(&ctmc, root).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
         let r = est
-            .estimate(Options { gamma_cycles: 60_000, ..Options::default() }, &mut rng)
+            .estimate(
+                Options {
+                    gamma_cycles: 60_000,
+                    ..Options::default()
+                },
+                &mut rng,
+            )
             .unwrap();
         assert!(
             r.contains(exact, 5.0) && r.rel_err < 0.3,

@@ -19,6 +19,12 @@
 //! * [`aging`] — a **non-Markovian ablation**: per-entity ages with
 //!   Weibull lifetimes (infant mortality / wear-out), quantifying the
 //!   error of the paper's exponential assumption.
+//! * [`faultinject`] — **deterministic fault-injection campaigns**: a
+//!   declarative [`faultinject::FaultPlan`] of scheduled crashes,
+//!   stochastic latent-error streams, correlated bursts, and
+//!   bandwidth-degradation/partition windows, driven through the same
+//!   competing-hazards engine as [`system`] with an exact-replay
+//!   guarantee (same plan + seed ⇒ byte-identical event trace).
 //!
 //! # Example
 //!
@@ -43,6 +49,7 @@
 
 pub mod aging;
 mod error;
+pub mod faultinject;
 pub mod importance;
 pub mod system;
 

@@ -18,9 +18,8 @@
 //!   rates (`λ_D` array failures folded into the node failure rate, `λ_S`
 //!   striking while critical, scaled by the §5.2.1 fraction `k_t`).
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
 
 use nsr_core::config::Configuration;
 use nsr_core::params::Params;
@@ -37,7 +36,7 @@ pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
 
 /// How rebuild durations are drawn — an ablation of the Markov models'
 /// exponential-repair assumption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RepairDistribution {
     /// Deterministic durations from the §5.1 data-movement model (the
     /// physically faithful choice; default).
@@ -50,7 +49,7 @@ pub enum RepairDistribution {
 }
 
 /// What terminated a simulated run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LossCause {
     /// More concurrent failures than the erasure code tolerates.
     ExcessFailures,
@@ -68,7 +67,7 @@ impl std::fmt::Display for LossCause {
 }
 
 /// One simulated time-to-data-loss observation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataLossSample {
     /// Elapsed simulated time, in hours.
     pub time_hours: f64,
@@ -83,7 +82,7 @@ pub struct DataLossSample {
 }
 
 /// Aggregate of many runs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// MTTDL estimate (hours).
     pub mttdl: Estimate,
@@ -98,7 +97,7 @@ pub struct SimOutcome {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum EntityKind {
+pub(crate) enum EntityKind {
     Node,
     Drive,
 }
@@ -107,6 +106,24 @@ enum EntityKind {
 struct OutstandingFailure {
     kind: EntityKind,
     completes_at: f64,
+}
+
+/// Read-only view of the precomputed engine rates, handed to the
+/// fault-injection layer (`crate::faultinject`) so injection campaigns
+/// drive the *same* competing-hazards engine as [`SystemSim::simulate_one`]
+/// rather than a diverging reimplementation.
+pub(crate) struct EngineRates<'a> {
+    pub(crate) t: u32,
+    pub(crate) n: u32,
+    pub(crate) d: u32,
+    pub(crate) lambda_n: f64,
+    pub(crate) lambda_d: f64,
+    pub(crate) node_rebuild_hours: f64,
+    pub(crate) drive_rebuild_hours: f64,
+    pub(crate) h: Option<&'a HParams>,
+    pub(crate) ir_rates: Option<(f64, f64)>,
+    pub(crate) event_budget: u64,
+    pub(crate) repair: RepairDistribution,
 }
 
 /// The system simulator for one configuration at one parameter point.
@@ -160,9 +177,13 @@ impl SystemSim {
             }
             raid => {
                 let restripe = rebuild.restripe()?;
-                let array =
-                    ArrayModel::new(raid, d, params.drive.failure_rate(), restripe.rate,
-                        params.drive.c_her())?;
+                let array = ArrayModel::new(
+                    raid,
+                    d,
+                    params.drive.failure_rate(),
+                    restripe.rate,
+                    params.drive.c_her(),
+                )?;
                 let rates = array.rates_paper();
                 let k_t = critical_fraction(n, r, t)?;
                 (
@@ -209,6 +230,22 @@ impl SystemSim {
         self.config
     }
 
+    pub(crate) fn engine_rates(&self) -> EngineRates<'_> {
+        EngineRates {
+            t: self.t,
+            n: self.n,
+            d: self.d,
+            lambda_n: self.lambda_n,
+            lambda_d: self.lambda_d,
+            node_rebuild_hours: self.node_rebuild_hours,
+            drive_rebuild_hours: self.drive_rebuild_hours,
+            h: self.h.as_ref(),
+            ir_rates: self.ir_rates,
+            event_budget: self.event_budget,
+            repair: self.repair,
+        }
+    }
+
     /// Simulates a single trajectory until data loss.
     ///
     /// # Errors
@@ -221,18 +258,22 @@ impl SystemSim {
         let mut outstanding: Vec<OutstandingFailure> = Vec::new();
         let mut failure_events = 0u64;
         let mut spare_lost_bytes = 0.0f64;
-        let spare_total = self.params.raw_capacity().0
-            * (1.0 - self.params.system.capacity_utilization);
+        let spare_total =
+            self.params.raw_capacity().0 * (1.0 - self.params.system.capacity_utilization);
         let drive_bytes = self.params.drive.capacity.0;
 
         let is_ir = self.ir_rates.is_some();
         let (lambda_array, critical_sector_rate) = self.ir_rates.unwrap_or((0.0, 0.0));
 
         for _ in 0..self.event_budget {
-            let nodes_down =
-                outstanding.iter().filter(|o| o.kind == EntityKind::Node).count() as f64;
-            let drives_down =
-                outstanding.iter().filter(|o| o.kind == EntityKind::Drive).count() as f64;
+            let nodes_down = outstanding
+                .iter()
+                .filter(|o| o.kind == EntityKind::Node)
+                .count() as f64;
+            let drives_down = outstanding
+                .iter()
+                .filter(|o| o.kind == EntityKind::Drive)
+                .count() as f64;
             let alive_nodes = self.n as f64 - nodes_down;
             let critical = outstanding.len() as u32 == self.t;
 
@@ -271,8 +312,12 @@ impl SystemSim {
             // Which hazard fired?
             let pick: f64 = rng.random::<f64>() * total_rate;
             if pick < sector_rate {
-                return Ok(self.sample(now, LossCause::SectorError, failure_events,
-                    spare_lost_bytes / spare_total));
+                return Ok(self.sample(
+                    now,
+                    LossCause::SectorError,
+                    failure_events,
+                    spare_lost_bytes / spare_total,
+                ));
             }
             let kind = if pick < sector_rate + node_rate {
                 EntityKind::Node
@@ -287,8 +332,12 @@ impl SystemSim {
 
             if outstanding.len() as u32 == self.t {
                 // Already critical: one more failure is a loss.
-                return Ok(self.sample(now, LossCause::ExcessFailures, failure_events,
-                    spare_lost_bytes / spare_total));
+                return Ok(self.sample(
+                    now,
+                    LossCause::ExcessFailures,
+                    failure_events,
+                    spare_lost_bytes / spare_total,
+                ));
             }
             let mean_duration = match kind {
                 EntityKind::Node => self.node_rebuild_hours,
@@ -296,11 +345,12 @@ impl SystemSim {
             };
             let duration = match self.repair {
                 RepairDistribution::Deterministic => mean_duration,
-                RepairDistribution::Exponential => {
-                    sample_exponential(rng, 1.0 / mean_duration)
-                }
+                RepairDistribution::Exponential => sample_exponential(rng, 1.0 / mean_duration),
             };
-            outstanding.push(OutstandingFailure { kind, completes_at: now + duration });
+            outstanding.push(OutstandingFailure {
+                kind,
+                completes_at: now + duration,
+            });
 
             // Did this failure make the system critical? If so, for no-IR
             // the triggering rebuild reads critical data and may hit an
@@ -313,13 +363,19 @@ impl SystemSim {
                         .count() as u32;
                     let p = h.by_drive_count(drives).min(1.0);
                     if rng.random::<f64>() < p {
-                        return Ok(self.sample(now, LossCause::SectorError, failure_events,
-                            spare_lost_bytes / spare_total));
+                        return Ok(self.sample(
+                            now,
+                            LossCause::SectorError,
+                            failure_events,
+                            spare_lost_bytes / spare_total,
+                        ));
                     }
                 }
             }
         }
-        Err(Error::EventBudgetExhausted { events: self.event_budget })
+        Err(Error::EventBudgetExhausted {
+            events: self.event_budget,
+        })
     }
 
     fn sample(
@@ -329,7 +385,12 @@ impl SystemSim {
         failure_events: u64,
         spare_consumed: f64,
     ) -> DataLossSample {
-        DataLossSample { time_hours, cause, failure_events, spare_consumed }
+        DataLossSample {
+            time_hours,
+            cause,
+            failure_events,
+            spare_consumed,
+        }
     }
 
     /// Runs `samples` independent trajectories (seeded deterministically)
@@ -341,7 +402,9 @@ impl SystemSim {
     /// * Propagates per-trajectory failures.
     pub fn run(&self, samples: u64, seed: u64) -> Result<SimOutcome> {
         if samples == 0 {
-            return Err(Error::InvalidArgument { what: "samples must be positive" });
+            return Err(Error::InvalidArgument {
+                what: "samples must be positive",
+            });
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut times = Vec::with_capacity(samples as usize);
@@ -377,7 +440,9 @@ impl SystemSim {
     /// * Propagates per-trajectory failures.
     pub fn run_parallel(&self, samples: u64, seed: u64, threads: u32) -> Result<SimOutcome> {
         if samples == 0 || threads == 0 {
-            return Err(Error::InvalidArgument { what: "samples and threads must be positive" });
+            return Err(Error::InvalidArgument {
+                what: "samples and threads must be positive",
+            });
         }
         let threads = threads.min(samples as u32);
         let per = samples / threads as u64;
@@ -390,7 +455,10 @@ impl SystemSim {
                     scope.spawn(move || sim.run(chunk.max(1), seed ^ (0x9e3779b9 * (i as u64 + 1))))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sim thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sim thread panicked"))
+                .collect()
         });
         // Merge: reconstruct a pooled estimate from per-thread summaries.
         let mut all_means: Vec<(f64, f64, u64)> = Vec::new(); // (mean, stderr, n)
@@ -407,15 +475,18 @@ impl SystemSim {
             spare += o.mean_spare_consumed * n as f64;
             total_n += n;
         }
-        let mean =
-            all_means.iter().map(|(m, _, n)| m * *n as f64).sum::<f64>() / total_n as f64;
+        let mean = all_means.iter().map(|(m, _, n)| m * *n as f64).sum::<f64>() / total_n as f64;
         // Pooled variance of the mean from per-chunk standard errors
         // (conservative: ignores between-chunk mean spread).
         let var_sum: f64 = all_means
             .iter()
             .map(|(_, se, n)| (se * se) * (*n as f64 / total_n as f64).powi(2) * 1.0)
             .sum();
-        let mttdl = Estimate { mean, std_err: var_sum.sqrt(), n: total_n };
+        let mttdl = Estimate {
+            mean,
+            std_err: var_sum.sqrt(),
+            n: total_n,
+        };
         let capacity_pb = self.params.logical_capacity(self.t).to_pb();
         Ok(SimOutcome {
             events_per_pb_year: HOURS_PER_YEAR / (mttdl.mean * capacity_pb),
@@ -519,7 +590,12 @@ mod tests {
         // Different RNG streams, so only statistical agreement.
         let diff = (serial.mttdl.mean - parallel.mttdl.mean).abs();
         let sigma = (serial.mttdl.std_err.powi(2) + parallel.mttdl.std_err.powi(2)).sqrt();
-        assert!(diff < 5.0 * sigma, "serial {} vs parallel {}", serial.mttdl, parallel.mttdl);
+        assert!(
+            diff < 5.0 * sigma,
+            "serial {} vs parallel {}",
+            serial.mttdl,
+            parallel.mttdl
+        );
     }
 
     #[test]
@@ -552,7 +628,11 @@ mod tests {
         let params = Params::baseline();
         let c = config(InternalRaid::None, 1);
         let analytic = c.evaluate(&params).unwrap().exact.mttdl_hours;
-        let det = SystemSim::new(params, c).unwrap().run(2500, 5).unwrap().mttdl;
+        let det = SystemSim::new(params, c)
+            .unwrap()
+            .run(2500, 5)
+            .unwrap()
+            .mttdl;
         let exp = SystemSim::new(params, c)
             .unwrap()
             .with_repair_distribution(RepairDistribution::Exponential)

@@ -22,8 +22,8 @@ use nsr_core::internal_raid::InternalRaidSystem;
 use nsr_core::params::Params;
 use nsr_core::raid::{ArrayModel, InternalRaid};
 use nsr_core::rebuild::RebuildModel;
-use nsr_core::units::HOURS_PER_YEAR;
 use nsr_core::units::Hours;
+use nsr_core::units::HOURS_PER_YEAR;
 use nsr_markov::{transient_distribution, AbsorbingAnalysis};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,11 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pi0[root.index()] = 1.0;
     for years in [1.0, 5.0, 20.0] {
         let pi = transient_distribution(&ctmc, &pi0, years * HOURS_PER_YEAR, 1e-12)?;
-        let lost: f64 = ctmc
-            .absorbing_states()
-            .iter()
-            .map(|s| pi[s.index()])
-            .sum();
+        let lost: f64 = ctmc.absorbing_states().iter().map(|s| pi[s.index()]).sum();
         println!("  P(data loss within {years:>4} y) = {:.3e}", lost);
     }
 

@@ -47,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for ft in 1..=3 {
             for internal in InternalRaid::all() {
                 let config = Configuration::new(internal, ft)?;
-                let Ok(eval) = config.evaluate(&base) else { continue };
+                let Ok(eval) = config.evaluate(&base) else {
+                    continue;
+                };
                 let eff = efficiency(&base, config);
                 let events = eval.closed_form.events_per_pb_year;
                 let verdict = events < TARGET_EVENTS_PER_PB_YEAR;
@@ -72,8 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some((config, rset, eff, events)) = feasible.first() {
         let raw_bytes = PETABYTE / eff;
         base.system.redundancy_set_size = *rset;
-        let node_bytes =
-            base.node.drives_per_node as f64 * base.drive.capacity.0;
+        let node_bytes = base.node.drives_per_node as f64 * base.drive.capacity.0;
         let nodes_needed = (raw_bytes / node_bytes).ceil();
         println!("\ncheapest feasible plan: [{config}] with R = {rset}");
         println!("  storage efficiency {:.1}%", 100.0 * eff);

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut stored: Vec<Vec<Vec<u8>>> = Vec::new(); // [set][position] -> bytes
     for (i, _) in placement.sets().iter().enumerate() {
         let data: Vec<Vec<u8>> = (0..(r - t) as usize)
-            .map(|j| (0..element).map(|b| ((i * 31 + j * 7 + b) % 251) as u8).collect())
+            .map(|j| {
+                (0..element)
+                    .map(|b| ((i * 31 + j * 7 + b) % 251) as u8)
+                    .collect()
+            })
             .collect();
         stored.push(code.encode(&data)?);
     }
@@ -39,8 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut lost_elements = 0usize;
     let mut critical_sets = 0usize;
     for (set_idx, set) in placement.sets().iter().enumerate() {
-        let mut shards: Vec<Option<Vec<u8>>> =
-            stored[set_idx].iter().cloned().map(Some).collect();
+        let mut shards: Vec<Option<Vec<u8>>> = stored[set_idx].iter().cloned().map(Some).collect();
         let mut erased = 0;
         for (pos, node) in set.iter().enumerate() {
             if failed.contains(node) {
@@ -102,6 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  received per survivor: measured {:.4} vs paper (R−t)/(N−1) = {:.4}",
         mean_received, amounts.received_per_node
     );
-    println!("  per-survivor imbalance: {:.1}%", 100.0 * flows.received_imbalance(failed[0], r, t));
+    println!(
+        "  per-survivor imbalance: {:.1}%",
+        100.0 * flows.received_imbalance(failed[0], r, t)
+    );
     Ok(())
 }

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let pick = Configuration::new(nsr_core::raid::InternalRaid::Raid5, 2)?;
     let block = min_rebuild_block_for_target(&params, pick, TARGET_EVENTS_PER_PB_YEAR)?;
-    println!("  [{pick}] needs rebuild blocks of at least {:.0} KiB", block.0 / 1024.0);
+    println!(
+        "  [{pick}] needs rebuild blocks of at least {:.0} KiB",
+        block.0 / 1024.0
+    );
 
     // --- 3. Mission risk over the 5-year horizon the target implies.
     println!("\nmission risk (5 years):");
@@ -81,12 +84,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nobject store drill (N=10, R=5, t=2):");
     let mut store = BrickStore::new(10, 5, 2)?;
     for i in 0..25u64 {
-        let payload: Vec<u8> = (0..200).map(|j| (i as u8).wrapping_mul(7).wrapping_add(j)).collect();
+        let payload: Vec<u8> = (0..200)
+            .map(|j| (i as u8).wrapping_mul(7).wrapping_add(j))
+            .collect();
         store.put(ObjectId(i), &payload)?;
     }
     store.fail_node(2)?;
     store.fail_node(6)?;
-    println!("  failed nodes {:?}; degraded reads still serve all objects", store.failed_nodes());
+    println!(
+        "  failed nodes {:?}; degraded reads still serve all objects",
+        store.failed_nodes()
+    );
     for i in 0..25u64 {
         store.get(ObjectId(i))?; // every object still readable
     }

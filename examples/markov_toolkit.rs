@@ -10,11 +10,10 @@
 
 use nsr_markov::{
     birth_death_gamma, birth_death_mtta, simulate, stationary_distribution, to_dot,
-    transient_distribution, validate_absorbing, AbsorbingAnalysis, CtmcBuilder,
-    DotOptions,
+    transient_distribution, validate_absorbing, AbsorbingAnalysis, CtmcBuilder, DotOptions,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 2-of-3 system: three units fail at λ, one repair crew at μ, losing
@@ -49,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Where does the lifetime go?
     for (state, fraction) in analysis.occupancy_distribution(s0)? {
-        println!("  spends {:.4e} of its life in '{}'", fraction, ctmc.label(state));
+        println!(
+            "  spends {:.4e} of its life in '{}'",
+            fraction,
+            ctmc.label(state)
+        );
     }
     println!(
         "  per-excursion absorption probability γ = {:.4e}",

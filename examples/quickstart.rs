@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  {config:<28} {:>12.3e} events/PB-year   {}",
             eval.closed_form.events_per_pb_year,
-            if eval.closed_form.meets_target() { "meets target" } else { "misses target" },
+            if eval.closed_form.meets_target() {
+                "meets target"
+            } else {
+                "misses target"
+            },
         );
     }
 

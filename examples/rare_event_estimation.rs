@@ -16,9 +16,9 @@ use nsr_core::internal_raid::InternalRaidSystem;
 use nsr_core::params::Params;
 use nsr_core::raid::{ArrayModel, InternalRaid};
 use nsr_core::rebuild::RebuildModel;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
 use nsr_sim::importance::{Options, RareEvent};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::baseline();
@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Assemble the hierarchical model by hand to expose every stage.
     let rebuild = RebuildModel::new(params)?;
     let restripe = rebuild.restripe()?;
-    println!("re-stripe after an internal drive failure: {:.1} h", restripe.duration.0);
+    println!(
+        "re-stripe after an internal drive failure: {:.1} h",
+        restripe.duration.0
+    );
 
     let array = ArrayModel::new(
         InternalRaid::Raid5,
@@ -64,7 +67,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2024);
     for cycles in [5_000u64, 20_000, 80_000] {
         let r = estimator.estimate(
-            Options { gamma_cycles: cycles, time_cycles: cycles, ..Options::default() },
+            Options {
+                gamma_cycles: cycles,
+                time_cycles: cycles,
+                ..Options::default()
+            },
             &mut rng,
         )?;
         println!(

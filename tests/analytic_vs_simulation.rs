@@ -6,10 +6,10 @@ use nsr_core::config::Configuration;
 use nsr_core::params::Params;
 use nsr_core::raid::InternalRaid;
 use nsr_core::units::Hours;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
 use nsr_sim::importance::{Options, RareEvent};
 use nsr_sim::system::{LossCause, SystemSim};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn system_sim_matches_analytic_ft1_baseline() {
@@ -132,7 +132,13 @@ fn importance_sampling_reaches_configurations_simulation_cannot() {
     let est = RareEvent::new(&ctmc, root).unwrap();
     let mut rng = StdRng::seed_from_u64(555);
     let r = est
-        .estimate(Options { gamma_cycles: 40_000, ..Options::default() }, &mut rng)
+        .estimate(
+            Options {
+                gamma_cycles: 40_000,
+                ..Options::default()
+            },
+            &mut rng,
+        )
         .unwrap();
     assert!(
         r.contains(exact, 5.0),
@@ -167,7 +173,13 @@ fn importance_sampling_on_recursive_chain() {
     let est = RareEvent::new(&ctmc, root).unwrap();
     let mut rng = StdRng::seed_from_u64(9001);
     let r = est
-        .estimate(Options { gamma_cycles: 60_000, ..Options::default() }, &mut rng)
+        .estimate(
+            Options {
+                gamma_cycles: 60_000,
+                ..Options::default()
+            },
+            &mut rng,
+        )
         .unwrap();
     assert!(
         r.contains(exact, 5.0) && r.rel_err < 0.35,
@@ -186,8 +198,11 @@ fn simulator_cause_types_cover_both_paths() {
     let sim = SystemSim::new(params, config).unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     let mut causes = std::collections::HashSet::new();
-    for _ in 0..300 {
+    for _ in 0..3000 {
         causes.insert(sim.simulate_one(&mut rng).unwrap().cause);
+        if causes.len() == 2 {
+            break;
+        }
     }
     assert!(causes.contains(&LossCause::SectorError));
     assert!(causes.contains(&LossCause::ExcessFailures));
@@ -203,9 +218,15 @@ fn faster_rebuild_block_improves_simulated_mttdl() {
     let config = Configuration::new(InternalRaid::None, 2).unwrap();
 
     params.system.rebuild_command = nsr_core::units::Bytes::from_kib(16.0);
-    let slow = SystemSim::new(params, config).unwrap().estimate_mttdl(300, 77).unwrap();
+    let slow = SystemSim::new(params, config)
+        .unwrap()
+        .estimate_mttdl(300, 77)
+        .unwrap();
     params.system.rebuild_command = nsr_core::units::Bytes::from_kib(256.0);
-    let fast = SystemSim::new(params, config).unwrap().estimate_mttdl(300, 77).unwrap();
+    let fast = SystemSim::new(params, config)
+        .unwrap()
+        .estimate_mttdl(300, 77)
+        .unwrap();
     assert!(
         fast.mean > slow.mean,
         "256 KiB {} should beat 16 KiB {}",

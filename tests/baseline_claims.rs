@@ -9,7 +9,10 @@ use nsr_core::raid::InternalRaid;
 
 fn events(config: Configuration) -> (f64, f64) {
     let eval = config.evaluate(&Params::baseline()).unwrap();
-    (eval.closed_form.events_per_pb_year, eval.exact.events_per_pb_year)
+    (
+        eval.closed_form.events_per_pb_year,
+        eval.exact.events_per_pb_year,
+    )
 }
 
 fn cfg(internal: InternalRaid, ft: u32) -> Configuration {
@@ -22,8 +25,14 @@ fn claim_1_fault_tolerance_one_misses_the_target() {
     // reliability target."
     for internal in InternalRaid::all() {
         let (closed, exact) = events(cfg(internal, 1));
-        assert!(closed > TARGET_EVENTS_PER_PB_YEAR, "{internal}: closed {closed:.3e}");
-        assert!(exact > TARGET_EVENTS_PER_PB_YEAR, "{internal}: exact {exact:.3e}");
+        assert!(
+            closed > TARGET_EVENTS_PER_PB_YEAR,
+            "{internal}: closed {closed:.3e}"
+        );
+        assert!(
+            exact > TARGET_EVENTS_PER_PB_YEAR,
+            "{internal}: exact {exact:.3e}"
+        );
     }
 }
 
@@ -71,7 +80,10 @@ fn surviving_configurations_meet_target() {
     // Marginal: within a factor of 5 of the target, on the wrong side at
     // baseline.
     assert!(nir2 > TARGET_EVENTS_PER_PB_YEAR);
-    assert!(nir2 < 5.0 * TARGET_EVENTS_PER_PB_YEAR, "not marginal: {nir2:.3e}");
+    assert!(
+        nir2 < 5.0 * TARGET_EVENTS_PER_PB_YEAR,
+        "not marginal: {nir2:.3e}"
+    );
 }
 
 #[test]
@@ -122,7 +134,9 @@ fn node_rebuild_is_disk_bound_at_baseline() {
 fn normalization_uses_logical_capacity() {
     // The baseline system holds ~0.13 PB logical at t = 2; events per
     // PB-year must exceed events per system-year accordingly.
-    let eval = cfg(InternalRaid::Raid5, 2).evaluate(&Params::baseline()).unwrap();
+    let eval = cfg(InternalRaid::Raid5, 2)
+        .evaluate(&Params::baseline())
+        .unwrap();
     let ratio = eval.closed_form.events_per_pb_year / eval.closed_form.events_per_year;
     assert!((ratio - 1.0 / 0.1296).abs() / ratio < 1e-9, "ratio {ratio}");
 }

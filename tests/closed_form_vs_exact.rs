@@ -42,7 +42,11 @@ fn all_nine_configurations_across_grid() {
             // FT 1 can sit far outside the h-linearization's validity
             // range (h_N ≈ 2 at baseline C·HER, saturated in the exact
             // chain), so the printed FT-1 forms can overshoot by ~50 %.
-            let tol = if config.node_fault_tolerance() == 1 { 0.60 } else { 0.15 };
+            let tol = if config.node_fault_tolerance() == 1 {
+                0.60
+            } else {
+                0.15
+            };
             assert!(
                 rel < tol,
                 "grid {i}, {config}: closed {:.4e} vs exact {:.4e} (rel {rel:.4})",
@@ -63,7 +67,11 @@ fn agreement_tightens_with_small_error_rate() {
             let eval = config.evaluate(&params).expect("feasible");
             let rel = (eval.closed_form.mttdl_hours - eval.exact.mttdl_hours).abs()
                 / eval.exact.mttdl_hours;
-            let tol = if config.node_fault_tolerance() == 1 { 0.05 } else { 0.02 };
+            let tol = if config.node_fault_tolerance() == 1 {
+                0.05
+            } else {
+                0.02
+            };
             assert!(rel < tol, "{config}: rel {rel:.5}");
         }
     }
@@ -147,5 +155,8 @@ fn exact_solution_handles_extreme_stiffness() {
     assert!(e3 > e2);
     // And agree with the closed forms to leading order even out here.
     let cf3 = c3.evaluate(&params).unwrap().closed_form.mttdl_hours;
-    assert!((cf3 - e3).abs() / e3 < 0.15, "closed {cf3:.3e} vs exact {e3:.3e}");
+    assert!(
+        (cf3 - e3).abs() / e3 < 0.15,
+        "closed {cf3:.3e} vs exact {e3:.3e}"
+    );
 }

@@ -13,14 +13,17 @@ fn encode_fail_rebuild_verify_every_geometry() {
     for (r, t) in [(8u32, 1u32), (8, 2), (8, 3), (6, 2), (12, 3)] {
         let code = ReedSolomon::new((r - t) as usize, t as usize).unwrap();
         let data: Vec<Vec<u8>> = (0..(r - t) as usize)
-            .map(|i| (0..256).map(|j| ((i * 53 + j * 11 + 7) % 251) as u8).collect())
+            .map(|i| {
+                (0..256)
+                    .map(|j| ((i * 53 + j * 11 + 7) % 251) as u8)
+                    .collect()
+            })
             .collect();
         let full = code.encode(&data).unwrap();
         // Erase the *last* t shards (worst case: all parity gone) and the
         // first t shards (all data) — both must reconstruct.
         for erase_head in [true, false] {
-            let mut shards: Vec<Option<Vec<u8>>> =
-                full.iter().cloned().map(Some).collect();
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
             for i in 0..t as usize {
                 let idx = if erase_head { i } else { full.len() - 1 - i };
                 shards[idx] = None;

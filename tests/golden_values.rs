@@ -10,7 +10,10 @@ use nsr_core::rebuild::RebuildModel;
 
 fn close(actual: f64, golden: f64, tag: &str) {
     let rel = (actual - golden).abs() / golden;
-    assert!(rel < 1e-3, "{tag}: got {actual:.6e}, golden {golden:.6e} (rel {rel:.2e})");
+    assert!(
+        rel < 1e-3,
+        "{tag}: got {actual:.6e}, golden {golden:.6e} (rel {rel:.2e})"
+    );
 }
 
 #[test]
@@ -30,7 +33,11 @@ fn figure13_closed_form_golden_values() {
     let params = Params::baseline();
     for (internal, ft, value) in golden {
         let config = Configuration::new(internal, ft).unwrap();
-        let got = config.evaluate(&params).unwrap().closed_form.events_per_pb_year;
+        let got = config
+            .evaluate(&params)
+            .unwrap()
+            .closed_form
+            .events_per_pb_year;
         close(got, value, &format!("{config}"));
     }
 }
@@ -55,9 +62,17 @@ fn figure13_exact_golden_values() {
 fn rebuild_rates_golden_values() {
     let model = RebuildModel::new(Params::baseline()).unwrap();
     // Node rebuild at t = 2: 3.53 h disk-bound.
-    close(model.node_rebuild(2).unwrap().duration.0, 3.532, "node rebuild t=2");
+    close(
+        model.node_rebuild(2).unwrap().duration.0,
+        3.532,
+        "node rebuild t=2",
+    );
     // Drive rebuild at t = 2: 1/12 of the node duration.
-    close(model.drive_rebuild(2).unwrap().duration.0, 0.2944, "drive rebuild t=2");
+    close(
+        model.drive_rebuild(2).unwrap().duration.0,
+        0.2944,
+        "drive rebuild t=2",
+    );
     // Re-stripe: ≈34.1 h.
     close(model.restripe().unwrap().duration.0, 34.09, "re-stripe");
     // Disk/network crossover ≈ 2.53 Gb/s.
@@ -69,10 +84,18 @@ fn derived_parameter_golden_values() {
     let params = Params::baseline();
     close(params.drive.c_her(), 0.024, "C·HER");
     close(params.raw_capacity().0, 230.4e12, "raw capacity");
-    close(params.logical_capacity(2).0, 129.6e12, "logical capacity t=2");
+    close(
+        params.logical_capacity(2).0,
+        129.6e12,
+        "logical capacity t=2",
+    );
     // Spare-pool life ≈ 4.9 years.
     let spares = nsr_core::spares::SpareModel::new(params).unwrap();
-    close(spares.expected_lifetime().unwrap().to_years(), 4.8924, "spare life");
+    close(
+        spares.expected_lifetime().unwrap().to_years(),
+        4.8924,
+        "spare life",
+    );
 }
 
 #[test]

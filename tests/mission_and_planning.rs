@@ -10,9 +10,9 @@ use nsr_core::planner::{feasible_plans, storage_efficiency};
 use nsr_core::raid::InternalRaid;
 use nsr_core::spares::SpareModel;
 use nsr_core::sweep::fig13_baseline;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
 use nsr_sim::system::SystemSim;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 #[test]
 fn mission_curve_matches_simulated_loss_times() {
@@ -31,8 +31,7 @@ fn mission_curve_matches_simulated_loss_times() {
 
     for years in [0.05, 0.15, 0.3] {
         let horizon = years * nsr_core::units::HOURS_PER_YEAR;
-        let empirical =
-            times.iter().filter(|&&t| t <= horizon).count() as f64 / n as f64;
+        let empirical = times.iter().filter(|&&t| t <= horizon).count() as f64 / n as f64;
         let analytic = loss_probability(config, &params, years).unwrap();
         // Binomial noise at n=2000 plus ~10 % structural tolerance.
         let noise = 4.0 * (analytic * (1.0 - analytic) / n as f64).sqrt();
@@ -47,8 +46,7 @@ fn mission_curve_matches_simulated_loss_times() {
 fn mission_curve_is_monotone_and_saturates() {
     let params = Params::baseline();
     let config = Configuration::new(InternalRaid::None, 1).unwrap();
-    let curve =
-        loss_curve(config, &params, &[0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0]).unwrap();
+    let curve = loss_curve(config, &params, &[0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0]).unwrap();
     for w in curve.windows(2) {
         assert!(w[1].loss_probability >= w[0].loss_probability);
     }
@@ -98,7 +96,11 @@ fn spare_provisioning_covers_the_targets_mission() {
     // Tightening utilization extends life.
     let mut p = Params::baseline();
     p.system.capacity_utilization = 0.5;
-    let longer = SpareModel::new(p).unwrap().expected_lifetime().unwrap().to_years();
+    let longer = SpareModel::new(p)
+        .unwrap()
+        .expected_lifetime()
+        .unwrap()
+        .to_years();
     assert!(longer > 1.9 * life);
 }
 

@@ -60,7 +60,10 @@ fn theorem_matches_exact_chain_for_k_up_to_six() {
         let exact = m.mttdl_exact().unwrap().0;
         let theorem = m.mttdl_theorem().0;
         let rel = (exact - theorem).abs() / exact;
-        assert!(rel < 0.05, "k={k}: exact {exact:.4e} vs theorem {theorem:.4e} ({rel:.4})");
+        assert!(
+            rel < 0.05,
+            "k={k}: exact {exact:.4e} vs theorem {theorem:.4e} ({rel:.4})"
+        );
     }
 }
 
@@ -112,8 +115,12 @@ fn theorem_scaling_in_failure_rates() {
 
 #[test]
 fn sector_path_share_grows_with_error_rate() {
-    let low = model(2, 64, 8, 12, 0.28, 3.24, 1e-4).sector_loss_share().unwrap();
-    let high = model(2, 64, 8, 12, 0.28, 3.24, 2e-2).sector_loss_share().unwrap();
+    let low = model(2, 64, 8, 12, 0.28, 3.24, 1e-4)
+        .sector_loss_share()
+        .unwrap();
+    let high = model(2, 64, 8, 12, 0.28, 3.24, 2e-2)
+        .sector_loss_share()
+        .unwrap();
     assert!(high > low, "{high} vs {low}");
 }
 
@@ -146,10 +153,13 @@ fn state_labels_cover_all_failure_words() {
     let m = model(3, 64, 8, 12, 0.28, 3.24, 0.024);
     let ctmc = m.ctmc().unwrap();
     for label in [
-        "000", "N00", "d00", "NN0", "Nd0", "dN0", "dd0", "NNN", "NNd", "NdN", "Ndd",
-        "dNN", "dNd", "ddN", "ddd",
+        "000", "N00", "d00", "NN0", "Nd0", "dN0", "dd0", "NNN", "NNd", "NdN", "Ndd", "dNN", "dNd",
+        "ddN", "ddd",
     ] {
-        assert!(ctmc.state_by_label(label).is_some(), "missing state {label}");
+        assert!(
+            ctmc.state_by_label(label).is_some(),
+            "missing state {label}"
+        );
     }
     assert_eq!(ctmc.transient_states().len(), 15);
 }
@@ -163,8 +173,10 @@ fn theorem_reduces_to_failure_only_when_her_zero() {
     let (lam_n, lam_d) = (1.0 / 400_000.0, 1.0 / 300_000.0);
     let l = 3.24 * lam_n + 0.28 * 12.0 * lam_d;
     let falling = 64.0 * 63.0;
-    let expected = (0.28f64 * 3.24).powi(2)
-        / (falling * 62.0 * (lam_n + 12.0 * lam_d) * l * l);
+    let expected = (0.28f64 * 3.24).powi(2) / (falling * 62.0 * (lam_n + 12.0 * lam_d) * l * l);
     let got = m.mttdl_theorem().0;
-    assert!((got - expected).abs() / expected < 1e-12, "{got} vs {expected}");
+    assert!(
+        (got - expected).abs() / expected < 1e-12,
+        "{got} vs {expected}"
+    );
 }

@@ -7,8 +7,8 @@ use nsr_core::params::Params;
 use nsr_core::raid::InternalRaid;
 use nsr_core::rebuild::RebuildModel;
 use nsr_core::sweep::{
-    fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block, fig17_link_speed,
-    fig18_node_count, fig19_redundancy_set, fig20_drives_per_node,
+    fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block, fig17_link_speed, fig18_node_count,
+    fig19_redundancy_set, fig20_drives_per_node,
 };
 use nsr_core::units::Hours;
 
@@ -66,8 +66,16 @@ fn fig14_ir5_insensitive_to_drive_mttf_at_low_node_mttf() {
     // …and is the least drive-sensitive of the three configurations
     // (no-IR is partially node-limited at 100k-h nodes too, so its spread
     // is modest here — the contrast is in the ordering).
-    assert!(ir5 < spread(ft2_nir()), "IR5 {ir5} vs no-IR {}", spread(ft2_nir()));
-    assert!(ir5 < spread(ft3_nir()), "IR5 {ir5} vs FT3 {}", spread(ft3_nir()));
+    assert!(
+        ir5 < spread(ft2_nir()),
+        "IR5 {ir5} vs no-IR {}",
+        spread(ft2_nir())
+    );
+    assert!(
+        ir5 < spread(ft3_nir()),
+        "IR5 {ir5} vs FT3 {}",
+        spread(ft3_nir())
+    );
 }
 
 #[test]
@@ -93,7 +101,10 @@ fn fig16_target_met_from_64kib_up() {
     for config in [ft2_ir5(), ft3_nir()] {
         for (kib, v) in sweep.series(config) {
             if kib >= 64.0 {
-                assert!(v < TARGET_EVENTS_PER_PB_YEAR, "{config} at {kib} KiB: {v:.3e}");
+                assert!(
+                    v < TARGET_EVENTS_PER_PB_YEAR,
+                    "{config} at {kib} KiB: {v:.3e}"
+                );
             }
         }
         // And at 4 KiB at least one of them fails (the knee is real).
@@ -104,7 +115,10 @@ fn fig16_target_met_from_64kib_up() {
         .find(|(x, _)| *x == 4.0)
         .unwrap()
         .1;
-    assert!(at4 > TARGET_EVENTS_PER_PB_YEAR, "FT3-nir at 4 KiB: {at4:.3e}");
+    assert!(
+        at4 > TARGET_EVENTS_PER_PB_YEAR,
+        "FT3-nir at 4 KiB: {at4:.3e}"
+    );
 }
 
 #[test]
@@ -123,8 +137,10 @@ fn fig16_rebuild_block_is_the_most_powerful_knob() {
     let nodes = spread_of(&fig18_node_count(&base).unwrap(), c);
     let rset = spread_of(&fig19_redundancy_set(&base).unwrap(), c);
     let drives = spread_of(&fig20_drives_per_node(&base).unwrap(), c);
-    assert!(block > nodes && block > rset && block > drives,
-        "block {block:.1} nodes {nodes:.1} rset {rset:.1} drives {drives:.1}");
+    assert!(
+        block > nodes && block > rset && block > drives,
+        "block {block:.1} nodes {nodes:.1} rset {rset:.1} drives {drives:.1}"
+    );
 }
 
 #[test]
@@ -174,7 +190,12 @@ fn fig19_about_an_order_of_magnitude_across_redundancy_sizes() {
         let s = sweep.series(config);
         // Monotone non-decreasing in R.
         for w in s.windows(2) {
-            assert!(w[1].1 >= w[0].1 * 0.999, "{config}: {:?} -> {:?}", w[0], w[1]);
+            assert!(
+                w[1].1 >= w[0].1 * 0.999,
+                "{config}: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
         }
         // "about an order of magnitude between the extremes" on the
         // paper's axis; our grid is a bit wider (R = 4..16), so allow one
@@ -210,7 +231,11 @@ fn raid6_advantage_is_governed_by_node_failure_dominance() {
         let mut p = Params::baseline();
         p.drive.mttf = Hours(drive);
         p.node.mttf = Hours(node);
-        let r5 = ft2_ir5().evaluate(&p).unwrap().closed_form.events_per_pb_year;
+        let r5 = ft2_ir5()
+            .evaluate(&p)
+            .unwrap()
+            .closed_form
+            .events_per_pb_year;
         let r6 = Configuration::new(InternalRaid::Raid6, 2)
             .unwrap()
             .evaluate(&p)
@@ -220,7 +245,12 @@ fn raid6_advantage_is_governed_by_node_failure_dominance() {
         r5 / r6
     };
     // Node-dominated corners (includes the baseline's neighbourhood).
-    for (drive, node) in [(300_000.0, 400_000.0), (100_000.0, 100_000.0), (750_000.0, 100_000.0), (750_000.0, 1_000_000.0)] {
+    for (drive, node) in [
+        (300_000.0, 400_000.0),
+        (100_000.0, 100_000.0),
+        (750_000.0, 100_000.0),
+        (750_000.0, 1_000_000.0),
+    ] {
         let ratio = ratio_at(drive, node);
         assert!(ratio < 3.0, "drive {drive}, node {node}: ratio {ratio:.2}");
     }
