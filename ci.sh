@@ -15,6 +15,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> smoke bench (tiny sizes, schema-validated JSON, offline)"
+# Runs every suite in --smoke mode into a scratch directory, then re-parses
+# the emitted BENCH_*.json through the harness's schema validator. Also
+# validates the full-mode reports checked into the repo root.
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/nsr bench --smoke --out-dir "$SMOKE_DIR"
+./target/release/nsr bench --check --out-dir "$SMOKE_DIR"
+./target/release/nsr bench --check --out-dir .
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -1,62 +1,13 @@
-//! Benches for the erasure-coding substrate: GF(2⁸) multiply-accumulate,
-//! Reed–Solomon encode/reconstruct throughput, and placement enumeration.
-//! Self-contained harness (`nsr_bench::timing`); run with
-//! `cargo bench -p nsr-bench --bench erasure`.
-
-use std::hint::black_box;
-
-use nsr_bench::timing::{bench, bench_throughput};
-use nsr_erasure::gf256::{mul_acc, Gf};
-use nsr_erasure::placement::{Placement, RebuildFlows};
-use nsr_erasure::rs::ReedSolomon;
-
-fn bench_gf() {
-    let src: Vec<u8> = (0..65536).map(|i| (i * 31 + 7) as u8).collect();
-    let mut dst = vec![0u8; 65536];
-    bench_throughput("gf256/mul_acc_64k", 65536, &mut || {
-        mul_acc(black_box(&mut dst), black_box(&src), Gf(0x57));
-    });
-}
-
-fn bench_rs() {
-    // The paper's baseline geometry: R = 8, t = 2.
-    let code = ReedSolomon::new(6, 2).expect("geometry");
-    let shard = 64 * 1024;
-    let data: Vec<Vec<u8>> = (0..6)
-        .map(|i| (0..shard).map(|j| ((i * 131 + j) % 251) as u8).collect())
-        .collect();
-    let full = code.encode(&data).expect("encode");
-
-    bench_throughput(
-        "reed_solomon_r8_t2/encode_6x64k",
-        (shard * 6) as u64,
-        &mut || code.encode(black_box(&data)).expect("encode"),
-    );
-    bench_throughput(
-        "reed_solomon_r8_t2/reconstruct_two_erasures",
-        (shard * 6) as u64,
-        &mut || {
-            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
-            shards[1] = None;
-            shards[6] = None;
-            code.reconstruct(&mut shards).expect("reconstruct");
-            shards
-        },
-    );
-}
-
-fn bench_placement() {
-    bench("placement/enumerate_c14_6", || {
-        Placement::enumerate_all(14, 6).expect("placement")
-    });
-    let p = Placement::enumerate_all(14, 6).expect("placement");
-    bench("placement/rebuild_flows_c14_6", || {
-        RebuildFlows::for_node_failure(&p, 3, 2).expect("flows")
-    });
-}
+//! Benches for the erasure-coding substrate: GF(2⁸) multiply-accumulate
+//! kernels (wide vs. the seed's scalar reference), Reed–Solomon
+//! encode/reconstruct throughput at the headline `k = 10, t = 2`
+//! geometry, and placement enumeration. Emits `BENCH_erasure.json`
+//! (override with `--out <path>`; `--smoke` shrinks budgets and sizes).
+//! Run with `cargo bench -p nsr-bench --bench erasure`.
 
 fn main() {
-    bench_gf();
-    bench_rs();
-    bench_placement();
+    if let Err(e) = nsr_bench::bench_suite_main("erasure") {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

@@ -1,74 +1,11 @@
-//! Benches for the simulators: system-level trajectories and
-//! importance-sampling cycles. Self-contained harness
-//! (`nsr_bench::timing`); run with `cargo bench -p nsr-bench --bench
-//! simulation`.
-
-use std::hint::black_box;
-
-use nsr_bench::timing::bench;
-use nsr_rng::rngs::StdRng;
-use nsr_rng::SeedableRng;
-
-use nsr_core::config::Configuration;
-use nsr_core::params::Params;
-use nsr_core::raid::InternalRaid;
-use nsr_sim::importance::{Options, RareEvent};
-use nsr_sim::system::SystemSim;
-
-fn bench_system_sim() {
-    let params = Params::baseline();
-    let config = Configuration::new(InternalRaid::None, 1).expect("cfg");
-    let sim = SystemSim::new(params, config).expect("sim");
-    let mut rng = StdRng::seed_from_u64(7);
-    bench("system_sim_ft1_trajectory", || {
-        sim.simulate_one(&mut rng).expect("loss")
-    });
-}
-
-fn bench_importance() {
-    // The FT2 internal-RAID chain at baseline.
-    use nsr_core::internal_raid::InternalRaidSystem;
-    use nsr_core::raid::ArrayModel;
-    use nsr_core::rebuild::RebuildModel;
-    let params = Params::baseline();
-    let rebuild = RebuildModel::new(params).expect("rebuild");
-    let array = ArrayModel::new(
-        InternalRaid::Raid5,
-        12,
-        params.drive.failure_rate(),
-        rebuild.restripe().expect("restripe").rate,
-        params.drive.c_her(),
-    )
-    .expect("array");
-    let sys = InternalRaidSystem::new(
-        64,
-        8,
-        2,
-        params.node.failure_rate(),
-        array.rates_paper(),
-        rebuild.node_rebuild(2).expect("mu_n").rate,
-    )
-    .expect("system");
-    let ctmc = sys.ctmc().expect("ctmc");
-    let root = ctmc.state_by_label("failed:0").expect("root");
-    let est = RareEvent::new(&ctmc, root).expect("estimator");
-    let mut rng = StdRng::seed_from_u64(11);
-    bench("importance_sampling_2k_cycles", || {
-        black_box(
-            est.estimate(
-                Options {
-                    gamma_cycles: 2000,
-                    time_cycles: 2000,
-                    ..Options::default()
-                },
-                &mut rng,
-            )
-            .expect("estimate"),
-        )
-    });
-}
+//! Benches for the simulators: system-level loss trajectories and
+//! importance-sampling cycles. Emits `BENCH_sim.json` (override with
+//! `--out <path>`; `--smoke` shrinks budgets and cycle counts). Run with
+//! `cargo bench -p nsr-bench --bench simulation`.
 
 fn main() {
-    bench_system_sim();
-    bench_importance();
+    if let Err(e) = nsr_bench::bench_suite_main("sim") {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

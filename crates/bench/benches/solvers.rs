@@ -1,80 +1,12 @@
 //! Benches for the analytic kernels: LU factorization, GTH absorbing
-//! analysis, recursive-chain construction and solve, and a full Figure-13
-//! evaluation. Self-contained harness (`nsr_bench::timing`); run with
+//! analysis, recursive-chain construction and solve, and a full
+//! Figure-13 evaluation. Emits `BENCH_solvers.json` (override with
+//! `--out <path>`; `--smoke` shrinks budgets and sizes). Run with
 //! `cargo bench -p nsr-bench --bench solvers`.
 
-use std::hint::black_box;
-
-use nsr_bench::timing::bench;
-use nsr_core::config::Configuration;
-use nsr_core::params::Params;
-use nsr_core::recursive::RecursiveModel;
-use nsr_core::sweep::fig13_baseline;
-use nsr_core::units::PerHour;
-use nsr_linalg::{Lu, Matrix};
-use nsr_markov::AbsorbingAnalysis;
-
-fn recursive_model(k: u32) -> RecursiveModel {
-    RecursiveModel::new(
-        k,
-        64,
-        8,
-        12,
-        PerHour(1.0 / 400_000.0),
-        PerHour(1.0 / 300_000.0),
-        PerHour(0.28),
-        PerHour(3.24),
-        0.024,
-    )
-    .expect("valid model")
-}
-
-fn bench_lu() {
-    for n in [15usize, 63, 127] {
-        let a = Matrix::from_fn(n, n, |r, cc| {
-            if r == cc {
-                (n + 1) as f64
-            } else {
-                1.0 / (1.0 + (r as f64 - cc as f64).abs())
-            }
-        });
-        let b = vec![1.0; n];
-        bench(&format!("lu_factor_solve/n={n}"), || {
-            let lu = Lu::factor(black_box(&a)).expect("nonsingular");
-            lu.solve(&b).expect("solve")
-        });
-    }
-}
-
-fn bench_recursive_chain() {
-    for k in [1u32, 2, 3, 5, 7] {
-        let model = recursive_model(k);
-        bench(&format!("recursive_chain/build_k{k}"), || {
-            model.ctmc().expect("ctmc")
-        });
-        let ctmc = model.ctmc().expect("ctmc");
-        bench(&format!("recursive_chain/gth_solve_k{k}"), || {
-            AbsorbingAnalysis::new(&ctmc).expect("analysis")
-        });
-        bench(&format!("recursive_chain/theorem_k{k}"), || {
-            model.mttdl_theorem()
-        });
-    }
-}
-
-fn bench_figure13() {
-    let params = Params::baseline();
-    bench("figure13_full_baseline", || {
-        fig13_baseline(black_box(&params)).expect("fig13")
-    });
-    let config = Configuration::new(nsr_core::raid::InternalRaid::Raid5, 2).expect("cfg");
-    bench("evaluate_ft2_ir5", || {
-        config.evaluate(black_box(&params)).expect("eval")
-    });
-}
-
 fn main() {
-    bench_lu();
-    bench_recursive_chain();
-    bench_figure13();
+    if let Err(e) = nsr_bench::bench_suite_main("solvers") {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
 }

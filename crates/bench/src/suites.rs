@@ -1,0 +1,599 @@
+//! Named benchmark suites with a machine-readable report format.
+//!
+//! Each suite runs a fixed set of [`Timing::measure`] cases and renders
+//! the results as a `BENCH_<suite>.json` document with the stable schema
+//!
+//! ```json
+//! {
+//!   "schema": "nsr-bench/v1",
+//!   "suite": "erasure",
+//!   "mode": "full",
+//!   "results": [
+//!     { "name": "...", "ns_per_iter": 123.4,
+//!       "bytes_per_iter": 65536, "mib_per_s": 3200.5 }
+//!   ]
+//! }
+//! ```
+//!
+//! `mib_per_s` is `null` for cases where throughput is meaningless
+//! (solvers, simulators). Two fidelities exist: [`Mode::Full`] for the
+//! recorded numbers checked into the repository, and [`Mode::Smoke`] for
+//! the offline CI gate — tiny time budgets and shrunken problem sizes
+//! that prove the harness runs end to end, not that the numbers are
+//! stable. [`validate_report`] checks a parsed document against the
+//! schema; the CI smoke step re-reads what the harness wrote and fails
+//! on any drift.
+//!
+//! The erasure suite deliberately includes `seed_baseline/*` cases that
+//! re-run the original scalar log/exp kernel and recover-everything
+//! decode path (via [`nsr_erasure::gf256::mul_acc_reference`] and the
+//! public [`GfMatrix`] API), so every report carries its own
+//! before/after comparison.
+
+use std::fmt;
+
+use crate::json::Json;
+use crate::timing::{Measurement, Timing};
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::raid::InternalRaid;
+use nsr_core::recursive::RecursiveModel;
+use nsr_core::sweep::fig13_baseline;
+use nsr_core::units::PerHour;
+use nsr_erasure::gf256::{mul_acc, mul_acc_portable, mul_acc_reference, xor_acc, Gf};
+use nsr_erasure::matrix::GfMatrix;
+use nsr_erasure::placement::Placement;
+use nsr_erasure::rs::ReedSolomon;
+use nsr_linalg::{Lu, Matrix};
+use nsr_markov::AbsorbingAnalysis;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::SeedableRng;
+use nsr_sim::importance::{Options, RareEvent};
+use nsr_sim::system::SystemSim;
+
+/// Schema identifier stamped into every report.
+pub const SCHEMA: &str = "nsr-bench/v1";
+
+/// The suite names, in the order `all` runs them.
+pub const SUITE_NAMES: [&str; 3] = ["erasure", "solvers", "sim"];
+
+/// Measurement fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Recorded numbers: 120 ms × 7 samples, full problem sizes.
+    Full,
+    /// CI gate: millisecond budgets and shrunken sizes.
+    Smoke,
+}
+
+impl Mode {
+    /// The timing configuration for this fidelity.
+    pub fn timing(self) -> Timing {
+        match self {
+            Mode::Full => Timing::full(),
+            Mode::Smoke => Timing::smoke(),
+        }
+    }
+
+    /// The string stored in the report's `mode` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::Full => "full",
+            Mode::Smoke => "smoke",
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One completed suite run.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Suite name (`erasure`, `solvers`, `sim`).
+    pub suite: &'static str,
+    /// Fidelity the run used.
+    pub mode: Mode,
+    /// The measurements, in execution order.
+    pub results: Vec<Measurement>,
+}
+
+impl Suite {
+    /// The canonical report file name, `BENCH_<suite>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.suite)
+    }
+
+    /// Renders the report document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("suite", Json::Str(self.suite.into())),
+            ("mode", Json::Str(self.mode.as_str().into())),
+            (
+                "results",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|m| {
+                            Json::obj([
+                                ("name", Json::Str(m.name.clone())),
+                                ("ns_per_iter", Json::Num(m.ns_per_iter)),
+                                ("bytes_per_iter", Json::Num(m.bytes_per_iter as f64)),
+                                ("mib_per_s", m.mib_per_s().map_or(Json::Null, Json::Num)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the human-readable table printed alongside the JSON.
+    pub fn render_human(&self) -> String {
+        let mut out = format!("suite {} (mode: {})\n", self.suite, self.mode);
+        for m in &self.results {
+            out.push_str(&m.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the suite with the given name.
+///
+/// # Errors
+///
+/// Unknown names, and internal model-construction failures (which would
+/// indicate a bug — the parameters are fixed known-good ones), are
+/// reported as strings suitable for CLI display.
+pub fn run_suite(name: &str, mode: Mode) -> Result<Suite, String> {
+    match name {
+        "erasure" => erasure_suite(mode),
+        "solvers" => solvers_suite(mode),
+        "sim" => sim_suite(mode),
+        other => Err(format!(
+            "unknown suite `{other}` (expected one of: {})",
+            SUITE_NAMES.join(", ")
+        )),
+    }
+}
+
+fn err<E: fmt::Display>(what: &str) -> impl Fn(E) -> String + '_ {
+    move |e| format!("{what}: {e}")
+}
+
+/// The erasure hot-path suite: GF(2⁸) kernels and Reed–Solomon
+/// encode/reconstruct at the headline geometry `k = 10, t = 2` with
+/// 64 KiB shards (4 KiB in smoke mode), plus the `seed_baseline/*`
+/// before-datapoints.
+pub fn erasure_suite(mode: Mode) -> Result<Suite, String> {
+    let t = mode.timing();
+    let (shard, label) = match mode {
+        Mode::Full => (64 * 1024usize, "64k"),
+        Mode::Smoke => (4 * 1024usize, "4k"),
+    };
+    let mut results = Vec::new();
+
+    // Raw kernels over one shard-sized slice.
+    let src: Vec<u8> = (0..shard).map(|i| (i * 31 + 7) as u8).collect();
+    let mut dst = vec![0u8; shard];
+    results.push(t.measure(
+        &format!("gf256/mul_acc_reference_{label}"),
+        shard as u64,
+        || mul_acc_reference(&mut dst, &src, Gf(0x57)),
+    ));
+    results.push(t.measure(
+        &format!("gf256/mul_acc_portable_{label}"),
+        shard as u64,
+        || mul_acc_portable(&mut dst, &src, Gf(0x57)),
+    ));
+    results.push(
+        t.measure(&format!("gf256/mul_acc_{label}"), shard as u64, || {
+            mul_acc(&mut dst, &src, Gf(0x57))
+        }),
+    );
+    results.push(
+        t.measure(&format!("gf256/xor_acc_{label}"), shard as u64, || {
+            xor_acc(&mut dst, &src)
+        }),
+    );
+
+    // Reed–Solomon at the headline geometry.
+    let (k, tpar) = (10usize, 2usize);
+    let code = ReedSolomon::new(k, tpar).map_err(err("rs geometry"))?;
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..shard).map(|j| ((i * 131 + j) % 251) as u8).collect())
+        .collect();
+    let full = code.encode(&data).map_err(err("encode"))?;
+    let stripe_bytes = (k * shard) as u64;
+
+    results.push(
+        t.measure(&format!("rs_k10_t2/encode_{label}"), stripe_bytes, || {
+            code.encode(&data).expect("encode")
+        }),
+    );
+    let mut parity_out = vec![vec![0u8; shard]; tpar];
+    results.push(t.measure(
+        &format!("rs_k10_t2/encode_parity_into_{label}"),
+        stripe_bytes,
+        || {
+            code.encode_parity_into(&data, &mut parity_out)
+                .expect("encode_parity_into")
+        },
+    ));
+
+    // Reconstruct one data and one parity erasure (shards 1 and k). The
+    // stripe is reused across iterations with only the erased entries
+    // reset, so the measurement is the decode itself, not a stripe copy.
+    let missing = [1usize, k];
+    let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+    results.push(t.measure(
+        &format!("rs_k10_t2/reconstruct_two_erasures_{label}"),
+        stripe_bytes,
+        || {
+            for &m in &missing {
+                shards[m] = None;
+            }
+            code.reconstruct(&mut shards).expect("reconstruct");
+        },
+    ));
+    let plan = code
+        .plan_reconstruction(&missing)
+        .map_err(err("plan_reconstruction"))?;
+    results.push(t.measure(
+        &format!("rs_k10_t2/reconstruct_with_cached_plan_{label}"),
+        stripe_bytes,
+        || {
+            for &m in &missing {
+                shards[m] = None;
+            }
+            code.reconstruct_with_plan(&plan, &mut shards)
+                .expect("reconstruct_with_plan");
+        },
+    ));
+
+    // Seed baseline: the pre-overhaul algorithms, reproduced through the
+    // public API. Encode drove `mul_acc_reference` coefficient by
+    // coefficient; reconstruct inverted the survivor matrix, recovered
+    // *all* k data shards, then re-encoded the missing parity.
+    let generator = GfMatrix::vandermonde(k + tpar, k)
+        .and_then(|v| v.systematize())
+        .map_err(err("generator"))?;
+    results.push(t.measure(
+        &format!("seed_baseline/encode_{label}"),
+        stripe_bytes,
+        || {
+            let mut parity = vec![vec![0u8; shard]; tpar];
+            for (p, out) in parity.iter_mut().enumerate() {
+                for (c, d) in data.iter().enumerate() {
+                    mul_acc_reference(out, d, generator.get(k + p, c));
+                }
+            }
+            parity
+        },
+    ));
+    let survivors: Vec<usize> = (0..k + tpar)
+        .filter(|i| !missing.contains(i))
+        .take(k)
+        .collect();
+    results.push(t.measure(
+        &format!("seed_baseline/reconstruct_two_erasures_{label}"),
+        stripe_bytes,
+        || {
+            let decode = generator
+                .select_rows(&survivors)
+                .inverse()
+                .expect("mds inverse");
+            let mut recovered = vec![vec![0u8; shard]; k];
+            for (m, out) in recovered.iter_mut().enumerate() {
+                for (j, &s) in survivors.iter().enumerate() {
+                    mul_acc_reference(out, &full[s], decode.get(m, j));
+                }
+            }
+            // Re-encode the missing parity shard (index k ⇒ parity row 0).
+            let mut parity = vec![0u8; shard];
+            for (c, d) in recovered.iter().enumerate() {
+                mul_acc_reference(&mut parity, d, generator.get(k, c));
+            }
+            (recovered, parity)
+        },
+    ));
+
+    // Placement enumeration rides along for regression coverage.
+    if mode == Mode::Full {
+        results.push(t.measure("placement/enumerate_c14_6", 0, || {
+            Placement::enumerate_all(14, 6).expect("placement")
+        }));
+    }
+
+    Ok(Suite {
+        suite: "erasure",
+        mode,
+        results,
+    })
+}
+
+fn recursive_model(k: u32) -> Result<RecursiveModel, String> {
+    RecursiveModel::new(
+        k,
+        64,
+        8,
+        12,
+        PerHour(1.0 / 400_000.0),
+        PerHour(1.0 / 300_000.0),
+        PerHour(0.28),
+        PerHour(3.24),
+        0.024,
+    )
+    .map_err(err("recursive model"))
+}
+
+/// The analytic-kernel suite: LU factor+solve, recursive-chain build and
+/// GTH solve, and (full mode only) a complete Figure-13 evaluation.
+pub fn solvers_suite(mode: Mode) -> Result<Suite, String> {
+    let t = mode.timing();
+    let mut results = Vec::new();
+
+    let lu_sizes: &[usize] = match mode {
+        Mode::Full => &[15, 63, 127],
+        Mode::Smoke => &[15],
+    };
+    for &n in lu_sizes {
+        let a = Matrix::from_fn(n, n, |r, cc| {
+            if r == cc {
+                (n + 1) as f64
+            } else {
+                1.0 / (1.0 + (r as f64 - cc as f64).abs())
+            }
+        });
+        let b = vec![1.0; n];
+        results.push(t.measure(&format!("lu_factor_solve/n={n}"), 0, || {
+            let lu = Lu::factor(&a).expect("nonsingular");
+            lu.solve(&b).expect("solve")
+        }));
+    }
+
+    let ks: &[u32] = match mode {
+        Mode::Full => &[1, 2, 3, 5, 7],
+        Mode::Smoke => &[2],
+    };
+    for &k in ks {
+        let model = recursive_model(k)?;
+        results.push(t.measure(&format!("recursive_chain/build_k{k}"), 0, || {
+            model.ctmc().expect("ctmc")
+        }));
+        let ctmc = model.ctmc().map_err(err("ctmc"))?;
+        results.push(
+            t.measure(&format!("recursive_chain/gth_solve_k{k}"), 0, || {
+                AbsorbingAnalysis::new(&ctmc).expect("analysis")
+            }),
+        );
+        results.push(t.measure(&format!("recursive_chain/theorem_k{k}"), 0, || {
+            model.mttdl_theorem()
+        }));
+    }
+
+    let params = Params::baseline();
+    if mode == Mode::Full {
+        results.push(t.measure("figure13_full_baseline", 0, || {
+            fig13_baseline(&params).expect("fig13")
+        }));
+    }
+    let config = Configuration::new(InternalRaid::Raid5, 2).map_err(err("cfg"))?;
+    results.push(t.measure("evaluate_ft2_ir5", 0, || {
+        config.evaluate(&params).expect("eval")
+    }));
+
+    Ok(Suite {
+        suite: "solvers",
+        mode,
+        results,
+    })
+}
+
+/// The simulator suite: system-level loss trajectories and
+/// importance-sampling cycles (shrunk in smoke mode).
+pub fn sim_suite(mode: Mode) -> Result<Suite, String> {
+    let t = mode.timing();
+    let mut results = Vec::new();
+
+    let params = Params::baseline();
+    let config = Configuration::new(InternalRaid::None, 1).map_err(err("cfg"))?;
+    let sim = SystemSim::new(params, config).map_err(err("sim"))?;
+    let mut rng = StdRng::seed_from_u64(7);
+    results.push(t.measure("system_sim_ft1_trajectory", 0, || {
+        sim.simulate_one(&mut rng).expect("loss")
+    }));
+
+    // The FT2 internal-RAID chain at baseline.
+    use nsr_core::internal_raid::InternalRaidSystem;
+    use nsr_core::raid::ArrayModel;
+    use nsr_core::rebuild::RebuildModel;
+    let rebuild = RebuildModel::new(params).map_err(err("rebuild"))?;
+    let array = ArrayModel::new(
+        InternalRaid::Raid5,
+        12,
+        params.drive.failure_rate(),
+        rebuild.restripe().map_err(err("restripe"))?.rate,
+        params.drive.c_her(),
+    )
+    .map_err(err("array"))?;
+    let sys = InternalRaidSystem::new(
+        64,
+        8,
+        2,
+        params.node.failure_rate(),
+        array.rates_paper(),
+        rebuild.node_rebuild(2).map_err(err("mu_n"))?.rate,
+    )
+    .map_err(err("system"))?;
+    let ctmc = sys.ctmc().map_err(err("ctmc"))?;
+    let root = ctmc
+        .state_by_label("failed:0")
+        .ok_or_else(|| "missing root state `failed:0`".to_string())?;
+    let est = RareEvent::new(&ctmc, root).map_err(err("estimator"))?;
+    let mut rng = StdRng::seed_from_u64(11);
+    let cycles: u64 = match mode {
+        Mode::Full => 2000,
+        Mode::Smoke => 100,
+    };
+    results.push(
+        t.measure(&format!("importance_sampling_{cycles}_cycles"), 0, || {
+            est.estimate(
+                Options {
+                    gamma_cycles: cycles,
+                    time_cycles: cycles,
+                    ..Options::default()
+                },
+                &mut rng,
+            )
+            .expect("estimate")
+        }),
+    );
+
+    Ok(Suite {
+        suite: "sim",
+        mode,
+        results,
+    })
+}
+
+/// Validates a parsed report against the `nsr-bench/v1` schema. Returns
+/// a description of the first violation.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema` string")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let suite = doc
+        .get("suite")
+        .and_then(Json::as_str)
+        .ok_or("missing `suite` string")?;
+    if !SUITE_NAMES.contains(&suite) {
+        return Err(format!("unknown suite `{suite}`"));
+    }
+    let mode = doc
+        .get("mode")
+        .and_then(Json::as_str)
+        .ok_or("missing `mode` string")?;
+    if mode != "full" && mode != "smoke" {
+        return Err(format!("mode is `{mode}`, expected `full` or `smoke`"));
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing `results` array")?;
+    if results.is_empty() {
+        return Err("`results` is empty".to_string());
+    }
+    for (i, r) in results.iter().enumerate() {
+        let name = r
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("result {i}: missing `name`"))?;
+        let ns = r
+            .get("ns_per_iter")
+            .and_then(Json::as_f64)
+            .ok_or(format!("result {i} ({name}): missing `ns_per_iter`"))?;
+        if !(ns.is_finite() && ns > 0.0) {
+            return Err(format!(
+                "result {i} ({name}): ns_per_iter {ns} not positive"
+            ));
+        }
+        let bytes = r
+            .get("bytes_per_iter")
+            .and_then(Json::as_f64)
+            .ok_or(format!("result {i} ({name}): missing `bytes_per_iter`"))?;
+        if !(bytes.is_finite() && bytes >= 0.0 && bytes == bytes.trunc()) {
+            return Err(format!(
+                "result {i} ({name}): bytes_per_iter {bytes} not a non-negative integer"
+            ));
+        }
+        match r.get("mib_per_s") {
+            Some(Json::Null) if bytes == 0.0 => {}
+            Some(Json::Num(m)) if bytes > 0.0 && m.is_finite() && *m > 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "result {i} ({name}): `mib_per_s` inconsistent with `bytes_per_iter`"
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erasure_smoke_suite_runs_and_validates() {
+        let suite = erasure_suite(Mode::Smoke).expect("suite");
+        assert_eq!(suite.file_name(), "BENCH_erasure.json");
+        let names: Vec<&str> = suite.results.iter().map(|m| m.name.as_str()).collect();
+        for expected in [
+            "gf256/mul_acc_reference_4k",
+            "gf256/mul_acc_4k",
+            "rs_k10_t2/encode_parity_into_4k",
+            "rs_k10_t2/reconstruct_with_cached_plan_4k",
+            "seed_baseline/encode_4k",
+            "seed_baseline/reconstruct_two_erasures_4k",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        let doc = suite.to_json();
+        validate_report(&doc).expect("schema");
+        // And after a render → parse round trip.
+        let back = Json::parse(&doc.render()).expect("parse");
+        validate_report(&back).expect("schema after round trip");
+        assert!(suite.render_human().contains("mode: smoke"));
+    }
+
+    #[test]
+    fn run_suite_rejects_unknown_names() {
+        let e = run_suite("nope", Mode::Smoke).unwrap_err();
+        assert!(e.contains("unknown suite"));
+        assert!(e.contains("erasure"));
+    }
+
+    #[test]
+    fn validate_report_rejects_schema_drift() {
+        let suite = Suite {
+            suite: "erasure",
+            mode: Mode::Smoke,
+            results: vec![Measurement {
+                name: "x/y".into(),
+                ns_per_iter: 10.0,
+                bytes_per_iter: 0,
+            }],
+        };
+        let good = suite.to_json();
+        validate_report(&good).expect("good");
+
+        let mut bad = good.clone();
+        if let Json::Obj(m) = &mut bad {
+            m.insert("schema".into(), Json::Str("nsr-bench/v0".into()));
+        }
+        assert!(validate_report(&bad).is_err());
+
+        let mut bad = good.clone();
+        if let Json::Obj(m) = &mut bad {
+            m.insert("results".into(), Json::Arr(vec![]));
+        }
+        assert!(validate_report(&bad).is_err());
+
+        let mut bad = good;
+        if let Json::Obj(m) = &mut bad {
+            m.insert("mode".into(), Json::Str("warp".into()));
+        }
+        assert!(validate_report(&bad).is_err());
+    }
+}

@@ -40,6 +40,9 @@ COMMANDS:
   plan        feasible configurations for --target events/PB-year
   spares      fail-in-place spare-capacity provisioning analysis
   aging       non-Markovian (Weibull) lifetime ablation (--shape K)
+  bench       performance harness → BENCH_<suite>.json (--suite NAME|all,
+              --out-dir DIR, --smoke for the fast CI mode, --check to
+              validate existing reports without re-running)
   chain       export a configuration's exact CTMC as Graphviz dot (--out F)
   report      one-shot markdown reproduction report (--out FILE)
   help        this text
@@ -71,6 +74,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
         "spares" => spares(args),
         "report" => report(args),
         "aging" => aging(args),
+        "bench" => bench(args),
         "chain" => chain(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!(
@@ -654,6 +658,61 @@ fn aging(args: &ParsedArgs) -> Result<String> {
     Ok(out)
 }
 
+fn bench(args: &ParsedArgs) -> Result<String> {
+    use nsr_bench::json::Json;
+    use nsr_bench::suites::{self, Mode, SUITE_NAMES};
+
+    let which = args.get_or("suite", "all".to_string())?;
+    let names: Vec<&str> = if which == "all" {
+        SUITE_NAMES.to_vec()
+    } else {
+        match SUITE_NAMES.iter().find(|n| **n == which) {
+            Some(n) => vec![n],
+            None => {
+                return Err(CliError(format!(
+                    "--suite must be one of: all, {}",
+                    SUITE_NAMES.join(", ")
+                )))
+            }
+        }
+    };
+    let out_dir = std::path::PathBuf::from(args.get_or("out-dir", String::from("."))?);
+    let mode = if args.has_flag("smoke") {
+        Mode::Smoke
+    } else {
+        Mode::Full
+    };
+    let mut out = String::new();
+
+    // --check: validate existing reports against the schema, no timing.
+    if args.has_flag("check") {
+        for name in names {
+            let path = out_dir.join(format!("BENCH_{name}.json"));
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| CliError(format!("reading {}: {e}", path.display())))?;
+            let doc =
+                Json::parse(&text).map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            suites::validate_report(&doc)
+                .map_err(|e| CliError(format!("{}: {e}", path.display())))?;
+            let results = doc
+                .get("results")
+                .and_then(Json::as_arr)
+                .map_or(0, <[_]>::len);
+            let _ = writeln!(out, "{}: valid ({results} results)", path.display());
+        }
+        return Ok(out);
+    }
+
+    for name in names {
+        let suite = suites::run_suite(name, mode).map_err(CliError)?;
+        out.push_str(&suite.render_human());
+        let path = out_dir.join(suite.file_name());
+        nsr_bench::write_report(&suite, &path).map_err(CliError)?;
+        let _ = writeln!(out, "wrote {}", path.display());
+    }
+    Ok(out)
+}
+
 fn chain(args: &ParsedArgs) -> Result<String> {
     let config = parse_config(
         &args
@@ -834,6 +893,27 @@ mod tests {
         .unwrap();
         assert!(out.contains("Weibull"));
         assert!(out.contains("Markov-assumption error"));
+    }
+
+    #[test]
+    fn bench_smoke_writes_and_checks_reports() {
+        let dir = std::env::temp_dir().join(format!("nsr-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.to_str().unwrap();
+        let out = run(&["bench", "--suite", "erasure", "--smoke", "--out-dir", dir_s]).unwrap();
+        assert!(out.contains("mode: smoke"));
+        assert!(out.contains("seed_baseline/"));
+        assert!(dir.join("BENCH_erasure.json").exists());
+
+        let checked = run(&["bench", "--suite", "erasure", "--check", "--out-dir", dir_s]).unwrap();
+        assert!(checked.contains("valid"));
+
+        // A corrupted report must fail --check.
+        std::fs::write(dir.join("BENCH_erasure.json"), "{\"schema\": \"bogus\"}").unwrap();
+        assert!(run(&["bench", "--suite", "erasure", "--check", "--out-dir", dir_s]).is_err());
+
+        assert!(run(&["bench", "--suite", "warp"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -39,6 +39,15 @@ pub enum Error {
     /// required (cannot happen for the Vandermonde-derived matrices used
     /// internally; reachable through the public matrix API).
     SingularMatrix,
+    /// The decode matrix for an erasure pattern failed to invert. For a
+    /// well-formed MDS generator any `k` rows are invertible, so this
+    /// signals internal-state corruption (e.g. a tampered generator) —
+    /// reported as an error instead of aborting the process.
+    SingularDecodeMatrix,
+    /// A cached [`DecodePlan`](crate::rs::DecodePlan) was applied to a
+    /// stripe whose erasure pattern does not match the one the plan was
+    /// built for.
+    DecodePlanMismatch,
     /// A placement parameter was invalid (e.g. `R > N`, or zero sizes).
     InvalidPlacement {
         /// Description of the violated constraint.
@@ -54,6 +63,14 @@ pub enum Error {
         node: u32,
         /// How many times it has failed.
         failures: u32,
+    },
+    /// An internal invariant did not hold (e.g. a node map vanished
+    /// between its liveness check and use). Signals a bug or tampered
+    /// internal state; reported as an error so callers can degrade
+    /// instead of the process aborting.
+    InternalInvariant {
+        /// The violated invariant.
+        what: &'static str,
     },
     /// Post-rebuild verification found stripes whose parity does not
     /// check: a surviving shard was corrupted, so the reconstruction
@@ -91,6 +108,14 @@ impl fmt::Display for Error {
                 )
             }
             Error::SingularMatrix => write!(f, "matrix is singular over GF(256)"),
+            Error::SingularDecodeMatrix => write!(
+                f,
+                "decode matrix is singular: the generator no longer has the \
+                 MDS property (internal state corrupted)"
+            ),
+            Error::DecodePlanMismatch => {
+                write!(f, "decode plan does not match the stripe's erasure pattern")
+            }
             Error::InvalidPlacement { what } => write!(f, "invalid placement: {what}"),
             Error::DivisionByZero => write!(f, "division by zero in GF(256)"),
             Error::Quarantined { node, failures } => write!(
@@ -98,6 +123,9 @@ impl fmt::Display for Error {
                 "node {node} is quarantined after {failures} failures; \
                  clear it with unquarantine() before rebuilding"
             ),
+            Error::InternalInvariant { what } => {
+                write!(f, "internal invariant violated: {what}")
+            }
             Error::RebuildVerification { objects } => write!(
                 f,
                 "post-rebuild verification failed for {objects} object(s): \

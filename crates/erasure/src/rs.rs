@@ -12,9 +12,40 @@
 //! pass through untouched and the `t` parity rows are dense GF(2⁸)
 //! combinations.
 
-use crate::gf256::mul_acc;
+use crate::gf256::{mul_acc, Gf};
 use crate::matrix::GfMatrix;
 use crate::{Error, Result};
+
+/// A precomputed reconstruction plan for one erasure pattern.
+///
+/// Building a plan inverts the `k × k` decode matrix once; applying it is
+/// pure multiply-accumulate over the survivors — `(#missing) · k` kernel
+/// calls, independent of how many shards survived. Callers that see the
+/// same failure pattern repeatedly (degraded reads under a down node)
+/// should build the plan once and reuse it; see
+/// [`ReedSolomon::plan_reconstruction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodePlan {
+    /// Missing shard indices, sorted ascending.
+    missing: Vec<usize>,
+    /// The `k` survivor indices whose shards feed reconstruction.
+    survivors: Vec<usize>,
+    /// One `k`-coefficient row per missing shard:
+    /// `shard[missing[j]] = Σ_c rows[j][c] · shard[survivors[c]]`.
+    rows: Vec<Vec<Gf>>,
+}
+
+impl DecodePlan {
+    /// The erasure pattern this plan reconstructs (sorted ascending).
+    pub fn missing(&self) -> &[usize] {
+        &self.missing
+    }
+
+    /// The `k` survivor shards the plan reads from.
+    pub fn survivors(&self) -> &[usize] {
+        &self.survivors
+    }
+}
 
 /// A systematic Reed–Solomon erasure code with fixed geometry.
 ///
@@ -108,29 +139,85 @@ impl ReedSolomon {
     ///   malformed input.
     pub fn encode(&self, data: &[impl AsRef<[u8]>]) -> Result<Vec<Vec<u8>>> {
         let len = self.check_sizes(data, self.data_shards)?;
+        let mut parity: Vec<Vec<u8>> = vec![vec![0u8; len]; self.parity_shards];
+        self.encode_parity_into(data, &mut parity)?;
         let mut out: Vec<Vec<u8>> = Vec::with_capacity(self.total_shards());
         for d in data {
             out.push(d.as_ref().to_vec());
         }
-        for p in 0..self.parity_shards {
-            let row = self.generator.row(self.data_shards + p);
-            let mut parity = vec![0u8; len];
-            for (c, &coeff) in row.iter().enumerate() {
-                mul_acc(&mut parity, data[c].as_ref(), coeff);
-            }
-            out.push(parity);
-        }
+        out.extend(parity);
         Ok(out)
+    }
+
+    /// Computes the `t` parity shards into caller-provided buffers without
+    /// copying the data shards — the zero-copy core of [`encode`].
+    ///
+    /// `parity_out` must hold exactly `t` buffers of the data-shard length;
+    /// they are overwritten (any prior contents are cleared first).
+    ///
+    /// The loop is coefficient-major: each data shard is streamed through
+    /// [`mul_acc`] once per parity row while it is hot in cache, with the
+    /// generator coefficient hoisted out of the byte loop entirely.
+    ///
+    /// [`encode`]: ReedSolomon::encode
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
+    ///   malformed data shards or parity buffers of the wrong count/length.
+    pub fn encode_parity_into(
+        &self,
+        data: &[impl AsRef<[u8]>],
+        parity_out: &mut [impl AsMut<[u8]>],
+    ) -> Result<()> {
+        let len = self.check_sizes(data, self.data_shards)?;
+        if parity_out.len() != self.parity_shards {
+            return Err(Error::ShardCountMismatch {
+                expected: self.parity_shards,
+                found: parity_out.len(),
+            });
+        }
+        for (i, p) in parity_out.iter_mut().enumerate() {
+            let p = p.as_mut();
+            if p.len() != len {
+                return Err(Error::ShardSizeMismatch {
+                    expected: len,
+                    index: i,
+                    found: p.len(),
+                });
+            }
+            p.fill(0);
+        }
+        // Data-shard-outer order: each source shard stays cache-hot while
+        // it feeds every parity row.
+        for (c, d) in data.iter().enumerate() {
+            let src = d.as_ref();
+            for (p, out) in parity_out.iter_mut().enumerate() {
+                let coeff = self.generator.row(self.data_shards + p)[c];
+                mul_acc(out.as_mut(), src, coeff);
+            }
+        }
+        Ok(())
     }
 
     /// Reconstructs all missing shards in place. `shards` must have length
     /// `R`; `None` entries are the erasures.
+    ///
+    /// Only the missing shards are computed — `(#missing) · k`
+    /// multiply-accumulates rather than recovering all `k` data shards and
+    /// re-encoding. Callers with a recurring erasure pattern should use
+    /// [`plan_reconstruction`](ReedSolomon::plan_reconstruction) +
+    /// [`reconstruct_with_plan`](ReedSolomon::reconstruct_with_plan) to
+    /// also amortize the matrix inversion.
     ///
     /// # Errors
     ///
     /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
     ///   malformed input.
     /// * [`Error::TooManyErasures`] if more than `t` entries are `None`.
+    /// * [`Error::SingularDecodeMatrix`] if the decode matrix fails to
+    ///   invert (impossible for an intact MDS generator; reported rather
+    ///   than panicking so hostile internal state degrades gracefully).
     pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<()> {
         if shards.len() != self.total_shards() {
             return Err(Error::ShardCountMismatch {
@@ -146,45 +233,118 @@ impl ReedSolomon {
         if missing.is_empty() {
             return Ok(());
         }
+        let plan = self.plan_reconstruction(&missing)?;
+        self.reconstruct_with_plan(&plan, shards)
+    }
+
+    /// Builds a [`DecodePlan`] for the given erasure pattern.
+    ///
+    /// This performs the `O(k³)` decode-matrix inversion; applying the plan
+    /// afterwards is pure multiply-accumulate. The plan depends only on the
+    /// erasure pattern, not shard contents, so it can be cached and reused
+    /// across stripes failing in the same way.
+    ///
+    /// For a missing **data** shard `m`, the plan row is row `m` of `D⁻¹`
+    /// (where `D` is the generator restricted to the `k` survivors used);
+    /// for a missing **parity** shard it is `G[m] · D⁻¹`, folding the
+    /// recover-then-re-encode step into a single row of coefficients.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] for an out-of-range or duplicate
+    ///   missing index.
+    /// * [`Error::TooManyErasures`] if the pattern exceeds `t` erasures.
+    /// * [`Error::SingularDecodeMatrix`] if the decode matrix fails to
+    ///   invert (impossible for an intact MDS generator).
+    pub fn plan_reconstruction(&self, missing: &[usize]) -> Result<DecodePlan> {
+        let mut missing = missing.to_vec();
+        missing.sort_unstable();
+        missing.dedup();
         if missing.len() > self.parity_shards {
             return Err(Error::TooManyErasures {
                 missing: missing.len(),
                 tolerated: self.parity_shards,
             });
         }
-        let present: Vec<usize> = (0..self.total_shards())
-            .filter(|i| shards[*i].is_some())
-            .collect();
-        let survivors: Vec<&[u8]> = present
-            .iter()
+        if let Some(&bad) = missing.iter().find(|&&m| m >= self.total_shards()) {
+            return Err(Error::ShardCountMismatch {
+                expected: self.total_shards(),
+                found: bad,
+            });
+        }
+        let survivors: Vec<usize> = (0..self.total_shards())
+            .filter(|i| !missing.contains(i))
             .take(self.data_shards)
-            .map(|&i| shards[i].as_deref().expect("present"))
             .collect();
-        let len = self.check_sizes(&survivors, self.data_shards)?;
-
-        // Decode matrix: the generator rows of the k survivors we use,
-        // inverted, recovers the original data: data = D⁻¹ · survivors.
         let decode = self
             .generator
-            .select_rows(&present[..self.data_shards])
+            .select_rows(&survivors)
             .inverse()
-            .expect("any k rows of an MDS generator are invertible");
+            .map_err(|_| Error::SingularDecodeMatrix)?;
+        let rows = missing
+            .iter()
+            .map(|&m| {
+                if m < self.data_shards {
+                    decode.row(m).to_vec()
+                } else {
+                    // G[m] · D⁻¹: one row of the folded parity decode.
+                    let grow = self.generator.row(m);
+                    (0..self.data_shards)
+                        .map(|c| {
+                            let mut acc = Gf::ZERO;
+                            for (j, &g) in grow.iter().enumerate() {
+                                acc += g * decode.row(j)[c];
+                            }
+                            acc
+                        })
+                        .collect()
+                }
+            })
+            .collect();
+        Ok(DecodePlan {
+            missing,
+            survivors,
+            rows,
+        })
+    }
 
-        // Recover the data shards first.
-        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
-        for r in 0..self.data_shards {
+    /// Applies a previously built [`DecodePlan`] to a stripe, filling in
+    /// exactly the shards the plan was built for.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::ShardCountMismatch`] / [`Error::ShardSizeMismatch`] for
+    ///   malformed input.
+    /// * [`Error::DecodePlanMismatch`] if a shard the plan expects present
+    ///   is `None`, or one it reconstructs is already `Some`.
+    pub fn reconstruct_with_plan(
+        &self,
+        plan: &DecodePlan,
+        shards: &mut [Option<Vec<u8>>],
+    ) -> Result<()> {
+        if shards.len() != self.total_shards() {
+            return Err(Error::ShardCountMismatch {
+                expected: self.total_shards(),
+                found: shards.len(),
+            });
+        }
+        if plan.missing.iter().any(|&m| shards[m].is_some()) {
+            return Err(Error::DecodePlanMismatch);
+        }
+        let mut survivors: Vec<&[u8]> = Vec::with_capacity(self.data_shards);
+        for &i in &plan.survivors {
+            survivors.push(shards[i].as_deref().ok_or(Error::DecodePlanMismatch)?);
+        }
+        let len = self.check_sizes(&survivors, self.data_shards)?;
+        let mut rebuilt: Vec<Vec<u8>> = Vec::with_capacity(plan.missing.len());
+        for row in &plan.rows {
             let mut shard = vec![0u8; len];
-            for (c, &coeff) in decode.row(r).iter().enumerate() {
+            for (c, &coeff) in row.iter().enumerate() {
                 mul_acc(&mut shard, survivors[c], coeff);
             }
-            data.push(shard);
+            rebuilt.push(shard);
         }
-        // Re-derive every missing shard (data or parity) from the data.
-        for &m in &missing {
-            let mut shard = vec![0u8; len];
-            for (c, &coeff) in self.generator.row(m).iter().enumerate() {
-                mul_acc(&mut shard, &data[c], coeff);
-            }
+        for (&m, shard) in plan.missing.iter().zip(rebuilt) {
             shards[m] = Some(shard);
         }
         Ok(())
@@ -362,6 +522,101 @@ mod tests {
         // Wrong reconstruct length.
         let mut short: Vec<Option<Vec<u8>>> = vec![Some(vec![0; 8]); 4];
         assert!(code.reconstruct(&mut short).is_err());
+    }
+
+    #[test]
+    fn encode_parity_into_matches_encode() {
+        let code = ReedSolomon::new(6, 3).unwrap();
+        let data = sample_data(6, 100);
+        let full = code.encode(&data).unwrap();
+        let mut parity = vec![vec![0xffu8; 100]; 3]; // dirty buffers get cleared
+        code.encode_parity_into(&data, &mut parity).unwrap();
+        assert_eq!(&parity[..], &full[6..]);
+    }
+
+    #[test]
+    fn encode_parity_into_validates_buffers() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let mut wrong_count = vec![vec![0u8; 16]; 3];
+        assert!(matches!(
+            code.encode_parity_into(&data, &mut wrong_count)
+                .unwrap_err(),
+            Error::ShardCountMismatch {
+                expected: 2,
+                found: 3
+            }
+        ));
+        let mut wrong_len = vec![vec![0u8; 16], vec![0u8; 15]];
+        assert!(matches!(
+            code.encode_parity_into(&data, &mut wrong_len).unwrap_err(),
+            Error::ShardSizeMismatch { index: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn plan_reuse_across_stripes() {
+        // One plan, many stripes failing the same way — the cached-decode
+        // path the store uses for degraded reads.
+        let code = ReedSolomon::new(5, 2).unwrap();
+        let plan = code.plan_reconstruction(&[1, 6]).unwrap();
+        assert_eq!(plan.missing(), &[1, 6]);
+        assert_eq!(plan.survivors().len(), 5);
+        for seed in 0..4 {
+            let data: Vec<Vec<u8>> = (0..5)
+                .map(|i| {
+                    (0..33)
+                        .map(|j| ((i * 7 + j * 13 + seed) % 256) as u8)
+                        .collect()
+                })
+                .collect();
+            let full = code.encode(&data).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+            shards[1] = None;
+            shards[6] = None;
+            code.reconstruct_with_plan(&plan, &mut shards).unwrap();
+            for (i, s) in shards.iter().enumerate() {
+                assert_eq!(s.as_deref(), Some(&full[i][..]), "seed {seed}, shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_mismatch_is_detected() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 16);
+        let full = code.encode(&data).unwrap();
+        let plan = code.plan_reconstruction(&[0]).unwrap();
+        // Shard 0 still present: plan says it's missing.
+        let mut intact: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        assert!(matches!(
+            code.reconstruct_with_plan(&plan, &mut intact).unwrap_err(),
+            Error::DecodePlanMismatch
+        ));
+        // A survivor the plan reads from is gone.
+        let mut wrong: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+        wrong[0] = None;
+        wrong[2] = None;
+        assert!(matches!(
+            code.reconstruct_with_plan(&plan, &mut wrong).unwrap_err(),
+            Error::DecodePlanMismatch
+        ));
+    }
+
+    #[test]
+    fn plan_validation() {
+        let code = ReedSolomon::new(4, 2).unwrap();
+        assert!(matches!(
+            code.plan_reconstruction(&[0, 1, 2]).unwrap_err(),
+            Error::TooManyErasures {
+                missing: 3,
+                tolerated: 2
+            }
+        ));
+        assert!(code.plan_reconstruction(&[9]).is_err());
+        // Duplicates collapse to one erasure.
+        let plan = code.plan_reconstruction(&[3, 3]).unwrap();
+        assert_eq!(plan.missing(), &[3]);
     }
 
     #[test]

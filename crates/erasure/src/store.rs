@@ -41,11 +41,44 @@
 //! This is deliberately a *functional* model (no I/O scheduling); timing
 //! belongs to `nsr-core`'s rebuild model and `nsr-sim`.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::placement::Placement;
-use crate::rs::ReedSolomon;
+use crate::rs::{DecodePlan, ReedSolomon};
 use crate::{Error, Result};
+
+/// Capacity of the per-store decode-plan cache. Patterns are tiny
+/// (≤ `t` failed nodes at a time) so a handful of entries covers every
+/// realistic failure set.
+const PLAN_CACHE_CAP: usize = 8;
+
+/// A small LRU of decode plans keyed by erasure pattern, so repeated
+/// degraded reads (and rebuild passes) under one failure set invert the
+/// decode matrix once instead of per access.
+#[derive(Debug, Clone, Default)]
+struct PlanCache {
+    /// Entries ordered least- to most-recently used.
+    entries: Vec<(Vec<usize>, DecodePlan)>,
+}
+
+impl PlanCache {
+    /// Fetches the plan for `missing`, building (and caching) it on a miss.
+    fn get_or_build(&mut self, code: &ReedSolomon, missing: &[usize]) -> Result<DecodePlan> {
+        if let Some(i) = self.entries.iter().position(|(k, _)| k == missing) {
+            let entry = self.entries.remove(i);
+            let plan = entry.1.clone();
+            self.entries.push(entry); // move to most-recently-used
+            return Ok(plan);
+        }
+        let plan = code.plan_reconstruction(missing)?;
+        if self.entries.len() >= PLAN_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((missing.to_vec(), plan.clone()));
+        Ok(plan)
+    }
+}
 
 /// Identifier of a stored object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -219,6 +252,9 @@ pub struct BrickStore {
     quarantine_threshold: u32,
     /// Checkpointed rebuilds in progress, one per failed node.
     rebuilds: HashMap<u32, RebuildState>,
+    /// Decode plans for recently seen erasure patterns (interior
+    /// mutability so degraded `get`s can cache through `&self`).
+    plan_cache: RefCell<PlanCache>,
 }
 
 impl BrickStore {
@@ -249,6 +285,7 @@ impl BrickStore {
             quarantined: vec![false; n as usize],
             quarantine_threshold: 0,
             rebuilds: HashMap::new(),
+            plan_cache: RefCell::new(PlanCache::default()),
         })
     }
 
@@ -362,7 +399,9 @@ impl BrickStore {
             let node = set[pos] as usize;
             self.nodes[node]
                 .as_mut()
-                .expect("checked alive")
+                .ok_or(Error::InternalInvariant {
+                    what: "node failed between liveness check and shard install",
+                })?
                 .insert((id, pos), shard);
         }
         self.objects.insert(
@@ -401,14 +440,26 @@ impl BrickStore {
                     .and_then(|m| m.get(&(id, pos)).cloned())
             })
             .collect();
-        let missing = shards.iter().filter(|s| s.is_none()).count();
-        if missing > 0 {
-            self.code.reconstruct(&mut shards)?;
+        let missing: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if !missing.is_empty() {
+            // Repeated degraded reads under one failure set share the
+            // cached decode plan instead of re-inverting per read.
+            let plan = self
+                .plan_cache
+                .borrow_mut()
+                .get_or_build(&self.code, &missing)?;
+            self.code.reconstruct_with_plan(&plan, &mut shards)?;
         }
         let k = self.code.data_shards();
         let mut out = Vec::with_capacity(meta.len);
         for shard in shards.into_iter().take(k) {
-            out.extend_from_slice(&shard.expect("reconstructed"));
+            out.extend_from_slice(&shard.ok_or(Error::InternalInvariant {
+                what: "data shard still missing after reconstruction",
+            })?);
         }
         out.truncate(meta.len);
         Ok(out)
@@ -553,7 +604,19 @@ impl BrickStore {
                 })
                 .collect();
             let available = shards.iter().filter(|s| s.is_some()).count();
-            if let Err(e) = self.code.reconstruct(&mut shards) {
+            let missing: Vec<usize> = shards
+                .iter()
+                .enumerate()
+                .filter_map(|(p, s)| s.is_none().then_some(p))
+                .collect();
+            // One decode-matrix inversion per erasure pattern for the
+            // whole pass, not one per object.
+            let plan_applied = self
+                .plan_cache
+                .borrow_mut()
+                .get_or_build(&self.code, &missing)
+                .and_then(|plan| self.code.reconstruct_with_plan(&plan, &mut shards));
+            if let Err(e) = plan_applied {
                 st.remaining.push(id); // keep the checkpoint resumable
                 self.rebuilds.insert(node, st);
                 return Err(e);
@@ -574,7 +637,16 @@ impl BrickStore {
             self.rebuilds.insert(node, st);
             return Ok(RebuildProgress::InProgress { objects_remaining });
         }
+        self.finish_rebuild(node, st)
+    }
 
+    /// Verification + installation tail shared by the serial
+    /// ([`rebuild_step`](BrickStore::rebuild_step)) and parallel
+    /// ([`rebuild_node`](BrickStore::rebuild_node)) rebuild paths: every
+    /// reconstructed stripe that is fully available is parity-checked,
+    /// corrupt stripes are re-queued (their shards discarded), and only a
+    /// fully verified shard set revives the node.
+    fn finish_rebuild(&mut self, node: u32, mut st: RebuildState) -> Result<RebuildProgress> {
         // Post-rebuild verification: parity-check each reconstructed
         // stripe that is fully available. Corrupt stripes are re-queued
         // and their shards discarded — never silently installed.
@@ -625,22 +697,185 @@ impl BrickStore {
 
     /// Revives a failed node and reconstructs every shard it should hold,
     /// reading `R − t` surviving shards per affected object — the rebuild
-    /// whose traffic §5.1 accounts for. One-shot wrapper around
-    /// [`begin_rebuild`](BrickStore::begin_rebuild) +
-    /// [`rebuild_step`](BrickStore::rebuild_step); on failure the
-    /// checkpoint survives for later resumption.
+    /// whose traffic §5.1 accounts for. Equivalent to
+    /// [`begin_rebuild`](BrickStore::begin_rebuild) + driving
+    /// [`rebuild_step`](BrickStore::rebuild_step) to completion, but the
+    /// per-object reconstruction is spread over scoped worker threads
+    /// (one per available core). Work assignment is deterministic
+    /// (object `i` of the ascending order goes to worker `i mod W`) and
+    /// each object's reconstruction is a pure function of the surviving
+    /// shards, so the resulting store is byte-identical to the serial
+    /// path for any worker count. On failure the checkpoint survives for
+    /// later resumption.
     ///
     /// # Errors
     ///
     /// As for [`rebuild_step`](BrickStore::rebuild_step), plus
     /// [`Error::Quarantined`] for quarantined nodes.
     pub fn rebuild_node(&mut self, node: u32) -> Result<RebuildReport> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.rebuild_node_with_workers(node, workers)
+    }
+
+    /// [`rebuild_node`](BrickStore::rebuild_node) with an explicit worker
+    /// count (exposed for determinism tests; `rebuild_node` picks the
+    /// available parallelism).
+    fn rebuild_node_with_workers(&mut self, node: u32, workers: usize) -> Result<RebuildReport> {
         self.begin_rebuild(node)?;
-        loop {
-            match self.rebuild_step(node, usize::MAX)? {
-                RebuildProgress::Complete(report) => return Ok(report),
-                RebuildProgress::InProgress { .. } => continue,
+        let mut st = self
+            .rebuilds
+            .remove(&node)
+            .ok_or(Error::InternalInvariant {
+                what: "begin_rebuild left no checkpoint",
+            })?;
+        // `remaining` is sorted descending for pop(); workers walk the
+        // ascending order, object i going to worker i mod W.
+        let todo: Vec<ObjectId> = st.remaining.drain(..).rev().collect();
+        let workers = workers.clamp(1, todo.len().max(1));
+
+        struct Restored {
+            id: ObjectId,
+            pos: usize,
+            shard: Vec<u8>,
+            bytes_read: u64,
+        }
+        struct WorkerOut {
+            restored: Vec<Restored>,
+            failed: Vec<(ObjectId, Error)>,
+        }
+
+        // Workers share the immutable store state but not `self`: the
+        // decode-plan cache is a RefCell (not Sync), so each worker keeps
+        // its own per-pattern plan memo instead.
+        let nodes = &self.nodes;
+        let objects = &self.objects;
+        let placement = &self.placement;
+        let code = &self.code;
+        let outputs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let todo = &todo;
+                    scope.spawn(move || {
+                        let mut out = WorkerOut {
+                            restored: Vec::new(),
+                            failed: Vec::new(),
+                        };
+                        let mut plans: HashMap<Vec<usize>, DecodePlan> = HashMap::new();
+                        for &id in todo.iter().skip(w).step_by(workers) {
+                            let Some(meta) = objects.get(&id) else {
+                                continue;
+                            };
+                            let set = &placement.sets()[meta.set_index];
+                            let Some(pos) = set.iter().position(|&v| v == node) else {
+                                continue;
+                            };
+                            let mut shards: Vec<Option<Vec<u8>>> = set
+                                .iter()
+                                .enumerate()
+                                .map(|(p, &v)| {
+                                    nodes[v as usize]
+                                        .as_ref()
+                                        .and_then(|m| m.get(&(id, p)).cloned())
+                                })
+                                .collect();
+                            let available = shards.iter().filter(|s| s.is_some()).count();
+                            let missing: Vec<usize> = shards
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(p, s)| s.is_none().then_some(p))
+                                .collect();
+                            let plan = match plans.get(&missing) {
+                                Some(p) => p,
+                                None => match code.plan_reconstruction(&missing) {
+                                    Ok(p) => plans.entry(missing.clone()).or_insert(p),
+                                    Err(e) => {
+                                        out.failed.push((id, e));
+                                        continue;
+                                    }
+                                },
+                            };
+                            if let Err(e) = code.reconstruct_with_plan(plan, &mut shards) {
+                                out.failed.push((id, e));
+                                continue;
+                            }
+                            let Some(shard) = shards[pos].take() else {
+                                out.failed.push((
+                                    id,
+                                    Error::InternalInvariant {
+                                        what: "rebuilt shard missing after reconstruction",
+                                    },
+                                ));
+                                continue;
+                            };
+                            let bytes_read =
+                                (code.data_shards().min(available) * meta.shard_len) as u64;
+                            out.restored.push(Restored {
+                                id,
+                                pos,
+                                shard,
+                                bytes_read,
+                            });
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(w, h)| {
+                    h.join().unwrap_or_else(|_| WorkerOut {
+                        restored: Vec::new(),
+                        failed: todo
+                            .iter()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|&id| {
+                                (
+                                    id,
+                                    Error::InternalInvariant {
+                                        what: "rebuild worker panicked",
+                                    },
+                                )
+                            })
+                            .collect(),
+                    })
+                })
+                .collect()
+        });
+
+        let mut failed: Vec<(ObjectId, Error)> = Vec::new();
+        for out in outputs {
+            for r in out.restored {
+                st.report.bytes_read += r.bytes_read;
+                st.report.bytes_written += r.shard.len() as u64;
+                st.report.shards_rebuilt += 1;
+                st.restored.insert((r.id, r.pos), r.shard);
             }
+            failed.extend(out.failed);
+        }
+        if !failed.is_empty() {
+            // Deterministic regardless of worker count: report the error
+            // of the smallest failing object, re-queue the rest (sorted
+            // descending so pop() resumes in ascending order).
+            failed.sort_unstable_by_key(|f| std::cmp::Reverse(f.0));
+            let err = failed
+                .last()
+                .map(|(_, e)| e.clone())
+                .ok_or(Error::InternalInvariant {
+                    what: "failure merge lost its entries",
+                })?;
+            st.remaining = failed.into_iter().map(|(id, _)| id).collect();
+            self.rebuilds.insert(node, st);
+            return Err(err);
+        }
+        match self.finish_rebuild(node, st)? {
+            RebuildProgress::Complete(report) => Ok(report),
+            RebuildProgress::InProgress { .. } => Err(Error::InternalInvariant {
+                what: "rebuild finished with objects still queued",
+            }),
         }
     }
 
@@ -705,10 +940,15 @@ impl BrickStore {
                 report.degraded += 1;
                 continue;
             }
-            let full: Vec<&[u8]> = shards
-                .into_iter()
-                .map(|s| s.expect("checked").as_slice())
-                .collect();
+            let mut full: Vec<&[u8]> = Vec::with_capacity(shards.len());
+            for s in shards {
+                full.push(
+                    s.ok_or(Error::InternalInvariant {
+                        what: "shard vanished between availability check and verify",
+                    })?
+                    .as_slice(),
+                );
+            }
             if self.code.verify(&full)? {
                 report.clean += 1;
             } else {
@@ -1050,6 +1290,79 @@ mod tests {
         assert!(s.failed_nodes().is_empty());
         assert!(s.unquarantine(2).is_err()); // not quarantined
         assert!(s.unquarantine(99).is_err()); // out of range
+    }
+
+    #[test]
+    fn parallel_rebuild_is_byte_identical_to_serial() {
+        let mk = || {
+            let mut s = store();
+            for i in 0..60u64 {
+                s.put(ObjectId(i), &blob(i as u8, 90 + (i % 7) as usize))
+                    .unwrap();
+            }
+            s.fail_node(4).unwrap();
+            s.fail_node(7).unwrap(); // concurrent failure within t
+            s
+        };
+        // Serial reference: begin + step loop.
+        let mut serial = mk();
+        serial.begin_rebuild(4).unwrap();
+        let serial_report = loop {
+            match serial.rebuild_step(4, 3).unwrap() {
+                RebuildProgress::InProgress { .. } => continue,
+                RebuildProgress::Complete(r) => break r,
+            }
+        };
+        // Parallel with several worker counts, including more workers
+        // than cores and more than objects.
+        for workers in [1usize, 2, 3, 8, 1000] {
+            let mut par = mk();
+            let report = par.rebuild_node_with_workers(4, workers).unwrap();
+            assert_eq!(report, serial_report, "workers = {workers}");
+            assert_eq!(par.nodes, serial.nodes, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_rebuild_requeues_failures_deterministically() {
+        // Corrupt a survivor so verification re-queues the object: the
+        // parallel path must surface the same error and checkpoint as
+        // the serial one, for any worker count.
+        for workers in [1usize, 3] {
+            let mut s = store();
+            s.put(ObjectId(1), &blob(9, 256)).unwrap();
+            s.corrupt_shard(2, ObjectId(1), 17).unwrap();
+            s.fail_node(1).unwrap();
+            let err = s.rebuild_node_with_workers(1, workers).unwrap_err();
+            assert_eq!(err, Error::RebuildVerification { objects: 1 });
+            assert_eq!(s.rebuild_checkpoint(1).unwrap().objects_remaining, 1);
+            s.corrupt_shard(2, ObjectId(1), 17).unwrap(); // restore
+            let report = s.rebuild_node_with_workers(1, workers).unwrap();
+            assert_eq!(report.stripes_verified, 1);
+            assert_eq!(s.get(ObjectId(1)).unwrap(), blob(9, 256));
+        }
+    }
+
+    #[test]
+    fn degraded_reads_hit_the_plan_cache() {
+        let mut s = store();
+        for i in 0..30u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(2).unwrap();
+        s.fail_node(7).unwrap();
+        for _round in 0..3 {
+            for i in 0..30u64 {
+                assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 64));
+            }
+        }
+        // Two failed nodes hit each rotational set in at most a few
+        // distinct positions; far fewer plans than reads.
+        let cached = s.plan_cache.borrow().entries.len();
+        assert!(
+            (1..=PLAN_CACHE_CAP).contains(&cached),
+            "expected a small plan cache, got {cached}"
+        );
     }
 
     #[test]

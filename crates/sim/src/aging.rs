@@ -113,6 +113,19 @@ fn gamma(x: f64) -> f64 {
     }
 }
 
+/// Gate for every timestamp entering the event queue. A NaN or ±∞ from a
+/// degenerate lifetime draw (e.g. a Weibull shape small enough that the
+/// mean-matching Γ overflows) would sort to the far future under
+/// `total_cmp` and silently never fire; reject it with a typed error
+/// instead.
+fn finite_time(time: f64) -> Result<f64> {
+    if time.is_finite() {
+        Ok(time)
+    } else {
+        Err(Error::NonFiniteEventTime { time })
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum EventKind {
     NodeFail(u32),
@@ -253,14 +266,14 @@ impl AgingSim {
         for v in 0..n {
             let g = gen(&mut node_gen[v], &mut next_gen);
             queue.push(Reverse(Event {
-                time: self.node_lifetime.sample(rng),
+                time: finite_time(self.node_lifetime.sample(rng))?,
                 generation: g,
                 kind: EventKind::NodeFail(v as u32),
             }));
             for j in 0..d {
                 let g = gen(&mut drive_gen[v * d + j], &mut next_gen);
                 queue.push(Reverse(Event {
-                    time: self.drive_lifetime.sample(rng),
+                    time: finite_time(self.drive_lifetime.sample(rng))?,
                     generation: g,
                     kind: EventKind::DriveFail(v as u32, j as u32),
                 }));
@@ -302,7 +315,7 @@ impl AgingSim {
                     next_gen += 1;
                     node_gen[vi] = next_gen;
                     queue.push(Reverse(Event {
-                        time: ev.time + self.node_rebuild_hours,
+                        time: finite_time(ev.time + self.node_rebuild_hours)?,
                         generation: node_gen[vi],
                         kind: EventKind::NodeRepaired(v),
                     }));
@@ -330,7 +343,7 @@ impl AgingSim {
                     next_gen += 1;
                     drive_gen[vi * d + ji] = next_gen;
                     queue.push(Reverse(Event {
-                        time: ev.time + self.drive_rebuild_hours,
+                        time: finite_time(ev.time + self.drive_rebuild_hours)?,
                         generation: drive_gen[vi * d + ji],
                         kind: EventKind::DriveRepaired(v, j),
                     }));
@@ -346,7 +359,7 @@ impl AgingSim {
                     next_gen += 1;
                     node_gen[vi] = next_gen;
                     queue.push(Reverse(Event {
-                        time: ev.time + self.node_lifetime.sample(rng),
+                        time: finite_time(ev.time + self.node_lifetime.sample(rng))?,
                         generation: node_gen[vi],
                         kind: EventKind::NodeFail(v),
                     }));
@@ -355,7 +368,7 @@ impl AgingSim {
                         next_gen += 1;
                         drive_gen[vi * d + j] = next_gen;
                         queue.push(Reverse(Event {
-                            time: ev.time + self.drive_lifetime.sample(rng),
+                            time: finite_time(ev.time + self.drive_lifetime.sample(rng))?,
                             generation: drive_gen[vi * d + j],
                             kind: EventKind::DriveFail(v, j as u32),
                         }));
@@ -371,7 +384,7 @@ impl AgingSim {
                     next_gen += 1;
                     drive_gen[vi * d + ji] = next_gen;
                     queue.push(Reverse(Event {
-                        time: ev.time + self.drive_lifetime.sample(rng),
+                        time: finite_time(ev.time + self.drive_lifetime.sample(rng))?,
                         generation: drive_gen[vi * d + ji],
                         kind: EventKind::DriveFail(v, j),
                     }));
@@ -544,6 +557,27 @@ mod tests {
             Lifetime::Exponential { mttf: 400_000.0 },
         );
         assert!(sim.estimate_mttdl(0, 1).is_err());
+    }
+
+    #[test]
+    fn non_finite_event_times_are_rejected() {
+        // Regression: an MTTF near f64::MAX passes validation (positive,
+        // finite) but `mttf · Exp(1)` overflows to +∞ for any draw with
+        // Exp(1) > 1.8 — which the initial fleet seeding hits almost
+        // surely. Such a timestamp used to be pushed into the event
+        // queue, where total_cmp sorts it past every finite time and the
+        // entity silently never fails again. It must now surface as a
+        // typed error the moment it is scheduled.
+        let sim = baseline_sim(
+            Lifetime::Exponential { mttf: 1e308 },
+            Lifetime::Exponential { mttf: 400_000.0 },
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let err = sim.simulate_one(&mut rng).unwrap_err();
+        assert!(
+            matches!(err, Error::NonFiniteEventTime { time } if time.is_infinite()),
+            "expected NonFiniteEventTime, got {err}"
+        );
     }
 
     #[test]

@@ -13,6 +13,15 @@ pub enum Error {
         /// Description of the violated constraint.
         what: &'static str,
     },
+    /// An event was scheduled at a non-finite time (NaN or ±∞ from a
+    /// degenerate lifetime draw). The event queue orders by
+    /// `f64::total_cmp`, so such an event would silently sort to the far
+    /// future instead of corrupting the order — but it can never fire,
+    /// so it is rejected up front.
+    NonFiniteEventTime {
+        /// The offending timestamp.
+        time: f64,
+    },
     /// The simulation exceeded its event budget without reaching data
     /// loss — the configuration is too reliable for direct simulation;
     /// use [`crate::importance`] instead.
@@ -28,6 +37,9 @@ impl fmt::Display for Error {
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Markov(e) => write!(f, "markov error: {e}"),
             Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Error::NonFiniteEventTime { time } => {
+                write!(f, "event scheduled at non-finite time {time}")
+            }
             Error::EventBudgetExhausted { events } => write!(
                 f,
                 "no data loss within {events} events; configuration too reliable for \
