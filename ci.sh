@@ -25,6 +25,22 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/release/nsr bench --check --out-dir "$SMOKE_DIR"
 ./target/release/nsr bench --check --out-dir .
 
+echo "==> observability smoke (nsr-obs/v1 snapshots, schema-validated)"
+# A parallel sim with both snapshot flags must produce valid nsr-obs/v1
+# files carrying the headline metrics from all three instrumented crates.
+./target/release/nsr sim --config ft1-nir --samples 60 --threads 2 --seed 7 \
+    --metrics-out "$SMOKE_DIR/metrics.jsonl" --trace-out "$SMOKE_DIR/trace.jsonl"
+./target/release/nsr obs-check --file "$SMOKE_DIR/metrics.jsonl" \
+    --require erasure.plan_cache.hit_rate,markov.absorbing.gth_fallback,sim.worker.samples_per_s
+./target/release/nsr obs-check --file "$SMOKE_DIR/trace.jsonl"
+# Without the flags the observability layer must stay silent: no snapshot
+# lines in the output and nothing written.
+PLAIN_OUT="$(./target/release/nsr sim --config ft1-nir --samples 20 --seed 7)"
+if printf '%s' "$PLAIN_OUT" | grep -q 'records'; then
+    echo "ERROR: plain run mentioned observability snapshots" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

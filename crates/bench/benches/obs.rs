@@ -1,0 +1,12 @@
+//! Benches for the `nsr-obs` cost contract: recording calls with the
+//! layer disabled (must be a relaxed atomic load + branch) against
+//! their enabled counterparts. Emits `BENCH_obs.json` (override with
+//! `--out <path>`; `--smoke` shrinks budgets). Run with
+//! `cargo bench -p nsr-bench --bench obs`.
+
+fn main() {
+    if let Err(e) = nsr_bench::bench_suite_main("obs") {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,443 +1,31 @@
-//! A tiny hand-rolled JSON value type: enough to *emit* the `BENCH_*.json`
-//! reports and to *parse them back* for validation (the CI smoke step
-//! re-reads what the harness wrote and checks the schema).
+//! Compatibility re-export of the workspace JSON stack.
 //!
-//! The workspace is intentionally dependency-free, so this replaces
-//! `serde_json` for the narrow subset the bench reports need: objects,
-//! arrays, strings, finite numbers, booleans and null. Numbers are stored
-//! as `f64`; non-finite values are rendered as `null` (JSON has no NaN).
+//! The hand-rolled JSON value type originally lived here; it moved to
+//! `nsr_obs::json` so that every crate (not just the bench harness) can
+//! emit structured records without depending on `nsr-bench`'s heavier
+//! dependency closure. Existing `nsr_bench::json::Json` paths keep
+//! working through this re-export.
 
-use std::collections::BTreeMap;
-use std::fmt;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number. Non-finite values render as `null`.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object. `BTreeMap` keeps key order deterministic.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Builds an object from `(key, value)` pairs.
-    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Looks up a key when `self` is an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    /// The string payload, when `self` is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, when `self` is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The element list, when `self` is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    /// Renders with two-space indentation and a trailing newline — the
-    /// exact format checked into the repository's `BENCH_*.json` files.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // Integral values print without a fraction; others with
-                    // enough digits to round-trip through `parse`.
-                    if *n == n.trunc() && n.abs() < 1e15 {
-                        out.push_str(&format!("{}", *n as i64));
-                    } else {
-                        out.push_str(&format!("{n}"));
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => render_string(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push(']');
-            }
-            Json::Obj(map) => {
-                if map.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in map.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(indent + 1));
-                    render_string(k, out);
-                    out.push_str(": ");
-                    v.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(indent));
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document. Returns a descriptive error (with byte
-    /// offset) on malformed input.
-    pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(ParseError {
-                offset: pos,
-                what: "trailing characters after the document",
-            });
-        }
-        Ok(value)
-    }
-}
-
-/// A JSON parse error: what went wrong and where.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Byte offset of the error.
-    pub offset: usize,
-    /// What was wrong.
-    pub what: &'static str,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.what)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn render_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, lit: &str, what: &'static str) -> Result<(), ParseError> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(())
-    } else {
-        Err(ParseError { offset: *pos, what })
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(ParseError {
-            offset: *pos,
-            what: "unexpected end of input",
-        }),
-        Some(b'n') => expect(bytes, pos, "null", "expected `null`").map(|()| Json::Null),
-        Some(b't') => expect(bytes, pos, "true", "expected `true`").map(|()| Json::Bool(true)),
-        Some(b'f') => expect(bytes, pos, "false", "expected `false`").map(|()| Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => {
-                        return Err(ParseError {
-                            offset: *pos,
-                            what: "expected `,` or `]` in array",
-                        })
-                    }
-                }
-            }
-        }
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, ":", "expected `:` after object key")?;
-                map.insert(key, parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    _ => {
-                        return Err(ParseError {
-                            offset: *pos,
-                            what: "expected `,` or `}` in object",
-                        })
-                    }
-                }
-            }
-        }
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return Err(ParseError {
-            offset: *pos,
-            what: "expected `\"`",
-        });
-    }
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => {
-                return Err(ParseError {
-                    offset: *pos,
-                    what: "unterminated string",
-                })
-            }
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or(ParseError {
-                            offset: *pos,
-                            what: "truncated \\u escape",
-                        })?;
-                        let code = std::str::from_utf8(hex)
-                            .ok()
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .ok_or(ParseError {
-                                offset: *pos,
-                                what: "invalid \\u escape",
-                            })?;
-                        // Surrogate pairs are not needed for the bench
-                        // reports; reject rather than mis-decode.
-                        let c = char::from_u32(code).ok_or(ParseError {
-                            offset: *pos,
-                            what: "\\u escape is not a scalar value",
-                        })?;
-                        out.push(c);
-                        *pos += 4;
-                    }
-                    _ => {
-                        return Err(ParseError {
-                            offset: *pos,
-                            what: "invalid escape",
-                        })
-                    }
-                }
-                *pos += 1;
-            }
-            Some(&b) => {
-                // Copy the full UTF-8 sequence starting at this byte.
-                let start = *pos;
-                let len = match b {
-                    0x00..=0x7f => 1,
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let chunk = bytes.get(start..start + len).ok_or(ParseError {
-                    offset: start,
-                    what: "truncated UTF-8 sequence",
-                })?;
-                let s = std::str::from_utf8(chunk).map_err(|_| ParseError {
-                    offset: start,
-                    what: "invalid UTF-8 in string",
-                })?;
-                out.push_str(s);
-                *pos += len;
-            }
-        }
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| ParseError {
-        offset: start,
-        what: "invalid number",
-    })?;
-    text.parse::<f64>().map(Json::Num).map_err(|_| ParseError {
-        offset: start,
-        what: "invalid number",
-    })
-}
+pub use nsr_obs::json::{Json, ParseError};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // The shim must expose the *fixed* parser: surrogate pairs in
+    // externally produced `nsr-bench/v1` reports decode instead of
+    // failing `--check` (lone surrogates still fail).
     #[test]
-    fn round_trips_a_report_shaped_document() {
-        let doc = Json::obj([
-            ("schema", Json::Str("nsr-bench/v1".into())),
-            ("suite", Json::Str("erasure".into())),
-            (
-                "results",
-                Json::Arr(vec![Json::obj([
-                    ("name", Json::Str("gf256/mul_acc_64k".into())),
-                    ("ns_per_iter", Json::Num(19_531.25)),
-                    ("bytes_per_iter", Json::Num(65_536.0)),
-                    ("mib_per_s", Json::Num(3_200.0)),
-                ])]),
-            ),
-        ]);
-        let text = doc.render();
-        assert!(text.ends_with('\n'));
-        let back = Json::parse(&text).unwrap();
-        assert_eq!(back, doc);
-        assert_eq!(
-            back.get("schema").and_then(Json::as_str),
-            Some("nsr-bench/v1")
-        );
-        let results = back.get("results").and_then(Json::as_arr).unwrap();
-        assert_eq!(
-            results[0].get("ns_per_iter").and_then(Json::as_f64),
-            Some(19_531.25)
-        );
+    fn bench_parser_accepts_surrogate_pair_labels() {
+        let text = "{\"schema\": \"nsr-bench/v1\", \"label\": \"node-\\ud83d\\ude00\"}";
+        let doc = Json::parse(text).unwrap();
+        assert_eq!(doc.get("label").and_then(Json::as_str), Some("node-😀"));
+        assert!(Json::parse("{\"label\": \"\\ud83d\"}").is_err());
     }
 
     #[test]
-    fn parses_literals_escapes_and_nesting() {
-        let back =
-            Json::parse(r#" { "a": [1, -2.5e3, true, false, null], "b": "x\n\"y\"A" } "#).unwrap();
-        assert_eq!(back.get("b").and_then(Json::as_str), Some("x\n\"y\"A"));
-        let a = back.get("a").and_then(Json::as_arr).unwrap();
-        assert_eq!(a[1], Json::Num(-2500.0));
-        assert_eq!(a[4], Json::Null);
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\" 1}",
-            "nul",
-            "\"unterminated",
-            "1 2",
-            "{\"a\":}",
-            "[1,]e",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
-        }
-        let err = Json::parse("{\"a\": nope}").unwrap_err();
+    fn bench_parser_error_type_is_reexported() {
+        let err: ParseError = Json::parse("{").unwrap_err();
         assert!(err.to_string().contains("byte"));
-    }
-
-    #[test]
-    fn non_finite_numbers_render_as_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
     }
 }

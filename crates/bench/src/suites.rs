@@ -55,8 +55,9 @@ use nsr_sim::system::SystemSim;
 /// Schema identifier stamped into every report.
 pub const SCHEMA: &str = "nsr-bench/v1";
 
-/// The suite names, in the order `all` runs them.
-pub const SUITE_NAMES: [&str; 3] = ["erasure", "solvers", "sim"];
+/// The suite names, in the order `all` runs them. `obs` runs last so its
+/// enable/disable toggling never overlaps another suite's measurements.
+pub const SUITE_NAMES: [&str; 4] = ["erasure", "solvers", "sim", "obs"];
 
 /// Measurement fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +157,7 @@ pub fn run_suite(name: &str, mode: Mode) -> Result<Suite, String> {
         "erasure" => erasure_suite(mode),
         "solvers" => solvers_suite(mode),
         "sim" => sim_suite(mode),
+        "obs" => obs_suite(mode),
         other => Err(format!(
             "unknown suite `{other}` (expected one of: {})",
             SUITE_NAMES.join(", ")
@@ -463,6 +465,58 @@ pub fn sim_suite(mode: Mode) -> Result<Suite, String> {
     })
 }
 
+/// The observability-overhead suite: the `disabled/*` cases pin the cost
+/// contract of `nsr-obs` (a recording call with the layer off must be a
+/// relaxed atomic load + branch — single-digit nanoseconds, no
+/// allocation), and the `enabled/*` cases document what turning the
+/// layer on costs. The previously-enabled/disabled state of both layers
+/// is restored on exit, so `obs` composes with `--suite all`.
+pub fn obs_suite(mode: Mode) -> Result<Suite, String> {
+    use nsr_obs::{Counter, Histogram, Json as ObsJson, Span};
+
+    static BENCH_COUNTER: Counter = Counter::new("bench.obs.counter");
+    static BENCH_HIST: Histogram = Histogram::new("bench.obs.histogram");
+
+    let t = mode.timing();
+    let mut results = Vec::new();
+    let was_metrics = nsr_obs::metrics_enabled();
+    let was_trace = nsr_obs::trace_enabled();
+
+    nsr_obs::set_metrics_enabled(false);
+    nsr_obs::set_trace_enabled(false);
+    results.push(t.measure("disabled/counter_add", 0, || BENCH_COUNTER.add(3)));
+    results.push(t.measure("disabled/histogram_observe", 0, || BENCH_HIST.observe(1.5)));
+    results.push(t.measure("disabled/event", 0, || {
+        nsr_obs::trace::event("bench.obs.event", || vec![("value", ObsJson::Num(1.0))])
+    }));
+    results.push(t.measure("disabled/span_enter_drop", 0, || {
+        Span::enter("bench.obs.span")
+    }));
+
+    nsr_obs::set_metrics_enabled(true);
+    results.push(t.measure("enabled/counter_add", 0, || BENCH_COUNTER.add(3)));
+    results.push(t.measure("enabled/histogram_observe", 0, || BENCH_HIST.observe(1.5)));
+    nsr_obs::set_metrics_enabled(false);
+
+    nsr_obs::set_trace_enabled(true);
+    results.push(t.measure("enabled/event", 0, || {
+        nsr_obs::trace::event("bench.obs.event", || vec![("value", ObsJson::Num(1.0))])
+    }));
+    // Millions of bench events overflow the bounded sink by design; drain
+    // it so a later `--trace-out` snapshot isn't full of bench noise.
+    let _ = nsr_obs::trace::drain();
+    nsr_obs::set_trace_enabled(false);
+
+    nsr_obs::set_metrics_enabled(was_metrics);
+    nsr_obs::set_trace_enabled(was_trace);
+
+    Ok(Suite {
+        suite: "obs",
+        mode,
+        results,
+    })
+}
+
 /// Validates a parsed report against the `nsr-bench/v1` schema. Returns
 /// a description of the first violation.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
@@ -555,6 +609,29 @@ mod tests {
         let back = Json::parse(&doc.render()).expect("parse");
         validate_report(&back).expect("schema after round trip");
         assert!(suite.render_human().contains("mode: smoke"));
+    }
+
+    #[test]
+    fn obs_smoke_suite_runs_and_restores_state() {
+        assert!(!nsr_obs::metrics_enabled());
+        assert!(!nsr_obs::trace_enabled());
+        let suite = obs_suite(Mode::Smoke).expect("suite");
+        // Both layers are back off after the run.
+        assert!(!nsr_obs::metrics_enabled());
+        assert!(!nsr_obs::trace_enabled());
+        let names: Vec<&str> = suite.results.iter().map(|m| m.name.as_str()).collect();
+        for expected in [
+            "disabled/counter_add",
+            "disabled/histogram_observe",
+            "disabled/event",
+            "disabled/span_enter_drop",
+            "enabled/counter_add",
+            "enabled/histogram_observe",
+            "enabled/event",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        validate_report(&suite.to_json()).expect("schema");
     }
 
     #[test]

@@ -45,6 +45,8 @@ COMMANDS:
               validate existing reports without re-running)
   chain       export a configuration's exact CTMC as Graphviz dot (--out F)
   report      one-shot markdown reproduction report (--out FILE)
+  obs-check   validate an nsr-obs/v1 JSON-lines file (--file F;
+              --require name1,name2 demands specific metric names)
   help        this text
 
 CONFIGS:  ft<k>-<nir|ir5|ir6>, e.g. ft1-nir, ft2-ir5, ft3-nir
@@ -53,14 +55,59 @@ PARAMETER OVERRIDES (all commands):
   --drive-mttf H  --node-mttf H  --nodes N  --rset R  --drives D
   --link-gbps G   --rebuild-kib K  --restripe-kib K
   --capacity-util F  --bw-util F  --her E  --drive-gb G  --half-duplex
+
+OBSERVABILITY (all commands):
+  --metrics-out FILE   write an nsr-obs/v1 metrics snapshot after the run
+  --trace-out FILE     write the nsr-obs/v1 span/event trace after the run
 ";
 
 /// Dispatches a parsed command line.
+///
+/// When `--metrics-out` / `--trace-out` is present, the corresponding
+/// observability layer is enabled for the duration of the command and a
+/// fresh `nsr-obs/v1` snapshot is written afterwards; both layers are
+/// disabled again before returning, so observability stays strictly
+/// per-invocation.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] suitable for printing to stderr.
 pub fn dispatch(args: &ParsedArgs) -> Result<String> {
+    let metrics_out = args.get::<String>("metrics-out")?;
+    let trace_out = args.get::<String>("trace-out")?;
+    if metrics_out.is_none() && trace_out.is_none() {
+        return dispatch_cmd(args);
+    }
+
+    // Start from a clean slate (earlier in-process invocations may have
+    // left counts or buffered records), then enable the requested layers
+    // *before* registering so registration-time records (e.g. the erasure
+    // kernel-tier event) are captured.
+    nsr_obs::reset_metrics();
+    let _ = nsr_obs::trace::drain();
+    nsr_obs::set_metrics_enabled(metrics_out.is_some());
+    nsr_obs::set_trace_enabled(trace_out.is_some());
+    nsr_markov::obs::register();
+    nsr_sim::obs::register();
+    nsr_erasure::obs::register();
+
+    let result = dispatch_cmd(args);
+    nsr_obs::set_metrics_enabled(false);
+    nsr_obs::set_trace_enabled(false);
+
+    let mut out = result?;
+    if let Some(path) = metrics_out {
+        let n = nsr_obs::write_metrics(std::path::Path::new(&path), &args.command)?;
+        let _ = writeln!(out, "wrote {path} ({n} metric records)");
+    }
+    if let Some(path) = trace_out {
+        let n = nsr_obs::write_trace(std::path::Path::new(&path), &args.command)?;
+        let _ = writeln!(out, "wrote {path} ({n} trace records)");
+    }
+    Ok(out)
+}
+
+fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
     match args.command.as_str() {
         "baseline" => baseline(args),
         "eval" => eval(args),
@@ -76,6 +123,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
         "aging" => aging(args),
         "bench" => bench(args),
         "chain" => chain(args),
+        "obs-check" => obs_check(args),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError(format!(
             "unknown command '{other}'; try `nsr help`"
@@ -713,6 +761,36 @@ fn bench(args: &ParsedArgs) -> Result<String> {
     Ok(out)
 }
 
+fn obs_check(args: &ParsedArgs) -> Result<String> {
+    let path = args
+        .get::<String>("file")?
+        .ok_or_else(|| CliError("--file is required".into()))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
+    let records = nsr_obs::validate_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: valid nsr-obs/v1 ({records} records)");
+    if let Some(required) = args.get::<String>("require")? {
+        let mut names = std::collections::HashSet::new();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            // validate_jsonl already proved every line parses.
+            let doc = nsr_obs::Json::parse(line).expect("validated above");
+            if let Some(name) = doc.get("name").and_then(nsr_obs::Json::as_str) {
+                names.insert(name.to_string());
+            }
+        }
+        for want in required.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if !names.contains(want) {
+                return Err(CliError(format!(
+                    "{path}: required metric '{want}' not present"
+                )));
+            }
+        }
+        let _ = writeln!(out, "required names present: {required}");
+    }
+    Ok(out)
+}
+
 fn chain(args: &ParsedArgs) -> Result<String> {
     let config = parse_config(
         &args
@@ -930,6 +1008,102 @@ mod tests {
         assert!(out.contains("# Reliability report"));
         assert!(out.contains("| FT 2, Internal RAID 5 |"));
         assert!(out.contains("trapped (must be 0)"));
+    }
+
+    #[test]
+    fn sim_writes_metrics_and_trace_files() {
+        // Single test for the whole obs pipeline (enable → run → snapshot
+        // → validate): keeping it to one test avoids races on the global
+        // metric state between parallel test threads.
+        let dir = std::env::temp_dir().join(format!("nsr-obs-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        let trace = dir.join("trace.jsonl");
+        let out = run(&[
+            "sim",
+            "--config",
+            "ft1-nir",
+            "--samples",
+            "40",
+            "--threads",
+            "2",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("simulated MTTDL"));
+        assert!(out.contains("metric records"));
+        assert!(out.contains("trace records"));
+        // Both layers are switched off again after the command.
+        assert!(!nsr_obs::metrics_enabled());
+        assert!(!nsr_obs::trace_enabled());
+
+        // The snapshots validate and carry the headline metrics.
+        let checked = run(&[
+            "obs-check",
+            "--file",
+            metrics.to_str().unwrap(),
+            "--require",
+            "sim.samples,sim.worker.samples_per_s,markov.absorbing.gth_fallback,\
+             erasure.plan_cache.hit_rate",
+        ])
+        .unwrap();
+        assert!(checked.contains("valid nsr-obs/v1"));
+        assert!(checked.contains("required names present"));
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let samples_line = text
+            .lines()
+            .find(|l| l.contains("\"sim.samples\""))
+            .expect("sim.samples metric present");
+        assert!(samples_line.contains("\"value\":40"), "{samples_line}");
+
+        // The trace validates too and contains the per-worker events.
+        run(&["obs-check", "--file", trace.to_str().unwrap()]).unwrap();
+        let trace_text = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_text.contains("\"sim.worker\""), "{trace_text}");
+
+        // A demanded-but-absent metric fails the check.
+        assert!(run(&[
+            "obs-check",
+            "--file",
+            metrics.to_str().unwrap(),
+            "--require",
+            "no.such.metric",
+        ])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_check_validates_handwritten_files() {
+        let dir = std::env::temp_dir().join(format!("nsr-obs-check-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.jsonl");
+        std::fs::write(
+            &good,
+            concat!(
+                "{\"schema\":\"nsr-obs/v1\",\"kind\":\"meta\",\"source\":\"t\"}\n",
+                "{\"schema\":\"nsr-obs/v1\",\"kind\":\"counter\",\"name\":\"a.b\",\"value\":2}\n",
+            ),
+        )
+        .unwrap();
+        let out = run(&["obs-check", "--file", good.to_str().unwrap()]).unwrap();
+        assert!(out.contains("2 records"));
+
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(
+            &bad,
+            "{\"schema\":\"nsr-obs/v1\",\"kind\":\"counter\",\"name\":\"a\",\"value\":-1}\n",
+        )
+        .unwrap();
+        let err = run(&["obs-check", "--file", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("line 1"), "{err}");
+
+        assert!(run(&["obs-check"]).is_err()); // --file required
+        assert!(run(&["obs-check", "--file", "/no/such/file.jsonl"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

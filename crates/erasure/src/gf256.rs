@@ -192,6 +192,20 @@ const WIDE_KERNEL_THRESHOLD: usize = 256;
 /// one) amortizes its per-call bit-matrix construction.
 const ACCEL_THRESHOLD: usize = 64;
 
+/// The multiply-accumulate kernel tier that large-block dispatch selects
+/// on this machine: `"gfni-avx512"` when the vectorized kernel is
+/// available, `"portable-wide"` otherwise. (Slices under the dispatch
+/// thresholds and the 0/1 coefficients always take the scalar paths.)
+/// Fixed for the life of the process; the observability layer records it
+/// once at registration.
+pub fn kernel_tier() -> &'static str {
+    if crate::simd::accel_available() {
+        "gfni-avx512"
+    } else {
+        "portable-wide"
+    }
+}
+
 /// Multiply-accumulate a byte slice: `dst[i] += coeff · src[i]`, the inner
 /// loop of Reed–Solomon encoding and reconstruction.
 ///

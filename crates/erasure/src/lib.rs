@@ -46,6 +46,7 @@
 mod error;
 pub mod gf256;
 pub mod matrix;
+pub mod obs;
 pub mod placement;
 pub mod rs;
 mod simd;

@@ -45,6 +45,20 @@ pub(crate) fn mul_acc_accel(dst: &mut [u8], src: &[u8], coeff: Gf) -> bool {
     }
 }
 
+/// Whether the vectorized kernel is usable on this CPU (always `false`
+/// off x86_64). Lets `gf256::kernel_tier` report which tier large-block
+/// dispatch will select without doing any work.
+pub(crate) fn accel_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        x86::available()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Builds the `vgf2p8affineqb` bit-matrix for multiplication by `c`.
 ///
 /// Output bit `i` of a product byte is `Σ_j input[j] · bit_i(c·x^j)`, so

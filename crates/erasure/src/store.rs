@@ -66,11 +66,15 @@ impl PlanCache {
     /// Fetches the plan for `missing`, building (and caching) it on a miss.
     fn get_or_build(&mut self, code: &ReedSolomon, missing: &[usize]) -> Result<DecodePlan> {
         if let Some(i) = self.entries.iter().position(|(k, _)| k == missing) {
+            crate::obs::PLAN_CACHE_HITS.inc();
+            crate::obs::update_plan_cache_hit_rate();
             let entry = self.entries.remove(i);
             let plan = entry.1.clone();
             self.entries.push(entry); // move to most-recently-used
             return Ok(plan);
         }
+        crate::obs::PLAN_CACHE_MISSES.inc();
+        crate::obs::update_plan_cache_hit_rate();
         let plan = code.plan_reconstruction(missing)?;
         if self.entries.len() >= PLAN_CACHE_CAP {
             self.entries.remove(0);
@@ -358,14 +362,21 @@ impl BrickStore {
         }
     }
 
-    /// Stores an object, striping it across the next redundancy set.
+    /// Stores an object, striping it across the next *fully live*
+    /// redundancy set in round-robin order.
+    ///
+    /// Writes require a whole set, so placement probes up to
+    /// `placement.len()` sets starting from the round-robin cursor and
+    /// skips any set containing a failed node: a single failed node no
+    /// longer write-deadlocks the store while healthy sets remain, and
+    /// successive puts keep rotating over the healthy sets so placement
+    /// stays balanced.
     ///
     /// # Errors
     ///
     /// * [`Error::InvalidPlacement`] if the id is already present, the
-    ///   object is empty, or any target node is currently failed (writes
-    ///   require a whole set; real systems would pick another set — kept
-    ///   strict here to make tests deterministic).
+    ///   object is empty, or **every** redundancy set contains a failed
+    ///   node.
     pub fn put(&mut self, id: ObjectId, data: &[u8]) -> Result<()> {
         if self.objects.contains_key(&id) {
             return Err(Error::InvalidPlacement {
@@ -377,13 +388,21 @@ impl BrickStore {
                 what: "cannot store an empty object".into(),
             });
         }
-        let set_index = self.next_set % self.placement.len();
-        let set = &self.placement.sets()[set_index];
-        if set.iter().any(|&v| self.nodes[v as usize].is_none()) {
-            return Err(Error::InvalidPlacement {
-                what: format!("redundancy set {set_index} has a failed node"),
-            });
+        let n_sets = self.placement.len();
+        let set_index = (0..n_sets)
+            .map(|probe| (self.next_set + probe) % n_sets)
+            .find(|&si| {
+                self.placement.sets()[si]
+                    .iter()
+                    .all(|&v| self.nodes[v as usize].is_some())
+            })
+            .ok_or_else(|| Error::InvalidPlacement {
+                what: format!("all {n_sets} redundancy sets contain a failed node"),
+            })?;
+        if set_index != self.next_set % n_sets {
+            crate::obs::PUT_REDIRECTS.inc();
         }
+        let set = &self.placement.sets()[set_index];
         let k = self.code.data_shards();
         let shard_len = data.len().div_ceil(k);
         let mut shards: Vec<Vec<u8>> = Vec::with_capacity(k);
@@ -412,7 +431,9 @@ impl BrickStore {
                 shard_len,
             },
         );
-        self.next_set += 1;
+        // Advance the cursor past the *chosen* set (not merely by one)
+        // so probing under failures keeps rotating over healthy sets.
+        self.next_set = set_index + 1;
         Ok(())
     }
 
@@ -564,6 +585,14 @@ impl BrickStore {
     /// the last object is done, every reconstructed stripe that is fully
     /// available is parity-verified, and only then is the node revived.
     ///
+    /// A `budget` of 0 against a non-empty queue is a pure probe: no
+    /// reconstruction happens, the checkpoint and its
+    /// `bytes_read`/`bytes_written`/`shards_rebuilt` accounting are left
+    /// untouched, and the call reports the current backlog as
+    /// [`RebuildProgress::InProgress`]. (If the queue is already empty —
+    /// e.g. the node held no shards — any budget, including 0, runs the
+    /// verification tail and completes.)
+    ///
     /// On error the checkpoint is **kept** (with the offending objects
     /// re-queued), so the rebuild resumes — rather than restarts — once
     /// the obstacle is cleared.
@@ -692,7 +721,25 @@ impl BrickStore {
         }
 
         self.nodes[node as usize] = Some(st.restored);
-        Ok(RebuildProgress::Complete(st.report))
+        let report = st.report;
+        crate::obs::REBUILD_SHARDS.add(report.shards_rebuilt);
+        crate::obs::REBUILD_BYTES_READ.add(report.bytes_read);
+        crate::obs::REBUILD_BYTES_WRITTEN.add(report.bytes_written);
+        nsr_obs::trace::event("erasure.rebuild.complete", || {
+            vec![
+                ("node", nsr_obs::Json::Num(f64::from(node))),
+                (
+                    "shards_rebuilt",
+                    nsr_obs::Json::Num(report.shards_rebuilt as f64),
+                ),
+                ("bytes_read", nsr_obs::Json::Num(report.bytes_read as f64)),
+                (
+                    "bytes_written",
+                    nsr_obs::Json::Num(report.bytes_written as f64),
+                ),
+            ]
+        });
+        Ok(RebuildProgress::Complete(report))
     }
 
     /// Revives a failed node and reconstructs every shard it should hold,
@@ -723,6 +770,7 @@ impl BrickStore {
     /// count (exposed for determinism tests; `rebuild_node` picks the
     /// available parallelism).
     fn rebuild_node_with_workers(&mut self, node: u32, workers: usize) -> Result<RebuildReport> {
+        let t0 = nsr_obs::metrics_timer();
         self.begin_rebuild(node)?;
         let mut st = self
             .rebuilds
@@ -872,7 +920,14 @@ impl BrickStore {
             return Err(err);
         }
         match self.finish_rebuild(node, st)? {
-            RebuildProgress::Complete(report) => Ok(report),
+            RebuildProgress::Complete(report) => {
+                if let Some(t0) = t0 {
+                    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+                    crate::obs::REBUILD_BYTES_PER_S
+                        .observe((report.bytes_read + report.bytes_written) as f64 / secs);
+                }
+                Ok(report)
+            }
             RebuildProgress::InProgress { .. } => Err(Error::InternalInvariant {
                 what: "rebuild finished with objects still queued",
             }),
@@ -996,7 +1051,17 @@ where
             Err(e @ (Error::TooManyErasures { .. } | Error::RebuildVerification { .. })) => {
                 last_err = Some(e);
                 if attempt + 1 < policy.max_attempts {
-                    backoff_hours.push(policy.backoff_for(attempt));
+                    let backoff = policy.backoff_for(attempt);
+                    crate::obs::REBUILD_RETRIES.inc();
+                    crate::obs::RETRY_BACKOFF_HOURS.observe(backoff);
+                    nsr_obs::trace::event("erasure.rebuild.retry", || {
+                        vec![
+                            ("node", nsr_obs::Json::Num(f64::from(node))),
+                            ("attempt", nsr_obs::Json::Num(f64::from(attempt))),
+                            ("backoff_hours", nsr_obs::Json::Num(backoff)),
+                        ]
+                    });
+                    backoff_hours.push(backoff);
                     recover(store, attempt);
                 }
             }
@@ -1435,6 +1500,79 @@ mod tests {
         let mut s = BrickStore::new(6, 6, 2).unwrap(); // every set spans all nodes
         s.fail_node(0).unwrap();
         assert!(s.put(ObjectId(1), &blob(1, 32)).is_err());
+    }
+
+    #[test]
+    fn puts_probe_past_degraded_sets() {
+        // Regression: a put whose round-robin cursor landed on a set with
+        // a failed node used to error even though other sets were fully
+        // live — with one failed node the very first put was refused.
+        let mut s = store(); // 10 nodes, 10 rotational sets of 5
+        s.fail_node(0).unwrap();
+        for i in 0..25u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        // Everything reads back, and nothing was placed on a degraded set.
+        let healthy: Vec<usize> = (0..s.placement.len())
+            .filter(|&si| s.placement.sets()[si].iter().all(|&v| v != 0))
+            .collect();
+        assert_eq!(healthy.len(), 5);
+        let mut per_set = vec![0u32; s.placement.len()];
+        for i in 0..25u64 {
+            assert_eq!(s.get(ObjectId(i)).unwrap(), blob(i as u8, 64));
+            per_set[s.objects[&ObjectId(i)].set_index] += 1;
+        }
+        // Placement stays balanced: the 25 puts rotate over the 5 healthy
+        // sets, 5 objects each; degraded sets get nothing.
+        for (si, &got) in per_set.iter().enumerate() {
+            let want = if healthy.contains(&si) { 5 } else { 0 };
+            assert_eq!(got, want, "set {si}");
+        }
+        // After the node is rebuilt, placement resumes using all sets.
+        s.rebuild_node(0).unwrap();
+        s.put(ObjectId(100), &blob(100, 64)).unwrap();
+        assert_eq!(s.get(ObjectId(100)).unwrap(), blob(100, 64));
+    }
+
+    #[test]
+    fn rebuild_step_zero_budget_is_a_pure_probe() {
+        let mut s = store();
+        for i in 0..8u64 {
+            s.put(ObjectId(i), &blob(i as u8, 96)).unwrap();
+        }
+        s.fail_node(2).unwrap();
+        s.begin_rebuild(2).unwrap();
+        // Make partial progress so the checkpoint carries accounting.
+        let _ = s.rebuild_step(2, 1).unwrap();
+        let before = s.rebuild_checkpoint(2).unwrap();
+        assert!(before.objects_remaining > 0);
+        for _ in 0..3 {
+            match s.rebuild_step(2, 0).unwrap() {
+                RebuildProgress::InProgress { objects_remaining } => {
+                    assert_eq!(objects_remaining, before.objects_remaining)
+                }
+                RebuildProgress::Complete(_) => {
+                    panic!("budget 0 must not complete a non-empty queue")
+                }
+            }
+            // Checkpoint (progress *and* accounting) untouched.
+            assert_eq!(s.rebuild_checkpoint(2), Some(before));
+        }
+        // The rebuild still runs to completion afterwards.
+        match s.rebuild_step(2, usize::MAX).unwrap() {
+            RebuildProgress::Complete(report) => assert!(report.shards_rebuilt > 0),
+            p => panic!("expected completion, got {p:?}"),
+        }
+        // Against an *empty* queue (node held no shards), budget 0 runs
+        // the (vacuous) verification tail and completes immediately.
+        let mut empty = store();
+        empty.fail_node(7).unwrap();
+        empty.begin_rebuild(7).unwrap();
+        match empty.rebuild_step(7, 0).unwrap() {
+            RebuildProgress::Complete(report) => assert_eq!(report, RebuildReport::default()),
+            p => panic!("expected completion, got {p:?}"),
+        }
+        assert!(empty.failed_nodes().is_empty());
     }
 
     #[test]

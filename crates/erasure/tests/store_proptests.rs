@@ -87,6 +87,92 @@ fn reads_always_correct_within_tolerance() {
     }
 }
 
+/// However a rebuild is driven — one-shot `rebuild_node`, arbitrary
+/// `rebuild_step` budgets (including zero-budget probes), aborts that
+/// restart from scratch, redundant `begin_rebuild` resumes — the
+/// completed rebuild's `bytes_read`/`bytes_written`/`shards_rebuilt`
+/// accounting must equal the single-shot baseline.
+#[test]
+fn interleaved_rebuild_accounting_matches_single_shot() {
+    use nsr_erasure::store::RebuildProgress;
+
+    let mut rng = StdRng::seed_from_u64(0x5704_0003);
+    for round in 0..48 {
+        let objects = rng.random_range_usize(1, 24);
+        let lens: Vec<usize> = (0..objects)
+            .map(|_| rng.random_range_usize(1, 200))
+            .collect();
+        let victim = rng.random_range_usize(0, 10) as u32;
+
+        let build = |lens: &[usize]| {
+            let mut s = BrickStore::new(10, 5, 2).unwrap();
+            for (i, &len) in lens.iter().enumerate() {
+                s.put(ObjectId(i as u64), &payload(i as u64, len)).unwrap();
+            }
+            s.fail_node(victim).unwrap();
+            s
+        };
+
+        // Baseline: single-shot rebuild of an identically built store.
+        let mut baseline = build(&lens);
+        let want = baseline.rebuild_node(victim).unwrap();
+
+        // Interleaved driving of the same rebuild.
+        let mut s = build(&lens);
+        s.begin_rebuild(victim).unwrap();
+        let got = loop {
+            match rng.random_range_usize(0, 8) {
+                0 => {
+                    // Abort and restart: completed work is discarded, so
+                    // the eventual report must still match the baseline.
+                    assert!(s.abort_rebuild(victim));
+                    s.begin_rebuild(victim).unwrap();
+                }
+                1 => {
+                    // Redundant begin: resumes the existing checkpoint.
+                    let before = s.rebuild_checkpoint(victim);
+                    s.begin_rebuild(victim).unwrap();
+                    assert_eq!(s.rebuild_checkpoint(victim), before);
+                }
+                2 => {
+                    // Zero-budget probe: reports the backlog, changes
+                    // neither progress nor accounting.
+                    let before = s.rebuild_checkpoint(victim).unwrap();
+                    if before.objects_remaining > 0 {
+                        match s.rebuild_step(victim, 0).unwrap() {
+                            RebuildProgress::InProgress { objects_remaining } => {
+                                assert_eq!(objects_remaining, before.objects_remaining)
+                            }
+                            RebuildProgress::Complete(_) => {
+                                panic!("budget 0 completed a non-empty queue")
+                            }
+                        }
+                        assert_eq!(s.rebuild_checkpoint(victim), Some(before));
+                    }
+                }
+                _ => {
+                    let budget = rng.random_range_usize(1, 5);
+                    if let RebuildProgress::Complete(report) =
+                        s.rebuild_step(victim, budget).unwrap()
+                    {
+                        break report;
+                    }
+                }
+            }
+        };
+        assert_eq!(
+            got, want,
+            "round {round}: objects={objects} victim={victim}"
+        );
+
+        // Both stores end up byte-identical and fully scrubbed.
+        for (i, &len) in lens.iter().enumerate() {
+            assert_eq!(s.get(ObjectId(i as u64)).unwrap(), payload(i as u64, len));
+        }
+        assert!(s.failed_nodes().is_empty());
+    }
+}
+
 /// Corruption of up to `t` shards of one object is always recoverable:
 /// scrub detects it, and a targeted rebuild-from-parity (fail + rebuild
 /// of the corrupted nodes) restores the bytes.

@@ -176,6 +176,8 @@ impl AbsorbingAnalysis {
     /// * [`Error::Linalg`] if some transient state cannot reach any
     ///   absorbing state (the absorption matrix is singular).
     pub fn new(ctmc: &Ctmc) -> Result<Self> {
+        let t0 = nsr_obs::metrics_timer();
+        let mut span = nsr_obs::trace::Span::enter("markov.absorbing.solve");
         let absorbing = ctmc.absorbing_states();
         if absorbing.is_empty() {
             return Err(Error::NoAbsorbingState);
@@ -208,7 +210,7 @@ impl AbsorbingAnalysis {
             absorb_prob.insert(a.0, u);
         }
 
-        Ok(AbsorbingAnalysis {
+        let analysis = AbsorbingAnalysis {
             r,
             lu,
             transient,
@@ -219,7 +221,28 @@ impl AbsorbingAnalysis {
             gth_pivots,
             mtta,
             absorb_prob,
-        })
+        };
+        crate::obs::SOLVES.inc();
+        if analysis.uses_gth_fallback() {
+            crate::obs::GTH_FALLBACKS.inc();
+        }
+        if let Some(t0) = t0 {
+            crate::obs::SOLVE_SECONDS.observe(t0.elapsed().as_secs_f64());
+            // The κ∞ estimate costs a pair of triangular solves, so it is
+            // only paid when someone turned metrics on.
+            crate::obs::CONDITION.observe(analysis.condition_estimate());
+        }
+        span.field("transient", || {
+            nsr_obs::Json::Num(analysis.transient.len() as f64)
+        });
+        span.field("absorbing", || {
+            nsr_obs::Json::Num(analysis.absorbing.len() as f64)
+        });
+        span.field("gth_fallback", || {
+            nsr_obs::Json::Bool(analysis.uses_gth_fallback())
+        });
+        drop(span);
+        Ok(analysis)
     }
 
     /// Extracts the transient-to-transient rate table `q` and, depending on

@@ -60,6 +60,7 @@ mod classify;
 mod ctmc;
 mod dot;
 mod error;
+pub mod obs;
 pub mod simulate;
 mod solutions;
 

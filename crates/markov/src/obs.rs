@@ -1,0 +1,29 @@
+//! Metric handles for the Markov crate.
+//!
+//! All of these are no-ops until `nsr_obs::set_metrics_enabled(true)`;
+//! see `nsr-obs` for the cost contract. The only per-solve work added
+//! when metrics are on is one `κ∞` estimate (a pair of triangular
+//! solves), which is cheap next to the elimination it describes.
+
+use nsr_obs::{Counter, Histogram};
+
+/// Absorbing-chain analyses constructed (`AbsorbingAnalysis::new`).
+pub static SOLVES: Counter = Counter::new("markov.absorbing.solves");
+/// Analyses where LU was singular to working precision and every
+/// matrix-route query fell back to GTH elimination.
+pub static GTH_FALLBACKS: Counter = Counter::new("markov.absorbing.gth_fallback");
+/// `κ∞(R)` estimates of the absorption matrix, one per solve.
+/// Infinite estimates (GTH fallback in effect) land in the overflow
+/// bucket.
+pub static CONDITION: Histogram = Histogram::new("markov.absorbing.condition");
+/// Wall seconds per analysis construction (LU attempt + all GTH
+/// elimination passes).
+pub static SOLVE_SECONDS: Histogram = Histogram::new("markov.absorbing.solve_seconds");
+
+/// Registers every metric in this module with the global registry.
+pub fn register() {
+    SOLVES.register();
+    GTH_FALLBACKS.register();
+    CONDITION.register();
+    SOLVE_SECONDS.register();
+}

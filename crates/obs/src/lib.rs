@@ -1,0 +1,236 @@
+//! `nsr-obs`: zero-dependency structured observability for the workspace.
+//!
+//! Three pieces, all hand-rolled in the style of the `nsr-bench` JSON
+//! stack (which now lives here, in [`json`]):
+//!
+//! - [`metrics`] — a process-wide registry of atomic [`Counter`]s,
+//!   [`Gauge`]s and log-bucketed [`Histogram`]s, snapshotted as JSON-lines.
+//! - [`trace`] — lightweight [`Span`]/[`trace::event`] tracing with a
+//!   bounded in-memory sink drained to JSON-lines.
+//! - [`json`] — the shared JSON value type used for both, plus the
+//!   `BENCH_*.json` reports.
+//!
+//! # The `nsr-obs/v1` schema
+//!
+//! Every emitted line is a self-contained JSON object with
+//! `"schema": "nsr-obs/v1"` and a `"kind"`:
+//!
+//! | kind        | fields |
+//! |-------------|--------|
+//! | `meta`      | `source` (string; trace meta adds `dropped`) |
+//! | `counter`   | `name`, `value` (non-negative integer) |
+//! | `gauge`     | `name`, `value` (number, or `null` when non-finite) |
+//! | `histogram` | `name`, `count`, `sum`, `min`, `max`, `overflow`, `buckets` (array of `{le, count}`) |
+//! | `span`      | `name`, `at_s`, `dur_s`, `fields` (object) |
+//! | `event`     | `name`, `at_s`, `fields` (object) |
+//!
+//! [`validate_line`] / [`validate_jsonl`] check these shapes; the CLI's
+//! `obs-check` command and the CI smoke step are built on them.
+//!
+//! # Cost contract
+//!
+//! Both layers are **off by default**, and every recording call starts
+//! with a relaxed atomic load + branch and returns immediately when
+//! disabled — no allocation, no locks, no clock reads. The `obs` bench
+//! suite measures the disabled path so regressions show up as a bench
+//! delta.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{Json, ParseError};
+pub use metrics::{
+    metrics_enabled, metrics_jsonl, metrics_timer, reset_metrics, set_metrics_enabled,
+    write_metrics, Counter, Gauge, Histogram,
+};
+pub use trace::{set_trace_enabled, trace_enabled, trace_jsonl, write_trace, Span};
+
+/// The schema identifier stamped on every emitted record.
+pub const SCHEMA: &str = "nsr-obs/v1";
+
+fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string `{key}`"))
+}
+
+fn field_num(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+}
+
+fn field_count(doc: &Json, key: &str) -> Result<f64, String> {
+    let v = field_num(doc, key)?;
+    if v.is_finite() && v >= 0.0 && v == v.trunc() {
+        Ok(v)
+    } else {
+        Err(format!("`{key}` must be a non-negative integer, got {v}"))
+    }
+}
+
+/// `key` may be a finite number or `null` (how non-finite values render).
+fn field_num_or_null(doc: &Json, key: &str) -> Result<(), String> {
+    match doc.get(key) {
+        Some(Json::Num(_)) | Some(Json::Null) => Ok(()),
+        _ => Err(format!("missing or non-numeric `{key}`")),
+    }
+}
+
+fn field_fields(doc: &Json) -> Result<(), String> {
+    match doc.get("fields") {
+        None | Some(Json::Obj(_)) => Ok(()),
+        _ => Err("`fields` must be an object".into()),
+    }
+}
+
+/// Validates one parsed record against the `nsr-obs/v1` schema.
+pub fn validate_line(doc: &Json) -> Result<(), String> {
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("record is not an object".into());
+    }
+    let schema = field_str(doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let kind = field_str(doc, "kind")?;
+    match kind {
+        "meta" => {
+            field_str(doc, "source")?;
+        }
+        "counter" => {
+            field_str(doc, "name")?;
+            field_count(doc, "value")?;
+        }
+        "gauge" => {
+            field_str(doc, "name")?;
+            field_num_or_null(doc, "value")?;
+        }
+        "histogram" => {
+            field_str(doc, "name")?;
+            let count = field_count(doc, "count")?;
+            field_num_or_null(doc, "sum")?;
+            field_num_or_null(doc, "min")?;
+            field_num_or_null(doc, "max")?;
+            let overflow = field_count(doc, "overflow")?;
+            let buckets = doc
+                .get("buckets")
+                .and_then(Json::as_arr)
+                .ok_or("missing or non-array `buckets`")?;
+            let mut in_buckets = 0.0;
+            for b in buckets {
+                let le = field_num(b, "le")?;
+                if !le.is_finite() {
+                    return Err("bucket `le` must be finite".into());
+                }
+                in_buckets += field_count(b, "count")?;
+            }
+            if in_buckets + overflow != count {
+                return Err(format!(
+                    "bucket counts ({in_buckets}) + overflow ({overflow}) != count ({count})"
+                ));
+            }
+        }
+        "span" => {
+            field_str(doc, "name")?;
+            field_num(doc, "at_s")?;
+            let dur = field_num(doc, "dur_s")?;
+            if dur < 0.0 {
+                return Err("`dur_s` must be non-negative".into());
+            }
+            field_fields(doc)?;
+        }
+        "event" => {
+            field_str(doc, "name")?;
+            field_num(doc, "at_s")?;
+            field_fields(doc)?;
+        }
+        other => return Err(format!("unknown kind {other:?}")),
+    }
+    Ok(())
+}
+
+/// Validates a whole JSON-lines document: every non-empty line must parse
+/// and pass [`validate_line`]. Returns the number of records on success;
+/// errors name the offending (1-based) line.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut records = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        validate_line(&doc).map_err(|e| format!("line {}: {e}", i + 1))?;
+        records += 1;
+    }
+    if records == 0 {
+        return Err("no records found".into());
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(s: &str) -> Result<(), String> {
+        validate_line(&Json::parse(s).unwrap())
+    }
+
+    #[test]
+    fn accepts_well_formed_records() {
+        for good in [
+            r#"{"schema":"nsr-obs/v1","kind":"meta","source":"nsr sim"}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"counter","name":"a.b","value":3}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"gauge","name":"a.b","value":0.5}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"gauge","name":"a.b","value":null}"#,
+            concat!(
+                r#"{"schema":"nsr-obs/v1","kind":"histogram","name":"h","count":3,"#,
+                r#""sum":2.5,"min":0.5,"max":1.5,"overflow":1,"#,
+                r#""buckets":[{"le":1,"count":1},{"le":2,"count":1}]}"#
+            ),
+            r#"{"schema":"nsr-obs/v1","kind":"span","name":"s","at_s":0.1,"dur_s":0.2,"fields":{}}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"event","name":"e","at_s":0.1,"fields":{"w":1}}"#,
+        ] {
+            assert_eq!(line(good), Ok(()), "rejected {good}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        for bad in [
+            r#"[1,2]"#,                                                // not an object
+            r#"{"kind":"counter","name":"a","value":1}"#,              // no schema
+            r#"{"schema":"nsr-bench/v1","kind":"meta","source":"x"}"#, // wrong schema
+            r#"{"schema":"nsr-obs/v1","kind":"widget","name":"a"}"#,   // unknown kind
+            r#"{"schema":"nsr-obs/v1","kind":"counter","value":1}"#,   // no name
+            r#"{"schema":"nsr-obs/v1","kind":"counter","name":"a","value":-1}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"counter","name":"a","value":1.5}"#,
+            r#"{"schema":"nsr-obs/v1","kind":"span","name":"s","at_s":0,"dur_s":-1}"#,
+            concat!(
+                r#"{"schema":"nsr-obs/v1","kind":"histogram","name":"h","count":5,"#,
+                r#""sum":0,"min":null,"max":null,"overflow":0,"buckets":[]}"#
+            ), // counts don't add up
+        ] {
+            assert!(line(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn validate_jsonl_counts_and_locates_errors() {
+        let good = concat!(
+            "{\"schema\":\"nsr-obs/v1\",\"kind\":\"meta\",\"source\":\"t\"}\n",
+            "\n",
+            "{\"schema\":\"nsr-obs/v1\",\"kind\":\"counter\",\"name\":\"c\",\"value\":1}\n",
+        );
+        assert_eq!(validate_jsonl(good), Ok(2));
+        let bad = "{\"schema\":\"nsr-obs/v1\",\"kind\":\"meta\",\"source\":\"t\"}\nnot json\n";
+        let err = validate_jsonl(bad).unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+        assert!(validate_jsonl("").is_err());
+    }
+}

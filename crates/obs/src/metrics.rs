@@ -1,0 +1,504 @@
+//! Process-wide metrics: atomic counters, gauges and log-bucketed
+//! histograms, registered lazily into a global registry and snapshotted
+//! as `nsr-obs/v1` JSON-lines.
+//!
+//! # Cost contract
+//!
+//! Metrics are **disabled by default** and the disabled path is near-free:
+//! one relaxed atomic load and a predictable branch, no allocation, no
+//! locking. Instrumented hot loops therefore cost a handful of cycles per
+//! metric call when nobody is listening (the `obs` bench suite pins this).
+//! Enabling ([`set_metrics_enabled`]) turns each call into a relaxed
+//! atomic RMW; the registry mutex is only touched once per metric (first
+//! use) and at snapshot time.
+//!
+//! # Usage
+//!
+//! Metrics are `static`s constructed in `const` context:
+//!
+//! ```
+//! use nsr_obs::metrics::Counter;
+//! static CACHE_HITS: Counter = Counter::new("example.cache.hits");
+//! CACHE_HITS.inc(); // no-op unless metrics are enabled
+//! ```
+//!
+//! A metric only appears in snapshots once *registered*, which happens on
+//! first use — or explicitly via `register()`, which instrumented crates
+//! expose in bulk (`nsr_sim::obs::register()` etc.) so that a snapshot
+//! shows zero-valued metrics rather than omitting them.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, Once};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Global enable flag; see the module docs for the cost contract.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables metric recording process-wide.
+pub fn set_metrics_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric recording is currently enabled.
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns `Some(Instant::now())` only when metrics are enabled — the
+/// idiom for timing a region without paying for the clock when disabled:
+///
+/// ```
+/// if let Some(t0) = nsr_obs::metrics::metrics_timer() {
+///     // ... observe t0.elapsed() into a histogram ...
+/// }
+/// ```
+pub fn metrics_timer() -> Option<Instant> {
+    metrics_enabled().then(Instant::now)
+}
+
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    histograms: Vec<&'static Histogram>,
+}
+
+static REGISTRY: Mutex<Registry> = Mutex::new(Registry {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    histograms: Vec::new(),
+});
+
+fn registry() -> std::sync::MutexGuard<'static, Registry> {
+    // A panic while holding the registry lock can only come from OOM;
+    // recover the data rather than cascading poison errors.
+    REGISTRY.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A monotonically increasing `u64` counter.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: Once,
+}
+
+impl Counter {
+    /// Creates a counter; usable in `static` position.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds 1. No-op when metrics are disabled.
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Adds `n`. No-op when metrics are disabled.
+    pub fn add(&'static self, n: u64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Registers the counter so it appears in snapshots even at zero.
+    pub fn register(&'static self) {
+        self.registered.call_once(|| registry().counters.push(self));
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(crate::SCHEMA.into())),
+            ("kind", Json::Str("counter".into())),
+            ("name", Json::Str(self.name.into())),
+            ("value", Json::Num(self.get() as f64)),
+        ])
+    }
+}
+
+/// A last-value-wins `f64` gauge.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: Once,
+}
+
+impl Gauge {
+    /// Creates a gauge (initial value `0.0`); usable in `static` position.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+            registered: Once::new(),
+        }
+    }
+
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores `v`. No-op when metrics are disabled.
+    pub fn set(&'static self, v: f64) {
+        if !metrics_enabled() {
+            return;
+        }
+        self.register();
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Registers the gauge so it appears in snapshots even when unset.
+    pub fn register(&'static self) {
+        self.registered.call_once(|| registry().gauges.push(self));
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(crate::SCHEMA.into())),
+            ("kind", Json::Str("gauge".into())),
+            ("name", Json::Str(self.name.into())),
+            // Non-finite values render as `null`, which the schema allows
+            // for gauges.
+            ("value", Json::Num(self.get())),
+        ])
+    }
+}
+
+/// Number of finite histogram buckets; observations above the top bound
+/// land in the `overflow` bucket.
+pub const BUCKET_COUNT: usize = 64;
+
+/// Bucket `i` has inclusive upper bound `2^(i - 31)`: the buckets span
+/// roughly `4.7e-10` to `4.3e9` in factor-of-two steps, wide enough for
+/// both sub-microsecond timings (seconds) and rebuild throughput
+/// (bytes per second).
+const BUCKET_EXP_OFFSET: i64 = 31;
+
+fn bucket_bound(i: usize) -> f64 {
+    (2.0f64).powi(i as i32 - BUCKET_EXP_OFFSET as i32)
+}
+
+/// A histogram with fixed log-spaced (power-of-two) buckets.
+///
+/// `observe` semantics: `NaN` is ignored; `±inf` counts toward `count`
+/// and `overflow` but not `sum`/`min`/`max`; non-positive finite values
+/// land in the first bucket.
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKET_COUNT],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    registered: Once,
+}
+
+impl Histogram {
+    /// Creates a histogram; usable in `static` position.
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; BUCKET_COUNT],
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            registered: Once::new(),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation. No-op when metrics are disabled.
+    pub fn observe(&'static self, v: f64) {
+        if !metrics_enabled() || v.is_nan() {
+            return;
+        }
+        self.register();
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        atomic_f64_update(&self.sum_bits, |s| s + v);
+        atomic_f64_update(&self.min_bits, |m| m.min(v));
+        atomic_f64_update(&self.max_bits, |m| m.max(v));
+        match Self::bucket_index(v) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Registers the histogram so it appears in snapshots even when empty.
+    pub fn register(&'static self) {
+        self.registered
+            .call_once(|| registry().histograms.push(self));
+    }
+
+    /// Total number of observations (including overflow).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    fn bucket_index(v: f64) -> Option<usize> {
+        if v <= bucket_bound(0) {
+            return Some(0);
+        }
+        let idx = v.log2().ceil() as i64 + BUCKET_EXP_OFFSET;
+        if (0..BUCKET_COUNT as i64).contains(&idx) {
+            Some(idx as usize)
+        } else {
+            None
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count();
+        let overflow = self.overflow.load(Ordering::Relaxed);
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let buckets: Vec<Json> = (0..BUCKET_COUNT)
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    Json::obj([
+                        ("le", Json::Num(bucket_bound(i))),
+                        ("count", Json::Num(n as f64)),
+                    ])
+                })
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str(crate::SCHEMA.into())),
+            ("kind", Json::Str("histogram".into())),
+            ("name", Json::Str(self.name.into())),
+            ("count", Json::Num(count as f64)),
+            ("sum", Json::Num(self.sum())),
+            // min/max render as `null` until a finite value is observed.
+            ("min", Json::Num(min)),
+            ("max", Json::Num(max)),
+            ("overflow", Json::Num(overflow as f64)),
+            ("buckets", Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// Read-modify-write an `f64` stored as bits in an `AtomicU64`.
+fn atomic_f64_update(bits: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Renders every registered metric as `nsr-obs/v1` JSON-lines: a `meta`
+/// record first, then one record per metric, sorted by name within each
+/// kind (counters, then gauges, then histograms).
+pub fn metrics_jsonl(source: &str) -> String {
+    let (mut counters, mut gauges, mut histograms) = {
+        let reg = registry();
+        (
+            reg.counters.clone(),
+            reg.gauges.clone(),
+            reg.histograms.clone(),
+        )
+    };
+    counters.sort_by_key(|c| c.name);
+    gauges.sort_by_key(|g| g.name);
+    histograms.sort_by_key(|h| h.name);
+    let mut out = String::new();
+    let meta = Json::obj([
+        ("schema", Json::Str(crate::SCHEMA.into())),
+        ("kind", Json::Str("meta".into())),
+        ("source", Json::Str(source.into())),
+    ]);
+    out.push_str(&meta.render_compact());
+    out.push('\n');
+    for c in counters {
+        out.push_str(&c.to_json().render_compact());
+        out.push('\n');
+    }
+    for g in gauges {
+        out.push_str(&g.to_json().render_compact());
+        out.push('\n');
+    }
+    for h in histograms {
+        out.push_str(&h.to_json().render_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes [`metrics_jsonl`] to `path`; returns the number of records
+/// written (including the leading `meta` record).
+pub fn write_metrics(path: &Path, source: &str) -> std::io::Result<usize> {
+    let text = metrics_jsonl(source);
+    let records = text.lines().count();
+    std::fs::write(path, text)?;
+    Ok(records)
+}
+
+/// Resets every *registered* metric to its initial state (counters and
+/// histograms to zero, gauges to `0.0`). Registration is retained. Meant
+/// for tests and benches that need a clean slate in one process.
+pub fn reset_metrics() {
+    let reg = registry();
+    for c in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in &reg.gauges {
+        g.bits.store(0, Ordering::Relaxed);
+    }
+    for h in &reg.histograms {
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.overflow.store(0, Ordering::Relaxed);
+        h.count.store(0, Ordering::Relaxed);
+        h.sum_bits.store(0, Ordering::Relaxed);
+        h.min_bits.store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        h.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    // Tests that toggle the global enable flag must not interleave.
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static HITS: Counter = Counter::new("test.metrics.hits");
+    static TEMP: Gauge = Gauge::new("test.metrics.temp");
+    static LAT: Histogram = Histogram::new("test.metrics.lat");
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let _g = test_guard();
+        set_metrics_enabled(false);
+        reset_metrics();
+        HITS.inc();
+        TEMP.set(3.5);
+        LAT.observe(0.25);
+        assert_eq!(HITS.get(), 0);
+        assert_eq!(TEMP.get(), 0.0);
+        assert_eq!(LAT.count(), 0);
+        assert!(metrics_timer().is_none());
+    }
+
+    #[test]
+    fn enabled_metrics_accumulate_and_snapshot() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        reset_metrics();
+        HITS.inc();
+        HITS.add(4);
+        TEMP.set(2.25);
+        LAT.observe(0.5);
+        LAT.observe(0.5);
+        LAT.observe(3.0);
+        LAT.observe(f64::NAN); // ignored
+        LAT.observe(f64::INFINITY); // overflow only
+        assert_eq!(HITS.get(), 5);
+        assert_eq!(TEMP.get(), 2.25);
+        assert_eq!(LAT.count(), 4);
+        assert_eq!(LAT.sum(), 4.0);
+
+        let text = metrics_jsonl("unit-test");
+        set_metrics_enabled(false);
+        let n = crate::validate_jsonl(&text).unwrap();
+        assert!(n >= 4, "expected meta + 3 metrics, got {n} records");
+        assert!(text.contains("\"test.metrics.hits\""));
+        let hist_line = text
+            .lines()
+            .find(|l| l.contains("test.metrics.lat"))
+            .unwrap();
+        let doc = Json::parse(hist_line).unwrap();
+        assert_eq!(doc.get("count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("overflow").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("sum").and_then(Json::as_f64), Some(4.0));
+        let buckets = doc.get("buckets").and_then(Json::as_arr).unwrap();
+        let total: f64 = buckets
+            .iter()
+            .filter_map(|b| b.get("count").and_then(Json::as_f64))
+            .sum();
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_observations() {
+        // Every bucket's bound contains values placed into it.
+        for (v, want_le) in [
+            (1e-12, bucket_bound(0)),
+            (0.0, bucket_bound(0)),
+            (-4.0, bucket_bound(0)),
+            (1.0, 1.0),
+            (1.5, 2.0),
+            (2.0, 2.0),
+            (1000.0, 1024.0),
+        ] {
+            let i = Histogram::bucket_index(v).unwrap();
+            assert!(
+                v <= bucket_bound(i) && bucket_bound(i) <= want_le,
+                "v={v} got bucket le={} want le={want_le}",
+                bucket_bound(i)
+            );
+        }
+        // Beyond the top bound: overflow.
+        assert_eq!(Histogram::bucket_index(1e12), None);
+    }
+
+    #[test]
+    fn reset_zeroes_registered_metrics() {
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        HITS.inc();
+        LAT.observe(1.0);
+        reset_metrics();
+        set_metrics_enabled(false);
+        assert_eq!(HITS.get(), 0);
+        assert_eq!(LAT.count(), 0);
+        assert_eq!(LAT.sum(), 0.0);
+    }
+}

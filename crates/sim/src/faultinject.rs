@@ -670,6 +670,15 @@ impl<'a> Campaign<'a> {
             degraded += r.degraded_fraction();
             injected += r.injected_events as f64;
         }
+        crate::obs::INJECT_RUNS.add(runs);
+        crate::obs::INJECT_LOSSES.add(runs - survived);
+        nsr_obs::trace::event("sim.inject.campaign", || {
+            vec![
+                ("runs", nsr_obs::Json::Num(runs as f64)),
+                ("losses", nsr_obs::Json::Num((runs - survived) as f64)),
+                ("mean_injected", nsr_obs::Json::Num(injected / runs as f64)),
+            ]
+        });
         Ok(CampaignSummary {
             base_seed,
             runs,

@@ -51,6 +51,7 @@ pub mod aging;
 mod error;
 pub mod faultinject;
 pub mod importance;
+pub mod obs;
 pub mod system;
 
 pub use error::Error;

@@ -1,0 +1,35 @@
+//! Metric handles for the simulation crate.
+//!
+//! All of these are no-ops until `nsr_obs::set_metrics_enabled(true)`;
+//! see `nsr-obs` for the cost contract. [`register`] makes every metric
+//! visible in snapshots even before first use, so a metrics file always
+//! carries the full set (possibly at zero) rather than omitting idle ones.
+
+use nsr_obs::{Counter, Histogram};
+
+/// Total trajectories simulated across every `run` entry point.
+pub static SAMPLES: Counter = Counter::new("sim.samples");
+/// Trajectories that ended in an uncorrectable sector error.
+pub static LOSS_SECTOR: Counter = Counter::new("sim.loss.sector_error");
+/// Trajectories that ended in excess concurrent failures.
+pub static LOSS_EXCESS: Counter = Counter::new("sim.loss.excess_failures");
+/// Wall time of each `SystemSim::run` call, in seconds.
+pub static RUN_SECONDS: Histogram = Histogram::new("sim.run.seconds");
+/// Per-run throughput in samples/second. Under `run_parallel` each worker
+/// thread calls `run` once, so this is the per-worker distribution.
+pub static WORKER_SAMPLES_PER_S: Histogram = Histogram::new("sim.worker.samples_per_s");
+/// Fault-injection campaign runs executed (`Campaign::run_many`).
+pub static INJECT_RUNS: Counter = Counter::new("sim.inject.runs");
+/// Fault-injection campaign runs that observed a data loss.
+pub static INJECT_LOSSES: Counter = Counter::new("sim.inject.losses");
+
+/// Registers every metric in this module with the global registry.
+pub fn register() {
+    SAMPLES.register();
+    LOSS_SECTOR.register();
+    LOSS_EXCESS.register();
+    RUN_SECONDS.register();
+    WORKER_SAMPLES_PER_S.register();
+    INJECT_RUNS.register();
+    INJECT_LOSSES.register();
+}

@@ -406,6 +406,7 @@ impl SystemSim {
                 what: "samples must be positive",
             });
         }
+        let t0 = nsr_obs::metrics_timer();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut times = Vec::with_capacity(samples as usize);
         let mut sector = 0u64;
@@ -419,6 +420,14 @@ impl SystemSim {
             }
             failures += s.failure_events;
             spare += s.spare_consumed;
+        }
+        crate::obs::SAMPLES.add(samples);
+        crate::obs::LOSS_SECTOR.add(sector);
+        crate::obs::LOSS_EXCESS.add(samples - sector);
+        if let Some(t0) = t0 {
+            let secs = t0.elapsed().as_secs_f64();
+            crate::obs::RUN_SECONDS.observe(secs);
+            crate::obs::WORKER_SAMPLES_PER_S.observe(samples as f64 / secs.max(1e-9));
         }
         let mttdl = Estimate::from_samples(&times);
         let capacity_pb = self.params.logical_capacity(self.t).to_pb();
@@ -444,15 +453,24 @@ impl SystemSim {
                 what: "samples and threads must be positive",
             });
         }
-        let threads = threads.min(samples as u32);
-        let per = samples / threads as u64;
-        let extra = samples % threads as u64;
+        let split = SampleSplit::new(samples, threads);
         let results: Vec<Result<SimOutcome>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
+            let handles: Vec<_> = (0..split.threads())
                 .map(|i| {
-                    let chunk = per + if (i as u64) < extra { 1 } else { 0 };
+                    let chunk = split.chunk(i);
                     let sim = self.clone();
-                    scope.spawn(move || sim.run(chunk.max(1), seed ^ (0x9e3779b9 * (i as u64 + 1))))
+                    scope.spawn(move || {
+                        let r = sim.run(chunk, seed ^ (0x9e3779b9 * (i as u64 + 1)));
+                        if let Ok(o) = &r {
+                            nsr_obs::trace::event("sim.worker", || {
+                                vec![
+                                    ("worker", nsr_obs::Json::Num(f64::from(i))),
+                                    ("samples", nsr_obs::Json::Num(o.mttdl.n as f64)),
+                                ]
+                            });
+                        }
+                        r
+                    })
                 })
                 .collect();
             handles
@@ -504,6 +522,61 @@ impl SystemSim {
     /// See [`SystemSim::run`].
     pub fn estimate_mttdl(&self, samples: u64, seed: u64) -> Result<Estimate> {
         Ok(self.run(samples, seed)?.mttdl)
+    }
+}
+
+/// How [`SystemSim::run_parallel`] divides `samples` across worker
+/// threads.
+///
+/// [`SampleSplit::new`] is total over the full `u64 × u32` input domain:
+/// the worker count is clamped in `u64` so it is at least 1 and never
+/// exceeds `samples`. (An earlier version compared against `samples as
+/// u32`, which truncates — any multiple of 2³² samples produced a zero
+/// thread count and a divide-by-zero on the next line.) Chunks differ by
+/// at most one, are never empty, and always sum to `samples`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSplit {
+    threads: u32,
+    per: u64,
+    extra: u64,
+}
+
+impl SampleSplit {
+    /// Computes the split. `samples == 0` yields a zero-thread split
+    /// (callers reject that case before spawning anything).
+    pub fn new(samples: u64, threads: u32) -> SampleSplit {
+        if samples == 0 {
+            return SampleSplit {
+                threads: 0,
+                per: 0,
+                extra: 0,
+            };
+        }
+        // Clamp in u64: `threads.min(samples as u32)` would truncate
+        // `samples` (e.g. `1 << 32` becomes 0).
+        let threads = threads.min(samples.min(u64::from(u32::MAX)) as u32).max(1);
+        SampleSplit {
+            threads,
+            per: samples / u64::from(threads),
+            extra: samples % u64::from(threads),
+        }
+    }
+
+    /// Number of worker threads actually used (≤ the requested count).
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    /// The chunk assigned to worker `i` (for `i < threads()`).
+    pub fn chunk(&self, i: u32) -> u64 {
+        self.per + u64::from(u64::from(i) < self.extra)
+    }
+
+    /// Total samples across all chunks; always equals the `samples`
+    /// passed to [`SampleSplit::new`].
+    pub fn total(&self) -> u64 {
+        // `per * threads <= samples`, so this cannot overflow.
+        self.per * u64::from(self.threads) + self.extra
     }
 }
 
@@ -596,6 +669,67 @@ mod tests {
             serial.mttdl,
             parallel.mttdl
         );
+    }
+
+    #[test]
+    fn parallel_run_with_more_threads_than_samples() {
+        // Thread count clamps to the sample count; no worker gets an
+        // empty chunk.
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        let out = sim.run_parallel(3, 5, 16).unwrap();
+        assert_eq!(out.mttdl.n, 3);
+    }
+
+    #[test]
+    fn split_handles_samples_beyond_u32() {
+        // Regression: `threads.min(samples as u32)` truncated `1 << 32`
+        // to 0 threads and divided by zero. The split must now clamp in
+        // u64 and hand out 2³² samples across all 8 workers.
+        let s = SampleSplit::new(1u64 << 32, 8);
+        assert_eq!(s.threads(), 8);
+        assert_eq!(s.total(), 1u64 << 32);
+        let sum: u64 = (0..s.threads()).map(|i| s.chunk(i)).sum();
+        assert_eq!(sum, 1u64 << 32);
+        assert!((0..s.threads()).all(|i| s.chunk(i) > 0));
+    }
+
+    #[test]
+    fn split_is_total_over_extreme_inputs() {
+        let samples = [
+            0u64,
+            1,
+            2,
+            3,
+            100,
+            u64::from(u32::MAX) - 1,
+            u64::from(u32::MAX),
+            u64::from(u32::MAX) + 1,
+            1u64 << 32,
+            (1u64 << 32) + 1,
+            3u64 << 32,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let threads = [0u32, 1, 2, 7, 64, 1000, u32::MAX - 1, u32::MAX];
+        for &n in &samples {
+            for &t in &threads {
+                let s = SampleSplit::new(n, t);
+                if n == 0 {
+                    assert_eq!(s.threads(), 0, "samples=0 threads={t}");
+                    assert_eq!(s.total(), 0);
+                    continue;
+                }
+                assert!(s.threads() >= 1, "samples={n} threads={t}");
+                assert!(u64::from(s.threads()) <= n.min(u64::from(u32::MAX)));
+                assert_eq!(s.total(), n, "samples={n} threads={t}");
+                // Chunks differ by at most one, first >= last, and none
+                // is empty (chunks are non-increasing in i).
+                let first = s.chunk(0);
+                let last = s.chunk(s.threads() - 1);
+                assert!(first >= last && first - last <= 1);
+                assert!(last >= 1, "samples={n} threads={t}: empty chunk");
+            }
+        }
     }
 
     #[test]
