@@ -25,6 +25,20 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/release/nsr bench --check --out-dir "$SMOKE_DIR"
 ./target/release/nsr bench --check --out-dir .
 
+echo "==> bench compare smoke (offline, deterministic)"
+# A report diffed against an identical copy must report no regressions,
+# and a uniformly slowed-down copy must make the compare exit non-zero.
+cp "$SMOKE_DIR/BENCH_sweep.json" "$SMOKE_DIR/BENCH_sweep.old.json"
+./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_sweep.old.json" \
+    "$SMOKE_DIR/BENCH_sweep.json"
+sed 's/"ns_per_iter": /"ns_per_iter": 9/' "$SMOKE_DIR/BENCH_sweep.json" \
+    > "$SMOKE_DIR/BENCH_sweep.slow.json"
+if ./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_sweep.old.json" \
+    "$SMOKE_DIR/BENCH_sweep.slow.json" > /dev/null 2>&1; then
+    echo "ERROR: bench --compare missed an obvious regression" >&2
+    exit 1
+fi
+
 echo "==> observability smoke (nsr-obs/v1 snapshots, schema-validated)"
 # A parallel sim with both snapshot flags must produce valid nsr-obs/v1
 # files carrying the headline metrics from all three instrumented crates.

@@ -10,6 +10,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod json;
 pub mod suites;
 pub mod timing;

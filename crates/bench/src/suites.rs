@@ -35,18 +35,18 @@ use std::fmt;
 use crate::json::Json;
 use crate::timing::{Measurement, Timing};
 
-use nsr_core::config::Configuration;
+use nsr_core::config::{CachedEvaluator, Configuration};
 use nsr_core::params::Params;
 use nsr_core::raid::InternalRaid;
 use nsr_core::recursive::RecursiveModel;
-use nsr_core::sweep::fig13_baseline;
+use nsr_core::sweep::{fig13_baseline, figure_sweep};
 use nsr_core::units::PerHour;
 use nsr_erasure::gf256::{mul_acc, mul_acc_portable, mul_acc_reference, xor_acc, Gf};
 use nsr_erasure::matrix::GfMatrix;
 use nsr_erasure::placement::Placement;
 use nsr_erasure::rs::ReedSolomon;
 use nsr_linalg::{Lu, Matrix};
-use nsr_markov::AbsorbingAnalysis;
+use nsr_markov::{AbsorbingAnalysis, SolverTier};
 use nsr_rng::rngs::StdRng;
 use nsr_rng::SeedableRng;
 use nsr_sim::importance::{Options, RareEvent};
@@ -57,7 +57,7 @@ pub const SCHEMA: &str = "nsr-bench/v1";
 
 /// The suite names, in the order `all` runs them. `obs` runs last so its
 /// enable/disable toggling never overlaps another suite's measurements.
-pub const SUITE_NAMES: [&str; 4] = ["erasure", "solvers", "sim", "obs"];
+pub const SUITE_NAMES: [&str; 5] = ["erasure", "solvers", "sweep", "sim", "obs"];
 
 /// Measurement fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,12 +121,20 @@ impl Suite {
                     self.results
                         .iter()
                         .map(|m| {
-                            Json::obj([
+                            let mut fields = vec![
                                 ("name", Json::Str(m.name.clone())),
                                 ("ns_per_iter", Json::Num(m.ns_per_iter)),
                                 ("bytes_per_iter", Json::Num(m.bytes_per_iter as f64)),
                                 ("mib_per_s", m.mib_per_s().map_or(Json::Null, Json::Num)),
-                            ])
+                            ];
+                            // Optional item-rate fields (schema-compatible:
+                            // absent for byte-throughput and plain-time
+                            // cases, so pre-existing reports stay valid).
+                            if let Some(rate) = m.items_per_s() {
+                                fields.push(("items_per_iter", Json::Num(m.items_per_iter as f64)));
+                                fields.push(("items_per_s", Json::Num(rate)));
+                            }
+                            Json::obj(fields)
                         })
                         .collect(),
                 ),
@@ -156,6 +164,7 @@ pub fn run_suite(name: &str, mode: Mode) -> Result<Suite, String> {
     match name {
         "erasure" => erasure_suite(mode),
         "solvers" => solvers_suite(mode),
+        "sweep" => sweep_suite(mode),
         "sim" => sim_suite(mode),
         "obs" => obs_suite(mode),
         other => Err(format!(
@@ -375,6 +384,23 @@ pub fn solvers_suite(mode: Mode) -> Result<Suite, String> {
                 AbsorbingAnalysis::new(&ctmc).expect("analysis")
             }),
         );
+        // Seed baseline: force the dense-GTH tier (the only solver the
+        // repository had before the sparse elimination landed), so each
+        // report carries its own sparse-vs-dense comparison. Only chains
+        // big enough for the sparse tier to engage are interesting.
+        if ctmc.len() >= 16 {
+            results.push(
+                t.measure(&format!("seed_baseline/gth_dense_solve_k{k}"), 0, || {
+                    AbsorbingAnalysis::new_with_tier(&ctmc, SolverTier::DenseGth).expect("dense")
+                }),
+            );
+        }
+        // The topology-cache hot path: rescale a prebuilt skeleton.
+        let skeleton = model.chain_skeleton().map_err(err("skeleton"))?;
+        let rates = model.transition_rates();
+        results.push(t.measure(&format!("recursive_chain/rescale_k{k}"), 0, || {
+            skeleton.with_rates(&rates).expect("rescale")
+        }));
         results.push(t.measure(&format!("recursive_chain/theorem_k{k}"), 0, || {
             model.mttdl_theorem()
         }));
@@ -382,17 +408,72 @@ pub fn solvers_suite(mode: Mode) -> Result<Suite, String> {
 
     let params = Params::baseline();
     if mode == Mode::Full {
-        results.push(t.measure("figure13_full_baseline", 0, || {
-            fig13_baseline(&params).expect("fig13")
-        }));
+        results.push(
+            t.measure("figure13_full_baseline", 0, || {
+                fig13_baseline(&params).expect("fig13")
+            })
+            .with_items(9),
+        );
     }
     let config = Configuration::new(InternalRaid::Raid5, 2).map_err(err("cfg"))?;
     results.push(t.measure("evaluate_ft2_ir5", 0, || {
         config.evaluate(&params).expect("eval")
     }));
+    // The same evaluation through a reused topology cache (the sweep
+    // engine's per-point cost).
+    let mut cached = CachedEvaluator::new(config);
+    let _ = cached.evaluate(&params).map_err(err("warm cache"))?;
+    results.push(t.measure("evaluate_ft2_ir5_cached", 0, || {
+        cached.evaluate(&params).expect("eval")
+    }));
 
     Ok(Suite {
         suite: "solvers",
+        mode,
+        results,
+    })
+}
+
+/// The sweep-engine suite: full Figure-14-style sensitivity sweeps at
+/// several worker counts, plus the serial hard-error-rate extension
+/// sweep. Every case records `items_per_iter` (configuration evaluations
+/// per sweep) so reports expose evaluations-per-second directly; the
+/// `workers_N` cases document the scaling actually achieved on the
+/// recording machine (a single-core container cannot show >1× — the
+/// byte-identity of the outputs is pinned by tests instead).
+pub fn sweep_suite(mode: Mode) -> Result<Suite, String> {
+    let t = mode.timing();
+    let mut results = Vec::new();
+    let params = Params::baseline();
+
+    let probe = figure_sweep(14, &params, 1).map_err(err("fig14"))?;
+    let fig14_items = (probe.rows.len() * probe.configs().len()) as u64;
+    let worker_counts: &[usize] = match mode {
+        Mode::Full => &[1, 2, 4],
+        Mode::Smoke => &[1, 2],
+    };
+    for &w in worker_counts {
+        results.push(
+            t.measure(&format!("fig14_sweep/workers_{w}"), 0, || {
+                figure_sweep(14, &params, w).expect("sweep")
+            })
+            .with_items(fig14_items),
+        );
+    }
+
+    if mode == Mode::Full {
+        let her = nsr_core::sweep::ext_hard_error_rate(&params).map_err(err("ext her"))?;
+        let her_items = (her.rows.len() * her.configs().len()) as u64;
+        results.push(
+            t.measure("ext_her_sweep/workers_1", 0, || {
+                nsr_core::sweep::ext_hard_error_rate(&params).expect("sweep")
+            })
+            .with_items(her_items),
+        );
+    }
+
+    Ok(Suite {
+        suite: "sweep",
         mode,
         results,
     })
@@ -580,6 +661,22 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 ))
             }
         }
+        // `items_per_iter` / `items_per_s` are optional (added after v1
+        // shipped; reports without them remain valid) but must be
+        // consistent when present.
+        let items = r.get("items_per_iter");
+        let rate = r.get("items_per_s");
+        match (items, rate) {
+            (None, None) => {}
+            (Some(Json::Num(n)), Some(Json::Num(s)))
+                if n.is_finite() && *n > 0.0 && *n == n.trunc() && s.is_finite() && *s > 0.0 => {}
+            _ => {
+                return Err(format!(
+                    "result {i} ({name}): `items_per_iter`/`items_per_s` must be present \
+                     together, a positive integer and a positive rate"
+                ))
+            }
+        }
     }
     Ok(())
 }
@@ -635,6 +732,63 @@ mod tests {
     }
 
     #[test]
+    fn sweep_smoke_suite_emits_item_rates() {
+        let suite = sweep_suite(Mode::Smoke).expect("suite");
+        assert_eq!(suite.file_name(), "BENCH_sweep.json");
+        let names: Vec<&str> = suite.results.iter().map(|m| m.name.as_str()).collect();
+        for expected in ["fig14_sweep/workers_1", "fig14_sweep/workers_2"] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        for m in &suite.results {
+            // fig14: 6 grid points × 3 sensitivity configs.
+            assert_eq!(m.items_per_iter, 18, "{}", m.name);
+            assert!(m.items_per_s().expect("rate") > 0.0);
+        }
+        let doc = suite.to_json();
+        validate_report(&doc).expect("schema");
+        let back = Json::parse(&doc.render()).expect("parse");
+        validate_report(&back).expect("schema after round trip");
+    }
+
+    #[test]
+    fn validate_report_checks_item_fields() {
+        let suite = Suite {
+            suite: "sweep",
+            mode: Mode::Smoke,
+            results: vec![Measurement {
+                name: "fig14_sweep/workers_1".into(),
+                ns_per_iter: 1000.0,
+                bytes_per_iter: 0,
+                items_per_iter: 18,
+            }],
+        };
+        let good = suite.to_json();
+        validate_report(&good).expect("items fields valid");
+
+        // `items_per_iter` without `items_per_s` is a violation.
+        let mut bad = good.clone();
+        if let Json::Obj(m) = &mut bad {
+            if let Some(Json::Arr(rs)) = m.get_mut("results") {
+                if let Json::Obj(r) = &mut rs[0] {
+                    r.remove("items_per_s");
+                }
+            }
+        }
+        assert!(validate_report(&bad).is_err());
+
+        // A fractional item count is a violation.
+        let mut bad = good;
+        if let Json::Obj(m) = &mut bad {
+            if let Some(Json::Arr(rs)) = m.get_mut("results") {
+                if let Json::Obj(r) = &mut rs[0] {
+                    r.insert("items_per_iter".into(), Json::Num(1.5));
+                }
+            }
+        }
+        assert!(validate_report(&bad).is_err());
+    }
+
+    #[test]
     fn run_suite_rejects_unknown_names() {
         let e = run_suite("nope", Mode::Smoke).unwrap_err();
         assert!(e.contains("unknown suite"));
@@ -650,6 +804,7 @@ mod tests {
                 name: "x/y".into(),
                 ns_per_iter: 10.0,
                 bytes_per_iter: 0,
+                items_per_iter: 0,
             }],
         };
         let good = suite.to_json();

@@ -19,7 +19,9 @@ use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 /// One benchmark result: median time per iteration plus the number of
-/// bytes each iteration processes (0 when throughput is meaningless).
+/// bytes each iteration processes (0 when throughput is meaningless) and,
+/// optionally, a logical item count per iteration (0 = not an item-rate
+/// benchmark; e.g. sweep evaluations per run).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Measurement {
     /// Benchmark name, `group/case` style.
@@ -28,6 +30,8 @@ pub struct Measurement {
     pub ns_per_iter: f64,
     /// Bytes processed per iteration (0 = not a throughput benchmark).
     pub bytes_per_iter: u64,
+    /// Logical items processed per iteration (0 = no item rate).
+    pub items_per_iter: u64,
 }
 
 impl Measurement {
@@ -37,16 +41,33 @@ impl Measurement {
             .then(|| self.bytes_per_iter as f64 / (self.ns_per_iter * 1e-9) / (1024.0 * 1024.0))
     }
 
+    /// Item rate per second, when an item count was recorded.
+    pub fn items_per_s(&self) -> Option<f64> {
+        (self.items_per_iter > 0).then(|| self.items_per_iter as f64 / (self.ns_per_iter * 1e-9))
+    }
+
+    /// Attaches a logical item count (builder style, used after
+    /// [`Timing::measure`]).
+    #[must_use]
+    pub fn with_items(mut self, items_per_iter: u64) -> Measurement {
+        self.items_per_iter = items_per_iter;
+        self
+    }
+
     /// One-line human rendering (the format the print helpers use).
     pub fn render(&self) -> String {
-        match self.mib_per_s() {
+        let mut line = match self.mib_per_s() {
             Some(mib_s) => format!(
                 "{:<44} {:>14}/iter {mib_s:>10.1} MiB/s",
                 self.name,
                 fmt_ns(self.ns_per_iter)
             ),
             None => format!("{:<44} {:>14}/iter", self.name, fmt_ns(self.ns_per_iter)),
+        };
+        if let Some(rate) = self.items_per_s() {
+            line.push_str(&format!(" {rate:>10.1} items/s"));
         }
+        line
     }
 }
 
@@ -121,6 +142,7 @@ impl Timing {
             name: name.to_string(),
             ns_per_iter: median,
             bytes_per_iter: bytes,
+            items_per_iter: 0,
         }
     }
 }
@@ -176,6 +198,12 @@ mod tests {
         let plain = t.measure("noop/plain", 0, || 1u32);
         assert!(plain.mib_per_s().is_none());
         assert!(!plain.render().contains("MiB/s"));
+        assert!(plain.items_per_s().is_none());
+
+        let itemized = t.measure("noop/items", 0, || 1u32).with_items(18);
+        let rate = itemized.items_per_s().expect("items recorded");
+        assert!(rate > 0.0 && rate.is_finite());
+        assert!(itemized.render().contains("items/s"));
     }
 
     #[test]

@@ -9,6 +9,12 @@ use nsr_core::units::{Bytes, Gbps, Hours};
 
 use crate::{CliError, Result};
 
+/// Commands that accept extra positional arguments (currently only
+/// `bench`, whose `--compare <old.json> <new.json>` form supplies the
+/// second report path positionally). Every other command rejects
+/// positionals so typos fail loudly.
+const POSITIONAL_COMMANDS: &[&str] = &["bench"];
+
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParsedArgs {
@@ -18,6 +24,9 @@ pub struct ParsedArgs {
     pub options: HashMap<String, String>,
     /// Bare `--flag` switches.
     pub flags: Vec<String>,
+    /// Extra positional arguments, only populated for
+    /// [`POSITIONAL_COMMANDS`].
+    pub positionals: Vec<String>,
 }
 
 impl ParsedArgs {
@@ -25,8 +34,9 @@ impl ParsedArgs {
     ///
     /// # Errors
     ///
-    /// Returns an error when no subcommand is present or an option is
-    /// missing its value.
+    /// Returns an error when no subcommand is present, an option is
+    /// missing its value, or a positional argument appears after a
+    /// command that takes none.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<ParsedArgs> {
         let mut iter = args.into_iter().peekable();
         let command = iter
@@ -34,8 +44,13 @@ impl ParsedArgs {
             .ok_or_else(|| CliError("missing subcommand; try `nsr help`".into()))?;
         let mut options = HashMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(arg) = iter.next() {
             let Some(key) = arg.strip_prefix("--") else {
+                if POSITIONAL_COMMANDS.contains(&command.as_str()) {
+                    positionals.push(arg);
+                    continue;
+                }
                 return Err(CliError(format!("unexpected positional argument '{arg}'")));
             };
             match iter.peek() {
@@ -49,6 +64,7 @@ impl ParsedArgs {
             command,
             options,
             flags,
+            positionals,
         })
     }
 
@@ -197,6 +213,16 @@ mod tests {
     #[test]
     fn positional_rejected() {
         assert!(ParsedArgs::parse(vec!["eval".into(), "oops".into()]).is_err());
+    }
+
+    #[test]
+    fn bench_accepts_positionals() {
+        let a = parse(&["bench", "--compare", "old.json", "new.json"]);
+        assert_eq!(
+            a.get::<String>("compare").unwrap().as_deref(),
+            Some("old.json")
+        );
+        assert_eq!(a.positionals, vec!["new.json".to_string()]);
     }
 
     #[test]

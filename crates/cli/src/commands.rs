@@ -5,10 +5,7 @@ use std::fmt::Write as _;
 
 use nsr_core::metrics::TARGET_EVENTS_PER_PB_YEAR;
 use nsr_core::params::Params;
-use nsr_core::sweep::{
-    fig13_baseline, fig14_drive_mttf, fig15_node_mttf, fig16_rebuild_block, fig17_link_speed,
-    fig18_node_count, fig19_redundancy_set, fig20_drives_per_node, Sweep,
-};
+use nsr_core::sweep::{fig13_baseline, Sweep};
 use nsr_core::units::Hours;
 use nsr_rng::rngs::StdRng;
 use nsr_rng::SeedableRng;
@@ -30,8 +27,9 @@ USAGE:
 COMMANDS:
   baseline    Figure 13: all nine configurations at the baseline
   eval        evaluate one configuration (--config ft2-ir5)
-  sweep       one sensitivity analysis (--figure 14..20; --csv for CSV)
-  figures     regenerate all figures as CSV files (--out DIR)
+  sweep       one sensitivity analysis (--figure 14..20; --csv for CSV;
+              --workers N to evaluate rows in parallel)
+  figures     regenerate all figures as CSV files (--out DIR, --workers N)
   sim         system-level Monte Carlo (--config, --samples, --seed)
   inject      fault-injection campaign (--plan NAME|list, --runs, --seed;
               --replay SEED prints one run's exact event trace)
@@ -42,7 +40,9 @@ COMMANDS:
   aging       non-Markovian (Weibull) lifetime ablation (--shape K)
   bench       performance harness → BENCH_<suite>.json (--suite NAME|all,
               --out-dir DIR, --smoke for the fast CI mode, --check to
-              validate existing reports without re-running)
+              validate existing reports without re-running;
+              --compare OLD.json NEW.json diffs two reports and fails on
+              regressions past --threshold PCT, default 25)
   chain       export a configuration's exact CTMC as Graphviz dot (--out F)
   report      one-shot markdown reproduction report (--out FILE)
   obs-check   validate an nsr-obs/v1 JSON-lines file (--file F;
@@ -88,6 +88,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
     nsr_obs::set_metrics_enabled(metrics_out.is_some());
     nsr_obs::set_trace_enabled(trace_out.is_some());
     nsr_markov::obs::register();
+    nsr_core::obs::register();
     nsr_sim::obs::register();
     nsr_erasure::obs::register();
 
@@ -193,21 +194,29 @@ fn eval(args: &ParsedArgs) -> Result<String> {
 ///
 /// Returns an error for figure numbers outside 14–20.
 pub fn sweep_for_figure(figure: u32, params: &Params) -> Result<Sweep> {
-    let sweep = match figure {
-        14 => fig14_drive_mttf(params, params.node.mttf)?,
-        15 => fig15_node_mttf(params, params.drive.mttf)?,
-        16 => fig16_rebuild_block(params)?,
-        17 => fig17_link_speed(params)?,
-        18 => fig18_node_count(params)?,
-        19 => fig19_redundancy_set(params)?,
-        20 => fig20_drives_per_node(params)?,
-        other => {
-            return Err(CliError(format!(
-                "--figure must be 14..20 (got {other}); figure 13 is `nsr baseline`"
-            )))
-        }
-    };
-    Ok(sweep)
+    sweep_for_figure_workers(figure, params, 1)
+}
+
+/// [`sweep_for_figure`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Returns an error for figure numbers outside 14–20.
+pub fn sweep_for_figure_workers(figure: u32, params: &Params, workers: usize) -> Result<Sweep> {
+    if !(14..=20).contains(&figure) {
+        return Err(CliError(format!(
+            "--figure must be 14..20 (got {figure}); figure 13 is `nsr baseline`"
+        )));
+    }
+    nsr_core::sweep::figure_sweep(figure, params, workers).map_err(Into::into)
+}
+
+fn workers_from(args: &ParsedArgs) -> Result<usize> {
+    let workers = args.get_or("workers", 1usize)?;
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".into()));
+    }
+    Ok(workers)
 }
 
 fn sweep_cmd(args: &ParsedArgs) -> Result<String> {
@@ -215,7 +224,8 @@ fn sweep_cmd(args: &ParsedArgs) -> Result<String> {
         .get("figure")?
         .ok_or_else(|| CliError("--figure is required (14..20)".into()))?;
     let params = params_from(args)?;
-    let sweep = sweep_for_figure(figure, &params)?;
+    let workers = workers_from(args)?;
+    let sweep = sweep_for_figure_workers(figure, &params, workers)?;
     Ok(if args.has_flag("csv") {
         sweep_csv(&sweep)
     } else {
@@ -226,6 +236,7 @@ fn sweep_cmd(args: &ParsedArgs) -> Result<String> {
 fn figures(args: &ParsedArgs) -> Result<String> {
     let out_dir = args.get_or("out", String::from("results"))?;
     let params = params_from(args)?;
+    let workers = workers_from(args)?;
     std::fs::create_dir_all(&out_dir)?;
     let mut log = String::new();
 
@@ -250,7 +261,9 @@ fn figures(args: &ParsedArgs) -> Result<String> {
         ("low_node_mttf", 100_000.0),
         ("high_node_mttf", 1_000_000.0),
     ] {
-        let s = fig14_drive_mttf(&params, Hours(node_mttf))?;
+        let mut p = params;
+        p.node.mttf = Hours(node_mttf);
+        let s = sweep_for_figure_workers(14, &p, workers)?;
         let path = format!("{out_dir}/fig14_drive_mttf_{name}.csv");
         std::fs::write(&path, sweep_csv(&s))?;
         let _ = writeln!(log, "wrote {path}");
@@ -261,19 +274,19 @@ fn figures(args: &ParsedArgs) -> Result<String> {
     ] {
         let mut p = params;
         p.drive.mttf = Hours(drive_mttf);
-        let s = fig15_node_mttf(&p, Hours(drive_mttf))?;
+        let s = sweep_for_figure_workers(15, &p, workers)?;
         let path = format!("{out_dir}/fig15_node_mttf_{name}.csv");
         std::fs::write(&path, sweep_csv(&s))?;
         let _ = writeln!(log, "wrote {path}");
     }
     for fig in 16..=20 {
-        let s = sweep_for_figure(fig, &params)?;
+        let s = sweep_for_figure_workers(fig, &params, workers)?;
         let path = format!("{out_dir}/fig{fig}_{}.csv", s.x_name.replace(' ', "_"));
         std::fs::write(&path, sweep_csv(&s))?;
         let _ = writeln!(log, "wrote {path}");
     }
     // Extension sweep (not a paper figure): hard-error-rate sensitivity.
-    let s = nsr_core::sweep::ext_hard_error_rate(&params)?;
+    let s = nsr_core::sweep::ext_hard_error_rate_with_workers(&params, workers)?;
     let path = format!("{out_dir}/ext_hard_error_rate.csv");
     std::fs::write(&path, sweep_csv(&s))?;
     let _ = writeln!(log, "wrote {path}");
@@ -710,6 +723,27 @@ fn bench(args: &ParsedArgs) -> Result<String> {
     use nsr_bench::json::Json;
     use nsr_bench::suites::{self, Mode, SUITE_NAMES};
 
+    // --compare <old.json> <new.json>: diff two reports, no timing.
+    if let Some(old_path) = args.get::<String>("compare")? {
+        let new_path = args.positionals.first().ok_or_else(|| {
+            CliError("--compare needs two report paths: --compare OLD.json NEW.json".into())
+        })?;
+        let threshold = args.get_or("threshold", 25.0f64)?;
+        let read = |path: &str| -> Result<Json> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError(format!("reading {path}: {e}")))?;
+            Json::parse(&text).map_err(|e| CliError(format!("{path}: {e}")))
+        };
+        let old = read(&old_path)?;
+        let new = read(new_path)?;
+        let cmp = nsr_bench::compare::compare_reports(&old, &new, threshold).map_err(CliError)?;
+        let text = cmp.render();
+        if cmp.regressions().is_empty() {
+            return Ok(text);
+        }
+        return Err(CliError(text));
+    }
+
     let which = args.get_or("suite", "all".to_string())?;
     let names: Vec<&str> = if which == "all" {
         SUITE_NAMES.to_vec()
@@ -866,6 +900,17 @@ mod tests {
     }
 
     #[test]
+    fn sweep_workers_output_is_identical_to_serial() {
+        let serial = run(&["sweep", "--figure", "16", "--csv"]).unwrap();
+        for workers in ["2", "4"] {
+            let parallel =
+                run(&["sweep", "--figure", "16", "--csv", "--workers", workers]).unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+        }
+        assert!(run(&["sweep", "--figure", "16", "--workers", "0"]).is_err());
+    }
+
+    #[test]
     fn sim_runs_small() {
         let out = run(&[
             "sim",
@@ -991,6 +1036,57 @@ mod tests {
         assert!(run(&["bench", "--suite", "erasure", "--check", "--out-dir", dir_s]).is_err());
 
         assert!(run(&["bench", "--suite", "warp"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_compare_diffs_reports() {
+        let dir = std::env::temp_dir().join(format!("nsr-cmp-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        let report = |ns: f64| {
+            format!(
+                "{{\"schema\":\"nsr-bench/v1\",\"suite\":\"solvers\",\"mode\":\"full\",\
+                 \"results\":[{{\"name\":\"a/x\",\"ns_per_iter\":{ns},\
+                 \"bytes_per_iter\":0,\"mib_per_s\":null}}]}}"
+            )
+        };
+        std::fs::write(&old, report(1000.0)).unwrap();
+        std::fs::write(&new, report(400.0)).unwrap();
+        let out = run(&[
+            "bench",
+            "--compare",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("no regressions"), "{out}");
+        assert!(out.contains("2.50x"), "{out}");
+
+        // Comparing in the slow direction fails past the threshold…
+        let err = run(&[
+            "bench",
+            "--compare",
+            new.to_str().unwrap(),
+            old.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("REGRESS"), "{err}");
+        // …unless the threshold is loosened.
+        let ok = run(&[
+            "bench",
+            "--compare",
+            new.to_str().unwrap(),
+            old.to_str().unwrap(),
+            "--threshold",
+            "200",
+        ])
+        .unwrap();
+        assert!(ok.contains("no regressions"), "{ok}");
+
+        // Missing second path is a usage error.
+        assert!(run(&["bench", "--compare", old.to_str().unwrap()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

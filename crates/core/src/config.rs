@@ -85,6 +85,12 @@ impl Configuration {
     /// paper's closed-form reliability and the exact-CTMC reliability,
     /// along with the rebuild rates used.
     ///
+    /// One-shot convenience over [`CachedEvaluator`]; sweep workloads
+    /// that evaluate the same configuration at many parameter points
+    /// should hold a [`CachedEvaluator`] instead, which builds the chain
+    /// topology once and only replaces rates per point. Both paths
+    /// produce identical values by construction.
+    ///
     /// # Errors
     ///
     /// * Parameter-validation errors from [`Params::validate`].
@@ -92,8 +98,54 @@ impl Configuration {
     ///   redundancy set (`t >= R`), the node set is too small, or the node
     ///   has too few drives for its internal RAID level.
     pub fn evaluate(&self, params: &Params) -> Result<Evaluation> {
+        CachedEvaluator::new(*self).evaluate(params)
+    }
+}
+
+/// A reusable evaluator for sweep workloads: the configuration's chain
+/// *topology* (states, labels, transition structure) is built on the
+/// first evaluation and cached; every later evaluation only computes a
+/// fresh rate vector and rescales the cached skeleton via
+/// [`nsr_markov::Ctmc::with_rates`]. Because the models' `ctmc()` is
+/// itself skeleton + rates, the cached path produces chains equal to the
+/// one-shot path by construction.
+///
+/// The cache key is the configuration alone: for every model in this
+/// crate the topology depends only on the fault tolerance, never on the
+/// swept parameters (node counts, rates and error probabilities all
+/// enter as rates).
+#[derive(Debug, Clone)]
+pub struct CachedEvaluator {
+    config: Configuration,
+    skeleton: Option<nsr_markov::Ctmc>,
+}
+
+impl CachedEvaluator {
+    /// Creates an evaluator for one configuration with an empty topology
+    /// cache.
+    pub fn new(config: Configuration) -> CachedEvaluator {
+        CachedEvaluator {
+            config,
+            skeleton: None,
+        }
+    }
+
+    /// The configuration this evaluator serves.
+    pub fn config(&self) -> Configuration {
+        self.config
+    }
+
+    /// Evaluates the configuration at one parameter point (see
+    /// [`Configuration::evaluate`] for the semantics and error
+    /// conditions).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Configuration::evaluate`].
+    pub fn evaluate(&mut self, params: &Params) -> Result<Evaluation> {
         params.validate()?;
-        let t = self.node_ft;
+        crate::obs::EVALS.inc();
+        let t = self.config.node_ft;
         let rebuild = RebuildModel::new(*params)?;
         let lambda_n = params.node.failure_rate();
         let lambda_d = params.drive.failure_rate();
@@ -107,7 +159,7 @@ impl Configuration {
         let node_rebuild = rebuild.node_rebuild(t)?;
         let capacity = params.logical_capacity(t);
 
-        match self.internal {
+        match self.config.internal {
             InternalRaid::None => {
                 let drive_rebuild = rebuild.drive_rebuild(t)?;
                 let sys = NoRaidSystem::new(
@@ -121,10 +173,16 @@ impl Configuration {
                     drive_rebuild.rate,
                     c_her,
                 )?;
+                let model = sys.recursive();
+                let exact = self.exact_mttdl(
+                    || model.chain_skeleton(),
+                    &model.transition_rates(),
+                    &"0".repeat(t as usize),
+                )?;
                 Ok(Evaluation {
-                    config: *self,
+                    config: self.config,
                     closed_form: Reliability::from_mttdl(sys.mttdl_paper(), capacity)?,
-                    exact: Reliability::from_mttdl(sys.mttdl_exact()?, capacity)?,
+                    exact: Reliability::from_mttdl(exact, capacity)?,
                     node_rebuild,
                     drive_repair: drive_rebuild,
                 })
@@ -140,15 +198,38 @@ impl Configuration {
                     array.rates_paper(),
                     node_rebuild.rate,
                 )?;
+                let exact =
+                    self.exact_mttdl(|| sys.chain_skeleton(), &sys.transition_rates(), "failed:0")?;
                 Ok(Evaluation {
-                    config: *self,
+                    config: self.config,
                     closed_form: Reliability::from_mttdl(sys.mttdl_paper(), capacity)?,
-                    exact: Reliability::from_mttdl(sys.mttdl_exact()?, capacity)?,
+                    exact: Reliability::from_mttdl(exact, capacity)?,
                     node_rebuild,
                     drive_repair: restripe,
                 })
             }
         }
+    }
+
+    /// Exact MTTDL through the topology cache: build the skeleton on the
+    /// first call, rescale it with `rates` on every call, solve.
+    fn exact_mttdl(
+        &mut self,
+        build: impl FnOnce() -> Result<nsr_markov::Ctmc>,
+        rates: &[f64],
+        root_label: &str,
+    ) -> Result<crate::units::Hours> {
+        if self.skeleton.is_none() {
+            crate::obs::SKELETON_BUILDS.inc();
+            self.skeleton = Some(build()?);
+        } else {
+            crate::obs::SKELETON_REUSES.inc();
+        }
+        let skeleton = self.skeleton.as_ref().expect("just built");
+        let chain = skeleton.with_rates(rates)?;
+        let analysis = nsr_markov::AbsorbingAnalysis::new(&chain)?;
+        let root = chain.state_by_label(root_label).expect("root state exists");
+        Ok(crate::units::Hours(analysis.mean_time_to_absorption(root)?))
     }
 }
 

@@ -126,15 +126,18 @@ impl InternalRaidSystem {
         PerHour(self.lambda_n + self.lambda_d_array)
     }
 
-    /// Builds the node-level CTMC (Figure 5/6/7 generalized to any `t`),
-    /// with distinct absorbing states for failure-driven and sector-driven
-    /// loss.
-    pub fn ctmc(&self) -> Result<Ctmc> {
-        let (nf, lam, mu) = (
-            self.n as f64,
-            self.lambda_n + self.lambda_d_array,
-            self.mu_n,
-        );
+    /// Builds the chain's *topology* only: the same states, labels and
+    /// transition order as [`Self::ctmc`] with placeholder `1.0` rates,
+    /// for rate-only rescaling via [`Self::transition_rates`] and
+    /// [`Ctmc::with_rates`]. The construction never emits duplicate
+    /// `(from, to)` pairs, so skeleton transitions correspond 1:1 to
+    /// rate-vector entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder failures (cannot occur for validated
+    /// parameters).
+    pub fn chain_skeleton(&self) -> Result<Ctmc> {
         let mut b = CtmcBuilder::new();
         let states: Vec<StateId> = (0..=self.t)
             .map(|i| b.add_state(format!("failed:{i}")))
@@ -143,22 +146,49 @@ impl InternalRaidSystem {
         let loss_sector = b.add_state(LOSS_BY_SECTOR);
 
         for i in 0..self.t {
+            b.add_transition(states[i as usize], states[(i + 1) as usize], 1.0)?;
+            b.add_transition(states[(i + 1) as usize], states[i as usize], 1.0)?;
+        }
+        b.add_transition(states[self.t as usize], loss_failure, 1.0)?;
+        b.add_transition(states[self.t as usize], loss_sector, 1.0)?;
+        Ok(b.build()?)
+    }
+
+    /// The transition rates of the chain, in the exact order the
+    /// skeleton's transitions were added — the rate vector for
+    /// [`Ctmc::with_rates`] on [`Self::chain_skeleton`]. A zero sector
+    /// rate (`λ_S = 0`) is dropped by `with_rates`, exactly as the
+    /// builder drops zero-rate transitions.
+    pub fn transition_rates(&self) -> Vec<f64> {
+        let (nf, lam, mu) = (
+            self.n as f64,
+            self.lambda_n + self.lambda_d_array,
+            self.mu_n,
+        );
+        let mut rates = Vec::with_capacity(2 * self.t as usize + 2);
+        for i in 0..self.t {
             let remaining = nf - i as f64;
-            b.add_transition(
-                states[i as usize],
-                states[(i + 1) as usize],
-                remaining * lam,
-            )?;
-            b.add_transition(states[(i + 1) as usize], states[i as usize], mu)?;
+            rates.push(remaining * lam);
+            rates.push(mu);
         }
         let last = nf - self.t as f64;
-        b.add_transition(states[self.t as usize], loss_failure, last * lam)?;
-        b.add_transition(
-            states[self.t as usize],
-            loss_sector,
-            last * self.k_t * self.lambda_s,
-        )?;
-        Ok(b.build()?)
+        rates.push(last * lam);
+        rates.push(last * self.k_t * self.lambda_s);
+        rates
+    }
+
+    /// Builds the node-level CTMC (Figure 5/6/7 generalized to any `t`),
+    /// with distinct absorbing states for failure-driven and sector-driven
+    /// loss.
+    ///
+    /// Implemented as [`Self::chain_skeleton`] +
+    /// [`Self::transition_rates`] + [`Ctmc::with_rates`], so a chain
+    /// assembled from a *cached* skeleton is equal to this one by
+    /// construction.
+    pub fn ctmc(&self) -> Result<Ctmc> {
+        Ok(self
+            .chain_skeleton()?
+            .with_rates(&self.transition_rates())?)
     }
 
     /// Exact MTTDL by solving the node-level CTMC.
@@ -268,6 +298,23 @@ mod tests {
 
     fn system(t: u32) -> InternalRaidSystem {
         InternalRaidSystem::new(64, 8, t, PerHour(2.5e-6), rates(), PerHour(0.28)).unwrap()
+    }
+
+    #[test]
+    fn skeleton_plus_rates_reproduces_ctmc_exactly() {
+        for t in 1..=3 {
+            let s = system(t);
+            let skeleton = s.chain_skeleton().unwrap();
+            let rates = s.transition_rates();
+            assert_eq!(skeleton.transitions().len(), rates.len(), "t = {t}");
+            let cached = skeleton.with_rates(&rates).unwrap();
+            let direct = s.ctmc().unwrap();
+            assert_eq!(cached.len(), direct.len(), "t = {t}");
+            for st in direct.states() {
+                assert_eq!(cached.label(st), direct.label(st), "t = {t}");
+            }
+            assert_eq!(cached.transitions(), direct.transitions(), "t = {t}");
+        }
     }
 
     #[test]

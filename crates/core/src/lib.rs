@@ -55,6 +55,7 @@ pub mod internal_raid;
 pub mod metrics;
 pub mod mission;
 pub mod no_raid;
+pub mod obs;
 pub mod params;
 pub mod planner;
 pub mod raid;

@@ -1,0 +1,33 @@
+//! Metric handles for the sweep engine.
+//!
+//! All of these are no-ops until `nsr_obs::set_metrics_enabled(true)`;
+//! see `nsr-obs` for the cost contract. Solver-tier selection and
+//! elimination fill are counted one layer down, in `nsr_markov::obs`.
+
+use nsr_obs::{Counter, Histogram};
+
+/// Sensitivity sweeps run (`sweep` / `sweep_with_workers` calls).
+pub static SWEEPS: Counter = Counter::new("core.sweep.runs");
+/// Configuration evaluations performed by sweep workers (each is one
+/// closed-form computation plus one exact CTMC solve).
+pub static EVALS: Counter = Counter::new("core.sweep.evals");
+/// Chain topologies built by cached evaluators (first point of a
+/// config's sweep column).
+pub static SKELETON_BUILDS: Counter = Counter::new("core.sweep.skeleton_builds");
+/// Chain topologies *reused* by cached evaluators (every later point:
+/// rates replaced, no rebuild).
+pub static SKELETON_REUSES: Counter = Counter::new("core.sweep.skeleton_reuses");
+/// Exact-CTMC solves per sweep run (rows × feasible configurations).
+pub static SOLVES_PER_SWEEP: Histogram = Histogram::new("core.sweep.solves_per_sweep");
+/// Wall seconds each worker spent inside one sweep run.
+pub static WORKER_SECONDS: Histogram = Histogram::new("core.sweep.worker_seconds");
+
+/// Registers every metric in this module with the global registry.
+pub fn register() {
+    SWEEPS.register();
+    EVALS.register();
+    SKELETON_BUILDS.register();
+    SKELETON_REUSES.register();
+    SOLVES_PER_SWEEP.register();
+    WORKER_SECONDS.register();
+}

@@ -159,20 +159,20 @@ impl RecursiveModel {
         s
     }
 
-    /// Builds the CTMC of the recursive construction, with the absorbing
-    /// state split into [`LOSS_BY_FAILURE`] and [`LOSS_BY_SECTOR`].
+    /// Builds the chain's *topology* only: the same states, labels and
+    /// transition order as [`Self::ctmc`], with every rate set to a
+    /// placeholder `1.0`. Pair with [`Self::transition_rates`] and
+    /// [`Ctmc::with_rates`] to rescale the chain without rebuilding it —
+    /// the sweep engine's hot path. The placeholder mapping is exact
+    /// because the construction never emits duplicate `(from, to)` pairs,
+    /// so skeleton transitions correspond 1:1 to rate-vector entries.
     ///
     /// # Errors
     ///
-    /// Propagates builder failures (cannot occur for validated parameters
-    /// as long as all `h_α < 1`, which [`HParams::new`] guarantees at
-    /// construction-parameter validation time).
-    pub fn ctmc(&self) -> Result<Ctmc> {
+    /// Propagates builder failures (cannot occur for validated
+    /// parameters).
+    pub fn chain_skeleton(&self) -> Result<Ctmc> {
         let k = self.k;
-        let nf = self.n as f64;
-        let df = self.d as f64;
-        let (lam_n, lam_d, mu_n, mu_d) = (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
-
         let mut b = CtmcBuilder::new();
         // states[depth][idx]
         let mut states: Vec<Vec<StateId>> = Vec::with_capacity(k as usize + 1);
@@ -186,11 +186,38 @@ impl RecursiveModel {
         let loss_sector = b.add_state(LOSS_BY_SECTOR);
 
         for depth in 0..k {
-            let remaining = nf - depth as f64;
             for idx in 0..(1usize << depth) {
                 let from = states[depth as usize][idx];
                 let child_n = states[depth as usize + 1][idx << 1];
                 let child_d = states[depth as usize + 1][(idx << 1) | 1];
+                b.add_transition(from, child_n, 1.0)?;
+                b.add_transition(from, child_d, 1.0)?;
+                if depth + 1 == k {
+                    b.add_transition(from, loss_sector, 1.0)?;
+                }
+                b.add_transition(child_n, from, 1.0)?;
+                b.add_transition(child_d, from, 1.0)?;
+            }
+        }
+        // Full-depth states: any further failure is data loss.
+        for &s in &states[k as usize] {
+            b.add_transition(s, loss_failure, 1.0)?;
+        }
+        Ok(b.build()?)
+    }
+
+    /// The transition rates of the chain, in the exact order the
+    /// skeleton's transitions were added — the rate vector for
+    /// [`Ctmc::with_rates`] on [`Self::chain_skeleton`].
+    pub fn transition_rates(&self) -> Vec<f64> {
+        let k = self.k;
+        let nf = self.n as f64;
+        let df = self.d as f64;
+        let (lam_n, lam_d, mu_n, mu_d) = (self.lambda_n, self.lambda_d, self.mu_n, self.mu_d);
+        let mut rates = Vec::with_capacity(5 * ((1usize << k) - 1) + (1usize << k));
+        for depth in 0..k {
+            let remaining = nf - depth as f64;
+            for idx in 0..(1usize << depth) {
                 let drives_so_far = (idx as u64).count_ones();
                 if depth + 1 == k {
                     // The next failure makes some redundancy set critical;
@@ -199,30 +226,46 @@ impl RecursiveModel {
                     // (expected error counts); they can exceed 1 at k = 1
                     // with baseline C·HER. The exact chain needs genuine
                     // probabilities, so saturate at 1 (see
-                    // `HParams`-based `linear_validity`).
+                    // `HParams`-based `linear_validity`). At saturation a
+                    // child rate becomes exactly 0 and `with_rates` drops
+                    // the transition, just as the builder would.
                     let h_n = self.h.by_drive_count(drives_so_far).min(1.0);
                     let h_d = self.h.by_drive_count(drives_so_far + 1).min(1.0);
-                    b.add_transition(from, child_n, remaining * lam_n * (1.0 - h_n))?;
-                    b.add_transition(from, child_d, remaining * df * lam_d * (1.0 - h_d))?;
-                    b.add_transition(
-                        from,
-                        loss_sector,
-                        remaining * (lam_n * h_n + df * lam_d * h_d),
-                    )?;
+                    rates.push(remaining * lam_n * (1.0 - h_n));
+                    rates.push(remaining * df * lam_d * (1.0 - h_d));
+                    rates.push(remaining * (lam_n * h_n + df * lam_d * h_d));
                 } else {
-                    b.add_transition(from, child_n, remaining * lam_n)?;
-                    b.add_transition(from, child_d, remaining * df * lam_d)?;
+                    rates.push(remaining * lam_n);
+                    rates.push(remaining * df * lam_d);
                 }
-                b.add_transition(child_n, from, mu_n)?;
-                b.add_transition(child_d, from, mu_d)?;
+                rates.push(mu_n);
+                rates.push(mu_d);
             }
         }
-        // Full-depth states: any further failure is data loss.
         let last = nf - k as f64;
-        for &s in &states[k as usize] {
-            b.add_transition(s, loss_failure, last * (lam_n + df * lam_d))?;
+        for _ in 0..(1usize << k) {
+            rates.push(last * (lam_n + df * lam_d));
         }
-        Ok(b.build()?)
+        rates
+    }
+
+    /// Builds the CTMC of the recursive construction, with the absorbing
+    /// state split into [`LOSS_BY_FAILURE`] and [`LOSS_BY_SECTOR`].
+    ///
+    /// Implemented as [`Self::chain_skeleton`] +
+    /// [`Self::transition_rates`] + [`Ctmc::with_rates`], so a chain
+    /// assembled from a *cached* skeleton is equal to this one by
+    /// construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder failures (cannot occur for validated parameters
+    /// as long as all `h_α < 1`, which [`HParams::new`] guarantees at
+    /// construction-parameter validation time).
+    pub fn ctmc(&self) -> Result<Ctmc> {
+        Ok(self
+            .chain_skeleton()?
+            .with_rates(&self.transition_rates())?)
     }
 
     /// Exact MTTDL: build the chain, factor `R = −Q_B`, evaluate
@@ -403,6 +446,26 @@ mod tests {
             // transient states + 2 loss states
             assert_eq!(ctmc.len(), m.state_count() + 2);
             assert_eq!(ctmc.transient_states().len(), m.state_count());
+        }
+    }
+
+    #[test]
+    fn skeleton_plus_rates_reproduces_ctmc_exactly() {
+        // Covers k = 1, where h_N saturates to 1 at these parameters and
+        // the zero-rate child transition must be dropped by `with_rates`
+        // exactly as the builder drops it.
+        for k in 1..=5 {
+            let m = model(k);
+            let skeleton = m.chain_skeleton().unwrap();
+            let rates = m.transition_rates();
+            assert_eq!(skeleton.transitions().len(), rates.len(), "k = {k}");
+            let cached = skeleton.with_rates(&rates).unwrap();
+            let direct = m.ctmc().unwrap();
+            assert_eq!(cached.len(), direct.len(), "k = {k}");
+            for s in direct.states() {
+                assert_eq!(cached.label(s), direct.label(s), "k = {k}");
+            }
+            assert_eq!(cached.transitions(), direct.transitions(), "k = {k}");
         }
     }
 

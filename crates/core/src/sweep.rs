@@ -5,7 +5,10 @@
 //! set of configurations at every point. Figure 13's baseline comparison
 //! of all nine configurations lives here too.
 
-use crate::config::Configuration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::config::{CachedEvaluator, Configuration};
 use crate::metrics::Reliability;
 use crate::params::Params;
 use crate::units::{Bytes, Gbps, Hours};
@@ -45,13 +48,25 @@ pub struct Sweep {
 impl Sweep {
     /// The series for one configuration as `(x, events_per_pb_year)`
     /// pairs, skipping infeasible points.
+    ///
+    /// `O(rows)`: the configuration's column is located once in the first
+    /// row (the sweep driver guarantees every row shares the same column
+    /// order) and then accessed positionally. The per-row identity check
+    /// is kept so a malformed `Sweep` degrades to missing points rather
+    /// than silently reading a different configuration's column.
     pub fn series(&self, config: Configuration) -> Vec<(f64, f64)> {
+        let Some(first) = self.rows.first() else {
+            return Vec::new();
+        };
+        let Some(col) = first.cells.iter().position(|c| c.config == config) else {
+            return Vec::new();
+        };
         self.rows
             .iter()
             .filter_map(|row| {
                 row.cells
-                    .iter()
-                    .find(|c| c.config == config)
+                    .get(col)
+                    .filter(|c| c.config == config)
                     .and_then(|c| c.reliability)
                     .map(|r| (row.x, r.events_per_pb_year))
             })
@@ -74,6 +89,8 @@ impl Sweep {
 /// show *where* a configuration stops being feasible, not abort); the
 /// function itself only errors if the base parameters are invalid.
 ///
+/// Serial convenience over [`sweep_with_workers`] (`workers = 1`).
+///
 /// # Errors
 ///
 /// Returns parameter-validation errors for `base` itself.
@@ -83,30 +100,115 @@ pub fn sweep<F>(
     x_name: &str,
     x_unit: &str,
     xs: &[f64],
-    mut set: F,
+    set: F,
 ) -> Result<Sweep>
 where
-    F: FnMut(&mut Params, f64),
+    F: Fn(&mut Params, f64) + Sync,
+{
+    sweep_with_workers(base, configs, x_name, x_unit, xs, 1, set)
+}
+
+/// [`sweep`] with an explicit worker count.
+///
+/// Each worker holds its own [`CachedEvaluator`] per configuration, so
+/// every chain topology is built at most once per worker and only the
+/// rates are replaced per sweep point. Rows are claimed from a shared
+/// atomic counter (work-stealing — rows whose configurations go
+/// infeasible early are cheaper than feasible ones) and merged back **by
+/// row index**, so the output is deterministic and byte-identical for
+/// every worker count, including `1`: evaluation is pure and each row is
+/// produced by exactly one worker from the same `(base, x)` inputs.
+///
+/// `workers` is clamped to `1..=xs.len()`; `workers <= 1` runs inline on
+/// the calling thread with no thread machinery at all.
+///
+/// # Errors
+///
+/// Returns parameter-validation errors for `base` itself.
+pub fn sweep_with_workers<F>(
+    base: &Params,
+    configs: &[Configuration],
+    x_name: &str,
+    x_unit: &str,
+    xs: &[f64],
+    workers: usize,
+    set: F,
+) -> Result<Sweep>
+where
+    F: Fn(&mut Params, f64) + Sync,
 {
     base.validate()?;
-    let mut rows = Vec::with_capacity(xs.len());
-    for &x in xs {
-        let mut params = *base;
-        set(&mut params, x);
-        let cells = configs
+    crate::obs::SWEEPS.inc();
+    let workers = workers.clamp(1, xs.len().max(1));
+
+    let rows = if workers <= 1 {
+        let start = Instant::now();
+        let mut evaluators: Vec<CachedEvaluator> =
+            configs.iter().map(|&c| CachedEvaluator::new(c)).collect();
+        let rows: Vec<SweepRow> = xs
             .iter()
-            .map(|&config| SweepCell {
-                config,
-                reliability: config.evaluate(&params).ok().map(|e| e.closed_form),
-            })
+            .map(|&x| eval_row(base, &mut evaluators, x, &set))
             .collect();
-        rows.push(SweepRow { x, cells });
-    }
+        crate::obs::WORKER_SECONDS.observe(start.elapsed().as_secs_f64());
+        rows
+    } else {
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, SweepRow)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let start = Instant::now();
+                        let mut evaluators: Vec<CachedEvaluator> =
+                            configs.iter().map(|&c| CachedEvaluator::new(c)).collect();
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&x) = xs.get(i) else { break };
+                            mine.push((i, eval_row(base, &mut evaluators, x, &set)));
+                        }
+                        crate::obs::WORKER_SECONDS.observe(start.elapsed().as_secs_f64());
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<SweepRow>> = vec![None; xs.len()];
+        for (i, row) in per_worker.into_iter().flatten() {
+            slots[i] = Some(row);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every row index claimed exactly once"))
+            .collect()
+    };
+
+    crate::obs::SOLVES_PER_SWEEP.observe((xs.len() * configs.len()) as f64);
     Ok(Sweep {
         x_name: x_name.to_string(),
         x_unit: x_unit.to_string(),
         rows,
     })
+}
+
+/// Evaluates one sweep row through the worker's cached evaluators.
+fn eval_row<F>(base: &Params, evaluators: &mut [CachedEvaluator], x: f64, set: &F) -> SweepRow
+where
+    F: Fn(&mut Params, f64),
+{
+    let mut params = *base;
+    set(&mut params, x);
+    let cells = evaluators
+        .iter_mut()
+        .map(|ev| SweepCell {
+            config: ev.config(),
+            reliability: ev.evaluate(&params).ok().map(|e| e.closed_form),
+        })
+        .collect();
+    SweepRow { x, cells }
 }
 
 /// Figure 13: all nine configurations at the §6 baseline.
@@ -141,6 +243,79 @@ pub fn node_mttf_grid() -> Vec<f64> {
     ]
 }
 
+/// The declarative part of one figure's sensitivity sweep: axis label,
+/// unit, grid, and the parameter each grid point sets. Non-capturing
+/// setters keep the spec `Copy`-cheap and trivially `Sync`.
+type FigureSpec = (&'static str, &'static str, Vec<f64>, fn(&mut Params, f64));
+
+/// The §7 sweep specification for paper figure `figure` (14–20), or
+/// `None` for any other number.
+fn figure_spec(figure: u32) -> Option<FigureSpec> {
+    Some(match figure {
+        14 => ("drive MTTF", "h", drive_mttf_grid(), |p, x| {
+            p.drive.mttf = Hours(x)
+        }),
+        15 => ("node MTTF", "h", node_mttf_grid(), |p, x| {
+            p.node.mttf = Hours(x)
+        }),
+        16 => (
+            "rebuild block size",
+            "KiB",
+            vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0],
+            |p, x| p.system.rebuild_command = Bytes::from_kib(x),
+        ),
+        17 => ("link speed", "Gb/s", vec![1.0, 3.0, 5.0, 10.0], |p, x| {
+            p.system.link_speed = Gbps(x)
+        }),
+        18 => (
+            "node set size",
+            "nodes",
+            vec![16.0, 32.0, 64.0, 128.0, 256.0],
+            |p, x| p.system.node_count = x as u32,
+        ),
+        19 => (
+            "redundancy set size",
+            "nodes",
+            vec![4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
+            |p, x| p.system.redundancy_set_size = x as u32,
+        ),
+        20 => (
+            "drives per node",
+            "drives",
+            vec![4.0, 8.0, 12.0, 16.0, 24.0, 32.0],
+            |p, x| p.node.drives_per_node = x as u32,
+        ),
+        _ => return None,
+    })
+}
+
+/// Runs the sensitivity sweep of paper figure `figure` (14–20) over the
+/// paper's sensitivity set with an explicit worker count. Figures 14 and
+/// 15 hold the *other* MTTF at whatever `base` carries (use
+/// [`fig14_drive_mttf`] / [`fig15_node_mttf`] to pin it explicitly).
+///
+/// # Errors
+///
+/// [`crate::Error::InvalidParams`] for figure numbers outside 14–20
+/// (figure 13 is [`fig13_baseline`]), plus base-parameter validation
+/// errors.
+pub fn figure_sweep(figure: u32, base: &Params, workers: usize) -> Result<Sweep> {
+    let (name, unit, xs, set) = figure_spec(figure).ok_or_else(|| {
+        crate::Error::invalid(format!(
+            "no sensitivity sweep for figure {figure} (expected 14..20)"
+        ))
+    })?;
+    sweep_with_workers(
+        base,
+        &Configuration::sensitivity_set(),
+        name,
+        unit,
+        &xs,
+        workers,
+        set,
+    )
+}
+
 /// Figure 14: sensitivity to drive MTTF at a fixed node MTTF.
 ///
 /// # Errors
@@ -149,14 +324,7 @@ pub fn node_mttf_grid() -> Vec<f64> {
 pub fn fig14_drive_mttf(base: &Params, node_mttf: Hours) -> Result<Sweep> {
     let mut params = *base;
     params.node.mttf = node_mttf;
-    sweep(
-        &params,
-        &Configuration::sensitivity_set(),
-        "drive MTTF",
-        "h",
-        &drive_mttf_grid(),
-        |p, x| p.drive.mttf = Hours(x),
-    )
+    figure_sweep(14, &params, 1)
 }
 
 /// Figure 15: sensitivity to node MTTF at a fixed drive MTTF.
@@ -167,14 +335,7 @@ pub fn fig14_drive_mttf(base: &Params, node_mttf: Hours) -> Result<Sweep> {
 pub fn fig15_node_mttf(base: &Params, drive_mttf: Hours) -> Result<Sweep> {
     let mut params = *base;
     params.drive.mttf = drive_mttf;
-    sweep(
-        &params,
-        &Configuration::sensitivity_set(),
-        "node MTTF",
-        "h",
-        &node_mttf_grid(),
-        |p, x| p.node.mttf = Hours(x),
-    )
+    figure_sweep(15, &params, 1)
 }
 
 /// Figure 16: sensitivity to the rebuild block (command) size, 4 KiB to
@@ -184,15 +345,7 @@ pub fn fig15_node_mttf(base: &Params, drive_mttf: Hours) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn fig16_rebuild_block(base: &Params) -> Result<Sweep> {
-    let kib: Vec<f64> = vec![4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
-    sweep(
-        base,
-        &Configuration::sensitivity_set(),
-        "rebuild block size",
-        "KiB",
-        &kib,
-        |p, x| p.system.rebuild_command = Bytes::from_kib(x),
-    )
+    figure_sweep(16, base, 1)
 }
 
 /// Figure 17: sensitivity to link speed at the paper's three points
@@ -202,14 +355,7 @@ pub fn fig16_rebuild_block(base: &Params) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn fig17_link_speed(base: &Params) -> Result<Sweep> {
-    sweep(
-        base,
-        &Configuration::sensitivity_set(),
-        "link speed",
-        "Gb/s",
-        &[1.0, 3.0, 5.0, 10.0],
-        |p, x| p.system.link_speed = Gbps(x),
-    )
+    figure_sweep(17, base, 1)
 }
 
 /// Figure 18: sensitivity to node set size `N`.
@@ -218,14 +364,7 @@ pub fn fig17_link_speed(base: &Params) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn fig18_node_count(base: &Params) -> Result<Sweep> {
-    sweep(
-        base,
-        &Configuration::sensitivity_set(),
-        "node set size",
-        "nodes",
-        &[16.0, 32.0, 64.0, 128.0, 256.0],
-        |p, x| p.system.node_count = x as u32,
-    )
+    figure_sweep(18, base, 1)
 }
 
 /// Figure 19: sensitivity to redundancy set size `R`.
@@ -234,14 +373,7 @@ pub fn fig18_node_count(base: &Params) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn fig19_redundancy_set(base: &Params) -> Result<Sweep> {
-    sweep(
-        base,
-        &Configuration::sensitivity_set(),
-        "redundancy set size",
-        "nodes",
-        &[4.0, 6.0, 8.0, 10.0, 12.0, 16.0],
-        |p, x| p.system.redundancy_set_size = x as u32,
-    )
+    figure_sweep(19, base, 1)
 }
 
 /// Figure 20: sensitivity to drives per node `d`.
@@ -250,14 +382,7 @@ pub fn fig19_redundancy_set(base: &Params) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn fig20_drives_per_node(base: &Params) -> Result<Sweep> {
-    sweep(
-        base,
-        &Configuration::sensitivity_set(),
-        "drives per node",
-        "drives",
-        &[4.0, 8.0, 12.0, 16.0, 24.0, 32.0],
-        |p, x| p.node.drives_per_node = x as u32,
-    )
+    figure_sweep(20, base, 1)
 }
 
 /// Extension (not a paper figure): sensitivity to the drive hard-error
@@ -269,12 +394,22 @@ pub fn fig20_drives_per_node(base: &Params) -> Result<Sweep> {
 ///
 /// Propagates base-parameter validation errors.
 pub fn ext_hard_error_rate(base: &Params) -> Result<Sweep> {
-    sweep(
+    ext_hard_error_rate_with_workers(base, 1)
+}
+
+/// [`ext_hard_error_rate`] with an explicit worker count.
+///
+/// # Errors
+///
+/// Propagates base-parameter validation errors.
+pub fn ext_hard_error_rate_with_workers(base: &Params, workers: usize) -> Result<Sweep> {
+    sweep_with_workers(
         base,
         &Configuration::sensitivity_set(),
         "hard error rate",
         "errors/bit",
         &[1e-16, 1e-15, 1e-14, 5e-14, 1e-13],
+        workers,
         |p, x| p.drive.hard_error_rate_per_bit = x,
     )
 }
@@ -532,6 +667,91 @@ mod tests {
         assert!(s.rows[0].cells[0].reliability.is_none()); // R=2 < t+1
         assert!(s.rows[1].cells[0].reliability.is_none()); // R=3 = t
         assert!(s.rows[2].cells[0].reliability.is_some());
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let configs = Configuration::sensitivity_set();
+        let xs = drive_mttf_grid();
+        let serial = sweep_with_workers(&base(), &configs, "drive MTTF", "h", &xs, 1, |p, x| {
+            p.drive.mttf = Hours(x)
+        })
+        .unwrap();
+        for workers in [2, 3, 4, 17] {
+            let parallel = sweep_with_workers(
+                &base(),
+                &configs,
+                "drive MTTF",
+                "h",
+                &xs,
+                workers,
+                |p, x| p.drive.mttf = Hours(x),
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "workers = {workers}");
+            for (rs, rp) in serial.rows.iter().zip(&parallel.rows) {
+                assert_eq!(rs.x.to_bits(), rp.x.to_bits());
+                for (cs, cp) in rs.cells.iter().zip(&rp.cells) {
+                    match (cs.reliability, cp.reliability) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(
+                                a.events_per_pb_year.to_bits(),
+                                b.events_per_pb_year.to_bits()
+                            );
+                            assert_eq!(a.mttdl_hours.to_bits(), b.mttdl_hours.to_bits());
+                        }
+                        (None, None) => {}
+                        _ => panic!("feasibility mismatch at workers = {workers}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_row_preserves_the_input_column_order() {
+        let configs = Configuration::all_nine();
+        let s = sweep_with_workers(
+            &base(),
+            &configs,
+            "drives per node",
+            "drives",
+            &[4.0, 8.0, 12.0, 16.0],
+            3,
+            |p, x| p.node.drives_per_node = x as u32,
+        )
+        .unwrap();
+        for row in &s.rows {
+            assert_eq!(row.cells.len(), configs.len());
+            for (cell, &config) in row.cells.iter().zip(&configs) {
+                assert_eq!(cell.config, config);
+            }
+        }
+        assert_eq!(s.configs(), configs);
+    }
+
+    #[test]
+    fn cached_evaluator_matches_one_shot_across_points() {
+        use crate::config::CachedEvaluator;
+        for config in Configuration::all_nine() {
+            let mut cached = CachedEvaluator::new(config);
+            for mttf in drive_mttf_grid() {
+                let mut p = base();
+                p.drive.mttf = Hours(mttf);
+                let a = cached.evaluate(&p).unwrap();
+                let b = config.evaluate(&p).unwrap();
+                assert_eq!(
+                    a.exact.mttdl_hours.to_bits(),
+                    b.exact.mttdl_hours.to_bits(),
+                    "{config} exact at drive MTTF {mttf}"
+                );
+                assert_eq!(
+                    a.closed_form.mttdl_hours.to_bits(),
+                    b.closed_form.mttdl_hours.to_bits(),
+                    "{config} closed form at drive MTTF {mttf}"
+                );
+            }
+        }
     }
 
     #[test]

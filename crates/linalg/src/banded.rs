@@ -1,0 +1,496 @@
+use crate::{Error, Lu, Matrix, Result};
+
+/// Lower and upper bandwidths `(kl, ku)` of a square matrix: the largest
+/// `i − j` (resp. `j − i`) over all nonzero entries `a_ij`. A diagonal
+/// matrix profiles as `(0, 0)`, a tridiagonal one as `(1, 1)`.
+pub fn bandwidth(a: &Matrix) -> (usize, usize) {
+    let n = a.rows();
+    let (mut kl, mut ku) = (0usize, 0usize);
+    for i in 0..n {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            if v != 0.0 {
+                if i > j {
+                    kl = kl.max(i - j);
+                } else {
+                    ku = ku.max(j - i);
+                }
+            }
+        }
+    }
+    (kl, ku)
+}
+
+/// Whether a banded factorization of an `n × n` matrix with bandwidths
+/// `(kl, ku)` is expected to beat the dense one.
+///
+/// Dense LU costs `~n³/3` flops; the banded factorization costs
+/// `~n·kl·(kl + ku + 1)` (partial pivoting lets `U`'s bandwidth grow to
+/// `kl + ku`). The crossover is taken with a ×4 safety margin so the
+/// banded path only engages when the win is decisive — narrow chains like
+/// birth–death repair models, not merely "technically banded" matrices.
+pub fn banded_pays_off(n: usize, kl: usize, ku: usize) -> bool {
+    if n < 8 {
+        return false; // dense is trivially fast and has less overhead
+    }
+    let band_cost = (n as u128) * (kl as u128 + 1) * (kl as u128 + ku as u128 + 1);
+    let dense_cost = (n as u128).pow(3) / 3;
+    band_cost * 4 <= dense_cost
+}
+
+/// LU factorization of a banded matrix with partial pivoting, in the
+/// LAPACK `gbtrf` band layout: column `j` stores rows
+/// `j − kl − ku ..= j + kl` (fill from pivoting extends the upper
+/// bandwidth from `ku` to `kl + ku`).
+///
+/// Cost is `O(n·kl·(kl + ku))` instead of the dense `O(n³)`, which is the
+/// decisive win for the near-tridiagonal repair chains this workspace
+/// solves (internal-RAID array models, birth–death rebuild chains).
+///
+/// # Example
+///
+/// ```
+/// use nsr_linalg::{BandedLu, Matrix};
+///
+/// # fn main() -> Result<(), nsr_linalg::Error> {
+/// // Tridiagonal system.
+/// let a = Matrix::from_rows(&[
+///     &[2.0, -1.0, 0.0],
+///     &[-1.0, 2.0, -1.0],
+///     &[0.0, -1.0, 2.0],
+/// ])?;
+/// let lu = BandedLu::factor(&a)?;
+/// let x = lu.solve(&[1.0, 0.0, 1.0])?;
+/// let r = a.mul_vec(&x)?;
+/// assert!((r[0] - 1.0).abs() < 1e-12);
+/// assert!((lu.det() - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BandedLu {
+    /// Band storage: `ab[j][kl + ku + i − j]` holds `A(i, j)` (and, after
+    /// factorization, the `L` multipliers below the diagonal and `U` above
+    /// it).
+    ab: Vec<Vec<f64>>,
+    /// Pivot row chosen at each elimination step: `ipiv[j] ∈ j..=j+kl`.
+    ipiv: Vec<usize>,
+    /// Sign of the row permutation (for [`BandedLu::det`]).
+    sign: f64,
+    kl: usize,
+    ku: usize,
+}
+
+impl BandedLu {
+    /// Factors a square matrix, profiling its bandwidth internally.
+    ///
+    /// The factorization is exact for any square matrix — a dense matrix
+    /// simply degenerates to `kl = ku = n − 1` band storage — but only
+    /// worth using when [`banded_pays_off`] says so.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lu::factor`]: [`Error::Empty`],
+    /// [`Error::NotSquare`], [`Error::NotFinite`], and [`Error::Singular`]
+    /// if no usable pivot remains at some column.
+    pub fn factor(a: &Matrix) -> Result<BandedLu> {
+        let (kl, ku) = bandwidth(a);
+        Self::factor_with_bandwidth(a, kl, ku)
+    }
+
+    /// Factors with caller-supplied bandwidths (entries outside the band
+    /// are treated as zero, which is exact when the caller profiled
+    /// correctly).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BandedLu::factor`].
+    pub fn factor_with_bandwidth(a: &Matrix, kl: usize, ku: usize) -> Result<BandedLu> {
+        if a.rows() == 0 || a.cols() == 0 {
+            return Err(Error::Empty);
+        }
+        if !a.is_square() {
+            return Err(Error::NotSquare { shape: a.shape() });
+        }
+        if !a.is_finite() {
+            return Err(Error::NotFinite {
+                op: "banded_lu_factor",
+            });
+        }
+        let n = a.rows();
+        let kl = kl.min(n - 1);
+        let ku = ku.min(n - 1);
+        let off = kl + ku; // position of the diagonal within a column
+        let height = off + kl + 1;
+
+        // Load the band (fill rows 0..kl of each column start at zero).
+        let mut ab: Vec<Vec<f64>> = (0..n).map(|_| vec![0.0; height]).collect();
+        for j in 0..n {
+            let lo = j.saturating_sub(ku);
+            let hi = (j + kl).min(n - 1);
+            for i in lo..=hi {
+                ab[j][off + i - j] = a[(i, j)];
+            }
+        }
+
+        let mut ipiv = vec![0usize; n];
+        let mut sign = 1.0;
+        let mut ju = 0usize; // rightmost column touched by any pivot so far
+        for j in 0..n {
+            let km = kl.min(n - 1 - j); // subdiagonal count in column j
+                                        // Partial pivoting among rows j..=j+km of column j.
+            let mut jp = 0;
+            let mut max = ab[j][off].abs();
+            for t in 1..=km {
+                let v = ab[j][off + t].abs();
+                if v > max {
+                    max = v;
+                    jp = t;
+                }
+            }
+            if max == 0.0 {
+                return Err(Error::Singular { pivot: j });
+            }
+            ipiv[j] = j + jp;
+            ju = ju.max((j + ku + jp).min(n - 1));
+            if jp != 0 {
+                // Swap rows j and j+jp across the affected columns. Both
+                // rows stay inside the band window because the original
+                // upper bandwidth is ku and fill stops at kl + ku.
+                for (c, col) in ab.iter_mut().enumerate().take(ju + 1).skip(j) {
+                    let pj = off + j - c;
+                    col.swap(pj, pj + jp);
+                }
+                sign = -sign;
+            }
+            if km > 0 {
+                let pivot = ab[j][off];
+                for t in 1..=km {
+                    ab[j][off + t] /= pivot;
+                }
+                // Rank-1 update of the trailing band window.
+                let (head, tail) = ab.split_at_mut(j + 1);
+                let col_j = &head[j];
+                for (c, col) in tail.iter_mut().enumerate().take(ju - j) {
+                    let c = j + 1 + c;
+                    let ujc = col[off + j - c];
+                    if ujc == 0.0 {
+                        continue;
+                    }
+                    for t in 1..=km {
+                        col[off + j + t - c] -= col_j[off + t] * ujc;
+                    }
+                }
+            }
+        }
+        Ok(BandedLu {
+            ab,
+            ipiv,
+            sign,
+            kl,
+            ku,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.ab.len()
+    }
+
+    /// The profiled `(kl, ku)` bandwidths of the input matrix.
+    pub fn bandwidths(&self) -> (usize, usize) {
+        (self.kl, self.ku)
+    }
+
+    /// Determinant (product of `U`'s diagonal times the permutation sign).
+    pub fn det(&self) -> f64 {
+        let off = self.kl + self.ku;
+        let mut d = self.sign;
+        for col in &self.ab {
+            d *= col[off];
+        }
+        d
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(Error::DimensionMismatch {
+                op: "banded_lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        let off = self.kl + self.ku;
+        let mut x = b.to_vec();
+        // Forward: interleaved row swaps and L eliminations, exactly the
+        // order the factorization applied them.
+        for j in 0..n {
+            let p = self.ipiv[j];
+            if p != j {
+                x.swap(j, p);
+            }
+            let km = self.kl.min(n - 1 - j);
+            for t in 1..=km {
+                x[j + t] -= self.ab[j][off + t] * x[j];
+            }
+        }
+        // Back-substitution against U (bandwidth kl + ku).
+        for i in (0..n).rev() {
+            let hi = (i + off).min(n - 1);
+            let mut acc = x[i];
+            for (j, &xj) in x.iter().enumerate().take(hi + 1).skip(i + 1) {
+                acc -= self.ab[j][off + i - j] * xj;
+            }
+            x[i] = acc / self.ab[i][off];
+        }
+        Ok(x)
+    }
+
+    /// Estimate of the ∞-norm condition number `κ∞(A) = ‖A‖∞·‖A⁻¹‖∞`.
+    /// `‖A⁻¹‖∞` is formed column-by-column with banded solves
+    /// (`O(n²·band)` total), never materializing a dense inverse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (cannot happen for a successfully
+    /// factored matrix).
+    pub fn cond_inf(&self, a: &Matrix) -> Result<f64> {
+        let n = self.dim();
+        // Row sums of |A⁻¹|, accumulated one solved column at a time.
+        let mut row_sums = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for (acc, v) in row_sums.iter_mut().zip(&col) {
+                *acc += v.abs();
+            }
+        }
+        let inv_norm = row_sums.iter().fold(0.0, |m: f64, &v| m.max(v));
+        Ok(a.norm_inf() * inv_norm)
+    }
+}
+
+/// A factorization that picked its storage tier from the matrix's
+/// bandwidth profile: banded when [`banded_pays_off`], dense otherwise.
+///
+/// This is the entry point solver callers should use when the matrix
+/// *might* be structured — reliability repair chains often are — without
+/// committing to either layout at the call site.
+#[derive(Debug, Clone)]
+pub enum AnyLu {
+    /// Dense partial-pivoting LU.
+    Dense(Lu),
+    /// Banded partial-pivoting LU.
+    Banded(BandedLu),
+}
+
+impl AnyLu {
+    /// Profiles `a`'s bandwidth and factors with the cheaper layout.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lu::factor`] / [`BandedLu::factor`].
+    pub fn factor_auto(a: &Matrix) -> Result<AnyLu> {
+        let (kl, ku) = bandwidth(a);
+        if banded_pays_off(a.rows(), kl, ku) {
+            Ok(AnyLu::Banded(BandedLu::factor_with_bandwidth(a, kl, ku)?))
+        } else {
+            Ok(AnyLu::Dense(Lu::factor(a)?))
+        }
+    }
+
+    /// `true` when the banded tier was selected.
+    pub fn is_banded(&self) -> bool {
+        matches!(self, AnyLu::Banded(_))
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        match self {
+            AnyLu::Dense(lu) => lu.dim(),
+            AnyLu::Banded(lu) => lu.dim(),
+        }
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        match self {
+            AnyLu::Dense(lu) => lu.det(),
+            AnyLu::Banded(lu) => lu.det(),
+        }
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            AnyLu::Dense(lu) => lu.solve(b),
+            AnyLu::Banded(lu) => lu.solve(b),
+        }
+    }
+
+    /// Estimate of the ∞-norm condition number `κ∞(A)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors from forming `‖A⁻¹‖∞`.
+    pub fn cond_inf(&self, a: &Matrix) -> Result<f64> {
+        match self {
+            AnyLu::Dense(lu) => lu.cond_inf(a),
+            AnyLu::Banded(lu) => lu.cond_inf(a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tridiag(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn bandwidth_profiles() {
+        assert_eq!(bandwidth(&Matrix::identity(4)), (0, 0));
+        assert_eq!(bandwidth(&tridiag(5)), (1, 1));
+        let mut m = tridiag(6);
+        m[(5, 0)] = 1.0;
+        assert_eq!(bandwidth(&m), (5, 1));
+        assert_eq!(bandwidth(&Matrix::zeros(3, 3)), (0, 0));
+    }
+
+    #[test]
+    fn pays_off_heuristic() {
+        // Tridiagonal at a useful size: obvious win.
+        assert!(banded_pays_off(64, 1, 1));
+        // Full bandwidth: never.
+        assert!(!banded_pays_off(64, 63, 63));
+        // Tiny systems stay dense.
+        assert!(!banded_pays_off(4, 1, 1));
+    }
+
+    #[test]
+    fn tridiagonal_solve_matches_dense() {
+        let a = tridiag(50);
+        let b: Vec<f64> = (0..50).map(|i| (i as f64).sin() + 2.0).collect();
+        let dense = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let lu = BandedLu::factor(&a).unwrap();
+        assert_eq!(lu.bandwidths(), (1, 1));
+        let banded = lu.solve(&b).unwrap();
+        for (u, v) in dense.iter().zip(&banded) {
+            assert!((u - v).abs() < 1e-10, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn det_matches_dense() {
+        let a = tridiag(12);
+        let dd = Lu::factor(&a).unwrap().det();
+        let bd = BandedLu::factor(&a).unwrap().det();
+        assert!((dd - bd).abs() / dd.abs() < 1e-12, "{dd} vs {bd}");
+    }
+
+    #[test]
+    fn pivoting_band_matrix() {
+        // A band matrix whose natural pivot order would divide by a tiny
+        // diagonal: partial pivoting must engage and stay accurate.
+        let n = 20;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1e-12
+            } else if i > j && i - j <= 2 {
+                1.0 + (i * 7 + j) as f64 * 0.01
+            } else if j > i && j - i <= 1 {
+                -1.0 - (i * 3 + j) as f64 * 0.01
+            } else {
+                0.0
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let lu = BandedLu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let ax = a.mul_vec(&x).unwrap();
+        for (u, v) in b.iter().zip(&ax) {
+            assert!((u - v).abs() < 1e-8 * (1.0 + u.abs()), "{u} vs {v}");
+        }
+        let dd = Lu::factor(&a).unwrap().det();
+        let bd = lu.det();
+        assert!(
+            (dd - bd).abs() <= 1e-10 * dd.abs().max(1e-300),
+            "{dd} vs {bd}"
+        );
+    }
+
+    #[test]
+    fn singular_detected() {
+        let mut a = tridiag(6);
+        // Zero out a whole column's band.
+        a[(2, 3)] = 0.0;
+        a[(3, 3)] = 0.0;
+        a[(4, 3)] = 0.0;
+        assert!(matches!(
+            BandedLu::factor(&a).unwrap_err(),
+            Error::Singular { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            BandedLu::factor(&Matrix::zeros(2, 3)).unwrap_err(),
+            Error::NotSquare { .. }
+        ));
+        let mut nan = Matrix::identity(2);
+        nan[(0, 1)] = f64::NAN;
+        assert!(matches!(
+            BandedLu::factor(&nan).unwrap_err(),
+            Error::NotFinite { .. }
+        ));
+        let lu = BandedLu::factor(&tridiag(3)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn cond_inf_identity_is_one() {
+        let i = Matrix::identity(9);
+        let lu = BandedLu::factor(&i).unwrap();
+        assert!((lu.cond_inf(&i).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auto_tier_selection() {
+        let banded = AnyLu::factor_auto(&tridiag(40)).unwrap();
+        assert!(banded.is_banded());
+        let dense_m = Matrix::from_fn(10, 10, |i, j| {
+            1.0 / ((i + j + 1) as f64) + if i == j { 2.0 } else { 0.0 }
+        });
+        let dense = AnyLu::factor_auto(&dense_m).unwrap();
+        assert!(!dense.is_banded());
+        // Both answer the same queries.
+        let b: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+        let x = banded.solve(&b).unwrap();
+        assert_eq!(x.len(), 40);
+        assert_eq!(banded.dim(), 40);
+        assert!(banded.det().is_finite());
+        assert!(banded.cond_inf(&tridiag(40)).unwrap() >= 1.0);
+    }
+}

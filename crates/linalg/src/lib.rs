@@ -16,6 +16,9 @@
 //! * [`Matrix`]: a dense row-major `f64` matrix with the usual arithmetic,
 //! * [`Lu`]: LU factorization with partial pivoting, giving
 //!   [`Lu::solve`], [`Lu::det`], [`Lu::inverse`] and iterative refinement,
+//! * [`BandedLu`]: the same factorization in `gbtrf`-style band storage
+//!   for the near-tridiagonal repair chains, with [`bandwidth`] profiling
+//!   and the [`AnyLu`] tier that picks the cheaper layout automatically,
 //! * free vector helpers in [`vector`].
 //!
 //! # Why hand-rolled?
@@ -44,11 +47,13 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod banded;
 mod error;
 mod lu;
 mod matrix;
 pub mod vector;
 
+pub use banded::{banded_pays_off, bandwidth, AnyLu, BandedLu};
 pub use error::Error;
 pub use lu::Lu;
 pub use matrix::Matrix;

@@ -1,9 +1,11 @@
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
-use nsr_linalg::{Lu, Matrix};
+use nsr_linalg::{AnyLu, Matrix};
 
 use crate::builder::StateId;
 use crate::ctmc::Ctmc;
+use crate::sparse::SparseAbsorption;
 use crate::{Error, Result};
 
 /// Exact analysis of a CTMC with absorbing states.
@@ -28,10 +30,29 @@ use crate::{Error, Result};
 /// are eliminated one at a time, every update is a product or a sum of
 /// non-negative quantities, and exit rates are *recomputed* as sums rather
 /// than updated by differences. The result carries componentwise relative
-/// accuracy `O(n·ε)` independent of the chain's stiffness. An LU
-/// factorization of `R` is still kept for the quantities that genuinely
-/// live in matrix land ([`AbsorbingAnalysis::det`],
-/// [`AbsorbingAnalysis::expected_time_in`]).
+/// accuracy `O(n·ε)` independent of the chain's stiffness.
+///
+/// # Solver tiers
+///
+/// The elimination runs on one of two storage tiers, selected by chain
+/// structure ([`AbsorbingAnalysis::solver_tier`]):
+///
+/// * **Sparse** ([`SolverTier::SparseGth`]): CSR-style rows that visit
+///   only structural nonzeros. Chosen for large sparse chains (the
+///   recursive appendix chains eliminate fill-free in BFS order, so a
+///   solve costs `O(edges)`). The arithmetic is bit-for-bit identical to
+///   the dense tier — same elimination order, same accumulation order.
+/// * **Dense** ([`SolverTier::DenseGth`]): the `m × m` rate table. Used
+///   for small or dense chains, kept as the differential-testing oracle,
+///   and the automatic fallback if the sparse pass fails.
+///
+/// The matrix-land quantities ([`AbsorbingAnalysis::det`],
+/// [`AbsorbingAnalysis::expected_time_in`],
+/// [`AbsorbingAnalysis::condition_estimate`],
+/// [`AbsorbingAnalysis::absorption_matrix`]) need the dense absorption
+/// matrix and its LU factorization; that route is built lazily on first
+/// use, so sweep-style workloads that only read GTH-computed quantities
+/// never pay the `O(m²)` materialization or `O(m³)` factorization.
 ///
 /// # LU → GTH fallback
 ///
@@ -65,24 +86,21 @@ use crate::{Error, Result};
 /// ```
 #[derive(Debug)]
 pub struct AbsorbingAnalysis {
-    /// Absorption matrix over the transient states (for det / fundamental
-    /// matrix queries).
-    r: Matrix,
-    /// LU factorization of `r`, when `r` is non-singular in floating
-    /// point. `None` for chains stiff enough that elimination with
-    /// differences cancels exactly; all queries then take the GTH route.
-    lu: Option<Lu>,
-    /// Transient states in the row/column order of `r`.
+    /// Owned copy of the chain, kept so the dense matrix route
+    /// ([`DenseRoute`]) can be built lazily, only when a matrix-land
+    /// query actually asks for it.
+    ctmc: Ctmc,
+    /// Transient states in row/column order.
     transient: Vec<StateId>,
     /// Map from global state index to transient row index.
     pos: HashMap<usize, usize>,
     /// All absorbing states.
     absorbing: Vec<StateId>,
-    /// Transient-to-transient rates (kept for GTH-route fundamental-matrix
-    /// queries).
-    q: Vec<Vec<f64>>,
-    /// Per-state total rates into the absorbing class.
-    qa: Vec<f64>,
+    /// The GTH elimination tier selected for this chain.
+    tier: Tier,
+    /// Fill created by the sparse elimination's mean-time pass (0 on the
+    /// dense tier).
+    fill: usize,
     /// GTH elimination pivots from the mean-time pass. Mathematically the
     /// diagonal of `U` in an unpivoted `R = LU`, so their product is
     /// `det(R)` — but each pivot is computed as a sum, never a difference.
@@ -91,9 +109,53 @@ pub struct AbsorbingAnalysis {
     /// computed by GTH elimination.
     mtta: Vec<f64>,
     /// `absorb_prob[a][i]` = P(absorbed in `a` | start in transient row
-    /// `i`), computed lazily per absorbing state by GTH elimination.
+    /// `i`), computed per absorbing state by GTH elimination.
     absorb_prob: HashMap<usize, Vec<f64>>,
+    /// Lazily-built dense absorption matrix and its factorization.
+    dense: OnceLock<DenseRoute>,
 }
+
+/// The elimination storage a chain's structure selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverTier {
+    /// CSR-style rows; only structural nonzeros visited.
+    SparseGth,
+    /// Dense `m × m` rate table (the differential-testing oracle, and the
+    /// automatic fallback when the sparse pass fails).
+    DenseGth,
+}
+
+/// Tier-specific elimination state.
+#[derive(Debug)]
+enum Tier {
+    Sparse(SparseAbsorption),
+    Dense {
+        /// Transient-to-transient rates.
+        q: Vec<Vec<f64>>,
+        /// Per-state total rates into the absorbing class.
+        qa: Vec<f64>,
+    },
+}
+
+/// The dense matrix route: absorption matrix plus its (bandwidth-tiered)
+/// LU factorization, built on first demand by [`AbsorbingAnalysis::det`],
+/// [`AbsorbingAnalysis::condition_estimate`],
+/// [`AbsorbingAnalysis::expected_time_in`] or
+/// [`AbsorbingAnalysis::absorption_matrix`]. Sweep-style workloads that
+/// only read GTH-computed quantities never pay for it.
+#[derive(Debug)]
+struct DenseRoute {
+    r: Matrix,
+    /// `None` when `r` is singular to working precision; every
+    /// matrix-land query then falls back to GTH elimination.
+    lu: Option<AnyLu>,
+}
+
+/// Minimum transient-state count for the sparse tier: below this the
+/// dense table's straight-line loops beat per-entry binary searches.
+const SPARSE_MIN_STATES: usize = 16;
+/// Maximum transient-block density for the sparse tier.
+const SPARSE_MAX_DENSITY: f64 = 0.25;
 
 /// Subtraction-free (GTH-style) solve of `D_i·x_i = r_i + Σ_j q_ij·x_j`
 /// over the transient states, where `q` holds non-negative transition
@@ -176,13 +238,29 @@ impl AbsorbingAnalysis {
     /// * [`Error::Linalg`] if some transient state cannot reach any
     ///   absorbing state (the absorption matrix is singular).
     pub fn new(ctmc: &Ctmc) -> Result<Self> {
+        Self::build(ctmc, None)
+    }
+
+    /// Builds the analysis forcing a specific elimination tier, bypassing
+    /// the structure-based selection. This is the differential-testing
+    /// entry point: the sparse tier is validated by comparing it
+    /// bit-for-bit against the dense oracle on the same chain.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_with_tier(ctmc: &Ctmc, tier: SolverTier) -> Result<Self> {
+        Self::build(ctmc, Some(tier))
+    }
+
+    fn build(ctmc: &Ctmc, force: Option<SolverTier>) -> Result<Self> {
         let t0 = nsr_obs::metrics_timer();
         let mut span = nsr_obs::trace::Span::enter("markov.absorbing.solve");
         let absorbing = ctmc.absorbing_states();
         if absorbing.is_empty() {
             return Err(Error::NoAbsorbingState);
         }
-        let (r, transient) = ctmc.absorption_matrix();
+        let transient = ctmc.transient_states();
         if transient.is_empty() {
             return Err(Error::NoTransientState);
         }
@@ -191,45 +269,81 @@ impl AbsorbingAnalysis {
             .enumerate()
             .map(|(i, s)| (s.0, i))
             .collect();
-        // Stiff chains can make `r` singular *in floating point* even
-        // though the exact absorption matrix never is; GTH below still
-        // succeeds there, so an LU failure downgrades to a fallback
-        // rather than an error.
-        let lu = Lu::factor(&r).ok();
+        let m = transient.len();
+        let ones = vec![1.0; m];
 
-        let (q, qa) = Self::rate_tables(ctmc, &transient, &pos, None);
-        let ones = vec![1.0; transient.len()];
-        let (mtta, gth_pivots) = gth_solve(q.clone(), qa.clone(), ones)?;
+        // Tier selection: sparse elimination pays only when the chain is
+        // big enough to amortize the per-entry indexing and genuinely
+        // sparse; small or dense chains take the straight-line table.
+        let sparse = SparseAbsorption::from_ctmc(ctmc, &transient, &pos);
+        let want_sparse = match force {
+            Some(SolverTier::SparseGth) => true,
+            Some(SolverTier::DenseGth) => false,
+            None => m >= SPARSE_MIN_STATES && sparse.density() <= SPARSE_MAX_DENSITY,
+        };
+        let mut fill = 0;
+        let (tier, mtta, gth_pivots) = if want_sparse {
+            match sparse.gth_solve(ones.clone()) {
+                Ok(sol) if sol.x.iter().all(|v| v.is_finite()) => {
+                    fill = sol.fill;
+                    (Tier::Sparse(sparse), sol.x, sol.pivots)
+                }
+                // A singular chain fails identically on both tiers, so
+                // propagate rather than retry when the tier was forced.
+                Err(e) if force.is_some() => return Err(e),
+                // A sparse failure (singular chain, or a non-finite result
+                // from rate overflow) retries on the dense oracle; the
+                // tiers are arithmetically identical, so a dense failure
+                // is then a property of the chain, not of the tier.
+                _ => {
+                    crate::obs::SPARSE_FALLBACKS.inc();
+                    Self::dense_tier(ctmc, &transient, &pos, ones)?
+                }
+            }
+        } else {
+            Self::dense_tier(ctmc, &transient, &pos, ones)?
+        };
 
         // Absorption probabilities into each absorbing state: same
         // elimination with the per-target inflow rates as RHS.
         let mut absorb_prob = HashMap::new();
         for &a in &absorbing {
-            let (_, r_target) = Self::rate_tables(ctmc, &transient, &pos, Some(a));
-            let (u, _) = gth_solve(q.clone(), qa.clone(), r_target)?;
+            let u = match &tier {
+                Tier::Sparse(sp) => {
+                    let r_target = SparseAbsorption::rates_into(ctmc, &transient, &pos, a);
+                    sp.gth_solve(r_target)?.x
+                }
+                Tier::Dense { q, qa } => {
+                    let (_, r_target) = Self::rate_tables(ctmc, &transient, &pos, Some(a));
+                    gth_solve(q.clone(), qa.clone(), r_target)?.0
+                }
+            };
             absorb_prob.insert(a.0, u);
         }
 
         let analysis = AbsorbingAnalysis {
-            r,
-            lu,
+            ctmc: ctmc.clone(),
             transient,
             pos,
             absorbing,
-            q,
-            qa,
+            tier,
+            fill,
             gth_pivots,
             mtta,
             absorb_prob,
+            dense: OnceLock::new(),
         };
         crate::obs::SOLVES.inc();
-        if analysis.uses_gth_fallback() {
-            crate::obs::GTH_FALLBACKS.inc();
+        match analysis.solver_tier() {
+            SolverTier::SparseGth => crate::obs::SPARSE_TIER.inc(),
+            SolverTier::DenseGth => crate::obs::DENSE_TIER.inc(),
         }
         if let Some(t0) = t0 {
             crate::obs::SOLVE_SECONDS.observe(t0.elapsed().as_secs_f64());
-            // The κ∞ estimate costs a pair of triangular solves, so it is
-            // only paid when someone turned metrics on.
+            crate::obs::FILL.observe(analysis.fill as f64);
+            // The κ∞ estimate needs the matrix route (materializes and
+            // factors `R`), so it is only paid when someone turned
+            // metrics on.
             crate::obs::CONDITION.observe(analysis.condition_estimate());
         }
         span.field("transient", || {
@@ -238,11 +352,57 @@ impl AbsorbingAnalysis {
         span.field("absorbing", || {
             nsr_obs::Json::Num(analysis.absorbing.len() as f64)
         });
-        span.field("gth_fallback", || {
-            nsr_obs::Json::Bool(analysis.uses_gth_fallback())
+        span.field("tier", || {
+            nsr_obs::Json::Str(
+                match analysis.solver_tier() {
+                    SolverTier::SparseGth => "sparse",
+                    SolverTier::DenseGth => "dense",
+                }
+                .into(),
+            )
         });
+        span.field("fill", || nsr_obs::Json::Num(analysis.fill as f64));
         drop(span);
         Ok(analysis)
+    }
+
+    /// Builds the dense elimination tier and runs the mean-time pass.
+    fn dense_tier(
+        ctmc: &Ctmc,
+        transient: &[StateId],
+        pos: &HashMap<usize, usize>,
+        ones: Vec<f64>,
+    ) -> Result<(Tier, Vec<f64>, Vec<f64>)> {
+        let (q, qa) = Self::rate_tables(ctmc, transient, pos, None);
+        let (mtta, pivots) = gth_solve(q.clone(), qa.clone(), ones)?;
+        Ok((Tier::Dense { q, qa }, mtta, pivots))
+    }
+
+    /// The dense matrix route, built on first use: the absorption matrix
+    /// `R` and its bandwidth-tiered LU factorization (or `None` when `R`
+    /// is singular to working precision — the GTH fallback).
+    fn dense_route(&self) -> &DenseRoute {
+        self.dense.get_or_init(|| {
+            // Stiff chains can make `r` singular *in floating point* even
+            // though the exact absorption matrix never is; GTH still
+            // succeeds there, so an LU failure downgrades to a fallback
+            // rather than an error.
+            let (r, _) = self.ctmc.absorption_matrix();
+            let lu = AnyLu::factor_auto(&r).ok();
+            if lu.is_none() {
+                crate::obs::GTH_FALLBACKS.inc();
+            }
+            DenseRoute { r, lu }
+        })
+    }
+
+    /// Solves `R·x = rhs` by GTH elimination on whichever tier this
+    /// analysis selected.
+    fn tier_solve(&self, rhs: Vec<f64>) -> Result<Vec<f64>> {
+        match &self.tier {
+            Tier::Sparse(sp) => Ok(sp.gth_solve(rhs)?.x),
+            Tier::Dense { q, qa } => Ok(gth_solve(q.clone(), qa.clone(), rhs)?.0),
+        }
     }
 
     /// Extracts the transient-to-transient rate table `q` and, depending on
@@ -279,9 +439,28 @@ impl AbsorbingAnalysis {
         &self.absorbing
     }
 
+    /// The solver tier the chain's structure selected for GTH
+    /// elimination.
+    pub fn solver_tier(&self) -> SolverTier {
+        match self.tier {
+            Tier::Sparse(_) => SolverTier::SparseGth,
+            Tier::Dense { .. } => SolverTier::DenseGth,
+        }
+    }
+
+    /// Fill entries created by the sparse elimination's mean-time pass
+    /// beyond the chain's structural nonzeros (0 on the dense tier, and 0
+    /// for the fill-free BFS-ordered recursive chains).
+    pub fn elimination_fill(&self) -> usize {
+        self.fill
+    }
+
     /// The absorption matrix `R = −Q_B` (row order = [`Self::transient_states`]).
+    ///
+    /// Materialized lazily on first call (the GTH-computed quantities
+    /// never need it).
     pub fn absorption_matrix(&self) -> &Matrix {
-        &self.r
+        &self.dense_route().r
     }
 
     /// Determinant of the absorption matrix (the `det(R)` of the paper's
@@ -292,7 +471,7 @@ impl AbsorbingAnalysis {
     /// quantity, evaluated subtraction-free — for stiff chains it is the
     /// *more* accurate of the two).
     pub fn det(&self) -> f64 {
-        match &self.lu {
+        match &self.dense_route().lu {
             Some(lu) => lu.det(),
             None => self.gth_pivots.iter().product(),
         }
@@ -301,8 +480,10 @@ impl AbsorbingAnalysis {
     /// `true` when the LU factorization of the absorption matrix failed
     /// (singular to working precision) and every matrix-land query is
     /// answered by GTH elimination instead.
+    ///
+    /// Forces the lazy matrix route to be built.
     pub fn uses_gth_fallback(&self) -> bool {
-        self.lu.is_none()
+        self.dense_route().lu.is_none()
     }
 
     /// Estimate of the ∞-norm condition number `κ∞(R)` of the absorption
@@ -315,8 +496,9 @@ impl AbsorbingAnalysis {
     /// [`Self::absorption_probability`]) keep componentwise relative
     /// accuracy regardless of this value.
     pub fn condition_estimate(&self) -> f64 {
-        match &self.lu {
-            Some(lu) => lu.cond_inf(&self.r).unwrap_or(f64::INFINITY),
+        let route = self.dense_route();
+        match &route.lu {
+            Some(lu) => lu.cond_inf(&route.r).unwrap_or(f64::INFINITY),
             None => f64::INFINITY,
         }
     }
@@ -358,12 +540,12 @@ impl AbsorbingAnalysis {
         // (R⁻¹)_{ij} = e_iᵗ R⁻¹ e_j: solve R y = e_j, answer y_i.
         let mut e = vec![0.0; self.transient.len()];
         e[j] = 1.0;
-        let y = match &self.lu {
+        let y = match &self.dense_route().lu {
             Some(lu) => lu.solve(&e)?,
             // gth_solve computes x with D_i x_i = r_i + Σ_j q_ij x_j,
             // which is exactly R x = r, so e_j as RHS yields column j of
             // the fundamental matrix R⁻¹.
-            None => gth_solve(self.q.clone(), self.qa.clone(), e)?.0,
+            None => self.tier_solve(e)?,
         };
         Ok(y[i])
     }
@@ -672,6 +854,83 @@ mod tests {
         // must agree to near machine precision.
         let pivot_det: f64 = an.gth_pivots.iter().product();
         assert!((an.det() - pivot_det).abs() / pivot_det < 1e-12);
+    }
+
+    /// Deep repairable birth–death chain with absorption off the last
+    /// state — sparse enough (and large enough) to select the sparse tier.
+    fn deep_chain(depth: usize) -> (Ctmc, Vec<StateId>) {
+        let mut b = CtmcBuilder::new();
+        let states: Vec<StateId> = (0..=depth).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        for i in 0..depth {
+            b.add_transition(states[i], states[i + 1], 1e-3).unwrap();
+            b.add_transition(states[i + 1], states[i], 1.0).unwrap();
+        }
+        b.add_transition(states[depth], dead, 1e-3).unwrap();
+        (b.build().unwrap(), states)
+    }
+
+    #[test]
+    fn tier_selection_follows_structure() {
+        // Small chain: dense tier, no fill.
+        let (c, ..) = chain(1e-3, 1.0, 1e-3);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert_eq!(an.solver_tier(), SolverTier::DenseGth);
+        assert_eq!(an.elimination_fill(), 0);
+
+        // 25 transient states, ~2 nonzeros per row: sparse tier, and the
+        // birth–death structure eliminates fill-free.
+        let (c, _) = deep_chain(24);
+        let an = AbsorbingAnalysis::new(&c).unwrap();
+        assert_eq!(an.solver_tier(), SolverTier::SparseGth);
+        assert_eq!(an.elimination_fill(), 0);
+    }
+
+    #[test]
+    fn sparse_tier_is_bit_identical_to_dense_oracle() {
+        let (c, states) = deep_chain(24);
+        let sp = AbsorbingAnalysis::new_with_tier(&c, SolverTier::SparseGth).unwrap();
+        let de = AbsorbingAnalysis::new_with_tier(&c, SolverTier::DenseGth).unwrap();
+        assert_eq!(sp.solver_tier(), SolverTier::SparseGth);
+        assert_eq!(de.solver_tier(), SolverTier::DenseGth);
+        // Same elimination order, same accumulation order: every
+        // GTH-computed quantity matches to the last bit.
+        for &s in &states {
+            assert_eq!(
+                sp.mean_time_to_absorption(s).unwrap(),
+                de.mean_time_to_absorption(s).unwrap(),
+            );
+        }
+        assert_eq!(sp.gth_pivots, de.gth_pivots);
+        for &a in sp.absorbing_states() {
+            for &s in &states {
+                assert_eq!(
+                    sp.absorption_probability(s, a).unwrap(),
+                    de.absorption_probability(s, a).unwrap(),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_tier_propagates_singularity() {
+        // x <-> y cycle that cannot reach the absorbing z: both forced
+        // tiers must report the same singularity.
+        let mut b = CtmcBuilder::new();
+        let x = b.add_state("x");
+        let y = b.add_state("y");
+        b.add_state("z");
+        b.add_transition(x, y, 1.0).unwrap();
+        b.add_transition(y, x, 1.0).unwrap();
+        let c = b.build().unwrap();
+        assert!(matches!(
+            AbsorbingAnalysis::new_with_tier(&c, SolverTier::SparseGth).unwrap_err(),
+            Error::Linalg(_)
+        ));
+        assert!(matches!(
+            AbsorbingAnalysis::new_with_tier(&c, SolverTier::DenseGth).unwrap_err(),
+            Error::Linalg(_)
+        ));
     }
 
     #[test]

@@ -227,6 +227,44 @@ impl Ctmc {
         (r, transient)
     }
 
+    /// Rebuilds the chain with the same states and transition *structure*
+    /// but new rates, one per entry of [`Ctmc::transitions`] in order.
+    ///
+    /// This is the sweep engine's topology-reuse primitive: a parameter
+    /// sweep changes only rates, never the shape of the chain, so the
+    /// chain is built once per configuration and re-rated per sweep
+    /// point. Transitions whose new rate is zero are dropped, exactly as
+    /// [`crate::CtmcBuilder::add_transition`] drops them — the result is
+    /// indistinguishable from rebuilding the chain from scratch with the
+    /// new rates.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] if `rates.len()` differs from the
+    ///   transition count.
+    /// * [`Error::InvalidRate`] if a rate is negative, NaN or infinite.
+    pub fn with_rates(&self, rates: &[f64]) -> Result<Ctmc> {
+        if rates.len() != self.transitions.len() {
+            return Err(Error::InvalidArgument {
+                what: "rate vector length must match the transition count",
+            });
+        }
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (t, &rate) in self.transitions.iter().zip(rates) {
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(Error::InvalidRate {
+                    from: t.from.0,
+                    to: t.to.0,
+                    rate,
+                });
+            }
+            if rate > 0.0 {
+                transitions.push(Transition { rate, ..*t });
+            }
+        }
+        Ok(Ctmc::from_parts(self.labels.clone(), transitions))
+    }
+
     /// Transition probabilities of the *embedded* discrete-time jump chain
     /// out of state `s`: each outgoing rate divided by the total rate.
     /// Returns an empty vector for absorbing states.
@@ -317,6 +355,54 @@ mod tests {
     fn max_total_rate() {
         let (c, ..) = three_state();
         assert_eq!(c.max_total_rate(), 11.0);
+    }
+
+    #[test]
+    fn with_rates_replaces_in_order() {
+        let (c, s0, s1, s2) = three_state();
+        let re = c.with_rates(&[4.0, 20.0, 3.0]).unwrap();
+        assert_eq!(re.len(), 3);
+        assert_eq!(re.label(s0), "ok");
+        assert_eq!(re.total_rate(s0), 4.0);
+        assert_eq!(re.total_rate(s1), 23.0);
+        assert!(re.is_absorbing(s2));
+    }
+
+    #[test]
+    fn with_rates_drops_zeros_like_the_builder() {
+        let (c, _, s1, s2) = three_state();
+        // Zeroing s1 -> s2 makes s2 unreachable and the chain loses its
+        // only path to absorption — exactly what a fresh build would give.
+        let re = c.with_rates(&[2.0, 10.0, 0.0]).unwrap();
+        assert_eq!(re.transitions().len(), 2);
+        assert_eq!(re.transitions_from(s1).len(), 1);
+        assert!(re.is_absorbing(s2));
+
+        let mut b = CtmcBuilder::new();
+        let t0 = b.add_state("ok");
+        let t1 = b.add_state("degraded");
+        b.add_state("lost");
+        b.add_transition(t0, t1, 2.0).unwrap();
+        b.add_transition(t1, t0, 10.0).unwrap();
+        let direct = b.build().unwrap();
+        assert_eq!(re.transitions(), direct.transitions());
+    }
+
+    #[test]
+    fn with_rates_validates() {
+        let (c, ..) = three_state();
+        assert!(matches!(
+            c.with_rates(&[1.0, 2.0]).unwrap_err(),
+            Error::InvalidArgument { .. }
+        ));
+        assert!(matches!(
+            c.with_rates(&[1.0, 2.0, -1.0]).unwrap_err(),
+            Error::InvalidRate { .. }
+        ));
+        assert!(matches!(
+            c.with_rates(&[1.0, f64::NAN, 1.0]).unwrap_err(),
+            Error::InvalidRate { .. }
+        ));
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! * [`AbsorbingAnalysis`] — mean time to absorption (the paper's MTTDL),
 //!   absorption probabilities, and expected state occupancies, computed
 //!   from the absorption matrix `R = −Q_B` by subtraction-free GTH
-//!   elimination with an LU factorization for matrix-land queries (and a
-//!   GTH fallback when stiffness makes `R` singular in floating point).
+//!   elimination — on a CSR-style sparse tier ([`SparseAbsorption`]) when
+//!   the chain's structure pays for it, on the dense rate table otherwise
+//!   — with a lazily-built LU factorization for matrix-land queries (and
+//!   a GTH fallback when stiffness makes `R` singular in floating point).
 //! * [`validate_generator`] — numerical guardrail rejecting NaN/Inf
 //!   entries, negative rates, and non-zero row sums in externally
 //!   assembled generator matrices.
@@ -63,8 +65,9 @@ mod error;
 pub mod obs;
 pub mod simulate;
 mod solutions;
+mod sparse;
 
-pub use absorbing::AbsorbingAnalysis;
+pub use absorbing::{AbsorbingAnalysis, SolverTier};
 pub use birth_death::{birth_death_gamma, birth_death_mtta};
 pub use builder::{CtmcBuilder, StateId};
 pub use classify::{strongly_connected_components, validate_absorbing, AbsorbingDiagnosis};
@@ -72,6 +75,7 @@ pub use ctmc::{validate_generator, Ctmc, Transition};
 pub use dot::{to_dot, DotOptions};
 pub use error::Error;
 pub use solutions::{stationary_distribution, transient_distribution, uniformized};
+pub use sparse::{SparseAbsorption, SparseSolution};
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -12,6 +12,15 @@ pub static SOLVES: Counter = Counter::new("markov.absorbing.solves");
 /// Analyses where LU was singular to working precision and every
 /// matrix-route query fell back to GTH elimination.
 pub static GTH_FALLBACKS: Counter = Counter::new("markov.absorbing.gth_fallback");
+/// Analyses eliminated on the sparse (CSR-style) GTH tier.
+pub static SPARSE_TIER: Counter = Counter::new("markov.absorbing.tier_sparse");
+/// Analyses eliminated on the dense rate-table GTH tier.
+pub static DENSE_TIER: Counter = Counter::new("markov.absorbing.tier_dense");
+/// Sparse eliminations that failed and retried on the dense oracle.
+pub static SPARSE_FALLBACKS: Counter = Counter::new("markov.absorbing.sparse_fallback");
+/// Fill entries created per sparse elimination (0 for the fill-free
+/// BFS-ordered recursive chains).
+pub static FILL: Histogram = Histogram::new("markov.absorbing.fill");
 /// `κ∞(R)` estimates of the absorption matrix, one per solve.
 /// Infinite estimates (GTH fallback in effect) land in the overflow
 /// bucket.
@@ -24,6 +33,10 @@ pub static SOLVE_SECONDS: Histogram = Histogram::new("markov.absorbing.solve_sec
 pub fn register() {
     SOLVES.register();
     GTH_FALLBACKS.register();
+    SPARSE_TIER.register();
+    DENSE_TIER.register();
+    SPARSE_FALLBACKS.register();
+    FILL.register();
     CONDITION.register();
     SOLVE_SECONDS.register();
 }

@@ -2,7 +2,9 @@
 //! GTH absorbing analysis against independent oracles, and simulation
 //! consistency. Random chains come from the in-repo seeded PRNG.
 
-use nsr_markov::{birth_death_mtta, simulate, AbsorbingAnalysis, Ctmc, CtmcBuilder, StateId};
+use nsr_markov::{
+    birth_death_mtta, simulate, AbsorbingAnalysis, Ctmc, CtmcBuilder, SolverTier, StateId,
+};
 use nsr_rng::rngs::StdRng;
 use nsr_rng::{Rng, SeedableRng};
 
@@ -140,6 +142,98 @@ fn birth_death_oracle_agrees_with_gth() {
         assert!(
             (oracle - gth).abs() / gth < 1e-9,
             "{oracle:.6e} vs {gth:.6e}"
+        );
+    }
+}
+
+/// A random chain where only *some* transient states can reach absorption
+/// directly, some states are isolated feeders, and singular structures
+/// (no path to absorption at all) are possible.
+fn random_maybe_improper_chain<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Ctmc {
+    let mut b = CtmcBuilder::new();
+    let states: Vec<StateId> = (0..n).map(|i| b.add_state(format!("{i}"))).collect();
+    let dead = b.add_state("dead");
+    // Per-chain densities drawn so that both regimes occur: low p_abs
+    // chains frequently have no path to absorption at all (singular),
+    // while higher ones are proper.
+    let p_edge = rng.random_range_f64(0.05, 0.3);
+    let p_abs = rng.random_range_f64(0.0, 0.3);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.random_range_f64(0.0, 1.0) < p_edge {
+                b.add_transition(states[i], states[j], rng.random_range_f64(0.01, 10.0))
+                    .unwrap();
+            }
+        }
+        // Only some states get a direct absorption edge; the rest must
+        // route through them (or cannot absorb at all — singular).
+        if rng.random_range_f64(0.0, 1.0) < p_abs {
+            b.add_transition(states[i], dead, rng.random_range_f64(0.01, 10.0))
+                .unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn sparse_and_dense_gth_tiers_are_bit_identical() {
+    // The sparse elimination claims bit-for-bit agreement with the dense
+    // oracle (same elimination order, same accumulation order). Pin that
+    // with exact `==` comparisons across random chains, including chains
+    // with isolated states and absorbing-only corners, where both tiers
+    // must agree on singularity too.
+    let mut rng = StdRng::seed_from_u64(0xabc_0007);
+    let mut proper = 0;
+    let mut singular = 0;
+    for _ in 0..160 {
+        let n = rng.random_range_usize(2, 20);
+        let ctmc = random_maybe_improper_chain(&mut rng, n);
+        let de = AbsorbingAnalysis::new_with_tier(&ctmc, SolverTier::DenseGth);
+        let sp = AbsorbingAnalysis::new_with_tier(&ctmc, SolverTier::SparseGth);
+        match (de, sp) {
+            (Ok(de), Ok(sp)) => {
+                proper += 1;
+                for &s in de.transient_states() {
+                    assert_eq!(
+                        de.mean_time_to_absorption(s).unwrap(),
+                        sp.mean_time_to_absorption(s).unwrap(),
+                        "mtta diverged on a {n}-state chain"
+                    );
+                    for &a in de.absorbing_states() {
+                        assert_eq!(
+                            de.absorption_probability(s, a).unwrap(),
+                            sp.absorption_probability(s, a).unwrap(),
+                            "absorption probability diverged on a {n}-state chain"
+                        );
+                    }
+                }
+            }
+            (Err(_), Err(_)) => singular += 1,
+            (de, sp) => panic!(
+                "tiers disagreed on solvability: dense {:?} vs sparse {:?}",
+                de.map(|_| ()),
+                sp.map(|_| ())
+            ),
+        }
+    }
+    // The generator must actually exercise both regimes.
+    assert!(
+        proper > 10 && singular > 10,
+        "{proper} proper / {singular} singular"
+    );
+}
+
+#[test]
+fn auto_tier_agrees_with_forced_dense_on_proper_chains() {
+    let mut rng = StdRng::seed_from_u64(0xabc_0008);
+    for _ in 0..32 {
+        let n = rng.random_range_usize(2, 24);
+        let (ctmc, root) = random_absorbing_chain(&mut rng, n);
+        let auto = AbsorbingAnalysis::new(&ctmc).unwrap();
+        let de = AbsorbingAnalysis::new_with_tier(&ctmc, SolverTier::DenseGth).unwrap();
+        assert_eq!(
+            auto.mean_time_to_absorption(root).unwrap(),
+            de.mean_time_to_absorption(root).unwrap()
         );
     }
 }
