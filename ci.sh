@@ -55,6 +55,31 @@ if printf '%s' "$PLAIN_OUT" | grep -q 'records'; then
     exit 1
 fi
 
+echo "==> flight-recorder smoke (causal trace, post-mortems, renderers)"
+# A seeded fault-injection campaign that loses data must produce a causal
+# v2 trace whose post-mortem spans and campaign events pass the obs-check
+# structural pass, and the artifact renderer must accept the files.
+./target/release/nsr inject --plan burst --config ft1-nir --runs 20 --seed 7 \
+    --metrics-out "$SMOKE_DIR/inject-metrics.jsonl" \
+    --trace-out "$SMOKE_DIR/inject-trace.jsonl"
+./target/release/nsr obs-check --file "$SMOKE_DIR/inject-trace.jsonl" \
+    --require span:sim.postmortem,event:sim.postmortem.event,event:sim.inject.campaign
+./target/release/nsr report --metrics "$SMOKE_DIR/inject-metrics.jsonl" \
+    --trace "$SMOKE_DIR/inject-trace.jsonl" --check
+./target/release/nsr report --metrics "$SMOKE_DIR/inject-metrics.jsonl" \
+    --trace "$SMOKE_DIR/inject-trace.jsonl" > "$SMOKE_DIR/flight.md"
+grep -q 'sim.postmortem' "$SMOKE_DIR/flight.md"
+# The analytic decision record must name the solver tier.
+./target/release/nsr explain ft7-nir | grep -q 'sparse GTH'
+# Disabled-path overhead stays within a generous threshold of the
+# checked-in obs baseline. Only the disabled/ no-ops are gated: their
+# timings are mode-independent, while enabled-path smoke timings are not
+# comparable to the full-mode baseline. This guards against
+# order-of-magnitude regressions on the hot no-op path, not jitter.
+./target/release/nsr bench --suite obs --smoke --out-dir "$SMOKE_DIR"
+./target/release/nsr bench --compare BENCH_obs.json "$SMOKE_DIR/BENCH_obs.json" \
+    --only disabled/ --threshold 400
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -49,6 +49,8 @@ pub struct Comparison {
     pub new_mode: String,
     /// Regression threshold in percent.
     pub threshold_pct: f64,
+    /// Case-name prefix the comparison was restricted to, if any.
+    pub only_prefix: Option<String>,
     /// Cases present in both reports, in new-report order.
     pub cases: Vec<CaseDiff>,
     /// Case names only the old report has.
@@ -69,8 +71,13 @@ impl Comparison {
     /// Renders the aligned comparison table plus a one-line verdict.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
+        let only = self
+            .only_prefix
+            .as_deref()
+            .map(|p| format!("; only cases under `{p}`"))
+            .unwrap_or_default();
         let mut out = format!(
-            "comparing suite `{}` (old: {}, new: {}; regression threshold +{:.0}%)\n",
+            "comparing suite `{}` (old: {}, new: {}; regression threshold +{:.0}%{only})\n",
             self.suite, self.old_mode, self.new_mode, self.threshold_pct
         );
         if self.old_mode != self.new_mode {
@@ -151,6 +158,30 @@ fn cases_of(doc: &Json) -> Vec<(String, f64)> {
 /// Schema violations in either document, suite-name mismatch, or a
 /// non-finite/negative threshold.
 pub fn compare_reports(old: &Json, new: &Json, threshold_pct: f64) -> Result<Comparison, String> {
+    compare_reports_only(old, new, threshold_pct, None)
+}
+
+/// [`compare_reports`] restricted to cases whose name starts with
+/// `only`. Filtering happens before matching, so cases outside the
+/// prefix never appear in the diff, the membership lists, or the
+/// verdict. A prefix that matches nothing is an error — a gate that
+/// silently compares zero cases would always pass.
+///
+/// This exists for CI gates that pin one stable region of a suite
+/// (e.g. the disabled-path no-ops of `obs`, whose timings are mode-
+/// independent) while the rest of the suite is only measured in
+/// incomparable smoke mode.
+///
+/// # Errors
+///
+/// Everything [`compare_reports`] rejects, plus a prefix matching no
+/// case in the new report.
+pub fn compare_reports_only(
+    old: &Json,
+    new: &Json,
+    threshold_pct: f64,
+    only: Option<&str>,
+) -> Result<Comparison, String> {
     if !(threshold_pct.is_finite() && threshold_pct >= 0.0) {
         return Err(format!(
             "threshold must be a non-negative percentage, got {threshold_pct}"
@@ -177,8 +208,16 @@ pub fn compare_reports(old: &Json, new: &Json, threshold_pct: f64) -> Result<Com
         ));
     }
 
-    let old_cases = cases_of(old);
-    let new_cases = cases_of(new);
+    let keep = |name: &str| only.is_none_or(|p| name.starts_with(p));
+    let old_cases: Vec<_> = cases_of(old).into_iter().filter(|(n, _)| keep(n)).collect();
+    let new_cases: Vec<_> = cases_of(new).into_iter().filter(|(n, _)| keep(n)).collect();
+    if let Some(prefix) = only {
+        if new_cases.is_empty() {
+            return Err(format!(
+                "--only prefix {prefix:?} matches no case in the new report"
+            ));
+        }
+    }
     let mut cases = Vec::new();
     let mut only_in_new = Vec::new();
     for (name, new_ns) in &new_cases {
@@ -202,6 +241,7 @@ pub fn compare_reports(old: &Json, new: &Json, threshold_pct: f64) -> Result<Com
         old_mode: mode_of(old),
         new_mode: mode_of(new),
         threshold_pct,
+        only_prefix: only.map(str::to_string),
         cases,
         only_in_old,
         only_in_new,
@@ -276,6 +316,36 @@ mod tests {
         assert!(text.contains("faster"));
         assert!(text.contains("only in old"));
         assert!(text.contains("only in new"));
+    }
+
+    #[test]
+    fn only_prefix_restricts_the_comparison() {
+        // `b/slow` regresses 10x, but a comparison pinned to `a/` must
+        // not see it — in the diff, the membership lists, or the verdict.
+        let old = report("obs", "full", &[("a/x", 100.0), ("b/slow", 100.0)]);
+        let new = report(
+            "obs",
+            "smoke",
+            &[("a/x", 105.0), ("b/slow", 1000.0), ("b/fresh", 1.0)],
+        );
+        let cmp = compare_reports_only(&old, &new, 25.0, Some("a/")).unwrap();
+        assert_eq!(cmp.cases.len(), 1);
+        assert_eq!(cmp.cases[0].name, "a/x");
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.only_in_old.is_empty() && cmp.only_in_new.is_empty());
+        assert!(cmp.render().contains("only cases under `a/`"));
+        // Unfiltered, the same pair regresses.
+        assert_eq!(
+            compare_reports(&old, &new, 25.0)
+                .unwrap()
+                .regressions()
+                .len(),
+            1
+        );
+        // A prefix matching nothing is an error, not a vacuous pass.
+        assert!(compare_reports_only(&old, &new, 25.0, Some("zzz/"))
+            .unwrap_err()
+            .contains("matches no case"));
     }
 
     #[test]

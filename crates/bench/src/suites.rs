@@ -583,6 +583,11 @@ pub fn obs_suite(mode: Mode) -> Result<Suite, String> {
     results.push(t.measure("enabled/event", 0, || {
         nsr_obs::trace::event("bench.obs.event", || vec![("value", ObsJson::Num(1.0))])
     }));
+    // The full v2 span path: id allocation, span-stack push/pop, and the
+    // record append on drop.
+    results.push(t.measure("enabled/span_enter_drop", 0, || {
+        Span::enter("bench.obs.span")
+    }));
     // Millions of bench events overflow the bounded sink by design; drain
     // it so a later `--trace-out` snapshot isn't full of bench noise.
     let _ = nsr_obs::trace::drain();

@@ -9,11 +9,12 @@ use nsr_core::units::{Bytes, Gbps, Hours};
 
 use crate::{CliError, Result};
 
-/// Commands that accept extra positional arguments (currently only
-/// `bench`, whose `--compare <old.json> <new.json>` form supplies the
-/// second report path positionally). Every other command rejects
-/// positionals so typos fail loudly.
-const POSITIONAL_COMMANDS: &[&str] = &["bench"];
+/// Commands that accept extra positional arguments: `bench` (whose
+/// `--compare <old.json> <new.json>` form supplies the second report
+/// path positionally) and `explain` (which takes the configuration name
+/// positionally). Every other command rejects positionals so typos fail
+/// loudly.
+const POSITIONAL_COMMANDS: &[&str] = &["bench", "explain"];
 
 /// Parsed command line: a subcommand plus `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -42,11 +42,20 @@ COMMANDS:
               --out-dir DIR, --smoke for the fast CI mode, --check to
               validate existing reports without re-running;
               --compare OLD.json NEW.json diffs two reports and fails on
-              regressions past --threshold PCT, default 25)
+              regressions past --threshold PCT, default 25;
+              --only PREFIX restricts the diff to matching case names)
   chain       export a configuration's exact CTMC as Graphviz dot (--out F)
-  report      one-shot markdown reproduction report (--out FILE)
-  obs-check   validate an nsr-obs/v1 JSON-lines file (--file F;
-              --require name1,name2 demands specific metric names)
+  report      one-shot markdown reproduction report (--out FILE); or render
+              observability artifacts: --metrics F / --trace F (span tree
+              with self/total times, histogram p50/p95/p99) and
+              --bench-dir D [--bench-baseline D] (BENCH_*.json tables with
+              deltas); --check validates the artifacts without rendering
+  explain     analytic decision record for one configuration
+              (nsr explain ft2-ir5): chain size/density, solver tier,
+              conditioning, rebuild intermediates, closed-vs-exact delta
+  obs-check   validate an nsr-obs JSON-lines file (--file F; checks v2
+              span links resolve; --require pat1,pat2 demands records by
+              name or kind:name, e.g. span:core.evaluate)
   help        this text
 
 CONFIGS:  ft<k>-<nir|ir5|ir6>, e.g. ft1-nir, ft2-ir5, ft3-nir
@@ -120,7 +129,14 @@ fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
         "mission" => mission(args),
         "plan" => plan(args),
         "spares" => spares(args),
-        "report" => report(args),
+        "report" => {
+            if crate::report::wants_artifact_mode(args)? {
+                crate::report::artifact_report(args)
+            } else {
+                report(args)
+            }
+        }
+        "explain" => crate::explain::explain(args),
         "aging" => aging(args),
         "bench" => bench(args),
         "chain" => chain(args),
@@ -417,6 +433,12 @@ fn inject(args: &ParsedArgs) -> Result<String> {
         for chunk in s.loss_seeds.chunks(4) {
             let line: Vec<String> = chunk.iter().map(|s| s.to_string()).collect();
             let _ = writeln!(out, "    {}", line.join(", "));
+        }
+    }
+    if !s.loss_signatures.is_empty() {
+        let _ = writeln!(out, "  top loss signatures:");
+        for (sig, n) in &s.loss_signatures {
+            let _ = writeln!(out, "    {n:>3}x {sig}");
         }
     }
     Ok(out)
@@ -729,6 +751,7 @@ fn bench(args: &ParsedArgs) -> Result<String> {
             CliError("--compare needs two report paths: --compare OLD.json NEW.json".into())
         })?;
         let threshold = args.get_or("threshold", 25.0f64)?;
+        let only = args.get::<String>("only")?;
         let read = |path: &str| -> Result<Json> {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError(format!("reading {path}: {e}")))?;
@@ -736,7 +759,8 @@ fn bench(args: &ParsedArgs) -> Result<String> {
         };
         let old = read(&old_path)?;
         let new = read(new_path)?;
-        let cmp = nsr_bench::compare::compare_reports(&old, &new, threshold).map_err(CliError)?;
+        let cmp = nsr_bench::compare::compare_reports_only(&old, &new, threshold, only.as_deref())
+            .map_err(CliError)?;
         let text = cmp.render();
         if cmp.regressions().is_empty() {
             return Ok(text);
@@ -802,21 +826,34 @@ fn obs_check(args: &ParsedArgs) -> Result<String> {
     let text =
         std::fs::read_to_string(&path).map_err(|e| CliError(format!("reading {path}: {e}")))?;
     let records = nsr_obs::validate_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    nsr_obs::validate_span_links(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+    let schema = if text.contains(nsr_obs::SCHEMA_V2) {
+        "nsr-obs/v1+v2"
+    } else {
+        "nsr-obs/v1"
+    };
     let mut out = String::new();
-    let _ = writeln!(out, "{path}: valid nsr-obs/v1 ({records} records)");
+    let _ = writeln!(out, "{path}: valid {schema} ({records} records)");
     if let Some(required) = args.get::<String>("require")? {
-        let mut names = std::collections::HashSet::new();
+        // `(kind, name)` pairs actually present; a bare `name` pattern
+        // matches any kind, `kind:name` demands both.
+        let mut present = std::collections::HashSet::new();
         for line in text.lines().filter(|l| !l.trim().is_empty()) {
             // validate_jsonl already proved every line parses.
             let doc = nsr_obs::Json::parse(line).expect("validated above");
+            let kind = doc.get("kind").and_then(nsr_obs::Json::as_str);
             if let Some(name) = doc.get("name").and_then(nsr_obs::Json::as_str) {
-                names.insert(name.to_string());
+                present.insert((kind.unwrap_or("?").to_string(), name.to_string()));
             }
         }
         for want in required.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            if !names.contains(want) {
+            let hit = match want.split_once(':') {
+                Some((kind, name)) => present.contains(&(kind.to_string(), name.to_string())),
+                None => present.iter().any(|(_, n)| n == want),
+            };
+            if !hit {
                 return Err(CliError(format!(
-                    "{path}: required metric '{want}' not present"
+                    "{path}: required record '{want}' not present"
                 )));
             }
         }
@@ -943,8 +980,11 @@ mod tests {
         assert!(out.contains("degraded time:"));
         assert!(out.contains("data-loss events:"));
         // The burst plan overwhelms FT1, so losses (and their replay
-        // seeds) must be reported.
+        // seeds) must be reported, along with the aggregated post-mortem
+        // signatures.
         assert!(out.contains("loss seeds"));
+        assert!(out.contains("top loss signatures:"), "{out}");
+        assert!(out.contains("LOSS "), "{out}");
         assert!(run(&["inject", "--plan", "no-such-plan"]).is_err());
     }
 
@@ -1085,6 +1125,31 @@ mod tests {
         .unwrap();
         assert!(ok.contains("no regressions"), "{ok}");
 
+        // …or the regressing case is excluded by an --only prefix that
+        // matches nothing of it (here: no case at all, a usage error),
+        // while a matching prefix still sees the regression.
+        assert!(run(&[
+            "bench",
+            "--compare",
+            new.to_str().unwrap(),
+            old.to_str().unwrap(),
+            "--only",
+            "zzz/",
+        ])
+        .unwrap_err()
+        .0
+        .contains("matches no case"));
+        let err = run(&[
+            "bench",
+            "--compare",
+            new.to_str().unwrap(),
+            old.to_str().unwrap(),
+            "--only",
+            "a/",
+        ])
+        .unwrap_err();
+        assert!(err.0.contains("only cases under `a/`"), "{err}");
+
         // Missing second path is a usage error.
         assert!(run(&["bench", "--compare", old.to_str().unwrap()]).is_err());
         std::fs::remove_dir_all(&dir).ok();
@@ -1199,6 +1264,166 @@ mod tests {
 
         assert!(run(&["obs-check"]).is_err()); // --file required
         assert!(run(&["obs-check", "--file", "/no/such/file.jsonl"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_names_the_solver_tier() {
+        // FT7's 257-state recursive chain is big and sparse enough for
+        // the sparse tier; the FT2 internal-RAID chain (5 states) is not.
+        let sparse = run(&["explain", "ft7-nir"]).unwrap();
+        assert!(sparse.contains("decision record for FT 7"), "{sparse}");
+        assert!(sparse.contains("solver tier:      sparse GTH"), "{sparse}");
+        assert!(sparse.contains("GTH fallback:     not engaged"), "{sparse}");
+        assert!(sparse.contains("closed-form error:"), "{sparse}");
+
+        let dense = run(&["explain", "--config", "ft2-ir5"]).unwrap();
+        assert!(dense.contains("solver tier:      dense GTH"), "{dense}");
+        assert!(dense.contains("crossover link:"), "{dense}");
+
+        assert!(run(&["explain"]).is_err()); // config required
+        assert!(run(&["explain", "ft0-zzz"]).is_err());
+    }
+
+    #[test]
+    fn report_artifact_mode_renders_and_checks() {
+        let dir = std::env::temp_dir().join(format!("nsr-report-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        std::fs::write(
+            &metrics,
+            concat!(
+                "{\"schema\":\"nsr-obs/v1\",\"kind\":\"meta\",\"source\":\"t\"}\n",
+                "{\"schema\":\"nsr-obs/v1\",\"kind\":\"counter\",\"name\":\"c.x\",\"value\":7}\n",
+                "{\"schema\":\"nsr-obs/v1\",\"kind\":\"histogram\",\"name\":\"h.y\",\"count\":4,",
+                "\"sum\":6,\"min\":1,\"max\":2,\"overflow\":0,",
+                "\"buckets\":[{\"le\":1,\"count\":2},{\"le\":2,\"count\":2}]}\n",
+            ),
+        )
+        .unwrap();
+        let trace = dir.join("trace.jsonl");
+        std::fs::write(
+            &trace,
+            concat!(
+                "{\"schema\":\"nsr-obs/v2\",\"kind\":\"span\",\"name\":\"outer\",\"at_s\":0,",
+                "\"dur_s\":0.004,\"span_id\":1,\"thread\":0,\"seq\":0}\n",
+                "{\"schema\":\"nsr-obs/v2\",\"kind\":\"span\",\"name\":\"inner\",\"at_s\":0,",
+                "\"dur_s\":0.001,\"span_id\":2,\"parent_id\":1,\"thread\":0,\"seq\":1}\n",
+                "{\"schema\":\"nsr-obs/v2\",\"kind\":\"event\",\"name\":\"tick\",\"at_s\":0,",
+                "\"parent_id\":2,\"thread\":0,\"seq\":2}\n",
+            ),
+        )
+        .unwrap();
+        let bench_dir = dir.join("bench");
+        std::fs::create_dir_all(&bench_dir).unwrap();
+        let report = |ns: f64| {
+            format!(
+                "{{\"schema\":\"nsr-bench/v1\",\"suite\":\"obs\",\"mode\":\"smoke\",\
+                 \"results\":[{{\"name\":\"a/x\",\"ns_per_iter\":{ns},\
+                 \"bytes_per_iter\":0,\"mib_per_s\":null}}]}}"
+            )
+        };
+        std::fs::write(bench_dir.join("BENCH_obs.json"), report(120.0)).unwrap();
+        let base_dir = dir.join("baseline");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::write(base_dir.join("BENCH_obs.json"), report(100.0)).unwrap();
+
+        let md = run(&[
+            "report",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--bench-dir",
+            bench_dir.to_str().unwrap(),
+            "--bench-baseline",
+            base_dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(md.contains("# Flight-recorder report"), "{md}");
+        assert!(md.contains("| c.x | counter | 7 |"), "{md}");
+        // p50 of {1,1,2,2} is the le=1 bucket; p99 the le=2 bucket.
+        assert!(
+            md.contains("| h.y | 4 | 1.000e0 | 2.000e0 | 2.000e0 | 2.000e0 |"),
+            "{md}"
+        );
+        // The span tree nests inner under outer, with self-time netted.
+        assert!(md.contains("| outer | 1 | 4.000 | 3.000 |"), "{md}");
+        assert!(
+            md.contains("| &nbsp;&nbsp;inner | 1 | 1.000 | 1.000 |"),
+            "{md}"
+        );
+        assert!(md.contains("| tick | 1 |"), "{md}");
+        // Bench table carries the trajectory delta vs the baseline dir.
+        assert!(md.contains("| a/x | 120.0 | — | +20.0% |"), "{md}");
+
+        // --check validates without rendering.
+        let checked = run(&["report", "--trace", trace.to_str().unwrap(), "--check"]).unwrap();
+        assert!(checked.contains("span links resolve"), "{checked}");
+        assert!(!checked.contains("# Flight-recorder"), "{checked}");
+
+        // A trace with an orphan parent fails --check.
+        let orphan = dir.join("orphan.jsonl");
+        std::fs::write(
+            &orphan,
+            "{\"schema\":\"nsr-obs/v2\",\"kind\":\"span\",\"name\":\"s\",\"at_s\":0,\
+             \"dur_s\":0,\"span_id\":1,\"parent_id\":99,\"thread\":0,\"seq\":0}\n",
+        )
+        .unwrap();
+        assert!(run(&["report", "--trace", orphan.to_str().unwrap(), "--check"]).is_err());
+
+        // Legacy reproduction report is untouched by the new mode.
+        assert!(run(&["report"]).unwrap().contains("# Reliability report"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn obs_check_kind_name_patterns_and_span_links() {
+        let dir = std::env::temp_dir().join(format!("nsr-obs-v2-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.jsonl");
+        std::fs::write(
+            &good,
+            concat!(
+                "{\"schema\":\"nsr-obs/v2\",\"kind\":\"span\",\"name\":\"core.evaluate\",",
+                "\"at_s\":0,\"dur_s\":0.5,\"span_id\":1,\"thread\":0,\"seq\":0}\n",
+                "{\"schema\":\"nsr-obs/v2\",\"kind\":\"event\",\"name\":\"tick\",\"at_s\":0,",
+                "\"parent_id\":1,\"thread\":0,\"seq\":1}\n",
+            ),
+        )
+        .unwrap();
+        let path = good.to_str().unwrap();
+        // Bare names match any kind; kind:name demands the exact kind.
+        let out = run(&[
+            "obs-check",
+            "--file",
+            path,
+            "--require",
+            "core.evaluate,span:core.evaluate,event:tick",
+        ])
+        .unwrap();
+        assert!(out.contains("required names present"), "{out}");
+        assert!(run(&[
+            "obs-check",
+            "--file",
+            path,
+            "--require",
+            "event:core.evaluate"
+        ])
+        .is_err());
+        assert!(run(&["obs-check", "--file", path, "--require", "span:tick"]).is_err());
+
+        // A parent_id pointing at a span that was never emitted is a
+        // structural failure even though every line validates alone.
+        let orphan = dir.join("orphan.jsonl");
+        std::fs::write(
+            &orphan,
+            "{\"schema\":\"nsr-obs/v2\",\"kind\":\"event\",\"name\":\"tick\",\"at_s\":0,\
+             \"parent_id\":7,\"thread\":0,\"seq\":0}\n",
+        )
+        .unwrap();
+        let err = run(&["obs-check", "--file", orphan.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("parent_id"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -20,7 +20,9 @@
 
 pub mod args;
 pub mod commands;
+pub mod explain;
 pub mod render;
+pub mod report;
 
 /// Exit-code-friendly error type: a message for stderr.
 #[derive(Debug)]

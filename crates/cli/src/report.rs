@@ -1,0 +1,366 @@
+//! `nsr report` artifact mode: render observability and benchmark
+//! artifacts (an `nsr-obs` metrics snapshot, a span/event trace, a
+//! directory of `BENCH_*.json` reports) into one markdown post-mortem.
+//!
+//! The legacy zero-argument form — the paper-reproduction report — lives
+//! in [`crate::commands`]; this module handles the
+//! `--metrics`/`--trace`/`--bench-dir` form, plus `--check`, which
+//! validates the artifacts (schema, span-link resolution, bench report
+//! shape) without rendering.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::path::Path;
+
+use nsr_obs::Json;
+
+use crate::args::ParsedArgs;
+use crate::{CliError, Result};
+
+/// True when any artifact-mode option is present (the dispatcher uses
+/// this to pick between the legacy reproduction report and this mode).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for malformed option values.
+pub fn wants_artifact_mode(args: &ParsedArgs) -> Result<bool> {
+    Ok(args.get::<String>("metrics")?.is_some()
+        || args.get::<String>("trace")?.is_some()
+        || args.get::<String>("bench-dir")?.is_some())
+}
+
+/// Implements `nsr report --metrics F --trace F --bench-dir D [--check]`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] when an artifact is unreadable or fails
+/// validation.
+pub fn artifact_report(args: &ParsedArgs) -> Result<String> {
+    let metrics_path = args.get::<String>("metrics")?;
+    let trace_path = args.get::<String>("trace")?;
+    let bench_dir = args.get::<String>("bench-dir")?;
+    let baseline_dir = args.get::<String>("bench-baseline")?;
+    let check_only = args.has_flag("check");
+
+    let mut md = String::new();
+    let mut checks = String::new();
+    let _ = writeln!(md, "# Flight-recorder report\n");
+
+    if let Some(path) = &metrics_path {
+        let text = read(path)?;
+        let records =
+            nsr_obs::validate_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let _ = writeln!(checks, "{path}: OK ({records} metric records)");
+        if !check_only {
+            render_metrics(&mut md, &text);
+        }
+    }
+
+    if let Some(path) = &trace_path {
+        let text = read(path)?;
+        let records =
+            nsr_obs::validate_jsonl(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        nsr_obs::validate_span_links(&text).map_err(|e| CliError(format!("{path}: {e}")))?;
+        let _ = writeln!(
+            checks,
+            "{path}: OK ({records} trace records, span links resolve)"
+        );
+        if !check_only {
+            render_trace(&mut md, &text);
+        }
+    }
+
+    if let Some(dir) = &bench_dir {
+        let reports = bench_reports(dir)?;
+        if reports.is_empty() {
+            return Err(CliError(format!("{dir}: no BENCH_*.json reports found")));
+        }
+        for (name, doc) in &reports {
+            nsr_bench::suites::validate_report(doc)
+                .map_err(|e| CliError(format!("{dir}/{name}: {e}")))?;
+            let _ = writeln!(checks, "{dir}/{name}: OK (valid nsr-bench/v1)");
+        }
+        if !check_only {
+            let baseline = match &baseline_dir {
+                Some(b) => bench_reports(b)?,
+                None => Vec::new(),
+            };
+            render_bench(&mut md, &reports, &baseline);
+        }
+    }
+
+    if checks.is_empty() {
+        return Err(CliError(
+            "report artifact mode needs at least one of --metrics, --trace, --bench-dir".into(),
+        ));
+    }
+    if check_only {
+        return Ok(checks);
+    }
+    if let Some(path) = args.get::<String>("out")? {
+        std::fs::write(&path, &md)?;
+        Ok(format!("wrote {path}\n"))
+    } else {
+        Ok(md)
+    }
+}
+
+fn read(path: &str) -> Result<String> {
+    std::fs::read_to_string(path).map_err(|e| CliError(format!("reading {path}: {e}")))
+}
+
+/// Parses every non-empty line of a validated JSONL text.
+fn lines(text: &str) -> Vec<Json> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).expect("validated upstream"))
+        .collect()
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get(key).and_then(Json::as_str)
+}
+
+fn num_field(doc: &Json, key: &str) -> Option<f64> {
+    doc.get(key).and_then(Json::as_f64)
+}
+
+fn render_metrics(md: &mut String, text: &str) {
+    let docs = lines(text);
+    let mut counters: Vec<(String, f64)> = Vec::new();
+    let mut gauges: Vec<(String, Option<f64>)> = Vec::new();
+    let _ = writeln!(md, "## Counters and gauges\n");
+    for doc in &docs {
+        let name = str_field(doc, "name").unwrap_or("?").to_string();
+        match str_field(doc, "kind") {
+            Some("counter") => counters.push((name, num_field(doc, "value").unwrap_or(0.0))),
+            Some("gauge") => gauges.push((name, num_field(doc, "value"))),
+            _ => {}
+        }
+    }
+    let _ = writeln!(md, "| metric | kind | value |");
+    let _ = writeln!(md, "|---|---|---|");
+    for (name, v) in &counters {
+        let _ = writeln!(md, "| {name} | counter | {v} |");
+    }
+    for (name, v) in &gauges {
+        match v {
+            Some(v) => {
+                let _ = writeln!(md, "| {name} | gauge | {v:.4} |");
+            }
+            None => {
+                let _ = writeln!(md, "| {name} | gauge | — |");
+            }
+        }
+    }
+
+    let _ = writeln!(md, "\n## Histograms\n");
+    let _ = writeln!(md, "| histogram | count | p50 | p95 | p99 | max |");
+    let _ = writeln!(md, "|---|---|---|---|---|---|");
+    for doc in &docs {
+        if str_field(doc, "kind") != Some("histogram") {
+            continue;
+        }
+        let name = str_field(doc, "name").unwrap_or("?");
+        let count = num_field(doc, "count").unwrap_or(0.0);
+        let overflow = num_field(doc, "overflow").unwrap_or(0.0) as u64;
+        let max = num_field(doc, "max");
+        let entries: Vec<(f64, u64)> = doc
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .map(|bs| {
+                bs.iter()
+                    .filter_map(|b| {
+                        let le = num_field(b, "le")?;
+                        let n = num_field(b, "count")? as u64;
+                        (n > 0).then_some((le, n))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let pct = |q: f64| -> String {
+            nsr_obs::percentile_from_buckets(
+                &entries,
+                overflow,
+                max.unwrap_or(f64::NEG_INFINITY),
+                q,
+            )
+            .map_or_else(|| "—".to_string(), |v| format!("{v:.3e}"))
+        };
+        let max_s = max.map_or_else(|| "—".to_string(), |v| format!("{v:.3e}"));
+        let _ = writeln!(
+            md,
+            "| {name} | {count} | {} | {} | {} | {max_s} |",
+            pct(0.50),
+            pct(0.95),
+            pct(0.99)
+        );
+    }
+}
+
+/// One aggregated row of the span tree: spans sharing a causal
+/// name-path.
+#[derive(Default)]
+struct PathAgg {
+    count: u64,
+    total_s: f64,
+    self_s: f64,
+}
+
+fn render_trace(md: &mut String, text: &str) {
+    let docs = lines(text);
+
+    // First pass: name per span id, and per-parent child time.
+    let mut names: HashMap<u64, String> = HashMap::new();
+    let mut parents: HashMap<u64, u64> = HashMap::new();
+    let mut child_time: HashMap<u64, f64> = HashMap::new();
+    for doc in &docs {
+        if str_field(doc, "kind") != Some("span") {
+            continue;
+        }
+        let (Some(id), Some(name)) = (num_field(doc, "span_id"), str_field(doc, "name")) else {
+            continue;
+        };
+        let id = id as u64;
+        names.insert(id, name.to_string());
+        if let Some(p) = num_field(doc, "parent_id") {
+            parents.insert(id, p as u64);
+            *child_time.entry(p as u64).or_default() += num_field(doc, "dur_s").unwrap_or(0.0);
+        }
+    }
+    let path_of = |mut id: u64| -> String {
+        let mut parts = Vec::new();
+        loop {
+            parts.push(names.get(&id).map_or("?", String::as_str));
+            match parents.get(&id) {
+                // Cycles cannot occur in a validated trace (children
+                // always have larger ids), so this walk terminates.
+                Some(p) => id = *p,
+                None => break,
+            }
+        }
+        parts.reverse();
+        parts.join("/")
+    };
+
+    // Second pass: aggregate by path; tally events by name.
+    let mut spans: BTreeMap<String, PathAgg> = BTreeMap::new();
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    for doc in &docs {
+        match str_field(doc, "kind") {
+            Some("span") => {
+                let Some(id) = num_field(doc, "span_id") else {
+                    continue;
+                };
+                let dur = num_field(doc, "dur_s").unwrap_or(0.0);
+                let agg = spans.entry(path_of(id as u64)).or_default();
+                agg.count += 1;
+                agg.total_s += dur;
+                agg.self_s += dur - child_time.get(&(id as u64)).copied().unwrap_or(0.0);
+            }
+            Some("event") => {
+                *events
+                    .entry(str_field(doc, "name").unwrap_or("?").to_string())
+                    .or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let _ = writeln!(md, "\n## Span tree\n");
+    let _ = writeln!(md, "| span | count | total (ms) | self (ms) |");
+    let _ = writeln!(md, "|---|---|---|---|");
+    for (path, agg) in &spans {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(
+            md,
+            "| {}{leaf} | {} | {:.3} | {:.3} |",
+            "&nbsp;&nbsp;".repeat(depth),
+            agg.count,
+            1e3 * agg.total_s,
+            1e3 * agg.self_s
+        );
+    }
+
+    let _ = writeln!(md, "\n## Events\n");
+    let _ = writeln!(md, "| event | count |");
+    let _ = writeln!(md, "|---|---|");
+    for (name, n) in &events {
+        let _ = writeln!(md, "| {name} | {n} |");
+    }
+}
+
+type BenchDocs = Vec<(String, nsr_bench::json::Json)>;
+
+/// Reads every `BENCH_*.json` in `dir`, sorted by file name.
+fn bench_reports(dir: &str) -> Result<BenchDocs> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(Path::new(dir)).map_err(|e| CliError(format!("reading {dir}: {e}")))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("reading {dir}: {e}")))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = read(&entry.path().to_string_lossy())?;
+        let doc = nsr_bench::json::Json::parse(&text)
+            .map_err(|e| CliError(format!("{dir}/{name}: {e}")))?;
+        out.push((name, doc));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn render_bench(md: &mut String, reports: &BenchDocs, baseline: &BenchDocs) {
+    use nsr_bench::json::Json as BJson;
+    let _ = writeln!(md, "\n## Benchmarks\n");
+    for (file, doc) in reports {
+        let suite = doc.get("suite").and_then(BJson::as_str).unwrap_or("?");
+        let mode = doc.get("mode").and_then(BJson::as_str).unwrap_or("?");
+        let _ = writeln!(md, "### {suite} ({mode}, {file})\n");
+        let old: HashMap<String, f64> = baseline
+            .iter()
+            .find(|(f, _)| f == file)
+            .and_then(|(_, b)| b.get("results").and_then(BJson::as_arr))
+            .map(|rs| {
+                rs.iter()
+                    .filter_map(|r| {
+                        Some((
+                            r.get("name")?.as_str()?.to_string(),
+                            r.get("ns_per_iter")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let delta_col = !old.is_empty();
+        if delta_col {
+            let _ = writeln!(md, "| case | ns/iter | MiB/s | vs baseline |");
+            let _ = writeln!(md, "|---|---|---|---|");
+        } else {
+            let _ = writeln!(md, "| case | ns/iter | MiB/s |");
+            let _ = writeln!(md, "|---|---|---|");
+        }
+        let results = doc.get("results").and_then(BJson::as_arr);
+        for r in results.into_iter().flatten() {
+            let name = r.get("name").and_then(BJson::as_str).unwrap_or("?");
+            let ns = r.get("ns_per_iter").and_then(BJson::as_f64).unwrap_or(0.0);
+            let mib = r
+                .get("mib_per_s")
+                .and_then(BJson::as_f64)
+                .map_or_else(|| "—".to_string(), |v| format!("{v:.0}"));
+            if delta_col {
+                let delta = old.get(name).map_or_else(
+                    || "new".to_string(),
+                    |o| format!("{:+.1}%", 100.0 * (ns - o) / o),
+                );
+                let _ = writeln!(md, "| {name} | {ns:.1} | {mib} | {delta} |");
+            } else {
+                let _ = writeln!(md, "| {name} | {ns:.1} | {mib} |");
+            }
+        }
+        let _ = writeln!(md);
+    }
+}

@@ -145,6 +145,22 @@ impl CachedEvaluator {
     pub fn evaluate(&mut self, params: &Params) -> Result<Evaluation> {
         params.validate()?;
         crate::obs::EVALS.inc();
+        let mut span = nsr_obs::trace::Span::enter("core.evaluate");
+        span.field("config", || nsr_obs::Json::Str(self.config.to_string()));
+        let out = self.evaluate_inner(params);
+        if let Ok(e) = &out {
+            span.field("closed_form_mttdl_h", || {
+                nsr_obs::Json::Num(e.closed_form.mttdl_hours)
+            });
+            span.field("exact_mttdl_h", || nsr_obs::Json::Num(e.exact.mttdl_hours));
+        }
+        out
+    }
+
+    /// Body of [`CachedEvaluator::evaluate`], split out so the tracing
+    /// span can observe the result on both the `None` and internal-RAID
+    /// paths.
+    fn evaluate_inner(&mut self, params: &Params) -> Result<Evaluation> {
         let t = self.config.node_ft;
         let rebuild = RebuildModel::new(*params)?;
         let lambda_n = params.node.failure_rate();

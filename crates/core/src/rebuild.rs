@@ -196,6 +196,13 @@ impl RebuildModel {
         } else {
             (net_time, Bottleneck::Network)
         };
+        nsr_obs::trace::event("core.rebuild.model", || {
+            vec![
+                ("disk_h", nsr_obs::Json::Num(disk_time.0)),
+                ("net_h", nsr_obs::Json::Num(net_time.0)),
+                ("bottleneck", nsr_obs::Json::Str(bottleneck.to_string())),
+            ]
+        });
         Ok(RebuildRate {
             rate: duration.rate(),
             duration,

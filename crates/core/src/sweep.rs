@@ -153,10 +153,12 @@ where
         rows
     } else {
         let next = AtomicUsize::new(0);
+        let (next, set) = (&next, &set);
         let per_worker: Vec<Vec<(usize, SweepRow)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
+                .map(|w| {
+                    scope.spawn(move || {
+                        nsr_obs::set_trace_lane(w as u64 + 1);
                         let start = Instant::now();
                         let mut evaluators: Vec<CachedEvaluator> =
                             configs.iter().map(|&c| CachedEvaluator::new(c)).collect();
@@ -164,7 +166,7 @@ where
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&x) = xs.get(i) else { break };
-                            mine.push((i, eval_row(base, &mut evaluators, x, &set)));
+                            mine.push((i, eval_row(base, &mut evaluators, x, set)));
                         }
                         crate::obs::WORKER_SECONDS.observe(start.elapsed().as_secs_f64());
                         mine

@@ -153,9 +153,9 @@ struct DenseRoute {
 
 /// Minimum transient-state count for the sparse tier: below this the
 /// dense table's straight-line loops beat per-entry binary searches.
-const SPARSE_MIN_STATES: usize = 16;
+pub const SPARSE_MIN_STATES: usize = 16;
 /// Maximum transient-block density for the sparse tier.
-const SPARSE_MAX_DENSITY: f64 = 0.25;
+pub const SPARSE_MAX_DENSITY: f64 = 0.25;
 
 /// Subtraction-free (GTH-style) solve of `D_i·x_i = r_i + Σ_j q_ij·x_j`
 /// over the transient states, where `q` holds non-negative transition
@@ -484,6 +484,21 @@ impl AbsorbingAnalysis {
     /// Forces the lazy matrix route to be built.
     pub fn uses_gth_fallback(&self) -> bool {
         self.dense_route().lu.is_none()
+    }
+
+    /// Which LU factorization backs the matrix route: `Some("banded-lu")`
+    /// or `Some("dense-lu")`, or `None` when the factorization failed and
+    /// the GTH fallback is in effect.
+    ///
+    /// Forces the lazy matrix route to be built.
+    pub fn lu_kind(&self) -> Option<&'static str> {
+        self.dense_route().lu.as_ref().map(|lu| {
+            if lu.is_banded() {
+                "banded-lu"
+            } else {
+                "dense-lu"
+            }
+        })
     }
 
     /// Estimate of the ∞-norm condition number `κ∞(R)` of the absorption

@@ -5,15 +5,15 @@
 //!
 //! - [`metrics`] — a process-wide registry of atomic [`Counter`]s,
 //!   [`Gauge`]s and log-bucketed [`Histogram`]s, snapshotted as JSON-lines.
-//! - [`trace`] — lightweight [`Span`]/[`trace::event`] tracing with a
-//!   bounded in-memory sink drained to JSON-lines.
+//! - [`trace`] — causal [`Span`]/[`trace::event`] tracing with per-thread
+//!   sharded sinks merged into a deterministic JSON-lines drain.
 //! - [`json`] — the shared JSON value type used for both, plus the
 //!   `BENCH_*.json` reports.
 //!
-//! # The `nsr-obs/v1` schema
+//! # The `nsr-obs/v1` and `nsr-obs/v2` schemas
 //!
-//! Every emitted line is a self-contained JSON object with
-//! `"schema": "nsr-obs/v1"` and a `"kind"`:
+//! Every emitted line is a self-contained JSON object with a `"schema"`
+//! and a `"kind"`. Metric snapshots and `meta` lines are `nsr-obs/v1`:
 //!
 //! | kind        | fields |
 //! |-------------|--------|
@@ -24,8 +24,19 @@
 //! | `span`      | `name`, `at_s`, `dur_s`, `fields` (object) |
 //! | `event`     | `name`, `at_s`, `fields` (object) |
 //!
-//! [`validate_line`] / [`validate_jsonl`] check these shapes; the CLI's
-//! `obs-check` command and the CI smoke step are built on them.
+//! Trace records are now emitted as `nsr-obs/v2`, which extends the v1
+//! `span`/`event` shapes with causal identity:
+//!
+//! | kind    | fields added in v2 |
+//! |---------|--------------------|
+//! | `span`  | `span_id` (unique positive integer), `parent_id` (optional; must resolve to an emitted `span_id`), `thread`, `seq` |
+//! | `event` | `parent_id` (optional), `thread`, `seq` |
+//!
+//! [`validate_line`] / [`validate_jsonl`] accept **both** versions, so v1
+//! artifacts remain readable; [`validate_span_links`] adds the v2
+//! structural check that every `parent_id` resolves to an emitted
+//! `span_id` (no orphan spans). The CLI's `obs-check` command and the CI
+//! smoke step are built on all three.
 //!
 //! # Cost contract
 //!
@@ -44,13 +55,20 @@ pub mod trace;
 
 pub use json::{Json, ParseError};
 pub use metrics::{
-    metrics_enabled, metrics_jsonl, metrics_timer, reset_metrics, set_metrics_enabled,
-    write_metrics, Counter, Gauge, Histogram,
+    metrics_enabled, metrics_jsonl, metrics_timer, percentile_from_buckets, reset_metrics,
+    set_metrics_enabled, write_metrics, Counter, Gauge, Histogram,
 };
-pub use trace::{set_trace_enabled, trace_enabled, trace_jsonl, write_trace, Span};
+pub use trace::{
+    canonical_jsonl, set_trace_capacity, set_trace_enabled, set_trace_lane, trace_enabled,
+    trace_jsonl, write_trace, Span,
+};
 
-/// The schema identifier stamped on every emitted record.
+/// The schema identifier stamped on metric snapshots and `meta` records.
 pub const SCHEMA: &str = "nsr-obs/v1";
+
+/// The schema identifier stamped on causal trace records (spans and
+/// events carrying `span_id`/`parent_id`/`thread`/`seq`).
+pub const SCHEMA_V2: &str = "nsr-obs/v2";
 
 fn field_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
     doc.get(key)
@@ -88,29 +106,58 @@ fn field_fields(doc: &Json) -> Result<(), String> {
     }
 }
 
-/// Validates one parsed record against the `nsr-obs/v1` schema.
+/// The v2 causal identity: required `thread`/`seq`, a required positive
+/// `span_id` when `require_span_id`, and an optional positive `parent_id`.
+fn v2_identity(doc: &Json, require_span_id: bool) -> Result<(), String> {
+    field_count(doc, "thread")?;
+    field_count(doc, "seq")?;
+    if require_span_id {
+        let id = field_count(doc, "span_id")?;
+        if id < 1.0 {
+            return Err("`span_id` must be positive".into());
+        }
+    }
+    if let Some(p) = doc.get("parent_id") {
+        let p = p
+            .as_f64()
+            .ok_or_else(|| "non-numeric `parent_id`".to_string())?;
+        if !(p.is_finite() && p >= 1.0 && p == p.trunc()) {
+            return Err(format!("`parent_id` must be a positive integer, got {p}"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates one parsed record against the `nsr-obs/v1` or `nsr-obs/v2`
+/// schema (v2 only defines the causal `span`/`event` kinds).
 pub fn validate_line(doc: &Json) -> Result<(), String> {
     if !matches!(doc, Json::Obj(_)) {
         return Err("record is not an object".into());
     }
     let schema = field_str(doc, "schema")?;
-    if schema != SCHEMA {
-        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
-    }
+    let v2 = match schema {
+        s if s == SCHEMA => false,
+        s if s == SCHEMA_V2 => true,
+        other => {
+            return Err(format!(
+                "schema is {other:?}, expected {SCHEMA:?} or {SCHEMA_V2:?}"
+            ))
+        }
+    };
     let kind = field_str(doc, "kind")?;
     match kind {
-        "meta" => {
+        "meta" if !v2 => {
             field_str(doc, "source")?;
         }
-        "counter" => {
+        "counter" if !v2 => {
             field_str(doc, "name")?;
             field_count(doc, "value")?;
         }
-        "gauge" => {
+        "gauge" if !v2 => {
             field_str(doc, "name")?;
             field_num_or_null(doc, "value")?;
         }
-        "histogram" => {
+        "histogram" if !v2 => {
             field_str(doc, "name")?;
             let count = field_count(doc, "count")?;
             field_num_or_null(doc, "sum")?;
@@ -143,13 +190,19 @@ pub fn validate_line(doc: &Json) -> Result<(), String> {
                 return Err("`dur_s` must be non-negative".into());
             }
             field_fields(doc)?;
+            if v2 {
+                v2_identity(doc, true)?;
+            }
         }
         "event" => {
             field_str(doc, "name")?;
             field_num(doc, "at_s")?;
             field_fields(doc)?;
+            if v2 {
+                v2_identity(doc, false)?;
+            }
         }
-        other => return Err(format!("unknown kind {other:?}")),
+        other => return Err(format!("kind {other:?} not valid under schema {schema:?}")),
     }
     Ok(())
 }
@@ -171,6 +224,41 @@ pub fn validate_jsonl(text: &str) -> Result<usize, String> {
         return Err("no records found".into());
     }
     Ok(records)
+}
+
+/// The v2 structural check: every `parent_id` in the document resolves
+/// to a `span_id` emitted by some span record (no orphan spans), and no
+/// `span_id` is emitted twice. Lines that fail to parse are skipped —
+/// run [`validate_jsonl`] first for shape errors.
+pub fn validate_span_links(text: &str) -> Result<(), String> {
+    let docs: Vec<Json> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| Json::parse(l).ok())
+        .collect();
+    let mut ids = std::collections::HashSet::new();
+    for doc in &docs {
+        if doc.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        if let Some(id) = doc.get("span_id").and_then(Json::as_f64) {
+            if !ids.insert(id.to_bits()) {
+                return Err(format!("duplicate span_id {id}"));
+            }
+        }
+    }
+    for (i, doc) in docs.iter().enumerate() {
+        if let Some(p) = doc.get("parent_id").and_then(Json::as_f64) {
+            if !ids.contains(&p.to_bits()) {
+                return Err(format!(
+                    "record {} ({}): parent_id {p} does not resolve to an emitted span_id",
+                    i + 1,
+                    doc.get("name").and_then(Json::as_str).unwrap_or("?"),
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -195,6 +283,19 @@ mod tests {
             ),
             r#"{"schema":"nsr-obs/v1","kind":"span","name":"s","at_s":0.1,"dur_s":0.2,"fields":{}}"#,
             r#"{"schema":"nsr-obs/v1","kind":"event","name":"e","at_s":0.1,"fields":{"w":1}}"#,
+            concat!(
+                r#"{"schema":"nsr-obs/v2","kind":"span","name":"s","at_s":0.1,"dur_s":0.2,"#,
+                r#""span_id":3,"parent_id":1,"thread":2,"seq":17,"fields":{}}"#
+            ),
+            concat!(
+                r#"{"schema":"nsr-obs/v2","kind":"span","name":"root","at_s":0,"dur_s":0,"#,
+                r#""span_id":1,"thread":0,"seq":0,"fields":{}}"#
+            ),
+            concat!(
+                r#"{"schema":"nsr-obs/v2","kind":"event","name":"e","at_s":0.1,"#,
+                r#""parent_id":3,"thread":2,"seq":18,"fields":{"w":1}}"#
+            ),
+            r#"{"schema":"nsr-obs/v2","kind":"event","name":"e","at_s":0.1,"thread":2,"seq":18,"fields":{}}"#,
         ] {
             assert_eq!(line(good), Ok(()), "rejected {good}");
         }
@@ -215,6 +316,19 @@ mod tests {
                 r#"{"schema":"nsr-obs/v1","kind":"histogram","name":"h","count":5,"#,
                 r#""sum":0,"min":null,"max":null,"overflow":0,"buckets":[]}"#
             ), // counts don't add up
+            // v2 is trace-only: metric kinds stay v1.
+            r#"{"schema":"nsr-obs/v2","kind":"counter","name":"a","value":1}"#,
+            r#"{"schema":"nsr-obs/v2","kind":"meta","source":"x"}"#,
+            // v2 spans need their causal identity.
+            r#"{"schema":"nsr-obs/v2","kind":"span","name":"s","at_s":0,"dur_s":0,"fields":{}}"#,
+            concat!(
+                r#"{"schema":"nsr-obs/v2","kind":"span","name":"s","at_s":0,"dur_s":0,"#,
+                r#""span_id":0,"thread":0,"seq":0,"fields":{}}"#
+            ), // span_id must be positive
+            concat!(
+                r#"{"schema":"nsr-obs/v2","kind":"event","name":"e","at_s":0,"#,
+                r#""parent_id":1.5,"thread":0,"seq":0,"fields":{}}"#
+            ), // fractional parent_id
         ] {
             assert!(line(bad).is_err(), "accepted {bad}");
         }
@@ -232,5 +346,24 @@ mod tests {
         let err = validate_jsonl(bad).unwrap_err();
         assert!(err.starts_with("line 2"), "{err}");
         assert!(validate_jsonl("").is_err());
+    }
+
+    #[test]
+    fn span_links_resolve_or_error() {
+        let root = concat!(
+            r#"{"schema":"nsr-obs/v2","kind":"span","name":"root","at_s":0,"dur_s":0,"#,
+            r#""span_id":1,"thread":0,"seq":0,"fields":{}}"#
+        );
+        let child = concat!(
+            r#"{"schema":"nsr-obs/v2","kind":"event","name":"child","at_s":0,"#,
+            r#""parent_id":1,"thread":0,"seq":1,"fields":{}}"#
+        );
+        let ok = format!("{root}\n{child}\n");
+        assert_eq!(validate_span_links(&ok), Ok(()));
+        let orphan = format!("{child}\n");
+        let err = validate_span_links(&orphan).unwrap_err();
+        assert!(err.contains("parent_id 1"), "{err}");
+        let dup = format!("{root}\n{root}\n");
+        assert!(validate_span_links(&dup).unwrap_err().contains("duplicate"));
     }
 }

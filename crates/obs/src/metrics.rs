@@ -272,6 +272,32 @@ impl Histogram {
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Largest finite observation so far (`-inf` before the first one).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`, clamped) from the log
+    /// buckets via [`percentile_from_buckets`]: the answer is the upper
+    /// bound of the bucket holding the rank-`⌈q·count⌉` observation, so
+    /// it is exact at bucket boundaries and otherwise overestimates by at
+    /// most one octave. Ranks landing in the overflow bucket report the
+    /// tracked maximum. Returns `None` for an empty histogram.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        let entries: Vec<(f64, u64)> = (0..BUCKET_COUNT)
+            .filter_map(|i| {
+                let n = self.buckets[i].load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_bound(i), n))
+            })
+            .collect();
+        percentile_from_buckets(
+            &entries,
+            self.overflow.load(Ordering::Relaxed),
+            self.max(),
+            q,
+        )
+    }
+
     fn bucket_index(v: f64) -> Option<usize> {
         if v <= bucket_bound(0) {
             return Some(0);
@@ -313,6 +339,40 @@ impl Histogram {
             ("buckets", Json::Arr(buckets)),
         ])
     }
+}
+
+/// Quantile estimation over `(le, count)` histogram buckets (ascending
+/// `le`, zero-count buckets may be omitted) plus an `overflow` count and
+/// the tracked `max`. Shared between live [`Histogram`]s and parsers of
+/// their JSON snapshots (`nsr report`).
+///
+/// `q` is clamped to `[0, 1]`. The rank-`⌈q·total⌉` observation (rank 1
+/// minimum) is located by a cumulative walk; the answer is the owning
+/// bucket's upper bound `le`. A rank in the overflow region reports `max`
+/// when finite (overflowed observations are at least the largest bucket
+/// bound, and `max` tracks them exactly when they are finite), otherwise
+/// `None`. An empty histogram returns `None`.
+pub fn percentile_from_buckets(
+    entries: &[(f64, u64)],
+    overflow: u64,
+    max: f64,
+    q: f64,
+) -> Option<f64> {
+    let total: u64 = entries.iter().map(|&(_, n)| n).sum::<u64>() + overflow;
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // ceil without float rounding surprises at exact multiples.
+    let rank = (((total as f64) * q).ceil() as u64).clamp(1, total);
+    let mut cum = 0u64;
+    for &(le, n) in entries {
+        cum += n;
+        if cum >= rank {
+            return Some(le);
+        }
+    }
+    max.is_finite().then_some(max)
 }
 
 /// Read-modify-write an `f64` stored as bits in an `AtomicU64`.
@@ -487,6 +547,58 @@ mod tests {
         }
         // Beyond the top bound: overflow.
         assert_eq!(Histogram::bucket_index(1e12), None);
+    }
+
+    #[test]
+    fn percentiles_are_exact_at_bucket_boundaries() {
+        static PCT: Histogram = Histogram::new("test.metrics.pct");
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        reset_metrics();
+        assert_eq!(PCT.percentile(0.5), None, "empty histogram");
+        // Two observations at the le=1 boundary, two at le=2: ranks 1-2
+        // resolve to 1.0, ranks 3-4 to 2.0.
+        for v in [1.0, 1.0, 2.0, 2.0] {
+            PCT.observe(v);
+        }
+        assert_eq!(PCT.percentile(0.0), Some(1.0));
+        assert_eq!(PCT.percentile(0.25), Some(1.0));
+        assert_eq!(PCT.percentile(0.5), Some(1.0));
+        assert_eq!(PCT.percentile(0.51), Some(2.0));
+        assert_eq!(PCT.percentile(0.75), Some(2.0));
+        assert_eq!(PCT.percentile(1.0), Some(2.0));
+        // 1000.0 lands in the le=1024 bucket: its percentile reports the
+        // bucket bound, not the observation.
+        PCT.observe(1000.0);
+        assert_eq!(PCT.percentile(1.0), Some(1024.0));
+        set_metrics_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn percentiles_in_the_overflow_bucket_report_the_tracked_max() {
+        static OVF: Histogram = Histogram::new("test.metrics.ovf");
+        let _g = test_guard();
+        set_metrics_enabled(true);
+        reset_metrics();
+        OVF.observe(1.0);
+        OVF.observe(1e12); // beyond the top bucket bound: overflow
+        OVF.observe(3e12);
+        assert_eq!(OVF.percentile(0.25), Some(1.0));
+        assert_eq!(OVF.percentile(0.5), Some(3e12));
+        assert_eq!(OVF.percentile(0.99), Some(3e12));
+        set_metrics_enabled(false);
+        reset_metrics();
+        // Pure-infinite overflow has no finite max to report.
+        assert_eq!(
+            percentile_from_buckets(&[], 2, f64::NEG_INFINITY, 0.5),
+            None
+        );
+        // The free function agrees with snapshots that omit zero buckets.
+        assert_eq!(
+            percentile_from_buckets(&[(1.0, 2), (4.0, 2)], 0, 4.0, 0.75),
+            Some(4.0)
+        );
     }
 
     #[test]

@@ -1,29 +1,102 @@
-//! Lightweight span/event tracing with an in-memory sink drained to
-//! `nsr-obs/v1` JSON-lines.
+//! Causal span/event tracing with per-thread sharded sinks drained to
+//! `nsr-obs/v2` JSON-lines.
 //!
 //! Like metrics, tracing is disabled by default and the disabled path is
 //! near-free: one relaxed atomic load and a branch. Field construction is
 //! deferred behind closures so a disabled [`event`] allocates nothing, and
 //! a disabled [`Span`] is a plain struct with an empty (unallocated)
-//! `Vec`. Records accumulate in a bounded global sink ([`SINK_CAP`]);
-//! once full, further records are counted as dropped rather than growing
-//! memory without bound.
+//! `Vec`.
+//!
+//! # Causality (`nsr-obs/v2`)
+//!
+//! Every recorded span carries a process-unique `span_id`; a thread-local
+//! span stack supplies the `parent_id` for spans and events recorded
+//! while another span is open on the same thread, so records form a
+//! forest whose edges are *causal* (this solve ran inside that sweep
+//! cell, this post-mortem event belongs to that loss). Records also carry
+//! `thread` (the recording thread's lane, see [`set_trace_lane`]) and
+//! `seq` (a process-wide monotone sequence number).
+//!
+//! # Sharded sinks and deterministic drain
+//!
+//! Each recording thread appends to its **own** shard, so recording never
+//! contends with other recording threads — the only lock an append takes
+//! is the appending thread's own shard mutex, which is uncontended except
+//! at the moment a [`drain`] walks the shards. [`drain`] merges all
+//! shards into a single sequence ordered by `(at_s, thread, seq)`; with
+//! deterministic lanes ([`set_trace_lane`]) and after
+//! [`canonical_jsonl`]'s timestamp normalization, serial and parallel
+//! runs of the same deterministic workload produce byte-identical output.
+//!
+//! The sink is bounded: at most [`SINK_CAP`] records (configurable via
+//! [`set_trace_capacity`]) buffer across *all* shards; each record beyond
+//! the capacity increments the dropped count by exactly one, and the
+//! drained `meta` line reports it.
 
+use std::cell::RefCell;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::json::Json;
 
-/// Maximum number of buffered trace records before new ones are dropped
-/// (and counted in the drained `meta` record).
+/// Default maximum number of buffered trace records before new ones are
+/// dropped (and counted in the drained `meta` record). See
+/// [`set_trace_capacity`].
 pub const SINK_CAP: usize = 1 << 16;
+
+/// Lanes assigned automatically to threads that never called
+/// [`set_trace_lane`] start here, far above any explicit worker lane, so
+/// pinned lanes sort first in the drained output.
+const AUTO_LANE_BASE: u64 = 1 << 32;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
-static SINK: Mutex<Vec<Json>> = Mutex::new(Vec::new());
+/// Shared record budget across all shards.
+static CAPACITY: AtomicUsize = AtomicUsize::new(SINK_CAP);
+static BUFFERED: AtomicUsize = AtomicUsize::new(0);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Process-unique span ids; 0 is never issued so it can mean "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide monotone record sequence (total-order tiebreak).
+static NEXT_SEQ: AtomicU64 = AtomicU64::new(0);
+static NEXT_AUTO_LANE: AtomicU64 = AtomicU64::new(AUTO_LANE_BASE);
+/// All shards ever created by live threads (pruned at drain once their
+/// thread has exited and their records are taken).
+static REGISTRY: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+
+/// One thread's sink shard. The mutex is only ever contended by a
+/// concurrent [`drain`]; recording threads each lock their own shard.
+struct Shard {
+    /// The lane stamped on *new* records from this thread.
+    lane: AtomicU64,
+    records: Mutex<Vec<Rec>>,
+}
+
+/// A buffered record with its merge key.
+struct Rec {
+    at_s: f64,
+    lane: u64,
+    seq: u64,
+    line: Json,
+}
+
+/// Per-thread recorder state: the thread's shard plus its open-span
+/// stack (the source of `parent_id`).
+struct LocalState {
+    shard: Option<Arc<Shard>>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalState> = const {
+        RefCell::new(LocalState {
+            shard: None,
+            stack: Vec::new(),
+        })
+    };
+}
 
 /// Enables or disables trace recording process-wide. The first enable
 /// fixes the epoch that `at_s` timestamps are measured from.
@@ -39,52 +112,157 @@ pub fn trace_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-fn now_s() -> f64 {
-    EPOCH
-        .get()
-        .map(|e| e.elapsed().as_secs_f64())
-        .unwrap_or(0.0)
+/// Sets the shared record capacity of the sink (all shards together).
+/// Takes effect for subsequent records; already-buffered records are
+/// never discarded. The process default is [`SINK_CAP`].
+pub fn set_trace_capacity(cap: usize) {
+    CAPACITY.store(cap, Ordering::Relaxed);
 }
 
-fn sink() -> std::sync::MutexGuard<'static, Vec<Json>> {
-    SINK.lock().unwrap_or_else(|p| p.into_inner())
-}
-
-fn push_record(rec: Json) {
-    let mut s = sink();
-    if s.len() >= SINK_CAP {
-        DROPPED.fetch_add(1, Ordering::Relaxed);
+/// Pins the calling thread's lane — the `thread` value stamped on its
+/// records and the second component of the drain's `(at_s, thread, seq)`
+/// merge order. Parallel drivers (sweep and simulation workers) pin lane
+/// `worker_index + 1` so the merged drain is independent of OS thread
+/// identity; threads that never call this get an arbitrary high lane.
+/// No-op while tracing is disabled.
+pub fn set_trace_lane(lane: u64) {
+    if !trace_enabled() {
         return;
     }
-    s.push(rec);
+    let _ = LOCAL.try_with(|l| {
+        let mut l = l.borrow_mut();
+        shard_of(&mut l).lane.store(lane, Ordering::Relaxed);
+    });
+}
+
+/// Seconds since the trace epoch. The epoch is fixed on first use —
+/// either the first `set_trace_enabled(true)` or the first timestamp
+/// request — so `at_s` can never read `0.0` from an unset epoch and
+/// successive timestamps are non-decreasing.
+fn now_s() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// The calling thread's shard, created and registered on first use.
+fn shard_of(l: &mut LocalState) -> &Arc<Shard> {
+    l.shard.get_or_insert_with(|| {
+        let shard = Arc::new(Shard {
+            lane: AtomicU64::new(NEXT_AUTO_LANE.fetch_add(1, Ordering::Relaxed)),
+            records: Mutex::new(Vec::new()),
+        });
+        REGISTRY
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Arc::clone(&shard));
+        shard
+    })
+}
+
+/// Reserves one slot of the shared record budget; on failure the record
+/// is counted as dropped (exactly once).
+fn reserve_slot() -> bool {
+    let cap = CAPACITY.load(Ordering::Relaxed);
+    let mut cur = BUFFERED.load(Ordering::Relaxed);
+    loop {
+        if cur >= cap {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        match BUFFERED.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Appends one record to the calling thread's shard. `make` receives the
+/// record's `(lane, seq, parent_id)` — the parent is the innermost open
+/// span on this thread, if any.
+fn push_record(at_s: f64, make: impl FnOnce(u64, u64, Option<u64>) -> Json) {
+    if !reserve_slot() {
+        return;
+    }
+    let appended = LOCAL.try_with(|l| {
+        let mut l = l.borrow_mut();
+        let parent = l.stack.last().copied();
+        let shard = shard_of(&mut l);
+        let lane = shard.lane.load(Ordering::Relaxed);
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed);
+        let line = make(lane, seq, parent);
+        shard
+            .records
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Rec {
+                at_s,
+                lane,
+                seq,
+                line,
+            });
+    });
+    if appended.is_err() {
+        // Thread-local storage already destroyed (record from a late
+        // thread-exit destructor): give the slot back, count the drop.
+        BUFFERED.fetch_sub(1, Ordering::Relaxed);
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn fields_obj(fields: Vec<(&'static str, Json)>) -> Json {
     Json::obj(fields)
 }
 
+/// Base pairs shared by every v2 span/event record.
+fn v2_base(
+    kind: &'static str,
+    name: &'static str,
+    at_s: f64,
+    lane: u64,
+    seq: u64,
+) -> Vec<(&'static str, Json)> {
+    vec![
+        ("schema", Json::Str(crate::SCHEMA_V2.into())),
+        ("kind", Json::Str(kind.into())),
+        ("name", Json::Str(name.into())),
+        ("at_s", Json::Num(at_s)),
+        ("thread", Json::Num(lane as f64)),
+        ("seq", Json::Num(seq as f64)),
+    ]
+}
+
 /// Records a point-in-time event. `fields` is only invoked (and only
-/// allocates) when tracing is enabled.
+/// allocates) when tracing is enabled. The event inherits the innermost
+/// open [`Span`] on this thread as `parent_id`.
 pub fn event(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Json)>) {
     if !trace_enabled() {
         return;
     }
-    push_record(Json::obj([
-        ("schema", Json::Str(crate::SCHEMA.into())),
-        ("kind", Json::Str("event".into())),
-        ("name", Json::Str(name.into())),
-        ("at_s", Json::Num(now_s())),
-        ("fields", fields_obj(fields())),
-    ]));
+    let at_s = now_s();
+    let fields = fields_obj(fields());
+    push_record(at_s, |lane, seq, parent| {
+        let mut pairs = v2_base("event", name, at_s, lane, seq);
+        if let Some(p) = parent {
+            pairs.push(("parent_id", Json::Num(p as f64)));
+        }
+        pairs.push(("fields", fields));
+        Json::obj(pairs)
+    });
 }
 
-/// An in-progress span: records its name, start offset and duration when
-/// dropped. Construct with [`Span::enter`]; attach fields with
+/// An in-progress span: records its name, ids, start offset and duration
+/// when dropped. Construct with [`Span::enter`]; attach fields with
 /// [`Span::field`]. When tracing is disabled the span is inert and
 /// allocation-free.
+///
+/// A live span sits on its thread's span stack from `enter` to drop, so
+/// spans and events started in between become its children. Spans are
+/// expected to be entered and dropped on the same thread; a span dropped
+/// elsewhere still records, but cannot close its stack entry.
 pub struct Span {
     name: &'static str,
     start: Option<(f64, Instant)>,
+    id: u64,
+    parent: Option<u64>,
     fields: Vec<(&'static str, Json)>,
 }
 
@@ -92,10 +270,29 @@ impl Span {
     /// Starts a span. Inert (no clock read, no allocation) when tracing
     /// is disabled.
     pub fn enter(name: &'static str) -> Span {
-        let start = trace_enabled().then(|| (now_s(), Instant::now()));
+        if !trace_enabled() {
+            return Span {
+                name,
+                start: None,
+                id: 0,
+                parent: None,
+                fields: Vec::new(),
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = LOCAL
+            .try_with(|l| {
+                let mut l = l.borrow_mut();
+                let parent = l.stack.last().copied();
+                l.stack.push(id);
+                parent
+            })
+            .unwrap_or(None);
         Span {
             name,
-            start,
+            start: Some((now_s(), Instant::now())),
+            id,
+            parent,
             fields: Vec::new(),
         }
     }
@@ -111,30 +308,63 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        if let Some((at_s, t0)) = self.start.take() {
-            let fields = std::mem::take(&mut self.fields);
-            push_record(Json::obj([
-                ("schema", Json::Str(crate::SCHEMA.into())),
-                ("kind", Json::Str("span".into())),
-                ("name", Json::Str(self.name.into())),
-                ("at_s", Json::Num(at_s)),
-                ("dur_s", Json::Num(t0.elapsed().as_secs_f64())),
-                ("fields", fields_obj(fields)),
-            ]));
-        }
+        let Some((at_s, t0)) = self.start.take() else {
+            return;
+        };
+        let id = self.id;
+        // Close the stack entry. Searching from the top keeps this
+        // robust to out-of-order drops of sibling spans.
+        let _ = LOCAL.try_with(|l| {
+            let mut l = l.borrow_mut();
+            if let Some(i) = l.stack.iter().rposition(|&s| s == id) {
+                l.stack.remove(i);
+            }
+        });
+        let dur_s = t0.elapsed().as_secs_f64();
+        let name = self.name;
+        let parent = self.parent;
+        let fields = fields_obj(std::mem::take(&mut self.fields));
+        push_record(at_s, |lane, seq, _| {
+            let mut pairs = v2_base("span", name, at_s, lane, seq);
+            pairs.push(("dur_s", Json::Num(dur_s)));
+            pairs.push(("span_id", Json::Num(id as f64)));
+            if let Some(p) = parent {
+                pairs.push(("parent_id", Json::Num(p as f64)));
+            }
+            pairs.push(("fields", fields));
+            Json::obj(pairs)
+        });
     }
 }
 
-/// Drains the sink: returns all buffered records (oldest first) and the
-/// number of records dropped since the last drain, resetting both.
+/// Drains the sink: merges all shards into one sequence ordered by
+/// `(at_s, thread, seq)` and returns it (plus the number of records
+/// dropped since the last drain), resetting both. Shards of exited
+/// threads are reclaimed. Intended to be called at a quiescent point
+/// (concurrent recording during the drain lands in the next one).
 pub fn drain() -> (Vec<Json>, u64) {
-    let records = std::mem::take(&mut *sink());
+    let mut recs: Vec<Rec> = Vec::new();
+    {
+        let mut reg = REGISTRY.lock().unwrap_or_else(|p| p.into_inner());
+        reg.retain(|shard| {
+            recs.append(&mut shard.records.lock().unwrap_or_else(|p| p.into_inner()));
+            // Only the registry holds shards of exited threads.
+            Arc::strong_count(shard) > 1
+        });
+    }
+    BUFFERED.store(0, Ordering::Relaxed);
     let dropped = DROPPED.swap(0, Ordering::Relaxed);
-    (records, dropped)
+    recs.sort_by(|a, b| {
+        a.at_s
+            .total_cmp(&b.at_s)
+            .then(a.lane.cmp(&b.lane))
+            .then(a.seq.cmp(&b.seq))
+    });
+    (recs.into_iter().map(|r| r.line).collect(), dropped)
 }
 
-/// Drains the sink and renders it as `nsr-obs/v1` JSON-lines: a `meta`
-/// record (carrying the dropped count) followed by the buffered records.
+/// Drains the sink and renders it as JSON-lines: a `meta` record
+/// (carrying the dropped count) followed by the merged records.
 pub fn trace_jsonl(source: &str) -> String {
     let (records, dropped) = drain();
     let mut out = String::new();
@@ -160,6 +390,99 @@ pub fn write_trace(path: &Path, source: &str) -> std::io::Result<usize> {
     let records = text.lines().count();
     std::fs::write(path, text)?;
     Ok(records)
+}
+
+/// Rewrites drained trace JSON-lines into a **canonical** form that is
+/// byte-identical across scheduling orders whenever the *multiset* of
+/// recorded work is the same:
+///
+/// * `at_s` and `dur_s` are zeroed (wall-clock normalization);
+/// * `thread` and `seq` are dropped;
+/// * `span_id` / `parent_id` are replaced by the span's causal name path
+///   (`"root/child/…"`, from following `parent_id` links);
+/// * the lines are sorted lexicographically.
+///
+/// This is what the parallel-determinism tests compare: a deterministic
+/// workload traced at 1, 3 and 8 workers canonicalizes to identical
+/// bytes.
+///
+/// # Errors
+///
+/// Returns a description if a line fails to parse, a `parent_id` does
+/// not resolve to an emitted `span_id`, or the parent links form a cycle.
+pub fn canonical_jsonl(text: &str) -> Result<String, String> {
+    let mut docs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        docs.push(doc);
+    }
+    // Map span_id -> (name, parent_id) so ids can become name paths.
+    let mut spans: std::collections::HashMap<u64, (String, Option<u64>)> =
+        std::collections::HashMap::new();
+    for doc in &docs {
+        if doc.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let Some(id) = doc.get("span_id").and_then(Json::as_f64) else {
+            continue; // v1 span: nothing to resolve
+        };
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let parent = doc
+            .get("parent_id")
+            .and_then(Json::as_f64)
+            .map(|p| p as u64);
+        spans.insert(id as u64, (name, parent));
+    }
+    let path_of = |mut id: u64| -> Result<String, String> {
+        let mut parts = Vec::new();
+        loop {
+            let (name, parent) = spans
+                .get(&id)
+                .ok_or_else(|| format!("parent_id {id} does not resolve to a span_id"))?;
+            parts.push(name.clone());
+            if parts.len() > spans.len() {
+                return Err(format!("span parent cycle through id {id}"));
+            }
+            match parent {
+                Some(p) => id = *p,
+                None => break,
+            }
+        }
+        parts.reverse();
+        Ok(parts.join("/"))
+    };
+    let mut lines = Vec::with_capacity(docs.len());
+    for doc in docs {
+        let Json::Obj(mut map) = doc else {
+            return Err("record is not an object".into());
+        };
+        if map.contains_key("at_s") {
+            map.insert("at_s".into(), Json::Num(0.0));
+        }
+        if map.contains_key("dur_s") {
+            map.insert("dur_s".into(), Json::Num(0.0));
+        }
+        map.remove("thread");
+        map.remove("seq");
+        if let Some(id) = map.get("span_id").and_then(Json::as_f64) {
+            map.insert("span_id".into(), Json::Str(path_of(id as u64)?));
+        }
+        if let Some(p) = map.get("parent_id").and_then(Json::as_f64) {
+            map.insert("parent_id".into(), Json::Str(path_of(p as u64)?));
+        }
+        lines.push(Json::Obj(map).render_compact());
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -198,7 +521,12 @@ mod tests {
         assert_eq!(n, 3, "meta + event + span: {text}");
         let span_line = text.lines().find(|l| l.contains("test.span")).unwrap();
         let doc = Json::parse(span_line).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(crate::SCHEMA_V2)
+        );
         assert!(doc.get("dur_s").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(doc.get("span_id").and_then(Json::as_f64).unwrap() >= 1.0);
         assert_eq!(
             doc.get("fields")
                 .and_then(|f| f.get("items"))
@@ -208,17 +536,161 @@ mod tests {
     }
 
     #[test]
-    fn sink_is_bounded() {
+    fn nested_spans_and_events_link_to_their_parents() {
         let _g = test_guard();
         set_trace_enabled(true);
         drain();
-        // Fill beyond capacity via the low-level path (cheap records).
-        for _ in 0..SINK_CAP + 5 {
-            push_record(Json::Null);
+        {
+            let _outer = Span::enter("test.outer");
+            event("test.inner.event", Vec::new);
+            let _inner = Span::enter("test.inner");
         }
         set_trace_enabled(false);
+        let (records, _) = drain();
+        assert_eq!(records.len(), 3);
+        let find = |name: &str| {
+            records
+                .iter()
+                .find(|r| r.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap()
+        };
+        let outer_id = find("test.outer").get("span_id").and_then(Json::as_f64);
+        assert!(outer_id.is_some());
+        assert!(find("test.outer").get("parent_id").is_none());
+        for child in ["test.inner", "test.inner.event"] {
+            assert_eq!(
+                find(child).get("parent_id").and_then(Json::as_f64),
+                outer_id,
+                "{child} should nest under test.outer"
+            );
+        }
+    }
+
+    #[test]
+    fn event_timestamps_are_nondecreasing() {
+        // Regression: `now_s` used to return a constant 0.0 whenever the
+        // epoch had not been initialized; it now self-initializes.
+        let _g = test_guard();
+        set_trace_enabled(true);
+        drain();
+        event("test.tick", Vec::new);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        event("test.tick", Vec::new);
+        event("test.tick", Vec::new);
+        set_trace_enabled(false);
+        let (records, _) = drain();
+        let stamps: Vec<f64> = records
+            .iter()
+            .map(|r| r.get("at_s").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(stamps.len(), 3);
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
+        // The sleep separates the epoch from the later stamps, so a
+        // constant-zero clock cannot pass this.
+        assert!(stamps[2] > 0.0, "{stamps:?}");
+    }
+
+    #[test]
+    fn sink_capacity_bounds_records_with_exact_drop_accounting() {
+        let _g = test_guard();
+        set_trace_enabled(true);
+        drain();
+        set_trace_capacity(4);
+        for _ in 0..9 {
+            event("test.cap", Vec::new);
+        }
+        set_trace_enabled(false);
+        let text = trace_jsonl("cap-test");
+        set_trace_capacity(SINK_CAP);
+        let meta = Json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(meta.get("dropped").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(text.lines().count(), 5, "meta + 4 kept records: {text}");
+        // The drain reset the budget: recording works again.
+        set_trace_enabled(true);
+        event("test.cap", Vec::new);
+        set_trace_enabled(false);
         let (records, dropped) = drain();
-        assert_eq!(records.len(), SINK_CAP);
-        assert_eq!(dropped, 5);
+        assert_eq!((records.len(), dropped), (1, 0));
+    }
+
+    #[test]
+    fn parallel_threads_record_without_loss_and_merge_deterministically() {
+        let _g = test_guard();
+        set_trace_enabled(true);
+        drain();
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                scope.spawn(move || {
+                    set_trace_lane(w + 1);
+                    for i in 0..25 {
+                        let mut s = Span::enter("test.par");
+                        s.field("i", || Json::Num(f64::from(i)));
+                    }
+                });
+            }
+        });
+        set_trace_enabled(false);
+        let (records, dropped) = drain();
+        assert_eq!(records.len(), 100);
+        assert_eq!(dropped, 0);
+        // Merged order is (at_s, thread, seq): check it is a total order
+        // actually sorted.
+        let keys: Vec<(f64, f64, f64)> = records
+            .iter()
+            .map(|r| {
+                (
+                    r.get("at_s").and_then(Json::as_f64).unwrap(),
+                    r.get("thread").and_then(Json::as_f64).unwrap(),
+                    r.get("seq").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.total_cmp(&b.2))
+        });
+        assert_eq!(keys, sorted);
+        let lanes: std::collections::BTreeSet<u64> = keys.iter().map(|k| k.1 as u64).collect();
+        assert_eq!(lanes, (1..=4).collect());
+    }
+
+    #[test]
+    fn canonical_jsonl_is_stable_across_lane_and_time_jitter() {
+        let _g = test_guard();
+        let run = |lane: u64| {
+            set_trace_enabled(true);
+            drain();
+            set_trace_lane(lane);
+            {
+                let mut outer = Span::enter("test.canon.outer");
+                outer.field("k", || Json::Num(7.0));
+                event("test.canon.tick", Vec::new);
+            }
+            set_trace_enabled(false);
+            let text = trace_jsonl("canon");
+            canonical_jsonl(&text).unwrap()
+        };
+        let a = run(1);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = run(9);
+        assert_eq!(a, b);
+        assert!(a.contains("\"span_id\":\"test.canon.outer\""), "{a}");
+        assert!(
+            a.contains("\"parent_id\":\"test.canon.outer\""),
+            "event keeps its causal path: {a}"
+        );
+    }
+
+    #[test]
+    fn canonical_jsonl_rejects_orphan_parents() {
+        let line = format!(
+            "{{\"schema\":\"{}\",\"kind\":\"event\",\"name\":\"x\",\"at_s\":0.1,\
+             \"thread\":1,\"seq\":0,\"parent_id\":42,\"fields\":{{}}}}\n",
+            crate::SCHEMA_V2
+        );
+        let err = canonical_jsonl(&line).unwrap_err();
+        assert!(err.contains("42"), "{err}");
     }
 }

@@ -480,6 +480,24 @@ pub enum TraceEvent {
     Survived,
 }
 
+impl TraceEvent {
+    /// The canonical label for this event — the text [`EventTrace::render`]
+    /// prints after the timestamp, and the vocabulary post-mortem loss
+    /// signatures are built from ([`crate::postmortem::PostMortem`]).
+    pub fn label(&self) -> String {
+        match self {
+            TraceEvent::Injected(k) => format!("inject {k}"),
+            TraceEvent::NaturalNodeFailure => "fail node".to_string(),
+            TraceEvent::NaturalDriveFailure => "fail drive".to_string(),
+            TraceEvent::NodeRebuilt => "rebuilt node".to_string(),
+            TraceEvent::DriveRebuilt => "rebuilt drive".to_string(),
+            TraceEvent::LatentRepaired => "latent repaired".to_string(),
+            TraceEvent::Loss(kind) => format!("LOSS {kind}"),
+            TraceEvent::Survived => "survived".to_string(),
+        }
+    }
+}
+
 /// Why a campaign lost data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LossKind {
@@ -521,21 +539,17 @@ impl EventTrace {
         &self.events
     }
 
+    /// The last `n` (time, event) pairs, oldest first — the bounded ring
+    /// view post-mortems are built from.
+    pub fn tail(&self, n: usize) -> &[(f64, TraceEvent)] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+
     /// Canonical text rendering (one event per line, fixed formatting).
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (t, e) in &self.events {
-            let label = match e {
-                TraceEvent::Injected(k) => format!("inject {k}"),
-                TraceEvent::NaturalNodeFailure => "fail node".to_string(),
-                TraceEvent::NaturalDriveFailure => "fail drive".to_string(),
-                TraceEvent::NodeRebuilt => "rebuilt node".to_string(),
-                TraceEvent::DriveRebuilt => "rebuilt drive".to_string(),
-                TraceEvent::LatentRepaired => "latent repaired".to_string(),
-                TraceEvent::Loss(kind) => format!("LOSS {kind}"),
-                TraceEvent::Survived => "survived".to_string(),
-            };
-            out.push_str(&format!("{t:>18.6}h  {label}\n"));
+            out.push_str(&format!("{t:>18.6}h  {}\n", e.label()));
         }
         out
     }
@@ -592,6 +606,10 @@ pub struct CampaignSummary {
     pub mean_injected: f64,
     /// Seeds of the runs that lost data (for replay).
     pub loss_seeds: Vec<u64>,
+    /// The most frequent loss signatures (event-chain tails, see
+    /// [`crate::postmortem::PostMortem::signature`]) with their counts,
+    /// descending.
+    pub loss_signatures: Vec<(String, u64)>,
 }
 
 impl CampaignSummary {
@@ -600,6 +618,9 @@ impl CampaignSummary {
         self.survived as f64 / self.runs as f64
     }
 }
+
+/// How many distinct loss signatures a campaign summary keeps.
+const TOP_SIGNATURES: usize = 5;
 
 /// Derives the per-run seed for run `i` of a campaign batch.
 pub fn run_seed(base_seed: u64, i: u64) -> u64 {
@@ -633,8 +654,14 @@ impl<'a> Campaign<'a> {
     /// out before loss or horizon (pathological plans only).
     pub fn run(&self, seed: u64) -> Result<CampaignReport> {
         let mut rng = StdRng::seed_from_u64(seed);
-        self.run_with(&mut rng, seed, Some(self.plan.horizon_hours))
-            .map(|(report, _)| report)
+        let (report, ()) = self.run_with(&mut rng, seed, Some(self.plan.horizon_hours))?;
+        // A losing run tells its causal story as nested v2 spans.
+        if !report.survived && nsr_obs::trace_enabled() {
+            if let Some(pm) = crate::postmortem::PostMortem::from_report(&report) {
+                pm.emit_spans();
+            }
+        }
+        Ok(report)
     }
 
     /// Runs `runs` trajectories with seeds derived from `base_seed` and
@@ -654,6 +681,7 @@ impl<'a> Campaign<'a> {
         let mut degraded = 0.0;
         let mut injected = 0.0;
         let mut loss_seeds = Vec::new();
+        let mut post_mortems = Vec::new();
         for i in 0..runs {
             let seed = run_seed(base_seed, i);
             let r = self.run(seed)?;
@@ -666,10 +694,14 @@ impl<'a> Campaign<'a> {
                     LossKind::SectorError => losses.1 += 1,
                     LossKind::LatentError => losses.2 += 1,
                 }
+                if let Some(pm) = crate::postmortem::PostMortem::from_report(&r) {
+                    post_mortems.push(pm);
+                }
             }
             degraded += r.degraded_fraction();
             injected += r.injected_events as f64;
         }
+        let loss_signatures = crate::postmortem::top_signatures(&post_mortems, TOP_SIGNATURES);
         crate::obs::INJECT_RUNS.add(runs);
         crate::obs::INJECT_LOSSES.add(runs - survived);
         nsr_obs::trace::event("sim.inject.campaign", || {
@@ -687,6 +719,7 @@ impl<'a> Campaign<'a> {
             mean_degraded_fraction: degraded / runs as f64,
             mean_injected: injected / runs as f64,
             loss_seeds,
+            loss_signatures,
         })
     }
 

@@ -52,6 +52,7 @@ mod error;
 pub mod faultinject;
 pub mod importance;
 pub mod obs;
+pub mod postmortem;
 pub mod system;
 
 pub use error::Error;

@@ -1,0 +1,319 @@
+//! Loss post-mortems: the causal story of a fault-injection run that
+//! lost data, carved from the run's replayable [`EventTrace`] and emitted
+//! as nested `nsr-obs/v2` spans.
+//!
+//! A [`PostMortem`] is the bounded tail ([`RING_CAP`] events) of the
+//! trace leading up to the loss — the failure sequence, rebuild
+//! completions and latent repairs immediately before the end — plus the
+//! run's degraded-time accounting and the number of failures still
+//! awaiting rebuild when the data died. [`Campaign::run_many`] aggregates
+//! post-mortems into per-plan *loss signatures* (the most frequent event
+//! chains, see [`PostMortem::signature`]), surfaced in
+//! `CampaignSummary::loss_signatures` and by `nsr inject`.
+//!
+//! [`Campaign::run_many`]: crate::faultinject::Campaign::run_many
+
+use crate::faultinject::{CampaignReport, EventTrace, LossKind, TraceEvent};
+
+/// Maximum number of trailing events a post-mortem retains — the size of
+/// the per-sample ring. Losses are caused by short bursts of correlated
+/// failures, so a bounded window loses nothing in practice while keeping
+/// the record (and its span emission) O(1) per run.
+pub const RING_CAP: usize = 32;
+
+/// How many trailing event labels form the loss [signature]
+/// (`PostMortem::signature`): long enough to distinguish "burst of
+/// injected crashes" from "natural double failure", short enough that
+/// equal failure mechanisms aggregate across seeds.
+///
+/// [signature]: PostMortem::signature
+pub const SIGNATURE_EVENTS: usize = 5;
+
+/// The causal record of one data-losing campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PostMortem {
+    /// Seed of the losing run (replayable).
+    pub seed: u64,
+    /// Why the data died.
+    pub loss: LossKind,
+    /// Simulated hours at the moment of loss.
+    pub at_hours: f64,
+    /// The event chain leading to the loss: the last [`RING_CAP`]
+    /// `(time_hours, label)` pairs of the run's trace, oldest first. The
+    /// final entry is always the `LOSS …` event itself.
+    pub chain: Vec<(f64, String)>,
+    /// Events that happened before the ring window (dropped from
+    /// [`PostMortem::chain`]).
+    pub truncated: usize,
+    /// Hours the run spent degraded before the loss.
+    pub degraded_hours: f64,
+    /// Failures not yet rebuilt at the moment of loss (including the
+    /// failure that triggered it) — the rebuild progress picture.
+    pub failures_outstanding: u64,
+}
+
+impl PostMortem {
+    /// Builds the post-mortem for a losing run; `None` if it survived.
+    pub fn from_report(report: &CampaignReport) -> Option<PostMortem> {
+        let (at_hours, loss) = report.loss?;
+        let events = report.trace.events();
+        let chain: Vec<(f64, String)> = report
+            .trace
+            .tail(RING_CAP)
+            .iter()
+            .map(|(t, e)| (*t, e.label()))
+            .collect();
+        Some(PostMortem {
+            seed: report.seed,
+            loss,
+            at_hours,
+            truncated: events.len() - chain.len(),
+            chain,
+            degraded_hours: report.degraded_hours,
+            failures_outstanding: failures_outstanding(&report.trace),
+        })
+    }
+
+    /// The loss signature: the last [`SIGNATURE_EVENTS`] event labels
+    /// joined with `" > "`. Runs that die by the same mechanism produce
+    /// the same signature regardless of seed or timing, so signatures
+    /// aggregate by frequency across a campaign.
+    pub fn signature(&self) -> String {
+        let tail = &self.chain[self.chain.len().saturating_sub(SIGNATURE_EVENTS)..];
+        tail.iter()
+            .map(|(_, label)| label.as_str())
+            .collect::<Vec<_>>()
+            .join(" > ")
+    }
+
+    /// Emits the post-mortem as nested `nsr-obs/v2` spans: one
+    /// `sim.postmortem` span carrying the verdict fields, with one child
+    /// `sim.postmortem.event` per chain entry (linked via `parent_id`).
+    /// No-op while tracing is disabled.
+    pub fn emit_spans(&self) {
+        if !nsr_obs::trace_enabled() {
+            return;
+        }
+        use nsr_obs::Json;
+        let loss = self.loss.to_string();
+        let signature = self.signature();
+        let mut span = nsr_obs::Span::enter("sim.postmortem");
+        span.field("seed", || Json::Num(self.seed as f64));
+        span.field("loss", || Json::Str(loss));
+        span.field("at_hours", || Json::Num(self.at_hours));
+        span.field("degraded_hours", || Json::Num(self.degraded_hours));
+        span.field("failures_outstanding", || {
+            Json::Num(self.failures_outstanding as f64)
+        });
+        span.field("truncated", || Json::Num(self.truncated as f64));
+        span.field("signature", || Json::Str(signature));
+        for (t, label) in &self.chain {
+            let (t, label) = (*t, label.clone());
+            nsr_obs::trace::event("sim.postmortem.event", || {
+                vec![("t_hours", Json::Num(t)), ("what", Json::Str(label))]
+            });
+        }
+    }
+
+    /// Plain-text rendering: one header line plus the chain, matching
+    /// [`EventTrace::render`]'s line format.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "post-mortem seed={} loss={} at {:.3}h (degraded {:.3}h, {} failure(s) outstanding{})\n",
+            self.seed,
+            self.loss,
+            self.at_hours,
+            self.degraded_hours,
+            self.failures_outstanding,
+            if self.truncated > 0 {
+                format!(", {} earlier event(s) elided", self.truncated)
+            } else {
+                String::new()
+            }
+        );
+        for (t, label) in &self.chain {
+            out.push_str(&format!("{t:>18.6}h  {label}\n"));
+        }
+        out
+    }
+}
+
+/// Failures started minus rebuilds completed over the whole trace — the
+/// number of components still down (rebuild pending or in progress) at
+/// the end of the run.
+fn failures_outstanding(trace: &EventTrace) -> u64 {
+    let mut down = 0i64;
+    for (_, e) in trace.events() {
+        match e {
+            TraceEvent::Injected(k) => {
+                use crate::faultinject::FaultKind;
+                if matches!(k, FaultKind::NodeCrash | FaultKind::DriveFailure) {
+                    down += 1;
+                }
+            }
+            TraceEvent::NaturalNodeFailure | TraceEvent::NaturalDriveFailure => down += 1,
+            TraceEvent::NodeRebuilt | TraceEvent::DriveRebuilt => down -= 1,
+            _ => {}
+        }
+    }
+    down.max(0) as u64
+}
+
+/// Tallies signatures by frequency: descending count, ties broken
+/// alphabetically, truncated to the `top` most frequent.
+pub fn top_signatures(post_mortems: &[PostMortem], top: usize) -> Vec<(String, u64)> {
+    let mut counts: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for pm in post_mortems {
+        *counts.entry(pm.signature()).or_insert(0) += 1;
+    }
+    let mut out: Vec<(String, u64)> = counts.into_iter().collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out.truncate(top);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faultinject::{Campaign, FaultKind, FaultPlan};
+    use crate::system::SystemSim;
+    use nsr_core::config::Configuration;
+    use nsr_core::params::Params;
+    use nsr_core::raid::InternalRaid;
+
+    fn losing_report() -> CampaignReport {
+        // Same scenario the fault-injection tests pin: an FT1 burst of
+        // three drive failures 0.1 h apart must overwhelm a single-fault
+        // code just after t = 10 h.
+        let sim = SystemSim::new(
+            Params::baseline(),
+            Configuration::new(InternalRaid::None, 1).unwrap(),
+        )
+        .unwrap();
+        let plan = FaultPlan::builder()
+            .burst(10.0, 3, 0.1)
+            .horizon_hours(1000.0)
+            .build()
+            .unwrap();
+        let r = Campaign::new(&sim, &plan).run(7).unwrap();
+        assert!(!r.survived, "burst beyond tolerance must lose data");
+        r
+    }
+
+    #[test]
+    fn post_mortem_chain_matches_the_injected_failure_sequence() {
+        // The golden acceptance test: the post-mortem's event chain is
+        // exactly the trace of the injected run.
+        let r = losing_report();
+        let pm = PostMortem::from_report(&r).expect("loss present");
+        assert_eq!(pm.seed, 7);
+        assert_eq!(pm.truncated, 0, "short run fits the ring");
+        let expected: Vec<(f64, String)> = r
+            .trace
+            .events()
+            .iter()
+            .map(|(t, e)| (*t, e.label()))
+            .collect();
+        assert_eq!(pm.chain, expected);
+        // The chain starts with the first injected burst failure and ends
+        // with the loss verdict.
+        assert_eq!(
+            pm.chain[0].1,
+            TraceEvent::Injected(FaultKind::NodeCrash).label()
+        );
+        assert!((pm.chain[0].0 - 10.0).abs() < 1e-9);
+        let (t_loss, last) = pm.chain.last().unwrap();
+        assert!(last.starts_with("LOSS "), "{last}");
+        assert_eq!((*t_loss, pm.loss), (pm.at_hours, r.loss.unwrap().1));
+        assert!(pm.at_hours >= 10.0 && pm.at_hours <= 10.2);
+        assert!(pm.failures_outstanding >= 1);
+        assert!(pm.render().contains("post-mortem seed=7"));
+    }
+
+    #[test]
+    fn survived_runs_have_no_post_mortem() {
+        let sim = SystemSim::new(
+            Params::baseline(),
+            Configuration::new(InternalRaid::None, 2).unwrap(),
+        )
+        .unwrap();
+        let plan = FaultPlan::builder()
+            .at(5.0, FaultKind::DriveFailure)
+            .horizon_hours(10.0)
+            .build()
+            .unwrap();
+        let r = Campaign::new(&sim, &plan).run(3).unwrap();
+        assert!(r.survived);
+        assert_eq!(PostMortem::from_report(&r), None);
+    }
+
+    #[test]
+    fn ring_bounds_the_chain_and_counts_truncation() {
+        // Twenty well-spaced injected drive failures each rebuild cleanly
+        // (40 events), then a terminal burst kills the FT2 system: the
+        // trace outgrows the ring and the post-mortem keeps only the tail.
+        let sim = SystemSim::new(
+            Params::baseline(),
+            Configuration::new(InternalRaid::None, 2).unwrap(),
+        )
+        .unwrap();
+        let mut b = FaultPlan::builder();
+        for i in 1..=20 {
+            b = b.at(100.0 * f64::from(i), FaultKind::DriveFailure);
+        }
+        let plan = b
+            .burst(2500.0, 3, 0.01)
+            .horizon_hours(4000.0)
+            .build()
+            .unwrap();
+        let r = Campaign::new(&sim, &plan).run(5).unwrap();
+        assert!(!r.survived, "terminal burst must lose data");
+        let total = r.trace.events().len();
+        assert!(total > RING_CAP, "need a long run, got {total} events");
+        let pm = PostMortem::from_report(&r).unwrap();
+        assert_eq!(pm.chain.len(), RING_CAP);
+        assert_eq!(pm.truncated, total - RING_CAP);
+        assert!(pm.render().contains("elided"));
+        // A signature uses at most SIGNATURE_EVENTS labels.
+        assert!(pm.signature().matches(" > ").count() < SIGNATURE_EVENTS);
+    }
+
+    #[test]
+    fn signatures_aggregate_by_frequency() {
+        let r = losing_report();
+        let pm = PostMortem::from_report(&r).unwrap();
+        let sigs = top_signatures(&[pm.clone(), pm.clone(), pm], 5);
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].1, 3);
+        assert!(sigs[0].0.contains("LOSS "), "{}", sigs[0].0);
+    }
+
+    #[test]
+    fn emitted_spans_nest_events_under_the_post_mortem() {
+        let r = losing_report();
+        let pm = PostMortem::from_report(&r).unwrap();
+        nsr_obs::set_trace_enabled(true);
+        let _ = nsr_obs::trace::drain();
+        pm.emit_spans();
+        nsr_obs::set_trace_enabled(false);
+        let text = nsr_obs::trace_jsonl("postmortem-test");
+        nsr_obs::validate_jsonl(&text).unwrap();
+        nsr_obs::validate_span_links(&text).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let span_line = lines
+            .iter()
+            .find(|l| l.contains("\"sim.postmortem\""))
+            .unwrap();
+        let doc = nsr_obs::Json::parse(span_line).unwrap();
+        let id = doc.get("span_id").and_then(nsr_obs::Json::as_f64).unwrap();
+        let children: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("sim.postmortem.event"))
+            .collect();
+        assert_eq!(children.len(), pm.chain.len());
+        for c in children {
+            let d = nsr_obs::Json::parse(c).unwrap();
+            assert_eq!(d.get("parent_id").and_then(nsr_obs::Json::as_f64), Some(id));
+        }
+    }
+}

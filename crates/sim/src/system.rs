@@ -460,6 +460,7 @@ impl SystemSim {
                     let chunk = split.chunk(i);
                     let sim = self.clone();
                     scope.spawn(move || {
+                        nsr_obs::set_trace_lane(u64::from(i) + 1);
                         let r = sim.run(chunk, seed ^ (0x9e3779b9 * (i as u64 + 1)));
                         if let Ok(o) = &r {
                             nsr_obs::trace::event("sim.worker", || {
