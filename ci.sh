@@ -80,6 +80,25 @@ grep -q 'sim.postmortem' "$SMOKE_DIR/flight.md"
 ./target/release/nsr bench --compare BENCH_obs.json "$SMOKE_DIR/BENCH_obs.json" \
     --only disabled/ --threshold 400
 
+echo "==> cluster smoke (live brick daemons on loopback, kill -9, rebuild)"
+# Four real brick child processes, one kill -9 mid-campaign: zero data
+# loss, automatic rebuild to the spare, and a causal trace that passes
+# the structural checks. Then the determinism contract: the same
+# above-t burst campaign replayed twice must emit byte-identical
+# verdict and loss-signature lines (timing-dependent `info` lines are
+# excluded). Loopback only, no network access.
+./target/release/nsr cluster-inject --bricks 4 --plan kill9-single --seed 42 \
+    --trace-out "$SMOKE_DIR/cluster-trace.jsonl" | grep -q 'verdict=NO-LOSS lost=0'
+./target/release/nsr obs-check --file "$SMOKE_DIR/cluster-trace.jsonl" \
+    --require span:net.rebuild,event:net.detect.dead,event:net.cluster.kill9
+./target/release/nsr report --trace "$SMOKE_DIR/cluster-trace.jsonl" --check
+./target/release/nsr cluster-inject --bricks 6 --plan kill9-burst --seed 1 \
+    | grep -E '^(campaign|verdict|loss)' > "$SMOKE_DIR/burst-a.txt"
+./target/release/nsr cluster-inject --bricks 6 --plan kill9-burst --seed 1 \
+    | grep -E '^(campaign|verdict|loss)' > "$SMOKE_DIR/burst-b.txt"
+diff "$SMOKE_DIR/burst-a.txt" "$SMOKE_DIR/burst-b.txt"
+grep -q 'verdict=LOSS' "$SMOKE_DIR/burst-a.txt"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

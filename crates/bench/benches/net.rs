@@ -1,0 +1,13 @@
+//! Benches for the networked brick store: wire-codec throughput, live
+//! loopback put/get (healthy and degraded), kill-to-declared-dead
+//! detection latency, and rebuild throughput. All bricks run as
+//! in-process threads on loopback, so the suite is fully offline.
+//! Emits `BENCH_net.json` (override with `--out <path>`; `--smoke`
+//! shrinks budgets). Run with `cargo bench -p nsr-bench --bench net`.
+
+fn main() {
+    if let Err(e) = nsr_bench::bench_suite_main("net") {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

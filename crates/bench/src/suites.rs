@@ -57,7 +57,7 @@ pub const SCHEMA: &str = "nsr-bench/v1";
 
 /// The suite names, in the order `all` runs them. `obs` runs last so its
 /// enable/disable toggling never overlaps another suite's measurements.
-pub const SUITE_NAMES: [&str; 5] = ["erasure", "solvers", "sweep", "sim", "obs"];
+pub const SUITE_NAMES: [&str; 6] = ["erasure", "solvers", "sweep", "sim", "net", "obs"];
 
 /// Measurement fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +166,7 @@ pub fn run_suite(name: &str, mode: Mode) -> Result<Suite, String> {
         "solvers" => solvers_suite(mode),
         "sweep" => sweep_suite(mode),
         "sim" => sim_suite(mode),
+        "net" => net_suite(mode),
         "obs" => obs_suite(mode),
         other => Err(format!(
             "unknown suite `{other}` (expected one of: {})",
@@ -541,6 +542,220 @@ pub fn sim_suite(mode: Mode) -> Result<Suite, String> {
 
     Ok(Suite {
         suite: "sim",
+        mode,
+        results,
+    })
+}
+
+/// The networked-brick-store suite: wire-codec throughput plus a live
+/// loopback cluster of four in-process brick threads at geometry
+/// `2 + 1` — healthy put/get, degraded (reconstructing) get, the wall
+/// clock from a brick going silent to the detector declaring it dead,
+/// and one timed end-to-end repair pass. Percentile and repair cases
+/// are single-shot wall-clock measurements, not iterated medians: a
+/// detection or rebuild cannot be replayed without re-killing a brick,
+/// so those numbers are indicative (like everything here) rather than
+/// statistically tight.
+pub fn net_suite(mode: Mode) -> Result<Suite, String> {
+    use std::time::{Duration, Instant};
+
+    use nsr_net::brick::{BrickConfig, BrickServer};
+    use nsr_net::client::BrickClient;
+    use nsr_net::detector::{DetectorConfig, Health};
+    use nsr_net::gateway::{Gateway, GatewayConfig, RetryPolicy};
+    use nsr_net::wire::Frame;
+
+    let t = mode.timing();
+    let (obj_bytes, label) = match mode {
+        Mode::Full => (64 * 1024usize, "64k"),
+        Mode::Smoke => (4 * 1024usize, "4k"),
+    };
+    let mut results = Vec::new();
+
+    // Pure wire-codec cases: no sockets involved.
+    let shard: Vec<u8> = (0..obj_bytes).map(|i| (i * 31 + 7) as u8).collect();
+    let frame = Frame::PutShard {
+        object: 42,
+        pos: 1,
+        data: shard,
+    };
+    results.push(t.measure(
+        &format!("wire/encode_put_{label}"),
+        obj_bytes as u64,
+        || frame.encode(),
+    ));
+    let encoded = frame.encode();
+    let body = &encoded[4..];
+    results.push(t.measure(
+        &format!("wire/decode_put_{label}"),
+        obj_bytes as u64,
+        || Frame::decode(body).expect("decode"),
+    ));
+
+    // Live loopback cluster: 4 brick threads, 2 data + 1 parity.
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..4u32 {
+        let (addr, handle) = BrickServer::bind("127.0.0.1:0", BrickConfig::new(id))
+            .map_err(err("bind brick"))?
+            .spawn();
+        addrs.push(addr);
+        handles.push(Some(handle));
+    }
+    let mut cfg = GatewayConfig::new(2, 1);
+    cfg.timeout = Duration::from_millis(250);
+    cfg.retry = RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(20),
+    };
+    cfg.detector = DetectorConfig {
+        suspect_phi: 1.0,
+        dead_phi: 3.0,
+        initial_interval_s: 0.02,
+        interval_alpha: 0.2,
+    };
+    let gw = Gateway::connect(addrs.clone(), cfg).map_err(err("gateway"))?;
+    // Heartbeat history at a steady ~20 ms cadence, like the campaign.
+    for _ in 0..8 {
+        gw.pump_heartbeats();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let data: Vec<u8> = (0..obj_bytes).map(|i| (i * 13 + 5) as u8).collect();
+    results.push(
+        t.measure(&format!("put/healthy_{label}"), obj_bytes as u64, || {
+            gw.put(0, &data).expect("put")
+        }),
+    );
+    results.push(
+        t.measure(&format!("get/healthy_{label}"), obj_bytes as u64, || {
+            gw.get(0).expect("get")
+        }),
+    );
+
+    // Kill-to-declared-dead latency: repeated silence/restart cycles on
+    // brick 3 (outside object 0's layout). Orderly shutdown looks the
+    // same as kill -9 from the gateway side — the brick stops answering.
+    let cycles = match mode {
+        Mode::Full => 15,
+        Mode::Smoke => 3,
+    };
+    let mut latencies_s: Vec<f64> = Vec::new();
+    for _ in 0..cycles {
+        let mut c = BrickClient::connect(addrs[3], Duration::from_millis(250))
+            .map_err(err("connect for kill"))?;
+        c.shutdown().map_err(err("shutdown"))?;
+        if let Some(h) = handles[3].take() {
+            let _ = h.join();
+        }
+        let killed_at = Instant::now();
+        let mut dead = false;
+        for _ in 0..500 {
+            dead = gw
+                .pump_heartbeats()
+                .iter()
+                .any(|tr| tr.brick == 3 && tr.to == Health::Dead);
+            if dead {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if !dead {
+            return Err("brick 3 never declared dead".to_string());
+        }
+        latencies_s.push(killed_at.elapsed().as_secs_f64());
+        // Restart empty on a fresh port and wait for re-adoption.
+        let (addr, handle) = BrickServer::bind("127.0.0.1:0", BrickConfig::new(3))
+            .map_err(err("rebind brick"))?
+            .spawn();
+        addrs[3] = addr;
+        handles[3] = Some(handle);
+        gw.set_brick_addr(3, addr);
+        for _ in 0..500 {
+            gw.pump_heartbeats();
+            gw.adopt_rejoined();
+            if gw.health_summary()[3].1 == Health::Healthy {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        if gw.health_summary()[3].1 != Health::Healthy {
+            return Err("brick 3 not re-adopted".to_string());
+        }
+    }
+    latencies_s.sort_by(f64::total_cmp);
+    let pct = |q: f64| latencies_s[((latencies_s.len() - 1) as f64 * q).round() as usize];
+    for (name, q) in [
+        ("detect/kill_to_dead_p50", 0.5),
+        ("detect/kill_to_dead_p99", 0.99),
+    ] {
+        results.push(Measurement {
+            name: name.to_string(),
+            ns_per_iter: pct(q) * 1e9,
+            bytes_per_iter: 0,
+            items_per_iter: 0,
+        });
+    }
+
+    // Rebuild throughput: load a working set, take down brick 1 (a
+    // data-shard holder for most layouts), measure the reconstructing
+    // read, then time one full repair pass onto the spare.
+    let n_objs: u64 = match mode {
+        Mode::Full => 32,
+        Mode::Smoke => 6,
+    };
+    for id in 1..=n_objs {
+        gw.put(id, &data).map_err(err("load put"))?;
+    }
+    let mut c = BrickClient::connect(addrs[1], Duration::from_millis(250))
+        .map_err(err("connect for kill"))?;
+    c.shutdown().map_err(err("shutdown"))?;
+    if let Some(h) = handles[1].take() {
+        let _ = h.join();
+    }
+    for _ in 0..500 {
+        if gw
+            .pump_heartbeats()
+            .iter()
+            .any(|tr| tr.brick == 1 && tr.to == Health::Dead)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Object 1's layout is [1, 2, 3]: its first data shard is on the
+    // dead brick, so every read reconstructs.
+    results.push(
+        t.measure(&format!("get/degraded_{label}"), obj_bytes as u64, || {
+            gw.get(1).expect("degraded get")
+        }),
+    );
+    let repair_t0 = Instant::now();
+    let report = gw.repair_all().map_err(err("repair"))?;
+    let repair_ns = repair_t0.elapsed().as_nanos() as f64;
+    if report.shards_moved == 0 {
+        return Err("repair pass moved no shards".to_string());
+    }
+    results.push(Measurement {
+        name: "rebuild/repair_all_pass".to_string(),
+        ns_per_iter: repair_ns.max(1.0),
+        bytes_per_iter: report.bytes_moved,
+        items_per_iter: report.shards_moved,
+    });
+
+    // Orderly teardown of the surviving brick threads.
+    for (id, slot) in handles.iter_mut().enumerate() {
+        if let Some(h) = slot.take() {
+            if let Ok(mut c) = BrickClient::connect(addrs[id], Duration::from_millis(250)) {
+                let _ = c.shutdown();
+            }
+            let _ = h.join();
+        }
+    }
+
+    Ok(Suite {
+        suite: "net",
         mode,
         results,
     })

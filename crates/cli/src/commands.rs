@@ -56,6 +56,14 @@ COMMANDS:
   obs-check   validate an nsr-obs JSON-lines file (--file F; checks v2
               span links resolve; --require pat1,pat2 demands records by
               name or kind:name, e.g. span:core.evaluate)
+  brick       run one storage-brick daemon (--listen ADDR, --id N);
+              announces `LISTENING <addr>` on stdout, serves until killed
+  gateway     striping gateway over running bricks (--bricks a:p,b:p,...,
+              --data K, --parity T, --rounds N); watches health, prints
+              transitions, auto-repairs after brick deaths
+  cluster-inject  live kill-9 campaign over real brick child processes
+              (--bricks N, --plan kill9-single|kill9-burst, --seed S);
+              verdict lines are deterministic for a (plan, seed, bricks)
   help        this text
 
 CONFIGS:  ft<k>-<nir|ir5|ir6>, e.g. ft1-nir, ft2-ir5, ft3-nir
@@ -100,6 +108,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
     nsr_core::obs::register();
     nsr_sim::obs::register();
     nsr_erasure::obs::register();
+    nsr_net::obs::register();
 
     let result = dispatch_cmd(args);
     nsr_obs::set_metrics_enabled(false);
@@ -137,6 +146,9 @@ fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
             }
         }
         "explain" => crate::explain::explain(args),
+        "brick" => crate::net_cmds::brick(args),
+        "gateway" => crate::net_cmds::gateway(args),
+        "cluster-inject" => crate::net_cmds::cluster_inject(args),
         "aging" => aging(args),
         "bench" => bench(args),
         "chain" => chain(args),

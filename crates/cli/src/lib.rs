@@ -21,6 +21,7 @@
 pub mod args;
 pub mod commands;
 pub mod explain;
+pub mod net_cmds;
 pub mod render;
 pub mod report;
 

@@ -1,0 +1,187 @@
+//! The networked-brick-store subcommands: `nsr brick` (a storage
+//! daemon), `nsr gateway` (a striping gateway with live failure
+//! detection and auto-repair), and `nsr cluster-inject` (the kill-9
+//! fault campaign over real child processes).
+//!
+//! `brick` and `gateway` are long-running daemons, so unlike the
+//! analytic commands they print progress to stdout as they go instead
+//! of returning one final string.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use nsr_net::brick::{BrickConfig, BrickServer};
+use nsr_net::cluster::{run_campaign, ClusterConfig};
+use nsr_net::detector::Health;
+use nsr_net::gateway::{Gateway, GatewayConfig};
+
+use crate::args::ParsedArgs;
+use crate::{CliError, Result};
+
+impl From<nsr_net::Error> for CliError {
+    fn from(e: nsr_net::Error) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+/// `nsr brick --listen ADDR --id N`: binds, announces
+/// `LISTENING <addr>` as the first stdout line (so a parent that bound
+/// port 0 can learn the real port), then serves until a shutdown frame
+/// or a kill.
+pub fn brick(args: &ParsedArgs) -> Result<String> {
+    let listen = args.get_or("listen", String::from("127.0.0.1:0"))?;
+    let id = args.get_or("id", 0u32)?;
+    let server = BrickServer::bind(listen.as_str(), BrickConfig::new(id))?;
+    // The announce line must reach the parent before the accept loop
+    // blocks, so it is printed and flushed here, not returned.
+    println!("LISTENING {}", server.local_addr());
+    std::io::stdout().flush().ok();
+    server.run()?;
+    Ok(format!("brick {id} shut down\n"))
+}
+
+fn parse_brick_list(args: &ParsedArgs) -> Result<Vec<SocketAddr>> {
+    let list = args
+        .get::<String>("bricks")?
+        .ok_or_else(|| CliError("--bricks a:port,b:port,... is required".into()))?;
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<SocketAddr>()
+                .map_err(|_| CliError(format!("bad brick address '{s}'")))
+        })
+        .collect()
+}
+
+/// `nsr gateway --bricks a,b,c [--data K --parity T] [--rounds N]`:
+/// connects to running bricks, writes a few demo objects, then watches —
+/// each round pumps heartbeats, prints health transitions, auto-repairs
+/// after deaths, and proves the data is still readable. `--rounds 0`
+/// (the default) runs until killed; the README quickstart drives this
+/// against two bricks and a kill -9.
+pub fn gateway(args: &ParsedArgs) -> Result<String> {
+    let addrs = parse_brick_list(args)?;
+    let data = args.get_or("data", 2usize)?;
+    let parity = args.get_or("parity", 1usize)?;
+    let rounds = args.get_or("rounds", 0u64)?;
+    let demo_objects = args.get_or("objects", 4u64)?;
+    let gw = Gateway::connect(addrs, GatewayConfig::new(data, parity))?;
+    println!(
+        "gateway up: {} bricks, geometry {data}+{parity} (tolerates {parity} failure(s))",
+        gw.brick_count()
+    );
+    for _ in 0..8 {
+        gw.pump_heartbeats();
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    for id in 0..demo_objects {
+        let payload: Vec<u8> = (0..1024u64)
+            .map(|i| ((i * 31 + id * 7) % 251) as u8)
+            .collect();
+        gw.put(id, &payload)?;
+        println!("put obj{id} ({} bytes)", payload.len());
+    }
+    std::io::stdout().flush().ok();
+
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        for tr in gw.pump_heartbeats() {
+            let lat = tr
+                .detection_latency_s
+                .map(|s| format!(" ({:.0} ms after last beat)", s * 1e3))
+                .unwrap_or_default();
+            println!(
+                "brick {} {} -> {}{lat}",
+                tr.brick,
+                tr.from.name(),
+                tr.to.name()
+            );
+        }
+        let failed: Vec<u32> = gw
+            .health_summary()
+            .into_iter()
+            .filter(|&(_, h)| matches!(h, Health::Dead | Health::Rebuilding))
+            .map(|(id, _)| id)
+            .collect();
+        if !failed.is_empty() {
+            match gw.repair_all() {
+                Ok(report) if report.shards_moved > 0 => {
+                    println!(
+                        "repair: moved {} shard(s), {} B, {} object(s) back to full redundancy",
+                        report.shards_moved, report.bytes_moved, report.objects_repaired
+                    );
+                }
+                Ok(report) => {
+                    if !report.lost_objects.is_empty() {
+                        println!("repair: objects {:?} beyond repair", report.lost_objects);
+                    }
+                }
+                Err(e) => println!("repair deferred: {e}"),
+            }
+        }
+        for rejoined in gw.adopt_rejoined() {
+            println!("brick {rejoined} rejoined as a spare");
+        }
+        if round.is_multiple_of(10) {
+            let mut readable = 0usize;
+            let ids = gw.object_ids();
+            let total = ids.len();
+            for id in ids {
+                if gw.get(id).is_ok() {
+                    readable += 1;
+                }
+            }
+            let health: Vec<String> = gw
+                .health_summary()
+                .into_iter()
+                .map(|(id, h)| format!("{id}:{}", h.name()))
+                .collect();
+            println!(
+                "status: {readable}/{total} objects readable; {}",
+                health.join(" ")
+            );
+        }
+        std::io::stdout().flush().ok();
+        if rounds > 0 && round >= rounds {
+            return Ok(format!("gateway exiting after {round} round(s)\n"));
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+}
+
+/// `nsr cluster-inject --bricks N --plan NAME --seed S`: the live kill-9
+/// campaign. Spawns `N` brick child processes (from this same binary),
+/// loads objects, kill-9s victims on the plan's seeded schedule, waits
+/// for detection, rebuilds onto spares, restarts the victims, and
+/// verifies every object — zero loss at or below `t` concurrent
+/// failures, typed loss above. The verdict lines are a pure function of
+/// `(plan, seed, bricks, objects)`.
+pub fn cluster_inject(args: &ParsedArgs) -> Result<String> {
+    let bricks = args.get_or("bricks", 6usize)?;
+    let plan = args.get_or("plan", String::from("kill9-single"))?;
+    let seed = args.get_or("seed", 42u64)?;
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError(format!("cannot locate own binary to spawn bricks: {e}")))?;
+    let mut cfg = ClusterConfig::new(bricks, &plan, seed, exe);
+    cfg.objects = args.get_or("objects", cfg.objects)?;
+    cfg.object_bytes = args.get_or("object-bytes", cfg.object_bytes)?;
+    cfg.ms_per_hour = args.get_or("ms-per-hour", cfg.ms_per_hour)?;
+    let outcome = run_campaign(&cfg)?;
+    let mut out = outcome.render();
+    if !outcome.detection_latencies_s.is_empty() {
+        let mut lat = outcome.detection_latencies_s.clone();
+        lat.sort_by(f64::total_cmp);
+        let p = |q: f64| lat[((lat.len() - 1) as f64 * q).round() as usize] * 1e3;
+        let _ = writeln!(
+            out,
+            "info detection latency p50={:.0}ms p99={:.0}ms",
+            p(0.5),
+            p(0.99)
+        );
+    }
+    Ok(out)
+}

@@ -1,0 +1,70 @@
+//! Drives the real `nsr` binary end to end: brick child processes,
+//! kill -9 injection, rebuild, and the campaign determinism contract —
+//! the verdict lines must be byte-identical across runs of the same
+//! `(plan, seed, bricks)`.
+
+use std::process::Command;
+
+/// Runs `nsr` with `args` and returns (success, the verdict lines).
+/// Timing-dependent `info` lines are excluded, mirroring ci.sh.
+fn campaign_lines(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nsr"))
+        .args(args)
+        .output()
+        .expect("spawn nsr");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: String = stdout
+        .lines()
+        .filter(|l| l.starts_with("campaign") || l.starts_with("verdict") || l.starts_with("loss "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    (out.status.success(), lines)
+}
+
+#[test]
+fn kill9_single_is_no_loss_and_deterministic() {
+    let args = [
+        "cluster-inject",
+        "--bricks",
+        "4",
+        "--plan",
+        "kill9-single",
+        "--seed",
+        "7",
+    ];
+    let (ok, first) = campaign_lines(&args);
+    assert!(ok, "campaign failed:\n{first}");
+    assert!(
+        first.contains("verdict=NO-LOSS lost=0"),
+        "single kill must never lose data:\n{first}"
+    );
+    let (ok2, second) = campaign_lines(&args);
+    assert!(ok2);
+    assert_eq!(first, second, "verdict lines must replay identically");
+}
+
+#[test]
+fn kill9_burst_above_t_reports_typed_loss_deterministically() {
+    // Seed 1 kills three adjacent bricks of six — more than t = 2 shards
+    // gone for some objects, so the campaign must report *typed* loss
+    // with per-object signatures, identically on every run.
+    let args = [
+        "cluster-inject",
+        "--bricks",
+        "6",
+        "--plan",
+        "kill9-burst",
+        "--seed",
+        "1",
+    ];
+    let (ok, first) = campaign_lines(&args);
+    assert!(ok, "campaign failed:\n{first}");
+    assert!(first.contains("verdict=LOSS"), "{first}");
+    assert!(
+        first.contains("loss obj="),
+        "loss must carry signatures:\n{first}"
+    );
+    let (ok2, second) = campaign_lines(&args);
+    assert!(ok2);
+    assert_eq!(first, second, "loss signatures must replay identically");
+}

@@ -79,6 +79,18 @@ pub enum Error {
         /// Number of objects whose stripes failed verification.
         objects: usize,
     },
+    /// A rebuild was interrupted because a source node that was live
+    /// when the rebuild pass began has since failed — the missing-shard
+    /// count crossed `t` *during* the transfer, not before it. The
+    /// checkpoint is kept: retrying resumes from `resumed_from` rebuilt
+    /// shards instead of restarting from shard 0, and a retry with no
+    /// further deaths re-derives the outcome (loss or success) against
+    /// the new baseline.
+    RebuildInterrupted {
+        /// Shards already rebuilt and checkpointed before the
+        /// interruption.
+        resumed_from: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -130,6 +142,11 @@ impl fmt::Display for Error {
                 f,
                 "post-rebuild verification failed for {objects} object(s): \
                  a surviving shard is corrupt"
+            ),
+            Error::RebuildInterrupted { resumed_from } => write!(
+                f,
+                "rebuild interrupted by a source failure after {resumed_from} \
+                 rebuilt shard(s); retry resumes from the checkpoint"
             ),
         }
     }

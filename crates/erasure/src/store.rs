@@ -216,6 +216,11 @@ struct RebuildState {
     /// Reconstructed shards awaiting installation.
     restored: HashMap<(ObjectId, usize), Vec<u8>>,
     report: RebuildReport,
+    /// Which nodes were live when this rebuild pass was baselined. A
+    /// reconstruction failure while some baseline-live node is down is an
+    /// *interruption* (the source died mid-transfer), not permanent loss;
+    /// the failure re-baselines so a retry re-derives the true outcome.
+    live_at_begin: Vec<bool>,
 }
 
 /// Per-node shard map: `(object, position-in-set) → bytes`.
@@ -555,15 +560,38 @@ impl BrickStore {
             .map(|(&id, _)| id)
             .collect();
         remaining.sort_unstable_by(|a, b| b.cmp(a));
+        let live_at_begin = self.nodes.iter().map(|n| n.is_some()).collect();
         self.rebuilds.insert(
             node,
             RebuildState {
                 remaining,
                 restored: HashMap::new(),
                 report: RebuildReport::default(),
+                live_at_begin,
             },
         );
         Ok(())
+    }
+
+    /// Classifies a reconstruction failure against the rebuild's baseline:
+    /// [`Error::TooManyErasures`] while a baseline-live node is down means
+    /// a source died mid-transfer, so the typed result is
+    /// [`Error::RebuildInterrupted`] carrying the checkpoint — and the
+    /// baseline is refreshed so a retry with no further deaths reports the
+    /// real outcome instead of "interrupted" forever.
+    fn classify_rebuild_failure(&self, st: &mut RebuildState, err: Error) -> Error {
+        let source_died = st
+            .live_at_begin
+            .iter()
+            .zip(self.nodes.iter())
+            .any(|(&was_live, now)| was_live && now.is_none());
+        if source_died && matches!(err, Error::TooManyErasures { .. }) {
+            let resumed_from = st.report.shards_rebuilt;
+            st.live_at_begin = self.nodes.iter().map(|n| n.is_some()).collect();
+            Error::RebuildInterrupted { resumed_from }
+        } else {
+            err
+        }
     }
 
     /// The checkpoint of an in-progress rebuild, if any.
@@ -601,8 +629,13 @@ impl BrickStore {
     ///
     /// * [`Error::InvalidPlacement`] if no rebuild of `node` is in
     ///   progress.
-    /// * [`Error::TooManyErasures`] if an object has lost more than `t`
-    ///   shards (data loss: the rebuild cannot complete).
+    /// * [`Error::RebuildInterrupted`] if an object crossed `t` missing
+    ///   shards because a node live at the rebuild baseline has since
+    ///   failed (a source died mid-transfer); the checkpoint records the
+    ///   shards already rebuilt and a retry resumes from it.
+    /// * [`Error::TooManyErasures`] if an object had lost more than `t`
+    ///   shards before the pass was baselined (data loss: the rebuild
+    ///   cannot complete).
     /// * [`Error::RebuildVerification`] if reconstructed stripes fail
     ///   parity (a surviving shard is corrupt). The affected shards are
     ///   *not* installed and the node stays failed.
@@ -647,6 +680,7 @@ impl BrickStore {
                 .and_then(|plan| self.code.reconstruct_with_plan(&plan, &mut shards));
             if let Err(e) = plan_applied {
                 st.remaining.push(id); // keep the checkpoint resumable
+                let e = self.classify_rebuild_failure(&mut st, e);
                 self.rebuilds.insert(node, st);
                 return Err(e);
             }
@@ -916,6 +950,7 @@ impl BrickStore {
                     what: "failure merge lost its entries",
                 })?;
             st.remaining = failed.into_iter().map(|(id, _)| id).collect();
+            let err = self.classify_rebuild_failure(&mut st, err);
             self.rebuilds.insert(node, st);
             return Err(err);
         }
@@ -1016,10 +1051,11 @@ impl BrickStore {
 }
 
 /// Rebuilds a node with bounded-backoff retries: retryable failures
-/// ([`Error::TooManyErasures`], [`Error::RebuildVerification`]) trigger
-/// the `recover` callback (the model's stand-in for "wait for the
-/// transient condition to clear"), and progress made before a failure is
-/// never lost — each attempt resumes the checkpoint.
+/// ([`Error::TooManyErasures`], [`Error::RebuildVerification`],
+/// [`Error::RebuildInterrupted`]) trigger the `recover` callback (the
+/// model's stand-in for "wait for the transient condition to clear"),
+/// and progress made before a failure is never lost — each attempt
+/// resumes the checkpoint.
 ///
 /// # Errors
 ///
@@ -1048,7 +1084,11 @@ where
                 })
             }
             Ok(RebuildProgress::InProgress { .. }) => continue, // budget not exhausted in practice
-            Err(e @ (Error::TooManyErasures { .. } | Error::RebuildVerification { .. })) => {
+            Err(
+                e @ (Error::TooManyErasures { .. }
+                | Error::RebuildVerification { .. }
+                | Error::RebuildInterrupted { .. }),
+            ) => {
                 last_err = Some(e);
                 if attempt + 1 < policy.max_attempts {
                     let backoff = policy.backoff_for(attempt);
@@ -1326,6 +1366,105 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn source_death_mid_rebuild_surfaces_typed_interruption() {
+        let mut s = store(); // 10 nodes, R = 5, t = 2
+        for i in 0..12u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(0).unwrap();
+        s.begin_rebuild(0).unwrap();
+        // Partial progress: node 0's objects rebuild in ascending order
+        // (0, 6, 7, 8, 9, 10); do the first two, checkpointing them.
+        assert!(matches!(
+            s.rebuild_step(0, 2).unwrap(),
+            RebuildProgress::InProgress { .. }
+        ));
+        assert_eq!(s.rebuild_checkpoint(0).unwrap().shards_done, 2);
+        // Two sources die mid-transfer. Stripes holding all of {0, 1, 2}
+        // now miss 3 > t shards — but both deaths are *newer* than the
+        // rebuild baseline, so the typed result is an interruption
+        // carrying the resume point, not a bare data-loss error.
+        s.fail_node(1).unwrap();
+        s.fail_node(2).unwrap();
+        match s.rebuild_step(0, usize::MAX) {
+            // Object 7 ({7,8,9,0,1}: 2 missing) still rebuilds; object 8
+            // ({8,9,0,1,2}: 3 missing) trips the interruption.
+            Err(Error::RebuildInterrupted { resumed_from }) => assert_eq!(resumed_from, 3),
+            other => panic!("expected RebuildInterrupted, got {other:?}"),
+        }
+        // Nothing restarted from shard 0: the checkpoint kept every
+        // completed shard and re-queued only the unprocessed objects.
+        let ckpt = s.rebuild_checkpoint(0).unwrap();
+        assert_eq!((ckpt.shards_done, ckpt.objects_remaining), (3, 3));
+        // The interruption re-baselined the pass: a retry with no further
+        // deaths re-derives the outcome, which here is permanent loss.
+        assert!(matches!(
+            s.rebuild_step(0, usize::MAX),
+            Err(Error::TooManyErasures {
+                missing: 3,
+                tolerated: 2
+            })
+        ));
+        assert_eq!(s.rebuild_checkpoint(0).unwrap().shards_done, 3);
+    }
+
+    #[test]
+    fn parallel_rebuild_classifies_interruption_against_baseline() {
+        let mut s = store();
+        for i in 0..12u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(0).unwrap();
+        s.begin_rebuild(0).unwrap(); // baseline: everyone but node 0 live
+        s.fail_node(1).unwrap();
+        s.fail_node(2).unwrap();
+        // The worker-parallel path classifies against the same baseline:
+        // recoverable stripes (objects 6 and 7) rebuild, the four stripes
+        // holding {0, 1, 2} trip the typed interruption.
+        match s.rebuild_node(0) {
+            Err(Error::RebuildInterrupted { resumed_from }) => assert_eq!(resumed_from, 2),
+            other => panic!("expected RebuildInterrupted, got {other:?}"),
+        }
+        let ckpt = s.rebuild_checkpoint(0).unwrap();
+        assert_eq!((ckpt.shards_done, ckpt.objects_remaining), (2, 4));
+        // Re-baselined retry re-derives the outcome: permanent loss.
+        assert!(matches!(
+            s.rebuild_node(0),
+            Err(Error::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_treats_interruption_as_retryable() {
+        let mut s = store();
+        for i in 0..12u64 {
+            s.put(ObjectId(i), &blob(i as u8, 64)).unwrap();
+        }
+        s.fail_node(0).unwrap();
+        s.begin_rebuild(0).unwrap();
+        s.fail_node(1).unwrap();
+        s.fail_node(2).unwrap();
+        let mut recoveries = 0u32;
+        let err = rebuild_with_retry(
+            &mut s,
+            0,
+            &RetryPolicy {
+                max_attempts: 2,
+                base_backoff_hours: 0.25,
+                max_backoff_hours: 1.0,
+            },
+            |_, _| recoveries += 1,
+        )
+        .unwrap_err();
+        // Attempt 1 → RebuildInterrupted (retryable: recover ran once);
+        // attempt 2 runs against the refreshed baseline and reports the
+        // true outcome — these stripes are permanently lost.
+        assert_eq!(recoveries, 1);
+        assert!(matches!(err, Error::TooManyErasures { .. }));
+        assert!(s.rebuild_checkpoint(0).is_some(), "checkpoint survives");
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The brick daemon: a TCP server storing erasure-coded shards keyed by
+//! `(object, pos)`, one handler thread per connection, every socket
+//! operation bounded by read/write timeouts so a stalled peer can never
+//! wedge a handler forever.
+//!
+//! Shards live in memory — the paper's brick is a storage *node* model,
+//! and what this layer exercises is the distributed-systems surface
+//! (detection, degraded reads, rebuild), not the disk. A kill-9 of a
+//! brick therefore loses its shards, which is exactly the failure the
+//! erasure code and rebuild coordinator exist to absorb.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nsr_obs::Json;
+
+use crate::error::Error;
+use crate::obs;
+use crate::wire::{read_frame, reply_code, write_frame, Frame};
+
+/// Tuning for a brick daemon.
+#[derive(Debug, Clone)]
+pub struct BrickConfig {
+    /// This brick's id, echoed in heartbeat acks.
+    pub id: u32,
+    /// Per-socket read deadline.
+    pub read_timeout: Duration,
+    /// Per-socket write deadline.
+    pub write_timeout: Duration,
+}
+
+impl BrickConfig {
+    /// Default timeouts (2 s) for brick `id`.
+    pub fn new(id: u32) -> Self {
+        BrickConfig {
+            id,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+type ShardMap = BTreeMap<(u64, u32), Vec<u8>>;
+
+/// A running brick server bound to a local address.
+pub struct BrickServer {
+    cfg: BrickConfig,
+    listener: TcpListener,
+    addr: SocketAddr,
+    shards: Arc<Mutex<ShardMap>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl BrickServer {
+    /// Binds to `addr` (use port 0 to let the OS pick) without starting
+    /// the accept loop.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: BrickConfig) -> Result<BrickServer, Error> {
+        let listener = TcpListener::bind(addr).map_err(|e| Error::from_io("bind", &e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| Error::from_io("local_addr", &e))?;
+        Ok(BrickServer {
+            cfg,
+            listener,
+            addr,
+            shards: Arc::new(Mutex::new(BTreeMap::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves the OS-picked port after `bind("…:0")`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the accept loop until a [`Frame::Shutdown`] arrives. Each
+    /// connection gets its own handler thread; the shutdown handler
+    /// wakes the accept loop with a dummy connection so `run` returns
+    /// promptly. In-flight handlers are not joined — the listener
+    /// closes immediately and each handler winds down on its own within
+    /// its read deadline.
+    pub fn run(self) -> Result<(), Error> {
+        for conn in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(Error::from_io("accept", &e)),
+            };
+            let cfg = self.cfg.clone();
+            let shards = Arc::clone(&self.shards);
+            let stop = Arc::clone(&self.stop);
+            let addr = self.addr;
+            std::thread::spawn(move || {
+                // Handler errors mean the peer vanished or spoke garbage;
+                // the brick just drops that connection and keeps serving.
+                let _ = handle_connection(stream, &cfg, &shards, &stop, addr);
+            });
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Spawns the accept loop on a background thread and returns the
+    /// bound address plus the join handle — the in-process harness used
+    /// by tests (the `nsr brick` daemon calls [`run`](Self::run)
+    /// directly).
+    pub fn spawn(self) -> (SocketAddr, std::thread::JoinHandle<Result<(), Error>>) {
+        let addr = self.addr;
+        let handle = std::thread::spawn(move || self.run());
+        (addr, handle)
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    cfg: &BrickConfig,
+    shards: &Mutex<ShardMap>,
+    stop: &Arc<AtomicBool>,
+    self_addr: SocketAddr,
+) -> Result<(), Error> {
+    stream
+        .set_read_timeout(Some(cfg.read_timeout))
+        .map_err(|e| Error::from_io("set_read_timeout", &e))?;
+    stream
+        .set_write_timeout(Some(cfg.write_timeout))
+        .map_err(|e| Error::from_io("set_write_timeout", &e))?;
+    let mut reader = io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| Error::from_io("clone_stream", &e))?,
+    );
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        let request = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            // Peer closed cleanly between frames — normal teardown.
+            Ok(None) => return Ok(()),
+            // Idle or stalled past the read deadline: drop the
+            // connection (the client reconnects). This is what keeps a
+            // wedged peer from pinning a handler thread forever.
+            Err(Error::Timeout { .. }) => return Ok(()),
+            Err(e @ Error::Decode { .. }) => {
+                // Malformed bytes: answer with a typed reply (best
+                // effort) and drop the connection; resynchronising a
+                // corrupted length-prefixed stream is not possible.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::ErrorReply {
+                        code: reply_code::BAD_REQUEST,
+                        detail: e.to_string(),
+                    },
+                );
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
+        // A shut-down brick is dead to every peer, including ones with
+        // connections already open — drop them without answering, the
+        // same silence a killed process would produce.
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        obs::BRICK_REQUESTS.inc();
+        let shutting_down = matches!(request, Frame::Shutdown);
+        let reply = dispatch(&request, cfg, shards);
+        write_frame(&mut writer, &reply)?;
+        if shutting_down {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so run() observes the stop flag.
+            let _ = TcpStream::connect_timeout(&self_addr, Duration::from_millis(200));
+            return Ok(());
+        }
+    }
+}
+
+fn dispatch(request: &Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Frame {
+    match request {
+        Frame::PutShard { object, pos, data } => {
+            shards
+                .lock()
+                .expect("shard map lock")
+                .insert((*object, *pos), data.clone());
+            Frame::Ok
+        }
+        Frame::GetShard { object, pos } | Frame::RebuildFetch { object, pos } => {
+            if matches!(request, Frame::RebuildFetch { .. }) {
+                nsr_obs::trace::event("net.brick.rebuild_fetch", || {
+                    vec![
+                        ("brick", Json::Num(cfg.id as f64)),
+                        ("object", Json::Num(*object as f64)),
+                        ("pos", Json::Num(*pos as f64)),
+                    ]
+                });
+            }
+            match shards.lock().expect("shard map lock").get(&(*object, *pos)) {
+                Some(data) => Frame::ShardData { data: data.clone() },
+                None => Frame::ErrorReply {
+                    code: reply_code::SHARD_NOT_FOUND,
+                    detail: format!("obj{object} pos{pos}"),
+                },
+            }
+        }
+        Frame::DeleteShard { object, pos } => {
+            shards
+                .lock()
+                .expect("shard map lock")
+                .remove(&(*object, *pos));
+            Frame::Ok
+        }
+        Frame::Heartbeat { seq } => Frame::HeartbeatAck {
+            seq: *seq,
+            brick_id: cfg.id,
+            shards: shards.lock().expect("shard map lock").len() as u64,
+        },
+        Frame::ListShards => Frame::ShardList {
+            entries: shards
+                .lock()
+                .expect("shard map lock")
+                .keys()
+                .copied()
+                .collect(),
+        },
+        Frame::Shutdown => Frame::Ok,
+        // A response frame arriving as a request is a protocol violation.
+        other => Frame::ErrorReply {
+            code: reply_code::BAD_REQUEST,
+            detail: format!("unexpected request frame `{}`", other.name()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::BrickClient;
+
+    fn start() -> (SocketAddr, std::thread::JoinHandle<Result<(), Error>>) {
+        BrickServer::bind("127.0.0.1:0", BrickConfig::new(7))
+            .expect("bind")
+            .spawn()
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let (addr, handle) = start();
+        let mut c = BrickClient::connect(addr, Duration::from_secs(2)).expect("connect");
+        c.put_shard(9, 2, &[1, 2, 3]).expect("put");
+        assert_eq!(c.get_shard(9, 2).expect("get"), vec![1, 2, 3]);
+        assert_eq!(c.list_shards().expect("list"), vec![(9, 2)]);
+        c.delete_shard(9, 2).expect("delete");
+        assert!(matches!(
+            c.get_shard(9, 2),
+            Err(Error::ShardNotFound { object: 9, pos: 2 })
+        ));
+        let ack = c.heartbeat(5).expect("heartbeat");
+        assert_eq!(ack.brick_id, 7);
+        assert_eq!(ack.shards, 0);
+        c.shutdown().expect("shutdown");
+        handle.join().expect("join").expect("run");
+    }
+
+    #[test]
+    fn garbage_bytes_get_typed_reply_and_drop() {
+        let (addr, handle) = start();
+        {
+            use std::io::Write;
+            let mut raw = TcpStream::connect(addr).expect("connect");
+            raw.write_all(&[0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff])
+                .expect("write garbage");
+            // The brick replies with a typed error (or drops us) and the
+            // connection closes; either way the server must survive.
+        }
+        let mut c = BrickClient::connect(addr, Duration::from_secs(2)).expect("reconnect");
+        assert!(c.heartbeat(1).is_ok(), "brick still serving after garbage");
+        c.shutdown().expect("shutdown");
+        handle.join().expect("join").expect("run");
+    }
+}

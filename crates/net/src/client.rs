@@ -1,0 +1,166 @@
+//! Client half of the wire protocol: a thin request/response wrapper
+//! over one `TcpStream` with bounded connect/read/write deadlines.
+//!
+//! The client is deliberately dumb — one frame out, one frame in, typed
+//! errors for everything unexpected. Retry, backoff and routing policy
+//! live in the gateway, which reconnects a fresh `BrickClient` when an
+//! operation fails (bricks drop idle connections at their read
+//! deadline, so transparent reconnection is part of the normal path,
+//! not an error path).
+
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::Error;
+use crate::wire::{read_frame, reply_code, write_frame, Frame};
+
+/// Fields of a heartbeat acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatAck {
+    /// Echo of the probe sequence number.
+    pub seq: u64,
+    /// The responding brick's id.
+    pub brick_id: u32,
+    /// Shards the brick currently stores.
+    pub shards: u64,
+}
+
+/// A connected brick client.
+pub struct BrickClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl BrickClient {
+    /// Connects to a brick with `timeout` bounding the connect and every
+    /// subsequent read/write.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<BrickClient, Error> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)
+            .map_err(|e| Error::from_io("connect", &e))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| Error::from_io("set_read_timeout", &e))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| Error::from_io("set_write_timeout", &e))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::from_io("set_nodelay", &e))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| Error::from_io("clone_stream", &e))?,
+        );
+        Ok(BrickClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, Error> {
+        write_frame(&mut self.writer, frame)?;
+        match read_frame(&mut self.reader)? {
+            Some(reply) => Ok(reply),
+            None => Err(Error::Io {
+                op: "read_reply",
+                detail: "connection closed before reply".to_string(),
+            }),
+        }
+    }
+
+    /// Stores one shard.
+    pub fn put_shard(&mut self, object: u64, pos: u32, data: &[u8]) -> Result<(), Error> {
+        match self.request(&Frame::PutShard {
+            object,
+            pos,
+            data: data.to_vec(),
+        })? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected("put_shard", other)),
+        }
+    }
+
+    /// Fetches one shard.
+    pub fn get_shard(&mut self, object: u64, pos: u32) -> Result<Vec<u8>, Error> {
+        self.fetch(Frame::GetShard { object, pos }, object, pos)
+    }
+
+    /// Fetches one shard on behalf of a rebuild (distinct wire tag so
+    /// rebuild traffic is separately traceable on the brick).
+    pub fn rebuild_fetch(&mut self, object: u64, pos: u32) -> Result<Vec<u8>, Error> {
+        self.fetch(Frame::RebuildFetch { object, pos }, object, pos)
+    }
+
+    fn fetch(&mut self, req: Frame, object: u64, pos: u32) -> Result<Vec<u8>, Error> {
+        let op = if matches!(req, Frame::RebuildFetch { .. }) {
+            "rebuild_fetch"
+        } else {
+            "get_shard"
+        };
+        match self.request(&req)? {
+            Frame::ShardData { data } => Ok(data),
+            Frame::ErrorReply { code, .. } if code == reply_code::SHARD_NOT_FOUND => {
+                Err(Error::ShardNotFound { object, pos })
+            }
+            other => Err(unexpected(op, other)),
+        }
+    }
+
+    /// Removes one shard (idempotent).
+    pub fn delete_shard(&mut self, object: u64, pos: u32) -> Result<(), Error> {
+        match self.request(&Frame::DeleteShard { object, pos })? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected("delete_shard", other)),
+        }
+    }
+
+    /// Sends a liveness probe.
+    pub fn heartbeat(&mut self, seq: u64) -> Result<HeartbeatAck, Error> {
+        match self.request(&Frame::Heartbeat { seq })? {
+            Frame::HeartbeatAck {
+                seq: ack_seq,
+                brick_id,
+                shards,
+            } => {
+                if ack_seq != seq {
+                    return Err(Error::Protocol {
+                        what: format!("heartbeat ack seq {ack_seq} for probe {seq}"),
+                    });
+                }
+                Ok(HeartbeatAck {
+                    seq: ack_seq,
+                    brick_id,
+                    shards,
+                })
+            }
+            other => Err(unexpected("heartbeat", other)),
+        }
+    }
+
+    /// Enumerates every shard the brick stores.
+    pub fn list_shards(&mut self) -> Result<Vec<(u64, u32)>, Error> {
+        match self.request(&Frame::ListShards)? {
+            Frame::ShardList { entries } => Ok(entries),
+            other => Err(unexpected("list_shards", other)),
+        }
+    }
+
+    /// Asks the brick to exit cleanly.
+    pub fn shutdown(&mut self) -> Result<(), Error> {
+        match self.request(&Frame::Shutdown)? {
+            Frame::Ok => Ok(()),
+            other => Err(unexpected("shutdown", other)),
+        }
+    }
+}
+
+fn unexpected(op: &'static str, got: Frame) -> Error {
+    match got {
+        Frame::ErrorReply { code, detail } => Error::Remote { code, detail },
+        other => Error::Protocol {
+            what: format!("unexpected `{}` reply to {op}", other.name()),
+        },
+    }
+}

@@ -1,0 +1,941 @@
+//! The gateway: stripes objects across brick daemons with the
+//! `nsr-erasure` Reed–Solomon codec, routes reads around dead bricks
+//! (degraded reconstruction from any `k` healthy shards), retries
+//! transient transport faults with capped exponential backoff plus
+//! seeded jitter, and runs the failure detector + rebuild coordinator
+//! that re-replicates a dead brick's shards onto spares.
+//!
+//! Consistency model: an object's metadata (length + shard layout) is
+//! committed only after every shard of a put has been acknowledged, so
+//! a gateway or brick crash mid-put can never produce a torn object —
+//! the put either committed (fully readable) or never happened. Rebuild
+//! commits metadata per *shard*, which is what makes an interrupted
+//! rebuild resumable: completed moves are already durable in the layout
+//! and are never redone.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use nsr_erasure::rs::ReedSolomon;
+use nsr_obs::{Json, Span};
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{Rng, SeedableRng};
+
+use crate::client::BrickClient;
+use crate::clock::{Clock, WallClock};
+use crate::detector::{DetectorConfig, FailureDetector, Health, Transition};
+use crate::error::Error;
+use crate::obs;
+
+/// Capped exponential backoff with jitter for transient transport
+/// faults.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts before the budget is exhausted (≥ 1).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base_delay: Duration,
+    /// Cap on the exponentially growing delay.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(80),
+        }
+    }
+}
+
+/// Gateway tuning.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Data shards per object (`k`).
+    pub data_shards: usize,
+    /// Parity shards per object (`t` — the tolerated concurrent
+    /// failures).
+    pub parity_shards: usize,
+    /// Per-socket connect/read/write deadline.
+    pub timeout: Duration,
+    /// Backoff policy for transient shard-op failures.
+    pub retry: RetryPolicy,
+    /// Failure-detector thresholds.
+    pub detector: DetectorConfig,
+    /// Seed for retry jitter (campaign runs pin this for replay).
+    pub jitter_seed: u64,
+}
+
+impl GatewayConfig {
+    /// A `k`-data / `t`-parity config with default timeouts.
+    pub fn new(data_shards: usize, parity_shards: usize) -> Self {
+        GatewayConfig {
+            data_shards,
+            parity_shards,
+            timeout: Duration::from_millis(500),
+            retry: RetryPolicy::default(),
+            detector: DetectorConfig::default(),
+            jitter_seed: 0,
+        }
+    }
+}
+
+/// Per-object metadata: committed layout and sizing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Object length in bytes (shards carry zero padding past this).
+    pub len: u64,
+    /// Length of each shard.
+    pub shard_len: u32,
+    /// Brick id holding shard `pos`, for `pos` in `0..r`.
+    pub layout: Vec<u32>,
+}
+
+/// Outcome of a [`Gateway::repair_all`] pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Shards re-replicated onto spares in this pass.
+    pub shards_moved: u64,
+    /// Bytes moved in this pass.
+    pub bytes_moved: u64,
+    /// Objects brought back to full redundancy.
+    pub objects_repaired: u64,
+    /// Shards already moved by earlier (interrupted) passes of the same
+    /// rebuild generation — the checkpoint this pass resumed from.
+    pub resumed_from: u64,
+    /// Objects that could not be repaired because more than `t` of
+    /// their shards are on failed bricks (typed loss, surfaced by
+    /// `get` as [`Error::DataLoss`]).
+    pub lost_objects: Vec<u64>,
+    /// Objects still recoverable (≤ `t` shards lost) whose lost shards
+    /// could not all be re-replicated because fewer healthy bricks
+    /// outside their layout exist than shards needing new homes. They
+    /// stay degraded-readable; repair them once a brick rejoins (see
+    /// [`Gateway::scrub_repair`]).
+    pub deferred_objects: Vec<u64>,
+}
+
+/// How a completed read was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// All data shards came straight from their bricks.
+    Healthy,
+    /// At least one shard was unavailable; the object was erasure-
+    /// reconstructed from `k` surviving shards.
+    Degraded,
+}
+
+/// A striping gateway over a fixed set of brick daemons.
+pub struct Gateway {
+    cfg: GatewayConfig,
+    codec: ReedSolomon,
+    addrs: Mutex<Vec<SocketAddr>>,
+    conns: Vec<Mutex<Option<BrickClient>>>,
+    detector: Mutex<FailureDetector>,
+    meta: Mutex<BTreeMap<u64, ObjectMeta>>,
+    rng: Mutex<StdRng>,
+    hb_seq: AtomicU64,
+    rebuild_checkpoint: AtomicU64,
+}
+
+impl Gateway {
+    /// Creates a gateway over `bricks` (brick id = index) using real
+    /// wall-clock time for failure detection.
+    pub fn connect(bricks: Vec<SocketAddr>, cfg: GatewayConfig) -> Result<Gateway, Error> {
+        Self::with_clock(bricks, cfg, Arc::new(WallClock::new()))
+    }
+
+    /// Creates a gateway with an explicit [`Clock`] (tests inject a
+    /// mock; `connect` uses the wall clock).
+    pub fn with_clock(
+        bricks: Vec<SocketAddr>,
+        cfg: GatewayConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Gateway, Error> {
+        let r = cfg.data_shards + cfg.parity_shards;
+        if bricks.len() < r {
+            return Err(Error::InvalidConfig {
+                what: format!(
+                    "{} bricks cannot hold a {}+{} stripe",
+                    bricks.len(),
+                    cfg.data_shards,
+                    cfg.parity_shards
+                ),
+            });
+        }
+        let codec = ReedSolomon::new(cfg.data_shards, cfg.parity_shards)?;
+        let detector = FailureDetector::new(clock, cfg.detector.clone(), 0..bricks.len() as u32);
+        let conns = (0..bricks.len()).map(|_| Mutex::new(None)).collect();
+        let rng = StdRng::seed_from_u64(cfg.jitter_seed);
+        Ok(Gateway {
+            cfg,
+            codec,
+            addrs: Mutex::new(bricks),
+            conns,
+            detector: Mutex::new(detector),
+            meta: Mutex::new(BTreeMap::new()),
+            rng: Mutex::new(rng),
+            hb_seq: AtomicU64::new(0),
+            rebuild_checkpoint: AtomicU64::new(0),
+        })
+    }
+
+    /// Shards per object (`k + t`).
+    pub fn redundancy(&self) -> usize {
+        self.codec.total_shards()
+    }
+
+    /// Concurrent brick failures the code tolerates (`t`).
+    pub fn tolerated(&self) -> usize {
+        self.codec.parity_shards()
+    }
+
+    /// Number of bricks the gateway addresses.
+    pub fn brick_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Replaces the address of brick `id` (a killed brick restarts on a
+    /// fresh port) and drops any cached connection to the old address.
+    pub fn set_brick_addr(&self, id: u32, addr: SocketAddr) {
+        self.addrs.lock().expect("addrs lock")[id as usize] = addr;
+        *self.conns[id as usize].lock().expect("conn lock") = None;
+    }
+
+    /// Current health of every brick, in id order.
+    pub fn health_summary(&self) -> Vec<(u32, Health)> {
+        let det = self.detector.lock().expect("detector lock");
+        (0..self.conns.len() as u32)
+            .map(|id| (id, det.health(id).expect("tracked brick")))
+            .collect()
+    }
+
+    /// Committed object ids, ascending.
+    pub fn object_ids(&self) -> Vec<u64> {
+        self.meta
+            .lock()
+            .expect("meta lock")
+            .keys()
+            .copied()
+            .collect()
+    }
+
+    /// The committed shard layout of `object` (brick id per position).
+    pub fn object_layout(&self, object: u64) -> Option<Vec<u32>> {
+        self.meta
+            .lock()
+            .expect("meta lock")
+            .get(&object)
+            .map(|m| m.layout.clone())
+    }
+
+    /// Probes every brick once, feeds arrivals to the failure detector,
+    /// and evaluates silence thresholds. Returns the health transitions
+    /// this round caused, in brick-id order. Drive this from a loop —
+    /// the `nsr gateway` daemon uses a background thread, the cluster
+    /// harness its control loop (which is what keeps campaign replays
+    /// deterministic).
+    pub fn pump_heartbeats(&self) -> Vec<Transition> {
+        let seq = self.hb_seq.fetch_add(1, Ordering::SeqCst);
+        let mut alive = Vec::new();
+        for id in 0..self.conns.len() as u32 {
+            if self.shard_op(id, "heartbeat", |c| c.heartbeat(seq)).is_ok() {
+                alive.push(id);
+            }
+        }
+        let mut det = self.detector.lock().expect("detector lock");
+        let mut transitions = Vec::new();
+        for id in alive {
+            transitions.extend(det.heartbeat(id));
+        }
+        transitions.extend(det.tick());
+        transitions
+    }
+
+    /// Re-admits rejoined bricks as spares: wipes any stale shards they
+    /// still hold (best effort; a kill-9'd in-memory brick comes back
+    /// empty anyway) and marks them healthy. Returns the adopted ids.
+    pub fn adopt_rejoined(&self) -> Vec<u32> {
+        let rejoined: Vec<u32> = self
+            .health_summary()
+            .into_iter()
+            .filter(|&(_, h)| h == Health::Rejoined)
+            .map(|(id, _)| id)
+            .collect();
+        let mut adopted = Vec::new();
+        for id in rejoined {
+            if let Ok(entries) = self.shard_op(id, "list_shards", |c| c.list_shards()) {
+                for (object, pos) in entries {
+                    let _ = self.shard_op(id, "delete_shard", |c| c.delete_shard(object, pos));
+                }
+            }
+            if self
+                .detector
+                .lock()
+                .expect("detector lock")
+                .adopt_spare(id)
+                .is_some()
+            {
+                adopted.push(id);
+            }
+        }
+        adopted
+    }
+
+    /// Stores `data` as `object`, erasure-coded across `k + t` healthy
+    /// bricks. Metadata commits only after every shard is acknowledged.
+    pub fn put(&self, object: u64, data: &[u8]) -> Result<(), Error> {
+        let mut span = Span::enter("net.put");
+        span.field("object", || Json::Num(object as f64));
+        span.field("bytes", || Json::Num(data.len() as f64));
+        let r = self.redundancy();
+        let mut excluded: BTreeSet<u32> = BTreeSet::new();
+        let (shards, shard_len) = self.encode_object(data)?;
+        // A brick that fails all its retries mid-put is excluded and the
+        // whole put restarted on a fresh layout — up to three layouts
+        // before the error propagates.
+        for _layout_attempt in 0..3 {
+            let healthy: Vec<u32> = self
+                .detector
+                .lock()
+                .expect("detector lock")
+                .healthy()
+                .into_iter()
+                .filter(|id| !excluded.contains(id))
+                .collect();
+            if healthy.len() < r {
+                return Err(Error::InsufficientBricks {
+                    need: r,
+                    have: healthy.len(),
+                });
+            }
+            let layout = rotate_pick(&healthy, object, r);
+            let mut failure: Option<(u32, Error)> = None;
+            let mut written: Vec<(u32, u32)> = Vec::new();
+            for (pos, shard) in shards.iter().enumerate() {
+                let target = layout[pos];
+                match self.shard_op_with_retry(target, "put_shard", |c| {
+                    c.put_shard(object, pos as u32, shard)
+                }) {
+                    Ok(()) => written.push((target, pos as u32)),
+                    Err(e) => {
+                        failure = Some((target, e));
+                        break;
+                    }
+                }
+            }
+            match failure {
+                None => {
+                    self.meta.lock().expect("meta lock").insert(
+                        object,
+                        ObjectMeta {
+                            len: data.len() as u64,
+                            shard_len,
+                            layout,
+                        },
+                    );
+                    obs::PUTS.inc();
+                    return Ok(());
+                }
+                Some((brick, err)) => {
+                    // Metadata never committed: scrub the orphan shards
+                    // (best effort) and rule the failed brick out of the
+                    // next layout.
+                    for (target, pos) in written {
+                        let _ =
+                            self.shard_op(target, "delete_shard", |c| c.delete_shard(object, pos));
+                    }
+                    excluded.insert(brick);
+                    if excluded.len() + r > self.brick_count() {
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        Err(Error::RetriesExhausted {
+            op: "put",
+            attempts: 3,
+            last: "three shard layouts failed".to_string(),
+        })
+    }
+
+    /// Reads `object`, reconstructing from any `k` shards when bricks
+    /// are down. Returns the bytes and whether the read was degraded.
+    pub fn get(&self, object: u64) -> Result<(Vec<u8>, ReadMode), Error> {
+        let mut span = Span::enter("net.get");
+        span.field("object", || Json::Num(object as f64));
+        let meta = self
+            .meta
+            .lock()
+            .expect("meta lock")
+            .get(&object)
+            .cloned()
+            .ok_or(Error::ObjectNotFound { object })?;
+        let r = self.redundancy();
+        let k = self.codec.data_shards();
+        let readable: Vec<bool> = {
+            let det = self.detector.lock().expect("detector lock");
+            meta.layout
+                .iter()
+                .map(|&b| det.health(b).map(Health::readable).unwrap_or(false))
+                .collect()
+        };
+        let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
+        let mut have = 0usize;
+        // Data shards first (the fast path needs nothing else), then
+        // parity from surviving bricks until k shards are in hand.
+        for pos in 0..r {
+            if have >= k && pos >= k {
+                break;
+            }
+            if !readable[pos] {
+                continue;
+            }
+            if let Ok(data) = self.shard_op_with_retry(meta.layout[pos], "get_shard", |c| {
+                c.get_shard(object, pos as u32)
+            }) {
+                if data.len() == meta.shard_len as usize {
+                    shards[pos] = Some(data);
+                    have += 1;
+                }
+            }
+        }
+        let data_complete = shards[..k].iter().all(Option::is_some);
+        if !data_complete {
+            if have < k {
+                let missing = r - have;
+                obs::LOSS_GETS.inc();
+                span.field("outcome", || Json::Str("loss".into()));
+                return Err(Error::DataLoss {
+                    object,
+                    missing,
+                    tolerated: self.tolerated(),
+                });
+            }
+            self.codec.reconstruct(&mut shards)?;
+            obs::DEGRADED_GETS.inc();
+            nsr_obs::trace::event("net.get.degraded", || {
+                vec![
+                    ("object", Json::Num(object as f64)),
+                    ("shards_present", Json::Num(have as f64)),
+                ]
+            });
+        }
+        let mut out = Vec::with_capacity(meta.len as usize);
+        for shard in shards[..k].iter() {
+            out.extend_from_slice(shard.as_deref().expect("data shards complete"));
+        }
+        out.truncate(meta.len as usize);
+        obs::GETS.inc();
+        let mode = if data_complete {
+            ReadMode::Healthy
+        } else {
+            ReadMode::Degraded
+        };
+        Ok((out, mode))
+    }
+
+    /// Re-replicates every shard stranded on dead bricks onto healthy
+    /// spares. Metadata commits per shard, so progress survives both an
+    /// interrupted pass and a coordinator restart (see
+    /// [`export_meta`](Self::export_meta)): a rerun resumes from the
+    /// committed layout instead of shard 0.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::RebuildInterrupted`] when a source or spare brick
+    ///   dies mid-transfer (it was healthy when the pass planned the
+    ///   move but stopped serving before it completed). The checkpoint
+    ///   is kept; pump heartbeats and call again to resume.
+    ///
+    /// An object whose lost shards outnumber the healthy bricks outside
+    /// its layout is *not* an error: it is reported in
+    /// [`RepairReport::deferred_objects`] and stays degraded-readable
+    /// until a brick rejoins.
+    pub fn repair_all(&self) -> Result<RepairReport, Error> {
+        let mut span = Span::enter("net.rebuild");
+        let failed: Vec<u32> = {
+            let mut det = self.detector.lock().expect("detector lock");
+            let failed = det.failed();
+            for &b in &failed {
+                det.mark_rebuilding(b);
+            }
+            failed
+        };
+        let resumed_from = self.rebuild_checkpoint.load(Ordering::SeqCst);
+        let mut report = RepairReport {
+            resumed_from,
+            ..RepairReport::default()
+        };
+        if failed.is_empty() {
+            return Ok(report);
+        }
+        span.field("failed_bricks", || Json::Num(failed.len() as f64));
+        span.field("resumed_from", || Json::Num(resumed_from as f64));
+        let failed_set: BTreeSet<u32> = failed.iter().copied().collect();
+        let objects: Vec<(u64, ObjectMeta)> = self
+            .meta
+            .lock()
+            .expect("meta lock")
+            .iter()
+            .map(|(&id, m)| (id, m.clone()))
+            .collect();
+        let r = self.redundancy();
+        let k = self.codec.data_shards();
+        for (id, m) in objects {
+            let lost: Vec<usize> = (0..r)
+                .filter(|&pos| failed_set.contains(&m.layout[pos]))
+                .collect();
+            if lost.is_empty() {
+                continue;
+            }
+            if lost.len() > self.tolerated() {
+                report.lost_objects.push(id);
+                continue;
+            }
+            let healthy: Vec<u32> = self.detector.lock().expect("detector lock").healthy();
+            let healthy_set: BTreeSet<u32> = healthy.iter().copied().collect();
+            // Plan the reads: sources the detector believes can serve.
+            let sources: Vec<usize> = (0..r)
+                .filter(|pos| !lost.contains(pos) && healthy_set.contains(&m.layout[*pos]))
+                .collect();
+            if sources.len() < k {
+                // Not an interruption — the detector already knows these
+                // bricks are gone, the object is simply beyond repair
+                // (and beyond t, else `lost` would have caught it).
+                report.lost_objects.push(id);
+                continue;
+            }
+            // Plan the writes before fetching anything: each lost
+            // position needs its own healthy brick outside the layout.
+            // With many concurrent deaths every survivor may already
+            // hold a shard of this object — then there is nowhere to
+            // re-replicate to, but the object is still readable (lost
+            // ≤ t), so defer it rather than fail the whole pass.
+            let spares: Vec<u32> = healthy
+                .iter()
+                .copied()
+                .filter(|b| !m.layout.contains(b))
+                .collect();
+            if spares.len() < lost.len() {
+                report.deferred_objects.push(id);
+                continue;
+            }
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
+            let mut have = 0usize;
+            for &pos in &sources {
+                if have >= k {
+                    break;
+                }
+                if let Ok(data) = self.shard_op_with_retry(m.layout[pos], "rebuild_fetch", |c| {
+                    c.rebuild_fetch(id, pos as u32)
+                }) {
+                    if data.len() == m.shard_len as usize {
+                        shards[pos] = Some(data);
+                        have += 1;
+                    }
+                }
+            }
+            if have < k {
+                // Planned sources stopped serving mid-transfer: the
+                // typed interruption, with the per-shard checkpoint.
+                obs::REBUILD_INTERRUPTED.inc();
+                let checkpoint = self.rebuild_checkpoint.load(Ordering::SeqCst);
+                span.field("outcome", || Json::Str("interrupted".into()));
+                return Err(Error::RebuildInterrupted {
+                    resumed_from: checkpoint,
+                });
+            }
+            self.codec.reconstruct(&mut shards)?;
+            for (i, &pos) in lost.iter().enumerate() {
+                // Consecutive offsets modulo the spare count: distinct
+                // spares per lost position (lost.len() ≤ spares.len()
+                // was checked above), rotated by id for balance.
+                let spare = spares[(id as usize + i) % spares.len()];
+                let shard = shards[pos].as_deref().expect("reconstructed");
+                match self
+                    .shard_op_with_retry(spare, "put_shard", |c| c.put_shard(id, pos as u32, shard))
+                {
+                    Ok(()) => {}
+                    Err(
+                        Error::Io { .. } | Error::Timeout { .. } | Error::RetriesExhausted { .. },
+                    ) => {
+                        // The chosen spare died between health snapshot
+                        // and transfer — same interruption semantics as
+                        // a source death.
+                        obs::REBUILD_INTERRUPTED.inc();
+                        let checkpoint = self.rebuild_checkpoint.load(Ordering::SeqCst);
+                        span.field("outcome", || Json::Str("interrupted".into()));
+                        return Err(Error::RebuildInterrupted {
+                            resumed_from: checkpoint,
+                        });
+                    }
+                    Err(e) => return Err(e),
+                }
+                // Per-shard commit: the new home is durable immediately.
+                self.meta
+                    .lock()
+                    .expect("meta lock")
+                    .get_mut(&id)
+                    .expect("object present")
+                    .layout[pos] = spare;
+                self.rebuild_checkpoint.fetch_add(1, Ordering::SeqCst);
+                report.shards_moved += 1;
+                report.bytes_moved += shard.len() as u64;
+                obs::REBUILD_SHARDS.inc();
+                obs::REBUILD_BYTES.add(shard.len() as u64);
+                nsr_obs::trace::event("net.rebuild.shard", || {
+                    vec![
+                        ("object", Json::Num(id as f64)),
+                        ("pos", Json::Num(pos as f64)),
+                        ("spare", Json::Num(spare as f64)),
+                    ]
+                });
+            }
+            report.objects_repaired += 1;
+        }
+        // Bricks with no remaining layout references are fully drained.
+        let meta = self.meta.lock().expect("meta lock");
+        let referenced: BTreeSet<u32> = meta
+            .values()
+            .flat_map(|m| m.layout.iter().copied())
+            .collect();
+        drop(meta);
+        let mut det = self.detector.lock().expect("detector lock");
+        for &b in &failed {
+            if !referenced.contains(&b) {
+                det.finish_rebuilding(b);
+            }
+        }
+        drop(det);
+        // A clean pass closes the rebuild generation.
+        self.rebuild_checkpoint.store(0, Ordering::SeqCst);
+        span.field("shards_moved", || Json::Num(report.shards_moved as f64));
+        Ok(report)
+    }
+
+    /// Presence-driven repair: probes every healthy brick in every
+    /// object's layout for its shard and re-creates any that are
+    /// missing, writing each shard back to its *layout* brick (the
+    /// layout never changes). This is the recovery path for the two
+    /// gaps [`repair_all`](Self::repair_all) leaves behind: objects it
+    /// deferred because no spare existed at the time, and rejoined
+    /// bricks that came back empty (adoption wipes stale shards, so
+    /// layouts referencing them read degraded until scrubbed).
+    ///
+    /// An object whose missing shards cannot all be restored this pass
+    /// — a layout brick is unhealthy, or a write raced a fresh death —
+    /// lands in [`RepairReport::deferred_objects`]; call again once the
+    /// cluster settles. Objects with fewer than `k` shards anywhere land
+    /// in [`RepairReport::lost_objects`].
+    pub fn scrub_repair(&self) -> Result<RepairReport, Error> {
+        let mut span = Span::enter("net.scrub");
+        let mut report = RepairReport::default();
+        let healthy_set: BTreeSet<u32> = self
+            .detector
+            .lock()
+            .expect("detector lock")
+            .healthy()
+            .into_iter()
+            .collect();
+        let objects: Vec<(u64, ObjectMeta)> = self
+            .meta
+            .lock()
+            .expect("meta lock")
+            .iter()
+            .map(|(&id, m)| (id, m.clone()))
+            .collect();
+        let r = self.redundancy();
+        let k = self.codec.data_shards();
+        'objects: for (id, m) in objects {
+            let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
+            let mut missing: Vec<usize> = Vec::new();
+            let mut unavailable = 0usize;
+            for (pos, slot) in shards.iter_mut().enumerate() {
+                if !healthy_set.contains(&m.layout[pos]) {
+                    unavailable += 1;
+                    continue;
+                }
+                match self.shard_op_with_retry(m.layout[pos], "rebuild_fetch", |c| {
+                    c.rebuild_fetch(id, pos as u32)
+                }) {
+                    Ok(data) if data.len() == m.shard_len as usize => *slot = Some(data),
+                    Ok(_) | Err(Error::ShardNotFound { .. }) => missing.push(pos),
+                    // A probe that fails in transit is neither present
+                    // nor restorable right now.
+                    Err(_) => unavailable += 1,
+                }
+            }
+            if missing.is_empty() {
+                continue;
+            }
+            let present = shards.iter().filter(|s| s.is_some()).count();
+            if present < k {
+                if unavailable > 0 {
+                    report.deferred_objects.push(id);
+                } else {
+                    report.lost_objects.push(id);
+                }
+                continue;
+            }
+            self.codec.reconstruct(&mut shards)?;
+            for &pos in &missing {
+                let shard = shards[pos].as_deref().expect("reconstructed");
+                if self
+                    .shard_op_with_retry(m.layout[pos], "put_shard", |c| {
+                        c.put_shard(id, pos as u32, shard)
+                    })
+                    .is_err()
+                {
+                    report.deferred_objects.push(id);
+                    continue 'objects;
+                }
+                report.shards_moved += 1;
+                report.bytes_moved += shard.len() as u64;
+                obs::REBUILD_SHARDS.inc();
+                obs::REBUILD_BYTES.add(shard.len() as u64);
+                nsr_obs::trace::event("net.scrub.shard", || {
+                    vec![
+                        ("object", Json::Num(id as f64)),
+                        ("pos", Json::Num(pos as f64)),
+                        ("brick", Json::Num(m.layout[pos] as f64)),
+                    ]
+                });
+            }
+            report.objects_repaired += 1;
+        }
+        span.field("shards_restored", || Json::Num(report.shards_moved as f64));
+        Ok(report)
+    }
+
+    /// Serializes object metadata to a line-oriented text form a
+    /// restarted coordinator can [`import_meta`](Self::import_meta).
+    pub fn export_meta(&self) -> String {
+        let meta = self.meta.lock().expect("meta lock");
+        let mut out = String::from("nsr-net-meta/v1\n");
+        for (id, m) in meta.iter() {
+            let layout: Vec<String> = m.layout.iter().map(u32::to_string).collect();
+            out.push_str(&format!(
+                "object {id} len {} shard_len {} layout {}\n",
+                m.len,
+                m.shard_len,
+                layout.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Restores metadata exported by [`export_meta`](Self::export_meta)
+    /// — the coordinator-restart path: a fresh gateway with imported
+    /// metadata resumes an in-flight rebuild from the committed layout.
+    pub fn import_meta(&self, text: &str) -> Result<(), Error> {
+        let mut lines = text.lines();
+        if lines.next() != Some("nsr-net-meta/v1") {
+            return Err(Error::Decode {
+                what: "metadata export missing nsr-net-meta/v1 header".to_string(),
+            });
+        }
+        let mut parsed = BTreeMap::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            let bad = || Error::Decode {
+                what: format!("malformed metadata line `{line}`"),
+            };
+            if toks.len() != 8
+                || toks[0] != "object"
+                || toks[2] != "len"
+                || toks[4] != "shard_len"
+                || toks[6] != "layout"
+            {
+                return Err(bad());
+            }
+            let id: u64 = toks[1].parse().map_err(|_| bad())?;
+            let len: u64 = toks[3].parse().map_err(|_| bad())?;
+            let shard_len: u32 = toks[5].parse().map_err(|_| bad())?;
+            let layout = toks[7]
+                .split(',')
+                .map(|s| s.parse::<u32>().map_err(|_| bad()))
+                .collect::<Result<Vec<u32>, Error>>()?;
+            if layout.len() != self.redundancy() {
+                return Err(Error::Decode {
+                    what: format!(
+                        "object {id} layout has {} entries, geometry needs {}",
+                        layout.len(),
+                        self.redundancy()
+                    ),
+                });
+            }
+            parsed.insert(
+                id,
+                ObjectMeta {
+                    len,
+                    shard_len,
+                    layout,
+                },
+            );
+        }
+        *self.meta.lock().expect("meta lock") = parsed;
+        Ok(())
+    }
+
+    fn encode_object(&self, data: &[u8]) -> Result<(Vec<Vec<u8>>, u32), Error> {
+        let k = self.codec.data_shards();
+        let shard_len = data.len().div_ceil(k).max(1);
+        let mut data_shards = vec![vec![0u8; shard_len]; k];
+        for (i, chunk) in data.chunks(shard_len).enumerate() {
+            data_shards[i][..chunk.len()].copy_from_slice(chunk);
+        }
+        let shards = self.codec.encode(&data_shards)?;
+        Ok((shards, shard_len as u32))
+    }
+
+    /// One attempt of `f` against brick `id`, reconnecting a dropped
+    /// cached connection first and discarding the connection on error.
+    fn shard_op<T>(
+        &self,
+        id: u32,
+        op: &'static str,
+        f: impl FnOnce(&mut BrickClient) -> Result<T, Error>,
+    ) -> Result<T, Error> {
+        let addr = self.addrs.lock().expect("addrs lock")[id as usize];
+        let mut slot = self.conns[id as usize].lock().expect("conn lock");
+        if slot.is_none() {
+            *slot = Some(
+                BrickClient::connect(addr, self.cfg.timeout).map_err(|e| match e {
+                    Error::Io { detail, .. } => Error::Io { op, detail },
+                    other => other,
+                })?,
+            );
+        }
+        let client = slot.as_mut().expect("connected");
+        match f(client) {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                // Transport state is unknown after any failure: drop the
+                // connection so the next attempt starts clean.
+                *slot = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// `shard_op` under the retry policy: transient errors back off
+    /// exponentially (capped, jittered) and re-attempt; permanent errors
+    /// and exhausted budgets propagate typed.
+    fn shard_op_with_retry<T>(
+        &self,
+        id: u32,
+        op: &'static str,
+        mut f: impl FnMut(&mut BrickClient) -> Result<T, Error>,
+    ) -> Result<T, Error> {
+        let policy = &self.cfg.retry;
+        let mut last: Option<Error> = None;
+        for attempt in 0..policy.max_attempts {
+            if attempt > 0 {
+                obs::RETRIES.inc();
+                std::thread::sleep(self.backoff_delay(attempt));
+            }
+            match self.shard_op(id, op, &mut f) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(Error::RetriesExhausted {
+            op,
+            attempts: policy.max_attempts,
+            last: last.expect("at least one attempt failed").to_string(),
+        })
+    }
+
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let policy = &self.cfg.retry;
+        let exp = policy.base_delay.as_secs_f64() * 2f64.powi(attempt.saturating_sub(1) as i32);
+        let capped = exp.min(policy.max_delay.as_secs_f64());
+        // Jitter in [0.5, 1.0)× keeps synchronized retries from
+        // hammering a recovering brick in lockstep.
+        let jitter = self
+            .rng
+            .lock()
+            .expect("rng lock")
+            .random_range_f64(0.5, 1.0);
+        Duration::from_secs_f64(capped * jitter)
+    }
+}
+
+/// Picks `r` bricks from the (ascending) healthy list, rotated by the
+/// object id so consecutive objects spread their spare capacity across
+/// different bricks.
+fn rotate_pick(healthy: &[u32], object: u64, r: usize) -> Vec<u32> {
+    let start = (object as usize) % healthy.len();
+    (0..r)
+        .map(|i| healthy[(start + i) % healthy.len()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_pick_spreads_layouts() {
+        let healthy = [0, 1, 2, 3, 4, 5];
+        assert_eq!(rotate_pick(&healthy, 0, 5), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rotate_pick(&healthy, 1, 5), vec![1, 2, 3, 4, 5]);
+        assert_eq!(rotate_pick(&healthy, 5, 5), vec![5, 0, 1, 2, 3]);
+        assert_eq!(rotate_pick(&healthy, 6, 5), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn meta_round_trips_through_export() {
+        let cfg = GatewayConfig::new(3, 2);
+        // No bricks contacted: construction only validates geometry.
+        let addrs: Vec<SocketAddr> = (0..5)
+            .map(|i| format!("127.0.0.1:{}", 20000 + i).parse().unwrap())
+            .collect();
+        let gw = Gateway::connect(addrs.clone(), cfg.clone()).expect("gateway");
+        gw.meta.lock().unwrap().insert(
+            7,
+            ObjectMeta {
+                len: 1000,
+                shard_len: 334,
+                layout: vec![0, 1, 2, 3, 4],
+            },
+        );
+        let text = gw.export_meta();
+        let gw2 = Gateway::connect(addrs, cfg).expect("gateway");
+        gw2.import_meta(&text).expect("import");
+        assert_eq!(
+            gw2.meta.lock().unwrap().get(&7),
+            Some(&ObjectMeta {
+                len: 1000,
+                shard_len: 334,
+                layout: vec![0, 1, 2, 3, 4],
+            })
+        );
+    }
+
+    #[test]
+    fn import_rejects_bad_header_and_geometry() {
+        let cfg = GatewayConfig::new(3, 2);
+        let addrs: Vec<SocketAddr> = (0..5)
+            .map(|i| format!("127.0.0.1:{}", 21000 + i).parse().unwrap())
+            .collect();
+        let gw = Gateway::connect(addrs, cfg).expect("gateway");
+        assert!(matches!(
+            gw.import_meta("garbage"),
+            Err(Error::Decode { .. })
+        ));
+        assert!(matches!(
+            gw.import_meta("nsr-net-meta/v1\nobject 1 len 10 shard_len 4 layout 0,1\n"),
+            Err(Error::Decode { .. })
+        ));
+    }
+}

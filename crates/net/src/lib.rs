@@ -1,0 +1,49 @@
+//! `nsr-net`: the networked brick store — the paper's subject, live.
+//!
+//! Where `nsr-erasure`'s [`BrickStore`](nsr_erasure::store) *models* a
+//! network of storage bricks inside one process, this crate runs one:
+//!
+//! - [`brick`] — a TCP daemon storing erasure-coded shards, one handler
+//!   thread per connection, bounded timeouts on every socket op.
+//! - [`wire`] — the length-prefixed binary protocol between gateway and
+//!   bricks (put/get/delete shard, heartbeat, rebuild transfer), strict
+//!   decoding with typed errors and no panics on hostile bytes.
+//! - [`gateway`] — stripes objects across bricks with the
+//!   `nsr-erasure` Reed–Solomon codec, serves degraded reads from any
+//!   `k` surviving shards, retries transient faults with capped
+//!   exponential backoff + seeded jitter, and coordinates rebuild.
+//! - [`detector`] — φ-style heartbeat failure detection with the
+//!   explicit health state machine healthy → suspect → dead →
+//!   rebuilding → rejoined, on a pluggable [`clock`] so tests are
+//!   clock-free and deterministic.
+//! - [`cluster`] — the `nsr cluster-inject` harness: spawns brick
+//!   child processes, kill-9s them on a seeded `nsr-sim` `FaultPlan`
+//!   schedule, and asserts the erasure contract (zero loss at or below
+//!   `t` concurrent failures, correct typed loss above `t`).
+//!
+//! Everything emits `nsr-obs` v2 causal spans and events (request
+//! lifecycle, detection latency, rebuild progress), so the flight
+//! recorder's `nsr report` / `nsr explain` post-mortems work on live
+//! cluster traces unchanged.
+//!
+//! The transport is deliberately `std::net` + threads (workspace
+//! zero-dependency policy); the interesting reliability machinery is in
+//! the failure handling, not the I/O substrate.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod brick;
+pub mod client;
+pub mod clock;
+pub mod cluster;
+pub mod detector;
+mod error;
+pub mod gateway;
+pub mod obs;
+pub mod wire;
+
+pub use error::Error;
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

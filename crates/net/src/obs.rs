@@ -1,0 +1,51 @@
+//! Metric handles for the networked brick store.
+//!
+//! All of these are no-ops until `nsr_obs::set_metrics_enabled(true)`.
+//! Instrumentation sits on request boundaries and health transitions —
+//! never inside the per-byte socket loops.
+
+use nsr_obs::{Counter, Gauge, Histogram};
+
+/// Frames served by brick daemons (any request kind).
+pub static BRICK_REQUESTS: Counter = Counter::new("net.brick.requests");
+/// Gateway puts that committed (metadata installed).
+pub static PUTS: Counter = Counter::new("net.gateway.puts");
+/// Gateway gets that returned object bytes (healthy or degraded).
+pub static GETS: Counter = Counter::new("net.gateway.gets");
+/// Gets that needed erasure reconstruction (≥ 1 data shard unreachable).
+pub static DEGRADED_GETS: Counter = Counter::new("net.gateway.degraded_gets");
+/// Gets that failed with typed data loss (> t shards unavailable).
+pub static LOSS_GETS: Counter = Counter::new("net.gateway.loss_gets");
+/// Transient shard-op failures that triggered a backoff + retry.
+pub static RETRIES: Counter = Counter::new("net.gateway.retries");
+/// Bricks currently in the `Healthy` state.
+pub static HEALTHY_BRICKS: Gauge = Gauge::new("net.detect.healthy_bricks");
+/// Bricks the detector has declared dead over the process lifetime.
+pub static DEATHS: Counter = Counter::new("net.detect.deaths");
+/// Killed bricks that came back and were re-adopted as spares.
+pub static REJOINS: Counter = Counter::new("net.detect.rejoins");
+/// Seconds from last heartbeat of a brick to its `Dead` declaration.
+pub static DETECT_LATENCY_S: Histogram = Histogram::new("net.detect.latency_s");
+/// Shards re-replicated onto spares by the rebuild coordinator.
+pub static REBUILD_SHARDS: Counter = Counter::new("net.rebuild.shards_moved");
+/// Bytes moved by the rebuild coordinator.
+pub static REBUILD_BYTES: Counter = Counter::new("net.rebuild.bytes_moved");
+/// Rebuild passes interrupted by a mid-transfer source death.
+pub static REBUILD_INTERRUPTED: Counter = Counter::new("net.rebuild.interrupted");
+
+/// Registers every metric in this module with the global registry.
+pub fn register() {
+    BRICK_REQUESTS.register();
+    PUTS.register();
+    GETS.register();
+    DEGRADED_GETS.register();
+    LOSS_GETS.register();
+    RETRIES.register();
+    HEALTHY_BRICKS.register();
+    DEATHS.register();
+    REJOINS.register();
+    DETECT_LATENCY_S.register();
+    REBUILD_SHARDS.register();
+    REBUILD_BYTES.register();
+    REBUILD_INTERRUPTED.register();
+}

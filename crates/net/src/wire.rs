@@ -1,0 +1,516 @@
+//! Length-prefixed binary wire protocol between gateway and bricks.
+//!
+//! Every message on the wire is one *frame*:
+//!
+//! ```text
+//! +----------------+--------+-------------------+
+//! | u32 LE length  | u8 tag | payload (length-1)|
+//! +----------------+--------+-------------------+
+//! ```
+//!
+//! The length counts the tag byte plus the payload, so an empty-payload
+//! frame has length 1. All multi-byte integers in payloads are
+//! little-endian. Variable-length byte fields are `u32 LE length`
+//! followed by the bytes. Decoding is strict: unknown tags, truncated
+//! payloads, trailing bytes, and frames above [`MAX_FRAME_LEN`] are all
+//! typed [`Error::Decode`] values — never panics.
+
+use std::io::{Read, Write};
+
+use crate::error::Error;
+
+/// Upper bound on a frame's `length` field (64 MiB). A peer announcing
+/// more than this is malformed or hostile; the connection is dropped
+/// with a typed decode error rather than attempting the allocation.
+pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// Remote error codes carried by [`Frame::ErrorReply`].
+pub mod reply_code {
+    /// The requested shard is not stored on the brick.
+    pub const SHARD_NOT_FOUND: u16 = 1;
+    /// The request frame was not valid in the brick's current state.
+    pub const BAD_REQUEST: u16 = 2;
+    /// The brick is shutting down and not accepting work.
+    pub const SHUTTING_DOWN: u16 = 3;
+}
+
+/// A protocol frame: every request a gateway or the rebuild coordinator
+/// can send to a brick, and every response a brick can return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Store one erasure-coded shard.
+    PutShard {
+        /// Object id the shard belongs to.
+        object: u64,
+        /// Shard position within the object's redundancy set.
+        pos: u32,
+        /// Shard bytes.
+        data: Vec<u8>,
+    },
+    /// Fetch one shard.
+    GetShard {
+        /// Object id.
+        object: u64,
+        /// Shard position.
+        pos: u32,
+    },
+    /// Remove one shard (used when a rebuild re-homes it).
+    DeleteShard {
+        /// Object id.
+        object: u64,
+        /// Shard position.
+        pos: u32,
+    },
+    /// Liveness probe from the failure detector.
+    Heartbeat {
+        /// Monotonic probe sequence number.
+        seq: u64,
+    },
+    /// Enumerate every `(object, pos)` shard the brick stores.
+    ListShards,
+    /// Fetch a shard on behalf of a rebuild (distinct tag so rebuild
+    /// transfer traffic is separately visible in traces and metrics).
+    RebuildFetch {
+        /// Object id.
+        object: u64,
+        /// Shard position.
+        pos: u32,
+    },
+    /// Ask the brick to exit cleanly (used by orderly test teardown;
+    /// kill-9 campaigns never send it).
+    Shutdown,
+    /// Generic success response.
+    Ok,
+    /// Response carrying one shard's bytes.
+    ShardData {
+        /// Shard bytes.
+        data: Vec<u8>,
+    },
+    /// Heartbeat response.
+    HeartbeatAck {
+        /// Echo of the probe's sequence number.
+        seq: u64,
+        /// The responding brick's id.
+        brick_id: u32,
+        /// Number of shards currently stored (cheap load signal).
+        shards: u64,
+    },
+    /// Response to [`Frame::ListShards`].
+    ShardList {
+        /// Every stored `(object, pos)` pair.
+        entries: Vec<(u64, u32)>,
+    },
+    /// Typed failure response.
+    ErrorReply {
+        /// Machine-readable code (see [`reply_code`]).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+const TAG_PUT_SHARD: u8 = 0x01;
+const TAG_GET_SHARD: u8 = 0x02;
+const TAG_DELETE_SHARD: u8 = 0x03;
+const TAG_HEARTBEAT: u8 = 0x04;
+const TAG_LIST_SHARDS: u8 = 0x05;
+const TAG_REBUILD_FETCH: u8 = 0x06;
+const TAG_SHUTDOWN: u8 = 0x07;
+const TAG_OK: u8 = 0x40;
+const TAG_SHARD_DATA: u8 = 0x41;
+const TAG_HEARTBEAT_ACK: u8 = 0x42;
+const TAG_SHARD_LIST: u8 = 0x43;
+const TAG_ERROR_REPLY: u8 = 0x44;
+
+impl Frame {
+    /// Whether this frame is a request (gateway → brick).
+    pub fn is_request(&self) -> bool {
+        matches!(
+            self,
+            Frame::PutShard { .. }
+                | Frame::GetShard { .. }
+                | Frame::DeleteShard { .. }
+                | Frame::Heartbeat { .. }
+                | Frame::ListShards
+                | Frame::RebuildFetch { .. }
+                | Frame::Shutdown
+        )
+    }
+
+    /// Short name for tracing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::PutShard { .. } => "put_shard",
+            Frame::GetShard { .. } => "get_shard",
+            Frame::DeleteShard { .. } => "delete_shard",
+            Frame::Heartbeat { .. } => "heartbeat",
+            Frame::ListShards => "list_shards",
+            Frame::RebuildFetch { .. } => "rebuild_fetch",
+            Frame::Shutdown => "shutdown",
+            Frame::Ok => "ok",
+            Frame::ShardData { .. } => "shard_data",
+            Frame::HeartbeatAck { .. } => "heartbeat_ack",
+            Frame::ShardList { .. } => "shard_list",
+            Frame::ErrorReply { .. } => "error_reply",
+        }
+    }
+
+    /// Serializes the frame into `[len][tag][payload]` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        let tag = match self {
+            Frame::PutShard { object, pos, data } => {
+                put_u64(&mut payload, *object);
+                put_u32(&mut payload, *pos);
+                put_bytes(&mut payload, data);
+                TAG_PUT_SHARD
+            }
+            Frame::GetShard { object, pos } => {
+                put_u64(&mut payload, *object);
+                put_u32(&mut payload, *pos);
+                TAG_GET_SHARD
+            }
+            Frame::DeleteShard { object, pos } => {
+                put_u64(&mut payload, *object);
+                put_u32(&mut payload, *pos);
+                TAG_DELETE_SHARD
+            }
+            Frame::Heartbeat { seq } => {
+                put_u64(&mut payload, *seq);
+                TAG_HEARTBEAT
+            }
+            Frame::ListShards => TAG_LIST_SHARDS,
+            Frame::RebuildFetch { object, pos } => {
+                put_u64(&mut payload, *object);
+                put_u32(&mut payload, *pos);
+                TAG_REBUILD_FETCH
+            }
+            Frame::Shutdown => TAG_SHUTDOWN,
+            Frame::Ok => TAG_OK,
+            Frame::ShardData { data } => {
+                put_bytes(&mut payload, data);
+                TAG_SHARD_DATA
+            }
+            Frame::HeartbeatAck {
+                seq,
+                brick_id,
+                shards,
+            } => {
+                put_u64(&mut payload, *seq);
+                put_u32(&mut payload, *brick_id);
+                put_u64(&mut payload, *shards);
+                TAG_HEARTBEAT_ACK
+            }
+            Frame::ShardList { entries } => {
+                put_u32(&mut payload, entries.len() as u32);
+                for (object, pos) in entries {
+                    put_u64(&mut payload, *object);
+                    put_u32(&mut payload, *pos);
+                }
+                TAG_SHARD_LIST
+            }
+            Frame::ErrorReply { code, detail } => {
+                payload.extend_from_slice(&code.to_le_bytes());
+                put_bytes(&mut payload, detail.as_bytes());
+                TAG_ERROR_REPLY
+            }
+        };
+        let len = 1 + payload.len() as u32;
+        let mut out = Vec::with_capacity(4 + len as usize);
+        out.extend_from_slice(&len.to_le_bytes());
+        out.push(tag);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decodes a frame body (`tag` + `payload`, without the length
+    /// prefix). The entire body must be consumed; trailing bytes are a
+    /// decode error.
+    pub fn decode(body: &[u8]) -> Result<Frame, Error> {
+        let (&tag, payload) = body.split_first().ok_or_else(|| Error::Decode {
+            what: "empty frame body (length field was 0)".to_string(),
+        })?;
+        let mut cur = Cursor {
+            buf: payload,
+            off: 0,
+        };
+        let frame = match tag {
+            TAG_PUT_SHARD => Frame::PutShard {
+                object: cur.u64()?,
+                pos: cur.u32()?,
+                data: cur.bytes()?,
+            },
+            TAG_GET_SHARD => Frame::GetShard {
+                object: cur.u64()?,
+                pos: cur.u32()?,
+            },
+            TAG_DELETE_SHARD => Frame::DeleteShard {
+                object: cur.u64()?,
+                pos: cur.u32()?,
+            },
+            TAG_HEARTBEAT => Frame::Heartbeat { seq: cur.u64()? },
+            TAG_LIST_SHARDS => Frame::ListShards,
+            TAG_REBUILD_FETCH => Frame::RebuildFetch {
+                object: cur.u64()?,
+                pos: cur.u32()?,
+            },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_OK => Frame::Ok,
+            TAG_SHARD_DATA => Frame::ShardData { data: cur.bytes()? },
+            TAG_HEARTBEAT_ACK => Frame::HeartbeatAck {
+                seq: cur.u64()?,
+                brick_id: cur.u32()?,
+                shards: cur.u64()?,
+            },
+            TAG_SHARD_LIST => {
+                let n = cur.u32()? as usize;
+                // Each entry is 12 bytes; reject counts the remaining
+                // payload cannot possibly hold before allocating.
+                if n > cur.remaining() / 12 {
+                    return Err(Error::Decode {
+                        what: format!(
+                            "shard list claims {n} entries but only {} payload bytes remain",
+                            cur.remaining()
+                        ),
+                    });
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push((cur.u64()?, cur.u32()?));
+                }
+                Frame::ShardList { entries }
+            }
+            TAG_ERROR_REPLY => {
+                let code = u16::from_le_bytes(cur.take(2)?.try_into().expect("len checked"));
+                let detail_bytes = cur.bytes()?;
+                let detail = String::from_utf8(detail_bytes).map_err(|_| Error::Decode {
+                    what: "error reply detail is not valid UTF-8".to_string(),
+                })?;
+                Frame::ErrorReply { code, detail }
+            }
+            other => {
+                return Err(Error::Decode {
+                    what: format!("unknown frame tag 0x{other:02x}"),
+                })
+            }
+        };
+        if cur.remaining() != 0 {
+            return Err(Error::Decode {
+                what: format!(
+                    "{} trailing byte(s) after {} frame",
+                    cur.remaining(),
+                    frame.name()
+                ),
+            });
+        }
+        Ok(frame)
+    }
+}
+
+/// Writes one frame to `w`, flushing it onto the wire.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), Error> {
+    let bytes = frame.encode();
+    w.write_all(&bytes)
+        .and_then(|_| w.flush())
+        .map_err(|e| Error::from_io("write_frame", &e))
+}
+
+/// Reads one frame from `r`. A clean EOF before any length byte returns
+/// `Ok(None)` (peer closed between frames); EOF mid-frame is a decode
+/// error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, Error> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+        ReadOutcome::Partial(got) => {
+            return Err(Error::Decode {
+                what: format!("connection closed after {got} of 4 length-prefix bytes"),
+            })
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len == 0 {
+        return Err(Error::Decode {
+            what: "frame length 0 (a frame always carries a tag byte)".to_string(),
+        });
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Decode {
+            what: format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"),
+        });
+    }
+    let mut body = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut body)? {
+        ReadOutcome::Full => {}
+        ReadOutcome::Eof | ReadOutcome::Partial(_) => {
+            return Err(Error::Decode {
+                what: format!("connection closed mid-frame (expected {len} body bytes)"),
+            })
+        }
+    }
+    Frame::decode(&body).map(Some)
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Partial(usize),
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial(filled)
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::from_io("read_frame", &e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::Decode {
+                what: format!(
+                    "payload truncated: needed {n} bytes, {} remain",
+                    self.remaining()
+                ),
+            });
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, Error> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("len checked"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, Error> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("len checked"),
+        ))
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, Error> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::PutShard {
+                object: 7,
+                pos: 3,
+                data: vec![1, 2, 3, 4, 5],
+            },
+            Frame::PutShard {
+                object: u64::MAX,
+                pos: u32::MAX,
+                data: vec![],
+            },
+            Frame::GetShard { object: 9, pos: 0 },
+            Frame::DeleteShard { object: 1, pos: 2 },
+            Frame::Heartbeat { seq: 42 },
+            Frame::ListShards,
+            Frame::RebuildFetch { object: 5, pos: 1 },
+            Frame::Shutdown,
+            Frame::Ok,
+            Frame::ShardData {
+                data: vec![0xff; 1024],
+            },
+            Frame::HeartbeatAck {
+                seq: 42,
+                brick_id: 3,
+                shards: 120,
+            },
+            Frame::ShardList {
+                entries: vec![(1, 0), (1, 1), (2, 4)],
+            },
+            Frame::ShardList { entries: vec![] },
+            Frame::ErrorReply {
+                code: reply_code::SHARD_NOT_FOUND,
+                detail: "obj9 pos0".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for frame in sample_frames() {
+            let enc = frame.encode();
+            let mut cursor = std::io::Cursor::new(enc);
+            let back = read_frame(&mut cursor).unwrap().unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut empty).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.push(TAG_OK);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = vec![TAG_HEARTBEAT];
+        body.extend_from_slice(&42u64.to_le_bytes());
+        body.push(0xaa);
+        assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn shard_list_length_lie_rejected() {
+        let mut body = vec![TAG_SHARD_LIST];
+        body.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
+    }
+}

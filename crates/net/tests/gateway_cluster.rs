@@ -1,0 +1,371 @@
+//! End-to-end gateway tests against in-process brick servers: healthy
+//! and degraded reads, automatic rebuild to spares, the typed
+//! `RebuildInterrupted` checkpoint, and coordinator-restart resume.
+//!
+//! Bricks run as threads (the child-process path is exercised by
+//! `nsr cluster-inject` and the CLI integration test); the failure
+//! detector runs on a `MockClock` so every health transition in here is
+//! deterministic.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use nsr_net::brick::{BrickConfig, BrickServer};
+use nsr_net::client::BrickClient;
+use nsr_net::clock::MockClock;
+use nsr_net::detector::{DetectorConfig, Health};
+use nsr_net::gateway::{Gateway, GatewayConfig, ReadMode, RetryPolicy};
+use nsr_net::Error;
+
+struct TestCluster {
+    addrs: Vec<SocketAddr>,
+    handles: Vec<Option<std::thread::JoinHandle<Result<(), Error>>>>,
+    clock: MockClock,
+    gw: Gateway,
+}
+
+impl TestCluster {
+    fn new(bricks: usize, data: usize, parity: usize) -> TestCluster {
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for id in 0..bricks {
+            let (addr, handle) = BrickServer::bind("127.0.0.1:0", BrickConfig::new(id as u32))
+                .expect("bind brick")
+                .spawn();
+            addrs.push(addr);
+            handles.push(Some(handle));
+        }
+        let clock = MockClock::new();
+        let mut cfg = GatewayConfig::new(data, parity);
+        cfg.timeout = Duration::from_millis(300);
+        cfg.retry = RetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+        };
+        cfg.detector = DetectorConfig {
+            suspect_phi: 1.0,
+            dead_phi: 3.0,
+            initial_interval_s: 0.5,
+            interval_alpha: 0.2,
+        };
+        let gw = Gateway::with_clock(addrs.clone(), cfg, Arc::new(clock.clone())).expect("gateway");
+        let cluster = TestCluster {
+            addrs,
+            handles,
+            clock,
+            gw,
+        };
+        // Establish heartbeat history at a steady mock interval.
+        for _ in 0..10 {
+            cluster.pump();
+        }
+        cluster
+    }
+
+    /// One detector round: advance mock time half a second, probe.
+    fn pump(&self) {
+        self.clock.advance(0.5);
+        self.gw.pump_heartbeats();
+    }
+
+    /// Orderly brick shutdown — from the gateway's perspective the
+    /// brick simply stops answering, like a kill.
+    fn stop_brick(&mut self, id: usize) {
+        let mut c = BrickClient::connect(self.addrs[id], Duration::from_millis(300))
+            .expect("connect for shutdown");
+        c.shutdown().expect("shutdown");
+        if let Some(h) = self.handles[id].take() {
+            h.join().expect("join").expect("brick run");
+        }
+    }
+
+    /// Restarts a stopped brick on a fresh port with an empty store —
+    /// the in-process analogue of the campaign's victim respawn.
+    fn restart_brick(&mut self, id: usize) {
+        let (addr, handle) = BrickServer::bind("127.0.0.1:0", BrickConfig::new(id as u32))
+            .expect("rebind brick")
+            .spawn();
+        self.addrs[id] = addr;
+        self.handles[id] = Some(handle);
+        self.gw.set_brick_addr(id as u32, addr);
+    }
+
+    /// Pumps until `id` is declared dead (bounded).
+    fn pump_until_dead(&self, id: u32) {
+        for _ in 0..32 {
+            self.pump();
+            if self.gw.health_summary()[id as usize].1 == Health::Dead {
+                return;
+            }
+        }
+        panic!(
+            "brick {id} not declared dead: {:?}",
+            self.gw.health_summary()
+        );
+    }
+}
+
+impl Drop for TestCluster {
+    fn drop(&mut self) {
+        for (id, slot) in self.handles.iter_mut().enumerate() {
+            if let Some(h) = slot.take() {
+                if let Ok(mut c) = BrickClient::connect(self.addrs[id], Duration::from_millis(200))
+                {
+                    let _ = c.shutdown();
+                }
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn payload(object: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u64 * 31 + object * 7) % 251) as u8)
+        .collect()
+}
+
+#[test]
+fn healthy_put_get_round_trip() {
+    let cluster = TestCluster::new(4, 2, 1);
+    let data = payload(3, 10_000);
+    cluster.gw.put(3, &data).expect("put");
+    let (back, mode) = cluster.gw.get(3).expect("get");
+    assert_eq!(back, data);
+    assert_eq!(mode, ReadMode::Healthy);
+    // Odd sizes survive the shard padding too.
+    cluster.gw.put(4, &payload(4, 1)).expect("put tiny");
+    assert_eq!(cluster.gw.get(4).expect("get tiny").0, payload(4, 1));
+    cluster.gw.put(5, &[]).expect("put empty");
+    assert_eq!(cluster.gw.get(5).expect("get empty").0, Vec::<u8>::new());
+}
+
+#[test]
+fn degraded_read_routes_around_undetected_dead_brick() {
+    let mut cluster = TestCluster::new(4, 2, 1);
+    let data = payload(0, 8_192);
+    cluster.gw.put(0, &data).expect("put");
+    let layout = cluster.gw.object_layout(0).expect("layout");
+    // Kill a data-shard holder without giving the detector a chance to
+    // notice: the read must still succeed by reconstruction.
+    cluster.stop_brick(layout[0] as usize);
+    let (back, mode) = cluster.gw.get(0).expect("degraded get");
+    assert_eq!(back, data);
+    assert_eq!(mode, ReadMode::Degraded);
+}
+
+#[test]
+fn death_triggers_rebuild_to_spare_and_healthy_reads() {
+    let mut cluster = TestCluster::new(4, 2, 1);
+    for id in 0..6u64 {
+        cluster.gw.put(id, &payload(id, 4_096)).expect("put");
+    }
+    // Brick 1 appears in some layouts (4 bricks, r=3 → each object
+    // skips exactly one brick).
+    cluster.stop_brick(1);
+    cluster.pump_until_dead(1);
+    let report = cluster.gw.repair_all().expect("repair");
+    assert!(report.shards_moved > 0, "rebuild must move shards");
+    assert_eq!(report.lost_objects, Vec::<u64>::new());
+    assert_eq!(report.resumed_from, 0);
+    // Every layout now avoids brick 1 and reads are fully healthy.
+    for id in 0..6u64 {
+        let layout = cluster.gw.object_layout(id).expect("layout");
+        assert!(!layout.contains(&1), "obj{id} still references dead brick");
+        let (back, mode) = cluster.gw.get(id).expect("get after rebuild");
+        assert_eq!(back, payload(id, 4_096));
+        assert_eq!(mode, ReadMode::Healthy);
+    }
+    // The drained brick is out of rebuilding, still out of service.
+    assert_eq!(cluster.gw.health_summary()[1].1, Health::Dead);
+}
+
+/// The interruption scenario, fully deterministic: brick 0 dies and is
+/// detected; bricks 5 and 6 die *silently* (no detector round). The
+/// repair pass fixes obj 0 (checkpoint = 1), then hits obj 5 — whose
+/// surviving sources are mostly the silently-dead bricks — and must
+/// surface `RebuildInterrupted { resumed_from: 1 }` rather than failing
+/// some other way or redoing work on resume.
+#[test]
+fn rebuild_interruption_checkpoints_and_resumes() {
+    let mut cluster = TestCluster::new(8, 2, 2);
+    // Layout rotation over 8 healthy bricks: obj0 → [0,1,2,3],
+    // obj5 → [5,6,7,0].
+    cluster.gw.put(0, &payload(0, 4_096)).expect("put 0");
+    cluster.gw.put(5, &payload(5, 4_096)).expect("put 5");
+    assert_eq!(cluster.gw.object_layout(0).unwrap(), vec![0, 1, 2, 3]);
+    assert_eq!(cluster.gw.object_layout(5).unwrap(), vec![5, 6, 7, 0]);
+
+    cluster.stop_brick(0);
+    cluster.pump_until_dead(0);
+    // Silent deaths: the detector still believes 5 and 6 are healthy.
+    cluster.stop_brick(5);
+    cluster.stop_brick(6);
+
+    match cluster.gw.repair_all() {
+        Err(Error::RebuildInterrupted { resumed_from }) => {
+            assert_eq!(resumed_from, 1, "obj0's completed move is the checkpoint")
+        }
+        other => panic!("expected RebuildInterrupted, got {other:?}"),
+    }
+    // obj0's repair survived the interruption (per-shard commit).
+    assert!(!cluster.gw.object_layout(0).unwrap().contains(&0));
+
+    // Let detection catch up, then resume.
+    cluster.pump_until_dead(5);
+    cluster.pump_until_dead(6);
+    let report = cluster.gw.repair_all().expect("resumed repair");
+    assert_eq!(report.resumed_from, 1, "resumed from the checkpoint");
+    assert_eq!(report.shards_moved, 0, "no completed work is redone");
+    assert_eq!(
+        report.lost_objects,
+        vec![5],
+        "obj5 lost 3 of 4 shards — typed loss, not silent"
+    );
+    assert_eq!(
+        cluster.gw.get(0).expect("obj0 healthy").1,
+        ReadMode::Healthy
+    );
+    assert!(matches!(
+        cluster.gw.get(5),
+        Err(Error::DataLoss {
+            object: 5,
+            missing: 3,
+            tolerated: 2
+        })
+    ));
+    // A clean pass closes the rebuild generation.
+    assert_eq!(
+        cluster.gw.repair_all().expect("idle repair").resumed_from,
+        0
+    );
+}
+
+/// Spare exhaustion: with 2 of 4 bricks dead, an object that lost only
+/// 1 shard (≤ t) may find every survivor already in its layout — there
+/// is nowhere to re-replicate to. The repair pass must *defer* such
+/// objects (keeping them degraded-readable), not abort, and a
+/// presence-driven scrub after the bricks rejoin must restore them to
+/// full redundancy in place.
+#[test]
+fn no_spare_defers_objects_and_scrub_restores_after_rejoin() {
+    let mut cluster = TestCluster::new(4, 2, 1);
+    for id in 0..6u64 {
+        cluster.gw.put(id, &payload(id, 4_096)).expect("put");
+    }
+    // Layout rotation: obj o → bricks [o%4, o+1, o+2]. Dead {0, 3}:
+    // objects 0,1,4,5 lose exactly 1 shard but every survivor {1,2} is
+    // already in their layout; objects 2,3 lose 2 > t.
+    cluster.stop_brick(0);
+    cluster.stop_brick(3);
+    cluster.pump_until_dead(0);
+    cluster.pump_until_dead(3);
+
+    let report = cluster.gw.repair_all().expect("repair pass must not abort");
+    assert_eq!(report.deferred_objects, vec![0, 1, 4, 5]);
+    assert_eq!(report.lost_objects, vec![2, 3]);
+    assert_eq!(report.shards_moved, 0, "nowhere to move shards to");
+
+    // Deferred objects stay readable. Objects 0 and 4 lost a *data*
+    // shard (brick 0 holds their pos 0), so their reads reconstruct;
+    // objects 1 and 5 only lost parity (brick 3) and read clean.
+    for id in [0u64, 1, 4, 5] {
+        let (back, mode) = cluster.gw.get(id).expect("deferred object readable");
+        assert_eq!(back, payload(id, 4_096));
+        let expect_mode = if id % 4 == 0 {
+            ReadMode::Degraded
+        } else {
+            ReadMode::Healthy
+        };
+        assert_eq!(mode, expect_mode, "obj{id}");
+    }
+    assert!(matches!(
+        cluster.gw.get(2),
+        Err(Error::DataLoss {
+            object: 2,
+            missing: 2,
+            tolerated: 1
+        })
+    ));
+
+    // Victims come back empty and are adopted as spares.
+    cluster.restart_brick(0);
+    cluster.restart_brick(3);
+    for _ in 0..32 {
+        cluster.pump();
+        cluster.gw.adopt_rejoined();
+        let hs = cluster.gw.health_summary();
+        if hs[0].1 == Health::Healthy && hs[3].1 == Health::Healthy {
+            break;
+        }
+    }
+
+    let scrub = cluster.gw.scrub_repair().expect("scrub");
+    assert_eq!(scrub.objects_repaired, 4);
+    assert_eq!(
+        scrub.shards_moved, 4,
+        "one missing shard per deferred object"
+    );
+    assert_eq!(scrub.lost_objects, vec![2, 3], "loss is permanent");
+    assert_eq!(scrub.deferred_objects, Vec::<u64>::new());
+
+    // Full redundancy restored in place: same layouts, healthy reads.
+    for id in [0u64, 1, 4, 5] {
+        let (back, mode) = cluster.gw.get(id).expect("get after scrub");
+        assert_eq!(back, payload(id, 4_096));
+        assert_eq!(mode, ReadMode::Healthy);
+    }
+    // A second scrub finds nothing to do.
+    let idle = cluster.gw.scrub_repair().expect("idle scrub");
+    assert_eq!(idle.shards_moved, 0);
+}
+
+/// Coordinator restart: a fresh gateway importing the old gateway's
+/// exported metadata resumes the rebuild from the committed layout —
+/// obj0's finished move is not redone, obj5's loss is re-derived.
+#[test]
+fn coordinator_restart_resumes_from_committed_metadata() {
+    let mut cluster = TestCluster::new(8, 2, 2);
+    cluster.gw.put(0, &payload(0, 4_096)).expect("put 0");
+    cluster.gw.put(5, &payload(5, 4_096)).expect("put 5");
+    cluster.stop_brick(0);
+    cluster.pump_until_dead(0);
+    cluster.stop_brick(5);
+    cluster.stop_brick(6);
+    assert!(matches!(
+        cluster.gw.repair_all(),
+        Err(Error::RebuildInterrupted { resumed_from: 1 })
+    ));
+    let exported = cluster.gw.export_meta();
+
+    // The coordinator "crashes" and a new one starts with a blank
+    // detector and the exported metadata.
+    let mut cfg = GatewayConfig::new(2, 2);
+    cfg.timeout = Duration::from_millis(300);
+    cfg.retry = RetryPolicy {
+        max_attempts: 3,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(4),
+    };
+    let clock = MockClock::new();
+    let gw2 = Gateway::with_clock(cluster.addrs.clone(), cfg, Arc::new(clock.clone()))
+        .expect("second gateway");
+    gw2.import_meta(&exported).expect("import");
+    for _ in 0..40 {
+        clock.advance(0.5);
+        gw2.pump_heartbeats();
+        let hs = gw2.health_summary();
+        if [0usize, 5, 6].iter().all(|&b| hs[b].1 == Health::Dead) {
+            break;
+        }
+    }
+    let report = gw2.repair_all().expect("repair after restart");
+    assert_eq!(
+        report.shards_moved, 0,
+        "finished move not redone after restart"
+    );
+    assert_eq!(report.lost_objects, vec![5]);
+    assert_eq!(gw2.get(0).expect("obj0 readable").0, payload(0, 4_096));
+}

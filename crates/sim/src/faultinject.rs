@@ -320,7 +320,12 @@ impl FaultPlan {
 
     /// Scheduled one-shot injections (At + expanded Bursts), sorted by
     /// time with stable clause-order tie-breaking.
-    fn schedule(&self) -> Vec<(f64, FaultKind)> {
+    ///
+    /// Public so live harnesses can drive real side effects from the
+    /// same plan the simulator replays: `nsr-net`'s cluster-inject
+    /// campaign maps each entry to a kill-9 of a brick child process,
+    /// scaling plan hours onto a wall-clock axis.
+    pub fn scheduled_injections(&self) -> Vec<(f64, FaultKind)> {
         let mut out: Vec<(f64, FaultKind)> = Vec::new();
         for c in &self.clauses {
             match *c {
@@ -761,7 +766,7 @@ impl<'a> Campaign<'a> {
     ) -> Result<(CampaignReport, ())> {
         let e = self.sim.engine_rates();
         let profile = BandwidthProfile::new(self.plan.bandwidth_windows());
-        let schedule = self.plan.schedule();
+        let schedule = self.plan.scheduled_injections();
         let poisson = self.plan.poisson_streams();
 
         let mut trace = EventTrace::default();
