@@ -99,6 +99,29 @@ echo "==> cluster smoke (live brick daemons on loopback, kill -9, rebuild)"
 diff "$SMOKE_DIR/burst-a.txt" "$SMOKE_DIR/burst-b.txt"
 grep -q 'verdict=LOSS' "$SMOKE_DIR/burst-a.txt"
 
+echo "==> serving smoke (workload generator, pool metrics, serving bench gate)"
+# A short seeded workload must drive the healthy -> degraded -> rebuilding
+# phases end to end and surface the connection-pool and serving-latency
+# metrics in its snapshot. Then the serving suite gets the same
+# deterministic compare gate as sweep: identical reports pass, a
+# uniformly slowed-down copy must fail.
+./target/release/nsr workload --ops 120 --object-bytes 4096 --seed 42 \
+    --metrics-out "$SMOKE_DIR/workload-metrics.jsonl" | grep -q '^rebuilding'
+./target/release/nsr obs-check --file "$SMOKE_DIR/workload-metrics.jsonl" \
+    --require net.pool.reuses,net.pool.keepalives,net.serving.put_s,net.serving.get_s
+./target/release/nsr bench --suite serving --smoke --out-dir "$SMOKE_DIR"
+./target/release/nsr bench --check --out-dir "$SMOKE_DIR"
+cp "$SMOKE_DIR/BENCH_serving.json" "$SMOKE_DIR/BENCH_serving.old.json"
+./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_serving.old.json" \
+    "$SMOKE_DIR/BENCH_serving.json"
+sed 's/"ns_per_iter": /"ns_per_iter": 9/' "$SMOKE_DIR/BENCH_serving.json" \
+    > "$SMOKE_DIR/BENCH_serving.slow.json"
+if ./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_serving.old.json" \
+    "$SMOKE_DIR/BENCH_serving.slow.json" > /dev/null 2>&1; then
+    echo "ERROR: bench --compare missed a serving regression" >&2
+    exit 1
+fi
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

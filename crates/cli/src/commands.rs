@@ -28,8 +28,8 @@ COMMANDS:
   baseline    Figure 13: all nine configurations at the baseline
   eval        evaluate one configuration (--config ft2-ir5)
   sweep       one sensitivity analysis (--figure 14..20; --csv for CSV;
-              --workers N to evaluate rows in parallel)
-  figures     regenerate all figures as CSV files (--out DIR, --workers N)
+              --workers N|auto to evaluate rows in parallel)
+  figures     regenerate all figures as CSV files (--out DIR, --workers N|auto)
   sim         system-level Monte Carlo (--config, --samples, --seed)
   inject      fault-injection campaign (--plan NAME|list, --runs, --seed;
               --replay SEED prints one run's exact event trace)
@@ -64,6 +64,11 @@ COMMANDS:
   cluster-inject  live kill-9 campaign over real brick child processes
               (--bricks N, --plan kill9-single|kill9-burst, --seed S);
               verdict lines are deterministic for a (plan, seed, bricks)
+  workload    YCSB-style serving benchmark over an in-process cluster
+              (--objects N, --object-bytes B, --ops N, --read-pct P,
+              --dist zipfian|uniform, --theta F, --seed S); replays one
+              seeded op stream through healthy -> degraded -> rebuilding
+              phases and reports MiB/s plus p50/p95/p99 latencies
   help        this text
 
 CONFIGS:  ft<k>-<nir|ir5|ir6>, e.g. ft1-nir, ft2-ir5, ft3-nir
@@ -149,6 +154,7 @@ fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
         "brick" => crate::net_cmds::brick(args),
         "gateway" => crate::net_cmds::gateway(args),
         "cluster-inject" => crate::net_cmds::cluster_inject(args),
+        "workload" => crate::net_cmds::workload(args),
         "aging" => aging(args),
         "bench" => bench(args),
         "chain" => chain(args),
@@ -240,9 +246,17 @@ pub fn sweep_for_figure_workers(figure: u32, params: &Params, workers: usize) ->
 }
 
 fn workers_from(args: &ParsedArgs) -> Result<usize> {
-    let workers = args.get_or("workers", 1usize)?;
+    let raw = args.get_or("workers", String::from("1"))?;
+    if raw == "auto" {
+        // 0 is the core-layer sentinel: sweep_with_workers resolves it
+        // per sweep via nsr_core::sweep::auto_workers (cores vs rows).
+        return Ok(0);
+    }
+    let workers: usize = raw
+        .parse()
+        .map_err(|_| CliError(format!("--workers must be a count or `auto` (got {raw})")))?;
     if workers == 0 {
-        return Err(CliError("--workers must be at least 1".into()));
+        return Err(CliError("--workers must be at least 1 (or `auto`)".into()));
     }
     Ok(workers)
 }
@@ -951,12 +965,13 @@ mod tests {
     #[test]
     fn sweep_workers_output_is_identical_to_serial() {
         let serial = run(&["sweep", "--figure", "16", "--csv"]).unwrap();
-        for workers in ["2", "4"] {
+        for workers in ["2", "4", "auto"] {
             let parallel =
                 run(&["sweep", "--figure", "16", "--csv", "--workers", workers]).unwrap();
             assert_eq!(serial, parallel, "workers = {workers}");
         }
         assert!(run(&["sweep", "--figure", "16", "--workers", "0"]).is_err());
+        assert!(run(&["sweep", "--figure", "16", "--workers", "many"]).is_err());
     }
 
     #[test]

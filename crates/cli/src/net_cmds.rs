@@ -153,6 +153,180 @@ pub fn gateway(args: &ParsedArgs) -> Result<String> {
     }
 }
 
+/// `nsr workload [--objects N --object-bytes B --ops N --read-pct P
+/// --dist zipfian|uniform --theta F --seed S --bricks N --data K
+/// --parity T]`: a YCSB-style serving benchmark over an in-process
+/// loopback cluster. Spawns the bricks, populates the working set, then
+/// replays the same seeded op stream through three cluster states —
+/// healthy, degraded (one brick killed and declared dead), and
+/// rebuilding (repair running concurrently with serving) — and reports
+/// per-phase throughput plus p50/p95/p99 op latencies. The op streams
+/// are a pure function of `(seed, phase)`, so two runs with the same
+/// arguments issue identical key/op sequences.
+pub fn workload(args: &ParsedArgs) -> Result<String> {
+    use nsr_net::client::BrickClient;
+    use nsr_net::detector::{DetectorConfig, Health};
+    use nsr_net::gateway::RetryPolicy;
+    use nsr_net::workload::{populate, run_phase, KeyDist, PhaseStats, WorkloadSpec};
+
+    let spec = WorkloadSpec {
+        objects: args.get_or("objects", 64u64)?,
+        object_bytes: args.get_or("object-bytes", 64 * 1024usize)?,
+        ops: args.get_or("ops", 400usize)?,
+        read_pct: args.get_or("read-pct", 95u32)?,
+        dist: match args.get_or("dist", String::from("zipfian"))?.as_str() {
+            "zipfian" => KeyDist::Zipfian {
+                theta: args.get_or("theta", 0.99f64)?,
+            },
+            "uniform" => KeyDist::Uniform,
+            other => {
+                return Err(CliError(format!(
+                    "unknown --dist '{other}' (expected zipfian or uniform)"
+                )))
+            }
+        },
+        seed: args.get_or("seed", 42u64)?,
+    };
+    let brick_count = args.get_or("bricks", 4usize)?;
+    let data_shards = args.get_or("data", 2usize)?;
+    let parity_shards = args.get_or("parity", 1usize)?;
+    if brick_count <= data_shards + parity_shards {
+        return Err(CliError(format!(
+            "need more than {} bricks for a {data_shards}+{parity_shards} stripe \
+             to survive the degraded phase",
+            data_shards + parity_shards
+        )));
+    }
+
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..brick_count as u32 {
+        let (addr, handle) = BrickServer::bind("127.0.0.1:0", BrickConfig::new(id))?.spawn();
+        addrs.push(addr);
+        handles.push(Some(handle));
+    }
+    let mut cfg = GatewayConfig::new(data_shards, parity_shards);
+    cfg.timeout = Duration::from_millis(250);
+    cfg.retry = RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(20),
+    };
+    cfg.detector = DetectorConfig {
+        suspect_phi: 1.0,
+        dead_phi: 3.0,
+        initial_interval_s: 0.02,
+        interval_alpha: 0.2,
+    };
+    cfg.jitter_seed = spec.seed;
+    let gw = Gateway::connect(addrs.clone(), cfg)?;
+    for _ in 0..8 {
+        gw.pump_heartbeats();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    populate(&gw, &spec)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload: {} objects x {} B, {} ops/phase, {}% reads, {} dist, seed {}",
+        spec.objects,
+        spec.object_bytes,
+        spec.ops,
+        spec.read_pct,
+        match spec.dist {
+            KeyDist::Zipfian { theta } => format!("zipfian(theta={theta})"),
+            KeyDist::Uniform => "uniform".to_string(),
+        },
+        spec.seed
+    );
+    let _ = writeln!(
+        out,
+        "cluster: {brick_count} bricks, geometry {data_shards}+{parity_shards}"
+    );
+
+    let phase_line = |out: &mut String, name: &str, s: &PhaseStats| {
+        let us = |v: f64| v * 1e6;
+        let _ = writeln!(
+            out,
+            "{name:<11} {:>8.1} MiB/s {:>8.0} ops/s  {} get / {} put / {} degraded  \
+             get p50={:.1}us p95={:.1}us p99={:.1}us  put p50={:.1}us p99={:.1}us",
+            s.mib_per_sec(),
+            s.ops_per_sec(),
+            s.gets,
+            s.puts,
+            s.degraded_gets,
+            us(s.get_percentile_s(0.50)),
+            us(s.get_percentile_s(0.95)),
+            us(s.get_percentile_s(0.99)),
+            us(s.put_percentile_s(0.50)),
+            us(s.put_percentile_s(0.99)),
+        );
+    };
+
+    let healthy = run_phase(&gw, &spec, 0)?;
+    phase_line(&mut out, "healthy", &healthy);
+
+    // Degraded phase: kill brick 1 (a data-shard holder for most
+    // layouts) and wait for the detector to declare it dead, so reads
+    // over its shards reconstruct.
+    let victim = 1u32;
+    let mut c = BrickClient::connect(addrs[victim as usize], Duration::from_millis(250))?;
+    c.shutdown()?;
+    if let Some(h) = handles[victim as usize].take() {
+        let _ = h.join();
+    }
+    let mut dead = false;
+    for _ in 0..500 {
+        dead = gw
+            .pump_heartbeats()
+            .iter()
+            .any(|tr| tr.brick == victim && tr.to == Health::Dead);
+        if dead {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if !dead {
+        return Err(CliError(format!("brick {victim} never declared dead")));
+    }
+    let degraded = run_phase(&gw, &spec, 1)?;
+    phase_line(&mut out, "degraded", &degraded);
+
+    // Rebuilding phase: the repair pass runs concurrently with serving —
+    // the serving numbers show what rebuild traffic costs the clients.
+    let (rebuilding, repair) = std::thread::scope(|s| {
+        let repair = s.spawn(|| gw.repair_all());
+        let stats = run_phase(&gw, &spec, 2);
+        (stats, repair.join())
+    });
+    let rebuilding = rebuilding?;
+    phase_line(&mut out, "rebuilding", &rebuilding);
+    match repair {
+        Ok(Ok(report)) => {
+            let _ = writeln!(
+                out,
+                "repair: moved {} shard(s), {} B, {} object(s) repaired",
+                report.shards_moved, report.bytes_moved, report.objects_repaired
+            );
+        }
+        Ok(Err(e)) => {
+            let _ = writeln!(out, "repair deferred: {e}");
+        }
+        Err(_) => return Err(CliError("repair thread panicked".into())),
+    }
+
+    for (id, slot) in handles.iter_mut().enumerate() {
+        if let Some(h) = slot.take() {
+            if let Ok(mut c) = BrickClient::connect(addrs[id], Duration::from_millis(250)) {
+                let _ = c.shutdown();
+            }
+            let _ = h.join();
+        }
+    }
+    Ok(out)
+}
+
 /// `nsr cluster-inject --bricks N --plan NAME --seed S`: the live kill-9
 /// campaign. Spawns `N` brick child processes (from this same binary),
 /// loads objects, kill-9s victims on the plan's seeded schedule, waits

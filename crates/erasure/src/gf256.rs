@@ -238,6 +238,39 @@ pub fn mul_acc(dst: &mut [u8], src: &[u8], coeff: Gf) {
     mul_acc_portable_inner(dst, src, coeff);
 }
 
+/// Multiply with overwrite semantics: `dst[i] = coeff · src[i]`, ignoring
+/// whatever `dst` held before. This is the first-pass form of [`mul_acc`]:
+/// an encoder seeding its parity rows from the first data shard can skip
+/// the zero-fill *and* the read-modify-write the accumulate form pays —
+/// one store pass instead of a memset plus a load-xor-store pass, which
+/// matters on the serving hot path where every parity buffer is fresh.
+///
+/// The common coefficients stay special-cased: `0` is a fill, `1` is a
+/// straight copy (the XOR-code case).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_into(dst: &mut [u8], src: &[u8], coeff: Gf) {
+    assert_eq!(dst.len(), src.len(), "mul_into: length mismatch");
+    if coeff.0 == 0 {
+        dst.fill(0);
+        return;
+    }
+    if coeff.0 == 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    // General coefficients reuse the accumulate kernels over zeroed
+    // output (`x ^ 0 = x`); the two cases above cover the coefficients
+    // the serving geometries actually hit on their first pass.
+    dst.fill(0);
+    if dst.len() >= ACCEL_THRESHOLD && crate::simd::mul_acc_accel(dst, src, coeff) {
+        return;
+    }
+    mul_acc_portable_inner(dst, src, coeff);
+}
+
 /// The portable wide kernel behind [`mul_acc`]: the coefficient's two
 /// split-nibble tables are flattened into a 256-entry product table held
 /// on the stack, and the slice is processed in 8-byte `u64` words (eight
@@ -446,6 +479,18 @@ mod tests {
                 *e = (Gf(*e) + Gf(coeff) * Gf(*s)).0;
             }
             assert_eq!(dst, expected, "coeff = {coeff}");
+        }
+    }
+
+    #[test]
+    fn mul_into_ignores_prior_contents_and_matches_acc_from_zero() {
+        let src: Vec<u8> = (0..301).map(|i| (i * 31 + 7) as u8).collect();
+        for coeff in [0u8, 1, 2, 0x1d, 0xe5] {
+            let mut got = vec![0x55u8; src.len()]; // garbage that must vanish
+            mul_into(&mut got, &src, Gf(coeff));
+            let mut want = vec![0u8; src.len()];
+            mul_acc(&mut want, &src, Gf(coeff));
+            assert_eq!(got, want, "coeff = {coeff}");
         }
     }
 

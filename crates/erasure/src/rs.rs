@@ -12,7 +12,7 @@
 //! pass through untouched and the `t` parity rows are dense GF(2⁸)
 //! combinations.
 
-use crate::gf256::{mul_acc, Gf};
+use crate::gf256::{mul_acc, mul_into, Gf};
 use crate::matrix::GfMatrix;
 use crate::{Error, Result};
 
@@ -186,15 +186,21 @@ impl ReedSolomon {
                     found: p.len(),
                 });
             }
-            p.fill(0);
         }
         // Data-shard-outer order: each source shard stays cache-hot while
-        // it feeds every parity row.
+        // it feeds every parity row. The first data shard seeds each
+        // parity row with overwrite semantics (`mul_into`), which both
+        // clears any prior contents and skips the zero-fill-then-
+        // accumulate pass a fresh parity buffer would otherwise pay.
         for (c, d) in data.iter().enumerate() {
             let src = d.as_ref();
             for (p, out) in parity_out.iter_mut().enumerate() {
                 let coeff = self.generator.row(self.data_shards + p)[c];
-                mul_acc(out.as_mut(), src, coeff);
+                if c == 0 {
+                    mul_into(out.as_mut(), src, coeff);
+                } else {
+                    mul_acc(out.as_mut(), src, coeff);
+                }
             }
         }
         Ok(())

@@ -133,12 +133,20 @@ fn handle_connection(
     stream
         .set_write_timeout(Some(cfg.write_timeout))
         .map_err(|e| Error::from_io("set_write_timeout", &e))?;
-    let mut reader = io::BufReader::new(
+    // Replies must leave as soon as they are flushed. Without this, a
+    // shard reply smaller than the (huge, on loopback) MSS sits in the
+    // Nagle buffer until the peer's delayed ACK — a ~40 ms stall per
+    // fetch that dwarfs the actual transfer.
+    stream
+        .set_nodelay(true)
+        .map_err(|e| Error::from_io("set_nodelay", &e))?;
+    let mut reader = io::BufReader::with_capacity(
+        crate::wire::IO_READ_BUF_LEN,
         stream
             .try_clone()
             .map_err(|e| Error::from_io("clone_stream", &e))?,
     );
-    let mut writer = io::BufWriter::new(stream);
+    let mut writer = io::BufWriter::with_capacity(crate::wire::IO_WRITE_BUF_LEN, stream);
     loop {
         let request = match read_frame(&mut reader) {
             Ok(Some(f)) => f,
@@ -171,8 +179,14 @@ fn handle_connection(
         }
         obs::BRICK_REQUESTS.inc();
         let shutting_down = matches!(request, Frame::Shutdown);
-        let reply = dispatch(&request, cfg, shards);
-        write_frame(&mut writer, &reply)?;
+        let reply = dispatch(request, cfg, shards);
+        // Shard replies bypass the generic encoder: header from the
+        // stack, payload straight from the owned buffer, no copy.
+        match &reply {
+            Frame::ShardData { data } => crate::wire::write_shard_data(&mut writer, data)?,
+            Frame::Ok => crate::wire::write_ok(&mut writer)?,
+            other => write_frame(&mut writer, other)?,
+        }
         if shutting_down {
             stop.store(true, Ordering::SeqCst);
             // Wake the accept loop so run() observes the stop flag.
@@ -182,42 +196,37 @@ fn handle_connection(
     }
 }
 
-fn dispatch(request: &Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Frame {
+fn dispatch(request: Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Frame {
     match request {
+        // By-value dispatch: the decoded shard bytes move straight into
+        // the store, so a put never copies the payload on the brick.
         Frame::PutShard { object, pos, data } => {
             shards
                 .lock()
                 .expect("shard map lock")
-                .insert((*object, *pos), data.clone());
+                .insert((object, pos), data);
             Frame::Ok
         }
-        Frame::GetShard { object, pos } | Frame::RebuildFetch { object, pos } => {
-            if matches!(request, Frame::RebuildFetch { .. }) {
-                nsr_obs::trace::event("net.brick.rebuild_fetch", || {
-                    vec![
-                        ("brick", Json::Num(cfg.id as f64)),
-                        ("object", Json::Num(*object as f64)),
-                        ("pos", Json::Num(*pos as f64)),
-                    ]
-                });
-            }
-            match shards.lock().expect("shard map lock").get(&(*object, *pos)) {
-                Some(data) => Frame::ShardData { data: data.clone() },
-                None => Frame::ErrorReply {
-                    code: reply_code::SHARD_NOT_FOUND,
-                    detail: format!("obj{object} pos{pos}"),
-                },
-            }
+        Frame::GetShard { object, pos } => fetch_shard(shards, object, pos),
+        Frame::RebuildFetch { object, pos } => {
+            nsr_obs::trace::event("net.brick.rebuild_fetch", || {
+                vec![
+                    ("brick", Json::Num(cfg.id as f64)),
+                    ("object", Json::Num(object as f64)),
+                    ("pos", Json::Num(pos as f64)),
+                ]
+            });
+            fetch_shard(shards, object, pos)
         }
         Frame::DeleteShard { object, pos } => {
             shards
                 .lock()
                 .expect("shard map lock")
-                .remove(&(*object, *pos));
+                .remove(&(object, pos));
             Frame::Ok
         }
         Frame::Heartbeat { seq } => Frame::HeartbeatAck {
-            seq: *seq,
+            seq,
             brick_id: cfg.id,
             shards: shards.lock().expect("shard map lock").len() as u64,
         },
@@ -234,6 +243,16 @@ fn dispatch(request: &Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Fra
         other => Frame::ErrorReply {
             code: reply_code::BAD_REQUEST,
             detail: format!("unexpected request frame `{}`", other.name()),
+        },
+    }
+}
+
+fn fetch_shard(shards: &Mutex<ShardMap>, object: u64, pos: u32) -> Frame {
+    match shards.lock().expect("shard map lock").get(&(object, pos)) {
+        Some(data) => Frame::ShardData { data: data.clone() },
+        None => Frame::ErrorReply {
+            code: reply_code::SHARD_NOT_FOUND,
+            detail: format!("obj{object} pos{pos}"),
         },
     }
 }

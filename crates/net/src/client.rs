@@ -1,12 +1,14 @@
 //! Client half of the wire protocol: a thin request/response wrapper
 //! over one `TcpStream` with bounded connect/read/write deadlines.
 //!
-//! The client is deliberately dumb — one frame out, one frame in, typed
-//! errors for everything unexpected. Retry, backoff and routing policy
-//! live in the gateway, which reconnects a fresh `BrickClient` when an
-//! operation fails (bricks drop idle connections at their read
-//! deadline, so transparent reconnection is part of the normal path,
-//! not an error path).
+//! The client is deliberately dumb — typed errors for everything
+//! unexpected, no policy. The request surface comes in two shapes: the
+//! classic blocking pair (`request`, `put_shard`, …) and split
+//! send/receive halves (`send_*` / `recv_*`) that let the gateway keep
+//! one request outstanding per brick connection and collect the replies
+//! afterwards — the pipelined shard fan-out. Retry, backoff and routing
+//! policy live in the gateway's connection pool, which redials a fresh
+//! `BrickClient` when an operation fails.
 
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream};
@@ -47,20 +49,28 @@ impl BrickClient {
         stream
             .set_nodelay(true)
             .map_err(|e| Error::from_io("set_nodelay", &e))?;
-        let reader = BufReader::new(
+        let reader = BufReader::with_capacity(
+            crate::wire::IO_READ_BUF_LEN,
             stream
                 .try_clone()
                 .map_err(|e| Error::from_io("clone_stream", &e))?,
         );
         Ok(BrickClient {
             reader,
-            writer: BufWriter::new(stream),
+            writer: BufWriter::with_capacity(crate::wire::IO_WRITE_BUF_LEN, stream),
         })
     }
 
-    /// Sends one request and reads its response.
-    pub fn request(&mut self, frame: &Frame) -> Result<Frame, Error> {
-        write_frame(&mut self.writer, frame)?;
+    /// Writes one request frame onto the wire without waiting for the
+    /// reply — the write half of a pipelined fan-out. Every send must be
+    /// paired with exactly one receive on the same connection.
+    pub fn send_request(&mut self, frame: &Frame) -> Result<(), Error> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    /// Reads one reply frame for an outstanding request (a connection
+    /// closing before the reply is a typed transport error).
+    pub fn recv_reply(&mut self) -> Result<Frame, Error> {
         match read_frame(&mut self.reader)? {
             Some(reply) => Ok(reply),
             None => Err(Error::Io {
@@ -70,16 +80,48 @@ impl BrickClient {
         }
     }
 
-    /// Stores one shard.
-    pub fn put_shard(&mut self, object: u64, pos: u32, data: &[u8]) -> Result<(), Error> {
-        match self.request(&Frame::PutShard {
-            object,
-            pos,
-            data: data.to_vec(),
-        })? {
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, frame: &Frame) -> Result<Frame, Error> {
+        self.send_request(frame)?;
+        self.recv_reply()
+    }
+
+    /// Writes one put-shard request straight from borrowed shard bytes
+    /// (no intermediate frame or payload copy) without waiting for the
+    /// reply. Pair with [`recv_put_reply`](Self::recv_put_reply).
+    pub fn send_put_shard(&mut self, object: u64, pos: u32, data: &[u8]) -> Result<(), Error> {
+        crate::wire::write_put_shard(&mut self.writer, object, pos, data)
+    }
+
+    /// Reads the reply to an outstanding put-shard request.
+    pub fn recv_put_reply(&mut self) -> Result<(), Error> {
+        match self.recv_reply()? {
             Frame::Ok => Ok(()),
             other => Err(unexpected("put_shard", other)),
         }
+    }
+
+    /// Reads the reply to an outstanding shard fetch (`op` names the
+    /// request kind in errors).
+    pub fn recv_shard(
+        &mut self,
+        op: &'static str,
+        object: u64,
+        pos: u32,
+    ) -> Result<Vec<u8>, Error> {
+        match self.recv_reply()? {
+            Frame::ShardData { data } => Ok(data),
+            Frame::ErrorReply { code, .. } if code == reply_code::SHARD_NOT_FOUND => {
+                Err(Error::ShardNotFound { object, pos })
+            }
+            other => Err(unexpected(op, other)),
+        }
+    }
+
+    /// Stores one shard.
+    pub fn put_shard(&mut self, object: u64, pos: u32, data: &[u8]) -> Result<(), Error> {
+        self.send_put_shard(object, pos, data)?;
+        self.recv_put_reply()
     }
 
     /// Fetches one shard.
@@ -99,13 +141,8 @@ impl BrickClient {
         } else {
             "get_shard"
         };
-        match self.request(&req)? {
-            Frame::ShardData { data } => Ok(data),
-            Frame::ErrorReply { code, .. } if code == reply_code::SHARD_NOT_FOUND => {
-                Err(Error::ShardNotFound { object, pos })
-            }
-            other => Err(unexpected(op, other)),
-        }
+        self.send_request(&req)?;
+        self.recv_shard(op, object, pos)
     }
 
     /// Removes one shard (idempotent).

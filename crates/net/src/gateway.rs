@@ -1,9 +1,20 @@
 //! The gateway: stripes objects across brick daemons with the
-//! `nsr-erasure` Reed–Solomon codec, routes reads around dead bricks
-//! (degraded reconstruction from any `k` healthy shards), retries
-//! transient transport faults with capped exponential backoff plus
-//! seeded jitter, and runs the failure detector + rebuild coordinator
-//! that re-replicates a dead brick's shards onto spares.
+//! `nsr-erasure` Reed–Solomon codec, serves puts and gets through a
+//! pipelined shard fan-out over pooled per-brick connections (one
+//! outstanding request per brick, replies assembled in shard-index
+//! order so results are deterministic by construction), routes reads
+//! around dead bricks (degraded reconstruction from any `k` healthy
+//! shards), retries transient transport faults with capped exponential
+//! backoff plus seeded jitter, and runs the failure detector + rebuild
+//! coordinator that re-replicates a dead brick's shards onto spares.
+//!
+//! Fan-out determinism contract: the fast path never changes *what* a
+//! request returns, only how many are in flight. Shard assembly is by
+//! index, any fast-path miss falls back to the serial per-shard retry
+//! path (`fanout: false` in [`GatewayConfig`] forces that reference
+//! path wholesale), and rebuild keeps its serial per-shard commit
+//! order — which is why seeded campaign replays stay byte-identical
+//! with fan-out enabled.
 //!
 //! Consistency model: an object's metadata (length + shard layout) is
 //! committed only after every shard of a put has been acknowledged, so
@@ -29,6 +40,8 @@ use crate::clock::{Clock, WallClock};
 use crate::detector::{DetectorConfig, FailureDetector, Health, Transition};
 use crate::error::Error;
 use crate::obs;
+use crate::pool::ConnectionPool;
+use crate::wire::Frame;
 
 /// Capped exponential backoff with jitter for transient transport
 /// faults.
@@ -68,6 +81,19 @@ pub struct GatewayConfig {
     pub detector: DetectorConfig,
     /// Seed for retry jitter (campaign runs pin this for replay).
     pub jitter_seed: u64,
+    /// Connections kept per brick. The pipelined fan-out uses one lane;
+    /// extra lanes serve concurrent callers without head-of-line
+    /// blocking.
+    pub pool_size: usize,
+    /// Refresh idle pooled connections after this long — keep it well
+    /// below the brick's read deadline (2 s by default) or idle
+    /// connections get dropped and the next request pays a
+    /// reconnect-plus-retry. Zero disables the keepalive thread.
+    pub keepalive_refresh: Duration,
+    /// Serve put/get through the pipelined shard fan-out fast path.
+    /// `false` forces the serial per-shard reference path the fan-out
+    /// must match byte-for-byte (the property tests compare the two).
+    pub fanout: bool,
 }
 
 impl GatewayConfig {
@@ -80,6 +106,9 @@ impl GatewayConfig {
             retry: RetryPolicy::default(),
             detector: DetectorConfig::default(),
             jitter_seed: 0,
+            pool_size: 2,
+            keepalive_refresh: Duration::from_millis(1000),
+            fanout: true,
         }
     }
 }
@@ -133,8 +162,7 @@ pub enum ReadMode {
 pub struct Gateway {
     cfg: GatewayConfig,
     codec: ReedSolomon,
-    addrs: Mutex<Vec<SocketAddr>>,
-    conns: Vec<Mutex<Option<BrickClient>>>,
+    pool: ConnectionPool,
     detector: Mutex<FailureDetector>,
     meta: Mutex<BTreeMap<u64, ObjectMeta>>,
     rng: Mutex<StdRng>,
@@ -169,13 +197,13 @@ impl Gateway {
         }
         let codec = ReedSolomon::new(cfg.data_shards, cfg.parity_shards)?;
         let detector = FailureDetector::new(clock, cfg.detector.clone(), 0..bricks.len() as u32);
-        let conns = (0..bricks.len()).map(|_| Mutex::new(None)).collect();
+        let mut pool = ConnectionPool::new(bricks, cfg.timeout, cfg.pool_size);
+        pool.start_keepalive(cfg.keepalive_refresh);
         let rng = StdRng::seed_from_u64(cfg.jitter_seed);
         Ok(Gateway {
             cfg,
             codec,
-            addrs: Mutex::new(bricks),
-            conns,
+            pool,
             detector: Mutex::new(detector),
             meta: Mutex::new(BTreeMap::new()),
             rng: Mutex::new(rng),
@@ -196,20 +224,19 @@ impl Gateway {
 
     /// Number of bricks the gateway addresses.
     pub fn brick_count(&self) -> usize {
-        self.conns.len()
+        self.pool.len()
     }
 
     /// Replaces the address of brick `id` (a killed brick restarts on a
     /// fresh port) and drops any cached connection to the old address.
     pub fn set_brick_addr(&self, id: u32, addr: SocketAddr) {
-        self.addrs.lock().expect("addrs lock")[id as usize] = addr;
-        *self.conns[id as usize].lock().expect("conn lock") = None;
+        self.pool.set_addr(id, addr);
     }
 
     /// Current health of every brick, in id order.
     pub fn health_summary(&self) -> Vec<(u32, Health)> {
         let det = self.detector.lock().expect("detector lock");
-        (0..self.conns.len() as u32)
+        (0..self.pool.len() as u32)
             .map(|id| (id, det.health(id).expect("tracked brick")))
             .collect()
     }
@@ -242,7 +269,7 @@ impl Gateway {
     pub fn pump_heartbeats(&self) -> Vec<Transition> {
         let seq = self.hb_seq.fetch_add(1, Ordering::SeqCst);
         let mut alive = Vec::new();
-        for id in 0..self.conns.len() as u32 {
+        for id in 0..self.pool.len() as u32 {
             if self.shard_op(id, "heartbeat", |c| c.heartbeat(seq)).is_ok() {
                 alive.push(id);
             }
@@ -292,9 +319,16 @@ impl Gateway {
         let mut span = Span::enter("net.put");
         span.field("object", || Json::Num(object as f64));
         span.field("bytes", || Json::Num(data.len() as f64));
+        // Parity buffers are reused across this thread's puts: steady-
+        // state serving re-encodes into the same allocation instead of
+        // paying an allocate-and-zero per object.
+        PARITY_SCRATCH.with(|cell| self.put_inner(object, data, &mut cell.borrow_mut()))
+    }
+
+    fn put_inner(&self, object: u64, data: &[u8], scratch: &mut Vec<Vec<u8>>) -> Result<(), Error> {
         let r = self.redundancy();
         let mut excluded: BTreeSet<u32> = BTreeSet::new();
-        let (shards, shard_len) = self.encode_object(data)?;
+        let (shards, shard_len) = self.encode_object(data, scratch)?;
         // A brick that fails all its retries mid-put is excluded and the
         // whole put restarted on a fresh layout — up to three layouts
         // before the error propagates.
@@ -316,10 +350,41 @@ impl Gateway {
             let layout = rotate_pick(&healthy, object, r);
             let mut failure: Option<(u32, Error)> = None;
             let mut written: Vec<(u32, u32)> = Vec::new();
+            // Fast path: pipelined scatter-gather — every shard request
+            // goes out on its brick's pooled connection before any
+            // reply is awaited, and replies are collected in shard-index
+            // order. A position that misses (stale connection, fresh
+            // death) falls through to the per-shard retry path below;
+            // put_shard is idempotent, so the overlap is harmless.
+            let fanned: Vec<bool> = if self.cfg.fanout {
+                self.pool
+                    .fanout(
+                        &layout,
+                        "put_shard",
+                        |pos, c| c.send_put_shard(object, pos as u32, shards[pos].as_ref()),
+                        |_pos, c| c.recv_put_reply(),
+                    )
+                    .into_iter()
+                    .map(|res| res.is_ok())
+                    .collect()
+            } else {
+                vec![false; shards.len()]
+            };
+            // Fanned positions are already durable on their bricks —
+            // record them up front so an abandoned layout scrubs every
+            // orphan, including ones past a later retry failure.
+            for (pos, &ok) in fanned.iter().enumerate() {
+                if ok {
+                    written.push((layout[pos], pos as u32));
+                }
+            }
             for (pos, shard) in shards.iter().enumerate() {
+                if fanned[pos] {
+                    continue;
+                }
                 let target = layout[pos];
                 match self.shard_op_with_retry(target, "put_shard", |c| {
-                    c.put_shard(object, pos as u32, shard)
+                    c.put_shard(object, pos as u32, shard.as_ref())
                 }) {
                     Ok(()) => written.push((target, pos as u32)),
                     Err(e) => {
@@ -386,13 +451,54 @@ impl Gateway {
         };
         let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
         let mut have = 0usize;
-        // Data shards first (the fast path needs nothing else), then
-        // parity from surviving bricks until k shards are in hand.
+        // Fast path: pipeline-fetch every readable data position, plus
+        // just enough readable parity to reach k when data bricks are
+        // known-unreadable. One outstanding request per brick, replies
+        // assembled in shard-index order.
+        if self.cfg.fanout {
+            let mut wanted: Vec<usize> = (0..k).filter(|&pos| readable[pos]).collect();
+            let mut need = k.saturating_sub(wanted.len());
+            for (pos, &ok) in readable.iter().enumerate().take(r).skip(k) {
+                if need == 0 {
+                    break;
+                }
+                if ok {
+                    wanted.push(pos);
+                    need -= 1;
+                }
+            }
+            if !wanted.is_empty() {
+                let bricks: Vec<u32> = wanted.iter().map(|&pos| meta.layout[pos]).collect();
+                let results = self.pool.fanout(
+                    &bricks,
+                    "get_shard",
+                    |i, c| {
+                        c.send_request(&Frame::GetShard {
+                            object,
+                            pos: wanted[i] as u32,
+                        })
+                    },
+                    |i, c| c.recv_shard("get_shard", object, wanted[i] as u32),
+                );
+                for (i, res) in results.into_iter().enumerate() {
+                    if let Ok(data) = res {
+                        if data.len() == meta.shard_len as usize {
+                            shards[wanted[i]] = Some(data);
+                            have += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Reference path and fan-out fallback: data shards first (a
+        // healthy read needs nothing else), then parity from surviving
+        // bricks until k shards are in hand — with the full per-shard
+        // retry policy. Positions the fan-out already filled are kept.
         for pos in 0..r {
             if have >= k && pos >= k {
                 break;
             }
-            if !readable[pos] {
+            if !readable[pos] || shards[pos].is_some() {
                 continue;
             }
             if let Ok(data) = self.shard_op_with_retry(meta.layout[pos], "get_shard", |c| {
@@ -527,7 +633,24 @@ impl Gateway {
             }
             let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
             let mut have = 0usize;
-            for &pos in &sources {
+            // Fan out the k primary source fetches across scoped
+            // threads (retry backoff sleeps overlap instead of
+            // serializing); any shortfall walks the remaining sources
+            // serially, exactly like the reference path.
+            let primary: Vec<usize> = sources.iter().copied().take(k).collect();
+            for (i, res) in self
+                .parallel_fetch(id, &m.layout, &primary, true)
+                .into_iter()
+                .enumerate()
+            {
+                if let Ok(data) = res {
+                    if data.len() == m.shard_len as usize {
+                        shards[primary[i]] = Some(data);
+                        have += 1;
+                    }
+                }
+            }
+            for &pos in sources.iter().skip(k) {
                 if have >= k {
                     break;
                 }
@@ -654,16 +777,20 @@ impl Gateway {
         'objects: for (id, m) in objects {
             let mut shards: Vec<Option<Vec<u8>>> = vec![None; r];
             let mut missing: Vec<usize> = Vec::new();
-            let mut unavailable = 0usize;
-            for (pos, slot) in shards.iter_mut().enumerate() {
-                if !healthy_set.contains(&m.layout[pos]) {
-                    unavailable += 1;
-                    continue;
-                }
-                match self.shard_op_with_retry(m.layout[pos], "rebuild_fetch", |c| {
-                    c.rebuild_fetch(id, pos as u32)
-                }) {
-                    Ok(data) if data.len() == m.shard_len as usize => *slot = Some(data),
+            // Probe every healthy layout brick concurrently, then
+            // classify the results in position order (deterministic).
+            let probe: Vec<usize> = (0..r)
+                .filter(|&pos| healthy_set.contains(&m.layout[pos]))
+                .collect();
+            let mut unavailable = r - probe.len();
+            for (i, res) in self
+                .parallel_fetch(id, &m.layout, &probe, true)
+                .into_iter()
+                .enumerate()
+            {
+                let pos = probe[i];
+                match res {
+                    Ok(data) if data.len() == m.shard_len as usize => shards[pos] = Some(data),
                     Ok(_) | Err(Error::ShardNotFound { .. }) => missing.push(pos),
                     // A probe that fails in transit is neither present
                     // nor restorable right now.
@@ -785,45 +912,95 @@ impl Gateway {
         Ok(())
     }
 
-    fn encode_object(&self, data: &[u8]) -> Result<(Vec<Vec<u8>>, u32), Error> {
+    /// Splits `data` into `k + t` shard views for a put. The `k` data
+    /// shards borrow straight from the caller's bytes (owned only when
+    /// a tail shard needs zero padding); the `t` parity shards are
+    /// computed into `scratch`, whose buffers are resized to fit and
+    /// borrowed — a steady-state put of a constant object size touches
+    /// no allocator at all.
+    fn encode_object<'a>(
+        &self,
+        data: &'a [u8],
+        scratch: &'a mut Vec<Vec<u8>>,
+    ) -> Result<(Vec<ShardBuf<'a>>, u32), Error> {
         let k = self.codec.data_shards();
+        let t = self.codec.parity_shards();
         let shard_len = data.len().div_ceil(k).max(1);
-        let mut data_shards = vec![vec![0u8; shard_len]; k];
-        for (i, chunk) in data.chunks(shard_len).enumerate() {
-            data_shards[i][..chunk.len()].copy_from_slice(chunk);
+        let mut shards: Vec<ShardBuf<'a>> = Vec::with_capacity(k + t);
+        for pos in 0..k {
+            let start = (pos * shard_len).min(data.len());
+            let end = ((pos + 1) * shard_len).min(data.len());
+            if end - start == shard_len {
+                shards.push(ShardBuf::Borrowed(&data[start..end]));
+            } else {
+                let mut padded = vec![0u8; shard_len];
+                padded[..end - start].copy_from_slice(&data[start..end]);
+                shards.push(ShardBuf::Owned(padded));
+            }
         }
-        let shards = self.codec.encode(&data_shards)?;
+        scratch.resize_with(t, Vec::new);
+        for p in scratch.iter_mut() {
+            p.resize(shard_len, 0);
+        }
+        self.codec.encode_parity_into(&shards, &mut scratch[..])?;
+        shards.extend(scratch.iter().map(|p| ShardBuf::Borrowed(p.as_slice())));
         Ok((shards, shard_len as u32))
     }
 
-    /// One attempt of `f` against brick `id`, reconnecting a dropped
-    /// cached connection first and discarding the connection on error.
+    /// One attempt of `f` against a pooled connection to brick `id` —
+    /// the pool reconnects a dropped lane first and discards the
+    /// connection on error.
     fn shard_op<T>(
         &self,
         id: u32,
         op: &'static str,
         f: impl FnOnce(&mut BrickClient) -> Result<T, Error>,
     ) -> Result<T, Error> {
-        let addr = self.addrs.lock().expect("addrs lock")[id as usize];
-        let mut slot = self.conns[id as usize].lock().expect("conn lock");
-        if slot.is_none() {
-            *slot = Some(
-                BrickClient::connect(addr, self.cfg.timeout).map_err(|e| match e {
-                    Error::Io { detail, .. } => Error::Io { op, detail },
-                    other => other,
-                })?,
-            );
+        self.pool.with(id, op, f)
+    }
+
+    /// Fetches `positions` of `object` concurrently — one scoped thread
+    /// per position, each running the full per-shard retry policy, so
+    /// backoff sleeps overlap instead of serializing (positions map to
+    /// distinct bricks, hence distinct pool lanes). Results are
+    /// assembled in `positions` order; with `cfg.fanout` disabled the
+    /// fetches run serially, which is the reference behavior the
+    /// parallel path must match.
+    fn parallel_fetch(
+        &self,
+        object: u64,
+        layout: &[u32],
+        positions: &[usize],
+        rebuild: bool,
+    ) -> Vec<Result<Vec<u8>, Error>> {
+        let op: &'static str = if rebuild {
+            "rebuild_fetch"
+        } else {
+            "get_shard"
+        };
+        let fetch_one = |pos: usize| {
+            self.shard_op_with_retry(layout[pos], op, |c| {
+                if rebuild {
+                    c.rebuild_fetch(object, pos as u32)
+                } else {
+                    c.get_shard(object, pos as u32)
+                }
+            })
+        };
+        if !self.cfg.fanout || positions.len() <= 1 {
+            return positions.iter().map(|&pos| fetch_one(pos)).collect();
         }
-        let client = slot.as_mut().expect("connected");
-        match f(client) {
-            Ok(v) => Ok(v),
-            Err(e) => {
-                // Transport state is unknown after any failure: drop the
-                // connection so the next attempt starts clean.
-                *slot = None;
-                Err(e)
-            }
-        }
+        std::thread::scope(|s| {
+            let fetch_one = &fetch_one;
+            let handles: Vec<_> = positions
+                .iter()
+                .map(|&pos| s.spawn(move || fetch_one(pos)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fetch thread"))
+                .collect()
+        })
     }
 
     /// `shard_op` under the retry policy: transient errors back off
@@ -867,6 +1044,31 @@ impl Gateway {
             .expect("rng lock")
             .random_range_f64(0.5, 1.0);
         Duration::from_secs_f64(capped * jitter)
+    }
+}
+
+thread_local! {
+    /// Per-thread parity scratch reused across puts — see
+    /// [`Gateway::put`]. Thread-local (rather than a gateway field)
+    /// so concurrent puts on different threads never contend for it.
+    static PARITY_SCRATCH: std::cell::RefCell<Vec<Vec<u8>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// One shard's bytes during a put: data shards borrow from the caller's
+/// object, parity shards live in the put's thread-local scratch (only a
+/// zero-padded tail shard is owned).
+enum ShardBuf<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Vec<u8>),
+}
+
+impl AsRef<[u8]> for ShardBuf<'_> {
+    fn as_ref(&self) -> &[u8] {
+        match self {
+            ShardBuf::Borrowed(s) => s,
+            ShardBuf::Owned(v) => v,
+        }
     }
 }
 

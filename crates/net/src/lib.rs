@@ -9,9 +9,19 @@
 //!   bricks (put/get/delete shard, heartbeat, rebuild transfer), strict
 //!   decoding with typed errors and no panics on hostile bytes.
 //! - [`gateway`] — stripes objects across bricks with the
-//!   `nsr-erasure` Reed–Solomon codec, serves degraded reads from any
+//!   `nsr-erasure` Reed–Solomon codec, serves puts and gets through a
+//!   pipelined shard fan-out (one outstanding request per brick,
+//!   replies assembled by shard index), serves degraded reads from any
 //!   `k` surviving shards, retries transient faults with capped
 //!   exponential backoff + seeded jitter, and coordinates rebuild.
+//! - [`pool`] — the per-brick connection pool under the gateway:
+//!   persistent client lanes with transparent reconnect and a keepalive
+//!   thread that refreshes idle connections before the brick's read
+//!   deadline can drop them.
+//! - [`workload`] — a seeded YCSB-style serving workload (zipfian or
+//!   uniform keys, put/get mix) with per-phase throughput and latency
+//!   percentiles, driven over healthy, degraded, and rebuilding
+//!   cluster states by the CLI and the `serving` bench suite.
 //! - [`detector`] — φ-style heartbeat failure detection with the
 //!   explicit health state machine healthy → suspect → dead →
 //!   rebuilding → rejoined, on a pluggable [`clock`] so tests are
@@ -41,7 +51,9 @@ pub mod detector;
 mod error;
 pub mod gateway;
 pub mod obs;
+pub mod pool;
 pub mod wire;
+pub mod workload;
 
 pub use error::Error;
 

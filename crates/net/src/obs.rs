@@ -18,6 +18,17 @@ pub static DEGRADED_GETS: Counter = Counter::new("net.gateway.degraded_gets");
 pub static LOSS_GETS: Counter = Counter::new("net.gateway.loss_gets");
 /// Transient shard-op failures that triggered a backoff + retry.
 pub static RETRIES: Counter = Counter::new("net.gateway.retries");
+/// Pool checkouts served by an already-connected slot.
+pub static POOL_REUSES: Counter = Counter::new("net.pool.reuses");
+/// Pool checkouts that had to dial a fresh connection.
+pub static POOL_RECONNECTS: Counter = Counter::new("net.pool.reconnects");
+/// Idle pooled connections refreshed by the keepalive thread before the
+/// brick's read deadline could drop them.
+pub static POOL_KEEPALIVES: Counter = Counter::new("net.pool.keepalives");
+/// Gateway put latency in seconds, observed by the serving workload.
+pub static SERVING_PUT_S: Histogram = Histogram::new("net.serving.put_s");
+/// Gateway get latency in seconds, observed by the serving workload.
+pub static SERVING_GET_S: Histogram = Histogram::new("net.serving.get_s");
 /// Bricks currently in the `Healthy` state.
 pub static HEALTHY_BRICKS: Gauge = Gauge::new("net.detect.healthy_bricks");
 /// Bricks the detector has declared dead over the process lifetime.
@@ -41,6 +52,11 @@ pub fn register() {
     DEGRADED_GETS.register();
     LOSS_GETS.register();
     RETRIES.register();
+    POOL_REUSES.register();
+    POOL_RECONNECTS.register();
+    POOL_KEEPALIVES.register();
+    SERVING_PUT_S.register();
+    SERVING_GET_S.register();
     HEALTHY_BRICKS.register();
     DEATHS.register();
     REJOINS.register();

@@ -15,7 +15,7 @@
 //! payloads, trailing bytes, and frames above [`MAX_FRAME_LEN`] are all
 //! typed [`Error::Decode`] values — never panics.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, Read, Write};
 
 use crate::error::Error;
 
@@ -23,6 +23,20 @@ use crate::error::Error;
 /// more than this is malformed or hostile; the connection is dropped
 /// with a typed decode error rather than attempting the allocation.
 pub const MAX_FRAME_LEN: u32 = 1 << 26;
+
+/// `BufWriter` capacity for connection sockets. Deliberately small:
+/// control frames coalesce into one syscall, while shard payloads
+/// *exceed* the capacity, which makes `BufWriter` hand the gathered
+/// header + payload write straight to the socket as a single `writev`
+/// — no intermediate copy of the bulk bytes.
+pub const IO_WRITE_BUF_LEN: usize = 4 * 1024;
+
+/// `BufReader` capacity for connection sockets. Deliberately large
+/// enough that a whole shard frame at the benchmark geometries arrives
+/// in one blocking `read` wakeup instead of a header read plus a
+/// second payload read — on the serving path a syscall costs more than
+/// the buffer memcpy it avoids.
+pub const IO_READ_BUF_LEN: usize = 128 * 1024;
 
 /// Remote error codes carried by [`Frame::ErrorReply`].
 pub mod reply_code {
@@ -315,10 +329,98 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), Error> {
         .map_err(|e| Error::from_io("write_frame", &e))
 }
 
+/// Writes a [`Frame::Ok`] reply. The encoding is a fixed five bytes, so
+/// the hot put path on the brick acknowledges each shard without the
+/// heap allocation `Frame::encode` would make. Byte-for-byte identical
+/// on the wire to `write_frame(&Frame::Ok)`.
+pub fn write_ok(w: &mut impl Write) -> Result<(), Error> {
+    const OK_BYTES: [u8; 5] = [1, 0, 0, 0, TAG_OK];
+    w.write_all(&OK_BYTES)
+        .and_then(|_| w.flush())
+        .map_err(|e| Error::from_io("write_frame", &e))
+}
+
+/// Writes a [`Frame::PutShard`] straight from borrowed shard bytes —
+/// the hot-path encoder: header on the stack, payload written from the
+/// caller's slice, no intermediate `Frame` or `Vec`. Byte-for-byte
+/// identical on the wire to `write_frame(&Frame::PutShard { .. })`.
+pub fn write_put_shard(
+    w: &mut impl Write,
+    object: u64,
+    pos: u32,
+    data: &[u8],
+) -> Result<(), Error> {
+    let body_len = 1 + 8 + 4 + 4 + data.len();
+    if body_len > MAX_FRAME_LEN as usize {
+        return Err(Error::Protocol {
+            what: format!(
+                "put_shard payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                data.len()
+            ),
+        });
+    }
+    let mut header = [0u8; 21];
+    header[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    header[4] = TAG_PUT_SHARD;
+    header[5..13].copy_from_slice(&object.to_le_bytes());
+    header[13..17].copy_from_slice(&pos.to_le_bytes());
+    header[17..21].copy_from_slice(&(data.len() as u32).to_le_bytes());
+    write_all_vectored2(w, &header, data)
+        .and_then(|_| w.flush())
+        .map_err(|e| Error::from_io("write_frame", &e))
+}
+
+/// Writes a [`Frame::ShardData`] reply straight from borrowed shard
+/// bytes — the brick-side counterpart of [`write_put_shard`].
+pub fn write_shard_data(w: &mut impl Write, data: &[u8]) -> Result<(), Error> {
+    let body_len = 1 + 4 + data.len();
+    if body_len > MAX_FRAME_LEN as usize {
+        return Err(Error::Protocol {
+            what: format!(
+                "shard_data payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte frame cap",
+                data.len()
+            ),
+        });
+    }
+    let mut header = [0u8; 9];
+    header[..4].copy_from_slice(&(body_len as u32).to_le_bytes());
+    header[4] = TAG_SHARD_DATA;
+    header[5..9].copy_from_slice(&(data.len() as u32).to_le_bytes());
+    write_all_vectored2(w, &header, data)
+        .and_then(|_| w.flush())
+        .map_err(|e| Error::from_io("write_frame", &e))
+}
+
+/// Writes `a` then `b` as one gathered write where the underlying
+/// stream supports it. For a `BufWriter` around a `TcpStream` with the
+/// combined length at or above the buffer capacity, this reaches the
+/// socket as a single `writev` — one syscall, no intermediate copy of
+/// the payload. Writers without real vectored support fall back to the
+/// looping behavior of `write_all` on each slice.
+fn write_all_vectored2(w: &mut impl Write, a: &[u8], b: &[u8]) -> std::io::Result<()> {
+    let total = a.len() + b.len();
+    let mut off = 0;
+    while off < total {
+        let n = if off < a.len() {
+            w.write_vectored(&[std::io::IoSlice::new(&a[off..]), std::io::IoSlice::new(b)])?
+        } else {
+            w.write(&b[off - a.len()..])?
+        };
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "failed to write whole frame",
+            ));
+        }
+        off += n;
+    }
+    Ok(())
+}
+
 /// Reads one frame from `r`. A clean EOF before any length byte returns
 /// `Ok(None)` (peer closed between frames); EOF mid-frame is a decode
 /// error.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, Error> {
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<Frame>, Error> {
     let mut len_buf = [0u8; 4];
     match read_exact_or_eof(r, &mut len_buf)? {
         ReadOutcome::Eof => return Ok(None),
@@ -340,16 +442,95 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, Error> {
             what: format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"),
         });
     }
-    let mut body = vec![0u8; len as usize];
-    match read_exact_or_eof(r, &mut body)? {
-        ReadOutcome::Full => {}
-        ReadOutcome::Eof | ReadOutcome::Partial(_) => {
+    let len = len as usize;
+    let mut tag = [0u8; 1];
+    read_body(r, &mut tag, len)?;
+    if len == 1 {
+        // Tag-only frames (`Ok`, the hot put acknowledgement) decode
+        // straight from the stack — no per-reply heap allocation.
+        return Frame::decode(&tag).map(Some);
+    }
+    // Bulk fast path for the two shard-carrying frames: read the fixed
+    // header, then the payload straight into an exactly-sized buffer —
+    // no oversized allocation and no memmove to strip the header off.
+    match tag[0] {
+        TAG_PUT_SHARD if len >= 17 => {
+            let mut hdr = [0u8; 16];
+            read_body(r, &mut hdr, len)?;
+            let dlen = u32::from_le_bytes(hdr[12..16].try_into().expect("len checked")) as usize;
+            if dlen == len - 17 {
+                let data = read_bulk(r, dlen, len)?;
+                return Ok(Some(Frame::PutShard {
+                    object: u64::from_le_bytes(hdr[..8].try_into().expect("len checked")),
+                    pos: u32::from_le_bytes(hdr[8..12].try_into().expect("len checked")),
+                    data,
+                }));
+            }
+            // The byte-count field disagrees with the frame length:
+            // drain the rest of the body and let the strict decoder
+            // report it exactly as it always has.
+            let mut body = vec![0u8; len];
+            body[0] = tag[0];
+            body[1..17].copy_from_slice(&hdr);
+            read_body(r, &mut body[17..], len)?;
+            return Frame::decode(&body).map(Some);
+        }
+        TAG_SHARD_DATA if len >= 5 => {
+            let mut hdr = [0u8; 4];
+            read_body(r, &mut hdr, len)?;
+            let dlen = u32::from_le_bytes(hdr) as usize;
+            if dlen == len - 5 {
+                return Ok(Some(Frame::ShardData {
+                    data: read_bulk(r, dlen, len)?,
+                }));
+            }
+            let mut body = vec![0u8; len];
+            body[0] = tag[0];
+            body[1..5].copy_from_slice(&hdr);
+            read_body(r, &mut body[5..], len)?;
+            return Frame::decode(&body).map(Some);
+        }
+        _ => {}
+    }
+    let mut body = vec![0u8; len];
+    body[0] = tag[0];
+    read_body(r, &mut body[1..], len)?;
+    Frame::decode(&body).map(Some)
+}
+
+/// Reads a `dlen`-byte shard payload by copying straight out of the
+/// reader's internal buffer — unlike `read_exact` into `vec![0; dlen]`,
+/// the destination is never zero-filled first, which saves a full
+/// payload-sized memset on every shard that crosses the wire.
+fn read_bulk(r: &mut impl BufRead, dlen: usize, len: usize) -> Result<Vec<u8>, Error> {
+    let mut data = Vec::with_capacity(dlen);
+    while data.len() < dlen {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(Error::from_io("read_frame", &e)),
+        };
+        if chunk.is_empty() {
             return Err(Error::Decode {
                 what: format!("connection closed mid-frame (expected {len} body bytes)"),
-            })
+            });
         }
+        let take = chunk.len().min(dlen - data.len());
+        data.extend_from_slice(&chunk[..take]);
+        r.consume(take);
     }
-    Frame::decode(&body).map(Some)
+    Ok(data)
+}
+
+/// Reads `buf` fully or reports the mid-frame truncation error for a
+/// frame whose body claimed `len` bytes.
+fn read_body(r: &mut impl Read, buf: &mut [u8], len: usize) -> Result<(), Error> {
+    match read_exact_or_eof(r, buf)? {
+        ReadOutcome::Full => Ok(()),
+        ReadOutcome::Eof | ReadOutcome::Partial(_) => Err(Error::Decode {
+            what: format!("connection closed mid-frame (expected {len} body bytes)"),
+        }),
+    }
 }
 
 enum ReadOutcome {
@@ -482,6 +663,56 @@ mod tests {
             let back = read_frame(&mut cursor).unwrap().unwrap();
             assert_eq!(back, frame);
         }
+    }
+
+    #[test]
+    fn bulk_read_path_rejects_lying_byte_counts() {
+        // A shard frame whose inner byte-count field disagrees with the
+        // frame length must fail through the strict decoder, not be
+        // silently reshaped by the bulk fast path.
+        let mut lying = Frame::ShardData { data: vec![9; 8] }.encode();
+        lying[5] = 200; // claims 200 payload bytes, 8 present
+        let mut cursor = std::io::Cursor::new(lying);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Decode { .. })));
+
+        let mut lying = Frame::PutShard {
+            object: 3,
+            pos: 1,
+            data: vec![7; 8],
+        }
+        .encode();
+        lying[17] = 200;
+        let mut cursor = std::io::Cursor::new(lying);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Decode { .. })));
+
+        // Truncation inside a bulk payload is the usual mid-frame error.
+        let mut enc = Frame::ShardData { data: vec![9; 64] }.encode();
+        enc.truncate(enc.len() - 10);
+        let mut cursor = std::io::Cursor::new(enc);
+        assert!(matches!(read_frame(&mut cursor), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn specialized_writers_match_frame_encode() {
+        for data in [vec![], vec![7u8], vec![0xabu8; 4096]] {
+            let frame = Frame::PutShard {
+                object: 123,
+                pos: 4,
+                data: data.clone(),
+            };
+            let mut fast = Vec::new();
+            write_put_shard(&mut fast, 123, 4, &data).unwrap();
+            assert_eq!(fast, frame.encode());
+
+            let frame = Frame::ShardData { data: data.clone() };
+            let mut fast = Vec::new();
+            write_shard_data(&mut fast, &data).unwrap();
+            assert_eq!(fast, frame.encode());
+        }
+
+        let mut fast = Vec::new();
+        write_ok(&mut fast).unwrap();
+        assert_eq!(fast, Frame::Ok.encode());
     }
 
     #[test]

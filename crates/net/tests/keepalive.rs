@@ -1,0 +1,129 @@
+//! Regression test for gateway reconnect churn: pooled brick
+//! connections must be refreshed by the keepalive thread *before* the
+//! brick's idle read deadline, so a gateway that sits idle between
+//! requests serves the next one on warm lanes — zero retries, zero
+//! reconnects. The control run (keepalive disabled) shows the churn the
+//! fix removes: every lane is dropped by the brick during the idle
+//! stretch and must be transparently re-dialed.
+//!
+//! Both scenarios share one test function because the pool counters are
+//! process-wide; sequential deltas keep them race-free.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use nsr_net::brick::{BrickConfig, BrickServer};
+use nsr_net::client::BrickClient;
+use nsr_net::detector::DetectorConfig;
+use nsr_net::gateway::{Gateway, GatewayConfig, ReadMode, RetryPolicy};
+use nsr_net::Error;
+
+/// Brick-side idle read deadline. Short so the test's idle stretch
+/// stays well under a second (the production default is 2 s).
+const BRICK_DEADLINE: Duration = Duration::from_millis(300);
+
+/// Idle stretch between the put and the get — comfortably past the
+/// brick deadline, so any unrefreshed lane is dropped server-side.
+const IDLE: Duration = Duration::from_millis(900);
+
+struct Cluster {
+    addrs: Vec<SocketAddr>,
+    handles: Vec<std::thread::JoinHandle<Result<(), Error>>>,
+    gw: Gateway,
+}
+
+fn cluster(keepalive_refresh: Duration) -> Cluster {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for id in 0..4u32 {
+        let mut cfg = BrickConfig::new(id);
+        cfg.read_timeout = BRICK_DEADLINE;
+        cfg.write_timeout = BRICK_DEADLINE;
+        let (addr, handle) = BrickServer::bind("127.0.0.1:0", cfg)
+            .expect("bind brick")
+            .spawn();
+        addrs.push(addr);
+        handles.push(handle);
+    }
+    let mut cfg = GatewayConfig::new(2, 1);
+    cfg.timeout = Duration::from_millis(250);
+    cfg.retry = RetryPolicy {
+        max_attempts: 4,
+        base_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(20),
+    };
+    cfg.detector = DetectorConfig {
+        suspect_phi: 1.0,
+        dead_phi: 3.0,
+        initial_interval_s: 0.02,
+        interval_alpha: 0.2,
+    };
+    cfg.keepalive_refresh = keepalive_refresh;
+    let gw = Gateway::connect(addrs.clone(), cfg).expect("gateway");
+    for _ in 0..8 {
+        std::thread::sleep(Duration::from_millis(20));
+        gw.pump_heartbeats();
+    }
+    Cluster { addrs, handles, gw }
+}
+
+impl Cluster {
+    fn shutdown(self) {
+        drop(self.gw);
+        for addr in &self.addrs {
+            let mut c = BrickClient::connect(*addr, Duration::from_millis(300)).expect("connect");
+            c.shutdown().expect("shutdown");
+        }
+        for h in self.handles {
+            h.join().expect("join").expect("brick run");
+        }
+    }
+}
+
+#[test]
+fn keepalive_prevents_reconnects_and_retries_across_idle_gaps() {
+    nsr_obs::set_metrics_enabled(true);
+    let payload: Vec<u8> = (0..96 * 1024).map(|i| (i % 251) as u8).collect();
+
+    // With keepalive refreshing lanes every 80 ms, an idle stretch past
+    // the 300 ms brick deadline must cost nothing: no brick drops the
+    // connection, so the get runs with zero retries and zero reconnects.
+    let c = cluster(Duration::from_millis(80));
+    c.gw.put(7, &payload).expect("put");
+    std::thread::sleep(IDLE);
+    let retries_before = nsr_net::obs::RETRIES.get();
+    let reconnects_before = nsr_net::obs::POOL_RECONNECTS.get();
+    let (data, mode) = c.gw.get(7).expect("get after idle");
+    assert_eq!(data, payload);
+    assert_eq!(mode, ReadMode::Healthy);
+    assert_eq!(
+        nsr_net::obs::RETRIES.get() - retries_before,
+        0,
+        "idle gap must not trigger gateway retries when keepalive is on"
+    );
+    assert_eq!(
+        nsr_net::obs::POOL_RECONNECTS.get() - reconnects_before,
+        0,
+        "idle gap must not drop pooled lanes when keepalive is on"
+    );
+    assert!(
+        nsr_net::obs::POOL_KEEPALIVES.get() > 0,
+        "the keepalive thread should have refreshed idle lanes"
+    );
+    c.shutdown();
+
+    // Control: keepalive disabled. The bricks drop every lane during
+    // the idle stretch; the get still succeeds (transparent reconnect)
+    // but the churn is visible in the reconnect counter.
+    let c = cluster(Duration::ZERO);
+    c.gw.put(7, &payload).expect("put");
+    std::thread::sleep(IDLE);
+    let reconnects_before = nsr_net::obs::POOL_RECONNECTS.get();
+    let (data, _) = c.gw.get(7).expect("get after idle without keepalive");
+    assert_eq!(data, payload);
+    assert!(
+        nsr_net::obs::POOL_RECONNECTS.get() > reconnects_before,
+        "without keepalive the idle gap must show up as reconnect churn"
+    );
+    c.shutdown();
+}
