@@ -99,6 +99,25 @@ echo "==> cluster smoke (live brick daemons on loopback, kill -9, rebuild)"
 diff "$SMOKE_DIR/burst-a.txt" "$SMOKE_DIR/burst-b.txt"
 grep -q 'verdict=LOSS' "$SMOKE_DIR/burst-a.txt"
 
+echo "==> fleet smoke (deterministic fleet mission, estimator cross-check)"
+# A seeded fleet mission must surface the fleet counters in its metrics
+# snapshot, both rare-event estimators must land within 4 sigma of the
+# analytic MTTDL (PASS lines), and the replay-determinism contract must
+# hold: the same seed at different worker counts emits byte-identical
+# output including the canonical trace.
+./target/release/nsr fleet --config ft2-ir5 --bricks 6400 --years 5 --seed 7 \
+    --estimator all --cycles 4000 \
+    --metrics-out "$SMOKE_DIR/fleet-metrics.jsonl" > "$SMOKE_DIR/fleet-out.txt"
+grep -q 'crosscheck importance: PASS' "$SMOKE_DIR/fleet-out.txt"
+grep -q 'crosscheck splitting: PASS' "$SMOKE_DIR/fleet-out.txt"
+./target/release/nsr obs-check --file "$SMOKE_DIR/fleet-metrics.jsonl" \
+    --require sim.fleet.events,sim.fleet.failures,sim.fleet.losses
+./target/release/nsr fleet --config ft1-nir --bricks 3200 --years 5 --seed 11 \
+    --workers 1 --trace > "$SMOKE_DIR/fleet-w1.txt"
+./target/release/nsr fleet --config ft1-nir --bricks 3200 --years 5 --seed 11 \
+    --workers 4 --trace > "$SMOKE_DIR/fleet-w4.txt"
+diff "$SMOKE_DIR/fleet-w1.txt" "$SMOKE_DIR/fleet-w4.txt"
+
 echo "==> serving smoke (workload generator, pool metrics, serving bench gate)"
 # A short seeded workload must drive the healthy -> degraded -> rebuilding
 # phases end to end and surface the connection-pool and serving-latency

@@ -49,7 +49,9 @@ use nsr_linalg::{Lu, Matrix};
 use nsr_markov::{AbsorbingAnalysis, SolverTier};
 use nsr_rng::rngs::StdRng;
 use nsr_rng::SeedableRng;
+use nsr_sim::fleet::FleetSim;
 use nsr_sim::importance::{Options, RareEvent};
+use nsr_sim::splitting::{SplitOptions, Splitting};
 use nsr_sim::system::SystemSim;
 
 /// Schema identifier stamped into every report.
@@ -542,6 +544,44 @@ pub fn sim_suite(mode: Mode) -> Result<Suite, String> {
             .expect("estimate")
         }),
     );
+
+    // Multilevel splitting on the same chain, for a like-for-like
+    // rare-event estimator comparison.
+    let split = Splitting::new(&ctmc, root).map_err(err("splitting"))?;
+    let mut rng = StdRng::seed_from_u64(13);
+    results.push(t.measure(&format!("splitting_{cycles}_cycles"), 0, || {
+        split
+            .estimate(
+                SplitOptions {
+                    gamma_cycles: cycles,
+                    time_cycles: cycles,
+                    ..SplitOptions::default()
+                },
+                &mut rng,
+            )
+            .expect("estimate")
+    }));
+
+    // Fleet engine throughput: an FT 3 no-IR fleet simulated for a
+    // decade (losses are ~never observed at this tolerance, so this is
+    // raw event-queue + per-entity-state throughput). `items` = events
+    // processed per mission, so items/s is events/s; ns_per_iter is the
+    // wall time of the whole simulated decade.
+    let config3 = Configuration::new(InternalRaid::None, 3).map_err(err("cfg"))?;
+    let brick_counts: &[u64] = match mode {
+        Mode::Full => &[10_000, 100_000, 1_000_000],
+        Mode::Smoke => &[640, 6_400],
+    };
+    for &bricks in brick_counts {
+        let fleet = FleetSim::new(params, config3, bricks, 10.0).map_err(err("fleet"))?;
+        let events = fleet.run(42, 0).map_err(err("fleet run"))?.events;
+        results.push(
+            t.measure(&format!("fleet_decade_{bricks}_bricks"), 0, || {
+                fleet.run(42, 0).expect("fleet run")
+            })
+            .with_items(events),
+        );
+    }
 
     Ok(Suite {
         suite: "sim",

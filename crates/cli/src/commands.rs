@@ -10,8 +10,10 @@ use nsr_core::units::Hours;
 use nsr_rng::rngs::StdRng;
 use nsr_rng::SeedableRng;
 use nsr_sim::faultinject::{Campaign, FaultPlan};
+use nsr_sim::fleet::{FleetRareEstimate, FleetSim};
 use nsr_sim::importance::{Options, RareEvent};
-use nsr_sim::system::SystemSim;
+use nsr_sim::splitting::SplitOptions;
+use nsr_sim::system::{LossCause, SystemSim};
 
 use crate::args::{config_name, params_from, parse_config, ParsedArgs};
 use crate::render::{sweep_csv, sweep_table};
@@ -34,6 +36,11 @@ COMMANDS:
   inject      fault-injection campaign (--plan NAME|list, --runs, --seed;
               --replay SEED prints one run's exact event trace)
   rare        rare-event (importance-sampling) MTTDL (--config, --cycles)
+  fleet       fleet-scale discrete-event mission (--config, --bricks N,
+              --years Y, --seed S, --workers N; deterministic at any
+              worker count; --estimator direct|is|splitting|all adds
+              rare-event MTTDL estimates cross-checked against the
+              analytic value; --trace prints the canonical replay trace)
   mission     P(data loss within --years Y) for --config
   plan        feasible configurations for --target events/PB-year
   spares      fail-in-place spare-capacity provisioning analysis
@@ -140,6 +147,7 @@ fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
         "sim" => sim(args),
         "inject" => inject(args),
         "rare" => rare(args),
+        "fleet" => fleet(args),
         "mission" => mission(args),
         "plan" => plan(args),
         "spares" => spares(args),
@@ -511,6 +519,126 @@ fn rare(args: &ParsedArgs) -> Result<String> {
     let _ = writeln!(text, "per-cycle gamma:     {}", r.gamma);
     let _ = writeln!(text, "mean cycle:          {:.4e} h", r.cycle_time.mean);
     Ok(text)
+}
+
+fn fleet(args: &ParsedArgs) -> Result<String> {
+    let config = parse_config(&args.get_or("config", "ft1-nir".to_string())?)?;
+    let params = params_from(args)?;
+    let bricks = args.get_or("bricks", 10_000u64)?;
+    let years = args.get_or("years", 10.0f64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let workers = args.get_or("workers", 0u32)?;
+    let estimator = args.get_or("estimator", "direct".to_string())?;
+    let cycles = args.get_or("cycles", 20_000u64)?;
+    if !matches!(estimator.as_str(), "direct" | "is" | "splitting" | "all") {
+        return Err(CliError(format!(
+            "unknown estimator '{estimator}'; use direct, is, splitting or all"
+        )));
+    }
+
+    let sim = FleetSim::new(params, config, bricks, years)?;
+    let outcome = sim.run(seed, workers)?;
+    let analytic = sim.analytic_cell_mttdl()?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet:             {} bricks = {} cells of {config} ({} entities)",
+        outcome.bricks, outcome.cells, outcome.entities
+    );
+    let _ = writeln!(
+        out,
+        "mission:           {years} y ({:.0} h), seed {seed}",
+        outcome.mission_hours
+    );
+    let _ = writeln!(
+        out,
+        "events:            {} processed ({} stale), {} node + {} drive failures, {} rebuilds",
+        outcome.events,
+        outcome.stale_events,
+        outcome.node_failures,
+        outcome.drive_failures,
+        outcome.rebuilds
+    );
+    let excess = outcome
+        .losses
+        .iter()
+        .filter(|l| l.cause == LossCause::ExcessFailures)
+        .count();
+    let sector = outcome.losses.len() - excess;
+    let _ = writeln!(
+        out,
+        "losses:            {} (excess-failures {excess}, sector-error {sector})",
+        outcome.losses.len()
+    );
+    match outcome.mttdl_estimate() {
+        Some((mttdl, (lo, hi))) => {
+            let _ = writeln!(
+                out,
+                "direct MTTDL:      {mttdl:.4e} h  (95% CI [{lo:.4e}, {hi:.4e}])"
+            );
+            let _ = writeln!(
+                out,
+                "direct rate:       {:.4e} data-loss events/PB-year",
+                outcome.events_per_pb_year()
+            );
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "direct MTTDL:      no losses observed; > {:.4e} h at 95% (rule of three)",
+                outcome.mttdl_lower_bound()
+            );
+        }
+    }
+    let _ = writeln!(out, "analytic (exact):  {analytic:.6e} h per cell");
+
+    let render_rare = |out: &mut String, label: &str, r: &FleetRareEstimate| {
+        let _ = writeln!(
+            out,
+            "{label:<19}{:.6e} h per cell (±{:.1}%), fleet {:.4e} h",
+            r.cell_mttdl.mtta,
+            100.0 * r.cell_mttdl.rel_err,
+            r.fleet_mttdl_hours
+        );
+        let _ = writeln!(
+            out,
+            "crosscheck {}: {} ({:.2} sigma from analytic)",
+            r.estimator,
+            if r.contains_analytic(4.0) {
+                "PASS"
+            } else {
+                "FAIL"
+            },
+            r.sigmas_from_analytic()
+        );
+    };
+    if estimator == "is" || estimator == "all" {
+        let r = sim.estimate_importance(
+            Options {
+                gamma_cycles: cycles,
+                time_cycles: cycles,
+                ..Options::default()
+            },
+            seed,
+        )?;
+        render_rare(&mut out, "IS MTTDL:", &r);
+    }
+    if estimator == "splitting" || estimator == "all" {
+        let r = sim.estimate_splitting(
+            SplitOptions {
+                gamma_cycles: cycles,
+                time_cycles: cycles,
+                ..SplitOptions::default()
+            },
+            seed,
+        )?;
+        render_rare(&mut out, "splitting MTTDL:", &r);
+    }
+    if args.has_flag("trace") {
+        out.push_str(&outcome.canonical_trace());
+    }
+    Ok(out)
 }
 
 fn mission(args: &ParsedArgs) -> Result<String> {
@@ -987,6 +1115,47 @@ mod tests {
         ])
         .unwrap();
         assert!(out.contains("simulated MTTDL"));
+    }
+
+    #[test]
+    fn fleet_runs_and_is_worker_deterministic() {
+        let base = [
+            "fleet", "--config", "ft1-nir", "--bricks", "3200", "--years", "2", "--seed", "5",
+        ];
+        let mut one = base.to_vec();
+        one.extend(["--workers", "1", "--trace"]);
+        let mut four = base.to_vec();
+        four.extend(["--workers", "4", "--trace"]);
+        let a = run(&one).unwrap();
+        let b = run(&four).unwrap();
+        assert_eq!(a, b, "fleet output must not depend on worker count");
+        assert!(a.contains("fleet:"));
+        assert!(a.contains("analytic (exact):"));
+        assert!(a.contains("fleet bricks=3200 cells=50"));
+        assert!(run(&["fleet", "--bricks", "0"]).is_err());
+        assert!(run(&["fleet", "--estimator", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn fleet_estimators_crosscheck_analytic() {
+        let out = run(&[
+            "fleet",
+            "--config",
+            "ft2-ir5",
+            "--bricks",
+            "640",
+            "--years",
+            "1",
+            "--seed",
+            "3",
+            "--estimator",
+            "all",
+            "--cycles",
+            "3000",
+        ])
+        .unwrap();
+        assert!(out.contains("crosscheck importance: PASS"), "{out}");
+        assert!(out.contains("crosscheck splitting: PASS"), "{out}");
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub enum Error {
         /// Human-readable description of the constraint that failed.
         what: &'static str,
     },
+    /// An exponential (or other hazard) draw was requested with a rate that
+    /// is zero, negative, NaN or infinite. Simulation loops must treat a
+    /// vanished hazard as "no event" rather than sampling from it; reaching
+    /// this error means a caller fed a degenerate rate into the sampler.
+    NonPositiveRate {
+        /// The offending rate.
+        rate: f64,
+    },
     /// An underlying linear-algebra operation failed.
     Linalg(nsr_linalg::Error),
 }
@@ -79,6 +87,12 @@ impl fmt::Display for Error {
             }
             Error::NotIrreducible => write!(f, "chain is not irreducible"),
             Error::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Error::NonPositiveRate { rate } => {
+                write!(
+                    f,
+                    "exponential rate must be positive and finite, got {rate}"
+                )
+            }
             Error::Linalg(e) => write!(f, "linear algebra failure: {e}"),
         }
     }

@@ -89,14 +89,24 @@ impl std::fmt::Display for Estimate {
 
 /// Draws an `Exp(rate)` variate with inverse-transform sampling.
 ///
-/// # Panics
+/// A non-positive (or non-finite) rate is a modelling bug in the caller —
+/// historically it was only a `debug_assert`, which let release builds
+/// silently produce negative or NaN waiting times (and, fed back into a
+/// simulation clock, move time backwards). It is now a typed error in every
+/// build profile. Callers whose aggregate hazard can legitimately vanish
+/// must branch *before* drawing (treat the event as "never happens") so the
+/// RNG stream stays aligned with historical seeds on the positive-rate path.
 ///
-/// Panics (debug assertion) if `rate` is not strictly positive.
-pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    debug_assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+/// # Errors
+///
+/// [`Error::NonPositiveRate`] if `rate` is not strictly positive and finite.
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> Result<f64> {
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(Error::NonPositiveRate { rate });
+    }
     let u: f64 = rng.random();
     // 1-u is in (0, 1]; ln is finite.
-    -(1.0 - u).ln() / rate
+    Ok(-(1.0 - u).ln() / rate)
 }
 
 /// Simulates one trajectory from `from` until an absorbing state is hit.
@@ -134,7 +144,7 @@ pub fn simulate_to_absorption<R: Rng + ?Sized>(
             });
         }
         let total = ctmc.total_rate(state);
-        time += sample_exponential(rng, total);
+        time += sample_exponential(rng, total)?;
         // Pick the next state proportionally to rates.
         let mut pick = rng.random::<f64>() * total;
         let transitions = ctmc.transitions_from(state);
@@ -205,10 +215,31 @@ mod tests {
         let rate = 4.0;
         let n = 20_000;
         let mean: f64 = (0..n)
-            .map(|_| sample_exponential(&mut rng, rate))
+            .map(|_| sample_exponential(&mut rng, rate).unwrap())
             .sum::<f64>()
             / n as f64;
         assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_rejects_degenerate_rates() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                matches!(
+                    sample_exponential(&mut rng, rate),
+                    Err(Error::NonPositiveRate { .. })
+                ),
+                "rate {rate} must be a typed error"
+            );
+        }
+        // The error path must not consume randomness: the next good draw is
+        // identical to a fresh stream's first draw.
+        let mut fresh = StdRng::seed_from_u64(42);
+        assert_eq!(
+            sample_exponential(&mut rng, 2.0).unwrap(),
+            sample_exponential(&mut fresh, 2.0).unwrap()
+        );
     }
 
     #[test]

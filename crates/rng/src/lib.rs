@@ -111,6 +111,102 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+/// A *stateless* counter-based generator: every output is a pure function
+/// of `(seed, stream, counter)`.
+///
+/// Sequential generators like [`rngs::StdRng`] force an ordering on draws —
+/// whoever draws first changes everyone else's values — which couples a
+/// parallel simulation's results to its thread count. A counter-based
+/// generator removes the coupling: each simulated entity owns a `stream`
+/// (its stable id) and a private draw `counter`, so its variates are
+/// identical no matter how work is sharded. The fleet simulator
+/// (`nsr-sim::fleet`) relies on this for its byte-identical-at-any-worker-
+/// count guarantee.
+///
+/// The mixer is three rounds of the SplitMix64 finalizer over the XORed
+/// inputs — cheap, and statistically far better than the simulation needs.
+/// Like `StdRng`, the output for a given `(seed, stream, counter)` triple
+/// is frozen forever: fleet replay determinism depends on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    key: u64,
+}
+
+impl CounterRng {
+    /// Builds a generator keyed by `seed`.
+    pub fn new(seed: u64) -> CounterRng {
+        // Pre-mix the seed so nearby seeds give unrelated keys.
+        CounterRng {
+            key: mix(seed ^ 0x6a09_e667_f3bc_c908),
+        }
+    }
+
+    /// The 64 uniform bits at position `counter` of stream `stream`.
+    pub fn u64_at(&self, stream: u64, counter: u64) -> u64 {
+        // Distinct odd multipliers keep (stream, counter) and
+        // (counter, stream) from colliding.
+        mix(self
+            .key
+            .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .wrapping_add(counter.wrapping_mul(0xc2b2_ae3d_27d4_eb4f)))
+    }
+
+    /// Uniform `f64` in `[0, 1)` with full 53-bit mantissa resolution
+    /// (same mapping as [`Sample`] for `f64`).
+    pub fn f64_at(&self, stream: u64, counter: u64) -> f64 {
+        (self.u64_at(stream, counter) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A sequential [`Rng`] view of one stream, starting at `counter`.
+    /// Useful for feeding stream-local draws into generic samplers.
+    pub fn stream(&self, stream: u64, counter: u64) -> StreamRng {
+        StreamRng {
+            crng: *self,
+            stream,
+            counter,
+        }
+    }
+}
+
+/// Sequential adapter over one [`CounterRng`] stream.
+///
+/// Draws `counter, counter+1, …` of the stream in order; the final counter
+/// position can be read back with [`StreamRng::counter`] so a caller can
+/// persist per-entity draw positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamRng {
+    crng: CounterRng,
+    stream: u64,
+    counter: u64,
+}
+
+impl StreamRng {
+    /// The next counter position this stream will consume.
+    pub fn counter(&self) -> u64 {
+        self.counter
+    }
+}
+
+impl Rng for StreamRng {
+    fn next_u64(&mut self) -> u64 {
+        let out = self.crng.u64_at(self.stream, self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        out
+    }
+}
+
+/// SplitMix64 finalizer (Stafford's Mix13 variant), applied three times by
+/// [`CounterRng`]; one application is the classical SplitMix64 step.
+fn mix(x: u64) -> u64 {
+    let mut z = x;
+    for _ in 0..3 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
 /// Concrete generators.
 pub mod rngs {
     use super::{Rng, SeedableRng};
@@ -227,6 +323,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let x = draw(&mut rng);
         assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn counter_rng_is_pure_and_order_free() {
+        use super::CounterRng;
+        let c = CounterRng::new(42);
+        // Pure function: same triple, same output, regardless of call order.
+        let forward: Vec<u64> = (0..64).map(|i| c.u64_at(7, i)).collect();
+        let backward: Vec<u64> = (0..64).rev().map(|i| c.u64_at(7, i)).collect();
+        assert!(forward.iter().eq(backward.iter().rev()));
+        // Distinct streams, counters, and seeds all decorrelate.
+        assert_ne!(c.u64_at(7, 0), c.u64_at(8, 0));
+        assert_ne!(c.u64_at(7, 0), c.u64_at(0, 7));
+        assert_ne!(c.u64_at(7, 0), CounterRng::new(43).u64_at(7, 0));
+        // f64 mapping stays in [0, 1) and is roughly uniform.
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| c.f64_at(1, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn stream_rng_matches_direct_indexing() {
+        use super::CounterRng;
+        let c = CounterRng::new(9);
+        let mut s = c.stream(5, 100);
+        for i in 100..110 {
+            assert_eq!(s.next_u64(), c.u64_at(5, i));
+        }
+        assert_eq!(s.counter(), 110);
+        let u: f64 = s.random();
+        assert!((0.0..1.0).contains(&u));
     }
 
     #[test]

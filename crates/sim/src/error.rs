@@ -29,6 +29,17 @@ pub enum Error {
         /// Number of events processed before giving up.
         events: u64,
     },
+    /// Every hazard rate vanished while no repair was outstanding: the
+    /// trajectory can never progress (no failure can fire, no rebuild can
+    /// complete). Historically this state fed `total_rate == 0` into the
+    /// exponential sampler, produced an infinite waiting time, and then
+    /// panicked looking for a completion in an empty repair list. It is a
+    /// parameterization bug (e.g. all MTTFs set to infinity), surfaced as
+    /// a typed error.
+    StalledTrajectory {
+        /// Simulated time (hours) at which the trajectory stalled.
+        at_hours: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +55,11 @@ impl fmt::Display for Error {
                 f,
                 "no data loss within {events} events; configuration too reliable for \
                  direct simulation (use importance sampling)"
+            ),
+            Error::StalledTrajectory { at_hours } => write!(
+                f,
+                "trajectory stalled at t={at_hours} h: all hazard rates are zero and \
+                 no repair is outstanding"
             ),
         }
     }

@@ -831,12 +831,18 @@ impl<'a> Campaign<'a> {
 
             // Candidate next events. Draw order is fixed: natural hazard
             // first, then each Poisson stream in clause order — part of
-            // the replay contract.
-            let t_natural = now + sample_exponential(rng, total_rate);
+            // the replay contract. A vanished natural hazard skips its
+            // draw entirely (never fires) instead of feeding a zero rate
+            // into the sampler.
+            let t_natural = if total_rate > 0.0 {
+                now + sample_exponential(rng, total_rate)?
+            } else {
+                f64::INFINITY
+            };
             let mut t_poisson = f64::INFINITY;
             let mut poisson_kind = FaultKind::NodeCrash;
             for &(rate, kind) in &poisson {
-                let t = now + sample_exponential(rng, rate);
+                let t = now + sample_exponential(rng, rate)?;
                 if t < t_poisson {
                     t_poisson = t;
                     poisson_kind = kind;
@@ -985,7 +991,7 @@ impl<'a> Campaign<'a> {
             };
             let work = match e.repair {
                 RepairDistribution::Deterministic => mean_duration,
-                RepairDistribution::Exponential => sample_exponential(rng, 1.0 / mean_duration),
+                RepairDistribution::Exponential => sample_exponential(rng, 1.0 / mean_duration)?,
             };
             let completes_at = profile.completion_time(now, work);
             outstanding.push((fail_kind, completes_at));

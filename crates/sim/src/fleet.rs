@@ -1,0 +1,1078 @@
+//! Fleet-scale discrete-event simulation of brick storage.
+//!
+//! [`crate::system`] simulates *one* redundancy cell to data loss with an
+//! O(outstanding) scan per event — fine for a 64-node system, hopeless for
+//! a fleet. This module rebuilds the engine around the structures a fleet
+//! needs:
+//!
+//! * **Binary-heap event queue** ([`EventQueue`]): events are keyed by
+//!   `(f64 time, u64 sequence)` — time ordered by `f64::total_cmp`, ties
+//!   broken by a monotone per-shard sequence number — so the processing
+//!   order is a pure function of the pushed events, never of HashMap
+//!   iteration or thread interleaving.
+//! * **Per-entity state**: every node and drive owns a failure clock, an
+//!   incarnation counter (for O(1) lazy cancellation of stale events),
+//!   and a down flag. No `Vec` scans.
+//! * **Counter-based draws** ([`nsr_rng::CounterRng`]): each entity draws
+//!   from its own stateless stream, indexed by a private counter. A
+//!   cell's trajectory therefore depends only on `(seed, cell)` — *not*
+//!   on which worker simulates it — which is what makes a same-seed run
+//!   **byte-identical at any worker count** (the determinism tests pin
+//!   workers 1/4/16 to identical outcomes and canonical traces).
+//! * **Horizon pruning**: events past the mission end are never pushed.
+//!   At baseline MTTFs only ~25 % of entities fail within a decade, so
+//!   the queue stays far smaller than the fleet.
+//!
+//! The fleet is modelled as independent redundancy cells (one §6 baseline
+//! system each: `n` bricks × `d` drives). Cells are partitioned into
+//! fixed-size shards; worker threads claim shards from an atomic counter
+//! and results are merged in shard order — the sharding is a function of
+//! the fleet size alone, so the worker count cannot leak into results.
+//! Failure semantics per cell mirror [`crate::system::SystemSim`] (§4
+//! failure model, §5.1 deterministic rebuilds, §5.2 sector errors).
+//!
+//! Direct simulation observes losses only for the weakest configurations;
+//! for 9–11-nines targets the module wires in both rare-event estimators
+//! — balanced failure biasing ([`crate::importance`]) and multilevel
+//! splitting ([`crate::splitting`]) — over the configuration's exact
+//! CTMC, scaled to the fleet and cross-checked against the analytic
+//! MTTDL.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+
+use nsr_core::config::Configuration;
+use nsr_core::params::Params;
+use nsr_core::units::HOURS_PER_YEAR;
+use nsr_rng::rngs::StdRng;
+use nsr_rng::{CounterRng, SeedableRng};
+
+use crate::importance::{Options as IsOptions, RareEvent, RareEventEstimate};
+use crate::splitting::{SplitOptions, Splitting};
+use crate::system::{EngineRates, LossCause, RepairDistribution, SystemSim};
+use crate::{Error, Result};
+
+/// Cells per shard. Fixed (never derived from the worker count) so the
+/// shard partition — and with it every per-shard event sequence — is a
+/// pure function of the fleet geometry.
+const CELLS_PER_SHARD: u64 = 64;
+
+/// A deterministic min-queue of timed events.
+///
+/// Ordering contract: events pop in ascending `(time, seq)` order, where
+/// `time` compares by `f64::total_cmp` and `seq` is the monotone push
+/// sequence — so simultaneous events fire in push order, and the full pop
+/// order is reproducible bit-for-bit from the push history. Non-finite
+/// times are rejected up front ([`Error::NonFiniteEventTime`]): a NaN or
+/// ±∞ timestamp would sort to the far future and silently never fire.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` at `time`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NonFiniteEventTime`] if `time` is NaN or infinite.
+    pub fn push(&mut self, time: f64, item: T) -> Result<()> {
+        if !time.is_finite() {
+            return Err(Error::NonFiniteEventTime { time });
+        }
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the earliest event, `None` when empty.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|e| (e.time, e.item))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// One data-loss event observed during a fleet mission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossRecord {
+    /// Simulated time of the loss, hours from mission start.
+    pub time_hours: f64,
+    /// Global index of the cell that lost data.
+    pub cell: u64,
+    /// What caused the loss.
+    pub cause: LossCause,
+}
+
+/// Result of one fleet mission. `PartialEq` compares every field exactly
+/// (including `f64` loss times bit-for-bit via IEEE equality), which is
+/// what the determinism tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Bricks (storage nodes) simulated; the requested count rounded up
+    /// to whole cells.
+    pub bricks: u64,
+    /// Independent redundancy cells simulated.
+    pub cells: u64,
+    /// Total simulated entities (bricks plus, for no-IR configurations,
+    /// their drives).
+    pub entities: u64,
+    /// Mission length in hours.
+    pub mission_hours: f64,
+    /// Events processed (failures, rebuild completions, sector strikes).
+    pub events: u64,
+    /// Events popped but dropped as stale (lazy cancellation).
+    pub stale_events: u64,
+    /// Brick (node) failures processed.
+    pub node_failures: u64,
+    /// Drive failures processed (0 for internal-RAID configurations,
+    /// where drive failures are folded into the brick rates).
+    pub drive_failures: u64,
+    /// Rebuilds completed.
+    pub rebuilds: u64,
+    /// Every data loss, in ascending `(time, cell)` order.
+    pub losses: Vec<LossRecord>,
+    /// Logical capacity per cell, PB (for events/PB-year conversions).
+    pub cell_capacity_pb: f64,
+}
+
+impl FleetOutcome {
+    /// Number of data-loss events.
+    pub fn loss_count(&self) -> u64 {
+        self.losses.len() as u64
+    }
+
+    /// Total cell-hours of exposure (`cells × mission`).
+    pub fn cell_hours(&self) -> f64 {
+        self.cells as f64 * self.mission_hours
+    }
+
+    /// Direct MTTDL estimate `cell-hours / losses` (each cell resets
+    /// after a loss, so losses form a renewal process), with its 95 %
+    /// Poisson confidence interval. `None` with zero observed losses —
+    /// use [`FleetOutcome::mttdl_lower_bound`] or a rare-event estimator.
+    pub fn mttdl_estimate(&self) -> Option<(f64, (f64, f64))> {
+        let k = self.loss_count() as f64;
+        if k == 0.0 {
+            return None;
+        }
+        let t = self.cell_hours();
+        let half = 1.96 * k.sqrt();
+        // Rate interval (k ± 1.96√k)/T inverts to an MTTDL interval.
+        let lo = t / (k + half);
+        let hi = if k > half {
+            t / (k - half)
+        } else {
+            f64::INFINITY
+        };
+        Some((t / k, (lo, hi)))
+    }
+
+    /// With zero losses, the 95 % lower confidence bound on the MTTDL by
+    /// the rule of three: the loss rate is below `3/T` at 95 %.
+    pub fn mttdl_lower_bound(&self) -> f64 {
+        self.cell_hours() / 3.0
+    }
+
+    /// Observed data-loss events per PB-year of logical capacity.
+    pub fn events_per_pb_year(&self) -> f64 {
+        let pb_years =
+            self.cells as f64 * self.cell_capacity_pb * self.mission_hours / HOURS_PER_YEAR;
+        self.loss_count() as f64 / pb_years
+    }
+
+    /// Canonical textual rendering: a header of exact counters plus one
+    /// line per loss carrying the raw IEEE-754 bits of its timestamp.
+    /// Two runs are byte-identical iff their canonical traces match —
+    /// this is the replay-determinism artifact diffed by CI.
+    pub fn canonical_trace(&self) -> String {
+        let mut s = format!(
+            "fleet bricks={} cells={} entities={} mission_h_bits={:016x} \
+             events={} stale={} node_failures={} drive_failures={} rebuilds={} losses={}\n",
+            self.bricks,
+            self.cells,
+            self.entities,
+            self.mission_hours.to_bits(),
+            self.events,
+            self.stale_events,
+            self.node_failures,
+            self.drive_failures,
+            self.rebuilds,
+            self.loss_count(),
+        );
+        for l in &self.losses {
+            s.push_str(&format!(
+                "loss t_bits={:016x} t_h={:.6e} cell={} cause={}\n",
+                l.time_hours.to_bits(),
+                l.time_hours,
+                l.cell,
+                l.cause
+            ));
+        }
+        s
+    }
+}
+
+/// Which MTTDL estimator to run against a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetEstimator {
+    /// Direct discrete-event simulation over the mission (only resolves
+    /// the weakest configurations within feasible fleet-hours).
+    Direct,
+    /// Balanced failure biasing on the exact CTMC ([`crate::importance`]).
+    Importance,
+    /// Multilevel splitting on the exact CTMC ([`crate::splitting`]).
+    Splitting,
+}
+
+impl std::fmt::Display for FleetEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetEstimator::Direct => write!(f, "direct"),
+            FleetEstimator::Importance => write!(f, "importance"),
+            FleetEstimator::Splitting => write!(f, "splitting"),
+        }
+    }
+}
+
+/// A rare-event MTTDL estimate scaled to the fleet, paired with the
+/// analytic value it is validated against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetRareEstimate {
+    /// Which estimator produced it.
+    pub estimator: FleetEstimator,
+    /// Per-cell MTTDL estimate with confidence information.
+    pub cell_mttdl: RareEventEstimate,
+    /// The analytic (exact-chain) per-cell MTTDL, hours.
+    pub analytic_cell_mttdl: f64,
+    /// Fleet-level MTTDL, hours (`cell MTTDL / cells`: losses across
+    /// independent cells superpose).
+    pub fleet_mttdl_hours: f64,
+    /// Implied data-loss events per PB-year of logical capacity.
+    pub events_per_pb_year: f64,
+}
+
+impl FleetRareEstimate {
+    /// Distance from the analytic value in standard errors.
+    pub fn sigmas_from_analytic(&self) -> f64 {
+        (self.analytic_cell_mttdl - self.cell_mttdl.mtta).abs() / self.cell_mttdl.std_err()
+    }
+
+    /// Whether the analytic value lies within `k` standard errors.
+    pub fn contains_analytic(&self, k: f64) -> bool {
+        self.cell_mttdl.contains(self.analytic_cell_mttdl, k)
+    }
+}
+
+/// Per-shard event payload. Entity/cell indices are shard-local;
+/// the `u32` tag is the incarnation (entities) or epoch (cells) the
+/// event was scheduled against, for lazy cancellation.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Failure clock of entity `.0` (incarnation `.1`) fires.
+    Fail(u32, u32),
+    /// Rebuild of entity `.0` (incarnation `.1`) completes.
+    Repair(u32, u32),
+    /// Critical-window sector strike in cell `.0` (epoch `.1`), IR only.
+    Strike(u32, u32),
+}
+
+/// Per-cell mutable state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    /// Outstanding failures (nodes + drives) in the cell.
+    outstanding: u32,
+    /// How many of those are nodes.
+    nodes_down: u32,
+    /// Bumped whenever a critical window closes (cancels strikes) or the
+    /// cell resets.
+    epoch: u32,
+}
+
+#[derive(Debug, Default)]
+struct ShardResult {
+    events: u64,
+    stale: u64,
+    node_failures: u64,
+    drive_failures: u64,
+    rebuilds: u64,
+    losses: Vec<LossRecord>,
+}
+
+/// The fleet simulator: many independent cells of one configuration at
+/// one parameter point, over a finite mission.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    sim: SystemSim,
+    params: Params,
+    config: Configuration,
+    cells: u64,
+    mission_hours: f64,
+}
+
+impl FleetSim {
+    /// Builds a fleet of at least `bricks` storage nodes (rounded up to
+    /// whole cells of `params.system.node_count`) for a mission of
+    /// `mission_years`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] for a zero brick count or non-positive
+    ///   mission.
+    /// * Propagates parameter validation errors.
+    pub fn new(
+        params: Params,
+        config: Configuration,
+        bricks: u64,
+        mission_years: f64,
+    ) -> Result<FleetSim> {
+        if bricks == 0 {
+            return Err(Error::InvalidArgument {
+                what: "fleet must have at least one brick",
+            });
+        }
+        if !(mission_years > 0.0 && mission_years.is_finite()) {
+            return Err(Error::InvalidArgument {
+                what: "mission length must be positive and finite",
+            });
+        }
+        let sim = SystemSim::new(params, config)?;
+        let n = u64::from(params.system.node_count);
+        Ok(FleetSim {
+            sim,
+            params,
+            config,
+            cells: bricks.div_ceil(n),
+            mission_hours: mission_years * HOURS_PER_YEAR,
+        })
+    }
+
+    /// Redundancy cells in the fleet.
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Bricks actually simulated (`cells × nodes per cell`).
+    pub fn bricks(&self) -> u64 {
+        self.cells * u64::from(self.params.system.node_count)
+    }
+
+    /// Mission length in hours.
+    pub fn mission_hours(&self) -> f64 {
+        self.mission_hours
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> Configuration {
+        self.config
+    }
+
+    /// Simulated entities per cell: `n` bricks, plus `n·d` drives for
+    /// no-IR configurations (internal RAID folds drive failures into the
+    /// brick rates, so drives are not separate entities).
+    fn entities_per_cell(&self) -> u64 {
+        let n = u64::from(self.params.system.node_count);
+        let e = self.sim.engine_rates();
+        if e.ir_rates.is_some() {
+            n
+        } else {
+            n * (1 + u64::from(self.params.node.drives_per_node))
+        }
+    }
+
+    /// Runs the mission. `workers == 0` uses the machine's available
+    /// parallelism. The outcome — every counter and loss record — is a
+    /// pure function of `seed` and the fleet geometry, independent of
+    /// `workers`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-shard failures (non-finite event times).
+    pub fn run(&self, seed: u64, workers: u32) -> Result<FleetOutcome> {
+        let t0 = nsr_obs::metrics_timer();
+        let mut span = nsr_obs::trace::Span::enter("sim.fleet.run");
+        let shard_count = self.cells.div_ceil(CELLS_PER_SHARD) as usize;
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get() as u32)
+                .unwrap_or(1)
+        } else {
+            workers
+        }
+        .min(shard_count as u32)
+        .max(1);
+        let crng = CounterRng::new(seed);
+
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<Vec<(usize, Result<ShardResult>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let next = &next;
+                    let crng = &crng;
+                    scope.spawn(move || {
+                        nsr_obs::set_trace_lane(u64::from(w) + 1);
+                        let e = self.sim.engine_rates();
+                        let mut out = Vec::new();
+                        loop {
+                            let s = next.fetch_add(1, AtomicOrdering::Relaxed);
+                            if s >= shard_count {
+                                break;
+                            }
+                            out.push((s, self.run_shard(&e, crng, s)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+
+        let mut merged = ShardResult::default();
+        for (_, r) in per_worker.into_iter().flatten() {
+            let r = r?;
+            merged.events += r.events;
+            merged.stale += r.stale;
+            merged.node_failures += r.node_failures;
+            merged.drive_failures += r.drive_failures;
+            merged.rebuilds += r.rebuilds;
+            merged.losses.extend(r.losses);
+        }
+        merged.losses.sort_by(|a, b| {
+            a.time_hours
+                .total_cmp(&b.time_hours)
+                .then(a.cell.cmp(&b.cell))
+        });
+
+        let outcome = FleetOutcome {
+            bricks: self.bricks(),
+            cells: self.cells,
+            entities: self.cells * self.entities_per_cell(),
+            mission_hours: self.mission_hours,
+            events: merged.events,
+            stale_events: merged.stale,
+            node_failures: merged.node_failures,
+            drive_failures: merged.drive_failures,
+            rebuilds: merged.rebuilds,
+            losses: merged.losses,
+            cell_capacity_pb: self
+                .params
+                .logical_capacity(self.config.node_fault_tolerance())
+                .to_pb(),
+        };
+        crate::obs::FLEET_EVENTS.add(outcome.events);
+        crate::obs::FLEET_FAILURES.add(outcome.node_failures + outcome.drive_failures);
+        crate::obs::FLEET_LOSSES.add(outcome.loss_count());
+        if let Some(t0) = t0 {
+            let secs = t0.elapsed().as_secs_f64();
+            crate::obs::FLEET_EVENTS_PER_S.observe(outcome.events as f64 / secs.max(1e-9));
+        }
+        span.field("bricks", || nsr_obs::Json::Num(outcome.bricks as f64));
+        span.field("events", || nsr_obs::Json::Num(outcome.events as f64));
+        span.field("losses", || nsr_obs::Json::Num(outcome.loss_count() as f64));
+        span.field("workers", || nsr_obs::Json::Num(f64::from(workers)));
+        Ok(outcome)
+    }
+
+    /// Simulates the cells of shard `shard` to the mission horizon.
+    fn run_shard(
+        &self,
+        e: &EngineRates<'_>,
+        crng: &CounterRng,
+        shard: usize,
+    ) -> Result<ShardResult> {
+        let cell_base = shard as u64 * CELLS_PER_SHARD;
+        let cell_count = (self.cells - cell_base).min(CELLS_PER_SHARD) as usize;
+        let n = e.n as usize;
+        let d = e.d as usize;
+        let per_cell = self.entities_per_cell() as usize;
+        let is_ir = e.ir_rates.is_some();
+        let (lambda_array, critical_sector_rate) = e.ir_rates.unwrap_or((0.0, 0.0));
+        let node_rate = e.lambda_n + lambda_array;
+        let mission = self.mission_hours;
+        let len = cell_count * per_cell;
+        // Entity streams are global (cell-independent of sharding); cell
+        // streams live in a disjoint namespace under the top bit.
+        let entity_stream_base = cell_base * per_cell as u64;
+        let cell_stream = |cell_i: usize| (1u64 << 63) | (cell_base + cell_i as u64);
+
+        let mut incarnation = vec![0u32; len];
+        let mut counters = vec![0u64; len];
+        let mut down = vec![false; len];
+        let mut cell_counters = vec![0u64; cell_count];
+        let mut cells = vec![Cell::default(); cell_count];
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut res = ShardResult::default();
+
+        // Draws Exp(rate) from an entity's private stream and schedules
+        // its next failure, unless it lands past the mission horizon.
+        #[allow(clippy::too_many_arguments)]
+        fn arm(
+            crng: &CounterRng,
+            q: &mut EventQueue<Ev>,
+            counters: &mut [u64],
+            incarnation: &[u32],
+            stream_base: u64,
+            idx: usize,
+            rate: f64,
+            t0: f64,
+            mission: f64,
+        ) -> Result<()> {
+            if rate <= 0.0 {
+                return Ok(());
+            }
+            let u = crng.f64_at(stream_base + idx as u64, counters[idx]);
+            counters[idx] += 1;
+            let t = t0 - (1.0 - u).ln() / rate;
+            if t <= mission {
+                q.push(t, Ev::Fail(idx as u32, incarnation[idx]))?;
+            }
+            Ok(())
+        }
+
+        let rate_of = |local_in_cell: usize| {
+            if local_in_cell < n {
+                node_rate
+            } else {
+                e.lambda_d
+            }
+        };
+
+        for idx in 0..len {
+            arm(
+                crng,
+                &mut q,
+                &mut counters,
+                &incarnation,
+                entity_stream_base,
+                idx,
+                rate_of(idx % per_cell),
+                0.0,
+                mission,
+            )?;
+        }
+
+        while let Some((now, ev)) = q.pop() {
+            match ev {
+                Ev::Fail(idx, inc) => {
+                    let idx = idx as usize;
+                    if incarnation[idx] != inc {
+                        res.stale += 1;
+                        continue;
+                    }
+                    res.events += 1;
+                    let cell_i = idx / per_cell;
+                    let local = idx % per_cell;
+                    let is_node = local < n;
+
+                    if cells[cell_i].outstanding == e.t {
+                        // Already critical: one more failure is a loss.
+                        res.losses.push(LossRecord {
+                            time_hours: now,
+                            cell: cell_base + cell_i as u64,
+                            cause: LossCause::ExcessFailures,
+                        });
+                        self.reset_cell(
+                            crng,
+                            &mut q,
+                            &mut counters,
+                            &mut incarnation,
+                            &mut down,
+                            &mut cells[cell_i],
+                            entity_stream_base,
+                            cell_i,
+                            per_cell,
+                            n,
+                            node_rate,
+                            e.lambda_d,
+                            now,
+                        )?;
+                        continue;
+                    }
+
+                    incarnation[idx] += 1;
+                    down[idx] = true;
+                    if is_node {
+                        res.node_failures += 1;
+                        cells[cell_i].nodes_down += 1;
+                        if !is_ir {
+                            // Park the node's surviving drives: their
+                            // clocks become stale until the node repairs.
+                            let first = cell_i * per_cell + n + local * d;
+                            for drive in first..first + d {
+                                if !down[drive] {
+                                    incarnation[drive] += 1;
+                                }
+                            }
+                        }
+                    } else {
+                        res.drive_failures += 1;
+                    }
+                    cells[cell_i].outstanding += 1;
+
+                    let mean = if is_node {
+                        e.node_rebuild_hours
+                    } else {
+                        e.drive_rebuild_hours
+                    };
+                    let duration = match e.repair {
+                        RepairDistribution::Deterministic => mean,
+                        RepairDistribution::Exponential => {
+                            let u = crng.f64_at(entity_stream_base + idx as u64, counters[idx]);
+                            counters[idx] += 1;
+                            -(1.0 - u).ln() * mean
+                        }
+                    };
+                    let done = now + duration;
+                    if done <= mission {
+                        q.push(done, Ev::Repair(idx as u32, incarnation[idx]))?;
+                    }
+
+                    if cells[cell_i].outstanding == e.t {
+                        // The cell just went critical.
+                        if let Some(h) = e.h {
+                            // No-IR: the triggering rebuild reads critical
+                            // data; §5.2.2 sector-error probability.
+                            let drives_down = cells[cell_i].outstanding - cells[cell_i].nodes_down;
+                            let p = h.by_drive_count(drives_down).min(1.0);
+                            let u = crng.f64_at(cell_stream(cell_i), cell_counters[cell_i]);
+                            cell_counters[cell_i] += 1;
+                            if u < p {
+                                res.losses.push(LossRecord {
+                                    time_hours: now,
+                                    cell: cell_base + cell_i as u64,
+                                    cause: LossCause::SectorError,
+                                });
+                                self.reset_cell(
+                                    crng,
+                                    &mut q,
+                                    &mut counters,
+                                    &mut incarnation,
+                                    &mut down,
+                                    &mut cells[cell_i],
+                                    entity_stream_base,
+                                    cell_i,
+                                    per_cell,
+                                    n,
+                                    node_rate,
+                                    e.lambda_d,
+                                    now,
+                                )?;
+                                continue;
+                            }
+                        } else {
+                            // IR: continuous critical sector-error hazard
+                            // (§4.2, scaled by k_t) until the window
+                            // closes. Node count is frozen during the
+                            // window (any further failure is a loss).
+                            let alive = f64::from(e.n - cells[cell_i].nodes_down);
+                            let rate = alive * critical_sector_rate;
+                            if rate > 0.0 {
+                                let u = crng.f64_at(cell_stream(cell_i), cell_counters[cell_i]);
+                                cell_counters[cell_i] += 1;
+                                let strike = now - (1.0 - u).ln() / rate;
+                                if strike <= mission {
+                                    q.push(strike, Ev::Strike(cell_i as u32, cells[cell_i].epoch))?;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                Ev::Repair(idx, inc) => {
+                    let idx = idx as usize;
+                    if incarnation[idx] != inc {
+                        res.stale += 1;
+                        continue;
+                    }
+                    res.events += 1;
+                    res.rebuilds += 1;
+                    let cell_i = idx / per_cell;
+                    let local = idx % per_cell;
+                    let is_node = local < n;
+
+                    down[idx] = false;
+                    let was_critical = cells[cell_i].outstanding == e.t;
+                    cells[cell_i].outstanding -= 1;
+                    if was_critical {
+                        // Critical window closes; cancel a pending strike.
+                        cells[cell_i].epoch += 1;
+                    }
+                    incarnation[idx] += 1;
+
+                    if is_node {
+                        cells[cell_i].nodes_down -= 1;
+                        arm(
+                            crng,
+                            &mut q,
+                            &mut counters,
+                            &incarnation,
+                            entity_stream_base,
+                            idx,
+                            node_rate,
+                            now,
+                            mission,
+                        )?;
+                        if !is_ir {
+                            // Un-park surviving drives with fresh clocks
+                            // (memoryless, so re-drawing is equivalent).
+                            let first = cell_i * per_cell + n + local * d;
+                            for drive in first..first + d {
+                                if !down[drive] {
+                                    incarnation[drive] += 1;
+                                    arm(
+                                        crng,
+                                        &mut q,
+                                        &mut counters,
+                                        &incarnation,
+                                        entity_stream_base,
+                                        drive,
+                                        e.lambda_d,
+                                        now,
+                                        mission,
+                                    )?;
+                                }
+                            }
+                        }
+                    } else {
+                        // A drive re-arms only if its node is alive;
+                        // otherwise it stays parked until the node repair.
+                        let node_idx = cell_i * per_cell + (local - n) / d;
+                        if !down[node_idx] {
+                            arm(
+                                crng,
+                                &mut q,
+                                &mut counters,
+                                &incarnation,
+                                entity_stream_base,
+                                idx,
+                                e.lambda_d,
+                                now,
+                                mission,
+                            )?;
+                        }
+                    }
+                }
+
+                Ev::Strike(cell_i, epoch) => {
+                    let cell_i = cell_i as usize;
+                    if cells[cell_i].epoch != epoch {
+                        res.stale += 1;
+                        continue;
+                    }
+                    res.events += 1;
+                    res.losses.push(LossRecord {
+                        time_hours: now,
+                        cell: cell_base + cell_i as u64,
+                        cause: LossCause::SectorError,
+                    });
+                    self.reset_cell(
+                        crng,
+                        &mut q,
+                        &mut counters,
+                        &mut incarnation,
+                        &mut down,
+                        &mut cells[cell_i],
+                        entity_stream_base,
+                        cell_i,
+                        per_cell,
+                        n,
+                        node_rate,
+                        e.lambda_d,
+                        now,
+                    )?;
+                }
+            }
+        }
+        Ok(res)
+    }
+
+    /// After a data loss the cell is rebuilt from scratch (§3's
+    /// "spare nodes are added" policy): all entity state clears, every
+    /// pending event goes stale, and fresh failure clocks are drawn.
+    #[allow(clippy::too_many_arguments)]
+    fn reset_cell(
+        &self,
+        crng: &CounterRng,
+        q: &mut EventQueue<Ev>,
+        counters: &mut [u64],
+        incarnation: &mut [u32],
+        down: &mut [bool],
+        cell: &mut Cell,
+        entity_stream_base: u64,
+        cell_i: usize,
+        per_cell: usize,
+        n: usize,
+        node_rate: f64,
+        drive_rate: f64,
+        now: f64,
+    ) -> Result<()> {
+        cell.outstanding = 0;
+        cell.nodes_down = 0;
+        cell.epoch += 1;
+        let mission = self.mission_hours;
+        for local in 0..per_cell {
+            let idx = cell_i * per_cell + local;
+            incarnation[idx] += 1;
+            down[idx] = false;
+            let rate = if local < n { node_rate } else { drive_rate };
+            if rate <= 0.0 {
+                continue;
+            }
+            let u = crng.f64_at(entity_stream_base + idx as u64, counters[idx]);
+            counters[idx] += 1;
+            let t = now - (1.0 - u).ln() / rate;
+            if t <= mission {
+                q.push(t, Ev::Fail(idx as u32, incarnation[idx]))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The analytic per-cell MTTDL from the exact chain, hours.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model evaluation errors.
+    pub fn analytic_cell_mttdl(&self) -> Result<f64> {
+        Ok(self.config.evaluate(&self.params)?.exact.mttdl_hours)
+    }
+
+    /// Rare-event MTTDL estimation by balanced failure biasing on the
+    /// configuration's exact CTMC, scaled to this fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain construction and estimator errors.
+    pub fn estimate_importance(&self, options: IsOptions, seed: u64) -> Result<FleetRareEstimate> {
+        let (ctmc, root) = self.config.exact_chain(&self.params)?;
+        let estimator = RareEvent::new(&ctmc, root)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = estimator.estimate(options, &mut rng)?;
+        self.scale_estimate(FleetEstimator::Importance, cell)
+    }
+
+    /// Rare-event MTTDL estimation by multilevel splitting on the
+    /// configuration's exact CTMC, scaled to this fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates chain construction and estimator errors.
+    pub fn estimate_splitting(
+        &self,
+        options: SplitOptions,
+        seed: u64,
+    ) -> Result<FleetRareEstimate> {
+        let (ctmc, root) = self.config.exact_chain(&self.params)?;
+        let estimator = Splitting::new(&ctmc, root)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cell = estimator.estimate(options, &mut rng)?;
+        self.scale_estimate(FleetEstimator::Splitting, cell)
+    }
+
+    fn scale_estimate(
+        &self,
+        estimator: FleetEstimator,
+        cell: RareEventEstimate,
+    ) -> Result<FleetRareEstimate> {
+        let analytic = self.analytic_cell_mttdl()?;
+        let capacity_pb = self
+            .params
+            .logical_capacity(self.config.node_fault_tolerance())
+            .to_pb();
+        Ok(FleetRareEstimate {
+            estimator,
+            cell_mttdl: cell,
+            analytic_cell_mttdl: analytic,
+            fleet_mttdl_hours: cell.mtta / self.cells as f64,
+            events_per_pb_year: HOURS_PER_YEAR / (cell.mtta * capacity_pb),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsr_core::raid::InternalRaid;
+
+    fn config(internal: InternalRaid, t: u32) -> Configuration {
+        Configuration::new(internal, t).unwrap()
+    }
+
+    #[test]
+    fn queue_orders_by_time_then_sequence() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push(2.0, 1).unwrap();
+        q.push(1.0, 2).unwrap();
+        q.push(1.0, 3).unwrap(); // same time: push order breaks the tie
+        q.push(0.5, 4).unwrap();
+        assert_eq!(q.len(), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![4, 2, 3, 1]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_rejects_non_finite_times() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                q.push(bad, 0),
+                Err(Error::NonFiniteEventTime { .. })
+            ));
+        }
+        assert!(q.is_empty());
+        // -0.0 and subnormals are fine.
+        q.push(-0.0, 1).unwrap();
+        assert_eq!(q.pop(), Some((-0.0, 1)));
+    }
+
+    #[test]
+    fn ft1_fleet_sees_losses_near_analytic_rate() {
+        // FT1 no-IR is weak enough for direct observation: a decade over
+        // ~100 cells catches many losses, and the renewal rate must match
+        // the analytic MTTDL to simulation accuracy (deterministic vs
+        // exponential rebuilds, ~15 %).
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 1);
+        let fleet = FleetSim::new(params, c, 100 * 64, 10.0).unwrap();
+        let out = fleet.run(7, 0).unwrap();
+        assert!(out.loss_count() > 20, "losses {}", out.loss_count());
+        let (mttdl, (lo, hi)) = out.mttdl_estimate().unwrap();
+        let analytic = fleet.analytic_cell_mttdl().unwrap();
+        assert!(
+            analytic > 0.5 * lo && analytic < 2.0 * hi,
+            "direct {mttdl:.3e} [{lo:.3e}, {hi:.3e}] vs analytic {analytic:.3e}"
+        );
+        // Losses are sorted and within the mission.
+        assert!(out
+            .losses
+            .windows(2)
+            .all(|w| w[0].time_hours <= w[1].time_hours));
+        assert!(out
+            .losses
+            .iter()
+            .all(|l| l.time_hours > 0.0 && l.time_hours <= out.mission_hours));
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcome() {
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 1);
+        let fleet = FleetSim::new(params, c, 50 * 64, 5.0).unwrap();
+        let one = fleet.run(42, 1).unwrap();
+        let four = fleet.run(42, 4).unwrap();
+        assert_eq!(one, four);
+        assert_eq!(one.canonical_trace(), four.canonical_trace());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 1);
+        let fleet = FleetSim::new(params, c, 50 * 64, 5.0).unwrap();
+        let a = fleet.run(1, 2).unwrap();
+        let b = fleet.run(2, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn internal_raid_fleet_runs() {
+        // IR cells have node entities only; drive failures fold into λ_D.
+        let mut params = Params::baseline();
+        params.node.mttf = nsr_core::units::Hours(40_000.0);
+        let c = config(InternalRaid::Raid5, 1);
+        let fleet = FleetSim::new(params, c, 200 * 64, 10.0).unwrap();
+        let out = fleet.run(3, 0).unwrap();
+        assert_eq!(out.drive_failures, 0);
+        assert_eq!(out.entities, out.bricks);
+        assert!(out.node_failures > 0);
+    }
+
+    #[test]
+    fn brick_count_rounds_up_to_whole_cells() {
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 2);
+        let fleet = FleetSim::new(params, c, 100, 1.0).unwrap();
+        assert_eq!(fleet.cells(), 2); // 100 bricks / 64 per cell → 2 cells
+        assert_eq!(fleet.bricks(), 128);
+        assert!(FleetSim::new(params, c, 0, 1.0).is_err());
+        assert!(FleetSim::new(params, c, 10, 0.0).is_err());
+        assert!(FleetSim::new(params, c, 10, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rare_estimators_scale_to_fleet() {
+        let params = Params::baseline();
+        let c = config(InternalRaid::None, 2);
+        let fleet = FleetSim::new(params, c, 10_000, 10.0).unwrap();
+        let is = fleet.estimate_importance(IsOptions::default(), 11).unwrap();
+        assert!(is.contains_analytic(4.0), "{:?}", is);
+        assert!(
+            (is.fleet_mttdl_hours - is.cell_mttdl.mtta / fleet.cells() as f64).abs()
+                < 1e-9 * is.fleet_mttdl_hours
+        );
+        let sp = fleet
+            .estimate_splitting(SplitOptions::default(), 11)
+            .unwrap();
+        assert!(sp.contains_analytic(4.0), "{:?}", sp);
+    }
+}

@@ -15,10 +15,22 @@
 //! cycle ends in absorption. `E[τ]` is cheap to estimate directly (cycles
 //! are 1–3 jumps). `γ` is tiny, so it is estimated under a *biased*
 //! measure that inflates failure transitions — **balanced failure
-//! biasing**: a fixed probability mass is spread *uniformly* over the
-//! failure transitions out of each state, the remainder proportionally
-//! over the repairs — and corrected by likelihood ratios, keeping the
-//! estimator unbiased.
+//! biasing**: a fixed probability mass is given to the failure
+//! transitions out of each state, the remainder proportionally to the
+//! repairs — and corrected by likelihood ratios, keeping the estimator
+//! unbiased.
+//!
+//! Within the failure class the mass is spread by a **defensive
+//! mixture**: half uniformly (classical balanced biasing, so low-rate
+//! failure transitions — the reason balancing exists — are still
+//! reached), half proportionally to the original rates. Pure uniform
+//! spreading makes the per-jump likelihood ratio `p/q ∝ n·rᵢ/Σr`, which
+//! on deep chains with strongly heterogeneous failure rates (FT 3 no-IR:
+//! drive-failure rates hundreds of times the node rate, four biased
+//! jumps per loss path) compounds into a heavy-tailed weight
+//! distribution whose sample mean plateaus far from `γ` while its
+//! variance estimate stays small. The mixture caps each per-jump ratio
+//! at `2·(Σr_fail/Σr)/bias`, restoring bounded relative error.
 //!
 //! The identity above is exact, not asymptotic: by Wald's equation,
 //! `E[time to absorb] = E[cycles]·E[τ|return]·(1−γ)/γ·γ/… `, which
@@ -82,6 +94,72 @@ impl Default for Options {
     }
 }
 
+impl Options {
+    /// Validates every field with a typed error. A `bias` of 0 or 1
+    /// silently degenerates the biased measure (no mass on one transition
+    /// class ⇒ division by zero in the likelihood ratio), zero cycle
+    /// counts produce empty estimates, and a zero jump cap makes every
+    /// cycle "too long".
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.bias > 0.0 && self.bias < 1.0) {
+            return Err(Error::InvalidArgument {
+                what: "bias must be in (0, 1)",
+            });
+        }
+        if self.gamma_cycles == 0 || self.time_cycles == 0 {
+            return Err(Error::InvalidArgument {
+                what: "cycle counts must be positive",
+            });
+        }
+        if self.max_jumps_per_cycle == 0 {
+            return Err(Error::InvalidArgument {
+                what: "max_jumps_per_cycle must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One regenerative cycle under the original measure: from `root`, jump
+/// until returning to `root` or hitting an absorbing state; returns the
+/// elapsed time. Shared by the balanced-failure-biasing estimator and the
+/// multilevel-splitting estimator ([`crate::splitting`]) — both need the
+/// same unbiased `E[τ]` factor.
+pub(crate) fn regenerative_cycle_duration<R: Rng + ?Sized>(
+    ctmc: &Ctmc,
+    root: StateId,
+    max_jumps: u64,
+    rng: &mut R,
+) -> Result<f64> {
+    let mut state = root;
+    let mut time = 0.0;
+    for _ in 0..max_jumps {
+        let total = ctmc.total_rate(state);
+        time += sample_exponential(rng, total)?;
+        let mut pick = rng.random::<f64>() * total;
+        let transitions = ctmc.transitions_from(state);
+        let mut next = transitions[transitions.len() - 1].0;
+        for &(to, rate) in transitions {
+            if pick < rate {
+                next = to;
+                break;
+            }
+            pick -= rate;
+        }
+        if next == root || ctmc.is_absorbing(next) {
+            return Ok(time);
+        }
+        state = next;
+    }
+    Err(Error::InvalidArgument {
+        what: "cycle exceeded max_jumps_per_cycle",
+    })
+}
+
 /// Balanced-failure-biasing estimator for the mean time to absorption of
 /// an absorbing CTMC, from a regeneration (root) state.
 ///
@@ -127,12 +205,18 @@ impl<'a> RareEvent<'a> {
     /// Prepares an estimator for `ctmc` regenerating at `root`.
     ///
     /// Transitions are classified as *failures* (to be biased up) or
-    /// *repairs* by comparing each rate against the geometric mean of the
-    /// smallest and largest rates in the chain — reliability chains
-    /// separate the two classes by orders of magnitude, so the split is
-    /// unambiguous. Chains without rate separation degrade gracefully:
-    /// everything is one class and the estimator reduces to standard
-    /// regenerative simulation.
+    /// *repairs* by splitting the chain's rates at the **widest gap in
+    /// log space**: all distinct rates are sorted and the threshold is
+    /// placed inside the largest consecutive ratio. Reliability chains
+    /// separate failures from repairs by orders of magnitude, so that gap
+    /// is the class boundary even when the failure class itself spans
+    /// several decades (FT 3 no-IR: sector-error rates ~4e-8 … drive
+    /// rates ~3e-3 against repairs at 0.3–4/h — a geometric-mean-of-
+    /// extremes threshold lands *inside* the failure class there and
+    /// silently leaves the dominant drive-failure path unbiased).
+    /// Chains without meaningful separation (widest gap < 4×) degrade
+    /// gracefully: everything is one class and the estimator reduces to
+    /// standard regenerative simulation.
     ///
     /// # Errors
     ///
@@ -143,15 +227,21 @@ impl<'a> RareEvent<'a> {
                 what: "root must be a transient state",
             });
         }
-        let mut min_rate = f64::INFINITY;
-        let mut max_rate = 0.0f64;
-        for s in ctmc.states() {
-            for &(_, rate) in ctmc.transitions_from(s) {
-                min_rate = min_rate.min(rate);
-                max_rate = max_rate.max(rate);
+        let mut rates: Vec<f64> = ctmc
+            .states()
+            .flat_map(|s| ctmc.transitions_from(s).iter().map(|&(_, r)| r))
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        rates.dedup();
+        let mut widest = 4.0; // minimum separation worth biasing over
+        let mut threshold = 0.0; // below every rate: all-repair default
+        for w in rates.windows(2) {
+            let ratio = w[1] / w[0];
+            if ratio > widest {
+                widest = ratio;
+                threshold = (w[0] * w[1]).sqrt();
             }
         }
-        let threshold = (min_rate * max_rate).sqrt();
         let failure_flags = ctmc
             .states()
             .map(|s| {
@@ -172,23 +262,15 @@ impl<'a> RareEvent<'a> {
     ///
     /// # Errors
     ///
-    /// * [`Error::InvalidArgument`] for out-of-range options or when a
-    ///   cycle exceeds `max_jumps_per_cycle` (chain not regenerating).
+    /// * [`Error::InvalidArgument`] for out-of-range options (see
+    ///   [`Options::validate`]) or when a cycle exceeds
+    ///   `max_jumps_per_cycle` (chain not regenerating).
     pub fn estimate<R: Rng + ?Sized>(
         &self,
         options: Options,
         rng: &mut R,
     ) -> Result<RareEventEstimate> {
-        if !(options.bias > 0.0 && options.bias < 1.0) {
-            return Err(Error::InvalidArgument {
-                what: "bias must be in (0, 1)",
-            });
-        }
-        if options.gamma_cycles == 0 || options.time_cycles == 0 {
-            return Err(Error::InvalidArgument {
-                what: "cycle counts must be positive",
-            });
-        }
+        options.validate()?;
 
         // --- E[τ]: plain regenerative cycles under the original measure.
         let mut times = Vec::with_capacity(options.time_cycles as usize);
@@ -221,30 +303,7 @@ impl<'a> RareEvent<'a> {
 
     /// One cycle under the original measure; returns its duration.
     fn one_cycle_duration<R: Rng + ?Sized>(&self, max_jumps: u64, rng: &mut R) -> Result<f64> {
-        let mut state = self.root;
-        let mut time = 0.0;
-        for step in 0..max_jumps {
-            let total = self.ctmc.total_rate(state);
-            time += sample_exponential(rng, total);
-            let mut pick = rng.random::<f64>() * total;
-            let transitions = self.ctmc.transitions_from(state);
-            let mut next = transitions[transitions.len() - 1].0;
-            for &(to, rate) in transitions {
-                if pick < rate {
-                    next = to;
-                    break;
-                }
-                pick -= rate;
-            }
-            if next == self.root || self.ctmc.is_absorbing(next) {
-                return Ok(time);
-            }
-            state = next;
-            let _ = step;
-        }
-        Err(Error::InvalidArgument {
-            what: "cycle exceeded max_jumps_per_cycle",
-        })
+        regenerative_cycle_duration(self.ctmc, self.root, max_jumps, rng)
     }
 
     /// One cycle under the biased measure; returns the likelihood-ratio
@@ -282,17 +341,53 @@ impl<'a> RareEvent<'a> {
             // Sample a transition under the biased measure.
             let u: f64 = rng.random();
             let (idx, q) = if u < fail_mass {
-                // Balanced: uniform over failure transitions.
-                let k = ((u / fail_mass) * n_failures as f64) as usize;
-                let k = k.min(n_failures - 1);
-                let idx = flags
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, &f)| f)
-                    .nth(k)
-                    .expect("failure transition exists")
-                    .0;
-                (idx, fail_mass / n_failures as f64)
+                // Defensive mixture over the failure class: half uniform
+                // (balanced), half rate-proportional. The sub-uniform `v`
+                // picks the component and the transition with one draw.
+                let v = u / fail_mass;
+                let idx = if v < 0.5 || failure_total <= 0.0 {
+                    let k = ((v * 2.0) * n_failures as f64) as usize;
+                    let k = k.min(n_failures - 1);
+                    flags
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &f)| f)
+                        .nth(k)
+                        .expect("failure transition exists")
+                        .0
+                } else {
+                    let mut pick = (v - 0.5) * 2.0 * failure_total;
+                    let mut chosen = None;
+                    for (i, ((_, rate), &f)) in transitions.iter().zip(flags).enumerate() {
+                        if !f {
+                            continue;
+                        }
+                        if pick < *rate {
+                            chosen = Some(i);
+                            break;
+                        }
+                        pick -= rate;
+                    }
+                    chosen.unwrap_or_else(|| {
+                        // Numerical edge: fall back to the last failure.
+                        transitions
+                            .iter()
+                            .enumerate()
+                            .rfind(|(i, _)| flags[*i])
+                            .expect("failure transition exists")
+                            .0
+                    })
+                };
+                let rate = transitions[idx].1;
+                let proportional = if failure_total > 0.0 {
+                    rate / failure_total
+                } else {
+                    1.0 / n_failures as f64
+                };
+                (
+                    idx,
+                    fail_mass * 0.5 * (1.0 / n_failures as f64 + proportional),
+                )
             } else {
                 // Repairs: proportional to original rates.
                 let mut pick = (u - fail_mass) / repair_mass * repair_total;
@@ -376,6 +471,50 @@ mod tests {
         // The whole point: decent relative error from only ~10⁴ cycles on a
         // chain whose direct simulation needs ~10¹² jumps per absorption.
         assert!(r.rel_err < 0.25, "rel err {}", r.rel_err);
+    }
+
+    /// Regression: the failure/repair split must land in the widest
+    /// log-rate gap, not at the geometric mean of the extremes. This
+    /// chain mimics FT 3 no-IR: the failure class itself spans four
+    /// decades (sector ~1e-7, node ~1e-4, drive ~1e-3) against repairs
+    /// at ~1/h. A geometric-mean-of-extremes threshold (√(1e-7·1) ≈
+    /// 3e-4) classifies the *dominant* 1e-3 failure as a repair, the
+    /// loss path through it is then never biased up, and γ converges to
+    /// a fraction of its true value with a confidently small CI — the
+    /// estimate was off ~2.3× while reporting ±6 %.
+    #[test]
+    fn widest_gap_classification_handles_spread_failure_rates() {
+        let mut b = CtmcBuilder::new();
+        let s: Vec<StateId> = (0..3).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        // Two failure "kinds" out of each level, rates 1e-4 and 1e-3,
+        // plus a rare 1e-7 direct-loss transition (sector-error analog).
+        b.add_transition(s[0], s[1], 1e-4).unwrap();
+        b.add_transition(s[0], s[1], 1e-3).unwrap();
+        b.add_transition(s[0], dead, 1e-7).unwrap();
+        b.add_transition(s[1], s[2], 1e-4).unwrap();
+        b.add_transition(s[1], s[2], 1e-3).unwrap();
+        b.add_transition(s[1], s[0], 1.0).unwrap();
+        b.add_transition(s[2], dead, 1e-3).unwrap();
+        b.add_transition(s[2], s[1], 1.0).unwrap();
+        let ctmc = b.build().unwrap();
+        let root = s[0];
+        let exact = AbsorbingAnalysis::new(&ctmc)
+            .unwrap()
+            .mean_time_to_absorption(root)
+            .unwrap();
+        let est = RareEvent::new(&ctmc, root).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = est.estimate(Options::default(), &mut rng).unwrap();
+        assert!(
+            r.contains(exact, 4.0),
+            "IS {:.4e} ± {:.1}% vs exact {exact:.4e}",
+            r.mtta,
+            100.0 * r.rel_err
+        );
+        // The misclassification produced a *systematic* factor ~2 error;
+        // guard the ratio too so a confidently-wrong CI can't pass.
+        assert!((r.mtta / exact - 1.0).abs() < 0.25, "{} vs {exact}", r.mtta);
     }
 
     #[test]
@@ -471,6 +610,65 @@ mod tests {
                 &mut rng
             )
             .is_err());
+    }
+
+    #[test]
+    fn options_validation_is_total() {
+        // Every degenerate field is a typed InvalidArgument, including the
+        // previously unchecked max_jumps_per_cycle and non-finite biases.
+        let bad = [
+            Options {
+                bias: 0.0,
+                ..Options::default()
+            },
+            Options {
+                bias: 1.0,
+                ..Options::default()
+            },
+            Options {
+                bias: -0.3,
+                ..Options::default()
+            },
+            Options {
+                bias: f64::NAN,
+                ..Options::default()
+            },
+            Options {
+                gamma_cycles: 0,
+                ..Options::default()
+            },
+            Options {
+                time_cycles: 0,
+                ..Options::default()
+            },
+            Options {
+                max_jumps_per_cycle: 0,
+                ..Options::default()
+            },
+        ];
+        for o in bad {
+            assert!(
+                matches!(o.validate(), Err(Error::InvalidArgument { .. })),
+                "options {o:?} must be rejected"
+            );
+        }
+        assert!(Options::default().validate().is_ok());
+        // The validation error must fire before any randomness is consumed.
+        let (ctmc, root) = stiff_chain(1e-3, 1.0);
+        let est = RareEvent::new(&ctmc, root).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let before = rng.clone();
+        assert!(est
+            .estimate(
+                Options {
+                    max_jumps_per_cycle: 0,
+                    ..Options::default()
+                },
+                &mut rng,
+            )
+            .is_err());
+        let mut before = before;
+        assert_eq!(rng.next_u64(), before.next_u64());
     }
 
     #[test]

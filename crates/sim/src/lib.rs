@@ -11,11 +11,20 @@
 //!   errors strike critical rebuilds with the §5.2 probabilities, and the
 //!   fail-in-place spare pool depletes as components die. Data-loss times
 //!   are collected into an MTTDL estimate with confidence intervals.
+//! * [`fleet`] — a **fleet-scale discrete-event engine**: thousands of
+//!   independent redundancy cells over a finite mission, driven by a
+//!   binary-heap event queue with per-entity state and stateless
+//!   counter-based draws ([`nsr_rng::CounterRng`]), so a same-seed run is
+//!   byte-identical at any worker count. Targets millions of bricks for
+//!   a simulated decade.
 //! * [`importance`] — **rare-event estimation** for ultra-reliable
 //!   configurations where direct simulation would need ~10⁸ failure events
 //!   per loss observation: regenerative cycles with balanced failure
 //!   biasing and likelihood-ratio reweighting (Goyal/Shahabuddin style),
 //!   applicable to any absorbing CTMC built with [`nsr_markov`].
+//! * [`splitting`] — the complementary rare-event family: **multilevel
+//!   splitting** along the distance-to-absorption level function, cloning
+//!   trajectories at each crossing with `1/m` likelihood-ratio weights.
 //! * [`aging`] — a **non-Markovian ablation**: per-entity ages with
 //!   Weibull lifetimes (infant mortality / wear-out), quantifying the
 //!   error of the paper's exponential assumption.
@@ -50,9 +59,11 @@
 pub mod aging;
 mod error;
 pub mod faultinject;
+pub mod fleet;
 pub mod importance;
 pub mod obs;
 pub mod postmortem;
+pub mod splitting;
 pub mod system;
 
 pub use error::Error;

@@ -22,6 +22,14 @@ pub static WORKER_SAMPLES_PER_S: Histogram = Histogram::new("sim.worker.samples_
 pub static INJECT_RUNS: Counter = Counter::new("sim.inject.runs");
 /// Fault-injection campaign runs that observed a data loss.
 pub static INJECT_LOSSES: Counter = Counter::new("sim.inject.losses");
+/// Events processed by fleet missions (`FleetSim::run`), stale excluded.
+pub static FLEET_EVENTS: Counter = Counter::new("sim.fleet.events");
+/// Component failures (nodes + drives) processed by fleet missions.
+pub static FLEET_FAILURES: Counter = Counter::new("sim.fleet.failures");
+/// Data-loss events observed by fleet missions.
+pub static FLEET_LOSSES: Counter = Counter::new("sim.fleet.losses");
+/// Per-mission event throughput, events/second of wall time.
+pub static FLEET_EVENTS_PER_S: Histogram = Histogram::new("sim.fleet.events_per_s");
 
 /// Registers every metric in this module with the global registry.
 pub fn register() {
@@ -32,4 +40,8 @@ pub fn register() {
     WORKER_SAMPLES_PER_S.register();
     INJECT_RUNS.register();
     INJECT_LOSSES.register();
+    FLEET_EVENTS.register();
+    FLEET_FAILURES.register();
+    FLEET_LOSSES.register();
+    FLEET_EVENTS_PER_S.register();
 }

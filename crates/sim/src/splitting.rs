@@ -1,0 +1,461 @@
+//! Rare-event MTTA estimation by multilevel splitting with
+//! likelihood-ratio unbiasing.
+//!
+//! The second classical variance-reduction family, complementary to the
+//! balanced failure biasing of [`crate::importance`]. Both exploit the
+//! regenerative identity `MTTA = E[τ]/γ` (cycle duration over per-cycle
+//! absorption probability); they differ in how the tiny `γ` is estimated:
+//!
+//! * **Importance sampling** changes the *measure* — failure transitions
+//!   are inflated and corrected by likelihood ratios.
+//! * **Splitting** changes the *population* — trajectories evolve under
+//!   the original measure, but every time one first crosses a level
+//!   *closer* to absorption it is cloned into `m` copies, each carrying
+//!   `1/m` of its weight. The weight is exactly the likelihood ratio of
+//!   the cloning scheme, so summing the weights of absorbed branches
+//!   gives an unbiased per-cycle estimate of `γ`.
+//!
+//! The level function is the canonical choice for absorbing chains: the
+//! graph distance (minimum number of jumps) from each state to the
+//! nearest absorbing state, computed by one reverse BFS at construction.
+//! Reliability chains are shallow (a handful of failures to loss) and
+//! stiff (repairs dominate), which is splitting's best case: clones
+//! either advance a level quickly or fall back to the regeneration root
+//! and die.
+
+use std::collections::VecDeque;
+
+use nsr_rng::Rng;
+
+use nsr_markov::simulate::Estimate;
+use nsr_markov::{Ctmc, StateId};
+
+use crate::importance::{regenerative_cycle_duration, RareEventEstimate};
+use crate::{Error, Result};
+
+/// Hard cap on live branches within one cycle; exceeding it means the
+/// splitting factor is far too large for the chain's level probabilities
+/// (each crossing multiplies the population by `m`).
+const MAX_LIVE_BRANCHES: usize = 100_000;
+
+/// Configuration for the splitting estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitOptions {
+    /// Clones per level crossing (`m ≥ 2`), or 0 to auto-tune: the
+    /// estimator doubles `m` from 4 until a pilot run observes enough
+    /// absorbing branches, then spends the full cycle budget at that `m`.
+    pub splits: u32,
+    /// Cycles simulated for the `γ` (splitting) estimator.
+    pub gamma_cycles: u64,
+    /// Cycles simulated for the `E[τ]` (plain regenerative) estimator.
+    pub time_cycles: u64,
+    /// Safety cap on jumps within one cycle, summed over all branches.
+    pub max_jumps_per_cycle: u64,
+}
+
+impl Default for SplitOptions {
+    fn default() -> Self {
+        SplitOptions {
+            splits: 0,
+            gamma_cycles: 4_000,
+            time_cycles: 20_000,
+            max_jumps_per_cycle: 1_000_000,
+        }
+    }
+}
+
+impl SplitOptions {
+    /// Validates every field with a typed error (`splits` of 1 would
+    /// clone nothing and leave `γ` at its direct-simulation variance;
+    /// zero cycle counts or jump caps can never produce an estimate).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] naming the violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.splits == 1 {
+            return Err(Error::InvalidArgument {
+                what: "splits must be at least 2 (or 0 for auto)",
+            });
+        }
+        if self.gamma_cycles == 0 || self.time_cycles == 0 {
+            return Err(Error::InvalidArgument {
+                what: "cycle counts must be positive",
+            });
+        }
+        if self.max_jumps_per_cycle == 0 {
+            return Err(Error::InvalidArgument {
+                what: "max_jumps_per_cycle must be positive",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Multilevel-splitting estimator for the mean time to absorption of an
+/// absorbing CTMC, regenerating at `root`.
+///
+/// # Example
+///
+/// ```
+/// use nsr_markov::CtmcBuilder;
+/// use nsr_sim::splitting::{SplitOptions, Splitting};
+/// use nsr_rng::rngs::StdRng;
+/// use nsr_rng::SeedableRng;
+///
+/// # fn main() -> Result<(), nsr_sim::Error> {
+/// let (lam, mu) = (1e-3, 1.0);
+/// let mut b = CtmcBuilder::new();
+/// let s0 = b.add_state("0");
+/// let s1 = b.add_state("1");
+/// let dead = b.add_state("dead");
+/// b.add_transition(s0, s1, 2.0 * lam).map_err(nsr_sim::Error::Markov)?;
+/// b.add_transition(s1, s0, mu).map_err(nsr_sim::Error::Markov)?;
+/// b.add_transition(s1, dead, lam).map_err(nsr_sim::Error::Markov)?;
+/// let ctmc = b.build().map_err(nsr_sim::Error::Markov)?;
+///
+/// let estimator = Splitting::new(&ctmc, s0)?;
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let est = estimator.estimate(SplitOptions::default(), &mut rng)?;
+/// let exact = (3.0 * lam + mu) / (2.0 * lam * lam);
+/// assert!(est.contains(exact, 4.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Splitting<'a> {
+    ctmc: &'a Ctmc,
+    root: StateId,
+    /// Per-state minimum jump count to the nearest absorbing state
+    /// (`u32::MAX` = absorption unreachable).
+    level: Vec<u32>,
+}
+
+impl<'a> Splitting<'a> {
+    /// Prepares an estimator for `ctmc` regenerating at `root`, computing
+    /// the distance-to-absorption level function by reverse BFS.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidArgument`] if `root` is absorbing, out of range,
+    /// or cannot reach any absorbing state.
+    pub fn new(ctmc: &'a Ctmc, root: StateId) -> Result<Splitting<'a>> {
+        if root.index() >= ctmc.len() || ctmc.is_absorbing(root) {
+            return Err(Error::InvalidArgument {
+                what: "root must be a transient state",
+            });
+        }
+        let mut reverse: Vec<Vec<StateId>> = vec![Vec::new(); ctmc.len()];
+        for s in ctmc.states() {
+            for &(to, _) in ctmc.transitions_from(s) {
+                reverse[to.index()].push(s);
+            }
+        }
+        let mut level = vec![u32::MAX; ctmc.len()];
+        let mut queue = VecDeque::new();
+        for s in ctmc.states() {
+            if ctmc.is_absorbing(s) {
+                level[s.index()] = 0;
+                queue.push_back(s);
+            }
+        }
+        while let Some(s) = queue.pop_front() {
+            let next_level = level[s.index()] + 1;
+            for &from in &reverse[s.index()] {
+                if level[from.index()] == u32::MAX {
+                    level[from.index()] = next_level;
+                    queue.push_back(from);
+                }
+            }
+        }
+        if level[root.index()] == u32::MAX {
+            return Err(Error::InvalidArgument {
+                what: "absorption unreachable from root",
+            });
+        }
+        Ok(Splitting { ctmc, root, level })
+    }
+
+    /// The level (distance to absorption) of the root state — the number
+    /// of splitting thresholds a trajectory must cross.
+    pub fn root_level(&self) -> u32 {
+        self.level[self.root.index()]
+    }
+
+    /// Runs the estimator.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::InvalidArgument`] for out-of-range options (see
+    ///   [`SplitOptions::validate`]), when a cycle exceeds
+    ///   `max_jumps_per_cycle`, when the branch population explodes
+    ///   (splitting factor too large), or when no absorbing branch was
+    ///   observed (factor or cycle budget too small).
+    pub fn estimate<R: Rng + ?Sized>(
+        &self,
+        options: SplitOptions,
+        rng: &mut R,
+    ) -> Result<RareEventEstimate> {
+        options.validate()?;
+
+        // --- E[τ]: plain regenerative cycles under the original measure.
+        let mut times = Vec::with_capacity(options.time_cycles as usize);
+        for _ in 0..options.time_cycles {
+            times.push(regenerative_cycle_duration(
+                self.ctmc,
+                self.root,
+                options.max_jumps_per_cycle,
+                rng,
+            )?);
+        }
+        let cycle_time = Estimate::from_samples(&times);
+
+        // --- γ: splitting cycles, with auto-tuned m if requested.
+        let m = if options.splits == 0 {
+            self.tune_splits(&options, rng)?
+        } else {
+            options.splits
+        };
+        let mut weights = Vec::with_capacity(options.gamma_cycles as usize);
+        for _ in 0..options.gamma_cycles {
+            weights.push(self.one_cycle_gamma(m, options.max_jumps_per_cycle, rng)?);
+        }
+        let gamma = Estimate::from_samples(&weights);
+        if gamma.mean <= 0.0 {
+            return Err(Error::InvalidArgument {
+                what: "no absorbing branches observed; increase splits or gamma_cycles",
+            });
+        }
+
+        let mtta = cycle_time.mean / gamma.mean;
+        let rel_err = (cycle_time.rel_err().powi(2) + gamma.rel_err().powi(2)).sqrt();
+        Ok(RareEventEstimate {
+            mtta,
+            rel_err,
+            gamma,
+            cycle_time,
+        })
+    }
+
+    /// Doubles `m` from 4 until a pilot run (an eighth of the cycle
+    /// budget) sees at least a handful of absorbing branches, so the full
+    /// run lands in splitting's efficient regime (`m` ≈ 1/level
+    /// probability) without the caller knowing the chain's stiffness.
+    fn tune_splits<R: Rng + ?Sized>(&self, options: &SplitOptions, rng: &mut R) -> Result<u32> {
+        let pilot = (options.gamma_cycles / 8).max(100);
+        let mut m = 4u32;
+        loop {
+            let mut hits = 0u32;
+            for _ in 0..pilot {
+                if self.one_cycle_gamma(m, options.max_jumps_per_cycle, rng)? > 0.0 {
+                    hits += 1;
+                }
+            }
+            if hits >= 5 || m >= 16_384 {
+                return Ok(m);
+            }
+            m *= 2;
+        }
+    }
+
+    /// One splitting cycle; returns the summed likelihood-ratio weight of
+    /// every branch that reached absorption (0 for most cycles).
+    fn one_cycle_gamma<R: Rng + ?Sized>(&self, m: u32, max_jumps: u64, rng: &mut R) -> Result<f64> {
+        let root_level = self.level[self.root.index()];
+        // Live branches: (state, weight, best level reached so far).
+        let mut stack: Vec<(StateId, f64, u32)> = vec![(self.root, 1.0, root_level)];
+        let mut contrib = 0.0f64;
+        let mut jumps = 0u64;
+        while let Some((mut state, mut weight, mut best)) = stack.pop() {
+            loop {
+                jumps += 1;
+                if jumps > max_jumps {
+                    return Err(Error::InvalidArgument {
+                        what: "cycle exceeded max_jumps_per_cycle (reduce splits)",
+                    });
+                }
+                let next = self.jump(state, rng);
+                if self.ctmc.is_absorbing(next) {
+                    contrib += weight;
+                    break;
+                }
+                if next == self.root {
+                    break;
+                }
+                let lv = self.level[next.index()];
+                if lv < best {
+                    // First crossing(s) into closer level(s): clone m-fold
+                    // per level, each clone carrying 1/m of the weight —
+                    // the likelihood ratio of the cloning scheme.
+                    let crossed = best - lv;
+                    let clones = (m as u64)
+                        .checked_pow(crossed)
+                        .filter(|&c| c as usize <= MAX_LIVE_BRANCHES)
+                        .ok_or(Error::InvalidArgument {
+                            what: "splitting factor overflow on multi-level jump",
+                        })?;
+                    weight /= clones as f64;
+                    best = lv;
+                    if stack.len() + clones as usize - 1 > MAX_LIVE_BRANCHES {
+                        return Err(Error::InvalidArgument {
+                            what: "splitting population exploded (reduce splits)",
+                        });
+                    }
+                    for _ in 1..clones {
+                        stack.push((next, weight, best));
+                    }
+                }
+                state = next;
+            }
+        }
+        Ok(contrib)
+    }
+
+    /// One embedded-chain jump from `state` (no holding-time draw — `γ`
+    /// only depends on the jump chain).
+    fn jump<R: Rng + ?Sized>(&self, state: StateId, rng: &mut R) -> StateId {
+        let transitions = self.ctmc.transitions_from(state);
+        let total = self.ctmc.total_rate(state);
+        let mut pick = rng.random::<f64>() * total;
+        let mut next = transitions[transitions.len() - 1].0;
+        for &(to, rate) in transitions {
+            if pick < rate {
+                next = to;
+                break;
+            }
+            pick -= rate;
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nsr_markov::{AbsorbingAnalysis, CtmcBuilder};
+    use nsr_rng::rngs::StdRng;
+    use nsr_rng::SeedableRng;
+
+    /// A stiff 3-deep repairable chain (same shape as the importance
+    /// tests, so the two estimators are directly comparable).
+    fn stiff_chain(lam: f64, mu: f64) -> (Ctmc, StateId) {
+        let mut b = CtmcBuilder::new();
+        let s: Vec<StateId> = (0..4).map(|i| b.add_state(format!("{i}"))).collect();
+        let dead = b.add_state("dead");
+        for i in 0..3usize {
+            b.add_transition(s[i], s[i + 1], (3 - i) as f64 * lam)
+                .unwrap();
+            b.add_transition(s[i + 1], s[i], mu).unwrap();
+        }
+        b.add_transition(s[3], dead, lam).unwrap();
+        (b.build().unwrap(), s[0])
+    }
+
+    #[test]
+    fn level_function_is_graph_distance() {
+        let (ctmc, root) = stiff_chain(1e-3, 1.0);
+        let sp = Splitting::new(&ctmc, root).unwrap();
+        // dead=0, s3=1, s2=2, s1=3, s0=4.
+        assert_eq!(sp.root_level(), 4);
+        assert_eq!(sp.level[ctmc.state_by_label("dead").unwrap().index()], 0);
+        assert_eq!(sp.level[ctmc.state_by_label("3").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn matches_gth_exact_on_stiff_chain() {
+        let (ctmc, root) = stiff_chain(1e-3, 1.0);
+        let exact = AbsorbingAnalysis::new(&ctmc)
+            .unwrap()
+            .mean_time_to_absorption(root)
+            .unwrap();
+        let sp = Splitting::new(&ctmc, root).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let r = sp.estimate(SplitOptions::default(), &mut rng).unwrap();
+        assert!(
+            r.contains(exact, 5.0),
+            "splitting {:.4e} ± {:.1}% vs exact {exact:.4e}",
+            r.mtta,
+            100.0 * r.rel_err
+        );
+        assert!(r.rel_err < 0.5, "rel err {}", r.rel_err);
+    }
+
+    #[test]
+    fn explicit_splits_agree_with_auto() {
+        let (ctmc, root) = stiff_chain(1e-2, 1.0);
+        let sp = Splitting::new(&ctmc, root).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let auto = sp.estimate(SplitOptions::default(), &mut rng_a).unwrap();
+        let fixed = sp
+            .estimate(
+                SplitOptions {
+                    splits: 8,
+                    ..SplitOptions::default()
+                },
+                &mut rng_b,
+            )
+            .unwrap();
+        let sigma = (auto.std_err().powi(2) + fixed.std_err().powi(2)).sqrt();
+        assert!(
+            (auto.mtta - fixed.mtta).abs() < 5.0 * sigma,
+            "auto {:.4e} vs fixed {:.4e}",
+            auto.mtta,
+            fixed.mtta
+        );
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let (ctmc, root) = stiff_chain(1e-3, 1.0);
+        let dead = ctmc.state_by_label("dead").unwrap();
+        assert!(Splitting::new(&ctmc, dead).is_err());
+        let sp = Splitting::new(&ctmc, root).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for bad in [
+            SplitOptions {
+                splits: 1,
+                ..SplitOptions::default()
+            },
+            SplitOptions {
+                gamma_cycles: 0,
+                ..SplitOptions::default()
+            },
+            SplitOptions {
+                time_cycles: 0,
+                ..SplitOptions::default()
+            },
+            SplitOptions {
+                max_jumps_per_cycle: 0,
+                ..SplitOptions::default()
+            },
+        ] {
+            assert!(
+                matches!(
+                    sp.estimate(bad, &mut rng),
+                    Err(Error::InvalidArgument { .. })
+                ),
+                "options {bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_without_reachable_absorption_rejected() {
+        // Absorbing analysis requires an absorbing state; build one that
+        // exists but is unreachable from the root's component.
+        let mut b = CtmcBuilder::new();
+        let a = b.add_state("a");
+        let bb = b.add_state("b");
+        let island = b.add_state("island");
+        let dead = b.add_state("dead");
+        b.add_transition(a, bb, 1.0).unwrap();
+        b.add_transition(bb, a, 1.0).unwrap();
+        b.add_transition(island, dead, 1.0).unwrap();
+        let ctmc = b.build().unwrap();
+        assert!(matches!(
+            Splitting::new(&ctmc, a),
+            Err(Error::InvalidArgument { .. })
+        ));
+    }
+}

@@ -246,13 +246,47 @@ impl SystemSim {
         }
     }
 
+    /// The competing hazard rates `(node, drive, sector)` in the state
+    /// with the given down-counts. Each rate is clamped at zero: with
+    /// `t` close to the node count, node deaths can shrink
+    /// `alive_nodes · d` below the *global* down-drive count, and the raw
+    /// difference would go negative — a negative rate fed to the
+    /// exponential sampler produces a negative waiting time and moves
+    /// simulated time backwards (the fault-injection engine always
+    /// clamped; the plain loop historically did not).
+    pub(crate) fn hazard_rates(
+        &self,
+        nodes_down: u32,
+        drives_down: u32,
+        critical: bool,
+    ) -> (f64, f64, f64) {
+        let is_ir = self.ir_rates.is_some();
+        let (lambda_array, critical_sector_rate) = self.ir_rates.unwrap_or((0.0, 0.0));
+        let alive_nodes = (self.n as f64 - f64::from(nodes_down)).max(0.0);
+        let node_rate = alive_nodes * (self.lambda_n + lambda_array);
+        let drive_rate = if is_ir {
+            0.0 // internal drive failures are folded into λ_D
+        } else {
+            (alive_nodes * self.d as f64 - f64::from(drives_down)).max(0.0) * self.lambda_d
+        };
+        let sector_rate = if is_ir && critical {
+            alive_nodes * critical_sector_rate
+        } else {
+            0.0
+        };
+        (node_rate, drive_rate, sector_rate)
+    }
+
     /// Simulates a single trajectory until data loss.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::EventBudgetExhausted`] if no loss occurs within the
-    /// event budget (the configuration is too reliable for direct
-    /// simulation at these parameters).
+    /// * [`Error::EventBudgetExhausted`] if no loss occurs within the
+    ///   event budget (the configuration is too reliable for direct
+    ///   simulation at these parameters).
+    /// * [`Error::StalledTrajectory`] if every hazard rate is zero with no
+    ///   outstanding repair — the trajectory can never progress
+    ///   (historically this panicked on an empty repair list).
     pub fn simulate_one<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<DataLossSample> {
         let mut now = 0.0f64;
         let mut outstanding: Vec<OutstandingFailure> = Vec::new();
@@ -262,40 +296,41 @@ impl SystemSim {
             self.params.raw_capacity().0 * (1.0 - self.params.system.capacity_utilization);
         let drive_bytes = self.params.drive.capacity.0;
 
-        let is_ir = self.ir_rates.is_some();
-        let (lambda_array, critical_sector_rate) = self.ir_rates.unwrap_or((0.0, 0.0));
-
         for _ in 0..self.event_budget {
             let nodes_down = outstanding
                 .iter()
                 .filter(|o| o.kind == EntityKind::Node)
-                .count() as f64;
-            let drives_down = outstanding
-                .iter()
-                .filter(|o| o.kind == EntityKind::Drive)
-                .count() as f64;
-            let alive_nodes = self.n as f64 - nodes_down;
+                .count() as u32;
+            let drives_down = outstanding.len() as u32 - nodes_down;
             let critical = outstanding.len() as u32 == self.t;
 
-            // Competing hazards while in this state.
-            let node_rate = alive_nodes * (self.lambda_n + lambda_array);
-            let drive_rate = if is_ir {
-                0.0 // internal drive failures are folded into λ_D
-            } else {
-                (alive_nodes * self.d as f64 - drives_down) * self.lambda_d
-            };
-            let sector_rate = if is_ir && critical {
-                alive_nodes * critical_sector_rate
-            } else {
-                0.0
-            };
+            // Competing hazards while in this state (clamped at zero).
+            let (node_rate, drive_rate, sector_rate) =
+                self.hazard_rates(nodes_down, drives_down, critical);
             let total_rate = node_rate + drive_rate + sector_rate;
 
-            let to_failure = sample_exponential(rng, total_rate);
             let next_completion = outstanding
                 .iter()
                 .map(|o| o.completes_at)
                 .fold(f64::INFINITY, f64::min);
+
+            if total_rate <= 0.0 {
+                // No hazard can fire. If a rebuild is outstanding, advance
+                // to it without touching the RNG; otherwise the trajectory
+                // is stuck forever — a parameterization bug, not a sample.
+                if outstanding.is_empty() {
+                    return Err(Error::StalledTrajectory { at_hours: now });
+                }
+                now = next_completion;
+                let idx = outstanding
+                    .iter()
+                    .position(|o| o.completes_at == next_completion)
+                    .expect("completion exists");
+                outstanding.swap_remove(idx);
+                continue;
+            }
+
+            let to_failure = sample_exponential(rng, total_rate)?;
 
             if now + to_failure >= next_completion {
                 // A rebuild finishes first.
@@ -345,7 +380,7 @@ impl SystemSim {
             };
             let duration = match self.repair {
                 RepairDistribution::Deterministic => mean_duration,
-                RepairDistribution::Exponential => sample_exponential(rng, 1.0 / mean_duration),
+                RepairDistribution::Exponential => sample_exponential(rng, 1.0 / mean_duration)?,
             };
             outstanding.push(OutstandingFailure {
                 kind,
@@ -784,6 +819,46 @@ mod tests {
             "deterministic mode {} vs analytic {analytic:.4e}",
             det
         );
+    }
+
+    #[test]
+    fn hazard_rates_never_negative() {
+        // Regression: with enough nodes down, `alive_nodes · d` falls
+        // below the global down-drive count and the raw drive-rate
+        // difference goes negative. At baseline (n=64, d=12): 60 node
+        // deaths leave 4·12 = 48 drive slots against 700 down drives —
+        // the unclamped rate was (48 − 700)·λ_d < 0, and fed to the
+        // exponential sampler it produced a *negative* waiting time,
+        // moving simulated time backwards.
+        let sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        let (node_rate, drive_rate, sector_rate) = sim.hazard_rates(60, 700, false);
+        assert_eq!(drive_rate, 0.0, "negative drive rate must clamp to zero");
+        assert!(node_rate >= 0.0 && sector_rate >= 0.0);
+        // Even with every node down, nothing goes negative.
+        let (nr, dr, sr) = sim.hazard_rates(64, 1000, true);
+        assert!(nr == 0.0 && dr == 0.0 && sr == 0.0);
+        // Sane states still produce strictly positive hazards.
+        let (nr, dr, _) = sim.hazard_rates(1, 2, false);
+        assert!(nr > 0.0 && dr > 0.0);
+    }
+
+    #[test]
+    fn vanished_hazards_are_typed_error_not_panic() {
+        // Regression: with all failure rates zero and nothing outstanding,
+        // total_rate == 0 produced an infinite waiting time, the loop took
+        // the completion branch (`now + inf >= inf`), and panicked on
+        // `expect("completion exists")` against the empty repair list. It
+        // must now be a typed error that consumes no randomness.
+        let mut sim = SystemSim::new(Params::baseline(), config(InternalRaid::None, 1)).unwrap();
+        sim.lambda_n = 0.0;
+        sim.lambda_d = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            sim.simulate_one(&mut rng).unwrap_err(),
+            Error::StalledTrajectory { .. }
+        ));
+        let mut fresh = StdRng::seed_from_u64(3);
+        assert_eq!(rng.next_u64(), fresh.next_u64(), "stall must not draw");
     }
 
     #[test]
