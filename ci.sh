@@ -141,6 +141,42 @@ if ./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_serving.old.json" \
     exit 1
 fi
 
+echo "==> planner smoke (grid search, golden frontier, plan bench gate)"
+# The 3x3x3 golden grid must reproduce the checked-in frontier CSV
+# byte-for-byte at 1 and 4 workers and in exhaustive mode (the planner's
+# determinism + pruning-soundness contract), the metrics snapshot must
+# carry the elimination-program reuse counters, and the plan bench suite
+# gets the same two-direction compare gate as sweep: identical reports
+# pass, a slowdown fails, and the same perturbation read as an
+# improvement passes.
+PLAN_GRID="--grid --grid-nodes 64 --grid-k 2,4,6 --grid-t 1,2,3 \
+    --grid-ir nir,ir5,ir6 --grid-spares 0.25 --grid-bw 0.1 --csv"
+./target/release/nsr plan $PLAN_GRID --workers 1 > "$SMOKE_DIR/plan-w1.csv"
+./target/release/nsr plan $PLAN_GRID --workers 4 > "$SMOKE_DIR/plan-w4.csv"
+./target/release/nsr plan $PLAN_GRID --exhaustive > "$SMOKE_DIR/plan-ex.csv"
+diff crates/cli/tests/golden/plan_frontier_3x3x3.csv "$SMOKE_DIR/plan-w1.csv"
+diff "$SMOKE_DIR/plan-w1.csv" "$SMOKE_DIR/plan-w4.csv"
+diff "$SMOKE_DIR/plan-w1.csv" "$SMOKE_DIR/plan-ex.csv"
+./target/release/nsr plan $PLAN_GRID \
+    --metrics-out "$SMOKE_DIR/plan-metrics.jsonl" > /dev/null
+./target/release/nsr obs-check --file "$SMOKE_DIR/plan-metrics.jsonl" \
+    --require core.plan.skeleton_builds,core.plan.skeleton_reuses,core.plan.pruned,markov.batch.solves
+./target/release/nsr bench --suite plan --smoke --out-dir "$SMOKE_DIR"
+cp "$SMOKE_DIR/BENCH_plan.json" "$SMOKE_DIR/BENCH_plan.old.json"
+./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_plan.old.json" \
+    "$SMOKE_DIR/BENCH_plan.json"
+sed 's/"ns_per_iter": /"ns_per_iter": 9/' "$SMOKE_DIR/BENCH_plan.json" \
+    > "$SMOKE_DIR/BENCH_plan.slow.json"
+if ./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_plan.old.json" \
+    "$SMOKE_DIR/BENCH_plan.slow.json" > /dev/null 2>&1; then
+    echo "ERROR: bench --compare missed a plan regression" >&2
+    exit 1
+fi
+# Read the other way round the same perturbation is an improvement and
+# must pass — the gate is directional, not a symmetric-change detector.
+./target/release/nsr bench --compare "$SMOKE_DIR/BENCH_plan.slow.json" \
+    "$SMOKE_DIR/BENCH_plan.old.json"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 

@@ -59,8 +59,8 @@ pub const SCHEMA: &str = "nsr-bench/v1";
 
 /// The suite names, in the order `all` runs them. `obs` runs last so its
 /// enable/disable toggling never overlaps another suite's measurements.
-pub const SUITE_NAMES: [&str; 7] = [
-    "erasure", "solvers", "sweep", "sim", "net", "serving", "obs",
+pub const SUITE_NAMES: [&str; 8] = [
+    "erasure", "solvers", "sweep", "plan", "sim", "net", "serving", "obs",
 ];
 
 /// Measurement fidelity.
@@ -169,6 +169,7 @@ pub fn run_suite(name: &str, mode: Mode) -> Result<Suite, String> {
         "erasure" => erasure_suite(mode),
         "solvers" => solvers_suite(mode),
         "sweep" => sweep_suite(mode),
+        "plan" => plan_suite(mode),
         "sim" => sim_suite(mode),
         "net" => net_suite(mode),
         "serving" => serving_suite(mode),
@@ -480,6 +481,90 @@ pub fn sweep_suite(mode: Mode) -> Result<Suite, String> {
 
     Ok(Suite {
         suite: "sweep",
+        mode,
+        results,
+    })
+}
+
+/// The capacity-planner suite: the headline 11,520-point grid search on
+/// one core (the ISSUE's ≥ 1,000 configs/s target reads off its
+/// `items_per_s`), the same grid with pruning disabled (the speedup is
+/// the ratio), a parallel run, and the batched-solver microbenchmark.
+/// Smoke mode shrinks the grid to the 3×3×3 golden space.
+pub fn plan_suite(mode: Mode) -> Result<Suite, String> {
+    use nsr_core::plan::{plan_search, ConfigSpace, PlanOptions};
+
+    let t = mode.timing();
+    let mut results = Vec::new();
+    let params = Params::baseline();
+
+    let space = match mode {
+        // 12 × 4 × 3 × 5 × 4 × 4 = 11,520 grid points.
+        Mode::Full => ConfigSpace {
+            nodes: vec![16, 32, 64, 128, 256],
+            data_shards: (2..=13).collect(),
+            node_ft: vec![1, 2, 3, 4],
+            internal: InternalRaid::all().to_vec(),
+            spare_frac: vec![0.0, 0.1, 0.25, 0.4],
+            rebuild_bw: vec![0.05, 0.1, 0.2, 0.4],
+        },
+        Mode::Smoke => ConfigSpace {
+            nodes: vec![64],
+            data_shards: vec![2, 4, 6],
+            node_ft: vec![1, 2, 3],
+            internal: InternalRaid::all().to_vec(),
+            spare_frac: vec![0.25],
+            rebuild_bw: vec![0.1],
+        },
+    };
+    let points = space.len() as u64;
+    let opts = PlanOptions {
+        workers: 1,
+        mission_years: 5.0,
+        exhaustive: false,
+    };
+
+    results.push(
+        t.measure(&format!("grid_{points}/pruned/workers_1"), 0, || {
+            plan_search(&params, &space, &opts).expect("plan")
+        })
+        .with_items(points),
+    );
+    results.push(
+        t.measure(&format!("grid_{points}/exhaustive/workers_1"), 0, || {
+            plan_search(
+                &params,
+                &space,
+                &PlanOptions {
+                    exhaustive: true,
+                    ..opts
+                },
+            )
+            .expect("plan")
+        })
+        .with_items(points),
+    );
+    if mode == Mode::Full {
+        results.push(
+            t.measure(&format!("grid_{points}/pruned/workers_4"), 0, || {
+                plan_search(&params, &space, &PlanOptions { workers: 4, ..opts }).expect("plan")
+            })
+            .with_items(points),
+        );
+    }
+
+    // The batched-solver inner loop in isolation: repeated solves of the
+    // deepest no-RAID chain through one compiled elimination program.
+    let config = Configuration::new(InternalRaid::None, 3).map_err(err("cfg"))?;
+    let (ctmc, root) = config.exact_chain(&params).map_err(err("chain"))?;
+    let mut solver = nsr_markov::BatchSolver::new(&ctmc, root).map_err(err("solver"))?;
+    let rates: Vec<f64> = ctmc.transitions().iter().map(|tr| tr.rate).collect();
+    results.push(t.measure("batch_solve/ft3_nir", 0, || {
+        solver.solve_mtta(&rates).expect("solve")
+    }));
+
+    Ok(Suite {
+        suite: "plan",
         mode,
         results,
     })

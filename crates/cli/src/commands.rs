@@ -42,7 +42,12 @@ COMMANDS:
               rare-event MTTDL estimates cross-checked against the
               analytic value; --trace prints the canonical replay trace)
   mission     P(data loss within --years Y) for --config
-  plan        feasible configurations for --target events/PB-year
+  plan        feasible configurations for --target events/PB-year; or
+              --grid for a Pareto frontier search over a configuration
+              space (--grid-nodes, --grid-k, --grid-t, --grid-ir,
+              --grid-spares, --grid-bw as comma lists; --mission-years Y,
+              --workers N|auto, --csv, --explain for decision records,
+              --exhaustive to skip dominance pruning)
   spares      fail-in-place spare-capacity provisioning analysis
   aging       non-Markovian (Weibull) lifetime ablation (--shape K)
   bench       performance harness → BENCH_<suite>.json (--suite NAME|all,
@@ -659,6 +664,9 @@ fn mission(args: &ParsedArgs) -> Result<String> {
 }
 
 fn plan(args: &ParsedArgs) -> Result<String> {
+    if args.has_flag("grid") {
+        return plan_grid(args);
+    }
     let params = params_from(args)?;
     let target = args.get_or("target", TARGET_EVENTS_PER_PB_YEAR)?;
     let max_ft = args.get_or("max-ft", 3u32)?;
@@ -693,6 +701,159 @@ fn plan(args: &ParsedArgs) -> Result<String> {
                 out,
                 "\ncheapest plan [{best}] needs a rebuild block of at least {:.0} KiB",
                 block.0 / 1024.0
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated numeric axis flag, falling back to a
+/// default grid.
+fn grid_axis<T>(args: &ParsedArgs, key: &str, default: &[T]) -> Result<Vec<T>>
+where
+    T: std::str::FromStr + Copy,
+{
+    match args.get::<String>(key)? {
+        None => Ok(default.to_vec()),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<T>()
+                    .map_err(|_| CliError(format!("--{key}: cannot parse '{s}'")))
+            })
+            .collect(),
+    }
+}
+
+/// Implements `nsr plan --grid`: Pareto frontier search over a
+/// configuration grid via the batched planner.
+fn plan_grid(args: &ParsedArgs) -> Result<String> {
+    use nsr_core::plan::{frontier_csv, plan_search, ConfigSpace, PlanOptions};
+    use nsr_core::raid::InternalRaid;
+
+    let params = params_from(args)?;
+    let internal = match args.get::<String>("grid-ir")? {
+        None => InternalRaid::all().to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| match s.trim() {
+                "nir" => Ok(InternalRaid::None),
+                "ir5" => Ok(InternalRaid::Raid5),
+                "ir6" => Ok(InternalRaid::Raid6),
+                other => Err(CliError(format!(
+                    "--grid-ir: unknown level '{other}' (nir|ir5|ir6)"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?,
+    };
+    let space = ConfigSpace {
+        nodes: grid_axis(args, "grid-nodes", &[64])?,
+        data_shards: grid_axis(args, "grid-k", &[2, 4, 6])?,
+        node_ft: grid_axis(args, "grid-t", &[1, 2, 3])?,
+        internal,
+        spare_frac: grid_axis(args, "grid-spares", &[0.0, 0.25])?,
+        rebuild_bw: grid_axis(args, "grid-bw", &[0.05, 0.1, 0.2])?,
+    };
+    let opts = PlanOptions {
+        workers: workers_from(args)?,
+        mission_years: args.get_or("mission-years", 5.0f64)?,
+        exhaustive: args.has_flag("exhaustive"),
+    };
+    let report = plan_search(&params, &space, &opts).map_err(|e| CliError(e.to_string()))?;
+
+    if args.has_flag("csv") {
+        return Ok(frontier_csv(&report));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan grid: {} points, {} feasible, {} pruned without solving, {} solved exactly",
+        report.grid_points, report.feasible, report.pruned, report.solved
+    );
+    let _ = writeln!(
+        out,
+        "elimination programs: {} compiled, {} reused",
+        report.skeleton_builds, report.skeleton_reuses
+    );
+    if !report.infeasible_examples.is_empty() {
+        let (p, reason) = &report.infeasible_examples[0];
+        let _ = writeln!(
+            out,
+            "infeasible corners: e.g. N={} k={} {} — {reason}",
+            p.nodes,
+            p.data_shards,
+            p.config_code(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nPareto frontier (cost: raw/usable + rebuild bw; objectives: \
+         events/PB-yr + P(loss in {:.0} y)):\n",
+        report.mission_years
+    );
+    let _ = writeln!(
+        out,
+        "{:<8}{:>6}{:>4}{:>4}{:>8}{:>6}{:>11}{:>14}{:>12}",
+        "config", "nodes", "k", "t", "spares", "bw", "raw/usable", "events/PB-yr", "P(loss)"
+    );
+    for f in &report.frontier {
+        let p = f.point.point;
+        let _ = writeln!(
+            out,
+            "{:<8}{:>6}{:>4}{:>4}{:>8.2}{:>6.2}{:>11.3}{:>14.3e}{:>12.3e}",
+            p.config_code(),
+            p.nodes,
+            p.data_shards,
+            p.node_ft,
+            p.spare_frac,
+            p.rebuild_bw,
+            f.point.cost_overhead,
+            f.exact_events_pb_year,
+            f.exact_mission_loss,
+        );
+    }
+
+    if args.has_flag("explain") {
+        let _ = writeln!(out, "\ndecision records:");
+        for f in &report.frontier {
+            let p = f.point.point;
+            let point_params = p.params(&params);
+            // Transient-uniformization refinement of the exponential
+            // mission approximation used for the frontier objectives.
+            let mission = nsr_core::mission::loss_probability(
+                f.point.config,
+                &point_params,
+                report.mission_years,
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "  [{} N={} k={} spares={} bw={}]",
+                p.config_code(),
+                p.nodes,
+                p.data_shards,
+                p.spare_frac,
+                p.rebuild_bw
+            );
+            let _ = writeln!(
+                out,
+                "    exact MTTDL {:.4e} h; closed form {:.4e} h ({:+.1}% off exact)",
+                f.exact_mttdl_hours,
+                f.point.closed_mttdl_hours,
+                100.0 * (f.point.closed_mttdl_hours - f.exact_mttdl_hours) / f.exact_mttdl_hours
+            );
+            let _ = writeln!(
+                out,
+                "    mission P(loss in {:.0} y): {:.4e} exponential, {:.4e} uniformized",
+                report.mission_years, f.exact_mission_loss, mission
+            );
+            let _ = writeln!(
+                out,
+                "    cost: {:.3}x raw/usable, {:.0}% bandwidth held for rebuild",
+                f.point.cost_overhead,
+                100.0 * f.point.cost_rebuild_bw
             );
         }
     }
@@ -1229,6 +1390,55 @@ mod tests {
         assert!(out.contains("rebuild block"));
         let none = run(&["plan", "--target", "1e-30"]).unwrap();
         assert!(none.contains("none"));
+    }
+
+    #[test]
+    fn plan_grid_table_csv_and_explain() {
+        let grid = &[
+            "plan",
+            "--grid",
+            "--grid-k",
+            "2,5",
+            "--grid-t",
+            "1,2",
+            "--grid-spares",
+            "0.25",
+            "--grid-bw",
+            "0.1",
+        ];
+        let table = run(grid).unwrap();
+        assert!(table.contains("Pareto frontier"));
+        assert!(table.contains("elimination programs"));
+
+        let mut csv_args = grid.to_vec();
+        csv_args.push("--csv");
+        let csv = run(&csv_args).unwrap();
+        assert!(csv.starts_with("nodes,data_shards,node_ft,internal,"));
+        assert!(csv.lines().count() >= 2);
+
+        let mut explain_args = grid.to_vec();
+        explain_args.push("--explain");
+        let explained = run(&explain_args).unwrap();
+        assert!(explained.contains("decision records"));
+        assert!(explained.contains("uniformized"));
+
+        assert!(run(&["plan", "--grid", "--grid-ir", "raidz"]).is_err());
+    }
+
+    #[test]
+    fn plan_grid_csv_invariant_to_workers_and_pruning() {
+        let base = run(&["plan", "--grid", "--csv"]).unwrap();
+        for extra in [
+            vec!["--workers", "4"],
+            vec!["--workers", "auto"],
+            vec!["--exhaustive"],
+            vec!["--exhaustive", "--workers", "3"],
+        ] {
+            let mut words = vec!["plan", "--grid", "--csv"];
+            words.extend(&extra);
+            let out = run(&words).unwrap();
+            assert_eq!(base, out, "{extra:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! Regression pin for the planner's Pareto frontier.
+//!
+//! The fixture in `tests/golden/plan_frontier_3x3x3.csv` is the frontier
+//! of a 27-point k×t×RAID grid at the paper baseline. The planner's
+//! determinism contract says this CSV is byte-identical for every worker
+//! count and between the pruned and exhaustive modes — this test holds
+//! all three to the captured bytes, so any drift in the batched solver,
+//! the guard-band pruning, or the float formatting fails loudly.
+
+use nsr_cli::args::ParsedArgs;
+use nsr_cli::commands::dispatch;
+
+const GRID: &[&str] = &[
+    "plan",
+    "--grid",
+    "--grid-nodes",
+    "64",
+    "--grid-k",
+    "2,4,6",
+    "--grid-t",
+    "1,2,3",
+    "--grid-ir",
+    "nir,ir5,ir6",
+    "--grid-spares",
+    "0.25",
+    "--grid-bw",
+    "0.1",
+    "--csv",
+];
+
+fn run(extra: &[&str]) -> String {
+    let words = GRID.iter().chain(extra).map(|s| s.to_string());
+    dispatch(&ParsedArgs::parse(words).expect("parse")).expect("plan --grid succeeds")
+}
+
+#[test]
+fn frontier_matches_fixture_for_any_worker_count_and_mode() {
+    let golden = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/golden/plan_frontier_3x3x3.csv"),
+    )
+    .expect("read fixture");
+    assert_eq!(run(&[]), golden, "pruned, 1 worker");
+    assert_eq!(run(&["--workers", "4"]), golden, "pruned, 4 workers");
+    assert_eq!(run(&["--exhaustive"]), golden, "exhaustive, 1 worker");
+    assert_eq!(
+        run(&["--exhaustive", "--workers", "4"]),
+        golden,
+        "exhaustive, 4 workers"
+    );
+}

@@ -118,6 +118,8 @@ impl Configuration {
 pub struct CachedEvaluator {
     config: Configuration,
     skeleton: Option<nsr_markov::Ctmc>,
+    skeleton_builds: u64,
+    skeleton_reuses: u64,
 }
 
 impl CachedEvaluator {
@@ -127,12 +129,36 @@ impl CachedEvaluator {
         CachedEvaluator {
             config,
             skeleton: None,
+            skeleton_builds: 0,
+            skeleton_reuses: 0,
         }
     }
 
     /// The configuration this evaluator serves.
     pub fn config(&self) -> Configuration {
         self.config
+    }
+
+    /// Chain topologies this instance has built (0 or 1; the cache key is
+    /// the configuration, which is fixed per evaluator).
+    pub fn skeleton_builds(&self) -> u64 {
+        self.skeleton_builds
+    }
+
+    /// Evaluations served from the cached topology — the skeleton-reuse
+    /// rate of a sweep or planner workload is
+    /// `reuses / (builds + reuses)`.
+    pub fn skeleton_reuses(&self) -> u64 {
+        self.skeleton_reuses
+    }
+
+    /// Resets the per-instance build/reuse counters (the cached topology
+    /// itself is kept — dropping it would only force a redundant
+    /// rebuild). Lets a caller measure the reuse rate of one phase of a
+    /// longer-lived evaluator.
+    pub fn reset_metrics(&mut self) {
+        self.skeleton_builds = 0;
+        self.skeleton_reuses = 0;
     }
 
     /// Evaluates the configuration at one parameter point (see
@@ -237,9 +263,11 @@ impl CachedEvaluator {
     ) -> Result<crate::units::Hours> {
         if self.skeleton.is_none() {
             crate::obs::SKELETON_BUILDS.inc();
+            self.skeleton_builds += 1;
             self.skeleton = Some(build()?);
         } else {
             crate::obs::SKELETON_REUSES.inc();
+            self.skeleton_reuses += 1;
         }
         let skeleton = self.skeleton.as_ref().expect("just built");
         let chain = skeleton.with_rates(rates)?;

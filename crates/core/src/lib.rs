@@ -57,6 +57,7 @@ pub mod mission;
 pub mod no_raid;
 pub mod obs;
 pub mod params;
+pub mod plan;
 pub mod planner;
 pub mod raid;
 pub mod rebuild;

@@ -22,6 +22,25 @@ pub static SOLVES_PER_SWEEP: Histogram = Histogram::new("core.sweep.solves_per_s
 /// Wall seconds each worker spent inside one sweep run.
 pub static WORKER_SECONDS: Histogram = Histogram::new("core.sweep.worker_seconds");
 
+/// Planner grid searches run (`plan::plan_search` calls).
+pub static PLAN_SEARCHES: Counter = Counter::new("core.plan.searches");
+/// Grid points enumerated across all planner searches.
+pub static PLAN_POINTS: Counter = Counter::new("core.plan.points");
+/// Grid points that passed feasibility (closed-form pass).
+pub static PLAN_FEASIBLE: Counter = Counter::new("core.plan.feasible");
+/// Feasible points eliminated by guard-band dominance pruning before
+/// any exact solve.
+pub static PLAN_PRUNED: Counter = Counter::new("core.plan.pruned");
+/// Exact batched solves performed (pass-2 survivors).
+pub static PLAN_SOLVES: Counter = Counter::new("core.plan.solves");
+/// Points on the emitted Pareto frontier.
+pub static PLAN_FRONTIER: Counter = Counter::new("core.plan.frontier_points");
+/// Elimination programs compiled by planner workers (one per topology
+/// class per worker).
+pub static PLAN_SKELETON_BUILDS: Counter = Counter::new("core.plan.skeleton_builds");
+/// Exact solves served from an already-compiled elimination program.
+pub static PLAN_SKELETON_REUSES: Counter = Counter::new("core.plan.skeleton_reuses");
+
 /// Registers every metric in this module with the global registry.
 pub fn register() {
     SWEEPS.register();
@@ -30,4 +49,12 @@ pub fn register() {
     SKELETON_REUSES.register();
     SOLVES_PER_SWEEP.register();
     WORKER_SECONDS.register();
+    PLAN_SEARCHES.register();
+    PLAN_POINTS.register();
+    PLAN_FEASIBLE.register();
+    PLAN_PRUNED.register();
+    PLAN_SOLVES.register();
+    PLAN_FRONTIER.register();
+    PLAN_SKELETON_BUILDS.register();
+    PLAN_SKELETON_REUSES.register();
 }

@@ -115,7 +115,7 @@ where
 /// claims a run of rows at a time; the chunk is sized so each worker
 /// visits the counter only a handful of times while late chunks stay
 /// small enough for the work-stealing to still balance uneven rows.
-fn claim_chunk(rows: usize, workers: usize) -> usize {
+pub(crate) fn claim_chunk(rows: usize, workers: usize) -> usize {
     (rows / (workers * 4)).clamp(1, 8)
 }
 

@@ -272,6 +272,38 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
+        self.vec_mul_accumulate(x, &mut out);
+        Ok(out)
+    }
+
+    /// Multiplies a row vector by the matrix into a caller-provided
+    /// buffer (`out = xᵗ·A`), overwriting it. Allocation-free: batched
+    /// iterations (uniformization power steps, repeated transient
+    /// queries) can ping-pong two buffers instead of allocating one
+    /// vector per step. Produces bit-identical values to
+    /// [`Matrix::vec_mul`] — same accumulation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `x.len() != self.rows()`
+    /// or `out.len() != self.cols()`.
+    pub fn vec_mul_into(&self, x: &[f64], out: &mut [f64]) -> Result<()> {
+        if x.len() != self.rows || out.len() != self.cols {
+            return Err(Error::DimensionMismatch {
+                op: "vec_mul_into",
+                left: (1, x.len()),
+                right: self.shape(),
+            });
+        }
+        out.fill(0.0);
+        self.vec_mul_accumulate(x, out);
+        Ok(())
+    }
+
+    /// Shared kernel of [`Matrix::vec_mul`] / [`Matrix::vec_mul_into`]:
+    /// accumulates `xᵗ·A` into `out` (assumed zeroed, lengths checked by
+    /// the callers).
+    fn vec_mul_accumulate(&self, x: &[f64], out: &mut [f64]) {
         for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
@@ -280,7 +312,6 @@ impl Matrix {
                 out[c] += xr * v;
             }
         }
-        Ok(out)
     }
 
     /// Multiplies every element by `s` in place.

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 
 mod absorbing;
+mod batch;
 mod birth_death;
 mod builder;
 mod classify;
@@ -68,6 +69,7 @@ mod solutions;
 mod sparse;
 
 pub use absorbing::{AbsorbingAnalysis, SolverTier, SPARSE_MAX_DENSITY, SPARSE_MIN_STATES};
+pub use batch::BatchSolver;
 pub use birth_death::{birth_death_gamma, birth_death_mtta};
 pub use builder::{CtmcBuilder, StateId};
 pub use classify::{strongly_connected_components, validate_absorbing, AbsorbingDiagnosis};

@@ -28,6 +28,10 @@ pub static CONDITION: Histogram = Histogram::new("markov.absorbing.condition");
 /// Wall seconds per analysis construction (LU attempt + all GTH
 /// elimination passes).
 pub static SOLVE_SECONDS: Histogram = Histogram::new("markov.absorbing.solve_seconds");
+/// Allocation-free batched solves (`BatchSolver::solve_mtta`).
+pub static BATCH_SOLVES: Counter = Counter::new("markov.batch.solves");
+/// Elimination programs compiled (`BatchSolver::new`).
+pub static BATCH_BUILDS: Counter = Counter::new("markov.batch.builds");
 
 /// Registers every metric in this module with the global registry.
 pub fn register() {
@@ -39,4 +43,6 @@ pub fn register() {
     FILL.register();
     CONDITION.register();
     SOLVE_SECONDS.register();
+    BATCH_SOLVES.register();
+    BATCH_BUILDS.register();
 }

@@ -127,7 +127,11 @@ pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Res
     let lt = lambda * t;
     // Poisson(lt) weights computed iteratively in log space for stability.
     let mut result = vec![0.0; n];
+    // Double-buffered power iteration: π0·P^k ping-pongs between `v` and
+    // `next` so the (possibly thousands of) uniformization steps are
+    // allocation-free after setup.
     let mut v = pi0.to_vec(); // π0 · P^k
+    let mut next = vec![0.0; n];
     let mut log_w = -lt; // log of Poisson(k=0) weight
     let mut cum = 0.0;
     let mut k: u64 = 0;
@@ -143,7 +147,8 @@ pub fn transient_distribution(ctmc: &Ctmc, pi0: &[f64], t: f64, tol: f64) -> Res
         if 1.0 - cum < tol || k >= cap {
             break;
         }
-        v = p.vec_mul(&v)?;
+        p.vec_mul_into(&v, &mut next)?;
+        std::mem::swap(&mut v, &mut next);
         k += 1;
         log_w += (lt / k as f64).ln();
     }

@@ -121,3 +121,97 @@ fn splitting_cis_contain_pinned_ft1_ft2_ft3() {
         assert!((est.analytic_cell_mttdl / pin - 1.0).abs() < 1e-12);
     }
 }
+
+/// Cross-validation against an *external* oracle: the classic closed
+/// form used by community data-loss calculators (sorock-os's
+/// `data-loss-calculator` among them) for an `R`-component group
+/// tolerating `t` failures with exponential failure/repair,
+///
+/// ```text
+/// MTTDL = MTTF^(t+1) / ( R·(R−1)···(R−t) · MTTR^t )
+/// ```
+///
+/// That formula knows nothing about drives, sector errors, or internal
+/// RAID, so the comparison runs in a node-dominated regime: FT2 no-IR
+/// with the drive-failure path suppressed (333× baseline drive MTTF,
+/// zero hard error rate — *rare*, not silenced: zeroing drive rates
+/// entirely degenerates the IS balanced-biasing measure, which spends
+/// half its mass uniformly across failure transitions and would burn
+/// it on transitions whose likelihood ratios underflow). Two mapping
+/// subtleties: the paper declusters redundancy sets across the whole
+/// node set, so any `t+1` *concurrent* node failures are fatal — the
+/// calculator's "group size" is the `N`-node concurrent-failure
+/// domain, not one `R`-node stripe — and the repair clock is the
+/// model's own §5.1 node-rebuild time, so both sides price repair
+/// identically. With that instantiation the paper's exact chain, the
+/// calculator formula, and both rare-event estimators must all
+/// describe the same birth–death process: the oracle is pinned within
+/// 8 % of the exact chain, and both estimator CIs must contain the
+/// exact value while landing within 15 % of the oracle.
+#[test]
+fn estimators_cross_validate_against_classic_calculator_formula() {
+    let mut params = Params::baseline();
+    params.drive.mttf = nsr_core::units::Hours(1e8);
+    params.drive.hard_error_rate_per_bit = 0.0;
+    let t = 2u32;
+    let config = Configuration::new(InternalRaid::None, t).unwrap();
+
+    // Classic-formula inputs: per-node MTTF and the model's own node
+    // rebuild time (so both sides price the repair identically).
+    let r = f64::from(params.system.node_count);
+    let mttf = params.node.mttf.0;
+    let rebuild = nsr_core::rebuild::RebuildModel::new(params).unwrap();
+    let mttr = 1.0 / rebuild.node_rebuild(t).unwrap().rate.0;
+    let mut denom = 1.0;
+    for i in 0..=t {
+        denom *= r - f64::from(i);
+    }
+    let oracle = mttf.powi(t as i32 + 1) / (denom * mttr.powi(t as i32));
+
+    let sim = FleetSim::new(params, config, 100_000, 10.0).unwrap();
+    let analytic = sim.analytic_cell_mttdl().unwrap();
+    let formula_err = (oracle / analytic - 1.0).abs();
+    assert!(
+        formula_err < 0.08,
+        "classic formula {oracle:.4e} vs exact chain {analytic:.4e} ({:.2}% off)",
+        100.0 * formula_err
+    );
+
+    let is_est = sim
+        .estimate_importance(
+            IsOptions {
+                gamma_cycles: 8_000,
+                time_cycles: 8_000,
+                ..IsOptions::default()
+            },
+            13,
+        )
+        .unwrap();
+    let split_est = sim
+        .estimate_splitting(
+            SplitOptions {
+                gamma_cycles: 3_000,
+                time_cycles: 8_000,
+                ..SplitOptions::default()
+            },
+            13,
+        )
+        .unwrap();
+    for est in [&is_est, &split_est] {
+        assert!(
+            est.contains_analytic(4.0),
+            "{:?}: {:.4e} ±{:.4e} misses exact {analytic:.4e}",
+            est.estimator,
+            est.cell_mttdl.mtta,
+            est.cell_mttdl.std_err()
+        );
+        let vs_oracle = (est.cell_mttdl.mtta / oracle - 1.0).abs();
+        assert!(
+            vs_oracle < 0.15,
+            "{:?}: {:.4e} vs calculator oracle {oracle:.4e} ({:.1}% off)",
+            est.estimator,
+            est.cell_mttdl.mtta,
+            100.0 * vs_oracle
+        );
+    }
+}
