@@ -99,6 +99,34 @@ echo "==> cluster smoke (live brick daemons on loopback, kill -9, rebuild)"
 diff "$SMOKE_DIR/burst-a.txt" "$SMOKE_DIR/burst-b.txt"
 grep -q 'verdict=LOSS' "$SMOKE_DIR/burst-a.txt"
 
+echo "==> cluster telemetry smoke (scrape plane, stitched post-mortems)"
+# A seeded campaign with --obs-dir live-scrapes every brick child over
+# the wire (victims immediately before each kill -9, survivors at the
+# end), stitches the per-process trace parts into one canonical
+# cross-process causal tree, and the merged artifact must pass the
+# report checks: every remote parent resolves. The gateway-side metrics
+# snapshot must carry the scrape-plane counters, with the collector
+# counter actually exercised. Replayed at different pool sizes and
+# verify-worker counts, the spans-only view of the canonical trace must
+# be byte-identical (events carry wall-clock detector readings and are
+# excluded by contract — see DESIGN §3k).
+./target/release/nsr cluster-inject --bricks 5 --plan kill9-single --seed 7 \
+    --no-fault-writes --obs-dir "$SMOKE_DIR/clusterobs" \
+    --metrics-out "$SMOKE_DIR/cluster-scrape-metrics.jsonl" \
+    | grep -q 'verdict=NO-LOSS lost=0'
+./target/release/nsr obs-check --file "$SMOKE_DIR/cluster-scrape-metrics.jsonl" \
+    --require net.scrape.collected,net.scrape.requests,net.scrape.lines
+./target/release/nsr report --cluster "$SMOKE_DIR/clusterobs" --check
+grep -q 'net.put/brick-' "$SMOKE_DIR/clusterobs/cluster.canonical.jsonl"
+grep '"kind":"span"' "$SMOKE_DIR/clusterobs/cluster.canonical.jsonl" \
+    > "$SMOKE_DIR/cluster-spans-a.txt"
+./target/release/nsr cluster-inject --bricks 5 --plan kill9-single --seed 7 \
+    --no-fault-writes --pool-size 8 --workers 4 \
+    --obs-dir "$SMOKE_DIR/clusterobs2" > /dev/null
+grep '"kind":"span"' "$SMOKE_DIR/clusterobs2/cluster.canonical.jsonl" \
+    > "$SMOKE_DIR/cluster-spans-b.txt"
+diff "$SMOKE_DIR/cluster-spans-a.txt" "$SMOKE_DIR/cluster-spans-b.txt"
+
 echo "==> fleet smoke (deterministic fleet mission, estimator cross-check)"
 # A seeded fleet mission must surface the fleet counters in its metrics
 # snapshot, both rare-event estimators must land within 4 sigma of the

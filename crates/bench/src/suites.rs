@@ -762,6 +762,29 @@ pub fn net_suite(mode: Mode) -> Result<Suite, String> {
         }),
     );
 
+    // Live scrape round-trip: one `Scrape` frame against a brick; the
+    // reply serializes the metrics registry plus the trace delta at the
+    // caller's cursor, so this prices a whole collector poll.
+    {
+        let mut sc = BrickClient::connect(addrs[0], Duration::from_millis(250))
+            .map_err(err("connect for scrape"))?;
+        results.push(t.measure("scrape/round_trip", 0, || sc.scrape(0, 64).expect("scrape")));
+    }
+
+    // Remote-span overhead: the same healthy put with tracing live, so
+    // every data op ships a `TraceCtx` prefix frame and each brick
+    // opens a remote handler span. The delta against `put/healthy_*`
+    // is the cross-process propagation cost.
+    let was_trace = nsr_obs::trace_enabled();
+    nsr_obs::set_trace_enabled(true);
+    results.push(t.measure(
+        &format!("put/healthy_traced_{label}"),
+        obj_bytes as u64,
+        || gw.put(0, &data).expect("traced put"),
+    ));
+    let _ = nsr_obs::trace::drain();
+    nsr_obs::set_trace_enabled(was_trace);
+
     // Kill-to-declared-dead latency: repeated silence/restart cycles on
     // brick 3 (outside object 0's layout). Orderly shutdown looks the
     // same as kill -9 from the gateway side — the brick stops answering.
@@ -1061,6 +1084,16 @@ pub fn obs_suite(mode: Mode) -> Result<Suite, String> {
     results.push(t.measure("disabled/event", 0, || {
         nsr_obs::trace::event("bench.obs.event", || vec![("value", ObsJson::Num(1.0))])
     }));
+    results.push(t.measure("disabled/event_inline4", 0, || {
+        nsr_obs::trace::event("bench.obs.event", || {
+            [
+                ("a", ObsJson::Num(1.0)),
+                ("b", ObsJson::Num(2.0)),
+                ("c", ObsJson::Num(3.0)),
+                ("d", ObsJson::Num(4.0)),
+            ]
+        })
+    }));
     results.push(t.measure("disabled/span_enter_drop", 0, || {
         Span::enter("bench.obs.span")
     }));
@@ -1073,6 +1106,18 @@ pub fn obs_suite(mode: Mode) -> Result<Suite, String> {
     nsr_obs::set_trace_enabled(true);
     results.push(t.measure("enabled/event", 0, || {
         nsr_obs::trace::event("bench.obs.event", || vec![("value", ObsJson::Num(1.0))])
+    }));
+    // The ≤4-field inline-array fast path: the field list stays on the
+    // stack, so the only per-event heap work is the record itself.
+    results.push(t.measure("enabled/event_inline4", 0, || {
+        nsr_obs::trace::event("bench.obs.event", || {
+            [
+                ("a", ObsJson::Num(1.0)),
+                ("b", ObsJson::Num(2.0)),
+                ("c", ObsJson::Num(3.0)),
+                ("d", ObsJson::Num(4.0)),
+            ]
+        })
     }));
     // The full v2 span path: id allocation, span-stack push/pop, and the
     // record append on drop.
@@ -1217,10 +1262,12 @@ mod tests {
             "disabled/counter_add",
             "disabled/histogram_observe",
             "disabled/event",
+            "disabled/event_inline4",
             "disabled/span_enter_drop",
             "enabled/counter_add",
             "enabled/histogram_observe",
             "enabled/event",
+            "enabled/event_inline4",
         ] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
         }

@@ -61,7 +61,9 @@ COMMANDS:
               observability artifacts: --metrics F / --trace F (span tree
               with self/total times, histogram p50/p95/p99) and
               --bench-dir D [--bench-baseline D] (BENCH_*.json tables with
-              deltas); --check validates the artifacts without rendering
+              deltas); --cluster DIR stitches per-process JSONL parts
+              (from cluster-inject --obs-dir) into one cross-process
+              causal tree; --check validates artifacts without rendering
   explain     analytic decision record for one configuration
               (nsr explain ft2-ir5): chain size/density, solver tier,
               conditioning, rebuild intermediates, closed-vs-exact delta
@@ -69,13 +71,26 @@ COMMANDS:
               span links resolve; --require pat1,pat2 demands records by
               name or kind:name, e.g. span:core.evaluate)
   brick       run one storage-brick daemon (--listen ADDR, --id N);
-              announces `LISTENING <addr>` on stdout, serves until killed
+              announces `LISTENING <addr>` on stdout, serves until killed;
+              --obs [--label L] records metrics + spans under process
+              label L (default brick-<id>), harvestable over the wire
   gateway     striping gateway over running bricks (--bricks a:p,b:p,...,
               --data K, --parity T, --rounds N); watches health, prints
-              transitions, auto-repairs after brick deaths
+              transitions, auto-repairs after brick deaths; --telemetry
+              ADDR serves scrapes about the gateway (announced as
+              `TELEMETRY <addr>`) and collects per-brick snapshots
+  top         live cluster dashboard over the scrape path (--bricks
+              a:p,..., --gateway a:p, --interval-ms M, --iterations N,
+              --plain); per-process ops/s, serving p50/p99, pool
+              reuse/redial, detector health and snapshot staleness
   cluster-inject  live kill-9 campaign over real brick child processes
-              (--bricks N, --plan kill9-single|kill9-burst, --seed S);
-              verdict lines are deterministic for a (plan, seed, bricks)
+              (--bricks N, --plan kill9-single|kill9-burst, --seed S,
+              --pool-size P, --workers W); verdict lines are
+              deterministic for a (plan, seed, bricks); --obs-dir DIR
+              runs it fully traced and writes per-process trace parts
+              plus the stitched cluster.canonical.jsonl causal tree
+              (--no-fault-writes freezes writes for byte-identical
+              traces across pool/worker counts)
   workload    YCSB-style serving benchmark over an in-process cluster
               (--objects N, --object-bytes B, --ops N, --read-pct P,
               --dist zipfian|uniform, --theta F, --seed S); replays one
@@ -168,6 +183,7 @@ fn dispatch_cmd(args: &ParsedArgs) -> Result<String> {
         "gateway" => crate::net_cmds::gateway(args),
         "cluster-inject" => crate::net_cmds::cluster_inject(args),
         "workload" => crate::net_cmds::workload(args),
+        "top" => crate::top::top(args),
         "aging" => aging(args),
         "bench" => bench(args),
         "chain" => chain(args),

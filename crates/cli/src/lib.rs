@@ -24,6 +24,7 @@ pub mod explain;
 pub mod net_cmds;
 pub mod render;
 pub mod report;
+pub mod top;
 
 /// Exit-code-friendly error type: a message for stderr.
 #[derive(Debug)]

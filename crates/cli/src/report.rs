@@ -26,7 +26,8 @@ use crate::{CliError, Result};
 pub fn wants_artifact_mode(args: &ParsedArgs) -> Result<bool> {
     Ok(args.get::<String>("metrics")?.is_some()
         || args.get::<String>("trace")?.is_some()
-        || args.get::<String>("bench-dir")?.is_some())
+        || args.get::<String>("bench-dir")?.is_some()
+        || args.get::<String>("cluster")?.is_some())
 }
 
 /// Implements `nsr report --metrics F --trace F --bench-dir D [--check]`.
@@ -40,6 +41,7 @@ pub fn artifact_report(args: &ParsedArgs) -> Result<String> {
     let trace_path = args.get::<String>("trace")?;
     let bench_dir = args.get::<String>("bench-dir")?;
     let baseline_dir = args.get::<String>("bench-baseline")?;
+    let cluster_dir = args.get::<String>("cluster")?;
     let check_only = args.has_flag("check");
 
     let mut md = String::new();
@@ -70,6 +72,24 @@ pub fn artifact_report(args: &ParsedArgs) -> Result<String> {
         }
     }
 
+    if let Some(dir) = &cluster_dir {
+        let parts = cluster_parts(dir)?;
+        let refs: Vec<&str> = parts.iter().map(|(_, p)| p.as_str()).collect();
+        nsr_obs::validate_cluster_links(&refs)
+            .map_err(|e| CliError(format!("{dir}: cross-process span links: {e}")))?;
+        let canonical =
+            nsr_obs::canonical_cluster_jsonl(&refs).map_err(|e| CliError(format!("{dir}: {e}")))?;
+        let _ = writeln!(
+            checks,
+            "{dir}: OK ({} process parts, {} canonical records, cross-process links resolve)",
+            parts.len(),
+            canonical.lines().count()
+        );
+        if !check_only {
+            render_cluster(&mut md, &parts, &canonical);
+        }
+    }
+
     if let Some(dir) = &bench_dir {
         let reports = bench_reports(dir)?;
         if reports.is_empty() {
@@ -91,7 +111,8 @@ pub fn artifact_report(args: &ParsedArgs) -> Result<String> {
 
     if checks.is_empty() {
         return Err(CliError(
-            "report artifact mode needs at least one of --metrics, --trace, --bench-dir".into(),
+            "report artifact mode needs at least one of --metrics, --trace, --bench-dir, --cluster"
+                .into(),
         ));
     }
     if check_only {
@@ -284,6 +305,83 @@ fn render_trace(md: &mut String, text: &str) {
     }
 
     let _ = writeln!(md, "\n## Events\n");
+    let _ = writeln!(md, "| event | count |");
+    let _ = writeln!(md, "|---|---|");
+    for (name, n) in &events {
+        let _ = writeln!(md, "| {name} | {n} |");
+    }
+}
+
+/// Per-process trace parts of a cluster directory: `(file name, JSONL)`
+/// sorted by file name. Derived artifacts (`cluster.canonical.jsonl`,
+/// `loss-*.jsonl`) are excluded — they are outputs of stitching, not
+/// inputs.
+fn cluster_parts(dir: &str) -> Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(Path::new(dir)).map_err(|e| CliError(format!("reading {dir}: {e}")))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError(format!("reading {dir}: {e}")))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".jsonl")
+            || name == "cluster.canonical.jsonl"
+            || name.starts_with("loss-")
+        {
+            continue;
+        }
+        out.push((name, read(&entry.path().to_string_lossy())?));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    if out.is_empty() {
+        return Err(CliError(format!(
+            "{dir}: no per-process .jsonl trace parts found (run `nsr cluster-inject --obs-dir {dir}`)"
+        )));
+    }
+    Ok(out)
+}
+
+/// Renders the stitched cross-process tree: per-part record counts,
+/// then the canonical span paths (each `proc:name` component names the
+/// process that executed the span) aggregated by path, then events per
+/// process. Canonical records carry no timings — those are wall-clock
+/// and would break replay comparison — so the table is counts only.
+fn render_cluster(md: &mut String, parts: &[(String, String)], canonical: &str) {
+    let _ = writeln!(md, "\n## Cross-process causal tree\n");
+    let _ = writeln!(md, "| process part | records |");
+    let _ = writeln!(md, "|---|---|");
+    for (name, text) in parts {
+        let _ = writeln!(md, "| {name} | {} |", lines(text).len());
+    }
+
+    let docs = lines(canonical);
+    let mut spans: BTreeMap<String, u64> = BTreeMap::new();
+    let mut events: BTreeMap<String, u64> = BTreeMap::new();
+    for doc in &docs {
+        match str_field(doc, "kind") {
+            Some("span") => {
+                if let Some(path) = str_field(doc, "span_id") {
+                    *spans.entry(path.to_string()).or_default() += 1;
+                }
+            }
+            Some("event") => {
+                let proc = str_field(doc, "proc").unwrap_or("?");
+                let name = str_field(doc, "name").unwrap_or("?");
+                *events.entry(format!("{proc}:{name}")).or_default() += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let _ = writeln!(md, "\n### Merged span tree\n");
+    let _ = writeln!(md, "| span (process:name) | count |");
+    let _ = writeln!(md, "|---|---|");
+    for (path, n) in &spans {
+        let depth = path.matches('/').count();
+        let leaf = path.rsplit('/').next().unwrap_or(path);
+        let _ = writeln!(md, "| {}{leaf} | {n} |", "&nbsp;&nbsp;".repeat(depth));
+    }
+
+    let _ = writeln!(md, "\n### Events by process\n");
     let _ = writeln!(md, "| event | count |");
     let _ = writeln!(md, "|---|---|");
     for (name, n) in &events {

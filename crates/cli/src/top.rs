@@ -1,0 +1,345 @@
+//! `nsr top`: a polling terminal dashboard over the live scrape path.
+//!
+//! Each tick connects to every target (brick daemons via `--bricks`,
+//! a gateway's telemetry listener via `--gateway`), sends a
+//! `Frame::Scrape`, and folds the returned metrics snapshot into a
+//! per-process row: request rate, totals, serving latency percentiles,
+//! pool reuse/redial counts. The gateway reply additionally carries the
+//! cluster-status blob (detector health, snapshot staleness, rebuild
+//! progress), rendered as a second section.
+//!
+//! Scrape cursors advance monotonically per target, so trace lines are
+//! counted without replay; rates come from counter deltas between
+//! consecutive ticks.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use nsr_net::client::BrickClient;
+use nsr_obs::{percentile_from_buckets, Json};
+
+use crate::args::ParsedArgs;
+use crate::{CliError, Result};
+
+/// One histogram summary parsed from a metrics snapshot.
+struct Hist {
+    buckets: Vec<(f64, u64)>,
+    overflow: u64,
+    max: f64,
+    count: u64,
+}
+
+impl Hist {
+    fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        percentile_from_buckets(&self.buckets, self.overflow, self.max, q)
+    }
+}
+
+/// Counter values and histogram summaries from one scrape.
+#[derive(Default)]
+struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Hist>,
+}
+
+impl Metrics {
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The "work served" total a rate is computed over: brick request
+    /// frames plus gateway puts and gets (only one side is non-zero for
+    /// any given process).
+    fn requests(&self) -> u64 {
+        self.counter("net.brick.requests")
+            + self.counter("net.gateway.puts")
+            + self.counter("net.gateway.gets")
+    }
+}
+
+fn parse_metrics(text: &str) -> Metrics {
+    let mut m = Metrics::default();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(doc) = Json::parse(line) else { continue };
+        let Some(name) = doc.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("counter") => {
+                if let Some(v) = doc.get("value").and_then(Json::as_f64) {
+                    m.counters.insert(name.to_string(), v as u64);
+                }
+            }
+            Some("histogram") => {
+                let buckets: Vec<(f64, u64)> = doc
+                    .get("buckets")
+                    .and_then(Json::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .filter_map(|b| {
+                                let le = b.get("le").and_then(Json::as_f64)?;
+                                let count = b.get("count").and_then(Json::as_f64)?;
+                                Some((le, count as u64))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let num = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                m.histograms.insert(
+                    name.to_string(),
+                    Hist {
+                        buckets,
+                        overflow: num("overflow") as u64,
+                        max: doc
+                            .get("max")
+                            .and_then(Json::as_f64)
+                            .unwrap_or(f64::NEG_INFINITY),
+                        count: num("count") as u64,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// One scrape target and the state carried between ticks.
+struct Target {
+    addr: SocketAddr,
+    /// Fallback display name until the first reply supplies the
+    /// process's own label.
+    name: String,
+    cursor: u64,
+    trace_lines: u64,
+    prev: Option<(Instant, u64)>,
+    /// The latest cluster-status blob (gateway targets only).
+    status: String,
+}
+
+/// Formats a latency histogram as `p50/p99` in microseconds.
+fn latency_cell(m: &Metrics, name: &str) -> String {
+    let us = |s: f64| {
+        if s >= 0.01 {
+            format!("{:.0}ms", s * 1e3)
+        } else {
+            format!("{:.0}us", s * 1e6)
+        }
+    };
+    match m.histograms.get(name) {
+        Some(h) => match (h.percentile(0.50), h.percentile(0.99)) {
+            (Some(p50), Some(p99)) => format!("{}/{}", us(p50), us(p99)),
+            _ => "-".to_string(),
+        },
+        None => "-".to_string(),
+    }
+}
+
+/// Polls every target once and renders one dashboard frame.
+fn render_tick(targets: &mut [Target], timeout: Duration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>9} {:>7} {:>13} {:>13} {:>11}",
+        "process", "ops/s", "requests", "trace", "put p50/p99", "get p50/p99", "pool re/dial"
+    );
+    let mut statuses = Vec::new();
+    for t in targets.iter_mut() {
+        let snap = BrickClient::connect(t.addr, timeout)
+            .and_then(|mut c| c.scrape(t.cursor, 8192))
+            .ok();
+        let Some(snap) = snap else {
+            let _ = writeln!(out, "{:<14} {:>8}", t.name, "down");
+            t.prev = None;
+            continue;
+        };
+        t.name = snap.label.clone();
+        t.trace_lines += snap.trace.lines().filter(|l| !l.trim().is_empty()).count() as u64;
+        t.cursor = snap.next_cursor;
+        let m = parse_metrics(&snap.metrics);
+        let now = Instant::now();
+        let requests = m.requests();
+        let rate = match t.prev {
+            Some((at, last)) if now > at && requests >= last => {
+                format!("{:.1}", (requests - last) as f64 / (now - at).as_secs_f64())
+            }
+            _ => "-".to_string(),
+        };
+        t.prev = Some((now, requests));
+        let pool = if m.counter("net.pool.reuses") + m.counter("net.pool.reconnects") > 0 {
+            format!(
+                "{}/{}",
+                m.counter("net.pool.reuses"),
+                m.counter("net.pool.reconnects")
+            )
+        } else {
+            "-".to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>9} {:>7} {:>13} {:>13} {:>11}",
+            t.name,
+            rate,
+            requests,
+            t.trace_lines,
+            latency_cell(&m, "net.serving.put_s"),
+            latency_cell(&m, "net.serving.get_s"),
+            pool,
+        );
+        if !snap.status.is_empty() {
+            t.status = snap.status.clone();
+        }
+        if !t.status.is_empty() {
+            statuses.push((t.name.clone(), t.status.clone()));
+        }
+        if m.counter("net.rebuild.shards_moved") > 0 {
+            let _ = writeln!(
+                out,
+                "{:<14} rebuild: {} shard(s) / {} B moved, {} interrupted",
+                "",
+                m.counter("net.rebuild.shards_moved"),
+                m.counter("net.rebuild.bytes_moved"),
+                m.counter("net.rebuild.interrupted"),
+            );
+        }
+    }
+    for (name, status) in statuses {
+        let _ = writeln!(out, "\ncluster health (via {name}):");
+        let _ = writeln!(
+            out,
+            "  {:<6} {:<12} {:<12} {:>9} {:>10}",
+            "brick", "health", "label", "snap seq", "snap age"
+        );
+        for line in status.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(doc) = Json::parse(line) else { continue };
+            if doc.get("kind").and_then(Json::as_str) != Some("brick_status") {
+                continue;
+            }
+            let num = |key: &str| doc.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let text = |key: &str| {
+                doc.get(key)
+                    .and_then(Json::as_str)
+                    .unwrap_or("-")
+                    .to_string()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<6} {:<12} {:<12} {:>9} {:>9.1}s",
+                num("brick") as u64,
+                text("health"),
+                text("label"),
+                num("snap_seq") as u64,
+                num("snap_age_s"),
+            );
+        }
+    }
+    out
+}
+
+/// `nsr top --bricks a:p,b:p,... [--gateway addr] [--interval-ms M]
+/// [--iterations N] [--plain]`: polls every target over the scrape path
+/// and renders a live per-process dashboard. `--iterations 0` (the
+/// default) runs until killed; `--plain` skips the ANSI screen clear so
+/// frames append (for logs, pipes, and tests). Frames print as they
+/// render; the returned summary is one line.
+pub fn top(args: &ParsedArgs) -> Result<String> {
+    let mut targets: Vec<Target> = Vec::new();
+    let parse_addr = |s: &str| {
+        s.parse::<SocketAddr>()
+            .map_err(|_| CliError(format!("bad scrape address '{s}'")))
+    };
+    if let Some(list) = args.get::<String>("bricks")? {
+        for (i, raw) in list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .enumerate()
+        {
+            targets.push(Target {
+                addr: parse_addr(raw)?,
+                name: format!("brick#{i}"),
+                cursor: 0,
+                trace_lines: 0,
+                prev: None,
+                status: String::new(),
+            });
+        }
+    }
+    if let Some(addr) = args.get::<String>("gateway")? {
+        targets.push(Target {
+            addr: parse_addr(&addr)?,
+            name: "gateway".to_string(),
+            cursor: 0,
+            trace_lines: 0,
+            prev: None,
+            status: String::new(),
+        });
+    }
+    if targets.is_empty() {
+        return Err(CliError(
+            "nsr top needs at least one target: --bricks a:p,... and/or --gateway a:p".into(),
+        ));
+    }
+    let interval = Duration::from_millis(args.get_or("interval-ms", 1000u64)?);
+    let iterations = args.get_or("iterations", 0u64)?;
+    let plain = args.has_flag("plain");
+    let timeout = Duration::from_millis(args.get_or("timeout-ms", 500u64)?);
+
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let frame = render_tick(&mut targets, timeout);
+        if plain {
+            println!("--- tick {tick} ---");
+            print!("{frame}");
+        } else {
+            // Clear screen + home, then the frame.
+            print!("\x1b[2J\x1b[H{frame}");
+        }
+        std::io::stdout().flush().ok();
+        if iterations > 0 && tick >= iterations {
+            return Ok(format!(
+                "top: {tick} frame(s) over {} target(s)\n",
+                targets.len()
+            ));
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_metrics_reads_counters_and_histograms() {
+        let text = concat!(
+            r#"{"schema":"nsr-obs/v1","kind":"meta","source":"x"}"#,
+            "\n",
+            r#"{"schema":"nsr-obs/v1","kind":"counter","name":"net.brick.requests","value":7}"#,
+            "\n",
+            r#"{"schema":"nsr-obs/v1","kind":"histogram","name":"net.serving.put_s","count":3,"#,
+            r#""sum":2.5,"min":0.5,"max":1.5,"overflow":1,"#,
+            r#""buckets":[{"le":1,"count":1},{"le":2,"count":1}]}"#,
+            "\n",
+        );
+        let m = parse_metrics(text);
+        assert_eq!(m.counter("net.brick.requests"), 7);
+        assert_eq!(m.requests(), 7);
+        let h = &m.histograms["net.serving.put_s"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.percentile(0.5), Some(2.0));
+    }
+
+    #[test]
+    fn latency_cell_handles_missing_and_empty() {
+        let m = parse_metrics("");
+        assert_eq!(latency_cell(&m, "net.serving.put_s"), "-");
+    }
+}

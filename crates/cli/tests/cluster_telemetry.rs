@@ -1,0 +1,148 @@
+//! Cross-process telemetry plane, end to end with the real `nsr`
+//! binary: a seeded kill -9 campaign with `--obs-dir` must emit one
+//! stitched causal tree spanning the gateway and the brick child
+//! processes, byte-identical (spans only) at every pool size and
+//! worker count, and the live scrape path must serve `nsr top`.
+
+use std::process::Command;
+
+fn nsr(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nsr"))
+        .args(args)
+        .output()
+        .expect("spawn nsr");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+    )
+}
+
+/// Runs the reference campaign into `dir` and returns the spans-only
+/// view of the merged canonical trace. Events (detector φ, latencies)
+/// carry wall-clock values and are excluded by contract — see DESIGN
+/// §3k; the *span tree* is the replay-deterministic artifact.
+fn campaign_spans(dir: &std::path::Path, pool: &str, workers: &str) -> String {
+    let dir_s = dir.to_str().unwrap();
+    let (ok, stdout) = nsr(&[
+        "cluster-inject",
+        "--bricks",
+        "5",
+        "--plan",
+        "kill9-single",
+        "--seed",
+        "7",
+        "--no-fault-writes",
+        "--pool-size",
+        pool,
+        "--workers",
+        workers,
+        "--obs-dir",
+        dir_s,
+    ]);
+    assert!(
+        ok,
+        "campaign failed (pool={pool} workers={workers}):\n{stdout}"
+    );
+    assert!(stdout.contains("verdict=NO-LOSS"), "{stdout}");
+    let canonical = std::fs::read_to_string(dir.join("cluster.canonical.jsonl"))
+        .expect("canonical trace written");
+    canonical
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"span\""))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+#[test]
+fn stitched_tree_spans_processes_and_replays_identically() {
+    let tmp = std::env::temp_dir().join(format!("nsr-telemetry-{}", std::process::id()));
+    let reference = campaign_spans(&tmp.join("p1w1"), "1", "1");
+
+    // One causal tree rooted in the gateway campaign span, with remote
+    // handler spans from at least two distinct brick processes hanging
+    // off gateway-side data-op spans.
+    assert!(
+        reference.contains("gateway:net.cluster.campaign/gateway:net.put/brick-0:net.brick.put"),
+        "gateway put must parent brick-0 handler spans:\n{reference}"
+    );
+    assert!(
+        reference.contains("gateway:net.cluster.campaign/gateway:net.put/brick-1:net.brick.put"),
+        "gateway put must parent brick-1 handler spans:\n{reference}"
+    );
+    // Verify-phase reads run as root net.get spans on worker threads.
+    assert!(
+        reference.contains("\"span_id\":\"gateway:net.get/brick-"),
+        "verify gets must parent remote handler spans:\n{reference}"
+    );
+
+    // The span tree is a pure function of the seed: connection pooling
+    // and verify parallelism must not change a byte of it.
+    for (pool, workers) in [("2", "1"), ("8", "4"), ("1", "4")] {
+        let spans = campaign_spans(&tmp.join(format!("p{pool}w{workers}")), pool, workers);
+        assert_eq!(
+            reference, spans,
+            "spans-only canonical trace diverged at pool={pool} workers={workers}"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn report_cluster_checks_and_renders_obs_dir() {
+    let tmp = std::env::temp_dir().join(format!("nsr-telemetry-rpt-{}", std::process::id()));
+    campaign_spans(&tmp, "2", "1");
+    let dir = tmp.to_str().unwrap();
+
+    let (ok, stdout) = nsr(&["report", "--cluster", dir, "--check"]);
+    assert!(ok, "report --check failed:\n{stdout}");
+    assert!(stdout.contains("cross-process links resolve"), "{stdout}");
+
+    let (ok, stdout) = nsr(&["report", "--cluster", dir]);
+    assert!(ok, "report failed:\n{stdout}");
+    assert!(stdout.contains("## Cross-process causal tree"), "{stdout}");
+    assert!(stdout.contains("gateway.jsonl"), "{stdout}");
+    assert!(stdout.contains("net.brick.put"), "{stdout}");
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn top_polls_a_live_brick_over_the_scrape_path() {
+    let mut brick = Command::new(env!("CARGO_BIN_EXE_nsr"))
+        .args(["brick", "--id", "0", "--listen", "127.0.0.1:0", "--obs"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn brick");
+
+    // First stdout line announces the bound address.
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = brick.stdout.take().expect("brick stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read");
+        line.trim()
+            .strip_prefix("LISTENING ")
+            .expect("LISTENING line")
+            .to_string()
+    };
+
+    let (ok, stdout) = nsr(&[
+        "top",
+        "--bricks",
+        &addr,
+        "--iterations",
+        "2",
+        "--interval-ms",
+        "50",
+        "--plain",
+    ]);
+    brick.kill().ok();
+    brick.wait().ok();
+    assert!(ok, "top failed:\n{stdout}");
+    assert!(stdout.contains("--- tick 2 ---"), "{stdout}");
+    // The brick's own label is learned from the scrape reply.
+    assert!(stdout.contains("brick-0"), "{stdout}");
+    assert!(
+        stdout.contains("top: 2 frame(s) over 1 target(s)"),
+        "{stdout}"
+    );
+}

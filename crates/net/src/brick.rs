@@ -12,11 +12,11 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use nsr_obs::Json;
+use nsr_obs::{Json, Span, SpanContext};
 
 use crate::error::Error;
 use crate::obs;
@@ -46,6 +46,14 @@ impl BrickConfig {
 
 type ShardMap = BTreeMap<(u64, u32), Vec<u8>>;
 
+/// Per-server telemetry shared by every connection handler: the scrape
+/// snapshot sequence (bumped per served scrape, echoed on heartbeat
+/// acks as the staleness signal) and a coarse served-request count.
+struct Telemetry {
+    snap_seq: AtomicU64,
+    requests: AtomicU64,
+}
+
 /// A running brick server bound to a local address.
 pub struct BrickServer {
     cfg: BrickConfig,
@@ -53,6 +61,7 @@ pub struct BrickServer {
     addr: SocketAddr,
     shards: Arc<Mutex<ShardMap>>,
     stop: Arc<AtomicBool>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl BrickServer {
@@ -69,6 +78,10 @@ impl BrickServer {
             addr,
             shards: Arc::new(Mutex::new(BTreeMap::new())),
             stop: Arc::new(AtomicBool::new(false)),
+            telemetry: Arc::new(Telemetry {
+                snap_seq: AtomicU64::new(0),
+                requests: AtomicU64::new(0),
+            }),
         })
     }
 
@@ -96,11 +109,12 @@ impl BrickServer {
             let cfg = self.cfg.clone();
             let shards = Arc::clone(&self.shards);
             let stop = Arc::clone(&self.stop);
+            let telemetry = Arc::clone(&self.telemetry);
             let addr = self.addr;
             std::thread::spawn(move || {
                 // Handler errors mean the peer vanished or spoke garbage;
                 // the brick just drops that connection and keeps serving.
-                let _ = handle_connection(stream, &cfg, &shards, &stop, addr);
+                let _ = handle_connection(stream, &cfg, &shards, &stop, &telemetry, addr);
             });
             if self.stop.load(Ordering::SeqCst) {
                 break;
@@ -125,6 +139,7 @@ fn handle_connection(
     cfg: &BrickConfig,
     shards: &Mutex<ShardMap>,
     stop: &Arc<AtomicBool>,
+    telemetry: &Telemetry,
     self_addr: SocketAddr,
 ) -> Result<(), Error> {
     stream
@@ -147,6 +162,9 @@ fn handle_connection(
             .map_err(|e| Error::from_io("clone_stream", &e))?,
     );
     let mut writer = io::BufWriter::with_capacity(crate::wire::IO_WRITE_BUF_LEN, stream);
+    // Remote trace context announced by the previous frame on this
+    // connection; consumed by the next non-context request.
+    let mut pending_ctx: Option<SpanContext> = None;
     loop {
         let request = match read_frame(&mut reader) {
             Ok(Some(f)) => f,
@@ -177,9 +195,19 @@ fn handle_connection(
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
+        // Trace-context prefix frames are fire-and-forget: remember the
+        // remote parent for the next request, send nothing back.
+        if let Frame::TraceCtx { proc, span } = request {
+            pending_ctx = Some(SpanContext {
+                proc_id: proc,
+                span_id: span,
+            });
+            continue;
+        }
         obs::BRICK_REQUESTS.inc();
+        telemetry.requests.fetch_add(1, Ordering::Relaxed);
         let shutting_down = matches!(request, Frame::Shutdown);
-        let reply = dispatch(request, cfg, shards);
+        let reply = dispatch(request, cfg, shards, pending_ctx.take(), telemetry);
         // Shard replies bypass the generic encoder: header from the
         // stack, payload straight from the owned buffer, no copy.
         match &reply {
@@ -196,19 +224,30 @@ fn handle_connection(
     }
 }
 
-fn dispatch(request: Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Frame {
+fn dispatch(
+    request: Frame,
+    cfg: &BrickConfig,
+    shards: &Mutex<ShardMap>,
+    ctx: Option<SpanContext>,
+    telemetry: &Telemetry,
+) -> Frame {
     match request {
         // By-value dispatch: the decoded shard bytes move straight into
         // the store, so a put never copies the payload on the brick.
         Frame::PutShard { object, pos, data } => {
+            let _span = handler_span("net.brick.put", ctx, cfg.id, object, pos);
             shards
                 .lock()
                 .expect("shard map lock")
                 .insert((object, pos), data);
             Frame::Ok
         }
-        Frame::GetShard { object, pos } => fetch_shard(shards, object, pos),
+        Frame::GetShard { object, pos } => {
+            let _span = handler_span("net.brick.get", ctx, cfg.id, object, pos);
+            fetch_shard(shards, object, pos)
+        }
         Frame::RebuildFetch { object, pos } => {
+            let _span = handler_span("net.brick.rebuild_fetch", ctx, cfg.id, object, pos);
             nsr_obs::trace::event("net.brick.rebuild_fetch", || {
                 vec![
                     ("brick", Json::Num(cfg.id as f64)),
@@ -219,6 +258,7 @@ fn dispatch(request: Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Fram
             fetch_shard(shards, object, pos)
         }
         Frame::DeleteShard { object, pos } => {
+            let _span = handler_span("net.brick.delete", ctx, cfg.id, object, pos);
             shards
                 .lock()
                 .expect("shard map lock")
@@ -229,6 +269,8 @@ fn dispatch(request: Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Fram
             seq,
             brick_id: cfg.id,
             shards: shards.lock().expect("shard map lock").len() as u64,
+            snap_seq: telemetry.snap_seq.load(Ordering::Relaxed),
+            load: telemetry.requests.load(Ordering::Relaxed),
         },
         Frame::ListShards => Frame::ShardList {
             entries: shards
@@ -238,12 +280,66 @@ fn dispatch(request: Frame, cfg: &BrickConfig, shards: &Mutex<ShardMap>) -> Fram
                 .copied()
                 .collect(),
         },
+        Frame::Scrape { cursor, max_lines } => scrape_reply(cursor, max_lines, cfg, telemetry),
         Frame::Shutdown => Frame::Ok,
         // A response frame arriving as a request is a protocol violation.
         other => Frame::ErrorReply {
             code: reply_code::BAD_REQUEST,
             detail: format!("unexpected request frame `{}`", other.name()),
         },
+    }
+}
+
+/// Opens the brick-side handler span for a data operation. With a
+/// remote context the span records its cross-process parent; without
+/// one (legacy peer, or tracing disabled) no span is recorded at all,
+/// keeping single-process traces exactly as they were.
+fn handler_span(
+    name: &'static str,
+    ctx: Option<SpanContext>,
+    brick: u32,
+    object: u64,
+    pos: u32,
+) -> Option<Span> {
+    let ctx = ctx?;
+    let mut span = Span::enter_remote(name, ctx);
+    span.field("brick", || Json::Num(brick as f64));
+    span.field("object", || Json::Num(object as f64));
+    span.field("pos", || Json::Num(pos as f64));
+    Some(span)
+}
+
+/// Serves one [`Frame::Scrape`]: metrics snapshot, bounded trace delta,
+/// and a bumped snapshot sequence. Deliberately span-free — scrapes are
+/// telemetry about the telemetry and must not perturb the causal tree
+/// they report on.
+fn scrape_reply(cursor: u64, max_lines: u32, cfg: &BrickConfig, telemetry: &Telemetry) -> Frame {
+    obs::SCRAPE_REQUESTS.inc();
+    let snap_seq = telemetry.snap_seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let (label, proc_id) = match nsr_obs::trace_process() {
+        Some((label, id)) => (label, id),
+        None => {
+            let label = format!("brick-{}", cfg.id);
+            let id = nsr_obs::process_id_for(&label);
+            (label, id)
+        }
+    };
+    let metrics = nsr_obs::metrics_jsonl(&label).into_bytes();
+    let (next_cursor, lines) = nsr_obs::trace_delta(cursor, max_lines as usize);
+    obs::SCRAPE_LINES.add(lines.len() as u64);
+    let mut trace = String::new();
+    for line in &lines {
+        trace.push_str(line);
+        trace.push('\n');
+    }
+    Frame::ScrapeReply {
+        proc_id,
+        snap_seq,
+        next_cursor,
+        label,
+        metrics,
+        trace: trace.into_bytes(),
+        status: Vec::new(),
     }
 }
 

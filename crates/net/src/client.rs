@@ -26,6 +26,30 @@ pub struct HeartbeatAck {
     pub brick_id: u32,
     /// Shards the brick currently stores.
     pub shards: u64,
+    /// The brick's metrics-snapshot sequence number (bumps when it
+    /// serves a scrape) — the piggybacked scrape-staleness signal.
+    pub snap_seq: u64,
+    /// Total requests the brick has served (coarse health summary).
+    pub load: u64,
+}
+
+/// One process's telemetry as returned by [`BrickClient::scrape`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapeSnapshot {
+    /// Stable id of the replying process.
+    pub proc_id: u64,
+    /// Snapshot sequence number after this scrape.
+    pub snap_seq: u64,
+    /// Cursor to pass to the next scrape (no replay).
+    pub next_cursor: u64,
+    /// The replying process's label (e.g. `brick-3`).
+    pub label: String,
+    /// Metrics snapshot, JSONL.
+    pub metrics: String,
+    /// Trace delta: newline-separated rendered trace lines.
+    pub trace: String,
+    /// Peer-specific status JSONL (per-brick health from a gateway).
+    pub status: String,
 }
 
 /// A connected brick client.
@@ -160,6 +184,8 @@ impl BrickClient {
                 seq: ack_seq,
                 brick_id,
                 shards,
+                snap_seq,
+                load,
             } => {
                 if ack_seq != seq {
                     return Err(Error::Protocol {
@@ -170,9 +196,53 @@ impl BrickClient {
                     seq: ack_seq,
                     brick_id,
                     shards,
+                    snap_seq,
+                    load,
                 })
             }
             other => Err(unexpected("heartbeat", other)),
+        }
+    }
+
+    /// Announces the caller's open span so the peer parents its handler
+    /// span across the process boundary. Fire-and-forget: the peer
+    /// applies the context to the next request on this connection and
+    /// never replies, so no receive is paired with this send.
+    pub fn send_trace_ctx(&mut self, ctx: nsr_obs::SpanContext) -> Result<(), Error> {
+        self.send_request(&Frame::TraceCtx {
+            proc: ctx.proc_id,
+            span: ctx.span_id,
+        })
+    }
+
+    /// Fetches the peer's telemetry: metrics snapshot plus the trace
+    /// delta past `cursor` (bounded by `max_lines`).
+    pub fn scrape(&mut self, cursor: u64, max_lines: u32) -> Result<ScrapeSnapshot, Error> {
+        match self.request(&Frame::Scrape { cursor, max_lines })? {
+            Frame::ScrapeReply {
+                proc_id,
+                snap_seq,
+                next_cursor,
+                label,
+                metrics,
+                trace,
+                status,
+            } => Ok(ScrapeSnapshot {
+                proc_id,
+                snap_seq,
+                next_cursor,
+                label,
+                metrics: String::from_utf8(metrics).map_err(|_| Error::Decode {
+                    what: "scrape metrics are not valid UTF-8".to_string(),
+                })?,
+                trace: String::from_utf8(trace).map_err(|_| Error::Decode {
+                    what: "scrape trace delta is not valid UTF-8".to_string(),
+                })?,
+                status: String::from_utf8(status).map_err(|_| Error::Decode {
+                    what: "scrape status is not valid UTF-8".to_string(),
+                })?,
+            }),
+            other => Err(unexpected("scrape", other)),
         }
     }
 

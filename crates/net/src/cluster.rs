@@ -48,6 +48,23 @@ pub struct ClusterConfig {
     pub brick_exe: PathBuf,
     /// Wall milliseconds per plan hour (schedule compression).
     pub ms_per_hour: u64,
+    /// Connections per brick in the gateway pool.
+    pub pool_size: usize,
+    /// Verify-phase reader threads. Verify gets always run on spawned
+    /// workers (even with one) so their spans have identical parentage
+    /// at every worker count — part of the replay-determinism contract.
+    pub workers: usize,
+    /// Run bricks with tracing enabled and harvest their telemetry over
+    /// the scrape path: victims are scraped immediately before each
+    /// kill (kill -9 loses everything the scrape hasn't shipped) and
+    /// every live brick at campaign end, yielding one JSONL part per
+    /// brick *process* in [`CampaignOutcome::brick_parts`].
+    pub obs: bool,
+    /// Keep writing objects through the fault window on below-`t`
+    /// plans. `false` freezes the object set before the first kill so
+    /// the campaign's span tree is a pure function of the seed — the
+    /// cross-process trace-determinism tests rely on it.
+    pub fault_window_writes: bool,
 }
 
 impl ClusterConfig {
@@ -62,6 +79,10 @@ impl ClusterConfig {
             object_bytes: 4096,
             brick_exe,
             ms_per_hour: 100,
+            pool_size: 2,
+            workers: 1,
+            obs: false,
+            fault_window_writes: true,
         }
     }
 
@@ -89,6 +110,12 @@ pub struct CampaignOutcome {
     pub any_loss: bool,
     /// Detection latencies (seconds) observed for kill-9'd bricks.
     pub detection_latencies_s: Vec<f64>,
+    /// One `(label, jsonl)` telemetry part per brick *process* when
+    /// [`ClusterConfig::obs`] is set: a synthesized meta line followed
+    /// by the trace lines harvested over the scrape path. A brick id
+    /// that was killed and restarted contributes two parts with
+    /// generational labels (`brick-3`, then `brick-3-r1`).
+    pub brick_parts: Vec<(String, String)>,
 }
 
 impl CampaignOutcome {
@@ -145,9 +172,21 @@ impl Fleet {
     }
 }
 
-fn spawn_brick(exe: &std::path::Path, id: u32) -> Result<BrickProc, Error> {
+fn spawn_brick(exe: &std::path::Path, id: u32, label: Option<&str>) -> Result<BrickProc, Error> {
+    let mut args = vec![
+        "brick".to_string(),
+        "--listen".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--id".to_string(),
+        id.to_string(),
+    ];
+    if let Some(label) = label {
+        args.push("--obs".to_string());
+        args.push("--label".to_string());
+        args.push(label.to_string());
+    }
     let mut child = Command::new(exe)
-        .args(["brick", "--listen", "127.0.0.1:0", "--id", &id.to_string()])
+        .args(&args)
         .stdin(Stdio::null())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -177,6 +216,39 @@ fn spawn_brick(exe: &std::path::Path, id: u32) -> Result<BrickProc, Error> {
         child,
         _stdout: reader,
     })
+}
+
+/// Generational brick label — the process identity behind trace
+/// stitching. Generation 0 is `brick-{id}`; every restart of the same
+/// brick id gets `brick-{id}-r{gen}`, so a killed process and its
+/// replacement never collapse into one node of the merged causal tree.
+fn brick_label(id: u32, generation: u32) -> String {
+    if generation == 0 {
+        format!("brick-{id}")
+    } else {
+        format!("brick-{id}-r{generation}")
+    }
+}
+
+/// Renders one harvested telemetry entry as a standalone JSONL trace
+/// part: bricks stream raw trace lines over the scrape path (never a
+/// finished dump with its own header), so the meta line is synthesized
+/// here from the registry entry.
+fn render_brick_part(t: &crate::gateway::BrickTelemetry) -> String {
+    let mut out = Json::obj([
+        ("schema", Json::Str("nsr-obs/v1".to_string())),
+        ("kind", Json::Str("meta".to_string())),
+        ("source", Json::Str("cluster-inject".to_string())),
+        ("proc", Json::Str(t.label.clone())),
+        ("proc_id", Json::Num(t.proc_id as f64)),
+    ])
+    .render_compact();
+    out.push('\n');
+    for line in &t.trace_lines {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
 }
 
 /// Deterministic per-object payload so verification needs no stored
@@ -240,9 +312,17 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
     let mut info = Vec::new();
 
     // --- Spawn phase -----------------------------------------------------
+    // Per-brick restart generation, feeding the generational labels
+    // that keep a killed process and its replacement distinct in the
+    // merged trace.
+    let mut generations = vec![0u32; cfg.bricks];
+    let mut brick_parts: Vec<(String, String)> = Vec::new();
     let mut fleet = Fleet {
         procs: (0..cfg.bricks as u32)
-            .map(|id| spawn_brick(&cfg.brick_exe, id).map(Some))
+            .map(|id| {
+                let label = cfg.obs.then(|| brick_label(id, 0));
+                spawn_brick(&cfg.brick_exe, id, label.as_deref()).map(Some)
+            })
             .collect::<Result<Vec<_>, Error>>()?,
     };
     let addrs: Vec<SocketAddr> = (0..cfg.bricks).map(|i| fleet.addr(i)).collect();
@@ -268,6 +348,7 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
         interval_alpha: 0.2,
     };
     gw_cfg.jitter_seed = cfg.seed;
+    gw_cfg.pool_size = cfg.pool_size;
     let gw = Gateway::with_clock(addrs, gw_cfg, Arc::new(WallClock::new()))?;
     let mut transitions: Vec<Transition> = Vec::new();
     let pump = |gw: &Gateway, transitions: &mut Vec<Transition>| {
@@ -301,13 +382,18 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
         let pick = rng.random_range_usize(0, alive.len());
         victims.push(alive.remove(pick));
     }
+    // Fault-window writes are wall-clock paced (the while loop below
+    // spins until the schedule says kill), so their count — and hence
+    // the span tree — varies run to run. Replay-determinism campaigns
+    // turn them off via the config flag.
+    let live_writes = !above_t && cfg.fault_window_writes;
     let fault_t0 = Instant::now();
     let mut next_extra_object = 1_000_000u64;
     let mut killed_at: Vec<(u32, Instant)> = Vec::new();
     for (i, (hours, _)) in schedule.iter().enumerate() {
         let due = Duration::from_millis((hours * cfg.ms_per_hour as f64) as u64);
         while fault_t0.elapsed() < due {
-            if !above_t {
+            if live_writes {
                 gw.put(
                     next_extra_object,
                     &object_payload(cfg.seed, next_extra_object, cfg.object_bytes),
@@ -317,6 +403,15 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
             pump(&gw, &mut transitions);
         }
         let victim = victims[i];
+        if cfg.obs {
+            // Last-chance harvest: kill -9 destroys everything the
+            // scrape path hasn't shipped, and the registry entry must
+            // not survive to pollute the brick id's next incarnation.
+            gw.collect_scrapes(1 << 20);
+            if let Some(t) = gw.take_collected(victim) {
+                brick_parts.push((t.label.clone(), render_brick_part(&t)));
+            }
+        }
         fleet.procs[victim as usize]
             .as_mut()
             .expect("alive")
@@ -325,7 +420,7 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
         nsr_obs::trace::event("net.cluster.kill9", || {
             vec![("brick", Json::Num(victim as f64))]
         });
-        if !above_t {
+        if live_writes {
             // Keep writing straight through the failure window.
             gw.put(
                 next_extra_object,
@@ -417,7 +512,13 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
 
     // --- Rejoin phase: restart victims on fresh ports --------------------
     for &victim in &victims {
-        let proc = spawn_brick(&cfg.brick_exe, victim)?;
+        let label = if cfg.obs {
+            generations[victim as usize] += 1;
+            Some(brick_label(victim, generations[victim as usize]))
+        } else {
+            None
+        };
+        let proc = spawn_brick(&cfg.brick_exe, victim, label.as_deref())?;
         gw.set_brick_addr(victim, proc.addr);
         fleet.procs[victim as usize] = Some(proc);
         nsr_obs::trace::event("net.cluster.restart", || {
@@ -477,10 +578,31 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
     ));
 
     // --- Verify phase ----------------------------------------------------
+    // Reads always run on spawned worker threads, even with a single
+    // worker: a worker thread has no open span, so every verify
+    // `net.get` is a root span regardless of worker count — running
+    // them inline would parent them under the campaign span and make
+    // the merged trace depend on `workers`.
+    type VerifyRead = (u64, Result<(Vec<u8>, ReadMode), Error>);
+    let object_ids = gw.object_ids();
+    let workers = cfg.workers.max(1);
+    let chunk = object_ids.len().div_ceil(workers).max(1);
+    let mut results: Vec<VerifyRead> = Vec::with_capacity(object_ids.len());
+    std::thread::scope(|s| {
+        let gw = &gw;
+        let handles: Vec<_> = object_ids
+            .chunks(chunk)
+            .map(|ids| s.spawn(move || ids.iter().map(|&id| (id, gw.get(id))).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("verify worker"));
+        }
+    });
+    results.sort_by_key(|&(id, _)| id);
     let mut losses: Vec<(u64, usize, usize)> = Vec::new();
     let mut verified = 0u64;
-    for id in gw.object_ids() {
-        match gw.get(id) {
+    for (id, result) in results {
+        match result {
             Ok((bytes, mode)) => {
                 let expect = object_payload(cfg.seed, id, cfg.object_bytes);
                 if bytes != expect {
@@ -519,6 +641,17 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
         started.elapsed()
     ));
 
+    // --- Final telemetry sweep -------------------------------------------
+    // Every brick still standing (survivors plus rejoined generations)
+    // ships the tail of its trace buffer; together with the pre-kill
+    // harvests this yields one part per brick process that ever ran.
+    if cfg.obs {
+        gw.collect_scrapes(1 << 20);
+        for t in gw.collected_telemetry().values() {
+            brick_parts.push((t.label.clone(), render_brick_part(t)));
+        }
+    }
+
     // --- Verdict ---------------------------------------------------------
     let mut verdict_lines = vec![format!(
         "campaign plan={} seed={} bricks={} geometry={}+{} objects={}",
@@ -546,5 +679,6 @@ pub fn run_campaign(cfg: &ClusterConfig) -> Result<CampaignOutcome, Error> {
         info_lines: info,
         any_loss: !losses.is_empty(),
         detection_latencies_s,
+        brick_parts,
     })
 }

@@ -119,6 +119,8 @@ struct Track {
     last_heartbeat_s: f64,
     mean_interval_s: f64,
     seen_any: bool,
+    snap_seq: u64,
+    snap_at_s: f64,
 }
 
 /// Heartbeat bookkeeping and health state for a set of bricks.
@@ -158,6 +160,8 @@ impl FailureDetector {
                         last_heartbeat_s: now,
                         mean_interval_s: cfg.initial_interval_s,
                         seen_any: false,
+                        snap_seq: 0,
+                        snap_at_s: now,
                     },
                 )
             })
@@ -295,6 +299,36 @@ impl FailureDetector {
             self.update_healthy_gauge();
         }
         out
+    }
+
+    /// Records the metrics-snapshot sequence number piggybacked on a
+    /// heartbeat ack. The snapshot timestamp only advances when the
+    /// sequence changes, so [`snapshot_age_s`](Self::snapshot_age_s)
+    /// measures how stale the last *served scrape* is — the piggybacked
+    /// staleness signal costs no extra round trip.
+    pub fn note_snapshot(&mut self, brick: u32, snap_seq: u64) {
+        let now = self.clock.now_s();
+        if let Some(t) = self.tracks.get_mut(&brick) {
+            if t.snap_seq != snap_seq {
+                t.snap_seq = snap_seq;
+                t.snap_at_s = now;
+            }
+        }
+    }
+
+    /// Seconds since `brick`'s scrape-snapshot sequence last advanced
+    /// (`None` for untracked bricks). A collector whose scrape loop has
+    /// stalled shows up here as unbounded growth while heartbeats — and
+    /// therefore this signal — keep flowing.
+    pub fn snapshot_age_s(&self, brick: u32) -> Option<f64> {
+        self.tracks
+            .get(&brick)
+            .map(|t| (self.clock.now_s() - t.snap_at_s).max(0.0))
+    }
+
+    /// The last scrape-snapshot sequence observed for `brick`.
+    pub fn snapshot_seq(&self, brick: u32) -> Option<u64> {
+        self.tracks.get(&brick).map(|t| t.snap_seq)
     }
 
     /// Marks a dead brick as having its shards rebuilt. Coordinator-only
@@ -466,6 +500,32 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_age_tracks_scrape_staleness_not_heartbeats() {
+        let clock = MockClock::new();
+        let mut det = detector(&clock, 2);
+        warm(&mut det, &clock, 2, 4);
+        // First scrape observed via a heartbeat ack.
+        det.note_snapshot(0, 1);
+        assert_eq!(det.snapshot_seq(0), Some(1));
+        assert_eq!(det.snapshot_age_s(0), Some(0.0));
+        // Heartbeats keep flowing but the scrape loop has stalled: the
+        // same snap_seq arrives on every ack, and the age keeps growing.
+        for _ in 0..6 {
+            clock.advance(0.5);
+            det.heartbeat(0);
+            det.note_snapshot(0, 1);
+        }
+        assert_eq!(det.snapshot_age_s(0), Some(3.0));
+        // A fresh scrape bumps the sequence and resets the age.
+        det.note_snapshot(0, 2);
+        assert_eq!(det.snapshot_age_s(0), Some(0.0));
+        clock.advance(1.0);
+        assert_eq!(det.snapshot_age_s(0), Some(1.0));
+        // Untracked bricks report nothing.
+        assert_eq!(det.snapshot_age_s(9), None);
     }
 
     #[test]

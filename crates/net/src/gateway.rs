@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use nsr_erasure::rs::ReedSolomon;
-use nsr_obs::{Json, Span};
+use nsr_obs::{Json, Span, SpanContext};
 use nsr_rng::rngs::StdRng;
 use nsr_rng::{Rng, SeedableRng};
 
@@ -158,6 +158,28 @@ pub enum ReadMode {
     Degraded,
 }
 
+/// One brick's telemetry as accumulated by the gateway's scrape
+/// collector: the latest metrics snapshot plus every trace line shipped
+/// so far (the per-brick cursor guarantees no replay).
+#[derive(Debug, Clone, Default)]
+pub struct BrickTelemetry {
+    /// Stable id of the brick process (from its scrape replies).
+    pub proc_id: u64,
+    /// The brick's process label (e.g. `brick-3`).
+    pub label: String,
+    /// Snapshot sequence after the most recent scrape.
+    pub snap_seq: u64,
+    /// Trace cursor to resume the next scrape from.
+    pub cursor: u64,
+    /// Latest full metrics snapshot, JSONL.
+    pub metrics: String,
+    /// Accumulated trace lines across every scrape, oldest first.
+    pub trace_lines: Vec<String>,
+}
+
+/// Cap on accumulated per-brick trace lines in the collector registry.
+const COLLECT_TRACE_CAP: usize = 1 << 16;
+
 /// A striping gateway over a fixed set of brick daemons.
 pub struct Gateway {
     cfg: GatewayConfig,
@@ -168,6 +190,7 @@ pub struct Gateway {
     rng: Mutex<StdRng>,
     hb_seq: AtomicU64,
     rebuild_checkpoint: AtomicU64,
+    collected: Mutex<BTreeMap<u32, BrickTelemetry>>,
 }
 
 impl Gateway {
@@ -209,6 +232,7 @@ impl Gateway {
             rng: Mutex::new(rng),
             hb_seq: AtomicU64::new(0),
             rebuild_checkpoint: AtomicU64::new(0),
+            collected: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -270,17 +294,112 @@ impl Gateway {
         let seq = self.hb_seq.fetch_add(1, Ordering::SeqCst);
         let mut alive = Vec::new();
         for id in 0..self.pool.len() as u32 {
-            if self.shard_op(id, "heartbeat", |c| c.heartbeat(seq)).is_ok() {
-                alive.push(id);
+            if let Ok(ack) = self.shard_op(id, "heartbeat", |c| c.heartbeat(seq)) {
+                alive.push((id, ack.snap_seq));
             }
         }
         let mut det = self.detector.lock().expect("detector lock");
         let mut transitions = Vec::new();
-        for id in alive {
+        for (id, snap_seq) in alive {
             transitions.extend(det.heartbeat(id));
+            // Piggybacked scrape-staleness signal: no extra RTT.
+            det.note_snapshot(id, snap_seq);
         }
         transitions.extend(det.tick());
         transitions
+    }
+
+    /// Seconds since each brick's scrape-snapshot sequence last advanced
+    /// (per the piggybacked heartbeat-ack signal), in brick-id order.
+    pub fn snapshot_ages(&self) -> Vec<(u32, f64)> {
+        let det = self.detector.lock().expect("detector lock");
+        (0..self.pool.len() as u32)
+            .filter_map(|id| det.snapshot_age_s(id).map(|age| (id, age)))
+            .collect()
+    }
+
+    /// One collector round: scrapes every brick that answers and merges
+    /// the snapshots into the labeled cluster registry, resuming each
+    /// brick's trace stream from its stored cursor. Returns the brick
+    /// ids scraped this round. Scrapes ride the same pooled connections
+    /// as data traffic and carry no trace context — telemetry transport
+    /// must not perturb the causal tree it reports.
+    pub fn collect_scrapes(&self, max_lines: u32) -> Vec<u32> {
+        let mut scraped = Vec::new();
+        for id in 0..self.pool.len() as u32 {
+            let cursor = self
+                .collected
+                .lock()
+                .expect("collected lock")
+                .get(&id)
+                .map(|t| t.cursor)
+                .unwrap_or(0);
+            let Ok(snap) = self.shard_op(id, "scrape", |c| c.scrape(cursor, max_lines)) else {
+                continue;
+            };
+            obs::SCRAPES_COLLECTED.inc();
+            let mut reg = self.collected.lock().expect("collected lock");
+            let entry = reg.entry(id).or_default();
+            entry.proc_id = snap.proc_id;
+            entry.label = snap.label;
+            entry.snap_seq = snap.snap_seq;
+            entry.cursor = snap.next_cursor;
+            entry.metrics = snap.metrics;
+            entry
+                .trace_lines
+                .extend(snap.trace.lines().map(str::to_string));
+            if entry.trace_lines.len() > COLLECT_TRACE_CAP {
+                let excess = entry.trace_lines.len() - COLLECT_TRACE_CAP;
+                entry.trace_lines.drain(..excess);
+            }
+            scraped.push(id);
+        }
+        scraped
+    }
+
+    /// The collector's merged per-brick registry (cloned snapshot),
+    /// keyed by brick id.
+    pub fn collected_telemetry(&self) -> BTreeMap<u32, BrickTelemetry> {
+        self.collected.lock().expect("collected lock").clone()
+    }
+
+    /// Removes and returns one brick's accumulated telemetry. The
+    /// campaign harness harvests a victim's entry right before killing
+    /// it: the kill loses the process's own buffers, and the entry must
+    /// not bleed into the fresh process that later reuses the brick id
+    /// (its trace cursor restarts at zero).
+    pub fn take_collected(&self, id: u32) -> Option<BrickTelemetry> {
+        self.collected.lock().expect("collected lock").remove(&id)
+    }
+
+    /// Renders the gateway's cluster-status blob for scrape replies: one
+    /// JSONL record per brick with detector health, the piggybacked
+    /// snapshot sequence/age, and the collected process label. This is
+    /// what `nsr top` folds into its per-brick rows.
+    pub fn telemetry_status(&self) -> String {
+        let det = self.detector.lock().expect("detector lock");
+        let reg = self.collected.lock().expect("collected lock");
+        let mut out = String::new();
+        for id in 0..self.pool.len() as u32 {
+            let health = det.health(id).map(Health::name).unwrap_or("untracked");
+            let mut pairs = vec![
+                ("kind", Json::Str("brick_status".into())),
+                ("brick", Json::Num(id as f64)),
+                ("health", Json::Str(health.into())),
+            ];
+            if let Some(age) = det.snapshot_age_s(id) {
+                pairs.push(("snap_age_s", Json::Num(age)));
+            }
+            if let Some(seq) = det.snapshot_seq(id) {
+                pairs.push(("snap_seq", Json::Num(seq as f64)));
+            }
+            if let Some(t) = reg.get(&id) {
+                pairs.push(("label", Json::Str(t.label.clone())));
+            }
+            out.push_str(&Json::obj(pairs).render_compact());
+            out.push('\n');
+        }
+        out
     }
 
     /// Re-admits rejoined bricks as spares: wipes any stale shards they
@@ -326,6 +445,11 @@ impl Gateway {
     }
 
     fn put_inner(&self, object: u64, data: &[u8], scratch: &mut Vec<Vec<u8>>) -> Result<(), Error> {
+        // Captured once, on the thread holding the open `net.put` span:
+        // fan-out closures may run after the pool reorders work, and the
+        // serial retry path redials connections, so every shard request
+        // re-announces this same context.
+        let ctx = nsr_obs::current_context();
         let r = self.redundancy();
         let mut excluded: BTreeSet<u32> = BTreeSet::new();
         let (shards, shard_len) = self.encode_object(data, scratch)?;
@@ -361,7 +485,10 @@ impl Gateway {
                     .fanout(
                         &layout,
                         "put_shard",
-                        |pos, c| c.send_put_shard(object, pos as u32, shards[pos].as_ref()),
+                        |pos, c| {
+                            send_ctx(c, ctx)?;
+                            c.send_put_shard(object, pos as u32, shards[pos].as_ref())
+                        },
                         |_pos, c| c.recv_put_reply(),
                     )
                     .into_iter()
@@ -384,6 +511,7 @@ impl Gateway {
                 }
                 let target = layout[pos];
                 match self.shard_op_with_retry(target, "put_shard", |c| {
+                    send_ctx(c, ctx)?;
                     c.put_shard(object, pos as u32, shard.as_ref())
                 }) {
                     Ok(()) => written.push((target, pos as u32)),
@@ -433,6 +561,7 @@ impl Gateway {
     pub fn get(&self, object: u64) -> Result<(Vec<u8>, ReadMode), Error> {
         let mut span = Span::enter("net.get");
         span.field("object", || Json::Num(object as f64));
+        let ctx = nsr_obs::current_context();
         let meta = self
             .meta
             .lock()
@@ -473,6 +602,7 @@ impl Gateway {
                     &bricks,
                     "get_shard",
                     |i, c| {
+                        send_ctx(c, ctx)?;
                         c.send_request(&Frame::GetShard {
                             object,
                             pos: wanted[i] as u32,
@@ -502,6 +632,7 @@ impl Gateway {
                 continue;
             }
             if let Ok(data) = self.shard_op_with_retry(meta.layout[pos], "get_shard", |c| {
+                send_ctx(c, ctx)?;
                 c.get_shard(object, pos as u32)
             }) {
                 if data.len() == meta.shard_len as usize {
@@ -564,6 +695,7 @@ impl Gateway {
     /// until a brick rejoins.
     pub fn repair_all(&self) -> Result<RepairReport, Error> {
         let mut span = Span::enter("net.rebuild");
+        let ctx = nsr_obs::current_context();
         let failed: Vec<u32> = {
             let mut det = self.detector.lock().expect("detector lock");
             let failed = det.failed();
@@ -655,6 +787,7 @@ impl Gateway {
                     break;
                 }
                 if let Ok(data) = self.shard_op_with_retry(m.layout[pos], "rebuild_fetch", |c| {
+                    send_ctx(c, ctx)?;
                     c.rebuild_fetch(id, pos as u32)
                 }) {
                     if data.len() == m.shard_len as usize {
@@ -680,9 +813,10 @@ impl Gateway {
                 // was checked above), rotated by id for balance.
                 let spare = spares[(id as usize + i) % spares.len()];
                 let shard = shards[pos].as_deref().expect("reconstructed");
-                match self
-                    .shard_op_with_retry(spare, "put_shard", |c| c.put_shard(id, pos as u32, shard))
-                {
+                match self.shard_op_with_retry(spare, "put_shard", |c| {
+                    send_ctx(c, ctx)?;
+                    c.put_shard(id, pos as u32, shard)
+                }) {
                     Ok(()) => {}
                     Err(
                         Error::Io { .. } | Error::Timeout { .. } | Error::RetriesExhausted { .. },
@@ -757,6 +891,7 @@ impl Gateway {
     /// in [`RepairReport::lost_objects`].
     pub fn scrub_repair(&self) -> Result<RepairReport, Error> {
         let mut span = Span::enter("net.scrub");
+        let ctx = nsr_obs::current_context();
         let mut report = RepairReport::default();
         let healthy_set: BTreeSet<u32> = self
             .detector
@@ -814,6 +949,7 @@ impl Gateway {
                 let shard = shards[pos].as_deref().expect("reconstructed");
                 if self
                     .shard_op_with_retry(m.layout[pos], "put_shard", |c| {
+                        send_ctx(c, ctx)?;
                         c.put_shard(id, pos as u32, shard)
                     })
                     .is_err()
@@ -978,8 +1114,13 @@ impl Gateway {
         } else {
             "get_shard"
         };
+        // Captured here, on the caller's thread — the scoped fetch
+        // threads below have no span stack of their own, so the open
+        // rebuild/scrub span must travel into them by value.
+        let ctx = nsr_obs::current_context();
         let fetch_one = |pos: usize| {
             self.shard_op_with_retry(layout[pos], op, |c| {
+                send_ctx(c, ctx)?;
                 if rebuild {
                     c.rebuild_fetch(object, pos as u32)
                 } else {
@@ -1069,6 +1210,16 @@ impl AsRef<[u8]> for ShardBuf<'_> {
             ShardBuf::Borrowed(s) => s,
             ShardBuf::Owned(v) => v,
         }
+    }
+}
+
+/// Sends the remote trace context ahead of a data-op request when one
+/// is open. With tracing disabled (or no open span) `ctx` is `None` and
+/// nothing extra crosses the wire — legacy single-process behavior.
+fn send_ctx(c: &mut BrickClient, ctx: Option<SpanContext>) -> Result<(), Error> {
+    match ctx {
+        Some(ctx) => c.send_trace_ctx(ctx),
+        None => Ok(()),
     }
 }
 

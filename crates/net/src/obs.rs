@@ -43,6 +43,12 @@ pub static REBUILD_SHARDS: Counter = Counter::new("net.rebuild.shards_moved");
 pub static REBUILD_BYTES: Counter = Counter::new("net.rebuild.bytes_moved");
 /// Rebuild passes interrupted by a mid-transfer source death.
 pub static REBUILD_INTERRUPTED: Counter = Counter::new("net.rebuild.interrupted");
+/// Telemetry scrapes served by this process (brick or gateway).
+pub static SCRAPE_REQUESTS: Counter = Counter::new("net.scrape.requests");
+/// Trace lines shipped in scrape replies by this process.
+pub static SCRAPE_LINES: Counter = Counter::new("net.scrape.lines");
+/// Per-brick scrapes merged into the gateway's cluster registry.
+pub static SCRAPES_COLLECTED: Counter = Counter::new("net.scrape.collected");
 
 /// Registers every metric in this module with the global registry.
 pub fn register() {
@@ -64,4 +70,7 @@ pub fn register() {
     REBUILD_SHARDS.register();
     REBUILD_BYTES.register();
     REBUILD_INTERRUPTED.register();
+    SCRAPE_REQUESTS.register();
+    SCRAPE_LINES.register();
+    SCRAPES_COLLECTED.register();
 }

@@ -93,6 +93,26 @@ pub enum Frame {
     /// Ask the brick to exit cleanly (used by orderly test teardown;
     /// kill-9 campaigns never send it).
     Shutdown,
+    /// Trace-context prefix: announces the caller's open span so the
+    /// peer can parent its handler span across the process boundary.
+    /// Fire-and-forget — the receiver applies it to the *next* request
+    /// on the same connection and never replies to it.
+    TraceCtx {
+        /// Stable id of the sending process (see `nsr_obs::process_id_for`).
+        proc: u64,
+        /// Span id of the caller's currently open span.
+        span: u64,
+    },
+    /// Ask the peer for its telemetry: a metrics snapshot plus a
+    /// bounded trace delta starting at `cursor` (cursor-based, so
+    /// repeated scrapes never replay lines).
+    Scrape {
+        /// Trace cursor from the previous [`Frame::ScrapeReply`]
+        /// (0 on the first scrape).
+        cursor: u64,
+        /// Maximum trace lines to return in one reply.
+        max_lines: u32,
+    },
     /// Generic success response.
     Ok,
     /// Response carrying one shard's bytes.
@@ -108,6 +128,12 @@ pub enum Frame {
         brick_id: u32,
         /// Number of shards currently stored (cheap load signal).
         shards: u64,
+        /// Metrics-snapshot sequence number: bumped on every scrape the
+        /// brick serves, so heartbeats double as a scrape-staleness
+        /// signal with no extra round trip.
+        snap_seq: u64,
+        /// Coarse health summary: total requests served (monotonic).
+        load: u64,
     },
     /// Response to [`Frame::ListShards`].
     ShardList {
@@ -121,6 +147,25 @@ pub enum Frame {
         /// Human-readable detail.
         detail: String,
     },
+    /// Response to [`Frame::Scrape`]: one process's telemetry.
+    ScrapeReply {
+        /// Stable id of the replying process.
+        proc_id: u64,
+        /// Snapshot sequence number (echoed on heartbeat acks).
+        snap_seq: u64,
+        /// Cursor to pass on the next scrape to resume the trace
+        /// stream without replaying.
+        next_cursor: u64,
+        /// Human-readable process label (e.g. `brick-3`).
+        label: String,
+        /// Metrics snapshot, JSONL-rendered.
+        metrics: Vec<u8>,
+        /// Trace delta: rendered trace lines, newline-separated.
+        trace: Vec<u8>,
+        /// Process-specific status blob, JSONL-rendered (per-brick
+        /// health from a gateway; empty from a brick).
+        status: Vec<u8>,
+    },
 }
 
 const TAG_PUT_SHARD: u8 = 0x01;
@@ -130,11 +175,14 @@ const TAG_HEARTBEAT: u8 = 0x04;
 const TAG_LIST_SHARDS: u8 = 0x05;
 const TAG_REBUILD_FETCH: u8 = 0x06;
 const TAG_SHUTDOWN: u8 = 0x07;
+const TAG_TRACE_CTX: u8 = 0x08;
+const TAG_SCRAPE: u8 = 0x09;
 const TAG_OK: u8 = 0x40;
 const TAG_SHARD_DATA: u8 = 0x41;
 const TAG_HEARTBEAT_ACK: u8 = 0x42;
 const TAG_SHARD_LIST: u8 = 0x43;
 const TAG_ERROR_REPLY: u8 = 0x44;
+const TAG_SCRAPE_REPLY: u8 = 0x45;
 
 impl Frame {
     /// Whether this frame is a request (gateway → brick).
@@ -148,6 +196,8 @@ impl Frame {
                 | Frame::ListShards
                 | Frame::RebuildFetch { .. }
                 | Frame::Shutdown
+                | Frame::TraceCtx { .. }
+                | Frame::Scrape { .. }
         )
     }
 
@@ -161,11 +211,14 @@ impl Frame {
             Frame::ListShards => "list_shards",
             Frame::RebuildFetch { .. } => "rebuild_fetch",
             Frame::Shutdown => "shutdown",
+            Frame::TraceCtx { .. } => "trace_ctx",
+            Frame::Scrape { .. } => "scrape",
             Frame::Ok => "ok",
             Frame::ShardData { .. } => "shard_data",
             Frame::HeartbeatAck { .. } => "heartbeat_ack",
             Frame::ShardList { .. } => "shard_list",
             Frame::ErrorReply { .. } => "error_reply",
+            Frame::ScrapeReply { .. } => "scrape_reply",
         }
     }
 
@@ -200,6 +253,16 @@ impl Frame {
                 TAG_REBUILD_FETCH
             }
             Frame::Shutdown => TAG_SHUTDOWN,
+            Frame::TraceCtx { proc, span } => {
+                put_u64(&mut payload, *proc);
+                put_u64(&mut payload, *span);
+                TAG_TRACE_CTX
+            }
+            Frame::Scrape { cursor, max_lines } => {
+                put_u64(&mut payload, *cursor);
+                put_u32(&mut payload, *max_lines);
+                TAG_SCRAPE
+            }
             Frame::Ok => TAG_OK,
             Frame::ShardData { data } => {
                 put_bytes(&mut payload, data);
@@ -209,10 +272,14 @@ impl Frame {
                 seq,
                 brick_id,
                 shards,
+                snap_seq,
+                load,
             } => {
                 put_u64(&mut payload, *seq);
                 put_u32(&mut payload, *brick_id);
                 put_u64(&mut payload, *shards);
+                put_u64(&mut payload, *snap_seq);
+                put_u64(&mut payload, *load);
                 TAG_HEARTBEAT_ACK
             }
             Frame::ShardList { entries } => {
@@ -227,6 +294,24 @@ impl Frame {
                 payload.extend_from_slice(&code.to_le_bytes());
                 put_bytes(&mut payload, detail.as_bytes());
                 TAG_ERROR_REPLY
+            }
+            Frame::ScrapeReply {
+                proc_id,
+                snap_seq,
+                next_cursor,
+                label,
+                metrics,
+                trace,
+                status,
+            } => {
+                put_u64(&mut payload, *proc_id);
+                put_u64(&mut payload, *snap_seq);
+                put_u64(&mut payload, *next_cursor);
+                put_bytes(&mut payload, label.as_bytes());
+                put_bytes(&mut payload, metrics);
+                put_bytes(&mut payload, trace);
+                put_bytes(&mut payload, status);
+                TAG_SCRAPE_REPLY
             }
         };
         let len = 1 + payload.len() as u32;
@@ -269,12 +354,22 @@ impl Frame {
                 pos: cur.u32()?,
             },
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_TRACE_CTX => Frame::TraceCtx {
+                proc: cur.u64()?,
+                span: cur.u64()?,
+            },
+            TAG_SCRAPE => Frame::Scrape {
+                cursor: cur.u64()?,
+                max_lines: cur.u32()?,
+            },
             TAG_OK => Frame::Ok,
             TAG_SHARD_DATA => Frame::ShardData { data: cur.bytes()? },
             TAG_HEARTBEAT_ACK => Frame::HeartbeatAck {
                 seq: cur.u64()?,
                 brick_id: cur.u32()?,
                 shards: cur.u64()?,
+                snap_seq: cur.u64()?,
+                load: cur.u64()?,
             },
             TAG_SHARD_LIST => {
                 let n = cur.u32()? as usize;
@@ -301,6 +396,24 @@ impl Frame {
                     what: "error reply detail is not valid UTF-8".to_string(),
                 })?;
                 Frame::ErrorReply { code, detail }
+            }
+            TAG_SCRAPE_REPLY => {
+                let proc_id = cur.u64()?;
+                let snap_seq = cur.u64()?;
+                let next_cursor = cur.u64()?;
+                let label_bytes = cur.bytes()?;
+                let label = String::from_utf8(label_bytes).map_err(|_| Error::Decode {
+                    what: "scrape reply label is not valid UTF-8".to_string(),
+                })?;
+                Frame::ScrapeReply {
+                    proc_id,
+                    snap_seq,
+                    next_cursor,
+                    label,
+                    metrics: cur.bytes()?,
+                    trace: cur.bytes()?,
+                    status: cur.bytes()?,
+                }
             }
             other => {
                 return Err(Error::Decode {
@@ -635,6 +748,14 @@ mod tests {
             Frame::ListShards,
             Frame::RebuildFetch { object: 5, pos: 1 },
             Frame::Shutdown,
+            Frame::TraceCtx {
+                proc: 0x1234_5678_9abc,
+                span: 77,
+            },
+            Frame::Scrape {
+                cursor: 4096,
+                max_lines: 256,
+            },
             Frame::Ok,
             Frame::ShardData {
                 data: vec![0xff; 1024],
@@ -643,6 +764,8 @@ mod tests {
                 seq: 42,
                 brick_id: 3,
                 shards: 120,
+                snap_seq: 9,
+                load: 5500,
             },
             Frame::ShardList {
                 entries: vec![(1, 0), (1, 1), (2, 4)],
@@ -651,6 +774,24 @@ mod tests {
             Frame::ErrorReply {
                 code: reply_code::SHARD_NOT_FOUND,
                 detail: "obj9 pos0".to_string(),
+            },
+            Frame::ScrapeReply {
+                proc_id: 0xdead_beef,
+                snap_seq: 3,
+                next_cursor: 1201,
+                label: "brick-2".to_string(),
+                metrics: b"{\"kind\":\"counter\"}\n".to_vec(),
+                trace: b"{\"kind\":\"span\"}\n".to_vec(),
+                status: vec![],
+            },
+            Frame::ScrapeReply {
+                proc_id: 0,
+                snap_seq: 0,
+                next_cursor: 0,
+                label: String::new(),
+                metrics: vec![],
+                trace: vec![],
+                status: vec![],
             },
         ]
     }
@@ -741,6 +882,55 @@ mod tests {
     #[test]
     fn shard_list_length_lie_rejected() {
         let mut body = vec![TAG_SHARD_LIST];
+        body.extend_from_slice(&1_000_000u32.to_le_bytes());
+        assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn truncated_trace_ctx_rejected() {
+        // 8 of the 16 payload bytes: the span id is missing.
+        let mut body = vec![TAG_TRACE_CTX];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
+        // Trailing garbage after a complete context is equally fatal.
+        let mut body = vec![TAG_TRACE_CTX];
+        body.extend_from_slice(&7u64.to_le_bytes());
+        body.extend_from_slice(&9u64.to_le_bytes());
+        body.push(0x55);
+        assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
+    }
+
+    #[test]
+    fn truncated_scrape_reply_rejected() {
+        // Cut a valid scrape reply body at every length short of whole:
+        // each prefix must be a typed decode error, never a panic.
+        let full = Frame::ScrapeReply {
+            proc_id: 11,
+            snap_seq: 2,
+            next_cursor: 88,
+            label: "gw".to_string(),
+            metrics: vec![1, 2, 3],
+            trace: vec![4, 5],
+            status: vec![6],
+        }
+        .encode();
+        let body = &full[4..]; // strip length prefix
+        for cut in 1..body.len() {
+            assert!(
+                matches!(Frame::decode(&body[..cut]), Err(Error::Decode { .. })),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        assert!(Frame::decode(body).is_ok());
+    }
+
+    #[test]
+    fn scrape_reply_length_lie_rejected() {
+        // The label length field claims more bytes than the payload holds.
+        let mut body = vec![TAG_SCRAPE_REPLY];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&2u64.to_le_bytes());
+        body.extend_from_slice(&3u64.to_le_bytes());
         body.extend_from_slice(&1_000_000u32.to_le_bytes());
         assert!(matches!(Frame::decode(&body), Err(Error::Decode { .. })));
     }

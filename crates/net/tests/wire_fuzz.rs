@@ -25,7 +25,7 @@ fn random_frame(rng: &mut StdRng) -> Frame {
         rng.random_range_usize(0, 64)
     };
     let data: Vec<u8> = (0..len).map(|_| rng.random::<u8>()).collect();
-    match rng.random_range_usize(0, 12) {
+    match rng.random_range_usize(0, 15) {
         0 => Frame::PutShard {
             object: rng.random(),
             pos: rng.random(),
@@ -52,6 +52,8 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             seq: rng.random(),
             brick_id: rng.random(),
             shards: rng.random(),
+            snap_seq: rng.random(),
+            load: rng.random(),
         },
         10 => {
             let n = rng.random_range_usize(0, 32);
@@ -59,6 +61,23 @@ fn random_frame(rng: &mut StdRng) -> Frame {
                 entries: (0..n).map(|_| (rng.random(), rng.random())).collect(),
             }
         }
+        11 => Frame::TraceCtx {
+            proc: rng.random(),
+            span: rng.random(),
+        },
+        12 => Frame::Scrape {
+            cursor: rng.random(),
+            max_lines: rng.random(),
+        },
+        13 => Frame::ScrapeReply {
+            proc_id: rng.random(),
+            snap_seq: rng.random(),
+            next_cursor: rng.random(),
+            label: String::from_utf8_lossy(&data[..data.len().min(16)]).into_owned(),
+            metrics: data.clone(),
+            trace: data.iter().rev().copied().collect(),
+            status: data,
+        },
         _ => Frame::ErrorReply {
             code: (rng.random::<u32>() & 0xffff) as u16,
             detail: String::from_utf8_lossy(&data).into_owned(),

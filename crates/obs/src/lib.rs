@@ -59,8 +59,9 @@ pub use metrics::{
     set_metrics_enabled, write_metrics, Counter, Gauge, Histogram,
 };
 pub use trace::{
-    canonical_jsonl, set_trace_capacity, set_trace_enabled, set_trace_lane, trace_enabled,
-    trace_jsonl, write_trace, Span,
+    canonical_cluster_jsonl, canonical_jsonl, current_context, no_fields, process_id_for,
+    set_trace_capacity, set_trace_enabled, set_trace_lane, set_trace_process, trace_delta,
+    trace_enabled, trace_jsonl, trace_process, write_trace, Fields, Span, SpanContext,
 };
 
 /// The schema identifier stamped on metric snapshots and `meta` records.
@@ -255,6 +256,71 @@ pub fn validate_span_links(text: &str) -> Result<(), String> {
                     i + 1,
                     doc.get("name").and_then(Json::as_str).unwrap_or("?"),
                 ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The cross-process extension of [`validate_span_links`]: each part is
+/// one process's trace JSONL (its `meta` line must carry `proc` /
+/// `proc_id`, see [`trace::set_trace_process`]). Checks that span ids
+/// are unique *per process*, local `parent_id`s resolve within their
+/// own part, and every `remote_proc_id`/`remote_parent_id` pair
+/// resolves to a span emitted by some part.
+pub fn validate_cluster_links(parts: &[&str]) -> Result<(), String> {
+    let mut all_spans = std::collections::HashSet::new();
+    let mut parsed: Vec<(u64, Vec<Json>)> = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        validate_span_links(part).map_err(|e| format!("part {}: {e}", pi + 1))?;
+        let docs: Vec<Json> = part
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| Json::parse(l).ok())
+            .collect();
+        let proc_id = docs
+            .iter()
+            .find(|d| d.get("kind").and_then(Json::as_str) == Some("meta"))
+            .and_then(|d| d.get("proc_id"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("part {} has no meta line with `proc_id`", pi + 1))?
+            as u64;
+        for doc in &docs {
+            if doc.get("kind").and_then(Json::as_str) != Some("span") {
+                continue;
+            }
+            if let Some(id) = doc.get("span_id").and_then(Json::as_f64) {
+                all_spans.insert((proc_id, id.to_bits()));
+            }
+        }
+        parsed.push((proc_id, docs));
+    }
+    for (pi, (_, docs)) in parsed.iter().enumerate() {
+        for (i, doc) in docs.iter().enumerate() {
+            let (rp, rs) = (
+                doc.get("remote_proc_id").and_then(Json::as_f64),
+                doc.get("remote_parent_id").and_then(Json::as_f64),
+            );
+            match (rp, rs) {
+                (None, None) => {}
+                (Some(rp), Some(rs)) => {
+                    if !all_spans.contains(&(rp as u64, rs.to_bits())) {
+                        return Err(format!(
+                            "part {}, record {}: remote parent ({rp}, {rs}) does not \
+                             resolve to a span emitted by any part",
+                            pi + 1,
+                            i + 1
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(format!(
+                        "part {}, record {}: remote_proc_id and remote_parent_id \
+                         must appear together",
+                        pi + 1,
+                        i + 1
+                    ))
+                }
             }
         }
     }

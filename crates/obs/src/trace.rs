@@ -65,6 +65,31 @@ static NEXT_AUTO_LANE: AtomicU64 = AtomicU64::new(AUTO_LANE_BASE);
 /// All shards ever created by live threads (pruned at drain once their
 /// thread has exited and their records are taken).
 static REGISTRY: Mutex<Vec<Arc<Shard>>> = Mutex::new(Vec::new());
+/// Process identity ([`set_trace_process`]): the label stamped on
+/// drained `meta` lines plus its FNV-1a id, carried by outbound
+/// [`SpanContext`]s so merged cluster traces can namespace span ids.
+static PROCESS: Mutex<Option<(String, u64)>> = Mutex::new(None);
+
+/// Cap on rendered lines retained for cursor-based scrape deltas
+/// ([`trace_delta`]); older lines are discarded from the front, which
+/// advances the cursor base.
+const RETAIN_CAP: usize = 1 << 14;
+
+/// Rendered records retained between scrapes. `base` is the cursor of
+/// `lines[0]`; the cursor one past the end is `base + lines.len()`.
+/// `dropped` accumulates sink drops observed by scrape flushes so the
+/// final dump's `meta` line still accounts for them.
+struct Retained {
+    base: u64,
+    lines: Vec<String>,
+    dropped: u64,
+}
+
+static RETAINED: Mutex<Retained> = Mutex::new(Retained {
+    base: 0,
+    lines: Vec::new(),
+    dropped: 0,
+});
 
 /// One thread's sink shard. The mutex is only ever contended by a
 /// concurrent [`drain`]; recording threads each lock their own shard.
@@ -110,6 +135,63 @@ pub fn set_trace_enabled(on: bool) {
 /// Whether trace recording is currently enabled.
 pub fn trace_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// FNV-1a over `label` — the deterministic process id used by
+/// [`set_trace_process`]: the same label always maps to the same id, so
+/// merged cluster traces are reproducible without coordination.
+pub fn process_id_for(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in label.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    // Ids round-trip through JSON numbers (f64): keep them ≤ 2^53 so
+    // they stay exactly representable.
+    h & ((1 << 53) - 1)
+}
+
+/// Names the calling process for cross-process tracing. The label (and
+/// its deterministic FNV-1a id) is stamped on drained `meta` lines and
+/// carried by [`current_context`] so a remote process can link its
+/// handler spans back to this one. Call once, before work is traced;
+/// distinct processes in one cluster must use distinct labels.
+pub fn set_trace_process(label: &str) {
+    *PROCESS.lock().unwrap_or_else(|p| p.into_inner()) =
+        Some((label.to_string(), process_id_for(label)));
+}
+
+/// The process label and id set by [`set_trace_process`], if any.
+pub fn trace_process() -> Option<(String, u64)> {
+    PROCESS.lock().unwrap_or_else(|p| p.into_inner()).clone()
+}
+
+/// A span's cross-process identity: the originating process
+/// ([`set_trace_process`]) plus its process-local span id. Sent over
+/// the wire so a remote handler span can adopt this span as its causal
+/// parent — see [`Span::enter_remote`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Deterministic id of the originating process.
+    pub proc_id: u64,
+    /// The originating span's process-local id.
+    pub span_id: u64,
+}
+
+/// The innermost open span on this thread as a [`SpanContext`], ready to
+/// propagate to a remote process. `None` when tracing is disabled, no
+/// span is open, or [`set_trace_process`] was never called (an unnamed
+/// process has no cross-process identity).
+pub fn current_context() -> Option<SpanContext> {
+    if !trace_enabled() {
+        return None;
+    }
+    let (_, proc_id) = trace_process()?;
+    let span_id = LOCAL
+        .try_with(|l| l.borrow().stack.last().copied())
+        .ok()
+        .flatten()?;
+    Some(SpanContext { proc_id, span_id })
 }
 
 /// Sets the shared record capacity of the sink (all shards together).
@@ -212,7 +294,9 @@ fn fields_obj(fields: Vec<(&'static str, Json)>) -> Json {
     Json::obj(fields)
 }
 
-/// Base pairs shared by every v2 span/event record.
+/// Base pairs shared by every v2 span/event record. Sized for the base
+/// six pairs plus `dur_s`/`span_id`/`parent_id`/remote identity/`fields`
+/// so the common cases never reallocate.
 fn v2_base(
     kind: &'static str,
     name: &'static str,
@@ -220,25 +304,122 @@ fn v2_base(
     lane: u64,
     seq: u64,
 ) -> Vec<(&'static str, Json)> {
-    vec![
-        ("schema", Json::Str(crate::SCHEMA_V2.into())),
-        ("kind", Json::Str(kind.into())),
-        ("name", Json::Str(name.into())),
-        ("at_s", Json::Num(at_s)),
-        ("thread", Json::Num(lane as f64)),
-        ("seq", Json::Num(seq as f64)),
-    ]
+    let mut pairs = Vec::with_capacity(12);
+    pairs.push(("schema", Json::Str(crate::SCHEMA_V2.into())));
+    pairs.push(("kind", Json::Str(kind.into())));
+    pairs.push(("name", Json::Str(name.into())));
+    pairs.push(("at_s", Json::Num(at_s)));
+    pairs.push(("thread", Json::Num(lane as f64)));
+    pairs.push(("seq", Json::Num(seq as f64)));
+    pairs
+}
+
+/// An event's field list, as accepted by [`event`]. Arrays of up to
+/// four fields convert without touching the heap (the enabled-path fast
+/// path: most events carry 1–3 fields); a `Vec` converts by moving, for
+/// call sites whose field count is dynamic.
+pub struct Fields {
+    inline: [(&'static str, Json); 4],
+    len: usize,
+    spill: Option<Vec<(&'static str, Json)>>,
+}
+
+impl Fields {
+    fn into_obj(self) -> Json {
+        match self.spill {
+            Some(v) => Json::obj(v),
+            None => Json::obj(self.inline.into_iter().take(self.len)),
+        }
+    }
+}
+
+const NO_FIELD: (&str, Json) = ("", Json::Null);
+
+impl From<[(&'static str, Json); 0]> for Fields {
+    fn from(_: [(&'static str, Json); 0]) -> Fields {
+        Fields {
+            inline: [NO_FIELD; 4],
+            len: 0,
+            spill: None,
+        }
+    }
+}
+
+impl From<[(&'static str, Json); 1]> for Fields {
+    fn from(a: [(&'static str, Json); 1]) -> Fields {
+        let [f0] = a;
+        Fields {
+            inline: [f0, NO_FIELD, NO_FIELD, NO_FIELD],
+            len: 1,
+            spill: None,
+        }
+    }
+}
+
+impl From<[(&'static str, Json); 2]> for Fields {
+    fn from(a: [(&'static str, Json); 2]) -> Fields {
+        let [f0, f1] = a;
+        Fields {
+            inline: [f0, f1, NO_FIELD, NO_FIELD],
+            len: 2,
+            spill: None,
+        }
+    }
+}
+
+impl From<[(&'static str, Json); 3]> for Fields {
+    fn from(a: [(&'static str, Json); 3]) -> Fields {
+        let [f0, f1, f2] = a;
+        Fields {
+            inline: [f0, f1, f2, NO_FIELD],
+            len: 3,
+            spill: None,
+        }
+    }
+}
+
+impl From<[(&'static str, Json); 4]> for Fields {
+    fn from(a: [(&'static str, Json); 4]) -> Fields {
+        Fields {
+            inline: a,
+            len: 4,
+            spill: None,
+        }
+    }
+}
+
+impl From<Vec<(&'static str, Json)>> for Fields {
+    fn from(v: Vec<(&'static str, Json)>) -> Fields {
+        Fields {
+            inline: [NO_FIELD; 4],
+            len: 0,
+            spill: Some(v),
+        }
+    }
+}
+
+/// An empty field list, allocation-free — pass as `event(name,
+/// no_fields)` (a bare `Vec::new` no longer infers now that [`event`]
+/// is generic over its field container).
+pub fn no_fields() -> Fields {
+    Fields {
+        inline: [NO_FIELD; 4],
+        len: 0,
+        spill: None,
+    }
 }
 
 /// Records a point-in-time event. `fields` is only invoked (and only
-/// allocates) when tracing is enabled. The event inherits the innermost
-/// open [`Span`] on this thread as `parent_id`.
-pub fn event(name: &'static str, fields: impl FnOnce() -> Vec<(&'static str, Json)>) {
+/// allocates) when tracing is enabled, and may return either a `Vec` or
+/// an inline array of up to four pairs — the array form skips the
+/// per-event heap allocation on the enabled path. The event inherits
+/// the innermost open [`Span`] on this thread as `parent_id`.
+pub fn event<F: Into<Fields>>(name: &'static str, fields: impl FnOnce() -> F) {
     if !trace_enabled() {
         return;
     }
     let at_s = now_s();
-    let fields = fields_obj(fields());
+    let fields = fields().into().into_obj();
     push_record(at_s, |lane, seq, parent| {
         let mut pairs = v2_base("event", name, at_s, lane, seq);
         if let Some(p) = parent {
@@ -263,6 +444,7 @@ pub struct Span {
     start: Option<(f64, Instant)>,
     id: u64,
     parent: Option<u64>,
+    remote: Option<SpanContext>,
     fields: Vec<(&'static str, Json)>,
 }
 
@@ -276,6 +458,7 @@ impl Span {
                 start: None,
                 id: 0,
                 parent: None,
+                remote: None,
                 fields: Vec::new(),
             };
         }
@@ -293,8 +476,24 @@ impl Span {
             start: Some((now_s(), Instant::now())),
             id,
             parent,
+            remote: None,
             fields: Vec::new(),
         }
+    }
+
+    /// Starts a span whose causal parent lives in another process: the
+    /// recorded span carries `remote_proc_id`/`remote_parent_id` (never
+    /// `parent_id`, which stays process-local so single-file link
+    /// validation sees no orphans). Cross-process merges
+    /// ([`canonical_cluster_jsonl`]) resolve the remote link into one
+    /// causal tree. Locally the span still behaves like [`Span::enter`]:
+    /// it goes on this thread's stack, so nested work parents under it.
+    pub fn enter_remote(name: &'static str, ctx: SpanContext) -> Span {
+        let mut span = Span::enter(name);
+        if span.start.is_some() {
+            span.remote = Some(ctx);
+        }
+        span
     }
 
     /// Attaches a field to the span; `value` is only invoked when the
@@ -323,6 +522,7 @@ impl Drop for Span {
         let dur_s = t0.elapsed().as_secs_f64();
         let name = self.name;
         let parent = self.parent;
+        let remote = self.remote;
         let fields = fields_obj(std::mem::take(&mut self.fields));
         push_record(at_s, |lane, seq, _| {
             let mut pairs = v2_base("span", name, at_s, lane, seq);
@@ -330,6 +530,10 @@ impl Drop for Span {
             pairs.push(("span_id", Json::Num(id as f64)));
             if let Some(p) = parent {
                 pairs.push(("parent_id", Json::Num(p as f64)));
+            }
+            if let Some(ctx) = remote {
+                pairs.push(("remote_proc_id", Json::Num(ctx.proc_id as f64)));
+                pairs.push(("remote_parent_id", Json::Num(ctx.span_id as f64)));
             }
             pairs.push(("fields", fields));
             Json::obj(pairs)
@@ -363,21 +567,68 @@ pub fn drain() -> (Vec<Json>, u64) {
     (recs.into_iter().map(|r| r.line).collect(), dropped)
 }
 
-/// Drains the sink and renders it as JSON-lines: a `meta` record
-/// (carrying the dropped count) followed by the merged records.
-pub fn trace_jsonl(source: &str) -> String {
+/// Drains freshly recorded lines into the retained scrape buffer,
+/// trimming the front past [`RETAIN_CAP`] and accumulating the sink's
+/// dropped count for the eventual dump.
+fn flush_to_retained() {
     let (records, dropped) = drain();
+    let mut r = RETAINED.lock().unwrap_or_else(|p| p.into_inner());
+    for rec in records {
+        r.lines.push(rec.render_compact());
+    }
+    let over = r.lines.len().saturating_sub(RETAIN_CAP);
+    if over > 0 {
+        r.lines.drain(..over);
+        r.base += over as u64;
+    }
+    r.dropped += dropped;
+}
+
+/// Cursor-based trace delta for the scrape path: returns up to
+/// `max_lines` rendered records starting at `cursor`, plus the cursor to
+/// resume from — repeated scrapes never replay a line. A cursor behind
+/// the retained window (the buffer trimmed past it) silently skips to
+/// the oldest retained line; a cursor past the end returns nothing.
+/// Lines handed out stay retained until [`RETAIN_CAP`] pushes them out,
+/// so a second consumer at an older cursor still sees them.
+pub fn trace_delta(cursor: u64, max_lines: usize) -> (u64, Vec<String>) {
+    flush_to_retained();
+    let r = RETAINED.lock().unwrap_or_else(|p| p.into_inner());
+    let end = r.base + r.lines.len() as u64;
+    let start = cursor.clamp(r.base, end);
+    let take = ((end - start) as usize).min(max_lines);
+    let from = (start - r.base) as usize;
+    (start + take as u64, r.lines[from..from + take].to_vec())
+}
+
+/// Drains the sink and renders it as JSON-lines: a `meta` record
+/// (carrying the dropped count, and the process label/id when
+/// [`set_trace_process`] named this process) followed by the merged
+/// records. Lines still sitting in the scrape-delta buffer are included
+/// first (they were recorded earlier) and consumed, so a process that
+/// was scraped and then dumped emits each record exactly once here.
+pub fn trace_jsonl(source: &str) -> String {
+    flush_to_retained();
+    let (lines, dropped) = {
+        let mut r = RETAINED.lock().unwrap_or_else(|p| p.into_inner());
+        r.base += r.lines.len() as u64;
+        (std::mem::take(&mut r.lines), std::mem::take(&mut r.dropped))
+    };
     let mut out = String::new();
-    let meta = Json::obj([
+    let mut meta_pairs = vec![
         ("schema", Json::Str(crate::SCHEMA.into())),
         ("kind", Json::Str("meta".into())),
         ("source", Json::Str(source.into())),
         ("dropped", Json::Num(dropped as f64)),
-    ]);
-    out.push_str(&meta.render_compact());
+    ];
+    if let Some((label, id)) = trace_process() {
+        meta_pairs.push(("proc", Json::Str(label)));
+        meta_pairs.push(("proc_id", Json::Num(id as f64)));
+    }
+    out.push_str(&Json::obj(meta_pairs).render_compact());
     out.push('\n');
-    for r in records {
-        out.push_str(&r.render_compact());
+    for l in lines {
+        out.push_str(&l);
         out.push('\n');
     }
     out
@@ -485,6 +736,156 @@ pub fn canonical_jsonl(text: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Merges per-process trace JSONL parts into one **canonical
+/// cross-process** causal tree, byte-identical across scheduling orders
+/// and process interleavings whenever the multiset of recorded work is
+/// the same.
+///
+/// Each part must lead with a `meta` line carrying `proc` and `proc_id`
+/// (written by [`trace_jsonl`] after [`set_trace_process`]). Span
+/// identity is namespaced per process — ids are `(proc_id, span_id)` —
+/// and a span's causal path follows local `parent_id` links first, then
+/// jumps across the process boundary through
+/// `remote_proc_id`/`remote_parent_id` and continues in the originating
+/// process. Canonical records gain a `"proc"` label, lose
+/// `thread`/`seq`/timestamps and the raw ids (replaced by name paths
+/// prefixed with the owning process of each segment), and the merged
+/// lines are sorted lexicographically. `meta` lines are omitted (their
+/// dropped counts are timing-dependent).
+///
+/// # Errors
+///
+/// Returns a description if a part lacks its `proc`/`proc_id` meta, a
+/// line fails to parse, a local or remote parent does not resolve, or
+/// parent links form a cycle.
+pub fn canonical_cluster_jsonl(parts: &[&str]) -> Result<String, String> {
+    // Key spans globally by (proc_id, span_id).
+    type Key = (u64, u64);
+    struct SpanInfo {
+        name: String,
+        parent: Option<u64>,
+        remote: Option<Key>,
+    }
+    let mut spans: std::collections::HashMap<Key, SpanInfo> = std::collections::HashMap::new();
+    let mut parsed: Vec<(String, u64, Vec<Json>)> = Vec::new();
+    for (pi, part) in parts.iter().enumerate() {
+        let mut label: Option<(String, u64)> = None;
+        let mut docs = Vec::new();
+        for (i, line) in part.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let doc =
+                Json::parse(line).map_err(|e| format!("part {}, line {}: {e}", pi + 1, i + 1))?;
+            if doc.get("kind").and_then(Json::as_str) == Some("meta") {
+                let proc = doc.get("proc").and_then(Json::as_str).map(str::to_string);
+                let id = doc.get("proc_id").and_then(Json::as_f64).map(|v| v as u64);
+                if let (Some(p), Some(id)) = (proc, id) {
+                    label = Some((p, id));
+                }
+                continue;
+            }
+            docs.push(doc);
+        }
+        let (proc, proc_id) = label.ok_or_else(|| {
+            format!(
+                "part {} has no meta line with `proc`/`proc_id` (was the \
+                 process named with set_trace_process?)",
+                pi + 1
+            )
+        })?;
+        for doc in &docs {
+            if doc.get("kind").and_then(Json::as_str) != Some("span") {
+                continue;
+            }
+            let Some(id) = doc.get("span_id").and_then(Json::as_f64) else {
+                continue;
+            };
+            let remote = match (
+                doc.get("remote_proc_id").and_then(Json::as_f64),
+                doc.get("remote_parent_id").and_then(Json::as_f64),
+            ) {
+                (Some(p), Some(s)) => Some((p as u64, s as u64)),
+                _ => None,
+            };
+            spans.insert(
+                (proc_id, id as u64),
+                SpanInfo {
+                    name: doc
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    parent: doc
+                        .get("parent_id")
+                        .and_then(Json::as_f64)
+                        .map(|p| p as u64),
+                    remote,
+                },
+            );
+        }
+        parsed.push((proc, proc_id, docs));
+    }
+    let proc_names: std::collections::HashMap<u64, String> = parsed
+        .iter()
+        .map(|(name, id, _)| (*id, name.clone()))
+        .collect();
+    // A span's canonical path: walk local parents to this process's
+    // root, jump through any remote context, repeat. Segments are
+    // prefixed with their process label so paths are unambiguous.
+    let path_of = |key: Key| -> Result<String, String> {
+        let mut parts_rev: Vec<String> = Vec::new();
+        let mut cur = key;
+        loop {
+            let info = spans.get(&cur).ok_or_else(|| {
+                format!("span ({}, {}) referenced but never emitted", cur.0, cur.1)
+            })?;
+            let proc = proc_names.get(&cur.0).map(String::as_str).unwrap_or("?");
+            parts_rev.push(format!("{proc}:{}", info.name));
+            if parts_rev.len() > spans.len() {
+                return Err(format!("span parent cycle through ({}, {})", cur.0, cur.1));
+            }
+            match (info.parent, info.remote) {
+                (Some(p), _) => cur = (cur.0, p),
+                (None, Some(r)) => cur = r,
+                (None, None) => break,
+            }
+        }
+        parts_rev.reverse();
+        Ok(parts_rev.join("/"))
+    };
+    let mut lines = Vec::new();
+    for (proc, proc_id, docs) in parsed {
+        for doc in docs {
+            let Json::Obj(mut map) = doc else {
+                return Err("record is not an object".into());
+            };
+            if map.contains_key("at_s") {
+                map.insert("at_s".into(), Json::Num(0.0));
+            }
+            if map.contains_key("dur_s") {
+                map.insert("dur_s".into(), Json::Num(0.0));
+            }
+            map.remove("thread");
+            map.remove("seq");
+            map.remove("remote_proc_id");
+            map.remove("remote_parent_id");
+            map.insert("proc".into(), Json::Str(proc.clone()));
+            if let Some(id) = map.get("span_id").and_then(Json::as_f64) {
+                map.insert("span_id".into(), Json::Str(path_of((proc_id, id as u64))?));
+            }
+            if let Some(p) = map.get("parent_id").and_then(Json::as_f64) {
+                map.insert("parent_id".into(), Json::Str(path_of((proc_id, p as u64))?));
+            }
+            lines.push(Json::Obj(map).render_compact());
+        }
+    }
+    lines.sort();
+    let mut out = lines.join("\n");
+    out.push('\n');
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -542,7 +943,7 @@ mod tests {
         drain();
         {
             let _outer = Span::enter("test.outer");
-            event("test.inner.event", Vec::new);
+            event("test.inner.event", no_fields);
             let _inner = Span::enter("test.inner");
         }
         set_trace_enabled(false);
@@ -573,10 +974,10 @@ mod tests {
         let _g = test_guard();
         set_trace_enabled(true);
         drain();
-        event("test.tick", Vec::new);
+        event("test.tick", no_fields);
         std::thread::sleep(std::time::Duration::from_millis(2));
-        event("test.tick", Vec::new);
-        event("test.tick", Vec::new);
+        event("test.tick", no_fields);
+        event("test.tick", no_fields);
         set_trace_enabled(false);
         let (records, _) = drain();
         let stamps: Vec<f64> = records
@@ -597,7 +998,7 @@ mod tests {
         drain();
         set_trace_capacity(4);
         for _ in 0..9 {
-            event("test.cap", Vec::new);
+            event("test.cap", no_fields);
         }
         set_trace_enabled(false);
         let text = trace_jsonl("cap-test");
@@ -607,7 +1008,7 @@ mod tests {
         assert_eq!(text.lines().count(), 5, "meta + 4 kept records: {text}");
         // The drain reset the budget: recording works again.
         set_trace_enabled(true);
-        event("test.cap", Vec::new);
+        event("test.cap", no_fields);
         set_trace_enabled(false);
         let (records, dropped) = drain();
         assert_eq!((records.len(), dropped), (1, 0));
@@ -666,7 +1067,7 @@ mod tests {
             {
                 let mut outer = Span::enter("test.canon.outer");
                 outer.field("k", || Json::Num(7.0));
-                event("test.canon.tick", Vec::new);
+                event("test.canon.tick", no_fields);
             }
             set_trace_enabled(false);
             let text = trace_jsonl("canon");
@@ -681,6 +1082,100 @@ mod tests {
             a.contains("\"parent_id\":\"test.canon.outer\""),
             "event keeps its causal path: {a}"
         );
+    }
+
+    #[test]
+    fn inline_array_events_record_their_fields() {
+        let _g = test_guard();
+        set_trace_enabled(true);
+        drain();
+        event("test.inline", || {
+            [("a", Json::Num(1.0)), ("b", Json::Str("x".into()))]
+        });
+        event("test.inline.empty", || -> [(&'static str, Json); 0] { [] });
+        set_trace_enabled(false);
+        let (records, dropped) = drain();
+        assert_eq!((records.len(), dropped), (2, 0));
+        let f = records[0].get("fields").unwrap();
+        assert_eq!(f.get("a").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(f.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(
+            records[1].get("fields").map(|f| f.render_compact()),
+            Some("{}".to_string())
+        );
+    }
+
+    #[test]
+    fn trace_delta_cursors_never_replay_and_resume() {
+        let _g = test_guard();
+        set_trace_enabled(true);
+        let _ = trace_jsonl("reset"); // clear sink + retained buffer
+                                      // A cursor past the end clamps to the live end — the origin for
+                                      // the deltas below (`base` survives from earlier tests).
+        let (c0, none) = trace_delta(u64::MAX, 100);
+        assert!(none.is_empty());
+        for i in 0..5 {
+            event("test.delta", move || [("i", Json::Num(f64::from(i)))]);
+        }
+        let (c1, lines1) = trace_delta(c0, 3);
+        assert_eq!((c1 - c0, lines1.len()), (3, 3));
+        let (c2, lines2) = trace_delta(c1, 100);
+        assert_eq!((c2 - c0, lines2.len()), (5, 2));
+        // No new records: resuming from the cursor returns nothing.
+        let (c3, lines3) = trace_delta(c2, 100);
+        assert_eq!((c3, lines3.len()), (c2, 0));
+        // More records extend the window from the same cursor.
+        event("test.delta.more", no_fields);
+        let (c4, lines4) = trace_delta(c3, 100);
+        assert_eq!((c4 - c0, lines4.len()), (6, 1));
+        assert!(lines4[0].contains("test.delta.more"));
+        // An older cursor still replays retained lines (second consumer).
+        let (_, again) = trace_delta(c0, 100);
+        assert_eq!(again.len(), 6);
+        set_trace_enabled(false);
+        let _ = trace_jsonl("cleanup");
+    }
+
+    #[test]
+    fn remote_spans_stitch_into_one_cluster_tree() {
+        let _g = test_guard();
+        set_trace_enabled(true);
+        let _ = trace_jsonl("reset");
+        // "Gateway" process: a put span whose context crosses the wire.
+        set_trace_process("gw");
+        let ctx = {
+            let _put = Span::enter("net.put");
+            current_context().expect("open span + named process")
+        };
+        assert_eq!(ctx.proc_id, process_id_for("gw"));
+        set_trace_enabled(false);
+        let gw_part = trace_jsonl("gw");
+        // "Brick" process: the handler span adopts the remote parent.
+        set_trace_enabled(true);
+        set_trace_process("brick-0");
+        {
+            let _h = Span::enter_remote("net.brick.put", ctx);
+            event("net.brick.commit", || []);
+        }
+        set_trace_enabled(false);
+        let brick_part = trace_jsonl("brick-0");
+        let merged = canonical_cluster_jsonl(&[&gw_part, &brick_part]).unwrap();
+        assert!(
+            merged.contains("\"span_id\":\"gw:net.put/brick-0:net.brick.put\""),
+            "handler span paths through the gateway parent: {merged}"
+        );
+        assert!(
+            merged.contains("\"parent_id\":\"gw:net.put/brick-0:net.brick.put\""),
+            "brick-local event keeps the stitched path: {merged}"
+        );
+        assert!(!merged.contains("remote_proc_id"), "{merged}");
+        // A part without process identity is rejected.
+        let anon = "{\"schema\":\"nsr-obs/v1\",\"kind\":\"meta\",\"source\":\"x\"}\n";
+        let err = canonical_cluster_jsonl(&[anon]).unwrap_err();
+        assert!(err.contains("proc"), "{err}");
+        // An unresolvable remote parent is rejected.
+        let missing = canonical_cluster_jsonl(&[&brick_part]);
+        assert!(missing.is_err(), "dangling remote parent must error");
     }
 
     #[test]
